@@ -1,0 +1,632 @@
+//! The **Allgather distributable analysis** (paper §6).
+//!
+//! For every global-memory write instruction the analysis checks the three
+//! conditions of §6.2:
+//!
+//! 1. treating block index and block size as constants, the write index is
+//!    an affine function of the thread index with invariant coefficients;
+//! 2. the write is not enclosed in thread-variant conditionals, unless the
+//!    conditional is **tail divergent** (`affine(blockIdx,threadIdx) <
+//!    launch-invariant bound`, true everywhere except trailing blocks) or
+//!    *per-thread uniform* (block-invariant thread selection such as
+//!    `threadIdx.x == 0`, which keeps per-block write lengths equal — a
+//!    CuCC-rs generalization needed by kernels like BinomialOption);
+//! 3. treating thread index as constant, the write index is an affine
+//!    function of the block index with a positive coefficient (positivity
+//!    and exact coverage are confirmed at launch time by the planner's
+//!    probe, because the coefficients are symbolic polynomials).
+//!
+//! Kernels passing all conditions are [`Verdict::Distributable`]; the rest
+//! fall back to replicated execution ([`Verdict::Trivial`]) with the reasons
+//! recorded — these reasons drive the Figure 7 coverage evaluation.
+
+use crate::affine::{affine_of_expr, AffineForm, IdxVar, VarForms};
+use crate::poly::Poly;
+use crate::variance::{expr_variance, var_variance, Variance};
+use cucc_ir::{BinOp, Expr, Kernel, MemRef, ParamId, Stmt};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tail-divergent guard `lhs < bound`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TailGuard {
+    /// Affine form over thread/block indices (strictly less-than `bound`).
+    pub lhs: AffineForm,
+    /// Launch-invariant bound.
+    pub bound: Poly,
+}
+
+/// Classification of one guard conjunct enclosing a write.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GuardClass {
+    /// Launch-invariant condition: identical for every thread and block.
+    Uniform,
+    /// Thread-variant but block-invariant (e.g. `threadIdx.x == 0`): every
+    /// block selects the same thread subset, so per-block write lengths stay
+    /// equal.
+    PerThreadUniform,
+    /// The canonical out-of-bounds filter (`global_id < n`): true for all
+    /// blocks except a trailing range, which become callback blocks.
+    Tail(TailGuard),
+    /// Anything else — disqualifies the write (condition 2).
+    Variant,
+}
+
+/// One global-memory write instruction with its analysis context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteSite {
+    /// The written buffer parameter.
+    pub buffer: ParamId,
+    /// Element size in bytes.
+    pub elem_size: usize,
+    /// Affine form of the write index (in elements), if affine.
+    pub index: Option<AffineForm>,
+    /// True for atomic read-modify-writes.
+    pub atomic: bool,
+    /// True when the index expression contains a memory load.
+    pub indirect: bool,
+    /// Classification of every enclosing guard conjunct.
+    pub guards: Vec<GuardClass>,
+    /// True when an enclosing loop has thread- or block-variant bounds.
+    pub variant_loop: bool,
+}
+
+/// Why a kernel is only *trivially* Allgather distributable (replicated
+/// execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reason {
+    /// A write index is not an affine function of the indices.
+    NonAffineIndex,
+    /// A write index depends on loaded data (indirect access).
+    IndirectIndex,
+    /// Atomic updates imply overlapping write intervals across blocks.
+    AtomicWrite,
+    /// A write is guarded by an unsupported thread/block-variant condition.
+    VariantGuard,
+    /// A write sits in a loop with thread/block-variant bounds, so blocks
+    /// would write unequal lengths.
+    VariantLoopBounds,
+    /// The write index does not grow with the block index: all blocks write
+    /// the same interval (overlap).
+    BlockInvariantIndex,
+    /// The kernel writes no global memory at all.
+    NoGlobalWrites,
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Reason::NonAffineIndex => "non-affine write index",
+            Reason::IndirectIndex => "indirect (data-dependent) write index",
+            Reason::AtomicWrite => "atomic global update (overlapping write intervals)",
+            Reason::VariantGuard => "write guarded by unsupported variant condition",
+            Reason::VariantLoopBounds => "write inside loop with variant bounds",
+            Reason::BlockInvariantIndex => "write interval does not advance with block index",
+            Reason::NoGlobalWrites => "kernel writes no global memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A buffer that the three-phase workflow must synchronize with Allgather.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherBuffer {
+    /// Buffer parameter id.
+    pub param: ParamId,
+    /// Element size in bytes.
+    pub elem_size: usize,
+}
+
+/// Compiler metadata for a distributable kernel (the `metadata` box of the
+/// paper's Figure 6: `tail_divergent`, `mem_ptr`, `unit_size` — unit sizes
+/// are resolved at launch time from the affine forms).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelMeta {
+    /// Buffers to synchronize after the partial block execution phase.
+    pub buffers: Vec<GatherBuffer>,
+    /// Deduplicated tail guards (empty ⇒ no tail divergence).
+    pub tail_guards: Vec<TailGuard>,
+    /// All analyzed write sites (kept for the launch-time planner and for
+    /// diagnostics).
+    pub sites: Vec<WriteSite>,
+}
+
+impl KernelMeta {
+    /// Whether the kernel contains tail-divergent guards (the
+    /// `tail_divergent` metadata flag of Figure 6).
+    pub fn tail_divergent(&self) -> bool {
+        !self.tail_guards.is_empty()
+    }
+}
+
+/// The analysis verdict for one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Non-trivially distributable: the three-phase workflow applies.
+    Distributable(KernelMeta),
+    /// Only trivially distributable: execute replicated on every node.
+    Trivial(Vec<Reason>),
+}
+
+impl Verdict {
+    /// True for the non-trivial case.
+    pub fn is_distributable(&self) -> bool {
+        matches!(self, Verdict::Distributable(_))
+    }
+
+    /// Metadata of the distributable case.
+    pub fn meta(&self) -> Option<&KernelMeta> {
+        match self {
+            Verdict::Distributable(m) => Some(m),
+            Verdict::Trivial(_) => None,
+        }
+    }
+
+    /// Reasons of the trivial case.
+    pub fn reasons(&self) -> &[Reason] {
+        match self {
+            Verdict::Trivial(r) => r,
+            Verdict::Distributable(_) => &[],
+        }
+    }
+}
+
+/// Run the Allgather distributable analysis on a kernel.
+pub fn analyze_kernel(kernel: &Kernel) -> Verdict {
+    let sites = collect_write_sites(kernel);
+    if sites.is_empty() {
+        return Verdict::Trivial(vec![Reason::NoGlobalWrites]);
+    }
+    let mut reasons = Vec::new();
+    for site in &sites {
+        if site.atomic {
+            push_unique(&mut reasons, Reason::AtomicWrite);
+            continue;
+        }
+        if site.indirect {
+            push_unique(&mut reasons, Reason::IndirectIndex);
+            continue;
+        }
+        let Some(index) = &site.index else {
+            push_unique(&mut reasons, Reason::NonAffineIndex);
+            continue;
+        };
+        if site.variant_loop {
+            push_unique(&mut reasons, Reason::VariantLoopBounds);
+        }
+        if site.guards.iter().any(|g| matches!(g, GuardClass::Variant)) {
+            push_unique(&mut reasons, Reason::VariantGuard);
+        }
+        // Condition 3 (static part): the index must advance with the block
+        // index. Either the index itself mentions a block axis, or a tail
+        // guard will confine divergence — but without any block dependence
+        // all blocks write the same interval.
+        let has_block_var = index.vars().any(|v| matches!(v, IdxVar::Block(_)));
+        let negative_const_block = index.coeffs.iter().any(|(v, c)| {
+            matches!(v, IdxVar::Block(_)) && matches!(c.as_const(), Some(x) if x <= 0)
+        });
+        if !has_block_var || negative_const_block {
+            push_unique(&mut reasons, Reason::BlockInvariantIndex);
+        }
+    }
+    if !reasons.is_empty() {
+        return Verdict::Trivial(reasons);
+    }
+    // Assemble metadata.
+    let mut buffers: Vec<GatherBuffer> = Vec::new();
+    let mut tail_guards: Vec<TailGuard> = Vec::new();
+    for site in &sites {
+        if !buffers.iter().any(|b| b.param == site.buffer) {
+            buffers.push(GatherBuffer {
+                param: site.buffer,
+                elem_size: site.elem_size,
+            });
+        }
+        for g in &site.guards {
+            if let GuardClass::Tail(t) = g {
+                if !tail_guards.contains(t) {
+                    tail_guards.push(t.clone());
+                }
+            }
+        }
+    }
+    buffers.sort_by_key(|b| b.param);
+    Verdict::Distributable(KernelMeta {
+        buffers,
+        tail_guards,
+        sites,
+    })
+}
+
+fn push_unique(v: &mut Vec<Reason>, r: Reason) {
+    if !v.contains(&r) {
+        v.push(r);
+    }
+}
+
+/// Collect every global write instruction with its guard and loop context.
+pub fn collect_write_sites(kernel: &Kernel) -> Vec<WriteSite> {
+    let forms = VarForms::of_kernel(kernel);
+    let variance = var_variance(kernel);
+    let mut out = Vec::new();
+    let mut guards: Vec<GuardClass> = Vec::new();
+    walk(
+        kernel,
+        &kernel.body,
+        &forms,
+        &variance,
+        &mut guards,
+        false,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    kernel: &Kernel,
+    stmts: &[Stmt],
+    forms: &VarForms,
+    variance: &[Variance],
+    guards: &mut Vec<GuardClass>,
+    variant_loop: bool,
+    out: &mut Vec<WriteSite>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Store { mem, index, value } | Stmt::AtomicRmw { mem, index, value, .. } => {
+                let MemRef::Global(p) = mem else { continue };
+                let _ = value;
+                let atomic = matches!(s, Stmt::AtomicRmw { .. });
+                let indirect = index.has_load();
+                out.push(WriteSite {
+                    buffer: *p,
+                    elem_size: kernel.elem_type(*mem).size(),
+                    index: affine_of_expr(index, forms),
+                    atomic,
+                    indirect,
+                    guards: guards.clone(),
+                    variant_loop,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let classes = classify_guard(cond, forms, variance);
+                let depth = classes.len();
+                guards.extend(classes);
+                walk(kernel, then_body, forms, variance, guards, variant_loop, out);
+                guards.truncate(guards.len() - depth);
+                if !else_body.is_empty() {
+                    // In the else branch the condition is negated: uniform
+                    // and per-thread-uniform conjuncts stay in their class
+                    // (negation preserves invariance); tail guards become
+                    // head-divergent, i.e. unsupported.
+                    let neg: Vec<GuardClass> = classify_guard(cond, forms, variance)
+                        .into_iter()
+                        .map(|g| match g {
+                            GuardClass::Uniform => GuardClass::Uniform,
+                            GuardClass::PerThreadUniform => GuardClass::PerThreadUniform,
+                            GuardClass::Tail(_) | GuardClass::Variant => GuardClass::Variant,
+                        })
+                        .collect();
+                    let depth = neg.len();
+                    guards.extend(neg);
+                    walk(kernel, else_body, forms, variance, guards, variant_loop, out);
+                    guards.truncate(guards.len() - depth);
+                }
+            }
+            Stmt::For {
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
+                let bounds = expr_variance(start, variance)
+                    .join(expr_variance(end, variance))
+                    .join(expr_variance(step, variance));
+                let vl = variant_loop || bounds.thread || bounds.block;
+                walk(kernel, body, forms, variance, guards, vl, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Split a guard condition into conjuncts and classify each.
+fn classify_guard(cond: &Expr, forms: &VarForms, variance: &[Variance]) -> Vec<GuardClass> {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(cond, &mut conjuncts);
+    conjuncts
+        .into_iter()
+        .map(|c| classify_conjunct(c, forms, variance))
+        .collect()
+}
+
+fn split_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary {
+        op: BinOp::LAnd,
+        lhs,
+        rhs,
+    } = e
+    {
+        split_conjuncts(lhs, out);
+        split_conjuncts(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn classify_conjunct(e: &Expr, forms: &VarForms, variance: &[Variance]) -> GuardClass {
+    let v = expr_variance(e, variance);
+    if !v.thread && !v.block {
+        return GuardClass::Uniform;
+    }
+    // Block-invariant thread selection: identical subset in every block.
+    // Loads are excluded (expr_variance marks them block-variant).
+    if !v.block {
+        return GuardClass::PerThreadUniform;
+    }
+    // Tail pattern: normalize to `variant < bound`.
+    if let Expr::Binary { op, lhs, rhs } = e {
+        let (small, big, inclusive) = match op {
+            BinOp::Lt => (lhs, rhs, false),
+            BinOp::Le => (lhs, rhs, true),
+            BinOp::Gt => (rhs, lhs, false),
+            BinOp::Ge => (rhs, lhs, true),
+            _ => return GuardClass::Variant,
+        };
+        let (Some(small_f), Some(big_f)) = (
+            affine_of_expr(small, forms),
+            affine_of_expr(big, forms),
+        ) else {
+            return GuardClass::Variant;
+        };
+        // The variant side must be on the small side of `<`; the bound must
+        // be launch-invariant; loop variables may not appear.
+        if big_f.is_constant()
+            && !small_f.is_constant()
+            && !small_f.vars().any(|v| matches!(v, IdxVar::Loop(_)))
+        {
+            let bound = if inclusive {
+                big_f.constant.add(&Poly::constant(1))
+            } else {
+                big_f.constant
+            };
+            return GuardClass::Tail(TailGuard {
+                lhs: small_f,
+                bound,
+            });
+        }
+    }
+    GuardClass::Variant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cucc_ir::parse_kernel;
+
+    fn verdict(src: &str) -> Verdict {
+        let k = parse_kernel(src).unwrap();
+        cucc_ir::validate(&k).unwrap();
+        analyze_kernel(&k)
+    }
+
+    #[test]
+    fn listing1_is_distributable_and_tail_divergent() {
+        let v = verdict(
+            "__global__ void vec_copy(char* src, char* dest, int n) {
+                int id = blockDim.x * blockIdx.x + threadIdx.x;
+                if (id < n)
+                    dest[id] = src[id];
+            }",
+        );
+        let meta = v.meta().expect("should be distributable");
+        assert!(meta.tail_divergent());
+        assert_eq!(meta.buffers.len(), 1);
+        assert_eq!(meta.buffers[0].param, ParamId(1));
+        assert_eq!(meta.tail_guards.len(), 1);
+    }
+
+    #[test]
+    fn unguarded_affine_write_distributable_without_tail() {
+        let v = verdict(
+            "__global__ void k(float* out) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                out[id] = 1.0f;
+            }",
+        );
+        let meta = v.meta().unwrap();
+        assert!(!meta.tail_divergent());
+    }
+
+    #[test]
+    fn per_block_scalar_write_distributable() {
+        // BinomialOption pattern: only thread 0 writes, one scalar per block.
+        let v = verdict(
+            "__global__ void k(float* out) {
+                float acc = 1.0f;
+                if (threadIdx.x == 0)
+                    out[blockIdx.x] = acc;
+            }",
+        );
+        let meta = v.meta().unwrap();
+        assert!(!meta.tail_divergent());
+        assert!(matches!(
+            meta.sites[0].guards[0],
+            GuardClass::PerThreadUniform
+        ));
+    }
+
+    #[test]
+    fn atomic_writes_are_trivial() {
+        let v = verdict(
+            "__global__ void hist(int* bins, int* data) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                atomicAdd(&bins[data[id] % 16], 1);
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::AtomicWrite));
+    }
+
+    #[test]
+    fn indirect_index_is_trivial() {
+        let v = verdict(
+            "__global__ void scatter(int* out, int* idx, int* val) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                out[idx[id]] = val[id];
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::IndirectIndex));
+    }
+
+    #[test]
+    fn block_invariant_write_is_overlap() {
+        // Every block writes out[threadIdx.x]: intervals overlap.
+        let v = verdict(
+            "__global__ void k(int* out) {
+                out[threadIdx.x] = 1;
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::BlockInvariantIndex));
+    }
+
+    #[test]
+    fn data_dependent_guard_is_variant() {
+        let v = verdict(
+            "__global__ void k(int* out, int* data, int t) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (data[id] == t)
+                    out[id] = 1;
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::VariantGuard));
+    }
+
+    #[test]
+    fn reversed_tail_comparison_accepted() {
+        // `n > id` is the same tail filter as `id < n`.
+        let v = verdict(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (n > id)
+                    out[id] = 1;
+            }",
+        );
+        assert!(v.meta().unwrap().tail_divergent());
+    }
+
+    #[test]
+    fn head_divergence_rejected() {
+        // True only for LARGE ids: blocks at the head diverge, which the
+        // three-phase workflow does not support.
+        let v = verdict(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id >= n)
+                    out[id] = 1;
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::VariantGuard));
+    }
+
+    #[test]
+    fn else_branch_of_tail_guard_rejected() {
+        let v = verdict(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n)
+                    out[id] = 1;
+                else
+                    out[id] = 2;
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::VariantGuard));
+    }
+
+    #[test]
+    fn variant_loop_bounds_rejected() {
+        let v = verdict(
+            "__global__ void k(int* out) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                for (int i = 0; i < threadIdx.x; i++)
+                    out[id * 32 + i] = 1;
+            }",
+        );
+        assert!(v.reasons().contains(&Reason::VariantLoopBounds));
+    }
+
+    #[test]
+    fn uniform_loop_with_affine_write_ok() {
+        // Each thread writes K consecutive elements: still distributable.
+        let v = verdict(
+            "__global__ void k(int* out, int k) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                for (int i = 0; i < k; i++)
+                    out[id * k + i] = i;
+            }",
+        );
+        assert!(v.is_distributable());
+    }
+
+    #[test]
+    fn conjunction_of_uniform_and_tail() {
+        let v = verdict(
+            "__global__ void k(int* out, int n, int enable) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (enable > 0 && id < n)
+                    out[id] = 1;
+            }",
+        );
+        let meta = v.meta().unwrap();
+        assert!(meta.tail_divergent());
+        assert_eq!(meta.sites[0].guards.len(), 2);
+        assert!(matches!(meta.sites[0].guards[0], GuardClass::Uniform));
+        assert!(matches!(meta.sites[0].guards[1], GuardClass::Tail(_)));
+    }
+
+    #[test]
+    fn multiple_buffers_collected() {
+        let v = verdict(
+            "__global__ void k(float* a, float* b, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) {
+                    a[id] = 1.0f;
+                    b[id] = 2.0f;
+                }
+            }",
+        );
+        let meta = v.meta().unwrap();
+        assert_eq!(meta.buffers.len(), 2);
+        // One deduplicated tail guard, not two.
+        assert_eq!(meta.tail_guards.len(), 1);
+    }
+
+    #[test]
+    fn no_global_writes_is_trivial() {
+        let v = verdict(
+            "__global__ void k(int* data) {
+                __shared__ int tmp[32];
+                tmp[threadIdx.x] = data[threadIdx.x];
+            }",
+        );
+        assert_eq!(v.reasons(), &[Reason::NoGlobalWrites]);
+    }
+
+    #[test]
+    fn two_d_row_partition_distributable() {
+        // 2-D grid writing row bands: affine with blockIdx.y coefficient.
+        let v = verdict(
+            "__global__ void k(float* out, int width) {
+                int x = blockIdx.x * blockDim.x + threadIdx.x;
+                int y = blockIdx.y * blockDim.y + threadIdx.y;
+                out[y * width + x] = 1.0f;
+            }",
+        );
+        assert!(v.is_distributable());
+    }
+}

@@ -1,0 +1,76 @@
+//! # cucc-analysis — compiler analyses for GPU-to-CPU-cluster migration
+//!
+//! This crate implements the compiler side of CuCC (paper §5–§6):
+//!
+//! * [`poly`] / [`affine`] — symbolic polynomial and affine-form machinery
+//!   used to reason about write indices with launch-time-unknown values;
+//! * [`variance`] — thread-/block-variance taint analysis (condition 2);
+//! * [`distributable`] — the **Allgather distributable analysis**: decides
+//!   whether a kernel's blocks can be partitioned across cluster nodes so
+//!   that a balanced in-place Allgather restores consistency, and records
+//!   the metadata of Figure 6 (`tail_divergent`, `mem_ptr`, `unit_size`);
+//! * [`plan`] — launch-time resolution of that metadata into an executable
+//!   three-phase plan (full blocks, chunk granularity, gathered regions);
+//! * [`oracle`] — a dynamic write-interval oracle that validates plans
+//!   against the formal definition of §6.1 (used by the test suite to prove
+//!   the static analysis sound);
+//! * [`simd`] — vectorizability analysis of the transformed thread loop,
+//!   driving the SIMD-Focused vs Thread-Focused performance model (§8.2).
+
+pub mod affine;
+pub mod distributable;
+pub mod oracle;
+pub mod plan;
+pub mod poly;
+pub mod simd;
+pub mod variance;
+
+pub use affine::{affine_of_expr, AffineForm, IdxVar, VarForms};
+pub use distributable::{
+    analyze_kernel, GatherBuffer, GuardClass, KernelMeta, Reason, TailGuard, Verdict, WriteSite,
+};
+pub use oracle::{verify_plan, OracleReport};
+pub use plan::{
+    full_blocks_under_guard, plan_launch, BufferRegion, Partition, Plan, ReplicationCause,
+    ThreePhasePlan,
+};
+pub use poly::{Poly, Sym};
+pub use simd::{analyze_simd, SimdClass, SimdReport};
+pub use variance::{var_variance, Variance};
+
+/// Complete compile-time analysis result for one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelAnalysis {
+    /// Allgather-distributable verdict (with metadata or fallback reasons).
+    pub verdict: Verdict,
+    /// Thread-loop vectorizability.
+    pub simd: SimdReport,
+}
+
+/// Run every CuCC analysis on a kernel.
+pub fn analyze(kernel: &cucc_ir::Kernel) -> KernelAnalysis {
+    KernelAnalysis {
+        verdict: analyze_kernel(kernel),
+        simd: analyze_simd(kernel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cucc_ir::parse_kernel;
+
+    #[test]
+    fn analyze_bundles_both_results() {
+        let k = parse_kernel(
+            "__global__ void k(float* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[id] = 1.0f;
+            }",
+        )
+        .unwrap();
+        let a = analyze(&k);
+        assert!(a.verdict.is_distributable());
+        assert_eq!(a.simd.class, SimdClass::Full);
+    }
+}

@@ -1,0 +1,621 @@
+//! Launch-time distribution planning.
+//!
+//! The static analysis ([`crate::distributable`]) works symbolically; once a
+//! concrete launch configuration and argument list are known, the planner
+//! resolves the metadata into an executable [`ThreePhasePlan`]:
+//!
+//! * tail guards are evaluated to the number of **full blocks** `F` (blocks
+//!   whose guard is true for every thread — the rest are callback blocks);
+//! * a distribution **chunk size** `G` is chosen (1 for 1-D kernels; a grid
+//!   row/plane for 2-D/3-D kernels whose per-block footprints interleave but
+//!   whose row-band footprints are dense);
+//! * a cheap **probe** (tracing three representative chunks on a scratch
+//!   memory copy) confirms that chunk footprints are dense, equal-length and
+//!   advance linearly with the chunk index — the *balanced* and *in-place*
+//!   requirements of §6. A kernel that passes the static analysis but fails
+//!   the probe falls back to replicated execution, preserving correctness.
+//!
+//! The probe is the runtime analogue of the paper's observation that
+//! "metadata values are based on symbolic analysis; thus, for programs with
+//! runtime-dependent values, CuCC can still perform the migration" (§5).
+
+use crate::affine::IdxVar;
+use crate::distributable::{TailGuard, Verdict};
+use crate::poly::Sym;
+use cucc_ir::{Axis, Kernel, LaunchConfig, ParamId, Value};
+use cucc_exec::{execute_block_traced, Arg, MemPool, WriteRecord};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The gathered byte region of one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferRegion {
+    /// Which buffer parameter.
+    pub param: ParamId,
+    /// Byte offset where chunk 0's writes begin.
+    pub base: u64,
+    /// Bytes written per chunk (the Allgather `unit_size` of Figure 6,
+    /// scaled to chunk granularity).
+    pub unit: u64,
+}
+
+/// Why a launch executes replicated instead of distributed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicationCause {
+    /// The static analysis already said trivial.
+    NotDistributable(Vec<crate::distributable::Reason>),
+    /// Tail guards leave no full blocks to distribute.
+    NoFullBlocks,
+    /// The launch-time probe found footprints that are not dense translates.
+    ProbeMismatch(String),
+    /// Probe execution itself failed (e.g. out-of-bounds).
+    ProbeError(String),
+}
+
+impl fmt::Display for ReplicationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationCause::NotDistributable(rs) => {
+                write!(f, "not Allgather distributable (")?;
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")
+            }
+            ReplicationCause::NoFullBlocks => write!(f, "no full blocks to distribute"),
+            ReplicationCause::ProbeMismatch(m) => write!(f, "probe mismatch: {m}"),
+            ReplicationCause::ProbeError(m) => write!(f, "probe failed: {m}"),
+        }
+    }
+}
+
+/// Executable distribution plan for one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Every node executes every block (trivial Allgather distribution).
+    Replicated(ReplicationCause),
+    /// The CuCC three-phase workflow applies.
+    ThreePhase(ThreePhasePlan),
+}
+
+impl Plan {
+    /// The three-phase plan, if any.
+    pub fn three_phase(&self) -> Option<&ThreePhasePlan> {
+        match self {
+            Plan::ThreePhase(p) => Some(p),
+            Plan::Replicated(_) => None,
+        }
+    }
+}
+
+/// Concrete three-phase execution geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreePhasePlan {
+    /// Total blocks in the launch.
+    pub num_blocks: u64,
+    /// Chunk granularity in blocks (consecutive linear block ids).
+    pub chunk_blocks: u64,
+    /// Number of *full* chunks eligible for phase 1.
+    pub full_chunks: u64,
+    /// Gathered regions, one per synchronized buffer.
+    pub buffers: Vec<BufferRegion>,
+}
+
+/// The per-node split of a [`ThreePhasePlan`] for an `n`-node cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Chunks assigned to each node in phase 1 (`p_size` of Figure 6, in
+    /// chunks).
+    pub chunks_per_node: u64,
+    /// Blocks each node executes in phase 1: node `i` runs linear blocks
+    /// `[i·chunks_per_node·G, (i+1)·chunks_per_node·G)`.
+    pub partial_blocks_per_node: u64,
+    /// First callback block (all blocks from here to `num_blocks` run on
+    /// every node in phase 3).
+    pub callback_start: u64,
+    /// Total number of callback blocks.
+    pub callback_blocks: u64,
+}
+
+impl ThreePhasePlan {
+    /// Split the plan across `n_nodes`, mirroring the paper's arithmetic:
+    /// `p_size = ⌊full/n⌋`, remainder and tail blocks become callbacks
+    /// (§7.2's Kmeans walk-through: 313 blocks on 16 nodes → 19 partial + 9
+    /// callback; on 32 nodes → 9 partial + 25 callback).
+    pub fn partition(&self, n_nodes: u64) -> Partition {
+        assert!(n_nodes > 0, "cluster must have at least one node");
+        let chunks_per_node = self.full_chunks / n_nodes;
+        let partial_blocks_per_node = chunks_per_node * self.chunk_blocks;
+        let callback_start = partial_blocks_per_node * n_nodes;
+        Partition {
+            chunks_per_node,
+            partial_blocks_per_node,
+            callback_start,
+            callback_blocks: self.num_blocks - callback_start,
+        }
+    }
+
+    /// Bytes each node contributes to the Allgather for an `n`-node cluster
+    /// (summed over buffers).
+    pub fn bytes_per_node(&self, n_nodes: u64) -> u64 {
+        let part = self.partition(n_nodes);
+        self.buffers
+            .iter()
+            .map(|b| b.unit * part.chunks_per_node)
+            .sum()
+    }
+}
+
+/// Evaluate polynomials under a concrete launch: scalar params from `args`,
+/// dims from `launch`.
+pub fn launch_sym_env<'a>(
+    launch: LaunchConfig,
+    args: &'a [Arg],
+) -> impl Fn(Sym) -> Option<i128> + 'a {
+    move |s: Sym| match s {
+        Sym::Param(p) => match args.get(p.index())? {
+            Arg::Scalar(Value::I64(v)) => Some(*v as i128),
+            Arg::Scalar(Value::F64(v)) => Some(*v as i128),
+            Arg::Buffer(_) => None,
+        },
+        Sym::BlockDim(a) => Some(launch.block.get(a) as i128),
+        Sym::GridDim(a) => Some(launch.grid.get(a) as i128),
+    }
+}
+
+/// Number of *full blocks* under a tail guard: blocks whose guard holds for
+/// every thread. Returns `None` when the guard structure cannot be resolved
+/// for this launch (non-linear block coefficients etc.).
+pub fn full_blocks_under_guard(
+    guard: &TailGuard,
+    launch: LaunchConfig,
+    args: &[Arg],
+) -> Option<u64> {
+    let env = launch_sym_env(launch, args);
+    let (coeffs, c0) = guard.lhs.eval_coeffs(&env)?;
+    let bound = guard.bound.eval(&env)?;
+    let total_blocks = launch.num_blocks() as i128;
+
+    // Maximum over threads of the thread-dependent part.
+    let mut max_off: i128 = 0;
+    // Linear-block coefficient: coefficients per block axis must compose a
+    // single linear unit over the linear block id (x-fastest).
+    let mut unit: Option<i128> = None;
+    let gx = launch.grid.x as i128;
+    let gy = launch.grid.y as i128;
+    for (v, c) in &coeffs {
+        match v {
+            IdxVar::Thread(a) => {
+                let extent = launch.block.get(*a) as i128;
+                if *c > 0 {
+                    max_off += c * (extent - 1);
+                }
+            }
+            IdxVar::Block(a) => {
+                let (axis_unit, active) = match a {
+                    Axis::X => (*c, launch.grid.x > 1),
+                    Axis::Y => (*c / gx, launch.grid.y > 1),
+                    Axis::Z => (*c / (gx * gy), launch.grid.z > 1),
+                };
+                if !active {
+                    continue; // axis extent 1: coefficient irrelevant
+                }
+                match a {
+                    Axis::Y if *c % gx != 0 => return None,
+                    Axis::Z if *c % (gx * gy) != 0 => return None,
+                    _ => {}
+                }
+                match unit {
+                    None => unit = Some(axis_unit),
+                    Some(u) if u == axis_unit => {}
+                    Some(_) => return None, // inconsistent per-axis units
+                }
+            }
+            IdxVar::Loop(_) => return None,
+        }
+    }
+    let Some(u) = unit else {
+        // The guard does not depend on the block index: either it holds for
+        // all threads everywhere (all blocks full) or it fails somewhere in
+        // every block (no full blocks).
+        return Some(if c0 + max_off < bound {
+            total_blocks as u64
+        } else {
+            0
+        });
+    };
+    if u <= 0 {
+        return None;
+    }
+    // Full blocks satisfy c0 + u·b + max_off < bound  ⇔  b < K/u.
+    let k = bound - c0 - max_off;
+    let full = if k <= 0 { 0 } else { (k + u - 1) / u };
+    Some(full.clamp(0, total_blocks) as u64)
+}
+
+/// Aggregate a write trace into per-buffer sorted, coalesced byte intervals.
+fn coalesce(trace: &[WriteRecord]) -> BTreeMap<u32, Vec<(u64, u64)>> {
+    let mut per_buf: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    for w in trace {
+        per_buf
+            .entry(w.param)
+            .or_default()
+            .push((w.byte_off, w.byte_off + w.bytes as u64));
+    }
+    for ranges in per_buf.values_mut() {
+        ranges.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for &(s, e) in ranges.iter() {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        *ranges = out;
+    }
+    per_buf
+}
+
+/// Trace one chunk (blocks `[chunk·g, (chunk+1)·g)`) on scratch memory and
+/// return its coalesced per-buffer write intervals.
+fn trace_chunk(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    chunk: u64,
+    g: u64,
+    args: &[Arg],
+    scratch: &mut MemPool,
+) -> Result<BTreeMap<u32, Vec<(u64, u64)>>, String> {
+    let mut trace = Vec::new();
+    for b in chunk * g..(chunk + 1) * g {
+        execute_block_traced(kernel, launch, b, args, scratch, &mut trace)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(coalesce(&trace))
+}
+
+/// Check a chunk trace is a single dense interval per gathered buffer and
+/// return `(base, len)` per buffer.
+fn dense_footprint(
+    intervals: &BTreeMap<u32, Vec<(u64, u64)>>,
+    buffers: &[crate::distributable::GatherBuffer],
+) -> Result<BTreeMap<u32, (u64, u64)>, String> {
+    let mut out = BTreeMap::new();
+    for (param, ranges) in intervals {
+        if !buffers.iter().any(|b| b.param.0 == *param) {
+            return Err(format!("write to unexpected buffer p{param}"));
+        }
+        match ranges.as_slice() {
+            [] => {}
+            [(s, e)] => {
+                out.insert(*param, (*s, e - s));
+            }
+            more => {
+                return Err(format!(
+                    "buffer p{param} footprint has {} disjoint intervals (not dense)",
+                    more.len()
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Build the launch-time plan. See the module docs for the algorithm.
+pub fn plan_launch(
+    kernel: &Kernel,
+    verdict: &Verdict,
+    launch: LaunchConfig,
+    args: &[Arg],
+    pool: &MemPool,
+) -> Plan {
+    let meta = match verdict {
+        Verdict::Distributable(m) => m,
+        Verdict::Trivial(rs) => {
+            return Plan::Replicated(ReplicationCause::NotDistributable(rs.clone()))
+        }
+    };
+    let num_blocks = launch.num_blocks();
+    // Resolve tail guards to the full-block count.
+    let mut full_blocks = num_blocks;
+    for g in &meta.tail_guards {
+        match full_blocks_under_guard(g, launch, args) {
+            Some(f) => full_blocks = full_blocks.min(f),
+            None => {
+                return Plan::Replicated(ReplicationCause::ProbeMismatch(
+                    "tail guard not resolvable for this launch".into(),
+                ))
+            }
+        }
+    }
+    if full_blocks == 0 {
+        return Plan::Replicated(ReplicationCause::NoFullBlocks);
+    }
+
+    // Candidate chunk granularities: single block, grid row, grid plane.
+    let gx = launch.grid.x as u64;
+    let gxy = gx * launch.grid.y as u64;
+    let mut candidates = vec![1u64];
+    if launch.grid.y > 1 {
+        candidates.push(gx);
+    }
+    if launch.grid.z > 1 {
+        candidates.push(gxy);
+    }
+
+    let mut scratch = pool.clone();
+    let mut last_err = String::new();
+    'cand: for g in candidates {
+        let full_chunks = full_blocks / g;
+        if full_chunks == 0 {
+            continue;
+        }
+        // Probe chunks 0, middle and last-full.
+        let mut probes = vec![0u64];
+        if full_chunks > 2 {
+            probes.push(full_chunks / 2);
+        }
+        if full_chunks > 1 {
+            probes.push(full_chunks - 1);
+        }
+        let mut baseline: Option<BTreeMap<u32, (u64, u64)>> = None;
+        for &chunk in &probes {
+            let intervals = match trace_chunk(kernel, launch, chunk, g, args, &mut scratch) {
+                Ok(iv) => iv,
+                Err(e) => return Plan::Replicated(ReplicationCause::ProbeError(e)),
+            };
+            let fp = match dense_footprint(&intervals, &meta.buffers) {
+                Ok(fp) => fp,
+                Err(e) => {
+                    last_err = e;
+                    continue 'cand;
+                }
+            };
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(base) => {
+                    // Same buffers, same lengths, base advanced by chunk·unit.
+                    if fp.len() != base.len() {
+                        last_err = "chunks write different buffer sets".into();
+                        continue 'cand;
+                    }
+                    for (param, (b0, u0)) in base {
+                        let Some((bc, uc)) = fp.get(param) else {
+                            last_err = format!("buffer p{param} missing in probe chunk");
+                            continue 'cand;
+                        };
+                        if uc != u0 || *bc != b0 + chunk * u0 {
+                            last_err = format!(
+                                "buffer p{param}: chunk {chunk} footprint ({bc},{uc}) is not \
+                                 a translate of chunk 0 ({b0},{u0})"
+                            );
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(base) = baseline else { continue };
+        let buffers: Vec<BufferRegion> = base
+            .into_iter()
+            .map(|(param, (b, u))| BufferRegion {
+                param: ParamId(param),
+                base: b,
+                unit: u,
+            })
+            .collect();
+        if buffers.is_empty() {
+            last_err = "probe chunks wrote nothing".into();
+            continue;
+        }
+        return Plan::ThreePhase(ThreePhasePlan {
+            num_blocks,
+            chunk_blocks: g,
+            full_chunks,
+            buffers,
+        });
+    }
+    Plan::Replicated(ReplicationCause::ProbeMismatch(last_err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributable::analyze_kernel;
+    use cucc_ir::parse_kernel;
+    use cucc_ir::Scalar;
+
+    fn plan_for(
+        src: &str,
+        launch: LaunchConfig,
+        mk_args: impl Fn(&mut MemPool) -> Vec<Arg>,
+    ) -> Plan {
+        let k = parse_kernel(src).unwrap();
+        cucc_ir::validate(&k).unwrap();
+        let verdict = analyze_kernel(&k);
+        let mut pool = MemPool::new();
+        let args = mk_args(&mut pool);
+        plan_launch(&k, &verdict, launch, &args, &pool)
+    }
+
+    const LISTING1: &str = "__global__ void vec_copy(char* src, char* dest, int n) {
+        int id = blockDim.x * blockIdx.x + threadIdx.x;
+        if (id < n)
+            dest[id] = src[id];
+    }";
+
+    #[test]
+    fn listing1_plan_matches_paper_figure5() {
+        // N = 1200, block 256 → 5 blocks; block 4 is the callback block.
+        let plan = plan_for(LISTING1, LaunchConfig::cover1(1200, 256), |p| {
+            let src = p.alloc(1200);
+            let dest = p.alloc(1200);
+            vec![Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1200)]
+        });
+        let tp = plan.three_phase().expect("three-phase plan");
+        assert_eq!(tp.num_blocks, 5);
+        assert_eq!(tp.chunk_blocks, 1);
+        assert_eq!(tp.full_chunks, 4);
+        assert_eq!(tp.buffers.len(), 1);
+        assert_eq!(tp.buffers[0].base, 0);
+        assert_eq!(tp.buffers[0].unit, 256);
+        // Two-node partition (Figure 5): blocks {0,1} on node 0, {2,3} on
+        // node 1, block 4 callback.
+        let part = tp.partition(2);
+        assert_eq!(part.partial_blocks_per_node, 2);
+        assert_eq!(part.callback_start, 4);
+        assert_eq!(part.callback_blocks, 1);
+        assert_eq!(tp.bytes_per_node(2), 512);
+    }
+
+    #[test]
+    fn kmeans_block_arithmetic_from_paper() {
+        // §7.2: 313 blocks; on 16 nodes → 19 partial blocks/node and 9
+        // callbacks; on 32 nodes → 9 partial and 25 callbacks.
+        let n: u64 = 80_000; // 313 blocks of 256 threads, tail block partial
+        let src = "__global__ void member(float* assign, int n) {
+            int id = blockDim.x * blockIdx.x + threadIdx.x;
+            if (id < n)
+                assign[id] = 1.0f;
+        }";
+        let plan = plan_for(src, LaunchConfig::cover1(n, 256), |p| {
+            let a = p.alloc_elems(Scalar::F32, n as usize);
+            vec![Arg::Buffer(a), Arg::int(n as i64)]
+        });
+        let tp = plan.three_phase().unwrap();
+        assert_eq!(tp.num_blocks, 313);
+        assert_eq!(tp.full_chunks, 312);
+        let p16 = tp.partition(16);
+        assert_eq!(p16.partial_blocks_per_node, 19);
+        assert_eq!(p16.callback_blocks, 9);
+        let p32 = tp.partition(32);
+        assert_eq!(p32.partial_blocks_per_node, 9);
+        assert_eq!(p32.callback_blocks, 25);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_callbacks_on_divisor() {
+        let plan = plan_for(LISTING1, LaunchConfig::cover1(1024, 256), |p| {
+            let src = p.alloc(1024);
+            let dest = p.alloc(1024);
+            vec![Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1024)]
+        });
+        let tp = plan.three_phase().unwrap();
+        assert_eq!(tp.full_chunks, 4);
+        let part = tp.partition(4);
+        assert_eq!(part.callback_blocks, 0);
+        assert_eq!(part.partial_blocks_per_node, 1);
+    }
+
+    #[test]
+    fn two_d_kernel_plans_row_chunks() {
+        // 2-D grid: per-block footprints interleave, but a row of blocks is
+        // dense — the planner must pick chunk = gridDim.x.
+        let src = "__global__ void k(float* out, int width) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y * blockDim.y + threadIdx.y;
+            out[y * width + x] = 1.0f;
+        }";
+        let width = 128u32;
+        let launch = LaunchConfig::new((8u32, 8u32), (16u32, 16u32));
+        let plan = plan_for(src, launch, |p| {
+            let out = p.alloc_elems(Scalar::F32, (width * width) as usize);
+            vec![Arg::Buffer(out), Arg::int(width as i64)]
+        });
+        let tp = plan.three_phase().unwrap();
+        assert_eq!(tp.chunk_blocks, 8);
+        assert_eq!(tp.full_chunks, 8);
+        assert_eq!(tp.buffers[0].unit, (width * 16 * 4) as u64); // 16 rows of f32
+        let part = tp.partition(4);
+        assert_eq!(part.chunks_per_node, 2);
+        assert_eq!(part.callback_blocks, 0);
+    }
+
+    #[test]
+    fn per_block_scalar_write_unit_is_one_element() {
+        let src = "__global__ void k(float* out) {
+            float acc = 2.0f;
+            if (threadIdx.x == 0)
+                out[blockIdx.x] = acc;
+        }";
+        let plan = plan_for(src, LaunchConfig::new(64u32, 128u32), |p| {
+            let out = p.alloc_elems(Scalar::F32, 64);
+            vec![Arg::Buffer(out)]
+        });
+        let tp = plan.three_phase().unwrap();
+        assert_eq!(tp.buffers[0].unit, 4);
+        assert_eq!(tp.full_chunks, 64);
+    }
+
+    #[test]
+    fn strided_write_fails_probe_and_replicates() {
+        // Dense per thread but strided per block: footprints interleave and
+        // no chunk granularity fixes it.
+        let src = "__global__ void k(int* out) {
+            out[threadIdx.x * gridDim.x + blockIdx.x] = 1;
+        }";
+        let plan = plan_for(src, LaunchConfig::new(4u32, 8u32), |p| {
+            let out = p.alloc_elems(Scalar::I32, 32);
+            vec![Arg::Buffer(out)]
+        });
+        assert!(matches!(
+            plan,
+            Plan::Replicated(ReplicationCause::ProbeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_bound_leaves_no_full_blocks() {
+        let plan = plan_for(LISTING1, LaunchConfig::cover1(1200, 256), |p| {
+            let src = p.alloc(1200);
+            let dest = p.alloc(1200);
+            vec![Arg::Buffer(src), Arg::Buffer(dest), Arg::int(100)]
+        });
+        assert!(matches!(
+            plan,
+            Plan::Replicated(ReplicationCause::NoFullBlocks)
+        ));
+    }
+
+    #[test]
+    fn partition_invariant_blocks_conserved() {
+        let plan = plan_for(LISTING1, LaunchConfig::cover1(100_000, 256), |p| {
+            let src = p.alloc(100_000);
+            let dest = p.alloc(100_000);
+            vec![Arg::Buffer(src), Arg::Buffer(dest), Arg::int(100_000)]
+        });
+        let tp = plan.three_phase().unwrap();
+        for n in [1u64, 2, 3, 4, 7, 16, 32] {
+            let part = tp.partition(n);
+            assert_eq!(
+                part.partial_blocks_per_node * n + part.callback_blocks,
+                tp.num_blocks,
+                "blocks conserved for n={n}"
+            );
+            assert!(part.callback_start <= tp.num_blocks);
+        }
+    }
+
+    #[test]
+    fn replicated_for_trivial_verdict() {
+        let plan = plan_for(
+            "__global__ void hist(int* bins, int* data) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                atomicAdd(&bins[data[id] % 8], 1);
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            |p| {
+                let bins = p.alloc_elems(Scalar::I32, 8);
+                let data = p.alloc_elems(Scalar::I32, 128);
+                vec![Arg::Buffer(bins), Arg::Buffer(data)]
+            },
+        );
+        assert!(matches!(
+            plan,
+            Plan::Replicated(ReplicationCause::NotDistributable(_))
+        ));
+    }
+}

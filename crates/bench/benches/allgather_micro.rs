@@ -1,0 +1,61 @@
+//! §2.3 microbenchmark — Allgather placement and balance.
+//!
+//! The design-space observation CuCC is built on: **balanced in-place**
+//! Allgather consistently wins over out-of-place and imbalanced variants,
+//! which is why the three-phase workflow is engineered to make balanced
+//! in-place gathering legal.
+
+use cucc_bench::{banner, fmt_time};
+use cucc_net::{allgather, AllgatherAlgo, AllgatherPlacement, NetModel};
+
+fn run(n: usize, sizes: &[u64], placement: AllgatherPlacement) -> f64 {
+    let total: u64 = sizes.iter().sum();
+    let mut regions: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; total as usize]).collect();
+    let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+    allgather(
+        &mut views,
+        sizes,
+        &NetModel::infiniband_100g(),
+        AllgatherAlgo::Ring,
+        placement,
+    )
+    .time
+}
+
+fn main() {
+    banner("§2.3 micro", "Allgather placement × balance (ring, 100 Gb/s IB)");
+    for (nodes, total_mb) in [(2usize, 64u64), (8, 64), (8, 256), (32, 64)] {
+        let total = total_mb << 20;
+        let balanced: Vec<u64> = vec![total / nodes as u64; nodes];
+        // Imbalanced: segment sizes proportional to rank+1 (the paper's
+        // 2-node N/4 vs 3N/4 example generalized), same total.
+        let weight_sum: u64 = (1..=nodes as u64).sum();
+        let mut imbalanced: Vec<u64> = (1..=nodes as u64)
+            .map(|w| total * w / weight_sum)
+            .collect();
+        let assigned: u64 = imbalanced.iter().sum();
+        imbalanced[nodes - 1] += total - assigned;
+
+        println!("\n{nodes} nodes, {total_mb} MiB total:");
+        let mut rows = Vec::new();
+        for (balance_name, sizes) in [("balanced", &balanced), ("imbalanced", &imbalanced)] {
+            for (place_name, placement) in [
+                ("in-place", AllgatherPlacement::InPlace),
+                ("out-of-place", AllgatherPlacement::OutOfPlace),
+            ] {
+                let t = run(nodes, sizes, placement);
+                rows.push((format!("{balance_name:>10} {place_name:<12}"), t));
+            }
+        }
+        let best = rows
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        for (name, t) in rows {
+            let marker = if t == best { "  ← fastest" } else { "" };
+            println!("  {name} {:>12}{marker}", fmt_time(t));
+        }
+    }
+    println!("\npaper: \"balanced-in-place Allgather consistently achieves the");
+    println!("highest performance\" — CuCC uses it exclusively");
+}

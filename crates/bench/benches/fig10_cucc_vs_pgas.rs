@@ -1,0 +1,49 @@
+//! Figure 10 — CuCC and PGAS solution runtime comparison.
+//!
+//! Relative runtime (PGAS / CuCC) per benchmark and cluster size on the
+//! SIMD-Focused cluster. Paper headline: excluding the Transpose outlier,
+//! CuCC is 4.09× faster on 2 nodes and 12.81× on 32 nodes; GA and
+//! BinomialOption are close to parity because they write so little.
+
+use cucc_bench::{banner, cucc_report, geomean, pgas_report};
+use cucc_cluster::ClusterSpec;
+use cucc_workloads::{perf_suite, Scale};
+
+fn main() {
+    banner("Figure 10", "PGAS runtime / CuCC runtime (SIMD-Focused cluster)");
+    let node_counts = [2u32, 4, 8, 16, 32];
+    print!("{:<16}", "benchmark");
+    for n in node_counts {
+        print!(" {:>9}", format!("{n} nodes"));
+    }
+    println!();
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); node_counts.len()];
+    let mut per_size_no_transpose: Vec<Vec<f64>> = vec![Vec::new(); node_counts.len()];
+    for bench in perf_suite(Scale::Paper) {
+        print!("{:<16}", bench.name());
+        for (i, &n) in node_counts.iter().enumerate() {
+            let spec = ClusterSpec::simd_focused().with_nodes(n);
+            let pg = pgas_report(bench.as_ref(), spec.clone()).time();
+            let cc = cucc_report(bench.as_ref(), spec).time();
+            let ratio = pg / cc;
+            per_size[i].push(ratio);
+            if bench.name() != "Transpose" {
+                per_size_no_transpose[i].push(ratio);
+            }
+            print!(" {:>8.2}x", ratio);
+        }
+        println!();
+    }
+    print!("{:<16}", "geomean");
+    for ratios in &per_size {
+        print!(" {:>8.2}x", geomean(ratios));
+    }
+    println!();
+    print!("{:<16}", "… w/o Transpose");
+    for ratios in &per_size_no_transpose {
+        print!(" {:>8.2}x", geomean(ratios));
+    }
+    println!();
+    println!("\npaper (excluding the Transpose outlier): 4.09x at 2 nodes,");
+    println!("12.81x at 32 nodes; GA and BinomialOption near parity");
+}

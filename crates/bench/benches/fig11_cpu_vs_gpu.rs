@@ -1,0 +1,60 @@
+//! Figure 11 — Runtime comparison between CPU clusters and GPUs.
+//!
+//! Best CPU-cluster runtime (across cluster sizes) per benchmark vs the
+//! V100 and A100 roofline times. Paper headlines: geomean SIMD-Focused
+//! 2.55×/4.14× slower than V100/A100; Thread-Focused 1.57×/2.54×; Transpose
+//! *faster* on CPUs than on both GPUs; EP and GA 5–10× slower.
+
+use cucc_bench::{banner, best_cucc, fmt_time, geomean, gpu_time};
+use cucc_cluster::ClusterSpec;
+use cucc_gpu_model::GpuSpec;
+use cucc_workloads::{perf_suite, Scale};
+
+fn main() {
+    banner("Figure 11", "best CPU-cluster runtime vs V100/A100");
+    println!(
+        "{:<16} {:>11} {:>11} {:>14} {:>14} {:>9} {:>9}",
+        "benchmark", "V100", "A100", "SIMD (best n)", "Thread (best n)", "S/V100", "T/V100"
+    );
+    let mut simd_vs_v100 = Vec::new();
+    let mut simd_vs_a100 = Vec::new();
+    let mut thread_vs_v100 = Vec::new();
+    let mut thread_vs_a100 = Vec::new();
+    for bench in perf_suite(Scale::Paper) {
+        let v100 = gpu_time(bench.as_ref(), GpuSpec::v100());
+        let a100 = gpu_time(bench.as_ref(), GpuSpec::a100());
+        let (sn, simd) = best_cucc(
+            bench.as_ref(),
+            ClusterSpec::simd_focused(),
+            &[1, 2, 4, 8, 16, 32],
+        );
+        let (tn, thread) = best_cucc(bench.as_ref(), ClusterSpec::thread_focused(), &[1, 2, 4]);
+        simd_vs_v100.push(simd / v100);
+        simd_vs_a100.push(simd / a100);
+        thread_vs_v100.push(thread / v100);
+        thread_vs_a100.push(thread / a100);
+        println!(
+            "{:<16} {:>11} {:>11} {:>10} ({:>2}) {:>10} ({:>2}) {:>8.2}x {:>8.2}x",
+            bench.name(),
+            fmt_time(v100),
+            fmt_time(a100),
+            fmt_time(simd),
+            sn,
+            fmt_time(thread),
+            tn,
+            simd / v100,
+            thread / v100
+        );
+    }
+    println!("\ngeomean slowdowns (CPU time / GPU time — >1 means GPU faster):");
+    println!(
+        "  SIMD-Focused : {:.2}x vs V100, {:.2}x vs A100   (paper: 2.55x / 4.14x)",
+        geomean(&simd_vs_v100),
+        geomean(&simd_vs_a100)
+    );
+    println!(
+        "  Thread-Focused: {:.2}x vs V100, {:.2}x vs A100   (paper: 1.57x / 2.54x)",
+        geomean(&thread_vs_v100),
+        geomean(&thread_vs_a100)
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 12 — Throughput provided by GPUs and GPUs+CPUs on a
+//! Lonestar6-shaped datacenter (560 CPU nodes, 16 GPU nodes × 3 A100).
+//!
+//! Paper headlines: adding the CPU fleet improves batch throughput 3.59×
+//! on average; the CPU fleet alone provides 2.59× the GPUs' throughput.
+
+use cucc_bench::{banner, best_cucc, gpu_time};
+use cucc_cluster::ClusterSpec;
+use cucc_gpu_model::GpuSpec;
+use cucc_slurm::Datacenter;
+use cucc_workloads::{perf_suite, Scale};
+
+fn main() {
+    banner("Figure 12", "cluster-wide batch throughput, GPUs vs GPUs+CPUs");
+    let dc = Datacenter::lonestar6();
+    println!(
+        "inventory: {} CPU nodes (Thread-Focused class), {} GPUs (A100)\n",
+        dc.cpu_nodes,
+        dc.total_gpus()
+    );
+    println!(
+        "{:<16} {:>12} {:>16} {:>14} {:>14} {:>9} {:>9}",
+        "benchmark", "gpu t", "cpu t (best n)", "gpu-only /s", "gpu+cpu /s", "cpu/gpu", "ratio"
+    );
+    let mut improvements = Vec::new();
+    let mut cpu_only_ratios = Vec::new();
+    for bench in perf_suite(Scale::Paper) {
+        let gt = gpu_time(bench.as_ref(), GpuSpec::a100());
+        let (bn, ct) = best_cucc(bench.as_ref(), ClusterSpec::thread_focused(), &[1, 2, 4, 8]);
+        let gpu_only = dc.gpu_throughput(gt);
+        let cpu_only = dc.cpu_throughput(bn, ct);
+        let combined = gpu_only + cpu_only;
+        improvements.push(combined / gpu_only);
+        cpu_only_ratios.push(cpu_only / gpu_only);
+        println!(
+            "{:<16} {:>9.2} ms {:>11.2} ms ({}) {:>14.1} {:>14.1} {:>8.2}x {:>8.2}x",
+            bench.name(),
+            gt * 1e3,
+            ct * 1e3,
+            bn,
+            gpu_only,
+            combined,
+            cpu_only / gpu_only,
+            combined / gpu_only
+        );
+    }
+    let avg_imp = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let avg_cpu = cpu_only_ratios.iter().sum::<f64>() / cpu_only_ratios.len() as f64;
+    println!(
+        "\naverage: CPUs add {:.2}x the GPUs' throughput → combined {:.2}x",
+        avg_cpu, avg_imp
+    );
+    println!("paper: CPUs alone 2.59x; combined 3.59x");
+}

@@ -1,0 +1,87 @@
+//! Figure 13 + §8.2 — Runtime in SIMD-Focused vs Thread-Focused clusters
+//! at **equalized peak capacity** (the EPYC node capped at 64 cores:
+//! 4.096 TF vs the Xeon's 4.147 TF), plus the SIMD-disabled ablation.
+//!
+//! Paper headlines: Thread-Focused 4.61×/4.66×/4.32× faster at 1/2/4
+//! nodes (geomean); BinomialOption 55× on a single node; Transpose only
+//! 1.3×; disabling SIMD slows the SIMD-Focused CPU 61.66× on Transpose but
+//! leaves the Thread-Focused CPU unchanged.
+
+use cucc_bench::{banner, cucc_report, fmt_time, geomean};
+use cucc_cluster::ClusterSpec;
+use cucc_workloads::{perf_suite, Benchmark, Scale};
+
+fn capped_thread() -> ClusterSpec {
+    let mut spec = ClusterSpec::thread_focused();
+    spec.cpu = spec.cpu.with_cores(64);
+    spec
+}
+
+fn main() {
+    banner(
+        "Figure 13",
+        "SIMD-Focused vs Thread-Focused (64-core cap) runtime",
+    );
+    let node_counts = [1u32, 2, 4];
+    println!(
+        "{:<16} {}",
+        "benchmark",
+        node_counts
+            .iter()
+            .map(|n| format!("{:>24}", format!("{n} node(s): simd/thread")))
+            .collect::<String>()
+    );
+    let mut ratios_per_n: Vec<Vec<f64>> = vec![Vec::new(); node_counts.len()];
+    let mut single_node: Vec<(String, f64)> = Vec::new();
+    for bench in perf_suite(Scale::Paper) {
+        print!("{:<16}", bench.name());
+        for (i, &n) in node_counts.iter().enumerate() {
+            let simd = cucc_report(bench.as_ref(), ClusterSpec::simd_focused().with_nodes(n));
+            let thread = cucc_report(bench.as_ref(), capped_thread().with_nodes(n));
+            let ratio = simd.time() / thread.time();
+            ratios_per_n[i].push(ratio);
+            if i == 0 {
+                single_node.push((bench.name().to_string(), ratio));
+            }
+            print!("{:>17.2}x       ", ratio);
+        }
+        println!();
+    }
+    print!("{:<16}", "geomean");
+    for ratios in &ratios_per_n {
+        print!("{:>17.2}x       ", geomean(ratios));
+    }
+    println!("\n(paper geomeans: 4.61x / 4.66x / 4.32x)");
+
+    let bo = single_node.iter().find(|(n, _)| n == "BinomialOption").unwrap();
+    let tr = single_node.iter().find(|(n, _)| n == "Transpose").unwrap();
+    println!(
+        "\nsingle-node extremes: BinomialOption {:.1}x (paper 55x), Transpose {:.2}x (paper 1.3x)",
+        bo.1, tr.1
+    );
+
+    // ---- §8.2 ablation: disable SIMD on both CPUs, Transpose only ----
+    banner("§8.2 ablation", "Transpose with SIMD execution disabled");
+    let transpose: Box<dyn Benchmark> = Box::new(cucc_workloads::perf::Transpose::new(Scale::Paper));
+    let mut simd_off = ClusterSpec::simd_focused().with_nodes(1);
+    simd_off.cpu = simd_off.cpu.without_simd();
+    let mut thread_off = capped_thread().with_nodes(1);
+    thread_off.cpu = thread_off.cpu.without_simd();
+
+    let s_on = cucc_report(transpose.as_ref(), ClusterSpec::simd_focused().with_nodes(1)).time();
+    let s_off = cucc_report(transpose.as_ref(), simd_off).time();
+    let t_on = cucc_report(transpose.as_ref(), capped_thread().with_nodes(1)).time();
+    let t_off = cucc_report(transpose.as_ref(), thread_off).time();
+    println!(
+        "  SIMD-Focused : {} → {}  ({:.2}x slowdown; paper 61.66x)",
+        fmt_time(s_on),
+        fmt_time(s_off),
+        s_off / s_on
+    );
+    println!(
+        "  Thread-Focused: {} → {}  ({:.2}x slowdown; paper ~1x)",
+        fmt_time(t_on),
+        fmt_time(t_off),
+        t_off / t_on
+    );
+}

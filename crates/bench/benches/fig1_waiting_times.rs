@@ -1,0 +1,75 @@
+//! Figure 1 — Waiting times for CPU and GPU partitions.
+//!
+//! Reproduces the paper's motivation study: one simulated week of job
+//! arrivals on four CPU and four GPU partitions of a PACE-like machine.
+//! GPU partitions run near saturation (demand outstrips the few GPU
+//! nodes), CPU partitions at moderate load — FIFO queueing then yields
+//! waits of hours vs minutes.
+
+use cucc_bench::banner;
+use cucc_slurm::sim::{mean_wait, median_wait, simulate_fifo, Partition, PartitionKind};
+use cucc_slurm::{simulate_backfill, synthetic_week, TraceParams};
+
+fn main() {
+    banner("Figure 1", "Waiting times for CPU and GPU partitions (1 simulated week)");
+    let partitions = [
+        ("cpu-small", 256u32, PartitionKind::Cpu),
+        ("cpu-medium", 128, PartitionKind::Cpu),
+        ("cpu-large", 64, PartitionKind::Cpu),
+        ("cpu-himem", 32, PartitionKind::Cpu),
+        ("gpu-v100", 12, PartitionKind::Gpu),
+        ("gpu-a100", 8, PartitionKind::Gpu),
+        ("gpu-a100-mig", 6, PartitionKind::Gpu),
+        ("gpu-h100", 4, PartitionKind::Gpu),
+    ];
+    println!(
+        "{:<14} {:>6} {:>6} {:>14} {:>14} {:>14} {:>7}",
+        "partition", "kind", "nodes", "mean wait", "median wait", "w/ backfill", "jobs"
+    );
+    let mut cpu_means = Vec::new();
+    let mut gpu_means = Vec::new();
+    for (i, (name, nodes, kind)) in partitions.iter().enumerate() {
+        let params = match kind {
+            PartitionKind::Cpu => TraceParams::cpu_partition(*nodes, i as u64 + 1),
+            PartitionKind::Gpu => TraceParams::gpu_partition(*nodes, i as u64 + 1),
+        };
+        let jobs = synthetic_week(&params);
+        let part = Partition {
+            name: name.to_string(),
+            nodes: *nodes,
+            kind: *kind,
+        };
+        let outcomes = simulate_fifo(&part, &jobs);
+        let mean = mean_wait(&outcomes);
+        let median = median_wait(&outcomes);
+        let bf_mean = mean_wait(&simulate_backfill(&part, &jobs));
+        match kind {
+            PartitionKind::Cpu => cpu_means.push(mean),
+            PartitionKind::Gpu => gpu_means.push(mean),
+        }
+        println!(
+            "{:<14} {:>6} {:>6} {:>11.1} min {:>11.1} min {:>11.1} min {:>7}",
+            name,
+            match kind {
+                PartitionKind::Cpu => "CPU",
+                PartitionKind::Gpu => "GPU",
+            },
+            nodes,
+            mean / 60.0,
+            median / 60.0,
+            bf_mean / 60.0,
+            outcomes.len()
+        );
+    }
+    let cpu_avg = cpu_means.iter().sum::<f64>() / cpu_means.len() as f64;
+    let gpu_avg = gpu_means.iter().sum::<f64>() / gpu_means.len() as f64;
+    println!(
+        "\naverage wait: CPU partitions {:.1} min, GPU partitions {:.1} min ({:.0}x longer)",
+        cpu_avg / 60.0,
+        gpu_avg / 60.0,
+        gpu_avg / cpu_avg.max(1.0)
+    );
+    println!("paper: CPU partitions wait significantly shorter than GPU partitions");
+    println!("(the backfill column shows the gap persists even under EASY backfill:");
+    println!(" GPU waiting is capacity saturation, not head-of-line blocking)");
+}

@@ -1,0 +1,43 @@
+//! Figure 4 — Performance of CPU cluster migration using PGAS.
+//!
+//! The paper's negative result: migrating the benchmarks with a UPC++-style
+//! PGAS solution (fine-grained remote puts) yields poor scalability, and
+//! memory-movement kernels get *slower* than single-node execution as soon
+//! as remote traffic appears.
+
+use cucc_bench::{banner, fmt_time, pgas_report};
+use cucc_cluster::ClusterSpec;
+use cucc_workloads::{perf_suite, Scale};
+
+fn main() {
+    banner(
+        "Figure 4",
+        "PGAS migration on the SIMD-Focused cluster (speedup over 1 node)",
+    );
+    let node_counts = [1u32, 2, 4, 8, 16, 32];
+    print!("{:<16} {:>12}", "benchmark", "t(1 node)");
+    for n in &node_counts[1..] {
+        print!(" {:>8}", format!("x{n}"));
+    }
+    println!();
+    let mut slowdowns = 0;
+    for bench in perf_suite(Scale::Paper) {
+        let t1 = pgas_report(bench.as_ref(), ClusterSpec::simd_focused().with_nodes(1)).time();
+        print!("{:<16} {:>12}", bench.name(), fmt_time(t1));
+        for &n in &node_counts[1..] {
+            let t = pgas_report(bench.as_ref(), ClusterSpec::simd_focused().with_nodes(n)).time();
+            let s = t1 / t;
+            if s < 1.0 {
+                slowdowns += 1;
+            }
+            print!(" {:>7.2}x", s);
+        }
+        println!();
+    }
+    println!(
+        "\n{} of the multi-node configurations are SLOWER than single-node."
+        , slowdowns
+    );
+    println!("paper: \"most GPU programs do not achieve high scalability, and some");
+    println!("even slow down when scaled to distributed nodes\"");
+}

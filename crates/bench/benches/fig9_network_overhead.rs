@@ -1,0 +1,30 @@
+//! Figure 9 — Network overhead in the SIMD-Focused cluster.
+//!
+//! Communication share of total runtime, per benchmark and cluster size.
+//! Expected shape: negligible for compute-heavy kernels (FIR,
+//! BinomialOption), dominant for memory-movement kernels (Transpose) at
+//! scale — the reason Transpose stops scaling in Figure 8.
+
+use cucc_bench::{banner, cucc_report};
+use cucc_cluster::ClusterSpec;
+use cucc_workloads::{perf_suite, Scale};
+
+fn main() {
+    banner("Figure 9", "communication share of runtime (SIMD-Focused)");
+    let node_counts = [2u32, 4, 8, 16, 32];
+    print!("{:<16}", "benchmark");
+    for n in node_counts {
+        print!(" {:>8}", format!("{n} nodes"));
+    }
+    println!();
+    for bench in perf_suite(Scale::Paper) {
+        print!("{:<16}", bench.name());
+        for n in node_counts {
+            let r = cucc_report(bench.as_ref(), ClusterSpec::simd_focused().with_nodes(n));
+            print!(" {:>7.1}%", r.times.comm_fraction() * 100.0);
+        }
+        println!();
+    }
+    println!("\npaper: Transpose communication-bound at scale; FIR/BinomialOption");
+    println!("communication negligible relative to computation");
+}

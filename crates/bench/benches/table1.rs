@@ -1,0 +1,34 @@
+//! Table 1 — Cluster Specifications.
+
+use cucc_bench::banner;
+use cucc_cluster::table1_rows;
+use cucc_gpu_model::GpuSpec;
+
+fn main() {
+    banner("Table 1", "Cluster Specifications");
+    println!(
+        "{:<15} {:>5}  {:<22} {:>5} {:>9} {:>12}  {:<12}",
+        "Name", "Nodes", "Single Node Config.", "Year", "Cores/SMs", "FLOPs (Tera)", "Network"
+    );
+    for (name, nodes, config, year, cores, tflops, net) in table1_rows() {
+        println!(
+            "{:<15} {:>5}  {:<22} {:>5} {:>9} {:>12.2}  {:<12}",
+            name, nodes, config, year, cores, tflops, net
+        );
+    }
+    for gpu in [GpuSpec::a100(), GpuSpec::v100()] {
+        println!(
+            "{:<15} {:>5}  {:<22} {:>5} {:>9} {:>12.2}  {:<12}",
+            format!("{} GPU", gpu.name.trim_start_matches("NVIDIA ")),
+            1,
+            gpu.name,
+            gpu.year,
+            gpu.sms,
+            gpu.peak_flops / 1e12,
+            "N/A"
+        );
+    }
+    println!("\npaper Table 1: SIMD-Focused 32 nodes / 24 cores / 4.15 TF;");
+    println!("               Thread-Focused 4 nodes / 128 cores / 8.19 TF;");
+    println!("               A100 108 SMs / 19.5 TF; V100 80 SMs / 15.7 TF");
+}

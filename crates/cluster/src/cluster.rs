@@ -1,0 +1,312 @@
+//! The simulated CPU cluster: distributed node memories and parallel
+//! functional execution.
+//!
+//! Each node owns a genuinely separate [`MemPool`] — there is no shared
+//! memory between nodes, exactly like the paper's distributed memory model
+//! (§2.1.2). Any consistency the runtime achieves must be achieved by the
+//! collectives in `cucc-net` really copying bytes between pools, which is
+//! what makes the end-to-end correctness tests meaningful.
+//!
+//! Functional block execution is multithreaded with scoped threads: one OS
+//! thread per simulated node (safe because pools are disjoint).
+
+use crate::specs::ClusterSpec;
+use cucc_exec::{execute_block, Arg, BlockStats, BufferId, ExecError, MemPool};
+use cucc_ir::{Kernel, LaunchConfig};
+use cucc_net::{allgather, AllgatherAlgo, AllgatherPlacement, CollectiveCost};
+use std::ops::Range;
+
+/// A simulated CPU cluster.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    /// Hardware description.
+    pub spec: ClusterSpec,
+    pools: Vec<MemPool>,
+}
+
+impl SimCluster {
+    /// Build a cluster with `spec.nodes` empty node memories.
+    pub fn new(spec: ClusterSpec) -> SimCluster {
+        let pools = (0..spec.nodes).map(|_| MemPool::new()).collect();
+        SimCluster { spec, pools }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Allocate a buffer of `bytes` on **every** node (lockstep, same id),
+    /// mirroring `cudaMalloc` replicated across the cluster.
+    pub fn alloc(&mut self, bytes: usize) -> BufferId {
+        let mut id = None;
+        for p in &mut self.pools {
+            let this = p.alloc(bytes);
+            match id {
+                None => id = Some(this),
+                Some(prev) => assert_eq!(prev, this, "lockstep allocation diverged"),
+            }
+        }
+        id.expect("cluster has at least one node")
+    }
+
+    /// Copy host data into the buffer on every node (host-to-device
+    /// broadcast; the time cost is charged by the runtime layer).
+    pub fn write_all(&mut self, id: BufferId, data: &[u8]) {
+        for p in &mut self.pools {
+            p.write_all(id, data);
+        }
+    }
+
+    /// Read the buffer from one node.
+    pub fn read(&self, node: usize, id: BufferId) -> &[u8] {
+        self.pools[node].bytes(id)
+    }
+
+    /// Immutable access to a node memory.
+    pub fn node(&self, i: usize) -> &MemPool {
+        &self.pools[i]
+    }
+
+    /// Mutable access to a node memory.
+    pub fn node_mut(&mut self, i: usize) -> &mut MemPool {
+        &mut self.pools[i]
+    }
+
+    /// Execute a contiguous range of blocks on one node (sequential,
+    /// ascending block id). Returns accumulated stats.
+    pub fn run_blocks(
+        &mut self,
+        node: usize,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        blocks: Range<u64>,
+        args: &[Arg],
+    ) -> Result<BlockStats, ExecError> {
+        let pool = &mut self.pools[node];
+        let mut total = BlockStats::default();
+        for b in blocks {
+            total += execute_block(kernel, launch, b, args, pool)?;
+        }
+        Ok(total)
+    }
+
+    /// Execute per-node block ranges **in parallel** (one thread per node).
+    ///
+    /// `assignments[i]` is the block range node `i` executes. Ranges need
+    /// not be disjoint — callback phases intentionally run the same blocks
+    /// everywhere.
+    pub fn run_blocks_parallel(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        assignments: &[Range<u64>],
+        args: &[Arg],
+    ) -> Result<Vec<BlockStats>, ExecError> {
+        assert_eq!(assignments.len(), self.pools.len());
+        let mut results: Vec<Result<BlockStats, ExecError>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .pools
+                .iter_mut()
+                .zip(assignments.iter().cloned())
+                .map(|(pool, range)| {
+                    s.spawn(move || {
+                        let mut total = BlockStats::default();
+                        for b in range {
+                            total += execute_block(kernel, launch, b, args, pool)?;
+                        }
+                        Ok(total)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("node thread panicked"));
+            }
+        });
+        results.into_iter().collect()
+    }
+
+    /// Balanced Allgather over the byte region
+    /// `[base, base + nodes·unit)` of `buf`: node `i` contributes
+    /// `[base + i·unit, base + (i+1)·unit)`. Moves real bytes between the
+    /// node pools and returns the network cost.
+    pub fn allgather_region(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        unit: u64,
+        algo: AllgatherAlgo,
+        placement: AllgatherPlacement,
+    ) -> CollectiveCost {
+        let n = self.pools.len();
+        let lo = base as usize;
+        let hi = lo + unit as usize * n;
+        let mut views: Vec<&mut [u8]> = self
+            .pools
+            .iter_mut()
+            .map(|p| &mut p.bytes_mut(buf)[lo..hi])
+            .collect();
+        allgather(
+            &mut views,
+            &vec![unit; n],
+            &self.spec.net,
+            algo,
+            placement,
+        )
+    }
+
+    /// True when every node holds identical contents for `buf` (consistency
+    /// check used pervasively by tests).
+    pub fn consistent(&self, buf: BufferId) -> bool {
+        let first = self.pools[0].bytes(buf);
+        self.pools.iter().skip(1).all(|p| p.bytes(buf) == first)
+    }
+
+    /// True when *all* buffers are identical on all nodes.
+    pub fn fully_consistent(&self) -> bool {
+        (0..self.pools[0].len() as u32).all(|i| self.consistent(BufferId(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::ClusterSpec;
+    use cucc_ir::parse_kernel;
+    use cucc_ir::Scalar;
+
+    fn small_cluster(n: u32) -> SimCluster {
+        SimCluster::new(ClusterSpec::simd_focused().with_nodes(n))
+    }
+
+    #[test]
+    fn lockstep_alloc_and_broadcast() {
+        let mut c = small_cluster(4);
+        let b = c.alloc(16);
+        c.write_all(b, &[7u8; 16]);
+        assert!(c.consistent(b));
+        assert_eq!(c.read(3, b), &[7u8; 16]);
+    }
+
+    #[test]
+    fn disjoint_partial_execution_desyncs_then_allgather_fixes() {
+        // The essence of the three-phase workflow at cluster level.
+        let k = parse_kernel(
+            "__global__ void fill(int* out) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                out[id] = id + 1;
+            }",
+        )
+        .unwrap();
+        let mut c = small_cluster(4);
+        let out = c.alloc(4 * 64 * 4); // 4 blocks × 64 threads × i32
+        let launch = LaunchConfig::new(4u32, 64u32);
+        let args = [Arg::Buffer(out)];
+        // Node i executes block i only.
+        let assignments: Vec<_> = (0..4u64).map(|i| i..i + 1).collect();
+        c.run_blocks_parallel(&k, launch, &assignments, &args).unwrap();
+        assert!(!c.consistent(out), "nodes must have diverged");
+        let cost = c.allgather_region(
+            out,
+            0,
+            64 * 4,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
+        assert!(c.consistent(out), "allgather restores consistency");
+        assert!(cost.time > 0.0);
+        let got = c.node(0).read_i32(out);
+        let want: Vec<i32> = (1..=256).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn replicated_execution_stays_consistent() {
+        let k = parse_kernel(
+            "__global__ void fill(int* out) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                out[id] = id * 3;
+            }",
+        )
+        .unwrap();
+        let mut c = small_cluster(3);
+        let out = c.alloc(2 * 32 * 4);
+        let launch = LaunchConfig::new(2u32, 32u32);
+        // Every node runs every block.
+        let assignments = vec![0..2u64, 0..2, 0..2];
+        c.run_blocks_parallel(&k, launch, &assignments, &[Arg::Buffer(out)])
+            .unwrap();
+        assert!(c.fully_consistent());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let k = parse_kernel(
+            "__global__ void sq(float* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[id] = (float)(id) * (float)(id);
+            }",
+        )
+        .unwrap();
+        let n = 1000u64;
+        let launch = LaunchConfig::cover1(n, 128);
+        let mut c1 = small_cluster(2);
+        let b1 = c1.alloc(n as usize * 4);
+        let args1 = [Arg::Buffer(b1), Arg::int(n as i64)];
+        let half = launch.num_blocks() / 2;
+        c1.run_blocks_parallel(&k, launch, &[0..half, half..launch.num_blocks()], &args1)
+            .unwrap();
+
+        let mut c2 = small_cluster(2);
+        let b2 = c2.alloc(n as usize * 4);
+        let args2 = [Arg::Buffer(b2), Arg::int(n as i64)];
+        c2.run_blocks(0, &k, launch, 0..half, &args2).unwrap();
+        c2.run_blocks(1, &k, launch, half..launch.num_blocks(), &args2)
+            .unwrap();
+
+        assert_eq!(c1.read(0, b1), c2.read(0, b2));
+        assert_eq!(c1.read(1, b1), c2.read(1, b2));
+    }
+
+    #[test]
+    fn exec_error_propagates_from_node_thread() {
+        let k = parse_kernel("__global__ void k(int* out) { out[threadIdx.x] = 1; }").unwrap();
+        let mut c = small_cluster(2);
+        let out = c.alloc(4); // 1 element, 4 threads → OOB
+        let err = c
+            .run_blocks_parallel(
+                &k,
+                LaunchConfig::new(1u32, 4u32),
+                &[0..1, 0..1],
+                &[Arg::Buffer(out)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn allgather_with_base_offset() {
+        let mut c = small_cluster(2);
+        let b = c.alloc(16);
+        // Node 0 owns bytes [4..8), node 1 owns [8..12).
+        c.node_mut(0).bytes_mut(b)[4..8].copy_from_slice(&[1, 2, 3, 4]);
+        c.node_mut(1).bytes_mut(b)[8..12].copy_from_slice(&[5, 6, 7, 8]);
+        c.allgather_region(b, 4, 4, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
+        for node in 0..2 {
+            assert_eq!(&c.read(node, b)[4..12], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+        // Bytes outside the region untouched.
+        assert_eq!(&c.read(0, b)[0..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn typed_helpers_via_node_pools() {
+        let mut c = small_cluster(2);
+        let b = c.alloc(8);
+        c.node_mut(1).write_f32(b, &[1.0, 2.0]);
+        assert_eq!(c.node(1).read_f32(b), vec![1.0, 2.0]);
+        assert_eq!(c.node(0).read_f32(b), vec![0.0, 0.0]);
+        let _ = Scalar::F32;
+    }
+}

@@ -1,0 +1,230 @@
+//! Node compute-time model.
+//!
+//! Converts instrumented [`BlockStats`] into simulated execution time on a
+//! [`CpuSpec`]. The model captures the effects the paper's evaluation turns
+//! on:
+//!
+//! * **SIMD speedup** scales with the vectorizability efficiency from
+//!   `cucc-analysis` and the node's lane width — this is what separates the
+//!   SIMD-Focused and Thread-Focused clusters in Figure 13;
+//! * **thread-level parallelism** schedules blocks over cores with an LPT
+//!   makespan, so launches with fewer blocks than cores leave cores idle
+//!   (the Kmeans 32-node slowdown of §7.2);
+//! * a **memory-bandwidth floor** bounds memory-movement kernels like
+//!   Transpose regardless of core count.
+
+use crate::specs::CpuSpec;
+use cucc_exec::BlockStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Effective speedup of vectorized execution on a CPU.
+pub fn simd_speedup(cpu: &CpuSpec, simd_efficiency: f64) -> f64 {
+    if !cpu.simd_enabled || simd_efficiency <= 0.0 {
+        return 1.0;
+    }
+    1.0 + (cpu.simd_f32_lanes as f64 - 1.0) * simd_efficiency.clamp(0.0, 1.0)
+}
+
+/// Per-core cache-hierarchy bandwidth for shared/local scratchpad traffic.
+const CACHE_BW_PER_CORE: f64 = 50.0e9;
+
+/// Time for one core to execute one block (compute + private memory).
+///
+/// Global memory traffic is intentionally *not* charged here — it is a
+/// node-level shared resource, accounted as a bandwidth floor in
+/// [`node_makespan`].
+pub fn block_compute_time(stats: &BlockStats, simd_efficiency: f64, cpu: &CpuSpec) -> f64 {
+    let speedup = simd_speedup(cpu, simd_efficiency);
+    let ops = (stats.int_ops + stats.float_ops) as f64;
+    let ops_time = ops / (cpu.scalar_ops_per_sec() * speedup);
+    let cache_time = (stats.shared_bytes + stats.local_bytes) as f64 / CACHE_BW_PER_CORE;
+    ops_time + cache_time
+}
+
+/// LPT makespan of a set of block times over `cores` cores, with a global
+/// memory-bandwidth floor (LLC-aware, access-pattern-aware — see
+/// [`CpuSpec::effective_mem_bw`]).
+pub fn node_makespan(block_times: &[f64], global_bytes: u64, staged: bool, cpu: &CpuSpec) -> f64 {
+    let cores = cpu.cores.max(1) as usize;
+    let makespan = lpt_makespan(block_times, cores);
+    let bw_floor = if global_bytes == 0 {
+        0.0
+    } else {
+        global_bytes as f64 / cpu.effective_mem_bw(global_bytes, staged)
+    };
+    makespan.max(bw_floor)
+}
+
+/// Longest-processing-time-first makespan over `cores` identical machines.
+pub fn lpt_makespan(times: &[f64], cores: usize) -> f64 {
+    if times.is_empty() || cores == 0 {
+        return 0.0;
+    }
+    // Fast path: all-equal times (the common SPMD case) have a closed form.
+    let first = times[0];
+    if times.iter().all(|t| *t == first) {
+        let waves = times.len().div_ceil(cores);
+        return waves as f64 * first;
+    }
+    let mut sorted: Vec<f64> = times.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    // Min-heap of core loads, scaled to integers for Ord.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..cores).map(|i| Reverse((0u64, i))).collect();
+    let mut loads = vec![0.0f64; cores];
+    const SCALE: f64 = 1e15;
+    for t in sorted {
+        let Reverse((_, idx)) = heap.pop().unwrap();
+        loads[idx] += t;
+        heap.push(Reverse(((loads[idx] * SCALE) as u64, idx)));
+    }
+    loads.iter().copied().fold(0.0, f64::max)
+}
+
+/// Convenience: node time for a launch slice described by a profile —
+/// `full_blocks` identical blocks plus an optional lighter tail block.
+pub fn node_time_profiled(
+    full_block_time: f64,
+    full_blocks: u64,
+    tail_block_time: Option<f64>,
+    global_bytes: u64,
+    staged: bool,
+    cpu: &CpuSpec,
+) -> f64 {
+    let cores = cpu.cores.max(1) as u64;
+    // Closed-form LPT for identical blocks + one optional tail block: the
+    // tail lands on the least-loaded core.
+    let mut makespan = full_blocks.div_ceil(cores) as f64 * full_block_time;
+    if let Some(tail) = tail_block_time {
+        makespan = if full_blocks % cores == 0 {
+            // All cores equally loaded (possibly zero): tail extends one.
+            makespan + tail
+        } else {
+            // Some core has one wave less; the tail rides there.
+            makespan.max((full_blocks / cores) as f64 * full_block_time + tail)
+        };
+    }
+    let bw_floor = if global_bytes == 0 {
+        0.0
+    } else {
+        global_bytes as f64 / cpu.effective_mem_bw(global_bytes, staged)
+    };
+    makespan.max(bw_floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::CpuSpec;
+
+    fn stats(int_ops: u64, float_ops: u64) -> BlockStats {
+        BlockStats {
+            int_ops,
+            float_ops,
+            blocks: 1,
+            ..BlockStats::default()
+        }
+    }
+
+    #[test]
+    fn simd_speedup_respects_ablation() {
+        let xeon = CpuSpec::xeon_gold_6226_dual();
+        assert!((simd_speedup(&xeon, 1.0) - 16.0).abs() < 1e-9);
+        assert_eq!(simd_speedup(&xeon, 0.0), 1.0);
+        let off = xeon.without_simd();
+        assert_eq!(simd_speedup(&off, 1.0), 1.0);
+    }
+
+    #[test]
+    fn vectorizable_block_is_faster() {
+        let xeon = CpuSpec::xeon_gold_6226_dual();
+        let s = stats(1000, 9000);
+        let scalar = block_compute_time(&s, 0.0, &xeon);
+        let vector = block_compute_time(&s, 0.9, &xeon);
+        assert!(scalar / vector > 10.0, "{scalar} vs {vector}");
+    }
+
+    #[test]
+    fn wide_simd_gap_disappears_for_scalar_kernels() {
+        // Thread-Focused wins for scalar code despite fewer lanes: the
+        // per-core difference is frequency only.
+        let xeon = CpuSpec::xeon_gold_6226_dual();
+        let epyc = CpuSpec::epyc_7713_dual();
+        let s = stats(5000, 5000);
+        let tx = block_compute_time(&s, 0.0, &xeon);
+        let te = block_compute_time(&s, 0.0, &epyc);
+        // Per-core they are close (Zen 3's higher IPC on transformed
+        // scalar code roughly offsets the Xeon's clock)...
+        assert!((tx / te - 1.0).abs() < 0.2, "tx={tx} te={te}");
+        // ...but per-node the 128-core EPYC crushes it.
+        let times = vec![tx; 1024];
+        let times_e = vec![te; 1024];
+        assert!(
+            node_makespan(&times_e, 0, false, &epyc) < node_makespan(&times, 0, false, &xeon) / 3.0
+        );
+    }
+
+    #[test]
+    fn lpt_waves_for_identical_blocks() {
+        // 313 identical blocks on 24 cores → 14 waves.
+        let times = vec![1.0; 313];
+        let m = lpt_makespan(&times, 24);
+        assert!((m - 14.0).abs() < 1e-9);
+        // 13 waves × 24 = 312 < 313.
+        assert_eq!(313f64.div_euclid(24.0) as u64 + 1, 14);
+    }
+
+    #[test]
+    fn lpt_heterogeneous_reasonable() {
+        // One long block dominates.
+        let mut times = vec![1.0; 10];
+        times.push(20.0);
+        let m = lpt_makespan(&times, 4);
+        assert!(m >= 20.0 && m < 21.0 + 1e-9, "{m}");
+    }
+
+    #[test]
+    fn bandwidth_floor_binds_memory_kernels() {
+        let xeon = CpuSpec::xeon_gold_6226_dual();
+        // 14 GB streaming at 140 GB/s x 0.5 efficiency = 0.2 s floor.
+        let t = node_makespan(&[1e-9; 8], 14_000_000_000, false, &xeon);
+        assert!((t - 0.2).abs() < 1e-6);
+        // Staged (shared-memory-tiled) access is dramatically slower...
+        let staged = node_makespan(&[1e-9; 8], 14_000_000_000, true, &xeon);
+        assert!(staged > 5.0 * t);
+        // ...but LLC-resident working sets stream from cache.
+        let cached = node_makespan(&[1e-9; 8], 10_000_000, true, &xeon);
+        assert!(cached < 1e-3);
+    }
+
+    #[test]
+    fn fewer_blocks_than_cores_wastes_cores() {
+        let epyc = CpuSpec::epyc_7713_dual(); // 128 cores
+        let nine = vec![1.0; 9];
+        let m = lpt_makespan(&nine, 128);
+        // Nine blocks on 128 cores take as long as one block.
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn profiled_matches_explicit_lpt() {
+        let xeon = CpuSpec::xeon_gold_6226_dual();
+        let full = 2e-3;
+        let explicit: Vec<f64> = vec![full; 50];
+        let a = node_makespan(&explicit, 0, false, &xeon);
+        let b = node_time_profiled(full, 50, None, 0, false, &xeon);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiled_with_tail() {
+        let xeon = CpuSpec::xeon_gold_6226_dual(); // 24 cores
+        // 24 full blocks + tail: tail starts wave 2.
+        let t = node_time_profiled(1.0, 24, Some(0.5), 0, false, &xeon);
+        assert!((t - 1.5).abs() < 1e-9);
+        // 20 full + tail on 24 cores: everything in one wave.
+        let t = node_time_profiled(1.0, 20, Some(0.5), 0, false, &xeon);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type of the migration pipeline.
+
+use std::fmt;
+
+/// Anything that can go wrong between GPU source and cluster execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrateError {
+    /// Front-end failure.
+    Parse(cucc_ir::ParseError),
+    /// IR validation failure.
+    Validate(cucc_ir::ValidateError),
+    /// Runtime interpretation failure (out-of-bounds, div-by-zero, …).
+    Exec(cucc_exec::ExecError),
+    /// A launch was attempted with malformed arguments or geometry.
+    Launch(String),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::Parse(e) => write!(f, "{e}"),
+            MigrateError::Validate(e) => write!(f, "validation error: {e}"),
+            MigrateError::Exec(e) => write!(f, "execution error: {e}"),
+            MigrateError::Launch(m) => write!(f, "launch error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+impl From<cucc_ir::ParseError> for MigrateError {
+    fn from(e: cucc_ir::ParseError) -> Self {
+        MigrateError::Parse(e)
+    }
+}
+
+impl From<cucc_ir::ValidateError> for MigrateError {
+    fn from(e: cucc_ir::ValidateError) -> Self {
+        MigrateError::Validate(e)
+    }
+}
+
+impl From<cucc_exec::ExecError> for MigrateError {
+    fn from(e: cucc_exec::ExecError) -> Self {
+        MigrateError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MigrateError = cucc_exec::ExecError::DivByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e = MigrateError::Launch("bad grid".into());
+        assert!(e.to_string().contains("bad grid"));
+    }
+}

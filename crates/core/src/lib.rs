@@ -1,0 +1,57 @@
+//! # cucc-core — CUDA on CPU Clusters
+//!
+//! The end-to-end CuCC framework of the paper *"Scaling GPU-to-CPU Migration
+//! for Efficient Distributed Execution on CPU Clusters"* (PPoPP '26):
+//! compile a GPU kernel, migrate it to a simulated CPU cluster, and execute
+//! it with the **three-phase workflow** (§4):
+//!
+//! 1. **Partial block execution** — each node runs a disjoint contiguous
+//!    slice of the grid;
+//! 2. **Balanced in-place Allgather** — one collective restores memory
+//!    consistency across the nodes' genuinely disjoint memories;
+//! 3. **Callback block execution** — remainder and tail-divergent blocks
+//!    run redundantly on every node.
+//!
+//! ```
+//! use cucc_core::{compile_source, CuccCluster, RuntimeConfig};
+//! use cucc_cluster::ClusterSpec;
+//! use cucc_exec::Arg;
+//! use cucc_ir::LaunchConfig;
+//!
+//! // Listing 1 of the paper.
+//! let ck = compile_source(r#"
+//!     __global__ void vec_copy(char* src, char* dest, int n) {
+//!         int id = blockDim.x * blockIdx.x + threadIdx.x;
+//!         if (id < n) dest[id] = src[id];
+//!     }
+//! "#).unwrap();
+//!
+//! let mut cluster = CuccCluster::new(
+//!     ClusterSpec::simd_focused().with_nodes(2),
+//!     RuntimeConfig::default(),
+//! );
+//! let src = cluster.alloc(1200);
+//! let dest = cluster.alloc(1200);
+//! cluster.h2d(src, &[42u8; 1200]);
+//! let report = cluster
+//!     .launch(&ck, LaunchConfig::cover1(1200, 256),
+//!             &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1200)])
+//!     .unwrap();
+//! assert!(report.mode.is_three_phase());
+//! assert_eq!(cluster.d2h(dest), vec![42u8; 1200]);
+//! ```
+
+pub mod codegen;
+pub mod compile;
+pub mod error;
+pub mod program;
+pub mod report;
+pub mod runtime;
+pub mod transform;
+
+pub use compile::{compile, compile_source, CompiledKernel};
+pub use error::MigrateError;
+pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
+pub use report::{ExecMode, LaunchReport, PhaseTimes};
+pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig};
+pub use transform::{can_split_blocks, split_blocks};

@@ -1,0 +1,359 @@
+//! Whole-program migration: the end-to-end framework surface.
+//!
+//! The paper's CuCC is not a kernel tool but an **end-to-end framework**
+//! that translates complete CUDA programs — host code with allocations,
+//! transfers and (possibly many) kernel launches — into CPU cluster
+//! executables (§5). [`GpuProgram`] models that host module: a named
+//! sequence of [`HostOp`]s over named buffers and compiled kernels, and
+//! [`GpuProgram::run_with`] executes it on any [`ProgramBackend`] — the
+//! CuCC cluster, the GPU reference device, or the PGAS baseline — so whole
+//! applications can be compared functionally and in simulated time.
+
+use crate::compile::{compile_source, CompiledKernel};
+use crate::error::MigrateError;
+use crate::report::LaunchReport;
+use crate::runtime::CuccCluster;
+use cucc_exec::{Arg, BufferId};
+use cucc_ir::{LaunchConfig, Value};
+use std::collections::BTreeMap;
+
+/// A launch argument referring to program state by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgSpec {
+    /// A named program buffer.
+    Buffer(String),
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar.
+    Float(f64),
+}
+
+/// One host-side operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostOp {
+    /// `cudaMalloc`: allocate a named zeroed buffer.
+    Alloc { name: String, bytes: usize },
+    /// `cudaMemcpy` host→device of the embedded data.
+    H2d { buf: String, data: Vec<u8> },
+    /// Kernel launch by kernel name.
+    Launch {
+        kernel: String,
+        launch: LaunchConfig,
+        args: Vec<ArgSpec>,
+    },
+    /// `cudaMemcpy` device→host: marks `buf` as a program output.
+    D2h { buf: String },
+}
+
+/// A complete migratable GPU program.
+#[derive(Debug, Clone)]
+pub struct GpuProgram {
+    /// Program name.
+    pub name: String,
+    /// Compiled kernels, looked up by kernel name at launch ops.
+    pub kernels: Vec<CompiledKernel>,
+    /// Host operation sequence.
+    pub ops: Vec<HostOp>,
+}
+
+/// Result of running a program on a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramResult {
+    /// Final contents of every buffer read back with [`HostOp::D2h`],
+    /// keyed by buffer name (later reads overwrite earlier ones).
+    pub outputs: BTreeMap<String, Vec<u8>>,
+    /// Total simulated kernel time (host transfers excluded, matching the
+    /// paper's kernel-execution-time measurements).
+    pub kernel_time: f64,
+    /// Number of kernel launches executed.
+    pub launches: usize,
+}
+
+/// Anything a [`GpuProgram`] can run on.
+pub trait ProgramBackend {
+    /// Allocate zeroed device memory.
+    fn prog_alloc(&mut self, bytes: usize) -> BufferId;
+    /// Host→device copy.
+    fn prog_h2d(&mut self, buf: BufferId, data: &[u8]);
+    /// Device→host copy.
+    fn prog_d2h(&self, buf: BufferId) -> Vec<u8>;
+    /// Launch a compiled kernel; returns simulated kernel seconds.
+    fn prog_launch(
+        &mut self,
+        kernel: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<f64, MigrateError>;
+}
+
+impl ProgramBackend for CuccCluster {
+    fn prog_alloc(&mut self, bytes: usize) -> BufferId {
+        self.alloc(bytes)
+    }
+    fn prog_h2d(&mut self, buf: BufferId, data: &[u8]) {
+        self.h2d(buf, data);
+    }
+    fn prog_d2h(&self, buf: BufferId) -> Vec<u8> {
+        self.d2h(buf)
+    }
+    fn prog_launch(
+        &mut self,
+        kernel: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<f64, MigrateError> {
+        self.launch(kernel, launch, args).map(|r: LaunchReport| r.time())
+    }
+}
+
+impl GpuProgram {
+    /// Start building a program.
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            program: GpuProgram {
+                name: name.into(),
+                kernels: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
+    }
+
+    /// Look a kernel up by name.
+    pub fn kernel(&self, name: &str) -> Option<&CompiledKernel> {
+        self.kernels.iter().find(|k| k.name() == name)
+    }
+
+    /// Execute on a backend.
+    pub fn run_with<B: ProgramBackend>(&self, backend: &mut B) -> Result<ProgramResult, MigrateError> {
+        let mut buffers: BTreeMap<String, BufferId> = BTreeMap::new();
+        let mut result = ProgramResult {
+            outputs: BTreeMap::new(),
+            kernel_time: 0.0,
+            launches: 0,
+        };
+        for op in &self.ops {
+            match op {
+                HostOp::Alloc { name, bytes } => {
+                    if buffers.contains_key(name) {
+                        return Err(MigrateError::Launch(format!(
+                            "buffer `{name}` allocated twice"
+                        )));
+                    }
+                    let id = backend.prog_alloc(*bytes);
+                    buffers.insert(name.clone(), id);
+                }
+                HostOp::H2d { buf, data } => {
+                    let id = *buffers.get(buf).ok_or_else(|| {
+                        MigrateError::Launch(format!("h2d to unknown buffer `{buf}`"))
+                    })?;
+                    backend.prog_h2d(id, data);
+                }
+                HostOp::Launch {
+                    kernel,
+                    launch,
+                    args,
+                } => {
+                    let ck = self.kernel(kernel).ok_or_else(|| {
+                        MigrateError::Launch(format!("unknown kernel `{kernel}`"))
+                    })?;
+                    let mut resolved = Vec::with_capacity(args.len());
+                    for a in args {
+                        resolved.push(match a {
+                            ArgSpec::Buffer(name) => Arg::Buffer(*buffers.get(name).ok_or_else(
+                                || MigrateError::Launch(format!("unknown buffer `{name}`")),
+                            )?),
+                            ArgSpec::Int(v) => Arg::Scalar(Value::I64(*v)),
+                            ArgSpec::Float(v) => Arg::Scalar(Value::F64(*v)),
+                        });
+                    }
+                    result.kernel_time += backend.prog_launch(ck, *launch, &resolved)?;
+                    result.launches += 1;
+                }
+                HostOp::D2h { buf } => {
+                    let id = *buffers.get(buf).ok_or_else(|| {
+                        MigrateError::Launch(format!("d2h from unknown buffer `{buf}`"))
+                    })?;
+                    result.outputs.insert(buf.clone(), backend.prog_d2h(id));
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Fluent construction of [`GpuProgram`]s.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: GpuProgram,
+}
+
+impl ProgramBuilder {
+    /// Compile and register a kernel from mini-CUDA source.
+    pub fn kernel_source(mut self, src: &str) -> Result<ProgramBuilder, MigrateError> {
+        let ck = compile_source(src)?;
+        if self.program.kernel(ck.name()).is_some() {
+            return Err(MigrateError::Launch(format!(
+                "duplicate kernel `{}`",
+                ck.name()
+            )));
+        }
+        self.program.kernels.push(ck);
+        Ok(self)
+    }
+
+    /// Register an already-compiled kernel.
+    pub fn kernel(mut self, ck: CompiledKernel) -> ProgramBuilder {
+        self.program.kernels.push(ck);
+        self
+    }
+
+    /// Allocate a named buffer.
+    pub fn alloc(mut self, name: impl Into<String>, bytes: usize) -> ProgramBuilder {
+        self.program.ops.push(HostOp::Alloc {
+            name: name.into(),
+            bytes,
+        });
+        self
+    }
+
+    /// Upload data to a named buffer.
+    pub fn h2d(mut self, buf: impl Into<String>, data: Vec<u8>) -> ProgramBuilder {
+        self.program.ops.push(HostOp::H2d {
+            buf: buf.into(),
+            data,
+        });
+        self
+    }
+
+    /// Launch a registered kernel.
+    pub fn launch(
+        mut self,
+        kernel: impl Into<String>,
+        launch: LaunchConfig,
+        args: Vec<ArgSpec>,
+    ) -> ProgramBuilder {
+        self.program.ops.push(HostOp::Launch {
+            kernel: kernel.into(),
+            launch,
+            args,
+        });
+        self
+    }
+
+    /// Read a buffer back as a program output.
+    pub fn d2h(mut self, buf: impl Into<String>) -> ProgramBuilder {
+        self.program.ops.push(HostOp::D2h { buf: buf.into() });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> GpuProgram {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use cucc_cluster::ClusterSpec;
+
+    fn pipeline_program() -> GpuProgram {
+        // Two-kernel pipeline: scale, then prefix-free square — the second
+        // kernel consumes the first one's distributed output, so the
+        // Allgather between launches is load-bearing.
+        GpuProgram::builder("pipeline")
+            .kernel_source(
+                "__global__ void scale(float* x, float* y, float a, int n) {
+                    int id = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (id < n) y[id] = x[id] * a;
+                }",
+            )
+            .unwrap()
+            .kernel_source(
+                "__global__ void square(float* y, float* z, int n) {
+                    int id = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (id < n) z[id] = y[id] * y[id];
+                }",
+            )
+            .unwrap()
+            .alloc("x", 1000 * 4)
+            .alloc("y", 1000 * 4)
+            .alloc("z", 1000 * 4)
+            .h2d("x", (0..1000u32).flat_map(|i| (i as f32 * 0.5).to_le_bytes()).collect())
+            .launch(
+                "scale",
+                LaunchConfig::cover1(1000, 128),
+                vec![
+                    ArgSpec::Buffer("x".into()),
+                    ArgSpec::Buffer("y".into()),
+                    ArgSpec::Float(2.0),
+                    ArgSpec::Int(1000),
+                ],
+            )
+            .launch(
+                "square",
+                LaunchConfig::cover1(1000, 128),
+                vec![
+                    ArgSpec::Buffer("y".into()),
+                    ArgSpec::Buffer("z".into()),
+                    ArgSpec::Int(1000),
+                ],
+            )
+            .d2h("z")
+            .build()
+    }
+
+    #[test]
+    fn pipeline_runs_on_cucc_cluster() {
+        let prog = pipeline_program();
+        let mut cl = CuccCluster::new(
+            ClusterSpec::simd_focused().with_nodes(4),
+            RuntimeConfig::default(),
+        );
+        let res = prog.run_with(&mut cl).unwrap();
+        assert_eq!(res.launches, 2);
+        assert!(res.kernel_time > 0.0);
+        let z: Vec<f32> = res.outputs["z"]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for (i, v) in z.iter().enumerate() {
+            let want = (i as f32) * (i as f32); // (i·0.5·2)²
+            assert_eq!(*v, want, "z[{i}]");
+        }
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let prog = GpuProgram::builder("bad")
+            .alloc("a", 16)
+            .d2h("missing")
+            .build();
+        let mut cl = CuccCluster::new(
+            ClusterSpec::simd_focused().with_nodes(1),
+            RuntimeConfig::default(),
+        );
+        assert!(matches!(
+            prog.run_with(&mut cl),
+            Err(MigrateError::Launch(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_alloc_rejected() {
+        let prog = GpuProgram::builder("dup").alloc("a", 16).alloc("a", 16).build();
+        let mut cl = CuccCluster::new(
+            ClusterSpec::simd_focused().with_nodes(1),
+            RuntimeConfig::default(),
+        );
+        assert!(prog.run_with(&mut cl).is_err());
+    }
+
+    #[test]
+    fn duplicate_kernel_rejected() {
+        let src = "__global__ void k(int* o) { o[threadIdx.x] = 1; }";
+        let b = GpuProgram::builder("dupk").kernel_source(src).unwrap();
+        assert!(b.kernel_source(src).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Launch reports: what happened, where the time went.
+
+use cucc_analysis::{ReplicationCause, ThreePhasePlan};
+use cucc_exec::BlockStats;
+
+/// How a launch was executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecMode {
+    /// The CuCC three-phase workflow with the given plan and node count.
+    ThreePhase {
+        /// The resolved plan.
+        plan: ThreePhasePlan,
+        /// Nodes used.
+        nodes: u64,
+        /// Blocks each node ran in phase 1.
+        partial_blocks_per_node: u64,
+        /// Blocks run redundantly in phase 3.
+        callback_blocks: u64,
+    },
+    /// Replicated fallback (trivial Allgather distribution).
+    Replicated {
+        /// Why the fallback was taken.
+        cause: ReplicationCause,
+    },
+}
+
+impl ExecMode {
+    /// True for the distributed path.
+    pub fn is_three_phase(&self) -> bool {
+        matches!(self, ExecMode::ThreePhase { .. })
+    }
+}
+
+/// Simulated time breakdown of one launch (drives Figures 8–13).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTimes {
+    /// Phase 1: partial block execution (max over nodes).
+    pub partial: f64,
+    /// Phase 2: balanced in-place Allgather.
+    pub allgather: f64,
+    /// Phase 3: callback block execution.
+    pub callback: f64,
+}
+
+impl PhaseTimes {
+    /// Total simulated kernel time.
+    pub fn total(&self) -> f64 {
+        self.partial + self.allgather + self.callback
+    }
+
+    /// Fraction of total time spent in communication (Figure 9).
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.allgather / t
+        }
+    }
+}
+
+/// Everything the runtime reports about one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchReport {
+    /// Distribution decision.
+    pub mode: ExecMode,
+    /// Simulated time breakdown.
+    pub times: PhaseTimes,
+    /// Dynamic statistics of the work one node performed (phase 1 +
+    /// callbacks). In replicated mode: the whole launch.
+    pub node_stats: BlockStats,
+    /// Bytes moved across the network by this launch.
+    pub wire_bytes: u64,
+}
+
+impl LaunchReport {
+    /// Simulated kernel time in seconds.
+    pub fn time(&self) -> f64 {
+        self.times.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_times_math() {
+        let t = PhaseTimes {
+            partial: 0.6,
+            allgather: 0.3,
+            callback: 0.1,
+        };
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert!((t.comm_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(PhaseTimes::default().comm_fraction(), 0.0);
+    }
+}

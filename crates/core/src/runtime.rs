@@ -1,0 +1,626 @@
+//! The CuCC cluster runtime: CUDA-like API over a simulated CPU cluster,
+//! executing launches with the three-phase workflow.
+
+use crate::compile::CompiledKernel;
+use crate::error::MigrateError;
+use crate::report::{ExecMode, LaunchReport, PhaseTimes};
+use cucc_analysis::{plan_launch, Plan, ReplicationCause, ThreePhasePlan};
+use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec, SimCluster};
+use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile};
+use cucc_ir::LaunchConfig;
+use cucc_net::{allgather_cost, broadcast_time, AllgatherAlgo, AllgatherPlacement};
+
+/// Whether launches execute functionally or are only timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionFidelity {
+    /// Every block really executes on its node's memory; collectives really
+    /// move bytes; results are exact. Use for correctness work.
+    Functional,
+    /// Only representative blocks are interpreted (sampled profile); memory
+    /// is not updated. Use for paper-scale performance sweeps where full
+    /// interpretation would be prohibitive.
+    Modeled,
+}
+
+/// Runtime knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Functional vs modeled execution.
+    pub fidelity: ExecutionFidelity,
+    /// Allgather algorithm (paper uses ring-style MPI allgather).
+    pub allgather_algo: AllgatherAlgo,
+    /// Buffer placement (§2.3: CuCC uses balanced **in-place**).
+    pub placement: AllgatherPlacement,
+    /// After every functional launch, assert that all written buffers are
+    /// identical on every node (the paper's consistency invariant).
+    pub verify_consistency: bool,
+    /// Blocks sampled per profile.
+    pub profile_samples: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            fidelity: ExecutionFidelity::Functional,
+            allgather_algo: AllgatherAlgo::Ring,
+            placement: AllgatherPlacement::InPlace,
+            verify_consistency: true,
+            profile_samples: 3,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Timing-only configuration for performance sweeps.
+    pub fn modeled() -> RuntimeConfig {
+        RuntimeConfig {
+            fidelity: ExecutionFidelity::Modeled,
+            verify_consistency: false,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+/// A CUDA-context-like handle to a simulated CPU cluster.
+#[derive(Debug, Clone)]
+pub struct CuccCluster {
+    sim: SimCluster,
+    config: RuntimeConfig,
+    clock: f64,
+    /// Logical cluster size. In [`ExecutionFidelity::Modeled`] only one
+    /// physical node memory is materialized (paper-scale sweeps would
+    /// otherwise replicate gigabytes across 32 pools); the time model still
+    /// uses the logical node count.
+    logical_nodes: usize,
+}
+
+impl CuccCluster {
+    /// Build a runtime over `spec.nodes` simulated nodes.
+    pub fn new(spec: ClusterSpec, config: RuntimeConfig) -> CuccCluster {
+        let logical_nodes = spec.nodes as usize;
+        let sim_spec = if config.fidelity == ExecutionFidelity::Modeled {
+            spec.with_nodes(1)
+        } else {
+            spec
+        };
+        CuccCluster {
+            sim: SimCluster::new(sim_spec),
+            config,
+            clock: 0.0,
+            logical_nodes,
+        }
+    }
+
+    /// Number of (logical) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.logical_nodes
+    }
+
+    /// Cluster hardware description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.sim.spec
+    }
+
+    /// Simulated seconds elapsed (kernel launches + host transfers).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Reset the simulated clock (e.g. to time a region).
+    pub fn reset_clock(&mut self) {
+        self.clock = 0.0;
+    }
+
+    /// Direct access to the underlying simulator (tests, diagnostics).
+    pub fn sim(&self) -> &SimCluster {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator — intended for fault
+    /// injection in tests (e.g. corrupting one node's memory to verify the
+    /// consistency checker fires). Not part of the stable API surface.
+    pub fn sim_mut(&mut self) -> &mut SimCluster {
+        &mut self.sim
+    }
+
+    /// `cudaMalloc`: replicated allocation on every node.
+    pub fn alloc(&mut self, bytes: usize) -> BufferId {
+        self.sim.alloc(bytes)
+    }
+
+    /// Host→device copy, broadcast to every node (charged to the clock).
+    pub fn h2d(&mut self, buf: BufferId, data: &[u8]) {
+        self.sim.write_all(buf, data);
+        self.clock += broadcast_time(&self.sim.spec.net, self.logical_nodes, data.len() as u64);
+    }
+
+    /// Device→host copy (from node 0).
+    pub fn d2h(&self, buf: BufferId) -> Vec<u8> {
+        self.sim.read(0, buf).to_vec()
+    }
+
+    /// Typed convenience reads from node 0.
+    pub fn d2h_f32(&self, buf: BufferId) -> Vec<f32> {
+        self.sim.node(0).read_f32(buf)
+    }
+
+    /// Typed convenience writes (broadcast).
+    pub fn h2d_f32(&mut self, buf: BufferId, data: &[f32]) {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.h2d(buf, &bytes);
+    }
+
+    /// Launch a compiled kernel on the cluster.
+    ///
+    /// Decides between the three-phase workflow and the replicated fallback
+    /// via the launch-time planner, executes (or models) the phases, and
+    /// returns the time breakdown.
+    pub fn launch(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<LaunchReport, MigrateError> {
+        if launch.num_blocks() == 0 {
+            return Err(MigrateError::Launch("empty grid".into()));
+        }
+        let plan = plan_launch(&ck.kernel, &ck.analysis.verdict, launch, args, self.sim.node(0));
+        let profile = profile_launch(
+            &ck.kernel,
+            launch,
+            args,
+            self.sim.node(0),
+            self.config.profile_samples,
+        )?;
+        let report = match plan {
+            Plan::ThreePhase(tp) => self.launch_three_phase(ck, launch, args, tp, &profile)?,
+            Plan::Replicated(cause) => {
+                self.launch_replicated(ck, launch, args, cause, &profile)?
+            }
+        };
+        self.clock += report.time();
+        if self.config.verify_consistency
+            && self.config.fidelity == ExecutionFidelity::Functional
+        {
+            for p in ck.kernel.written_global_buffers() {
+                let Arg::Buffer(id) = args[p.index()] else {
+                    continue;
+                };
+                if !self.sim.consistent(id) {
+                    return Err(MigrateError::Launch(format!(
+                        "consistency violation: buffer `{}` differs across nodes after `{}`",
+                        ck.kernel.params[p.index()].name(),
+                        ck.name()
+                    )));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn launch_three_phase(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+        tp: ThreePhasePlan,
+        profile: &LaunchProfile,
+    ) -> Result<LaunchReport, MigrateError> {
+        let n = self.logical_nodes as u64;
+        let part = tp.partition(n);
+        let cpu = self.sim.spec.cpu.clone();
+        let simd_eff = ck.analysis.simd.efficiency;
+
+        let bt_full = block_compute_time(&profile.per_block, simd_eff, &cpu);
+        let bt_tail = block_compute_time(&profile.tail_block, simd_eff, &cpu);
+        // A kernel is "staged" when it round-trips a substantial share of its
+        // global traffic through emulated shared-memory tiles (transpose-like
+        // reshaping) — small reduction scratchpads don't count.
+        let staged =
+            profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
+        let tail_divergent = ck
+            .analysis
+            .verdict
+            .meta()
+            .map(|m| m.tail_divergent())
+            .unwrap_or(false);
+
+        // Multi-node straggler/jitter inefficiency on distributed phases.
+        let jitter = 1.0 + self.sim.spec.jitter * (n - 1) as f64;
+
+        // ---- Phase 1: partial block execution -------------------------
+        let pbn = part.partial_blocks_per_node;
+        let t_partial = node_time_profiled(
+            bt_full,
+            pbn,
+            None,
+            pbn * profile.per_block.global_bytes(),
+            staged,
+            &cpu,
+        ) * jitter;
+
+        // ---- Phase 2: balanced in-place Allgather ----------------------
+        let mut t_allgather = 0.0;
+        let mut wire_bytes = 0u64;
+        for region in &tp.buffers {
+            let unit = region.unit * part.chunks_per_node;
+            let cost = allgather_cost(
+                n as usize,
+                unit,
+                &self.sim.spec.net,
+                self.config.allgather_algo,
+                self.config.placement,
+            );
+            t_allgather += cost.time;
+            wire_bytes += cost.wire_bytes;
+        }
+
+        // ---- Phase 3: callback block execution -------------------------
+        let has_tail_block = tail_divergent && part.callback_blocks > 0;
+        let callback_full = part.callback_blocks - u64::from(has_tail_block);
+        let t_callback = node_time_profiled(
+            bt_full,
+            callback_full,
+            has_tail_block.then_some(bt_tail),
+            callback_full * profile.per_block.global_bytes()
+                + if has_tail_block {
+                    profile.tail_block.global_bytes()
+                } else {
+                    0
+                },
+            staged,
+            &cpu,
+        ) * jitter;
+
+        // ---- Functional execution --------------------------------------
+        let mut node_stats = profile.per_block.scaled(pbn + callback_full);
+        if has_tail_block {
+            node_stats += profile.tail_block;
+        }
+        if self.config.fidelity == ExecutionFidelity::Functional {
+            let assignments: Vec<_> = (0..n).map(|i| i * pbn..(i + 1) * pbn).collect();
+            let stats = self
+                .sim
+                .run_blocks_parallel(&ck.kernel, launch, &assignments, args)?;
+            for region in &tp.buffers {
+                let unit = region.unit * part.chunks_per_node;
+                let Arg::Buffer(id) = args[region.param.index()] else {
+                    return Err(MigrateError::Launch(format!(
+                        "parameter {} is not a buffer",
+                        region.param
+                    )));
+                };
+                if unit > 0 {
+                    self.sim.allgather_region(
+                        id,
+                        region.base,
+                        unit,
+                        self.config.allgather_algo,
+                        self.config.placement,
+                    );
+                }
+            }
+            let cb: Vec<_> = (0..n)
+                .map(|_| part.callback_start..tp.num_blocks)
+                .collect();
+            let cb_stats = self
+                .sim
+                .run_blocks_parallel(&ck.kernel, launch, &cb, args)?;
+            node_stats = stats[0] + cb_stats[0];
+        }
+
+        Ok(LaunchReport {
+            mode: ExecMode::ThreePhase {
+                plan: tp,
+                nodes: n,
+                partial_blocks_per_node: pbn,
+                callback_blocks: part.callback_blocks,
+            },
+            times: PhaseTimes {
+                partial: t_partial,
+                allgather: t_allgather,
+                callback: t_callback,
+            },
+            node_stats,
+            wire_bytes,
+        })
+    }
+
+    fn launch_replicated(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+        cause: ReplicationCause,
+        profile: &LaunchProfile,
+    ) -> Result<LaunchReport, MigrateError> {
+        let n = self.logical_nodes as u64;
+        let cpu = self.sim.spec.cpu.clone();
+        let simd_eff = ck.analysis.simd.efficiency;
+        let bt_full = block_compute_time(&profile.per_block, simd_eff, &cpu);
+        let bt_tail = block_compute_time(&profile.tail_block, simd_eff, &cpu);
+        let full = profile.num_blocks - 1;
+        // A kernel is "staged" when it round-trips a substantial share of its
+        // global traffic through emulated shared-memory tiles (transpose-like
+        // reshaping) — small reduction scratchpads don't count.
+        let staged =
+            profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
+        let t = node_time_profiled(
+            bt_full,
+            full,
+            Some(bt_tail),
+            profile.total.global_bytes(),
+            staged,
+            &cpu,
+        );
+        let mut node_stats = profile.total;
+        if self.config.fidelity == ExecutionFidelity::Functional {
+            let all: Vec<_> = (0..n).map(|_| 0..launch.num_blocks()).collect();
+            let stats = self
+                .sim
+                .run_blocks_parallel(&ck.kernel, launch, &all, args)?;
+            node_stats = stats[0];
+        }
+        Ok(LaunchReport {
+            mode: ExecMode::Replicated { cause },
+            times: PhaseTimes {
+                partial: 0.0,
+                allgather: 0.0,
+                callback: t,
+            },
+            node_stats,
+            wire_bytes: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_source;
+    use cucc_gpu_model::{GpuDevice, GpuSpec};
+
+    const LISTING1: &str = "__global__ void vec_copy(char* src, char* dest, int n) {
+        int id = blockDim.x * blockIdx.x + threadIdx.x;
+        if (id < n) dest[id] = src[id];
+    }";
+
+    fn spec(n: u32) -> ClusterSpec {
+        ClusterSpec::simd_focused().with_nodes(n)
+    }
+
+    #[test]
+    fn three_phase_copies_correctly_on_two_nodes() {
+        let ck = compile_source(LISTING1).unwrap();
+        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let src = cl.alloc(1200);
+        let dest = cl.alloc(1200);
+        let data: Vec<u8> = (0..1200).map(|i| (i % 251) as u8).collect();
+        cl.h2d(src, &data);
+        let report = cl
+            .launch(
+                &ck,
+                LaunchConfig::cover1(1200, 256),
+                &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1200)],
+            )
+            .unwrap();
+        match &report.mode {
+            ExecMode::ThreePhase {
+                partial_blocks_per_node,
+                callback_blocks,
+                ..
+            } => {
+                assert_eq!(*partial_blocks_per_node, 2);
+                assert_eq!(*callback_blocks, 1);
+            }
+            other => panic!("expected three-phase, got {other:?}"),
+        }
+        assert_eq!(cl.d2h(dest), data);
+        assert!(report.times.allgather > 0.0);
+        assert!(report.times.partial > 0.0);
+    }
+
+    #[test]
+    fn matches_gpu_reference_across_node_counts() {
+        let ck = compile_source(
+            "__global__ void saxpy(float* x, float* y, float a, int n) {
+                int id = blockDim.x * blockIdx.x + threadIdx.x;
+                if (id < n) y[id] = a * x[id] + y[id];
+            }",
+        )
+        .unwrap();
+        let n = 5000usize;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let ys: Vec<f32> = (0..n).map(|i| (n - i) as f32).collect();
+        let launch = LaunchConfig::cover1(n as u64, 128);
+
+        // GPU reference.
+        let mut gpu = GpuDevice::new(GpuSpec::a100());
+        let gx = gpu.alloc(n * 4);
+        let gy = gpu.alloc(n * 4);
+        gpu.pool_mut().write_f32(gx, &xs);
+        gpu.pool_mut().write_f32(gy, &ys);
+        gpu.launch(
+            &ck.kernel,
+            launch,
+            &[Arg::Buffer(gx), Arg::Buffer(gy), Arg::float(1.5), Arg::int(n as i64)],
+        )
+        .unwrap();
+        let reference = gpu.d2h(gy);
+
+        for nodes in [1u32, 2, 3, 4, 8] {
+            let mut cl = CuccCluster::new(spec(nodes), RuntimeConfig::default());
+            let cx = cl.alloc(n * 4);
+            let cy = cl.alloc(n * 4);
+            cl.h2d_f32(cx, &xs);
+            cl.h2d_f32(cy, &ys);
+            cl.launch(
+                &ck,
+                launch,
+                &[Arg::Buffer(cx), Arg::Buffer(cy), Arg::float(1.5), Arg::int(n as i64)],
+            )
+            .unwrap();
+            assert_eq!(cl.d2h(cy), reference, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn replicated_fallback_still_correct() {
+        // Histogram with atomics: not distributable, must replicate and
+        // still match the GPU.
+        let ck = compile_source(
+            "__global__ void hist(int* bins, int* data, int n) {
+                int id = blockDim.x * blockIdx.x + threadIdx.x;
+                if (id < n) atomicAdd(&bins[data[id] % 16], 1);
+            }",
+        )
+        .unwrap();
+        assert!(!ck.is_distributable());
+        let n = 4096usize;
+        let data: Vec<i32> = (0..n as i32).map(|i| i * 37 % 1000).collect();
+        let launch = LaunchConfig::cover1(n as u64, 256);
+
+        let mut gpu = GpuDevice::new(GpuSpec::a100());
+        let gb = gpu.alloc(16 * 4);
+        let gd = gpu.alloc(n * 4);
+        gpu.pool_mut().write_i32(gd, &data);
+        gpu.launch(
+            &ck.kernel,
+            launch,
+            &[Arg::Buffer(gb), Arg::Buffer(gd), Arg::int(n as i64)],
+        )
+        .unwrap();
+        let reference = gpu.d2h(gb);
+
+        let mut cl = CuccCluster::new(spec(4), RuntimeConfig::default());
+        let cb = cl.alloc(16 * 4);
+        let cd = cl.alloc(n * 4);
+        let mut bytes = Vec::new();
+        for v in &data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        cl.h2d(cd, &bytes);
+        let report = cl
+            .launch(
+                &ck,
+                launch,
+                &[Arg::Buffer(cb), Arg::Buffer(cd), Arg::int(n as i64)],
+            )
+            .unwrap();
+        assert!(matches!(report.mode, ExecMode::Replicated { .. }));
+        assert_eq!(report.wire_bytes, 0);
+        assert_eq!(cl.d2h(cb), reference);
+    }
+
+    #[test]
+    fn scaling_reduces_partial_time() {
+        let ck = compile_source(
+            "__global__ void heavy(float* out, int n, int iters) {
+                int id = blockDim.x * blockIdx.x + threadIdx.x;
+                float acc = 0.0f;
+                for (int i = 0; i < iters; i++)
+                    acc += (float)(i) * 0.5f;
+                if (id < n) out[id] = acc;
+            }",
+        )
+        .unwrap();
+        // 1024 blocks of heavy compute: enough blocks to keep every core of
+        // a 16-node cluster busy, enough work per block to dwarf the
+        // Allgather.
+        let n = 262_144u64;
+        let launch = LaunchConfig::cover1(n, 256);
+        let mut t1 = 0.0;
+        for nodes in [1u32, 4, 16] {
+            let mut cl = CuccCluster::new(spec(nodes), RuntimeConfig::modeled());
+            let out = cl.alloc(n as usize * 4);
+            let report = cl
+                .launch(
+                    &ck,
+                    launch,
+                    &[Arg::Buffer(out), Arg::int(n as i64), Arg::int(2000)],
+                )
+                .unwrap();
+            if nodes == 1 {
+                t1 = report.time();
+            } else {
+                let speedup = t1 / report.time();
+                assert!(
+                    speedup > nodes as f64 * 0.5,
+                    "nodes={nodes} speedup={speedup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modeled_mode_does_not_touch_memory() {
+        let ck = compile_source(LISTING1).unwrap();
+        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::modeled());
+        let src = cl.alloc(1024);
+        let dest = cl.alloc(1024);
+        cl.h2d(src, &[9u8; 1024]);
+        cl.launch(
+            &ck,
+            LaunchConfig::cover1(1024, 256),
+            &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1024)],
+        )
+        .unwrap();
+        assert_eq!(cl.d2h(dest), vec![0u8; 1024], "modeled mode leaves memory");
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let ck = compile_source(LISTING1).unwrap();
+        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let src = cl.alloc(512);
+        let dest = cl.alloc(512);
+        cl.h2d(src, &[1u8; 512]);
+        assert!(cl.clock() > 0.0, "h2d broadcast costs time");
+        let before = cl.clock();
+        cl.launch(
+            &ck,
+            LaunchConfig::cover1(512, 256),
+            &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(512)],
+        )
+        .unwrap();
+        assert!(cl.clock() > before);
+        cl.reset_clock();
+        assert_eq!(cl.clock(), 0.0);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let ck = compile_source(LISTING1).unwrap();
+        let mut cl = CuccCluster::new(spec(1), RuntimeConfig::default());
+        let b = cl.alloc(4);
+        let err = cl.launch(
+            &ck,
+            LaunchConfig::new(0u32, 32u32),
+            &[Arg::Buffer(b), Arg::Buffer(b), Arg::int(0)],
+        );
+        assert!(matches!(err, Err(MigrateError::Launch(_))));
+    }
+
+    #[test]
+    fn single_node_is_cupbop_baseline() {
+        // One node ⇒ no communication at all, but still the partial phase.
+        let ck = compile_source(LISTING1).unwrap();
+        let mut cl = CuccCluster::new(spec(1), RuntimeConfig::default());
+        let src = cl.alloc(2048);
+        let dest = cl.alloc(2048);
+        cl.h2d(src, &[3u8; 2048]);
+        let r = cl
+            .launch(
+                &ck,
+                LaunchConfig::cover1(2048, 256),
+                &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(2048)],
+            )
+            .unwrap();
+        assert_eq!(r.times.allgather, 0.0);
+        assert_eq!(r.wire_bytes, 0);
+        assert_eq!(cl.d2h(dest), vec![3u8; 2048]);
+    }
+}

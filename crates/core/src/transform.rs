@@ -1,0 +1,302 @@
+//! Block-resizing compiler transformation — the paper's §8.3
+//! "Workload Redistribution" future-work proposal, implemented.
+//!
+//! GPU programs with few blocks cannot feed large CPU clusters (§8.1: a
+//! `C`-node cluster with `T` cores needs ≥ `C·T` blocks), and hard-coded
+//! block sizes prevent adjusting the block count. [`split_blocks`] performs
+//! the adjustment as an IR transformation: each original block of `B`
+//! threads becomes `factor` blocks of `B/factor` threads, multiplying the
+//! grid's parallelism without changing semantics.
+//!
+//! The rewrite keeps every index expression **affine** so the transformed
+//! kernel stays Allgather distributable: the sub-block index is carried in
+//! a new leading grid dimension rather than by `%`/`/` arithmetic —
+//!
+//! ```text
+//! threadIdx.x  ↦  blockIdx.x · blockDim.x + threadIdx.x   (position in old block)
+//! blockIdx.x   ↦  blockIdx.y                              (old block id)
+//! blockDim.x   ↦  blockDim.x · factor                     (old block size)
+//! gridDim.x    ↦  gridDim.y                               (old grid size)
+//! grid (G)     ↦  (factor, G);   block (B) ↦ (B / factor)
+//! ```
+//!
+//! With the x-axis fastest in linear block order, the `factor` sub-blocks
+//! of one original block are consecutive: for dense per-block footprints
+//! the planner distributes at sub-block granularity directly, and for
+//! interleaved ones its grid-row chunking reconstructs exactly the original
+//! per-block write footprints.
+
+use crate::error::MigrateError;
+use cucc_ir::{Axis, Expr, Kernel, LaunchConfig, Stmt};
+
+/// Check whether a kernel is eligible for [`split_blocks`].
+///
+/// Requirements: no `__syncthreads()` and no `__shared__` arrays (threads
+/// of the original block would land in different new blocks), and no use of
+/// the y/z thread/block axes (the transform repurposes the grid's y axis).
+pub fn can_split_blocks(kernel: &Kernel) -> Result<(), String> {
+    if kernel.has_barrier() {
+        return Err("kernel uses __syncthreads(): threads of a block cannot be separated".into());
+    }
+    if !kernel.shared.is_empty() {
+        return Err("kernel uses __shared__ memory: threads of a block share state".into());
+    }
+    let mut bad: Option<String> = None;
+    kernel.visit_stmts(&mut |s: &Stmt| {
+        s.visit_exprs(&mut |e: &Expr| {
+            e.visit(&mut |node| {
+                let uses_hi_axis = matches!(
+                    node,
+                    Expr::ThreadIdx(Axis::Y | Axis::Z)
+                        | Expr::BlockIdx(Axis::Y | Axis::Z)
+                        | Expr::BlockDim(Axis::Y | Axis::Z)
+                        | Expr::GridDim(Axis::Y | Axis::Z)
+                );
+                if uses_hi_axis && bad.is_none() {
+                    bad = Some("kernel uses y/z axes, which the transform repurposes".into());
+                }
+            });
+        });
+    });
+    match bad {
+        Some(b) => Err(b),
+        None => Ok(()),
+    }
+}
+
+/// Split every block of a 1-D kernel into `factor` smaller blocks.
+///
+/// Returns the transformed kernel and launch configuration. The original
+/// `launch.block.x` must be divisible by `factor`.
+pub fn split_blocks(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    factor: u32,
+) -> Result<(Kernel, LaunchConfig), MigrateError> {
+    if factor == 0 {
+        return Err(MigrateError::Launch("split factor must be ≥ 1".into()));
+    }
+    if factor == 1 {
+        return Ok((kernel.clone(), launch));
+    }
+    can_split_blocks(kernel).map_err(MigrateError::Launch)?;
+    if launch.block.y != 1 || launch.block.z != 1 || launch.grid.y != 1 || launch.grid.z != 1 {
+        return Err(MigrateError::Launch(
+            "split_blocks requires a 1-D launch".into(),
+        ));
+    }
+    if launch.block.x % factor != 0 {
+        return Err(MigrateError::Launch(format!(
+            "block size {} not divisible by split factor {factor}",
+            launch.block.x
+        )));
+    }
+    let mut out = kernel.clone();
+    out.name = format!("{}_split{}", kernel.name, factor);
+    rewrite_block(&mut out.body);
+    let new_launch = LaunchConfig::new((factor, launch.grid.x), launch.block.x / factor);
+    Ok((out, new_launch))
+}
+
+fn rewrite_block(stmts: &mut [Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { value, .. } => rewrite_expr(value),
+            Stmt::Store { index, value, .. } | Stmt::AtomicRmw { index, value, .. } => {
+                rewrite_expr(index);
+                rewrite_expr(value);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                rewrite_expr(cond);
+                rewrite_block(then_body);
+                rewrite_block(else_body);
+            }
+            Stmt::For {
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
+                rewrite_expr(start);
+                rewrite_expr(end);
+                rewrite_expr(step);
+                rewrite_block(body);
+            }
+            Stmt::SyncThreads | Stmt::Return => {}
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut Expr) {
+    // Bottom-up replacement of the four index registers.
+    match e {
+        Expr::ThreadIdx(Axis::X) => {
+            *e = Expr::BlockIdx(Axis::X)
+                .mul(Expr::BlockDim(Axis::X))
+                .add(Expr::ThreadIdx(Axis::X));
+        }
+        Expr::BlockIdx(Axis::X) => *e = Expr::BlockIdx(Axis::Y),
+        Expr::BlockDim(Axis::X) => {
+            *e = Expr::BlockDim(Axis::X).mul(Expr::GridDim(Axis::X));
+        }
+        Expr::GridDim(Axis::X) => *e = Expr::GridDim(Axis::Y),
+        Expr::Unary { arg, .. } => rewrite_expr(arg),
+        Expr::Binary { lhs, rhs, .. } => {
+            rewrite_expr(lhs);
+            rewrite_expr(rhs);
+        }
+        Expr::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            rewrite_expr(cond);
+            rewrite_expr(then_value);
+            rewrite_expr(else_value);
+        }
+        Expr::Cast { arg, .. } => rewrite_expr(arg),
+        Expr::Load { index, .. } => rewrite_expr(index),
+        Expr::Call { args, .. } => args.iter_mut().for_each(rewrite_expr),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use cucc_exec::{execute_launch, Arg, MemPool};
+    use cucc_ir::{parse_kernel, Scalar};
+
+    const SAXPY: &str = "__global__ void saxpy(float* x, float* y, float a, int n) {
+        int id = blockIdx.x * blockDim.x + threadIdx.x;
+        if (id < n) y[id] = a * x[id] + y[id];
+    }";
+
+    fn run_variant(src: &str, launch: LaunchConfig, factor: u32, n: usize) -> Vec<u8> {
+        let k = parse_kernel(src).unwrap();
+        let (k, launch) = split_blocks(&k, launch, factor).unwrap();
+        cucc_ir::validate(&k).unwrap();
+        let mut pool = MemPool::new();
+        let x = pool.alloc_elems(Scalar::F32, n);
+        let y = pool.alloc_elems(Scalar::F32, n);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let ys: Vec<f32> = (0..n).map(|i| (n - i) as f32).collect();
+        pool.write_f32(x, &xs);
+        pool.write_f32(y, &ys);
+        execute_launch(
+            &k,
+            launch,
+            &[Arg::Buffer(x), Arg::Buffer(y), Arg::float(1.5), Arg::int(n as i64)],
+            &mut pool,
+        )
+        .unwrap();
+        pool.bytes(y).to_vec()
+    }
+
+    #[test]
+    fn split_preserves_semantics() {
+        let n = 3000;
+        let launch = LaunchConfig::cover1(n as u64, 256);
+        let baseline = run_variant(SAXPY, launch, 1, n);
+        for factor in [2u32, 4, 8, 256] {
+            assert_eq!(
+                run_variant(SAXPY, launch, factor, n),
+                baseline,
+                "factor {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_multiplies_blocks() {
+        let k = parse_kernel(SAXPY).unwrap();
+        let launch = LaunchConfig::cover1(4096, 256); // 16 blocks
+        let (k4, l4) = split_blocks(&k, launch, 4).unwrap();
+        assert_eq!(l4.num_blocks(), 64);
+        assert_eq!(l4.threads_per_block(), 64);
+        assert_eq!(l4.total_threads(), launch.total_threads());
+        assert_eq!(k4.name, "saxpy_split4");
+    }
+
+    #[test]
+    fn split_kernel_stays_distributable() {
+        let k = parse_kernel(SAXPY).unwrap();
+        let launch = LaunchConfig::cover1(4096, 256);
+        let (k4, _l4) = split_blocks(&k, launch, 4).unwrap();
+        let ck = compile(k4).unwrap();
+        assert!(
+            ck.is_distributable(),
+            "split kernel lost distributability: {:?}",
+            ck.analysis.verdict.reasons()
+        );
+    }
+
+    #[test]
+    fn split_plan_chunks_by_original_block() {
+        use cucc_analysis::{plan_launch, Plan};
+        let k = parse_kernel(SAXPY).unwrap();
+        let n = 4096usize;
+        let launch = LaunchConfig::cover1(n as u64, 256);
+        let (k4, l4) = split_blocks(&k, launch, 4).unwrap();
+        let ck = compile(k4).unwrap();
+        let mut pool = MemPool::new();
+        let x = pool.alloc_elems(Scalar::F32, n);
+        let y = pool.alloc_elems(Scalar::F32, n);
+        let args = vec![Arg::Buffer(x), Arg::Buffer(y), Arg::float(1.0), Arg::int(n as i64)];
+        let Plan::ThreePhase(tp) = plan_launch(&ck.kernel, &ck.analysis.verdict, l4, &args, &pool)
+        else {
+            panic!("expected plan");
+        };
+        // Sub-blocks of the same original block write consecutive dense
+        // slices, so the planner can distribute at single-sub-block
+        // granularity — strictly finer than the original kernel.
+        assert_eq!(tp.chunk_blocks, 1);
+        assert_eq!(tp.full_chunks, 64);
+        assert_eq!(tp.buffers[0].unit, 64 * 4);
+    }
+
+    #[test]
+    fn barrier_kernels_rejected() {
+        let src = "__global__ void k(float* o) {
+            __shared__ float t[32];
+            t[threadIdx.x] = 1.0f;
+            __syncthreads();
+            o[blockIdx.x * blockDim.x + threadIdx.x] = t[threadIdx.x];
+        }";
+        let k = parse_kernel(src).unwrap();
+        assert!(can_split_blocks(&k).is_err());
+        assert!(split_blocks(&k, LaunchConfig::new(2u32, 32u32), 2).is_err());
+    }
+
+    #[test]
+    fn two_d_kernels_rejected() {
+        let src = "__global__ void k(float* o, int w) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y;
+            o[y * w + x] = 1.0f;
+        }";
+        let k = parse_kernel(src).unwrap();
+        assert!(can_split_blocks(&k).is_err());
+    }
+
+    #[test]
+    fn indivisible_factor_rejected() {
+        let k = parse_kernel(SAXPY).unwrap();
+        assert!(split_blocks(&k, LaunchConfig::new(4u32, 100u32), 3).is_err());
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let k = parse_kernel(SAXPY).unwrap();
+        let launch = LaunchConfig::cover1(1000, 128);
+        let (k1, l1) = split_blocks(&k, launch, 1).unwrap();
+        assert_eq!(k1.body, k.body);
+        assert_eq!(l1, launch);
+    }
+}

@@ -1,0 +1,29 @@
+//! # cucc-exec — instrumented execution of kernel IR
+//!
+//! This crate gives operational semantics to the `cucc-ir` kernels. It is the
+//! stand-in for CuPBoP's compiled output in the paper: one GPU **block**
+//! executes as one CPU task, with the threads of the block run as an inner
+//! loop (split into phases at `__syncthreads()` barriers, exactly the
+//! loop-fission transformation of MCUDA/CuPBoP).
+//!
+//! Execution is **instrumented**: every block run produces a [`BlockStats`]
+//! with dynamic operation and memory-traffic counts. The performance models
+//! in `cucc-cluster` and `cucc-gpu-model` consume these counts, so simulated
+//! runtimes are grounded in the real dynamic behaviour of each kernel rather
+//! than hand-written estimates.
+//!
+//! Because GPU programs are SPMD, blocks are statistically identical; for
+//! large launches [`profile_launch`] samples a few representative blocks and
+//! extrapolates, which is how the figure harnesses scale to paper-sized
+//! workloads without interpreting billions of operations.
+
+pub mod interp;
+pub mod memory;
+pub mod stats;
+
+pub use interp::{
+    execute_block, execute_block_traced, execute_launch, profile_launch, Arg, ExecError,
+    LaunchProfile, WriteRecord,
+};
+pub use memory::{BufferId, MemPool};
+pub use stats::BlockStats;

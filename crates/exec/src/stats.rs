@@ -1,0 +1,171 @@
+//! Dynamic execution statistics.
+//!
+//! Every interpreted block produces a [`BlockStats`]; the cluster and GPU
+//! performance models convert these counts into simulated time. Weights for
+//! transcendental intrinsics approximate their cost in hardware units
+//! relative to one fused multiply-add.
+
+use std::ops::{Add, AddAssign};
+
+/// Operation and traffic counters for one (or a sum of several) block
+/// executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockStats {
+    /// Integer ALU operations (address arithmetic included).
+    pub int_ops: u64,
+    /// Floating-point operations, transcendental calls pre-weighted.
+    pub float_ops: u64,
+    /// Bytes read from global memory.
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory (plain stores).
+    pub global_write_bytes: u64,
+    /// Number of individual load instructions from global memory.
+    pub global_loads: u64,
+    /// Number of individual store instructions to global memory.
+    pub global_stores: u64,
+    /// Bytes moved to/from shared memory.
+    pub shared_bytes: u64,
+    /// Bytes moved to/from per-thread local arrays.
+    pub local_bytes: u64,
+    /// Atomic read-modify-write operations on global memory.
+    pub global_atomics: u64,
+    /// `__syncthreads()` barriers crossed (per block, not per thread).
+    pub barriers: u64,
+    /// Number of threads that executed at least one statement.
+    pub active_threads: u64,
+    /// Number of blocks folded into this record.
+    pub blocks: u64,
+}
+
+impl BlockStats {
+    /// All-zero record.
+    pub fn new() -> BlockStats {
+        BlockStats::default()
+    }
+
+    /// Total dynamic operations (int + float).
+    pub fn total_ops(&self) -> u64 {
+        self.int_ops + self.float_ops
+    }
+
+    /// Total bytes of memory traffic across all spaces.
+    pub fn total_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes + self.shared_bytes + self.local_bytes
+    }
+
+    /// Bytes of global traffic only (what a GPU's HBM or a CPU's DRAM sees,
+    /// to first order).
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Arithmetic intensity: float ops per global byte (`inf` for
+    /// traffic-free kernels).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.global_bytes();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.float_ops as f64 / b as f64
+        }
+    }
+
+    /// Scale every counter by `k` — used to extrapolate a sampled block
+    /// profile to a full launch.
+    pub fn scaled(&self, k: u64) -> BlockStats {
+        BlockStats {
+            int_ops: self.int_ops * k,
+            float_ops: self.float_ops * k,
+            global_read_bytes: self.global_read_bytes * k,
+            global_write_bytes: self.global_write_bytes * k,
+            global_loads: self.global_loads * k,
+            global_stores: self.global_stores * k,
+            shared_bytes: self.shared_bytes * k,
+            local_bytes: self.local_bytes * k,
+            global_atomics: self.global_atomics * k,
+            barriers: self.barriers * k,
+            active_threads: self.active_threads * k,
+            blocks: self.blocks * k,
+        }
+    }
+}
+
+impl Add for BlockStats {
+    type Output = BlockStats;
+    fn add(self, rhs: BlockStats) -> BlockStats {
+        BlockStats {
+            int_ops: self.int_ops + rhs.int_ops,
+            float_ops: self.float_ops + rhs.float_ops,
+            global_read_bytes: self.global_read_bytes + rhs.global_read_bytes,
+            global_write_bytes: self.global_write_bytes + rhs.global_write_bytes,
+            global_loads: self.global_loads + rhs.global_loads,
+            global_stores: self.global_stores + rhs.global_stores,
+            shared_bytes: self.shared_bytes + rhs.shared_bytes,
+            local_bytes: self.local_bytes + rhs.local_bytes,
+            global_atomics: self.global_atomics + rhs.global_atomics,
+            barriers: self.barriers + rhs.barriers,
+            active_threads: self.active_threads + rhs.active_threads,
+            blocks: self.blocks + rhs.blocks,
+        }
+    }
+}
+
+impl AddAssign for BlockStats {
+    fn add_assign(&mut self, rhs: BlockStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// Cost weight of a transcendental intrinsic, in equivalent float ops.
+pub fn intrinsic_weight(f: cucc_ir::Intrinsic) -> u64 {
+    use cucc_ir::Intrinsic::*;
+    match f {
+        Exp | Log | Pow | Tanh | Erf => 20,
+        Sin | Cos => 16,
+        Sqrt | Rsqrt => 8,
+        Floor | Ceil | Fabs | Fmin | Fmax | Min | Max | Abs => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = BlockStats {
+            int_ops: 10,
+            float_ops: 5,
+            global_read_bytes: 64,
+            global_write_bytes: 32,
+            blocks: 1,
+            ..BlockStats::default()
+        };
+        let b = a + a;
+        assert_eq!(b.int_ops, 20);
+        assert_eq!(b.blocks, 2);
+        let c = a.scaled(3);
+        assert_eq!(c.float_ops, 15);
+        assert_eq!(c.global_bytes(), 288);
+    }
+
+    #[test]
+    fn intensity() {
+        let s = BlockStats {
+            float_ops: 100,
+            global_read_bytes: 40,
+            global_write_bytes: 10,
+            ..BlockStats::default()
+        };
+        assert!((s.arithmetic_intensity() - 2.0).abs() < 1e-12);
+        let z = BlockStats::default();
+        assert!(z.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn weights_monotone() {
+        use cucc_ir::Intrinsic::*;
+        assert!(intrinsic_weight(Exp) > intrinsic_weight(Sqrt));
+        assert!(intrinsic_weight(Sqrt) > intrinsic_weight(Fabs));
+    }
+}

@@ -1,0 +1,22 @@
+//! # cucc-gpu-model — GPU baseline: roofline timing + functional reference
+//!
+//! The paper compares CPU-cluster execution against NVIDIA V100 and A100
+//! GPUs "released in the same era as the evaluated CPUs" (§7.4). We have no
+//! GPUs, so this crate provides:
+//!
+//! * [`GpuSpec`] — published hardware parameters of the two cards;
+//! * a **roofline execution model** ([`GpuSpec::kernel_time`]): a kernel is
+//!   bounded by compute (`ops / peak`), by memory (`bytes / HBM bandwidth`)
+//!   or by occupancy (too few threads to fill the SMs), whichever binds,
+//!   plus a fixed launch overhead — first-order GPU performance, which is
+//!   all Figures 11 and 12 need;
+//! * [`GpuDevice`] — a functional CUDA-like device (alloc / h2d / launch /
+//!   d2h) whose launches run the *exact* interpreter semantics. Its memory
+//!   after a launch is the **correctness oracle** every distributed
+//!   execution is compared against, byte for byte.
+
+pub mod device;
+pub mod spec;
+
+pub use device::GpuDevice;
+pub use spec::GpuSpec;

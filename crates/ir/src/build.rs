@@ -1,0 +1,293 @@
+//! Fluent programmatic construction of kernels.
+//!
+//! ```
+//! use cucc_ir::{KernelBuilder, Expr, Scalar};
+//!
+//! // Listing 1 of the paper: dest[id] = src[id] when id < n.
+//! let mut b = KernelBuilder::new("vec_copy");
+//! let src = b.buffer("src", Scalar::I8);
+//! let dest = b.buffer("dest", Scalar::I8);
+//! let n = b.scalar("n", Scalar::I32);
+//! let id = b.let_("id", Expr::global_tid_x());
+//! b.if_then(Expr::Var(id).lt(n), |b| {
+//!     b.store(dest, Expr::Var(id), Expr::load(src, Expr::Var(id)));
+//! });
+//! let kernel = b.finish();
+//! assert_eq!(kernel.name, "vec_copy");
+//! cucc_ir::validate(&kernel).unwrap();
+//! ```
+
+use crate::expr::Expr;
+use crate::kernel::{ArrayDecl, Kernel, MemRef, Param, ParamId, VarId};
+use crate::stmt::{AtomicOp, Stmt};
+use crate::types::Scalar;
+
+/// Incremental kernel constructor.
+///
+/// Statements are appended to the innermost open block; [`Self::if_then`],
+/// [`Self::if_else`] and [`Self::for_`] take closures that build the nested
+/// bodies.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    shared: Vec<ArrayDecl>,
+    locals: Vec<ArrayDecl>,
+    var_names: Vec<String>,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Start a new kernel.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            shared: Vec::new(),
+            locals: Vec::new(),
+            var_names: Vec::new(),
+            stack: vec![Vec::new()],
+        }
+    }
+
+    /// Declare a global-memory buffer parameter; returns its memory handle.
+    pub fn buffer(&mut self, name: impl Into<String>, elem: Scalar) -> MemRef {
+        let id = ParamId(self.params.len() as u32);
+        self.params.push(Param::Buffer {
+            name: name.into(),
+            elem,
+        });
+        MemRef::Global(id)
+    }
+
+    /// Declare a scalar parameter; returns an expression reading it.
+    pub fn scalar(&mut self, name: impl Into<String>, ty: Scalar) -> Expr {
+        let id = ParamId(self.params.len() as u32);
+        self.params.push(Param::Scalar {
+            name: name.into(),
+            ty,
+        });
+        Expr::Param(id)
+    }
+
+    /// Declare a `__shared__` array of `len` elements.
+    pub fn shared(&mut self, name: impl Into<String>, elem: Scalar, len: usize) -> MemRef {
+        let id = self.shared.len() as u32;
+        self.shared.push(ArrayDecl {
+            name: name.into(),
+            elem,
+            len,
+        });
+        MemRef::Shared(id)
+    }
+
+    /// Declare a per-thread local array of `len` elements.
+    pub fn local_array(&mut self, name: impl Into<String>, elem: Scalar, len: usize) -> MemRef {
+        let id = self.locals.len() as u32;
+        self.locals.push(ArrayDecl {
+            name: name.into(),
+            elem,
+            len,
+        });
+        MemRef::Local(id)
+    }
+
+    /// Declare a local scalar variable (without assigning it).
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.into());
+        id
+    }
+
+    /// Declare a variable and immediately assign it (`int name = value;`).
+    pub fn let_(&mut self, name: impl Into<String>, value: Expr) -> VarId {
+        let v = self.var(name);
+        self.assign(v, value);
+        v
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.stack
+            .last_mut()
+            .expect("builder block stack is never empty")
+            .push(s);
+    }
+
+    /// `var = value;`
+    pub fn assign(&mut self, var: VarId, value: Expr) {
+        self.push(Stmt::Assign { var, value });
+    }
+
+    /// `mem[index] = value;`
+    pub fn store(&mut self, mem: MemRef, index: Expr, value: Expr) {
+        self.push(Stmt::Store { mem, index, value });
+    }
+
+    /// `atomicOp(&mem[index], value);`
+    pub fn atomic(&mut self, op: AtomicOp, mem: MemRef, index: Expr, value: Expr) {
+        self.push(Stmt::AtomicRmw {
+            op,
+            mem,
+            index,
+            value,
+        });
+    }
+
+    /// `__syncthreads();`
+    pub fn sync_threads(&mut self) {
+        self.push(Stmt::SyncThreads);
+    }
+
+    /// `return;`
+    pub fn ret(&mut self) {
+        self.push(Stmt::Return);
+    }
+
+    /// `if (cond) { body(b) }`
+    pub fn if_then(&mut self, cond: Expr, body: impl FnOnce(&mut KernelBuilder)) {
+        self.stack.push(Vec::new());
+        body(self);
+        let then_body = self.stack.pop().expect("balanced block stack");
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body: Vec::new(),
+        });
+    }
+
+    /// `if (cond) { then_b(b) } else { else_b(b) }`
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_b: impl FnOnce(&mut KernelBuilder),
+        else_b: impl FnOnce(&mut KernelBuilder),
+    ) {
+        self.stack.push(Vec::new());
+        then_b(self);
+        let then_body = self.stack.pop().expect("balanced block stack");
+        self.stack.push(Vec::new());
+        else_b(self);
+        let else_body = self.stack.pop().expect("balanced block stack");
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        });
+    }
+
+    /// `for (v = start; v < end; v += step) { body(b, v) }` — declares and
+    /// returns the induction variable.
+    pub fn for_(
+        &mut self,
+        name: impl Into<String>,
+        start: Expr,
+        end: Expr,
+        step: Expr,
+        body: impl FnOnce(&mut KernelBuilder, VarId),
+    ) -> VarId {
+        let var = self.var(name);
+        self.stack.push(Vec::new());
+        body(self, var);
+        let body_stmts = self.stack.pop().expect("balanced block stack");
+        self.push(Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            body: body_stmts,
+        });
+        var
+    }
+
+    /// Counting loop `for (v = 0; v < end; v += 1)`.
+    pub fn for_range(
+        &mut self,
+        name: impl Into<String>,
+        end: Expr,
+        body: impl FnOnce(&mut KernelBuilder, VarId),
+    ) -> VarId {
+        self.for_(name, Expr::int(0), end, Expr::int(1), body)
+    }
+
+    /// Finish construction and return the kernel.
+    ///
+    /// # Panics
+    /// Panics if called while a nested block is still open (programming
+    /// error in builder usage — impossible through the closure API).
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "KernelBuilder::finish called with unbalanced blocks"
+        );
+        Kernel {
+            name: self.name,
+            params: self.params,
+            shared: self.shared,
+            locals: self.locals,
+            body: self.stack.pop().unwrap(),
+            var_names: self.var_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Axis;
+    use crate::validate::validate;
+
+    #[test]
+    fn nested_blocks_land_in_right_place() {
+        let mut b = KernelBuilder::new("k");
+        let buf = b.buffer("out", Scalar::I32);
+        let i = b.let_("i", Expr::ThreadIdx(Axis::X));
+        b.if_then(Expr::Var(i).lt(Expr::int(4)), |b| {
+            b.for_range("j", Expr::int(2), |b, j| {
+                b.store(buf, Expr::Var(i).add(Expr::Var(j)), Expr::int(1));
+            });
+        });
+        let k = b.finish();
+        assert_eq!(k.body.len(), 2); // assign + if
+        match &k.body[1] {
+            Stmt::If { then_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                match &then_body[0] {
+                    Stmt::For { body, .. } => assert_eq!(body.len(), 1),
+                    other => panic!("expected For, got {other:?}"),
+                }
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+        validate(&k).unwrap();
+    }
+
+    #[test]
+    fn shared_and_local_handles() {
+        let mut b = KernelBuilder::new("k");
+        let sh = b.shared("tile", Scalar::F32, 256);
+        let lo = b.local_array("scratch", Scalar::F64, 8);
+        assert_eq!(sh, MemRef::Shared(0));
+        assert_eq!(lo, MemRef::Local(0));
+        let k = b.finish();
+        assert_eq!(k.shared[0].size_bytes(), 1024);
+        assert_eq!(k.locals[0].size_bytes(), 64);
+    }
+
+    #[test]
+    fn var_ids_are_sequential() {
+        let mut b = KernelBuilder::new("k");
+        let a = b.var("a");
+        let c = b.var("c");
+        assert_eq!(a, VarId(0));
+        assert_eq!(c, VarId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_finish_panics() {
+        let mut b = KernelBuilder::new("k");
+        b.stack.push(Vec::new()); // simulate a bug
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,296 @@
+//! Kernel definitions: parameters, memory declarations and the kernel body.
+
+use crate::stmt::Stmt;
+use crate::types::{MemSpace, Scalar};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a kernel parameter (buffer or scalar), in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub u32);
+
+impl ParamId {
+    /// Index into [`Kernel::params`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a kernel-local scalar variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index into the kernel's variable table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A kernel parameter: either a pointer into global memory or a scalar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Param {
+    /// `elem* name` — a device global-memory buffer.
+    Buffer { name: String, elem: Scalar },
+    /// `ty name` — a launch-time scalar argument.
+    Scalar { name: String, ty: Scalar },
+}
+
+impl Param {
+    /// Parameter name as written in the signature.
+    pub fn name(&self) -> &str {
+        match self {
+            Param::Buffer { name, .. } | Param::Scalar { name, .. } => name,
+        }
+    }
+
+    /// True for buffer (pointer) parameters.
+    pub fn is_buffer(&self) -> bool {
+        matches!(self, Param::Buffer { .. })
+    }
+
+    /// Element/scalar type.
+    pub fn scalar(&self) -> Scalar {
+        match self {
+            Param::Buffer { elem, .. } => *elem,
+            Param::Scalar { ty, .. } => *ty,
+        }
+    }
+}
+
+/// A statically sized array declaration (shared or thread-local).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Source name.
+    pub name: String,
+    /// Element type.
+    pub elem: Scalar,
+    /// Number of elements (compile-time constant, as in CUDA static
+    /// `__shared__` declarations).
+    pub len: usize,
+}
+
+impl ArrayDecl {
+    /// Total size of the array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len * self.elem.size()
+    }
+}
+
+/// A reference to an addressable memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemRef {
+    /// Global buffer parameter.
+    Global(ParamId),
+    /// `__shared__` array (index into [`Kernel::shared`]).
+    Shared(u32),
+    /// Per-thread array (index into [`Kernel::locals`]).
+    Local(u32),
+}
+
+impl MemRef {
+    /// Which memory space this reference addresses.
+    #[inline]
+    pub fn space(self) -> MemSpace {
+        match self {
+            MemRef::Global(_) => MemSpace::Global,
+            MemRef::Shared(_) => MemSpace::Shared,
+            MemRef::Local(_) => MemSpace::Local,
+        }
+    }
+}
+
+/// A GPU kernel: the unit CuCC migrates.
+///
+/// Invariants beyond what the type system expresses are established by
+/// [`crate::validate::validate`] and relied on by the executors:
+/// variables are assigned before use, barrier statements only appear in
+/// uniform control flow, and operand domains (int/float) agree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name (the `__global__` function name).
+    pub name: String,
+    /// Parameters in signature order.
+    pub params: Vec<Param>,
+    /// `__shared__` arrays.
+    pub shared: Vec<ArrayDecl>,
+    /// Per-thread local arrays.
+    pub locals: Vec<ArrayDecl>,
+    /// Kernel body.
+    pub body: Vec<Stmt>,
+    /// Names of local scalar variables, indexed by [`VarId`].
+    pub var_names: Vec<String>,
+}
+
+impl Kernel {
+    /// Number of local scalar variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Element type of a memory reference.
+    pub fn elem_type(&self, mem: MemRef) -> Scalar {
+        match mem {
+            MemRef::Global(p) => match &self.params[p.index()] {
+                Param::Buffer { elem, .. } => *elem,
+                Param::Scalar { .. } => {
+                    panic!("MemRef::Global({p}) refers to a scalar parameter")
+                }
+            },
+            MemRef::Shared(i) => self.shared[i as usize].elem,
+            MemRef::Local(i) => self.locals[i as usize].elem,
+        }
+    }
+
+    /// Find a parameter by name.
+    pub fn param_by_name(&self, name: &str) -> Option<ParamId> {
+        self.params
+            .iter()
+            .position(|p| p.name() == name)
+            .map(|i| ParamId(i as u32))
+    }
+
+    /// Iterate over the buffer parameters with their ids.
+    pub fn buffer_params(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_buffer())
+            .map(|(i, p)| (ParamId(i as u32), p))
+    }
+
+    /// Iterate over the scalar parameters with their ids.
+    pub fn scalar_params(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_buffer())
+            .map(|(i, p)| (ParamId(i as u32), p))
+    }
+
+    /// True if the kernel contains any `__syncthreads()` barrier.
+    pub fn has_barrier(&self) -> bool {
+        fn block_has(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::SyncThreads => true,
+                Stmt::If { then_body, else_body, .. } => {
+                    block_has(then_body) || block_has(else_body)
+                }
+                Stmt::For { body, .. } => block_has(body),
+                _ => false,
+            })
+        }
+        block_has(&self.body)
+    }
+
+    /// Visit every statement in the kernel (pre-order, nested blocks
+    /// included).
+    pub fn visit_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        fn walk<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::If { then_body, else_body, .. } => {
+                        walk(then_body, f);
+                        walk(else_body, f);
+                    }
+                    Stmt::For { body, .. } => walk(body, f),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, f);
+    }
+
+    /// Collect the global buffers the kernel stores to (including atomics).
+    pub fn written_global_buffers(&self) -> Vec<ParamId> {
+        let mut out: Vec<ParamId> = Vec::new();
+        self.visit_stmts(&mut |s| {
+            let mem = match s {
+                Stmt::Store { mem, .. } => Some(*mem),
+                Stmt::AtomicRmw { mem, .. } => Some(*mem),
+                _ => None,
+            };
+            if let Some(MemRef::Global(p)) = mem {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        });
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn toy_kernel() -> Kernel {
+        // dest[gid] = src[gid]
+        let src = ParamId(0);
+        let dest = ParamId(1);
+        Kernel {
+            name: "copy".into(),
+            params: vec![
+                Param::Buffer { name: "src".into(), elem: Scalar::F32 },
+                Param::Buffer { name: "dest".into(), elem: Scalar::F32 },
+            ],
+            shared: vec![],
+            locals: vec![],
+            body: vec![Stmt::Store {
+                mem: MemRef::Global(dest),
+                index: Expr::global_tid_x(),
+                value: Expr::load(MemRef::Global(src), Expr::global_tid_x()),
+            }],
+            var_names: vec![],
+        }
+    }
+
+    #[test]
+    fn written_buffers_found() {
+        let k = toy_kernel();
+        assert_eq!(k.written_global_buffers(), vec![ParamId(1)]);
+    }
+
+    #[test]
+    fn param_lookup() {
+        let k = toy_kernel();
+        assert_eq!(k.param_by_name("src"), Some(ParamId(0)));
+        assert_eq!(k.param_by_name("dest"), Some(ParamId(1)));
+        assert_eq!(k.param_by_name("nope"), None);
+    }
+
+    #[test]
+    fn elem_type_of_global() {
+        let k = toy_kernel();
+        assert_eq!(k.elem_type(MemRef::Global(ParamId(0))), Scalar::F32);
+    }
+
+    #[test]
+    fn no_barrier_in_toy() {
+        assert!(!toy_kernel().has_barrier());
+    }
+
+    #[test]
+    fn memref_spaces() {
+        assert_eq!(MemRef::Global(ParamId(0)).space(), MemSpace::Global);
+        assert_eq!(MemRef::Shared(0).space(), MemSpace::Shared);
+        assert_eq!(MemRef::Local(0).space(), MemSpace::Local);
+    }
+}

@@ -1,0 +1,770 @@
+//! Structural validation of kernels.
+//!
+//! The executors and analyses rely on invariants that the IR data types do
+//! not express. [`validate`] checks them all and must pass before a kernel is
+//! executed or migrated:
+//!
+//! * all ids ([`VarId`], [`crate::kernel::ParamId`], shared/local indices) are in range,
+//!   and `MemRef::Global` refers to buffer (not scalar) parameters;
+//! * every local variable is assigned before use on every path;
+//! * variables keep a consistent value domain (int vs float) across
+//!   assignments (implicit `int → float` promotion is allowed inside
+//!   expressions, as in C, but a variable cannot alternate domains);
+//! * integer-only operators (`% & | ^ << >> ~`) receive integer operands;
+//! * intrinsic calls have the right arity;
+//! * `__syncthreads()` appears only in *uniform* control flow — at the top
+//!   level or inside loops whose bounds are thread-invariant — mirroring
+//!   CUDA's requirement that all threads of a block reach the same barrier;
+//! * `return` is absent from kernels that contain barriers.
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel::{Kernel, MemRef, Param, VarId};
+use crate::stmt::Stmt;
+use crate::types::ValueKind;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A `VarId` is out of range.
+    BadVarId(VarId),
+    /// A `ParamId` or array index is out of range, or a `MemRef::Global`
+    /// names a scalar parameter.
+    BadMemRef(String),
+    /// A variable may be read before any assignment dominates the read.
+    UseBeforeDef { var: VarId, name: String },
+    /// A variable is assigned both integer and float values.
+    KindConflict { var: VarId, name: String },
+    /// An integer-only operator received a float operand.
+    IntOnlyOp(String),
+    /// Wrong number of intrinsic arguments.
+    BadArity { intrinsic: &'static str, got: usize },
+    /// `__syncthreads()` in divergent (thread-variant) control flow.
+    DivergentBarrier,
+    /// `return` used in a kernel that also uses barriers.
+    ReturnWithBarrier,
+    /// A `for` step expression is the constant zero.
+    ZeroStep,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadVarId(v) => write!(f, "variable id {v} out of range"),
+            ValidateError::BadMemRef(m) => write!(f, "invalid memory reference: {m}"),
+            ValidateError::UseBeforeDef { name, .. } => {
+                write!(f, "variable `{name}` may be used before assignment")
+            }
+            ValidateError::KindConflict { name, .. } => {
+                write!(f, "variable `{name}` is assigned both int and float values")
+            }
+            ValidateError::IntOnlyOp(op) => {
+                write!(f, "operator `{op}` requires integer operands")
+            }
+            ValidateError::BadArity { intrinsic, got } => {
+                write!(f, "intrinsic `{intrinsic}` called with {got} arguments")
+            }
+            ValidateError::DivergentBarrier => {
+                write!(f, "__syncthreads() inside thread-divergent control flow")
+            }
+            ValidateError::ReturnWithBarrier => {
+                write!(f, "return statement in a kernel that uses __syncthreads()")
+            }
+            ValidateError::ZeroStep => write!(f, "for-loop step is zero"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a kernel. See the module docs for the list of checks.
+pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
+    check_refs(kernel)?;
+    check_def_before_use(kernel)?;
+    let kinds = infer_var_kinds(kernel)?;
+    check_expr_kinds(kernel, &kinds)?;
+    check_barriers(kernel)?;
+    Ok(())
+}
+
+fn check_mem_ref(kernel: &Kernel, mem: MemRef) -> Result<(), ValidateError> {
+    match mem {
+        MemRef::Global(p) => match kernel.params.get(p.index()) {
+            Some(Param::Buffer { .. }) => Ok(()),
+            Some(Param::Scalar { name, .. }) => Err(ValidateError::BadMemRef(format!(
+                "global reference to scalar parameter `{name}`"
+            ))),
+            None => Err(ValidateError::BadMemRef(format!("parameter {p} out of range"))),
+        },
+        MemRef::Shared(i) if (i as usize) < kernel.shared.len() => Ok(()),
+        MemRef::Local(i) if (i as usize) < kernel.locals.len() => Ok(()),
+        other => Err(ValidateError::BadMemRef(format!("{other:?} out of range"))),
+    }
+}
+
+fn check_expr_refs(kernel: &Kernel, nv: u32, e: &Expr) -> Result<(), ValidateError> {
+    let mut result = Ok(());
+    e.visit(&mut |node| {
+        if result.is_err() {
+            return;
+        }
+        match node {
+            Expr::Var(v) if v.0 >= nv => result = Err(ValidateError::BadVarId(*v)),
+            Expr::Param(p) if p.index() >= kernel.params.len() => {
+                result = Err(ValidateError::BadMemRef(format!("parameter {p} out of range")))
+            }
+            Expr::Param(p) => {
+                if kernel.params[p.index()].is_buffer() {
+                    result = Err(ValidateError::BadMemRef(format!(
+                        "scalar read of buffer parameter `{}`",
+                        kernel.params[p.index()].name()
+                    )));
+                }
+            }
+            Expr::Load { mem, .. } => {
+                if let Err(e) = check_mem_ref(kernel, *mem) {
+                    result = Err(e);
+                }
+            }
+            Expr::Call { f, args } => {
+                if args.len() != f.arity() {
+                    result = Err(ValidateError::BadArity {
+                        intrinsic: f.c_name(),
+                        got: args.len(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    });
+    result
+}
+
+fn check_refs(kernel: &Kernel) -> Result<(), ValidateError> {
+    let nv = kernel.num_vars() as u32;
+    let mut result = Ok(());
+    kernel.visit_stmts(&mut |s| {
+        if result.is_err() {
+            return;
+        }
+        s.visit_exprs(&mut |e| {
+            if result.is_ok() {
+                result = check_expr_refs(kernel, nv, e);
+            }
+        });
+        if result.is_err() {
+            return;
+        }
+        match s {
+            Stmt::Assign { var, .. } if var.0 >= nv => {
+                result = Err(ValidateError::BadVarId(*var));
+            }
+            Stmt::For { var, step, .. } => {
+                if var.0 >= nv {
+                    result = Err(ValidateError::BadVarId(*var));
+                } else if matches!(step, Expr::IntConst(0)) {
+                    result = Err(ValidateError::ZeroStep);
+                }
+            }
+            Stmt::Store { mem, .. } | Stmt::AtomicRmw { mem, .. } => {
+                if let Err(e) = check_mem_ref(kernel, *mem) {
+                    result = Err(e);
+                }
+            }
+            _ => {}
+        }
+    });
+    result
+}
+
+fn check_def_before_use(kernel: &Kernel) -> Result<(), ValidateError> {
+    fn uses_ok(e: &Expr, defined: &[bool], kernel: &Kernel) -> Result<(), ValidateError> {
+        let mut err = Ok(());
+        e.visit(&mut |node| {
+            if let Expr::Var(v) = node {
+                if err.is_ok() && !defined[v.index()] {
+                    err = Err(ValidateError::UseBeforeDef {
+                        var: *v,
+                        name: kernel.var_names[v.index()].clone(),
+                    });
+                }
+            }
+        });
+        err
+    }
+
+    fn walk(stmts: &[Stmt], defined: &mut Vec<bool>, kernel: &Kernel) -> Result<(), ValidateError> {
+        for s in stmts {
+            let mut err = Ok(());
+            s.visit_exprs(&mut |e| {
+                if err.is_ok() {
+                    err = uses_ok(e, defined, kernel);
+                }
+            });
+            err?;
+            match s {
+                Stmt::Assign { var, .. } => defined[var.index()] = true,
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let mut d1 = defined.clone();
+                    walk(then_body, &mut d1, kernel)?;
+                    let mut d2 = defined.clone();
+                    walk(else_body, &mut d2, kernel)?;
+                    // A variable is definitely assigned only if both branches
+                    // assign it.
+                    for i in 0..defined.len() {
+                        defined[i] = defined[i] || (d1[i] && d2[i]);
+                    }
+                }
+                Stmt::For { var, body, .. } => {
+                    let mut d = defined.clone();
+                    d[var.index()] = true;
+                    walk(body, &mut d, kernel)?;
+                    // The body may execute zero times: definitions inside do
+                    // not escape. The induction variable itself holds its
+                    // final value after the loop (C scoping in our dialect),
+                    // so it counts as defined.
+                    defined[var.index()] = true;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    let mut defined = vec![false; kernel.num_vars()];
+    walk(&kernel.body, &mut defined, kernel)
+}
+
+/// Infer each variable's value domain from its assignments.
+///
+/// Returns one [`ValueKind`] per variable; unassigned variables default to
+/// `Int` (they can never be read, per def-before-use).
+pub fn infer_var_kinds(kernel: &Kernel) -> Result<Vec<ValueKind>, ValidateError> {
+    let mut kinds: Vec<Option<ValueKind>> = vec![None; kernel.num_vars()];
+    // Iterate to a fixed point: expression kinds depend on variable kinds
+    // which depend on assignment expression kinds. `None` is treated as Int
+    // during inference; a variable flipping Int -> Float re-runs the pass, a
+    // flip Float -> Int is a conflict.
+    for _round in 0..=kernel.num_vars() {
+        let mut changed = false;
+        let mut conflict: Option<VarId> = None;
+        kernel.visit_stmts(&mut |s| {
+            let (var, value) = match s {
+                Stmt::Assign { var, value } => (*var, value),
+                Stmt::For { var, start, .. } => (*var, start),
+                _ => return,
+            };
+            let k = expr_kind(value, &kinds, kernel);
+            match kinds[var.index()] {
+                None => {
+                    kinds[var.index()] = Some(k);
+                    changed = true;
+                }
+                Some(prev) if prev == k => {}
+                Some(ValueKind::Int) if k == ValueKind::Float => {
+                    kinds[var.index()] = Some(ValueKind::Float);
+                    changed = true;
+                }
+                Some(ValueKind::Float) if k == ValueKind::Int => {
+                    // Assigning an int expression to a float variable is C
+                    // implicit conversion; keep Float.
+                }
+                Some(_) => conflict = Some(var),
+            }
+        });
+        if let Some(v) = conflict {
+            return Err(ValidateError::KindConflict {
+                var: v,
+                name: kernel.var_names[v.index()].clone(),
+            });
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(kinds
+        .into_iter()
+        .map(|k| k.unwrap_or(ValueKind::Int))
+        .collect())
+}
+
+/// Compute the value domain of an expression given variable kinds.
+pub fn expr_kind(e: &Expr, kinds: &[Option<ValueKind>], kernel: &Kernel) -> ValueKind {
+    match e {
+        Expr::IntConst(_)
+        | Expr::ThreadIdx(_)
+        | Expr::BlockIdx(_)
+        | Expr::BlockDim(_)
+        | Expr::GridDim(_) => ValueKind::Int,
+        Expr::FloatConst(_) => ValueKind::Float,
+        Expr::Param(p) => kernel.params[p.index()].scalar().kind(),
+        Expr::Var(v) => kinds[v.index()].unwrap_or(ValueKind::Int),
+        Expr::Load { mem, .. } => kernel.elem_type(*mem).kind(),
+        Expr::Unary { op, arg } => match op {
+            UnOp::Neg => expr_kind(arg, kinds, kernel),
+            UnOp::Not | UnOp::BitNot => ValueKind::Int,
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            if op.is_comparison() || matches!(op, BinOp::LAnd | BinOp::LOr) {
+                ValueKind::Int
+            } else if matches!(
+                op,
+                BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+            ) {
+                ValueKind::Int
+            } else {
+                // Arithmetic promotes to float if either side is float.
+                match (expr_kind(lhs, kinds, kernel), expr_kind(rhs, kinds, kernel)) {
+                    (ValueKind::Int, ValueKind::Int) => ValueKind::Int,
+                    _ => ValueKind::Float,
+                }
+            }
+        }
+        Expr::Select {
+            then_value,
+            else_value,
+            ..
+        } => match (
+            expr_kind(then_value, kinds, kernel),
+            expr_kind(else_value, kinds, kernel),
+        ) {
+            (ValueKind::Int, ValueKind::Int) => ValueKind::Int,
+            _ => ValueKind::Float,
+        },
+        Expr::Cast { ty, .. } => ty.kind(),
+        Expr::Call { f, args } => {
+            use crate::expr::Intrinsic::*;
+            match f {
+                Min | Max | Abs => {
+                    if args
+                        .iter()
+                        .all(|a| expr_kind(a, kinds, kernel) == ValueKind::Int)
+                    {
+                        ValueKind::Int
+                    } else {
+                        ValueKind::Float
+                    }
+                }
+                _ => ValueKind::Float,
+            }
+        }
+    }
+}
+
+fn check_expr_kinds(kernel: &Kernel, kinds: &[ValueKind]) -> Result<(), ValidateError> {
+    let opt: Vec<Option<ValueKind>> = kinds.iter().copied().map(Some).collect();
+    fn walk(
+        e: &Expr,
+        opt: &[Option<ValueKind>],
+        kernel: &Kernel,
+    ) -> Result<(), ValidateError> {
+        match e {
+            Expr::Binary { op, lhs, rhs } => {
+                walk(lhs, opt, kernel)?;
+                walk(rhs, opt, kernel)?;
+                if matches!(
+                    op,
+                    BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+                ) {
+                    let lk = expr_kind(lhs, opt, kernel);
+                    let rk = expr_kind(rhs, opt, kernel);
+                    if lk != ValueKind::Int || rk != ValueKind::Int {
+                        return Err(ValidateError::IntOnlyOp(op.symbol().to_string()));
+                    }
+                }
+                Ok(())
+            }
+            Expr::Unary { op: UnOp::BitNot, arg } => {
+                walk(arg, opt, kernel)?;
+                if expr_kind(arg, opt, kernel) != ValueKind::Int {
+                    return Err(ValidateError::IntOnlyOp("~".into()));
+                }
+                Ok(())
+            }
+            Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => walk(arg, opt, kernel),
+            Expr::Load { index, .. } => walk(index, opt, kernel),
+            Expr::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                walk(cond, opt, kernel)?;
+                walk(then_value, opt, kernel)?;
+                walk(else_value, opt, kernel)
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    walk(a, opt, kernel)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+    let mut result = Ok(());
+    kernel.visit_stmts(&mut |s| {
+        s.visit_exprs(&mut |e| {
+            if result.is_ok() {
+                result = walk(e, &opt, kernel);
+            }
+        });
+    });
+    result
+}
+
+/// Compute which variables are *thread-variant*: their value can differ
+/// between threads of the same block.
+///
+/// A variable is thread-variant if any of its assignments reads `threadIdx`,
+/// loads from memory, or reads another thread-variant variable. Loop
+/// induction variables are thread-variant if the loop bounds are. This is a
+/// conservative taint analysis shared with the Allgather-distributable
+/// analysis (paper §6.2, condition 2).
+pub fn thread_variant_vars(kernel: &Kernel) -> Vec<bool> {
+    let n = kernel.num_vars();
+    let mut variant = vec![false; n];
+    let expr_variant = |e: &Expr, variant: &[bool]| -> bool {
+        let mut tainted = false;
+        e.visit(&mut |node| match node {
+            Expr::ThreadIdx(_) | Expr::Load { .. } => tainted = true,
+            Expr::Var(v) if variant[v.index()] => tainted = true,
+            _ => {}
+        });
+        tainted
+    };
+    // Iterate to a fixed point (taint can flow through reassignments in
+    // loops, e.g. `x = x + threadIdx.x`).
+    loop {
+        let mut changed = false;
+        kernel.visit_stmts(&mut |s| match s {
+            Stmt::Assign { var, value } => {
+                if !variant[var.index()] && expr_variant(value, &variant) {
+                    variant[var.index()] = true;
+                    changed = true;
+                }
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                ..
+            } => {
+                if !variant[var.index()]
+                    && (expr_variant(start, &variant)
+                        || expr_variant(end, &variant)
+                        || expr_variant(step, &variant))
+                {
+                    variant[var.index()] = true;
+                    changed = true;
+                }
+            }
+            _ => {}
+        });
+        // Control-dependence taint: assignments under thread-variant
+        // conditions are thread-variant too.
+        fn control(
+            stmts: &[Stmt],
+            under_variant: bool,
+            variant: &mut Vec<bool>,
+            changed: &mut bool,
+            expr_variant: &impl Fn(&Expr, &[bool]) -> bool,
+        ) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { var, .. } => {
+                        if under_variant && !variant[var.index()] {
+                            variant[var.index()] = true;
+                            *changed = true;
+                        }
+                    }
+                    Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } => {
+                        let v = under_variant || expr_variant(cond, variant);
+                        control(then_body, v, variant, changed, expr_variant);
+                        control(else_body, v, variant, changed, expr_variant);
+                    }
+                    Stmt::For {
+                        var,
+                        start,
+                        end,
+                        step,
+                        body,
+                    } => {
+                        let bounds_variant = expr_variant(start, variant)
+                            || expr_variant(end, variant)
+                            || expr_variant(step, variant);
+                        let v = under_variant || bounds_variant;
+                        if v && !variant[var.index()] {
+                            variant[var.index()] = true;
+                            *changed = true;
+                        }
+                        control(body, v, variant, changed, expr_variant);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        control(
+            &kernel.body,
+            false,
+            &mut variant,
+            &mut changed,
+            &expr_variant,
+        );
+        if !changed {
+            break;
+        }
+    }
+    variant
+}
+
+fn check_barriers(kernel: &Kernel) -> Result<(), ValidateError> {
+    if !kernel.has_barrier() {
+        return Ok(());
+    }
+    // No `return` may coexist with barriers.
+    let mut has_return = false;
+    kernel.visit_stmts(&mut |s| {
+        if matches!(s, Stmt::Return) {
+            has_return = true;
+        }
+    });
+    if has_return {
+        return Err(ValidateError::ReturnWithBarrier);
+    }
+
+    let variant = thread_variant_vars(kernel);
+    let expr_variant = |e: &Expr| -> bool {
+        let mut tainted = false;
+        e.visit(&mut |node| match node {
+            Expr::ThreadIdx(_) | Expr::Load { .. } => tainted = true,
+            Expr::Var(v) if variant[v.index()] => tainted = true,
+            _ => {}
+        });
+        tainted
+    };
+
+    fn walk(
+        stmts: &[Stmt],
+        uniform: bool,
+        expr_variant: &impl Fn(&Expr) -> bool,
+    ) -> Result<(), ValidateError> {
+        for s in stmts {
+            match s {
+                Stmt::SyncThreads if !uniform => return Err(ValidateError::DivergentBarrier),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let u = uniform && !expr_variant(cond);
+                    walk(then_body, u, expr_variant)?;
+                    walk(else_body, u, expr_variant)?;
+                }
+                Stmt::For {
+                    start,
+                    end,
+                    step,
+                    body,
+                    ..
+                } => {
+                    let u = uniform
+                        && !expr_variant(start)
+                        && !expr_variant(end)
+                        && !expr_variant(step);
+                    walk(body, u, expr_variant)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    walk(&kernel.body, true, &expr_variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use crate::expr::Expr;
+    use crate::types::{Axis, Scalar};
+
+    #[test]
+    fn valid_copy_kernel_passes() {
+        let mut b = KernelBuilder::new("copy");
+        let src = b.buffer("src", Scalar::F32);
+        let dst = b.buffer("dst", Scalar::F32);
+        let n = b.scalar("n", Scalar::I32);
+        let id = b.let_("id", Expr::global_tid_x());
+        b.if_then(Expr::Var(id).lt(n), |b| {
+            b.store(dst, Expr::Var(id), Expr::load(src, Expr::Var(id)));
+        });
+        validate(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn use_before_def_caught() {
+        let mut b = KernelBuilder::new("k");
+        let buf = b.buffer("out", Scalar::I32);
+        let x = b.var("x");
+        b.store(buf, Expr::int(0), Expr::Var(x));
+        let err = validate(&b.finish()).unwrap_err();
+        assert!(matches!(err, ValidateError::UseBeforeDef { .. }));
+    }
+
+    #[test]
+    fn def_in_single_branch_not_definite() {
+        let mut b = KernelBuilder::new("k");
+        let buf = b.buffer("out", Scalar::I32);
+        let x = b.var("x");
+        b.if_then(Expr::ThreadIdx(Axis::X).lt(Expr::int(1)), |b| {
+            b.assign(x, Expr::int(1));
+        });
+        b.store(buf, Expr::int(0), Expr::Var(x));
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn def_in_both_branches_is_definite() {
+        let mut b = KernelBuilder::new("k");
+        let buf = b.buffer("out", Scalar::I32);
+        let x = b.var("x");
+        b.if_else(
+            Expr::ThreadIdx(Axis::X).lt(Expr::int(1)),
+            |b| b.assign(x, Expr::int(1)),
+            |b| b.assign(x, Expr::int(2)),
+        );
+        b.store(buf, Expr::int(0), Expr::Var(x));
+        validate(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn kind_conflict_caught() {
+        let mut b = KernelBuilder::new("k");
+        let _buf = b.buffer("out", Scalar::I32);
+        let x = b.var("x");
+        b.assign(x, Expr::float(1.5));
+        b.assign(x, Expr::int(1)); // ok: int assigned to float var
+        let k = b.finish();
+        validate(&k).unwrap();
+        let kinds = infer_var_kinds(&k).unwrap();
+        assert_eq!(kinds[0], ValueKind::Float);
+    }
+
+    #[test]
+    fn bitwise_on_float_rejected() {
+        let mut b = KernelBuilder::new("k");
+        let buf = b.buffer("out", Scalar::I32);
+        b.store(
+            buf,
+            Expr::int(0),
+            Expr::bin(BinOp::And, Expr::float(1.0), Expr::int(3)),
+        );
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::IntOnlyOp(_))
+        ));
+    }
+
+    #[test]
+    fn divergent_barrier_rejected() {
+        let mut b = KernelBuilder::new("k");
+        let _buf = b.buffer("out", Scalar::I32);
+        b.if_then(Expr::ThreadIdx(Axis::X).lt(Expr::int(16)), |b| {
+            b.sync_threads();
+        });
+        assert_eq!(validate(&b.finish()), Err(ValidateError::DivergentBarrier));
+    }
+
+    #[test]
+    fn uniform_barrier_in_loop_ok() {
+        let mut b = KernelBuilder::new("k");
+        let sh = b.shared("tile", Scalar::F32, 32);
+        let n = b.scalar("n", Scalar::I32);
+        b.for_range("i", n, |b, _i| {
+            b.store(sh, Expr::ThreadIdx(Axis::X), Expr::float(0.0));
+            b.sync_threads();
+        });
+        validate(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn return_with_barrier_rejected() {
+        let mut b = KernelBuilder::new("k");
+        let _sh = b.shared("tile", Scalar::F32, 32);
+        b.if_then(Expr::ThreadIdx(Axis::X).lt(Expr::int(1)), |b| b.ret());
+        b.sync_threads();
+        assert_eq!(validate(&b.finish()), Err(ValidateError::ReturnWithBarrier));
+    }
+
+    #[test]
+    fn thread_variance_propagates_through_vars() {
+        let mut b = KernelBuilder::new("k");
+        let _buf = b.buffer("out", Scalar::I32);
+        let a = b.let_("a", Expr::ThreadIdx(Axis::X));
+        let c = b.let_("c", Expr::Var(a).add(Expr::int(1)));
+        let d = b.let_("d", Expr::BlockIdx(Axis::X));
+        let k = b.finish();
+        let v = thread_variant_vars(&k);
+        assert!(v[a.index()]);
+        assert!(v[c.index()]);
+        assert!(!v[d.index()]);
+    }
+
+    #[test]
+    fn control_dependent_taint() {
+        // x assigned under a thread-variant condition is thread-variant even
+        // though the assigned value is uniform.
+        let mut b = KernelBuilder::new("k");
+        let _buf = b.buffer("out", Scalar::I32);
+        let x = b.var("x");
+        b.assign(x, Expr::int(0));
+        b.if_then(Expr::ThreadIdx(Axis::X).lt(Expr::int(1)), |b| {
+            b.assign(x, Expr::int(5));
+        });
+        let k = b.finish();
+        assert!(thread_variant_vars(&k)[x.index()]);
+    }
+
+    #[test]
+    fn bad_memref_to_scalar_param() {
+        let mut b = KernelBuilder::new("k");
+        let n = b.scalar("n", Scalar::I32);
+        let Expr::Param(pid) = n else { unreachable!() };
+        let mut k = b.finish();
+        k.body.push(Stmt::Store {
+            mem: MemRef::Global(pid),
+            index: Expr::int(0),
+            value: Expr::int(0),
+        });
+        assert!(matches!(validate(&k), Err(ValidateError::BadMemRef(_))));
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        let mut b = KernelBuilder::new("k");
+        let _buf = b.buffer("out", Scalar::I32);
+        b.for_("i", Expr::int(0), Expr::int(4), Expr::int(0), |_b, _i| {});
+        assert_eq!(validate(&b.finish()), Err(ValidateError::ZeroStep));
+    }
+
+    #[test]
+    fn loop_var_defined_after_loop() {
+        let mut b = KernelBuilder::new("k");
+        let buf = b.buffer("out", Scalar::I32);
+        let i = b.for_range("i", Expr::int(4), |_b, _i| {});
+        b.store(buf, Expr::int(0), Expr::Var(i));
+        validate(&b.finish()).unwrap();
+    }
+}

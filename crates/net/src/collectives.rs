@@ -1,0 +1,541 @@
+//! Collective communication: Allgather (the workhorse of the CuCC
+//! workflow), barrier and broadcast.
+//!
+//! The Allgather implementations *really move the bytes* between the
+//! per-node regions — the cluster simulator's memory consistency is
+//! established by these copies, not by fiat — while the returned
+//! [`CollectiveCost`] charges the LogGP model with the step structure of the
+//! real algorithm (ring, recursive doubling, Bruck).
+//!
+//! Placement and balance follow the paper's §2.3 taxonomy: **in-place**
+//! Allgather reuses one buffer (node `i`'s segment is already at offset
+//! `i·unit`); **out-of-place** needs a staging copy and double memory.
+//! **Balanced** Allgather (equal segments) beats imbalanced because every
+//! ring step is gated by the largest segment in flight.
+
+use crate::model::NetModel;
+use serde::{Deserialize, Serialize};
+
+/// Allgather algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllgatherAlgo {
+    /// `N−1` neighbour steps; bandwidth-optimal, latency `O(N)`.
+    Ring,
+    /// `log₂N` exchange steps; requires a power-of-two node count
+    /// (falls back to Bruck otherwise).
+    RecursiveDoubling,
+    /// `⌈log₂N⌉` steps for arbitrary `N`.
+    Bruck,
+}
+
+/// Buffer placement (paper §2.3, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllgatherPlacement {
+    /// Input and output share the buffer; no staging copy.
+    InPlace,
+    /// Separate input buffer: staging copy + double memory.
+    OutOfPlace,
+}
+
+/// Accumulated cost of one collective.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CollectiveCost {
+    /// Simulated wall-clock seconds.
+    pub time: f64,
+    /// Total bytes that crossed the wire (all nodes).
+    pub wire_bytes: u64,
+    /// Total messages sent (all nodes).
+    pub messages: u64,
+    /// Bytes moved by local staging copies.
+    pub local_copy_bytes: u64,
+    /// Peak memory multiplier (2 for out-of-place, 1 for in-place).
+    pub peak_memory_factor: u32,
+}
+
+/// Perform an Allgather over per-node regions.
+///
+/// `regions[i]` is node `i`'s copy of the full gathered region; before the
+/// call node `i`'s authoritative data sits in its own segment (byte range
+/// `[offset(i), offset(i)+seg_sizes[i])` with offsets the prefix sums).
+/// After the call every region holds every segment. Balanced operation is
+/// the special case of equal `seg_sizes`.
+///
+/// # Panics
+/// Panics if regions have differing lengths or are smaller than the sum of
+/// segments.
+pub fn allgather(
+    regions: &mut [&mut [u8]],
+    seg_sizes: &[u64],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+) -> CollectiveCost {
+    let n = regions.len();
+    assert_eq!(n, seg_sizes.len(), "one segment size per node");
+    assert!(n > 0, "empty cluster");
+    let total: u64 = seg_sizes.iter().sum();
+    for r in regions.iter() {
+        assert!(
+            r.len() as u64 >= total,
+            "region too small: {} < {total}",
+            r.len()
+        );
+    }
+    let offsets: Vec<u64> = seg_sizes
+        .iter()
+        .scan(0u64, |acc, s| {
+            let o = *acc;
+            *acc += s;
+            Some(o)
+        })
+        .collect();
+
+    let mut cost = match (algo, n) {
+        (_, 1) => CollectiveCost::default(),
+        (AllgatherAlgo::Ring, _) => ring(regions, seg_sizes, &offsets, model),
+        (AllgatherAlgo::RecursiveDoubling, _) if n.is_power_of_two() => {
+            recursive_doubling(regions, seg_sizes, &offsets, model)
+        }
+        (AllgatherAlgo::RecursiveDoubling, _) | (AllgatherAlgo::Bruck, _) => {
+            bruck(regions, seg_sizes, &offsets, model)
+        }
+    };
+    match placement {
+        AllgatherPlacement::InPlace => {
+            cost.peak_memory_factor = 1;
+        }
+        AllgatherPlacement::OutOfPlace => {
+            // Each node stages its own segment from the input buffer into
+            // the output buffer; the slowest node gates completion.
+            let max_seg = seg_sizes.iter().copied().max().unwrap_or(0);
+            cost.time += model.local_copy_time(max_seg);
+            cost.local_copy_bytes += total;
+            cost.peak_memory_factor = 2;
+        }
+    }
+    cost
+}
+
+fn copy_segment(regions: &mut [&mut [u8]], src: usize, dst: usize, lo: usize, hi: usize) {
+    if src == dst || lo == hi {
+        return;
+    }
+    // Split-borrow the two node regions.
+    let (a, b) = if src < dst {
+        let (left, right) = regions.split_at_mut(dst);
+        (&left[src][lo..hi], &mut right[0][lo..hi])
+    } else {
+        let (left, right) = regions.split_at_mut(src);
+        (&right[0][lo..hi], &mut left[dst][lo..hi])
+    };
+    b.copy_from_slice(a);
+}
+
+fn ring(
+    regions: &mut [&mut [u8]],
+    seg_sizes: &[u64],
+    offsets: &[u64],
+    model: &NetModel,
+) -> CollectiveCost {
+    let n = regions.len();
+    let mut cost = CollectiveCost::default();
+    // Step s: node i sends segment (i − s) mod n to node (i+1) mod n. All
+    // transfers of a step run concurrently; the step is gated by its
+    // largest segment.
+    for s in 0..n - 1 {
+        let mut step_max = 0u64;
+        for i in 0..n {
+            let seg = (i + n - s) % n;
+            let dst = (i + 1) % n;
+            let (lo, hi) = (
+                offsets[seg] as usize,
+                (offsets[seg] + seg_sizes[seg]) as usize,
+            );
+            copy_segment(regions, i, dst, lo, hi);
+            cost.wire_bytes += seg_sizes[seg];
+            cost.messages += 1;
+            step_max = step_max.max(seg_sizes[seg]);
+        }
+        cost.time += model.alpha + model.overhead + step_max as f64 * model.beta;
+    }
+    cost
+}
+
+fn recursive_doubling(
+    regions: &mut [&mut [u8]],
+    seg_sizes: &[u64],
+    offsets: &[u64],
+    model: &NetModel,
+) -> CollectiveCost {
+    let n = regions.len();
+    let mut cost = CollectiveCost::default();
+    // owned[i] = set of segments node i currently holds (as sorted vec).
+    let mut owned: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut dist = 1usize;
+    while dist < n {
+        let mut step_max = 0u64;
+        let snapshot = owned.clone();
+        for i in 0..n {
+            let partner = i ^ dist;
+            // i receives everything partner owns.
+            let mut recv_bytes = 0u64;
+            for &seg in &snapshot[partner] {
+                if !owned[i].contains(&seg) {
+                    let (lo, hi) = (
+                        offsets[seg] as usize,
+                        (offsets[seg] + seg_sizes[seg]) as usize,
+                    );
+                    copy_segment(regions, partner, i, lo, hi);
+                    owned[i].push(seg);
+                    recv_bytes += seg_sizes[seg];
+                }
+            }
+            cost.wire_bytes += recv_bytes;
+            cost.messages += 1;
+            step_max = step_max.max(recv_bytes);
+        }
+        cost.time += model.alpha + model.overhead + step_max as f64 * model.beta;
+        dist <<= 1;
+    }
+    cost
+}
+
+fn bruck(
+    regions: &mut [&mut [u8]],
+    seg_sizes: &[u64],
+    offsets: &[u64],
+    model: &NetModel,
+) -> CollectiveCost {
+    let n = regions.len();
+    let mut cost = CollectiveCost::default();
+    let mut owned: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut dist = 1usize;
+    while dist < n {
+        let snapshot = owned.clone();
+        let mut step_max = 0u64;
+        for i in 0..n {
+            // Bruck: node i sends its owned set to (i − dist) mod n.
+            let dst = (i + n - dist) % n;
+            let mut sent = 0u64;
+            for &seg in &snapshot[i] {
+                if !owned[dst].contains(&seg) {
+                    let (lo, hi) = (
+                        offsets[seg] as usize,
+                        (offsets[seg] + seg_sizes[seg]) as usize,
+                    );
+                    copy_segment(regions, i, dst, lo, hi);
+                    owned[dst].push(seg);
+                    sent += seg_sizes[seg];
+                }
+            }
+            cost.wire_bytes += sent;
+            cost.messages += 1;
+            step_max = step_max.max(sent);
+        }
+        cost.time += model.alpha + model.overhead + step_max as f64 * model.beta;
+        dist <<= 1;
+    }
+    cost
+}
+
+/// Cost of a **balanced** Allgather of `unit` bytes per node over `n`
+/// nodes, without moving any data. Matches exactly what [`allgather`]
+/// charges for equal segments — used by the modeled (timing-only) execution
+/// path.
+pub fn allgather_cost(
+    n: usize,
+    unit: u64,
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+) -> CollectiveCost {
+    let mut cost = CollectiveCost {
+        peak_memory_factor: 1,
+        ..CollectiveCost::default()
+    };
+    if n > 1 && unit > 0 {
+        match (algo, n.is_power_of_two()) {
+            (AllgatherAlgo::Ring, _) => {
+                let steps = (n - 1) as f64;
+                cost.time = steps * (model.alpha + model.overhead + unit as f64 * model.beta);
+                cost.wire_bytes = (n as u64 - 1) * n as u64 * unit;
+                cost.messages = (n as u64 - 1) * n as u64;
+            }
+            (AllgatherAlgo::RecursiveDoubling, true) => {
+                let steps = (n as f64).log2().round() as u32;
+                for k in 0..steps {
+                    let bytes = (1u64 << k) * unit;
+                    cost.time += model.alpha + model.overhead + bytes as f64 * model.beta;
+                    cost.wire_bytes += bytes * n as u64;
+                    cost.messages += n as u64;
+                }
+            }
+            (AllgatherAlgo::RecursiveDoubling, false) | (AllgatherAlgo::Bruck, _) => {
+                let mut dist = 1usize;
+                let mut owned = 1u64;
+                while dist < n {
+                    let send = owned.min((n as u64) - owned);
+                    let bytes = send * unit;
+                    cost.time += model.alpha + model.overhead + bytes as f64 * model.beta;
+                    cost.wire_bytes += bytes * n as u64;
+                    cost.messages += n as u64;
+                    owned += send;
+                    dist <<= 1;
+                }
+            }
+        }
+    }
+    if placement == AllgatherPlacement::OutOfPlace {
+        cost.time += model.local_copy_time(unit);
+        cost.local_copy_bytes += unit * n as u64;
+        cost.peak_memory_factor = 2;
+    }
+    cost
+}
+
+/// Dissemination barrier cost (no data movement).
+pub fn barrier_time(model: &NetModel, n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    (n as f64).log2().ceil() * (model.alpha + model.overhead)
+}
+
+/// Binomial-tree broadcast of `bytes` from one root to `n` nodes.
+pub fn broadcast_time(model: &NetModel, n: usize, bytes: u64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    (n as f64).log2().ceil() * model.msg_time(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build per-node regions where node i's own segment is filled with a
+    /// distinctive pattern and the rest is garbage.
+    fn setup(n: usize, seg: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
+        let total = n * seg;
+        let mut reference = vec![0u8; total];
+        for i in 0..n {
+            for j in 0..seg {
+                reference[i * seg + j] = (i * 31 + j * 7 + 1) as u8;
+            }
+        }
+        let regions: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let mut r = vec![0xEEu8; total]; // garbage everywhere
+                r[i * seg..(i + 1) * seg].copy_from_slice(&reference[i * seg..(i + 1) * seg]);
+                r
+            })
+            .collect();
+        (regions, reference)
+    }
+
+    fn run(
+        n: usize,
+        seg: usize,
+        algo: AllgatherAlgo,
+        placement: AllgatherPlacement,
+    ) -> CollectiveCost {
+        let (mut regions, reference) = setup(n, seg);
+        let model = NetModel::infiniband_100g();
+        let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+        let cost = allgather(&mut views, &vec![seg as u64; n], &model, algo, placement);
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r, &reference, "node {i} region after {algo:?}");
+        }
+        cost
+    }
+
+    #[test]
+    fn all_algorithms_gather_correctly() {
+        for algo in [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+        ] {
+            for n in [1usize, 2, 3, 4, 5, 8, 16, 32] {
+                run(n, 64, algo, AllgatherPlacement::InPlace);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_wire_bytes_exact() {
+        // Ring moves every segment n−1 times.
+        let c = run(8, 128, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
+        assert_eq!(c.wire_bytes, 7 * 8 * 128);
+        assert_eq!(c.messages, 7 * 8);
+    }
+
+    #[test]
+    fn recursive_doubling_fewer_latency_terms() {
+        let model = NetModel::infiniband_100g();
+        // tiny segments: latency dominates; RD's log(n) steps beat ring's n−1.
+        let seg = 8usize;
+        let n = 32;
+        let ring = run(n, seg, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
+        let rd = run(
+            n,
+            seg,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherPlacement::InPlace,
+        );
+        assert!(rd.time < ring.time);
+        // Both are dominated by per-step latency here.
+        assert!(ring.time > 30.0 * (model.alpha + model.overhead));
+    }
+
+    #[test]
+    fn out_of_place_costs_more() {
+        let ip = run(4, 1 << 16, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
+        let oop = run(4, 1 << 16, AllgatherAlgo::Ring, AllgatherPlacement::OutOfPlace);
+        assert!(oop.time > ip.time);
+        assert_eq!(ip.peak_memory_factor, 1);
+        assert_eq!(oop.peak_memory_factor, 2);
+        assert!(oop.local_copy_bytes > 0);
+    }
+
+    #[test]
+    fn imbalanced_is_slower_than_balanced() {
+        // Same total data, skewed split: ring steps gated by the largest
+        // segment (paper §2.3's 2-node N/4 vs 3N/4 example).
+        let model = NetModel::infiniband_100g();
+        let total = 1u64 << 20;
+        let n = 4;
+        let balanced = vec![total / 4; 4];
+        let imbalanced = vec![total / 8, total / 8, total / 4, total / 2];
+
+        let mk = |sizes: &Vec<u64>| -> f64 {
+            let total_b: u64 = sizes.iter().sum();
+            let mut regions: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; total_b as usize]).collect();
+            let mut views: Vec<&mut [u8]> =
+                regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+            allgather(
+                &mut views,
+                sizes,
+                &model,
+                AllgatherAlgo::Ring,
+                AllgatherPlacement::InPlace,
+            )
+            .time
+        };
+        assert!(mk(&imbalanced) > mk(&balanced));
+    }
+
+    #[test]
+    fn balanced_in_place_is_fastest_configuration() {
+        // The paper's conclusion of §2.3: balanced-in-place wins across the
+        // 2×2 design space.
+        let model = NetModel::infiniband_100g();
+        let n = 8usize;
+        let total = 1u64 << 22;
+        let balanced = vec![total / n as u64; n];
+        let mut skewed = vec![total / (2 * n as u64); n];
+        skewed[n - 1] = total - skewed[..n - 1].iter().sum::<u64>();
+
+        let time = |sizes: &Vec<u64>, placement| {
+            let t: u64 = sizes.iter().sum();
+            let mut regions: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; t as usize]).collect();
+            let mut views: Vec<&mut [u8]> =
+                regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+            allgather(&mut views, sizes, &model, AllgatherAlgo::Ring, placement).time
+        };
+        let best = time(&balanced, AllgatherPlacement::InPlace);
+        assert!(best <= time(&balanced, AllgatherPlacement::OutOfPlace));
+        assert!(best <= time(&skewed, AllgatherPlacement::InPlace));
+        assert!(best <= time(&skewed, AllgatherPlacement::OutOfPlace));
+    }
+
+    #[test]
+    fn single_node_is_free() {
+        let c = run(1, 1024, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
+        assert_eq!(c.time, 0.0);
+        assert_eq!(c.wire_bytes, 0);
+    }
+
+    #[test]
+    fn barrier_and_broadcast_scale_logarithmically() {
+        let m = NetModel::infiniband_100g();
+        assert_eq!(barrier_time(&m, 1), 0.0);
+        assert!(barrier_time(&m, 32) < 2.0 * barrier_time(&m, 16) + 1e-12);
+        assert!(broadcast_time(&m, 32, 1024) > broadcast_time(&m, 2, 1024));
+    }
+
+    #[test]
+    fn analytic_cost_matches_functional_ring() {
+        let model = NetModel::infiniband_100g();
+        for n in [2usize, 4, 7, 16] {
+            let unit = 4096usize;
+            let functional = run(n, unit, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
+            let analytic = allgather_cost(
+                n,
+                unit as u64,
+                &model,
+                AllgatherAlgo::Ring,
+                AllgatherPlacement::InPlace,
+            );
+            assert!((functional.time - analytic.time).abs() < 1e-12, "n={n}");
+            assert_eq!(functional.wire_bytes, analytic.wire_bytes);
+            assert_eq!(functional.messages, analytic.messages);
+        }
+    }
+
+    #[test]
+    fn analytic_cost_matches_functional_rd_and_bruck() {
+        let model = NetModel::infiniband_100g();
+        for (algo, ns) in [
+            (AllgatherAlgo::RecursiveDoubling, vec![2usize, 4, 8, 16]),
+            (AllgatherAlgo::Bruck, vec![3usize, 5, 6, 12]),
+        ] {
+            for n in ns {
+                let unit = 1024usize;
+                let functional = run(n, unit, algo, AllgatherPlacement::InPlace);
+                let analytic =
+                    allgather_cost(n, unit as u64, &model, algo, AllgatherPlacement::InPlace);
+                assert!(
+                    (functional.time - analytic.time).abs() / functional.time.max(1e-30) < 1e-9,
+                    "{algo:?} n={n}: {} vs {}",
+                    functional.time,
+                    analytic.time
+                );
+                assert_eq!(functional.wire_bytes, analytic.wire_bytes, "{algo:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_segments_ok() {
+        let model = NetModel::infiniband_100g();
+        let n = 4;
+        let sizes = vec![0u64, 16, 0, 16];
+        let total: u64 = sizes.iter().sum();
+        let mut reference = vec![0u8; total as usize];
+        for (i, b) in reference.iter_mut().enumerate() {
+            *b = i as u8 + 1;
+        }
+        let offsets = [0usize, 0, 16, 16];
+        let mut regions: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let mut r = vec![0u8; total as usize];
+                let sz = sizes[i] as usize;
+                r[offsets[i]..offsets[i] + sz]
+                    .copy_from_slice(&reference[offsets[i]..offsets[i] + sz]);
+                r
+            })
+            .collect();
+        let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+        allgather(
+            &mut views,
+            &sizes,
+            &model,
+            AllgatherAlgo::Bruck,
+            AllgatherPlacement::InPlace,
+        );
+        for r in &regions {
+            assert_eq!(r, &reference);
+        }
+    }
+}

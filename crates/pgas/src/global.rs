@@ -1,0 +1,112 @@
+//! Partitioned global arrays: element-to-owner mapping.
+
+/// Element distribution of a global array across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Element `i` lives on rank `i mod N` (the default fine-grained PGAS
+    /// layout; makes almost every write of a contiguous block remote).
+    Cyclic,
+    /// Element `i` lives on rank `⌊i·N/len⌋` (contiguous partitions).
+    Blocked,
+}
+
+/// A PGAS global array descriptor (`pgas::global_ptr<T>(len)` of
+/// Listing 3): replicated storage in the simulator, with virtual ownership
+/// used to price remote accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalArray {
+    /// Element size in bytes.
+    pub elem_size: usize,
+    /// Number of elements.
+    pub len: usize,
+    /// Layout.
+    pub dist: Distribution,
+}
+
+impl GlobalArray {
+    /// New array descriptor.
+    pub fn new(elem_size: usize, len: usize, dist: Distribution) -> GlobalArray {
+        GlobalArray {
+            elem_size,
+            len,
+            dist,
+        }
+    }
+
+    /// Which rank owns element `idx` on an `n`-rank cluster.
+    pub fn owner(&self, idx: usize, n: usize) -> usize {
+        debug_assert!(idx < self.len.max(1));
+        match self.dist {
+            Distribution::Cyclic => idx % n,
+            Distribution::Blocked => {
+                if self.len == 0 {
+                    0
+                } else {
+                    (idx * n / self.len).min(n - 1)
+                }
+            }
+        }
+    }
+
+    /// Which rank owns the element containing byte offset `byte_off`.
+    pub fn owner_of_byte(&self, byte_off: u64, n: usize) -> usize {
+        self.owner((byte_off as usize / self.elem_size).min(self.len.saturating_sub(1)), n)
+    }
+
+    /// Fraction of a contiguous element range `[lo, hi)` that is remote to
+    /// `rank`.
+    pub fn remote_fraction(&self, rank: usize, lo: usize, hi: usize, n: usize) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        let total = hi - lo;
+        let remote = (lo..hi).filter(|&i| self.owner(i, n) != rank).count();
+        remote as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_ownership() {
+        let a = GlobalArray::new(4, 100, Distribution::Cyclic);
+        assert_eq!(a.owner(0, 4), 0);
+        assert_eq!(a.owner(5, 4), 1);
+        assert_eq!(a.owner(7, 4), 3);
+    }
+
+    #[test]
+    fn blocked_ownership_contiguous() {
+        let a = GlobalArray::new(4, 100, Distribution::Blocked);
+        assert_eq!(a.owner(0, 4), 0);
+        assert_eq!(a.owner(24, 4), 0);
+        assert_eq!(a.owner(25, 4), 1);
+        assert_eq!(a.owner(99, 4), 3);
+    }
+
+    #[test]
+    fn cyclic_remote_fraction_is_n_minus_1_over_n() {
+        let a = GlobalArray::new(1, 1000, Distribution::Cyclic);
+        let f = a.remote_fraction(0, 0, 1000, 8);
+        assert!((f - 7.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_aligned_range_is_local() {
+        let a = GlobalArray::new(1, 1000, Distribution::Blocked);
+        // Rank 2 writing its own partition: zero remote.
+        assert_eq!(a.remote_fraction(2, 500, 750, 4), 0.0);
+        // Writing someone else's partition: all remote.
+        assert_eq!(a.remote_fraction(0, 500, 750, 4), 1.0);
+    }
+
+    #[test]
+    fn owner_of_byte_uses_elements() {
+        let a = GlobalArray::new(4, 100, Distribution::Cyclic);
+        assert_eq!(a.owner_of_byte(0, 4), 0);
+        assert_eq!(a.owner_of_byte(4, 4), 1);
+        assert_eq!(a.owner_of_byte(7, 4), 1); // inside element 1
+    }
+}

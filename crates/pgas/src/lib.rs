@@ -1,0 +1,23 @@
+//! # cucc-pgas — the PGAS baseline (UPC++-style)
+//!
+//! The paper's comparison point (§3.1, §7.3): migrate a GPU program to a CPU
+//! cluster by mapping its global buffers to **partitioned global arrays**
+//! and replacing every element write with a fine-grained asynchronous
+//! one-sided `remote_put` (Listing 3). This crate implements that migration
+//! over the same simulated cluster and interconnect as CuCC, so the two
+//! solutions differ in *communication strategy only*:
+//!
+//! * CuCC: one balanced in-place Allgather per synchronized buffer;
+//! * PGAS: one message per written element (minus the fraction that happens
+//!   to land on the writer's own partition).
+//!
+//! The distributed arrays use the element-cyclic layout; with contiguous
+//! block scheduling this makes a `(N−1)/N` fraction of element writes
+//! remote — the per-element traffic the paper measures for UPC++ (1200
+//! remote accesses for Listing 1's 1200 writes).
+
+pub mod global;
+pub mod runtime;
+
+pub use global::{Distribution, GlobalArray};
+pub use runtime::{PgasCluster, PgasConfig, PgasFidelity, PgasReport};

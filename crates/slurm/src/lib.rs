@@ -1,0 +1,24 @@
+//! # cucc-slurm — datacenter queueing and throughput models
+//!
+//! Two pieces of the paper's evaluation happen at datacenter scale rather
+//! than kernel scale:
+//!
+//! * **Figure 1** (motivation): job *waiting times* on CPU vs GPU partitions
+//!   of a Slurm-managed cluster, showing GPU partitions saturated while
+//!   CPUs idle. [`sim`] is a discrete-event FIFO scheduler and [`trace`]
+//!   generates synthetic one-week arrival traces shaped like the
+//!   observation (GPU partitions near saturation, CPU partitions at
+//!   moderate load).
+//! * **Figure 12** (cluster-wide throughput): how much batch throughput the
+//!   idle CPU fleet of a Lonestar6-shaped datacenter adds on top of its
+//!   GPUs. [`throughput`] implements that arithmetic.
+
+pub mod backfill;
+pub mod sim;
+pub mod throughput;
+pub mod trace;
+
+pub use backfill::simulate_backfill;
+pub use sim::{simulate_fifo, Job, JobOutcome, Partition, PartitionKind};
+pub use throughput::Datacenter;
+pub use trace::{synthetic_week, TraceParams};

@@ -1,0 +1,162 @@
+//! Synthetic job traces shaped like the paper's PACE observation.
+//!
+//! The paper monitors four CPU and four GPU partitions for one week (March
+//! 2–8, 2025) and finds GPU partitions saturated (waits of hours) while CPU
+//! partitions have spare capacity (waits of minutes). We reproduce the
+//! *mechanism*: Poisson arrivals with per-partition utilization targets,
+//! log-normal service times — at utilization ≳ 0.9 a FIFO queue's waits
+//! explode; at ≲ 0.5 they stay near zero.
+
+use crate::sim::Job;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic one-week trace for one partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceParams {
+    /// Nodes in the partition (determines capacity).
+    pub nodes: u32,
+    /// Target utilization (offered load / capacity).
+    pub utilization: f64,
+    /// Mean job runtime, seconds.
+    pub mean_runtime: f64,
+    /// Largest node request as a fraction of the partition.
+    pub max_request_frac: f64,
+    /// RNG seed (deterministic traces).
+    pub seed: u64,
+}
+
+impl TraceParams {
+    /// A typical under-used CPU partition.
+    pub fn cpu_partition(nodes: u32, seed: u64) -> TraceParams {
+        TraceParams {
+            nodes,
+            utilization: 0.45,
+            mean_runtime: 2.0 * 3600.0,
+            max_request_frac: 0.25,
+            seed,
+        }
+    }
+
+    /// A saturated GPU partition.
+    pub fn gpu_partition(nodes: u32, seed: u64) -> TraceParams {
+        TraceParams {
+            nodes,
+            utilization: 0.97,
+            mean_runtime: 4.0 * 3600.0,
+            max_request_frac: 0.5,
+            seed,
+        }
+    }
+}
+
+/// One simulated week.
+pub const WEEK_SECONDS: f64 = 7.0 * 24.0 * 3600.0;
+
+/// Generate one week of Poisson arrivals with log-normal runtimes hitting
+/// the requested utilization.
+pub fn synthetic_week(params: &TraceParams) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let max_req = ((params.nodes as f64 * params.max_request_frac).floor() as u32).max(1);
+    // Mean nodes per job under uniform [1, max_req].
+    let mean_nodes = (1.0 + max_req as f64) / 2.0;
+    // offered load = λ · mean_runtime · mean_nodes = utilization · nodes
+    let lambda = params.utilization * params.nodes as f64
+        / (params.mean_runtime * mean_nodes);
+    let mut jobs = Vec::new();
+    let mut t = 0.0;
+    loop {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / lambda;
+        if t > WEEK_SECONDS {
+            break;
+        }
+        // Log-normal-ish runtime: median = mean_runtime / e^{σ²/2}.
+        let sigma = 1.0f64;
+        let z: f64 = {
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            (-2.0 * u1.ln()).sqrt() * u2.cos()
+        };
+        let runtime = params.mean_runtime * (sigma * z - sigma * sigma / 2.0).exp();
+        let nodes = rng.gen_range(1..=max_req);
+        jobs.push(Job {
+            arrival: t,
+            nodes,
+            runtime: runtime.clamp(60.0, 48.0 * 3600.0),
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{mean_wait, simulate_fifo, Partition, PartitionKind};
+
+    #[test]
+    fn trace_is_deterministic() {
+        let p = TraceParams::cpu_partition(32, 7);
+        assert_eq!(synthetic_week(&p), synthetic_week(&p));
+    }
+
+    #[test]
+    fn utilization_approximately_hit() {
+        let p = TraceParams {
+            nodes: 64,
+            utilization: 0.6,
+            mean_runtime: 3600.0,
+            max_request_frac: 0.2,
+            seed: 42,
+        };
+        let jobs = synthetic_week(&p);
+        let offered: f64 = jobs.iter().map(|j| j.nodes as f64 * j.runtime).sum();
+        let capacity = 64.0 * WEEK_SECONDS;
+        let util = offered / capacity;
+        assert!(
+            (util - 0.6).abs() < 0.15,
+            "offered utilization {util} far from target"
+        );
+    }
+
+    #[test]
+    fn gpu_partitions_wait_much_longer_than_cpu() {
+        // The Figure 1 claim, end to end.
+        let cpu = Partition {
+            name: "cpu".into(),
+            nodes: 128,
+            kind: PartitionKind::Cpu,
+        };
+        let gpu = Partition {
+            name: "gpu".into(),
+            nodes: 16,
+            kind: PartitionKind::Gpu,
+        };
+        let cpu_jobs = synthetic_week(&TraceParams::cpu_partition(128, 1));
+        let gpu_jobs = synthetic_week(&TraceParams::gpu_partition(16, 2));
+        let cpu_wait = mean_wait(&simulate_fifo(&cpu, &cpu_jobs));
+        let gpu_wait = mean_wait(&simulate_fifo(&gpu, &gpu_jobs));
+        assert!(
+            gpu_wait > 10.0 * cpu_wait.max(1.0),
+            "gpu {gpu_wait}s vs cpu {cpu_wait}s"
+        );
+        // GPU waits should be in the hours range.
+        assert!(gpu_wait > 1800.0, "gpu wait {gpu_wait}");
+    }
+
+    #[test]
+    fn arrivals_sorted_and_bounded() {
+        let jobs = synthetic_week(&TraceParams::gpu_partition(8, 3));
+        assert!(!jobs.is_empty());
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for j in &jobs {
+            assert!(j.nodes >= 1 && j.nodes <= 8);
+            assert!(j.runtime >= 60.0);
+            assert!(j.arrival <= WEEK_SECONDS);
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Coverage suite 1: Triton-generated AI kernels (paper §7.1, Figure 7).
+//!
+//! The paper compiles BERT and ViT with Triton and analyzes the resulting
+//! 21 GPU kernels: **all** are Allgather distributable, because Triton's
+//! programming model (no inter-block barriers, block-tiled writes) produces
+//! regular affine memory access. The kernels below reproduce the op mix of
+//! the two models — embeddings, layernorm, QKV projections, attention
+//! score/softmax/context, GELU MLPs, residuals, dropout, pooling, logits —
+//! with the block-tiled store patterns Triton emits.
+
+use cucc_ir::{LaunchConfig, Value};
+
+/// Expected Figure-7 category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// Non-trivially Allgather distributable.
+    Distributable,
+    /// Write intervals overlap between blocks (atomics or halo writes).
+    Overlap,
+    /// Statically unanalyzable indirect store index.
+    Indirect,
+}
+
+/// A kernel in the coverage study, with enough launch/arg information to
+/// run the launch-time planner on it.
+#[derive(Debug, Clone)]
+pub struct CoverageKernel {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Source model/suite (`BERT`, `ViT`, `Hetero-Mark`).
+    pub suite: &'static str,
+    /// Mini-CUDA source.
+    pub source: String,
+    /// A representative launch.
+    pub launch: LaunchConfig,
+    /// Byte size of each buffer parameter (zero-initialized for analysis).
+    pub buffer_bytes: Vec<usize>,
+    /// Scalar arguments in parameter order.
+    pub scalars: Vec<Value>,
+    /// Expected classification.
+    pub expected: Expected,
+}
+
+// Model geometry: hidden H=256, sequence S=64, rows R=64 blocks of 256.
+const H: usize = 256;
+const S: usize = 64;
+
+fn k(
+    name: &'static str,
+    suite: &'static str,
+    source: &str,
+    launch: LaunchConfig,
+    buffer_bytes: Vec<usize>,
+    scalars: Vec<Value>,
+    expected: Expected,
+) -> CoverageKernel {
+    CoverageKernel {
+        name,
+        suite,
+        source: source.to_string(),
+        launch,
+        buffer_bytes,
+        scalars,
+        expected,
+    }
+}
+
+/// The 21 BERT + ViT kernels (12 + 9).
+pub fn triton_kernels() -> Vec<CoverageKernel> {
+    let n = S * H; // flattened activation length
+    let d = Expected::Distributable;
+    let row_launch = LaunchConfig::new(S as u32, H as u32); // block per row
+    let flat = LaunchConfig::cover1(n as u64, 256);
+    let f4 = 4usize;
+
+    vec![
+        // ---------------- BERT ----------------
+        k(
+            "bert_embed_sum",
+            "BERT",
+            "__global__ void embed_sum(float* wte, float* wpe, int* ids, float* out, int n, int h) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    int tok = ids[i / h];
+                    out[i] = wte[tok * h + i % h] + wpe[i % h];
+                }
+            }",
+            flat,
+            vec![64 * H * f4, H * f4, S * 4, n * f4],
+            vec![Value::I64(n as i64), Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "bert_layernorm",
+            "BERT",
+            "__global__ void layernorm(float* x, float* gamma, float* beta, float* out, int h) {
+                __shared__ float red[256];
+                int row = blockIdx.x;
+                int tid = threadIdx.x;
+                red[tid] = x[row * h + tid];
+                __syncthreads();
+                for (int s = 0; s < 8; s++) {
+                    int w = 128 >> s;
+                    if (tid < w)
+                        red[tid] = red[tid] + red[tid + w];
+                    __syncthreads();
+                }
+                float mean = red[0] / (float)(h);
+                __syncthreads();
+                float dev = x[row * h + tid] - mean;
+                red[tid] = dev * dev;
+                __syncthreads();
+                for (int s = 0; s < 8; s++) {
+                    int w = 128 >> s;
+                    if (tid < w)
+                        red[tid] = red[tid] + red[tid + w];
+                    __syncthreads();
+                }
+                float var = red[0] / (float)(h);
+                out[row * h + tid] = gamma[tid] * dev * rsqrtf(var + 0.00001f) + beta[tid];
+            }",
+            row_launch,
+            vec![n * f4, H * f4, H * f4, n * f4],
+            vec![Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "bert_qkv_bias",
+            "BERT",
+            "__global__ void qkv_bias(float* x, float* bias, float* out, int n, int hqkv) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    out[i] = x[i] + bias[i % hqkv];
+            }",
+            LaunchConfig::cover1((3 * n) as u64, 256),
+            vec![3 * n * f4, 3 * H * f4, 3 * n * f4],
+            vec![Value::I64(3 * n as i64), Value::I64(3 * H as i64)],
+            d,
+        ),
+        k(
+            "bert_attn_scores",
+            "BERT",
+            "__global__ void attn_scores(float* q, float* kmat, float* scores, int s, int h, float scale) {
+                int col = blockIdx.x * blockDim.x + threadIdx.x;
+                int row = blockIdx.y * blockDim.y + threadIdx.y;
+                float acc = 0.0f;
+                for (int e = 0; e < h; e++)
+                    acc += q[row * h + e] * kmat[col * h + e];
+                scores[row * s + col] = acc * scale;
+            }",
+            LaunchConfig::new((4u32, 4u32), (16u32, 16u32)),
+            vec![S * H * f4, S * H * f4, S * S * f4],
+            vec![
+                Value::I64(S as i64),
+                Value::I64(H as i64),
+                Value::F64(0.0625),
+            ],
+            d,
+        ),
+        k(
+            "bert_softmax",
+            "BERT",
+            "__global__ void softmax_row(float* scores, float* probs, int s) {
+                __shared__ float red[64];
+                int row = blockIdx.x;
+                int tid = threadIdx.x;
+                float v = scores[row * s + tid];
+                red[tid] = v;
+                __syncthreads();
+                for (int st = 0; st < 6; st++) {
+                    int w = 32 >> st;
+                    if (tid < w)
+                        red[tid] = fmaxf(red[tid], red[tid + w]);
+                    __syncthreads();
+                }
+                float m = red[0];
+                __syncthreads();
+                float e = expf(v - m);
+                red[tid] = e;
+                __syncthreads();
+                for (int st = 0; st < 6; st++) {
+                    int w = 32 >> st;
+                    if (tid < w)
+                        red[tid] = red[tid] + red[tid + w];
+                    __syncthreads();
+                }
+                probs[row * s + tid] = e / red[0];
+            }",
+            LaunchConfig::new(S as u32, S as u32),
+            vec![S * S * f4, S * S * f4],
+            vec![Value::I64(S as i64)],
+            d,
+        ),
+        k(
+            "bert_attn_context",
+            "BERT",
+            "__global__ void attn_context(float* probs, float* v, float* ctx, int s, int h) {
+                int col = blockIdx.x * blockDim.x + threadIdx.x;
+                int row = blockIdx.y * blockDim.y + threadIdx.y;
+                float acc = 0.0f;
+                for (int e = 0; e < s; e++)
+                    acc += probs[row * s + e] * v[e * h + col];
+                ctx[row * h + col] = acc;
+            }",
+            LaunchConfig::new((16u32, 4u32), (16u32, 16u32)),
+            vec![S * S * f4, S * H * f4, S * H * f4],
+            vec![Value::I64(S as i64), Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "bert_dense_gelu",
+            "BERT",
+            "__global__ void dense_gelu(float* x, float* bias, float* out, int n, int h) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    float v = x[i] + bias[i % h];
+                    out[i] = 0.5f * v * (1.0f + erff(v / 1.4142135623730951f));
+                }
+            }",
+            flat,
+            vec![n * f4, H * f4, n * f4],
+            vec![Value::I64(n as i64), Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "bert_residual_add",
+            "BERT",
+            "__global__ void residual(float* a, float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    out[i] = a[i] + b[i];
+            }",
+            flat,
+            vec![n * f4, n * f4, n * f4],
+            vec![Value::I64(n as i64)],
+            d,
+        ),
+        k(
+            "bert_dropout",
+            "BERT",
+            "__global__ void dropout(float* x, float* out, int n, int seed) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    int r = ((seed + i) * 1103515245 + 12345) & 2147483647;
+                    out[i] = r % 10 < 9 ? x[i] * 1.1111111f : 0.0f;
+                }
+            }",
+            flat,
+            vec![n * f4, n * f4],
+            vec![Value::I64(n as i64), Value::I64(1234)],
+            d,
+        ),
+        k(
+            "bert_pooler_tanh",
+            "BERT",
+            "__global__ void pooler(float* x, float* w, float* out, int h) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < h)
+                    out[i] = tanhf(x[i] * w[i]);
+            }",
+            LaunchConfig::cover1(H as u64, 64),
+            vec![H * f4, H * f4, H * f4],
+            vec![Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "bert_logits_bias",
+            "BERT",
+            "__global__ void logits(float* x, float* b, float* out, int n, int v) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    out[i] = x[i] + b[i % v];
+            }",
+            flat,
+            vec![n * f4, 1000 * f4, n * f4],
+            vec![Value::I64(n as i64), Value::I64(1000)],
+            d,
+        ),
+        k(
+            "bert_matmul_tile",
+            "BERT",
+            "__global__ void matmul(float* a, float* b, float* c, int m, int kk, int nn) {
+                int col = blockIdx.x * blockDim.x + threadIdx.x;
+                int row = blockIdx.y * blockDim.y + threadIdx.y;
+                float acc = 0.0f;
+                for (int e = 0; e < kk; e++)
+                    acc += a[row * kk + e] * b[e * nn + col];
+                c[row * nn + col] = acc;
+            }",
+            LaunchConfig::new((16u32, 4u32), (16u32, 16u32)),
+            vec![S * H * f4, H * H * f4, S * H * f4],
+            vec![
+                Value::I64(S as i64),
+                Value::I64(H as i64),
+                Value::I64(H as i64),
+            ],
+            d,
+        ),
+        // ---------------- ViT ----------------
+        k(
+            "vit_patch_embed",
+            "ViT",
+            "__global__ void patch_embed(float* img, float* proj, float* out, int p, int h) {
+                int col = blockIdx.x * blockDim.x + threadIdx.x;
+                int patch = blockIdx.y;
+                float acc = 0.0f;
+                for (int e = 0; e < p; e++)
+                    acc += img[patch * p + e] * proj[e * h + col];
+                out[patch * h + col] = acc;
+            }",
+            LaunchConfig::new((1u32, S as u32), (H as u32, 1u32)),
+            vec![S * 192 * f4, 192 * H * f4, S * H * f4],
+            vec![Value::I64(192), Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "vit_pos_embed",
+            "ViT",
+            "__global__ void pos_embed(float* x, float* pos, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    out[i] = x[i] + pos[i];
+            }",
+            flat,
+            vec![n * f4, n * f4, n * f4],
+            vec![Value::I64(n as i64)],
+            d,
+        ),
+        k(
+            "vit_cls_concat",
+            "ViT",
+            "__global__ void cls_concat(float* cls, float* x, float* out, int h, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    out[i] = i < h ? cls[i] : x[i - h];
+            }",
+            LaunchConfig::cover1((n + H) as u64, 256),
+            vec![H * f4, n * f4, (n + H) * f4],
+            vec![Value::I64(H as i64), Value::I64((n + H) as i64)],
+            d,
+        ),
+        k(
+            "vit_layernorm",
+            "ViT",
+            "__global__ void layernorm_vit(float* x, float* out, int h) {
+                int row = blockIdx.x;
+                int tid = threadIdx.x;
+                __shared__ float sums[2];
+                if (tid == 0) {
+                    float acc = 0.0f;
+                    float acc2 = 0.0f;
+                    for (int e = 0; e < h; e++) {
+                        float v = x[row * h + e];
+                        acc += v;
+                        acc2 += v * v;
+                    }
+                    sums[0] = acc / (float)(h);
+                    sums[1] = acc2 / (float)(h) - (acc / (float)(h)) * (acc / (float)(h));
+                }
+                __syncthreads();
+                out[row * h + tid] = (x[row * h + tid] - sums[0]) * rsqrtf(sums[1] + 0.00001f);
+            }",
+            row_launch,
+            vec![n * f4, n * f4],
+            vec![Value::I64(H as i64)],
+            d,
+        ),
+        k(
+            "vit_attn_softmax",
+            "ViT",
+            "__global__ void attn_softmax_vit(float* scores, float* out, int s, float scale) {
+                __shared__ float red[64];
+                int row = blockIdx.x;
+                int tid = threadIdx.x;
+                float e = expf(scores[row * s + tid] * scale);
+                red[tid] = e;
+                __syncthreads();
+                for (int st = 0; st < 6; st++) {
+                    int w = 32 >> st;
+                    if (tid < w)
+                        red[tid] = red[tid] + red[tid + w];
+                    __syncthreads();
+                }
+                out[row * s + tid] = e / red[0];
+            }",
+            LaunchConfig::new(S as u32, S as u32),
+            vec![S * S * f4, S * S * f4],
+            vec![Value::I64(S as i64), Value::F64(0.125)],
+            d,
+        ),
+        k(
+            "vit_gelu",
+            "ViT",
+            "__global__ void gelu_vit(float* x, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    float v = x[i];
+                    float inner = 0.7978845608f * (v + 0.044715f * v * v * v);
+                    out[i] = 0.5f * v * (1.0f + tanhf(inner));
+                }
+            }",
+            flat,
+            vec![n * f4, n * f4],
+            vec![Value::I64(n as i64)],
+            d,
+        ),
+        k(
+            "vit_mlp_fc",
+            "ViT",
+            "__global__ void mlp_fc(float* x, float* w, float* out, int h, int h4) {
+                int col = blockIdx.x * blockDim.x + threadIdx.x;
+                int row = blockIdx.y * blockDim.y + threadIdx.y;
+                float acc = 0.0f;
+                for (int e = 0; e < h; e++)
+                    acc += x[row * h + e] * w[e * h4 + col];
+                out[row * h4 + col] = acc;
+            }",
+            LaunchConfig::new((64u32, 4u32), (16u32, 16u32)),
+            vec![S * H * f4, H * 4 * H * f4, S * 4 * H * f4],
+            vec![Value::I64(H as i64), Value::I64(4 * H as i64)],
+            d,
+        ),
+        k(
+            "vit_scale_residual",
+            "ViT",
+            "__global__ void scale_residual(float* a, float* b, float* out, int n, float gamma) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    out[i] = a[i] * gamma + b[i];
+            }",
+            flat,
+            vec![n * f4, n * f4, n * f4],
+            vec![Value::I64(n as i64), Value::F64(0.9)],
+            d,
+        ),
+        k(
+            "vit_token_pool",
+            "ViT",
+            "__global__ void token_pool(float* x, float* out, int s, int h) {
+                int col = threadIdx.x;
+                int feat = blockIdx.x;
+                float acc = 0.0f;
+                if (col == 0) {
+                    for (int t = 0; t < s; t++)
+                        acc += x[t * h + feat];
+                    out[feat] = acc / (float)(s);
+                }
+            }",
+            LaunchConfig::new(H as u32, 32u32),
+            vec![n * f4, H * f4],
+            vec![Value::I64(S as i64), Value::I64(H as i64)],
+            d,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_kernels() {
+        let ks = triton_kernels();
+        assert_eq!(ks.len(), 21);
+        assert_eq!(ks.iter().filter(|k| k.suite == "BERT").count(), 12);
+        assert_eq!(ks.iter().filter(|k| k.suite == "ViT").count(), 9);
+    }
+
+    #[test]
+    fn all_parse_and_validate() {
+        for k in triton_kernels() {
+            let kernel = cucc_ir::parse_kernel(&k.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            cucc_ir::validate(&kernel).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+}

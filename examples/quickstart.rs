@@ -1,0 +1,97 @@
+//! Quickstart: migrate the paper's Listing 1 (`vec_copy`) to a 2-node CPU
+//! cluster and walk through exactly the Figure 5 workflow.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use cucc::analysis::Verdict;
+use cucc::cluster::ClusterSpec;
+use cucc::core::codegen::{generate_host_module, generate_kernel_module};
+use cucc::core::{compile_source, CuccCluster, ExecMode, RuntimeConfig};
+use cucc::exec::Arg;
+use cucc::ir::LaunchConfig;
+
+const LISTING1: &str = r#"
+__global__ void vec_copy(char* src, char* dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        dest[id] = src[id];
+}
+"#;
+
+fn main() {
+    println!("=== CuCC quickstart: Listing 1 on a 2-node CPU cluster ===\n");
+
+    // 1. Compile: parse → validate → Allgather-distributable analysis.
+    let ck = compile_source(LISTING1).expect("compilation failed");
+    println!("kernel `{}` compiled", ck.name());
+    match &ck.analysis.verdict {
+        Verdict::Distributable(meta) => {
+            println!("  verdict      : Allgather distributable");
+            println!("  tail_divergent: {}", meta.tail_divergent());
+            for b in &meta.buffers {
+                println!("  mem_ptr      : buffer parameter {} ({} B/elem)", b.param, b.elem_size);
+            }
+        }
+        Verdict::Trivial(reasons) => {
+            println!("  verdict      : trivial (replicated): {reasons:?}");
+        }
+    }
+    println!("  SIMD class   : {:?} (efficiency {:.2})\n", ck.analysis.simd.class, ck.analysis.simd.efficiency);
+
+    // 2. The generated CPU modules (the paper's Figure 6 artifacts).
+    println!("--- generated CPU host module ---\n{}", generate_host_module(&ck));
+    println!("--- generated CPU kernel module (header) ---");
+    for line in generate_kernel_module(&ck).lines().take(8) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    // 3. Execute on a simulated 2-node cluster (Figure 5: N = 1200, five
+    //    256-thread blocks).
+    let n = 1200usize;
+    let mut cluster = CuccCluster::new(
+        ClusterSpec::simd_focused().with_nodes(2),
+        RuntimeConfig::default(),
+    );
+    let src = cluster.alloc(n);
+    let dest = cluster.alloc(n);
+    let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+    cluster.h2d(src, &data);
+
+    let report = cluster
+        .launch(
+            &ck,
+            LaunchConfig::cover1(n as u64, 256),
+            &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(n as i64)],
+        )
+        .expect("launch failed");
+
+    match &report.mode {
+        ExecMode::ThreePhase {
+            partial_blocks_per_node,
+            callback_blocks,
+            nodes,
+            ..
+        } => {
+            println!("three-phase execution on {nodes} nodes:");
+            println!("  phase 1: {partial_blocks_per_node} blocks per node (node 0: blocks 0-1, node 1: blocks 2-3)");
+            println!("  phase 2: balanced in-place Allgather ({} B on the wire)", report.wire_bytes);
+            println!("  phase 3: {callback_blocks} callback block(s) — block 4, the tail block");
+        }
+        ExecMode::Replicated { cause } => println!("replicated: {cause}"),
+    }
+    println!(
+        "  simulated time: {:.2} µs (partial {:.2} + allgather {:.2} + callback {:.2})",
+        report.times.total() * 1e6,
+        report.times.partial * 1e6,
+        report.times.allgather * 1e6,
+        report.times.callback * 1e6
+    );
+
+    // 4. Verify.
+    assert_eq!(cluster.d2h(dest), data, "copy must be exact");
+    assert!(cluster.sim().fully_consistent());
+    println!("\nresult verified: dest == src on every node ✓");
+}

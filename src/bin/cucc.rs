@@ -1,0 +1,491 @@
+//! `cucc` — command-line front-end to the CuCC migration framework.
+//!
+//! ```text
+//! cucc analyze  <kernel.cu>                     # compiler analysis report
+//! cucc codegen  <kernel.cu>                     # Figure-6 CPU modules
+//! cucc run      <kernel.cu> [options]           # migrate & execute
+//! cucc coverage                                 # Figure-7 suites
+//!
+//! run options:
+//!   --cluster simd|thread    target cluster class   (default simd)
+//!   --nodes N                cluster size           (default 4)
+//!   --grid X[,Y[,Z]]         grid dimensions        (default 64)
+//!   --block X[,Y[,Z]]        block dimensions       (default 256)
+//!   --arg buf:<elems>f32     buffer argument, random f32 data
+//!   --arg buf:<elems>i32     buffer argument, random i32 data
+//!   --arg buf:<bytes>        buffer argument, random bytes
+//!   --arg int:<v>            integer scalar
+//!   --arg float:<v>          float scalar
+//!   --seed S                 RNG seed for buffer data (default 42)
+//!   --modeled                timing-only (skip functional execution)
+//! ```
+//!
+//! `run` executes the kernel on the simulated GPU (reference) and on the
+//! CuCC cluster, compares the results byte-for-byte, and prints the
+//! distribution decision and simulated-time breakdown.
+
+use cucc::analysis::Verdict;
+use cucc::cluster::ClusterSpec;
+use cucc::core::codegen::{generate_host_module, generate_kernel_module};
+use cucc::core::{compile_source, CuccCluster, ExecMode, RuntimeConfig};
+use cucc::exec::Arg;
+use cucc::gpu_model::{GpuDevice, GpuSpec};
+use cucc::ir::{Dim3, LaunchConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cucc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let path = args.get(1).ok_or("usage: cucc analyze <kernel.cu>")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            cmd_analyze(&src)
+        }
+        Some("codegen") => {
+            let path = args.get(1).ok_or("usage: cucc codegen <kernel.cu>")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            cmd_codegen(&src)
+        }
+        Some("run") => {
+            let path = args.get(1).ok_or("usage: cucc run <kernel.cu> [options]")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let opts = RunOpts::parse(&args[2..])?;
+            cmd_run(&src, &opts)
+        }
+        Some("coverage") => Ok(cmd_coverage()),
+        Some("--help") | Some("-h") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: cucc <analyze|codegen|run|coverage> [args]\n\
+     \n\
+     analyze  <kernel.cu>         run the Allgather-distributable & SIMD analyses\n\
+     codegen  <kernel.cu>         print the generated CPU host/kernel modules\n\
+     run      <kernel.cu> [opts]  migrate and execute on a simulated cluster\n\
+     coverage                     classify the built-in Figure-7 kernel suites"
+        .to_string()
+}
+
+// -------------------------------------------------------------- analyze --
+
+fn cmd_analyze(src: &str) -> Result<String, String> {
+    let ck = compile_source(src).map_err(|e| e.to_string())?;
+    let mut out = format!("kernel `{}`\n", ck.name());
+    match &ck.analysis.verdict {
+        Verdict::Distributable(meta) => {
+            out += "  verdict       : Allgather distributable (three-phase workflow)\n";
+            out += &format!("  tail_divergent: {}\n", meta.tail_divergent());
+            for b in &meta.buffers {
+                out += &format!(
+                    "  mem_ptr       : `{}` ({} B/elem)\n",
+                    ck.kernel.params[b.param.index()].name(),
+                    b.elem_size
+                );
+            }
+            out += &format!("  write sites   : {}\n", meta.sites.len());
+        }
+        Verdict::Trivial(reasons) => {
+            out += "  verdict       : trivially distributable (replicated execution)\n";
+            for r in reasons {
+                out += &format!("    reason: {r}\n");
+            }
+        }
+    }
+    out += &format!(
+        "  SIMD class    : {:?} (efficiency {:.2})\n",
+        ck.analysis.simd.class, ck.analysis.simd.efficiency
+    );
+    for r in &ck.analysis.simd.reasons {
+        out += &format!("    simd: {r}\n");
+    }
+    Ok(out)
+}
+
+fn cmd_codegen(src: &str) -> Result<String, String> {
+    let ck = compile_source(src).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}\n{}",
+        generate_host_module(&ck),
+        generate_kernel_module(&ck)
+    ))
+}
+
+// ------------------------------------------------------------------ run --
+
+#[derive(Debug, Clone)]
+enum CliArg {
+    BufBytes(usize),
+    BufF32(usize),
+    BufI32(usize),
+    Int(i64),
+    Float(f64),
+}
+
+#[derive(Debug)]
+struct RunOpts {
+    cluster: String,
+    nodes: u32,
+    grid: Dim3,
+    block: Dim3,
+    args: Vec<CliArg>,
+    seed: u64,
+    modeled: bool,
+}
+
+fn parse_dim(s: &str) -> Result<Dim3, String> {
+    let parts: Vec<u32> = s
+        .split(',')
+        .map(|p| p.parse().map_err(|_| format!("bad dimension `{s}`")))
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        [x] => Ok(Dim3::new1(*x)),
+        [x, y] => Ok(Dim3::new2(*x, *y)),
+        [x, y, z] => Ok(Dim3::new3(*x, *y, *z)),
+        _ => Err(format!("bad dimension `{s}` (use X[,Y[,Z]])")),
+    }
+}
+
+impl RunOpts {
+    fn parse(args: &[String]) -> Result<RunOpts, String> {
+        let mut o = RunOpts {
+            cluster: "simd".into(),
+            nodes: 4,
+            grid: Dim3::new1(64),
+            block: Dim3::new1(256),
+            args: Vec::new(),
+            seed: 42,
+            modeled: false,
+        };
+        let mut i = 0;
+        let need = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("missing value after `{}`", args[*i - 1]))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--cluster" => o.cluster = need(&mut i)?.clone(),
+                "--nodes" => o.nodes = need(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?,
+                "--grid" => o.grid = parse_dim(need(&mut i)?)?,
+                "--block" => o.block = parse_dim(need(&mut i)?)?,
+                "--seed" => o.seed = need(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--modeled" => o.modeled = true,
+                "--arg" => {
+                    let spec = need(&mut i)?;
+                    o.args.push(parse_arg(spec)?);
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(o)
+    }
+}
+
+fn parse_arg(spec: &str) -> Result<CliArg, String> {
+    if let Some(rest) = spec.strip_prefix("buf:") {
+        if let Some(n) = rest.strip_suffix("f32") {
+            return Ok(CliArg::BufF32(
+                n.parse().map_err(|_| format!("bad buffer size `{spec}`"))?,
+            ));
+        }
+        if let Some(n) = rest.strip_suffix("i32") {
+            return Ok(CliArg::BufI32(
+                n.parse().map_err(|_| format!("bad buffer size `{spec}`"))?,
+            ));
+        }
+        return Ok(CliArg::BufBytes(
+            rest.parse().map_err(|_| format!("bad buffer size `{spec}`"))?,
+        ));
+    }
+    if let Some(v) = spec.strip_prefix("int:") {
+        return Ok(CliArg::Int(v.parse().map_err(|_| format!("bad int `{spec}`"))?));
+    }
+    if let Some(v) = spec.strip_prefix("float:") {
+        return Ok(CliArg::Float(
+            v.parse().map_err(|_| format!("bad float `{spec}`"))?,
+        ));
+    }
+    Err(format!(
+        "bad --arg `{spec}` (use buf:<n>[f32|i32], int:<v>, float:<v>)"
+    ))
+}
+
+fn cli_buffer_bytes(a: &CliArg, rng: &mut StdRng) -> Option<Vec<u8>> {
+    match a {
+        CliArg::BufBytes(n) => Some((0..*n).map(|_| rng.gen()).collect()),
+        CliArg::BufF32(n) => {
+            let mut v = Vec::with_capacity(n * 4);
+            for _ in 0..*n {
+                v.extend_from_slice(&rng.gen_range(-1.0f32..1.0).to_le_bytes());
+            }
+            Some(v)
+        }
+        CliArg::BufI32(n) => {
+            let mut v = Vec::with_capacity(n * 4);
+            for _ in 0..*n {
+                v.extend_from_slice(&rng.gen_range(-100i32..100).to_le_bytes());
+            }
+            Some(v)
+        }
+        _ => None,
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
+    let ck = compile_source(src).map_err(|e| e.to_string())?;
+    let launch = LaunchConfig {
+        grid: opts.grid,
+        block: opts.block,
+    };
+    let spec = match opts.cluster.as_str() {
+        "simd" => ClusterSpec::simd_focused().with_nodes(opts.nodes),
+        "thread" => ClusterSpec::thread_focused().with_nodes(opts.nodes),
+        other => return Err(format!("unknown cluster `{other}` (simd|thread)")),
+    };
+    let n_buffers = ck.kernel.buffer_params().count();
+    let n_buf_args = opts
+        .args
+        .iter()
+        .filter(|a| matches!(a, CliArg::BufBytes(_) | CliArg::BufF32(_) | CliArg::BufI32(_)))
+        .count();
+    if opts.args.len() != ck.kernel.params.len() || n_buf_args != n_buffers {
+        return Err(format!(
+            "kernel `{}` takes {} parameter(s) ({} buffer(s)); got {} --arg ({} buffer(s))",
+            ck.name(),
+            ck.kernel.params.len(),
+            n_buffers,
+            opts.args.len(),
+            n_buf_args
+        ));
+    }
+
+    // Materialize data once so the GPU and cluster see identical inputs.
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let host_data: Vec<Option<Vec<u8>>> = opts
+        .args
+        .iter()
+        .map(|a| cli_buffer_bytes(a, &mut rng))
+        .collect();
+
+    let bind = |dev_alloc: &mut dyn FnMut(&[u8]) -> Arg| -> Vec<Arg> {
+        opts.args
+            .iter()
+            .zip(&host_data)
+            .map(|(a, data)| match (a, data) {
+                (CliArg::Int(v), _) => Arg::int(*v),
+                (CliArg::Float(v), _) => Arg::float(*v),
+                (_, Some(bytes)) => dev_alloc(bytes),
+                _ => unreachable!(),
+            })
+            .collect()
+    };
+
+    let mut out = format!(
+        "kernel `{}` {}  on {} × {}\n",
+        ck.name(),
+        launch,
+        opts.nodes,
+        spec.cpu.name
+    );
+
+    // GPU reference (functional mode only).
+    let mut gpu = GpuDevice::new(GpuSpec::a100());
+    let mut gpu_handles = Vec::new();
+    let gargs = bind(&mut |bytes| {
+        let id = gpu.alloc(bytes.len());
+        gpu.h2d(id, bytes);
+        gpu_handles.push(id);
+        Arg::Buffer(id)
+    });
+    let gpu_time = if opts.modeled {
+        gpu.time_only(&ck.kernel, launch, &gargs).map_err(|e| e.to_string())?
+    } else {
+        gpu.launch(&ck.kernel, launch, &gargs).map_err(|e| e.to_string())?.time
+    };
+    out += &format!("  A100 (roofline reference): {:.3} ms\n", gpu_time * 1e3);
+
+    // CuCC cluster.
+    let cfg = if opts.modeled {
+        RuntimeConfig::modeled()
+    } else {
+        RuntimeConfig::default()
+    };
+    let mut cl = CuccCluster::new(spec, cfg);
+    let mut cl_handles = Vec::new();
+    let cargs = bind(&mut |bytes| {
+        let id = cl.alloc(bytes.len());
+        cl.h2d(id, bytes);
+        cl_handles.push(id);
+        Arg::Buffer(id)
+    });
+    let report = cl.launch(&ck, launch, &cargs).map_err(|e| e.to_string())?;
+    match &report.mode {
+        ExecMode::ThreePhase {
+            partial_blocks_per_node,
+            callback_blocks,
+            ..
+        } => {
+            out += &format!(
+                "  mode: three-phase ({partial_blocks_per_node} partial blocks/node, {callback_blocks} callbacks)\n"
+            );
+        }
+        ExecMode::Replicated { cause } => {
+            out += &format!("  mode: replicated ({cause})\n");
+        }
+    }
+    out += &format!(
+        "  cluster time: {:.3} ms (partial {:.3} + allgather {:.3} + callback {:.3}), {} B on the wire\n",
+        report.time() * 1e3,
+        report.times.partial * 1e3,
+        report.times.allgather * 1e3,
+        report.times.callback * 1e3,
+        report.wire_bytes
+    );
+    out += &format!(
+        "  vs A100: {:.2}x {}\n",
+        if report.time() > gpu_time {
+            report.time() / gpu_time
+        } else {
+            gpu_time / report.time()
+        },
+        if report.time() > gpu_time { "slower" } else { "faster" }
+    );
+
+    if !opts.modeled {
+        // Verify buffers byte-for-byte against the GPU reference.
+        for (i, (g, c)) in gpu_handles.iter().zip(&cl_handles).enumerate() {
+            let gb = gpu.d2h(*g);
+            let cb = cl.d2h(*c);
+            if gb != cb {
+                return Err(format!("buffer {i} diverges from the GPU reference"));
+            }
+            out += &format!("  buffer {i}: {} B, checksum {:016x} ✓ matches GPU\n", cb.len(), fnv1a(&cb));
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------- coverage --
+
+fn cmd_coverage() -> String {
+    use cucc::workloads::{classify_coverage, heteromark_kernels, triton_kernels, Expected};
+    let mut out = String::from("Figure-7 coverage classification:\n");
+    for (suite, kernels) in [
+        ("Triton (BERT+ViT)", triton_kernels()),
+        ("Hetero-Mark", heteromark_kernels()),
+    ] {
+        let mut d = 0;
+        for k in &kernels {
+            if classify_coverage(k) == Ok(Expected::Distributable) {
+                d += 1;
+            }
+        }
+        out += &format!("  {suite:20}: {d}/{} Allgather distributable\n", kernels.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = "__global__ void saxpy(float* x, float* y, float a, int n) {
+        int id = blockIdx.x * blockDim.x + threadIdx.x;
+        if (id < n) y[id] = a * x[id] + y[id];
+    }";
+
+    #[test]
+    fn analyze_reports_verdict() {
+        let out = cmd_analyze(SAXPY).unwrap();
+        assert!(out.contains("Allgather distributable"));
+        assert!(out.contains("tail_divergent: true"));
+        assert!(out.contains("SIMD class"));
+    }
+
+    #[test]
+    fn codegen_emits_modules() {
+        let out = cmd_codegen(SAXPY).unwrap();
+        assert!(out.contains("MPI_Allgather"));
+        assert!(out.contains("#pragma omp simd"));
+    }
+
+    #[test]
+    fn run_executes_and_verifies() {
+        let opts = RunOpts::parse(
+            &["--nodes", "3", "--grid", "8", "--block", "128",
+              "--arg", "buf:1024f32", "--arg", "buf:1024f32",
+              "--arg", "float:2.0", "--arg", "int:1024"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        assert!(out.contains("three-phase"), "{out}");
+        assert!(out.contains("matches GPU"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_bad_arg_count() {
+        let opts = RunOpts::parse(
+            &["--arg", "buf:64f32"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let err = cmd_run(SAXPY, &opts).unwrap_err();
+        assert!(err.contains("takes 4 parameter"), "{err}");
+    }
+
+    #[test]
+    fn option_parsing() {
+        let o = RunOpts::parse(
+            &["--cluster", "thread", "--grid", "4,4", "--block", "16,16", "--modeled", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(o.cluster, "thread");
+        assert_eq!(o.grid, Dim3::new2(4, 4));
+        assert_eq!(o.block, Dim3::new2(16, 16));
+        assert!(o.modeled);
+        assert_eq!(o.seed, 7);
+        assert!(RunOpts::parse(&["--bogus".to_string()]).is_err());
+        assert!(parse_arg("buf:xyz").is_err());
+        assert!(parse_arg("frob:1").is_err());
+    }
+
+    #[test]
+    fn dispatch_help_and_errors() {
+        assert!(dispatch(&[]).unwrap().contains("usage"));
+        assert!(dispatch(&["bogus".to_string()]).is_err());
+        assert!(dispatch(&["analyze".to_string()]).is_err());
+        let cov = dispatch(&["coverage".to_string()]).unwrap();
+        assert!(cov.contains("21/21") || cov.contains("8/13"), "{cov}");
+    }
+}

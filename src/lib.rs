@@ -1,0 +1,66 @@
+//! # CuCC — CUDA on CPU Clusters
+//!
+//! A from-scratch Rust reproduction of *"Scaling GPU-to-CPU Migration for
+//! Efficient Distributed Execution on CPU Clusters"* (Han & Kim, PPoPP '26).
+//!
+//! CuCC executes GPU programs on **distributed CPU clusters**: a compiler
+//! analysis (the *Allgather distributable analysis*) proves that a kernel's
+//! blocks can be partitioned across nodes so that a single **balanced
+//! in-place Allgather** restores memory consistency, and a three-phase
+//! runtime (partial blocks → Allgather → callback blocks) executes the
+//! migrated program with one coarse collective instead of millions of
+//! fine-grained remote accesses.
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`ir`] | CUDA-like kernel IR, builder, mini-CUDA parser |
+//! | [`analysis`] | Allgather-distributable, affine, variance & SIMD analyses |
+//! | [`exec`] | instrumented interpreter (block-as-function semantics) |
+//! | [`net`] | LogGP interconnect, Allgather algorithms, p2p tracking |
+//! | [`cluster`] | simulated CPU cluster, Table-1 machine specs, time model |
+//! | [`core`] | the CuCC runtime: compile + three-phase distributed launch |
+//! | [`pgas`] | the UPC++-style fine-grained baseline (§3.1/§7.3) |
+//! | [`gpu_model`] | A100/V100 roofline model + functional reference device |
+//! | [`slurm`] | partition queueing (Fig. 1) and throughput (Fig. 12) models |
+//! | [`workloads`] | the 8 evaluation benchmarks + 34 coverage kernels |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cucc::core::{compile_source, CuccCluster, RuntimeConfig};
+//! use cucc::cluster::ClusterSpec;
+//! use cucc::exec::Arg;
+//! use cucc::ir::LaunchConfig;
+//!
+//! let kernel = compile_source(r#"
+//!     __global__ void scale(float* data, int n, float a) {
+//!         int id = blockIdx.x * blockDim.x + threadIdx.x;
+//!         if (id < n) data[id] = data[id] * a;
+//!     }
+//! "#).unwrap();
+//! assert!(kernel.is_distributable());
+//!
+//! let mut cluster = CuccCluster::new(
+//!     ClusterSpec::thread_focused(), RuntimeConfig::default());
+//! let buf = cluster.alloc(4096 * 4);
+//! cluster.h2d_f32(buf, &vec![2.0f32; 4096]);
+//! let report = cluster
+//!     .launch(&kernel, LaunchConfig::cover1(4096, 256),
+//!             &[Arg::Buffer(buf), Arg::int(4096), Arg::float(3.0)])
+//!     .unwrap();
+//! assert!(report.mode.is_three_phase());
+//! assert_eq!(cluster.d2h_f32(buf), vec![6.0f32; 4096]);
+//! ```
+
+pub use cucc_analysis as analysis;
+pub use cucc_cluster as cluster;
+pub use cucc_core as core;
+pub use cucc_exec as exec;
+pub use cucc_gpu_model as gpu_model;
+pub use cucc_ir as ir;
+pub use cucc_net as net;
+pub use cucc_pgas as pgas;
+pub use cucc_slurm as slurm;
+pub use cucc_workloads as workloads;

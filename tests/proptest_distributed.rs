@@ -1,0 +1,130 @@
+//! Property tests of the distributed runtime: for randomized kernels, data
+//! and cluster sizes, CuCC's three-phase execution and the PGAS baseline
+//! must both reproduce the GPU reference byte-for-byte.
+
+use cucc::cluster::ClusterSpec;
+use cucc::core::{compile_source, CuccCluster, RuntimeConfig};
+use cucc::exec::Arg;
+use cucc::gpu_model::{GpuDevice, GpuSpec};
+use cucc::ir::LaunchConfig;
+use cucc::pgas::{PgasCluster, PgasConfig};
+use proptest::prelude::*;
+
+/// saxpy-like family: `y[id] = a·x[id] + y[id]` with a tail guard and a
+/// random per-thread multiplicity.
+fn family_source(width: usize) -> String {
+    if width == 1 {
+        "__global__ void f(float* x, float* y, float a, int n) {
+            int id = blockIdx.x * blockDim.x + threadIdx.x;
+            if (id < n) y[id] = a * x[id] + y[id];
+        }"
+        .to_string()
+    } else {
+        format!(
+            "__global__ void f(float* x, float* y, float a, int n) {{
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                for (int i = 0; i < {width}; i++) {{
+                    if (id * {width} + i < n)
+                        y[id * {width} + i] = a * x[id * {width} + i] + y[id * {width} + i];
+                }}
+            }}"
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_equals_gpu_reference(
+        n in 64usize..5000,
+        block in prop::sample::select(vec![32u32, 64, 128, 256]),
+        width in prop::sample::select(vec![1usize, 2, 3]),
+        nodes in 1u32..7,
+        a in -2.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xs: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let ys: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let threads = n.div_ceil(width) as u64;
+        let launch = LaunchConfig::cover1(threads, block);
+        let ck = compile_source(&family_source(width)).unwrap();
+        let args_for = |x, y| [Arg::Buffer(x), Arg::Buffer(y), Arg::float(a), Arg::int(n as i64)];
+
+        // GPU reference.
+        let mut gpu = GpuDevice::new(GpuSpec::v100());
+        let gx = gpu.alloc(n * 4);
+        let gy = gpu.alloc(n * 4);
+        gpu.pool_mut().write_f32(gx, &xs);
+        gpu.pool_mut().write_f32(gy, &ys);
+        gpu.launch(&ck.kernel, launch, &args_for(gx, gy)).unwrap();
+        let want = gpu.d2h(gy);
+
+        // CuCC cluster.
+        let mut cl = CuccCluster::new(
+            ClusterSpec::simd_focused().with_nodes(nodes),
+            RuntimeConfig::default(),
+        );
+        let cx = cl.alloc(n * 4);
+        let cy = cl.alloc(n * 4);
+        cl.h2d_f32(cx, &xs);
+        cl.h2d_f32(cy, &ys);
+        cl.launch(&ck, launch, &args_for(cx, cy)).unwrap();
+        prop_assert_eq!(cl.d2h(cy), want.clone(), "CuCC diverged (nodes={})", nodes);
+
+        // PGAS baseline.
+        let mut pg = PgasCluster::new(
+            ClusterSpec::simd_focused().with_nodes(nodes),
+            PgasConfig::default(),
+        );
+        let px = pg.alloc(n * 4);
+        let py = pg.alloc(n * 4);
+        let mut xb = Vec::new();
+        for v in &xs { xb.extend_from_slice(&v.to_le_bytes()); }
+        let mut yb = Vec::new();
+        for v in &ys { yb.extend_from_slice(&v.to_le_bytes()); }
+        pg.h2d(px, &xb);
+        pg.h2d(py, &yb);
+        pg.launch(&ck, launch, &args_for(px, py)).unwrap();
+        prop_assert_eq!(pg.d2h(py), want, "PGAS diverged (nodes={})", nodes);
+    }
+
+    /// Launching the same kernel repeatedly (iterative apps) keeps all node
+    /// memories consistent and matches repeated GPU launches.
+    #[test]
+    fn iterated_launches_stay_consistent(
+        n in 128usize..1200,
+        iters in 1usize..4,
+        nodes in 2u32..5,
+    ) {
+        let src = "__global__ void step(float* data, int n) {
+            int id = blockIdx.x * blockDim.x + threadIdx.x;
+            if (id < n) data[id] = data[id] * 0.5f + 1.0f;
+        }";
+        let ck = compile_source(src).unwrap();
+        let launch = LaunchConfig::cover1(n as u64, 64);
+        let init: Vec<f32> = (0..n).map(|i| i as f32).collect();
+
+        let mut gpu = GpuDevice::new(GpuSpec::a100());
+        let gb = gpu.alloc(n * 4);
+        gpu.pool_mut().write_f32(gb, &init);
+        for _ in 0..iters {
+            gpu.launch(&ck.kernel, launch, &[Arg::Buffer(gb), Arg::int(n as i64)]).unwrap();
+        }
+        let want = gpu.d2h(gb);
+
+        let mut cl = CuccCluster::new(
+            ClusterSpec::thread_focused().with_nodes(nodes),
+            RuntimeConfig::default(),
+        );
+        let cb = cl.alloc(n * 4);
+        cl.h2d_f32(cb, &init);
+        for _ in 0..iters {
+            cl.launch(&ck, launch, &[Arg::Buffer(cb), Arg::int(n as i64)]).unwrap();
+            prop_assert!(cl.sim().fully_consistent());
+        }
+        prop_assert_eq!(cl.d2h(cb), want);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the symbolic polynomial ring (`cucc::analysis::Poly`):
+//! ring axioms and evaluation homomorphism. The Allgather-distributable
+//! analysis depends on canonical-form equality being semantic equality.
+
+use cucc::analysis::{Poly, Sym};
+use cucc::ir::{Axis, ParamId};
+use proptest::prelude::*;
+
+/// A random polynomial built from symbols, constants and ring operations.
+#[derive(Debug, Clone)]
+enum PolyRecipe {
+    Const(i64),
+    Sym(u8),
+    Add(Box<PolyRecipe>, Box<PolyRecipe>),
+    Sub(Box<PolyRecipe>, Box<PolyRecipe>),
+    Mul(Box<PolyRecipe>, Box<PolyRecipe>),
+    Scale(Box<PolyRecipe>, i64),
+}
+
+fn syms() -> [Sym; 4] {
+    [
+        Sym::Param(ParamId(0)),
+        Sym::Param(ParamId(1)),
+        Sym::BlockDim(Axis::X),
+        Sym::GridDim(Axis::Y),
+    ]
+}
+
+fn recipe() -> impl Strategy<Value = PolyRecipe> {
+    let leaf = prop_oneof![
+        (-9i64..10).prop_map(PolyRecipe::Const),
+        (0u8..4).prop_map(PolyRecipe::Sym),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PolyRecipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PolyRecipe::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PolyRecipe::Mul(Box::new(a), Box::new(b))),
+            (inner, -5i64..6).prop_map(|(a, k)| PolyRecipe::Scale(Box::new(a), k)),
+        ]
+    })
+}
+
+fn build(r: &PolyRecipe) -> Poly {
+    match r {
+        PolyRecipe::Const(v) => Poly::constant(*v as i128),
+        PolyRecipe::Sym(i) => Poly::sym(syms()[*i as usize % 4]),
+        PolyRecipe::Add(a, b) => build(a).add(&build(b)),
+        PolyRecipe::Sub(a, b) => build(a).sub(&build(b)),
+        PolyRecipe::Mul(a, b) => build(a).mul(&build(b)),
+        PolyRecipe::Scale(a, k) => build(a).scale(*k as i128),
+    }
+}
+
+/// Direct (big-integer) evaluation of the recipe, bypassing Poly.
+fn eval_recipe(r: &PolyRecipe, env: &[i128; 4]) -> i128 {
+    match r {
+        PolyRecipe::Const(v) => *v as i128,
+        PolyRecipe::Sym(i) => env[*i as usize % 4],
+        PolyRecipe::Add(a, b) => eval_recipe(a, env) + eval_recipe(b, env),
+        PolyRecipe::Sub(a, b) => eval_recipe(a, env) - eval_recipe(b, env),
+        PolyRecipe::Mul(a, b) => eval_recipe(a, env) * eval_recipe(b, env),
+        PolyRecipe::Scale(a, k) => eval_recipe(a, env) * *k as i128,
+    }
+}
+
+fn env_fn(env: [i128; 4]) -> impl Fn(Sym) -> Option<i128> {
+    move |s| {
+        let idx = syms().iter().position(|x| *x == s)?;
+        Some(env[idx])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Canonical-form evaluation equals direct evaluation (homomorphism).
+    #[test]
+    fn eval_is_homomorphic(r in recipe(), a in -7i128..8, b in -7i128..8, c in 1i128..9, d in 1i128..9) {
+        let env = [a, b, c, d];
+        let p = build(&r);
+        prop_assert_eq!(p.eval(&env_fn(env)), Some(eval_recipe(&r, &env)));
+    }
+
+    /// Ring axioms hold in canonical form (structural equality).
+    #[test]
+    fn ring_axioms(x in recipe(), y in recipe(), z in recipe()) {
+        let (p, q, r) = (build(&x), build(&y), build(&z));
+        // commutativity
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert_eq!(p.mul(&q), q.mul(&p));
+        // associativity
+        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+        prop_assert_eq!(p.mul(&q).mul(&r), p.mul(&q.mul(&r)));
+        // distributivity
+        prop_assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+        // additive inverse / identity
+        prop_assert!(p.sub(&p).is_zero());
+        prop_assert_eq!(p.add(&Poly::zero()), p.clone());
+        prop_assert_eq!(p.mul(&Poly::constant(1)), p.clone());
+        prop_assert!(p.mul(&Poly::zero()).is_zero());
+    }
+
+    /// Structural equality is semantic: two recipes whose canonical forms
+    /// match evaluate identically everywhere (spot-checked on a grid).
+    #[test]
+    fn canonical_equality_implies_semantic(x in recipe(), y in recipe()) {
+        let (p, q) = (build(&x), build(&y));
+        if p == q {
+            for a in [-3i128, 0, 2] {
+                for b in [-1i128, 5] {
+                    let env = [a, b, a + b, 3];
+                    prop_assert_eq!(p.eval(&env_fn(env)), q.eval(&env_fn(env)));
+                }
+            }
+        }
+    }
+}
