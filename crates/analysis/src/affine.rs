@@ -83,16 +83,12 @@ impl AffineForm {
     /// True when no *thread* or *loop* variable appears (the value is the
     /// same for every thread of a block).
     pub fn is_thread_invariant(&self) -> bool {
-        self.coeffs
-            .keys()
-            .all(|v| matches!(v, IdxVar::Block(_)))
+        self.coeffs.keys().all(|v| matches!(v, IdxVar::Block(_)))
     }
 
     /// True when no *block* variable appears.
     pub fn is_block_invariant(&self) -> bool {
-        self.coeffs
-            .keys()
-            .all(|v| !matches!(v, IdxVar::Block(_)))
+        self.coeffs.keys().all(|v| !matches!(v, IdxVar::Block(_)))
     }
 
     /// Coefficient of an index variable (zero if absent).
@@ -452,7 +448,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.coeff(IdxVar::Thread(Axis::X)), Poly::constant(1));
-        assert_eq!(f.coeff(IdxVar::Block(Axis::X)), Poly::sym(Sym::BlockDim(Axis::X)));
+        assert_eq!(
+            f.coeff(IdxVar::Block(Axis::X)),
+            Poly::sym(Sym::BlockDim(Axis::X))
+        );
         assert!(f.constant.is_zero());
     }
 
@@ -502,10 +501,7 @@ mod tests {
             }",
         )
         .unwrap();
-        let loops: Vec<IdxVar> = f
-            .vars()
-            .filter(|v| matches!(v, IdxVar::Loop(_)))
-            .collect();
+        let loops: Vec<IdxVar> = f.vars().filter(|v| matches!(v, IdxVar::Loop(_))).collect();
         assert_eq!(loops.len(), 1);
         assert_eq!(f.coeff(loops[0]), Poly::constant(1));
         assert_eq!(
@@ -573,7 +569,9 @@ mod tests {
     fn algebra_cancellation() {
         let t = AffineForm::var(IdxVar::Thread(Axis::X));
         assert!(t.sub(&t).coeffs.is_empty());
-        let s = t.scale_poly(&Poly::constant(3)).sub(&t.scale_poly(&Poly::constant(3)));
+        let s = t
+            .scale_poly(&Poly::constant(3))
+            .sub(&t.scale_poly(&Poly::constant(3)));
         assert_eq!(s, AffineForm::zero());
     }
 

@@ -274,7 +274,10 @@ fn walk(
 ) {
     for s in stmts {
         match s {
-            Stmt::Store { mem, index, value } | Stmt::AtomicRmw { mem, index, value, .. } => {
+            Stmt::Store { mem, index, value }
+            | Stmt::AtomicRmw {
+                mem, index, value, ..
+            } => {
                 let MemRef::Global(p) = mem else { continue };
                 let _ = value;
                 let atomic = matches!(s, Stmt::AtomicRmw { .. });
@@ -297,7 +300,15 @@ fn walk(
                 let classes = classify_guard(cond, forms, variance);
                 let depth = classes.len();
                 guards.extend(classes);
-                walk(kernel, then_body, forms, variance, guards, variant_loop, out);
+                walk(
+                    kernel,
+                    then_body,
+                    forms,
+                    variance,
+                    guards,
+                    variant_loop,
+                    out,
+                );
                 guards.truncate(guards.len() - depth);
                 if !else_body.is_empty() {
                     // In the else branch the condition is negated: uniform
@@ -314,7 +325,15 @@ fn walk(
                         .collect();
                     let depth = neg.len();
                     guards.extend(neg);
-                    walk(kernel, else_body, forms, variance, guards, variant_loop, out);
+                    walk(
+                        kernel,
+                        else_body,
+                        forms,
+                        variance,
+                        guards,
+                        variant_loop,
+                        out,
+                    );
                     guards.truncate(guards.len() - depth);
                 }
             }
@@ -379,10 +398,9 @@ fn classify_conjunct(e: &Expr, forms: &VarForms, variance: &[Variance]) -> Guard
             BinOp::Ge => (rhs, lhs, true),
             _ => return GuardClass::Variant,
         };
-        let (Some(small_f), Some(big_f)) = (
-            affine_of_expr(small, forms),
-            affine_of_expr(big, forms),
-        ) else {
+        let (Some(small_f), Some(big_f)) =
+            (affine_of_expr(small, forms), affine_of_expr(big, forms))
+        else {
             return GuardClass::Variant;
         };
         // The variant side must be on the small side of `<`; the bound must

@@ -16,8 +16,8 @@
 //! oracle confirms it.
 
 use crate::plan::ThreePhasePlan;
-use cucc_ir::{Kernel, LaunchConfig};
 use cucc_exec::{execute_block_traced, Arg, ExecError, MemPool};
+use cucc_ir::{Kernel, LaunchConfig};
 
 /// Result of a full oracle verification.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -22,8 +22,8 @@
 use crate::affine::IdxVar;
 use crate::distributable::{TailGuard, Verdict};
 use crate::poly::Sym;
-use cucc_ir::{Axis, Kernel, LaunchConfig, ParamId, Value};
 use cucc_exec::{execute_block_traced, Arg, MemPool, WriteRecord};
+use cucc_ir::{Axis, Kernel, LaunchConfig, ParamId, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 

@@ -55,20 +55,21 @@ pub fn analyze_simd(kernel: &Kernel) -> SimdReport {
     let mut class = SimdClass::Full;
     let mut stride_penalty = 1.0f64;
 
-    let downgrade = |class: &mut SimdClass, to: SimdClass, reasons: &mut Vec<String>, why: String| {
-        let worse = matches!(
-            (&class, to),
-            (SimdClass::Full, SimdClass::Partial)
-                | (SimdClass::Full, SimdClass::Scalar)
-                | (SimdClass::Partial, SimdClass::Scalar)
-        );
-        if worse {
-            *class = to;
-        }
-        if !reasons.contains(&why) {
-            reasons.push(why);
-        }
-    };
+    let downgrade =
+        |class: &mut SimdClass, to: SimdClass, reasons: &mut Vec<String>, why: String| {
+            let worse = matches!(
+                (&class, to),
+                (SimdClass::Full, SimdClass::Partial)
+                    | (SimdClass::Full, SimdClass::Scalar)
+                    | (SimdClass::Partial, SimdClass::Scalar)
+            );
+            if worse {
+                *class = to;
+            }
+            if !reasons.contains(&why) {
+                reasons.push(why);
+            }
+        };
 
     // Walk statements with loop-nesting context.
     fn walk(
@@ -97,11 +98,22 @@ pub fn analyze_simd(kernel: &Kernel) -> SimdReport {
                     }
                     check_mem_exprs(kernel, value, in_loop, forms, downgrade, stride_penalty);
                 }
-                Stmt::Store { mem, index, value } | Stmt::AtomicRmw { mem, index, value, .. } => {
+                Stmt::Store { mem, index, value }
+                | Stmt::AtomicRmw {
+                    mem, index, value, ..
+                } => {
                     if matches!(s, Stmt::AtomicRmw { .. }) {
                         downgrade(SimdClass::Scalar, "atomic update serializes lanes".into());
                     }
-                    check_access(kernel, *mem, index, in_loop, forms, downgrade, stride_penalty);
+                    check_access(
+                        kernel,
+                        *mem,
+                        index,
+                        in_loop,
+                        forms,
+                        downgrade,
+                        stride_penalty,
+                    );
                     check_mem_exprs(kernel, value, in_loop, forms, downgrade, stride_penalty);
                     check_mem_exprs(kernel, index, in_loop, forms, downgrade, stride_penalty);
                 }
@@ -126,8 +138,24 @@ pub fn analyze_simd(kernel: &Kernel) -> SimdReport {
                     // A plain thread-variant guard (no else) is the tail
                     // bound-check pattern: vectorizers handle it with a mask
                     // at negligible cost.
-                    walk(kernel, then_body, in_loop, variance, forms, downgrade, stride_penalty);
-                    walk(kernel, else_body, in_loop, variance, forms, downgrade, stride_penalty);
+                    walk(
+                        kernel,
+                        then_body,
+                        in_loop,
+                        variance,
+                        forms,
+                        downgrade,
+                        stride_penalty,
+                    );
+                    walk(
+                        kernel,
+                        else_body,
+                        in_loop,
+                        variance,
+                        forms,
+                        downgrade,
+                        stride_penalty,
+                    );
                 }
                 Stmt::For {
                     var,
@@ -154,7 +182,15 @@ pub fn analyze_simd(kernel: &Kernel) -> SimdReport {
                         );
                     }
                     let li = LoopInfo { var: *var };
-                    walk(kernel, body, Some(&li), variance, forms, downgrade, stride_penalty);
+                    walk(
+                        kernel,
+                        body,
+                        Some(&li),
+                        variance,
+                        forms,
+                        downgrade,
+                        stride_penalty,
+                    );
                 }
                 Stmt::SyncThreads | Stmt::Return => {}
             }
@@ -186,7 +222,15 @@ pub fn analyze_simd(kernel: &Kernel) -> SimdReport {
     ) {
         e.visit(&mut |n| {
             if let Expr::Load { mem, index } = n {
-                check_access(kernel, *mem, index, in_loop, forms, downgrade, stride_penalty);
+                check_access(
+                    kernel,
+                    *mem,
+                    index,
+                    in_loop,
+                    forms,
+                    downgrade,
+                    stride_penalty,
+                );
             }
         });
     }
@@ -319,7 +363,10 @@ mod tests {
             }",
         );
         assert_eq!(r.class, SimdClass::Scalar);
-        assert!(r.reasons.iter().any(|m| m.contains("per-thread array")), "{r:?}");
+        assert!(
+            r.reasons.iter().any(|m| m.contains("per-thread array")),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -161,10 +161,28 @@ mod tests {
                 out[g] = u;
             }",
         );
-        assert_eq!(v[var_named(&k, "t")], Variance { thread: true, block: false });
-        assert_eq!(v[var_named(&k, "b")], Variance { thread: false, block: true });
+        assert_eq!(
+            v[var_named(&k, "t")],
+            Variance {
+                thread: true,
+                block: false
+            }
+        );
+        assert_eq!(
+            v[var_named(&k, "b")],
+            Variance {
+                thread: false,
+                block: true
+            }
+        );
         assert_eq!(v[var_named(&k, "u")], Variance::uniform());
-        assert_eq!(v[var_named(&k, "g")], Variance { thread: true, block: true });
+        assert_eq!(
+            v[var_named(&k, "g")],
+            Variance {
+                thread: true,
+                block: true
+            }
+        );
     }
 
     #[test]
@@ -175,7 +193,13 @@ mod tests {
                 out[0] = x;
             }",
         );
-        assert_eq!(v[var_named(&k, "x")], Variance { thread: true, block: true });
+        assert_eq!(
+            v[var_named(&k, "x")],
+            Variance {
+                thread: true,
+                block: true
+            }
+        );
     }
 
     #[test]
@@ -189,8 +213,20 @@ mod tests {
                 out[0] = x + y;
             }",
         );
-        assert_eq!(v[var_named(&k, "x")], Variance { thread: true, block: false });
-        assert_eq!(v[var_named(&k, "y")], Variance { thread: false, block: true });
+        assert_eq!(
+            v[var_named(&k, "x")],
+            Variance {
+                thread: true,
+                block: false
+            }
+        );
+        assert_eq!(
+            v[var_named(&k, "y")],
+            Variance {
+                thread: false,
+                block: true
+            }
+        );
     }
 
     #[test]
@@ -204,7 +240,13 @@ mod tests {
                 out[0] = acc;
             }",
         );
-        assert_eq!(v[var_named(&k, "acc")], Variance { thread: true, block: false });
+        assert_eq!(
+            v[var_named(&k, "acc")],
+            Variance {
+                thread: true,
+                block: false
+            }
+        );
         assert_eq!(v[var_named(&k, "i")], Variance::uniform());
     }
 

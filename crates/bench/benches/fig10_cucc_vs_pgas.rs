@@ -10,7 +10,10 @@ use cucc_cluster::ClusterSpec;
 use cucc_workloads::{perf_suite, Scale};
 
 fn main() {
-    banner("Figure 10", "PGAS runtime / CuCC runtime (SIMD-Focused cluster)");
+    banner(
+        "Figure 10",
+        "PGAS runtime / CuCC runtime (SIMD-Focused cluster)",
+    );
     let node_counts = [2u32, 4, 8, 16, 32];
     print!("{:<16}", "benchmark");
     for n in node_counts {

@@ -11,7 +11,10 @@ use cucc_slurm::Datacenter;
 use cucc_workloads::{perf_suite, Scale};
 
 fn main() {
-    banner("Figure 12", "cluster-wide batch throughput, GPUs vs GPUs+CPUs");
+    banner(
+        "Figure 12",
+        "cluster-wide batch throughput, GPUs vs GPUs+CPUs",
+    );
     let dc = Datacenter::lonestar6();
     println!(
         "inventory: {} CPU nodes (Thread-Focused class), {} GPUs (A100)\n",

@@ -53,7 +53,10 @@ fn main() {
     }
     println!("\n(paper geomeans: 4.61x / 4.66x / 4.32x)");
 
-    let bo = single_node.iter().find(|(n, _)| n == "BinomialOption").unwrap();
+    let bo = single_node
+        .iter()
+        .find(|(n, _)| n == "BinomialOption")
+        .unwrap();
     let tr = single_node.iter().find(|(n, _)| n == "Transpose").unwrap();
     println!(
         "\nsingle-node extremes: BinomialOption {:.1}x (paper 55x), Transpose {:.2}x (paper 1.3x)",
@@ -62,13 +65,18 @@ fn main() {
 
     // ---- §8.2 ablation: disable SIMD on both CPUs, Transpose only ----
     banner("§8.2 ablation", "Transpose with SIMD execution disabled");
-    let transpose: Box<dyn Benchmark> = Box::new(cucc_workloads::perf::Transpose::new(Scale::Paper));
+    let transpose: Box<dyn Benchmark> =
+        Box::new(cucc_workloads::perf::Transpose::new(Scale::Paper));
     let mut simd_off = ClusterSpec::simd_focused().with_nodes(1);
     simd_off.cpu = simd_off.cpu.without_simd();
     let mut thread_off = capped_thread().with_nodes(1);
     thread_off.cpu = thread_off.cpu.without_simd();
 
-    let s_on = cucc_report(transpose.as_ref(), ClusterSpec::simd_focused().with_nodes(1)).time();
+    let s_on = cucc_report(
+        transpose.as_ref(),
+        ClusterSpec::simd_focused().with_nodes(1),
+    )
+    .time();
     let s_off = cucc_report(transpose.as_ref(), simd_off).time();
     let t_on = cucc_report(transpose.as_ref(), capped_thread().with_nodes(1)).time();
     let t_off = cucc_report(transpose.as_ref(), thread_off).time();

@@ -11,7 +11,10 @@ use cucc_slurm::sim::{mean_wait, median_wait, simulate_fifo, Partition, Partitio
 use cucc_slurm::{simulate_backfill, synthetic_week, TraceParams};
 
 fn main() {
-    banner("Figure 1", "Waiting times for CPU and GPU partitions (1 simulated week)");
+    banner(
+        "Figure 1",
+        "Waiting times for CPU and GPU partitions (1 simulated week)",
+    );
     let partitions = [
         ("cpu-small", 256u32, PartitionKind::Cpu),
         ("cpu-medium", 128, PartitionKind::Cpu),

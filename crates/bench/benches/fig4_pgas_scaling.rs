@@ -35,8 +35,8 @@ fn main() {
         println!();
     }
     println!(
-        "\n{} of the multi-node configurations are SLOWER than single-node."
-        , slowdowns
+        "\n{} of the multi-node configurations are SLOWER than single-node.",
+        slowdowns
     );
     println!("paper: \"most GPU programs do not achieve high scalability, and some");
     println!("even slow down when scaled to distributed nodes\"");

@@ -4,15 +4,24 @@ use cucc_bench::banner;
 use cucc_workloads::{classify_coverage, heteromark_kernels, triton_kernels, Expected};
 
 fn main() {
-    banner("Figure 7", "Coverage evaluation for Allgather distributable");
+    banner(
+        "Figure 7",
+        "Coverage evaluation for Allgather distributable",
+    );
     let groups: [(&str, Vec<_>); 3] = [
         (
             "ViT",
-            triton_kernels().into_iter().filter(|k| k.suite == "ViT").collect(),
+            triton_kernels()
+                .into_iter()
+                .filter(|k| k.suite == "ViT")
+                .collect(),
         ),
         (
             "BERT",
-            triton_kernels().into_iter().filter(|k| k.suite == "BERT").collect(),
+            triton_kernels()
+                .into_iter()
+                .filter(|k| k.suite == "BERT")
+                .collect(),
         ),
         ("Hetero-Mark", heteromark_kernels()),
     ];

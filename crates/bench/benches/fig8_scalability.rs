@@ -18,7 +18,11 @@ fn main() {
             ClusterSpec::simd_focused(),
             vec![1u32, 2, 4, 8, 16, 32],
         ),
-        ("Thread-Focused", ClusterSpec::thread_focused(), vec![1u32, 2, 4]),
+        (
+            "Thread-Focused",
+            ClusterSpec::thread_focused(),
+            vec![1u32, 2, 4],
+        ),
     ] {
         println!("\n--- {cluster_name} cluster ---");
         print!("{:<16} {:>12}", "benchmark", "t(1 node)");

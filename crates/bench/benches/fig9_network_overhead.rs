@@ -5,7 +5,7 @@
 //! BinomialOption), dominant for memory-movement kernels (Transpose) at
 //! scale — the reason Transpose stops scaling in Figure 8.
 
-use cucc_bench::{banner, cucc_report};
+use cucc_bench::{banner, cucc_report_traced};
 use cucc_cluster::ClusterSpec;
 use cucc_workloads::{perf_suite, Scale};
 
@@ -20,8 +20,20 @@ fn main() {
     for bench in perf_suite(Scale::Paper) {
         print!("{:<16}", bench.name());
         for n in node_counts {
-            let r = cucc_report(bench.as_ref(), ClusterSpec::simd_focused().with_nodes(n));
-            print!(" {:>7.1}%", r.times.comm_fraction() * 100.0);
+            // The comm/total split is read off the trace timeline: the
+            // network track carries the collectives, the span horizon is
+            // the whole launch.
+            let (r, tl) =
+                cucc_report_traced(bench.as_ref(), ClusterSpec::simd_focused().with_nodes(n));
+            let comm = tl.comm_time();
+            let total = tl.end_time();
+            let frac = if total > 0.0 { comm / total } else { 0.0 };
+            debug_assert_eq!(
+                frac.to_bits(),
+                r.times.comm_fraction().to_bits(),
+                "timeline and report disagree"
+            );
+            print!(" {:>7.1}%", frac * 100.0);
         }
         println!();
     }

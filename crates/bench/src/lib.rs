@@ -31,11 +31,25 @@ use cucc_workloads::{setup_args, Benchmark};
 
 /// Run one benchmark on a CuCC cluster in modeled fidelity.
 pub fn cucc_report(bench: &dyn Benchmark, spec: ClusterSpec) -> LaunchReport {
+    cucc_report_traced(bench, spec).0
+}
+
+/// Run one benchmark on a CuCC cluster in modeled fidelity and return the
+/// trace timeline covering exactly the launch (h2d setup traffic is
+/// dropped, so the span record is the kernel alone).
+pub fn cucc_report_traced(
+    bench: &dyn Benchmark,
+    spec: ClusterSpec,
+) -> (LaunchReport, cucc_trace::Timeline) {
     let ck = compile_source(&bench.source()).expect("compile");
     let mut cl = CuccCluster::new(spec, RuntimeConfig::modeled());
     let (args, _) = setup_args(bench, &ck.kernel, &mut cl);
-    cl.launch(&ck, bench.launch(), &args)
-        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+    cl.reset_clock();
+    let report = cl
+        .launch(&ck, bench.launch(), &args)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    let timeline = cl.timeline().clone();
+    (report, timeline)
 }
 
 /// Run one benchmark on the PGAS baseline in modeled fidelity.

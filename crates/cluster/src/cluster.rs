@@ -13,7 +13,7 @@
 use crate::specs::ClusterSpec;
 use cucc_exec::{execute_block, Arg, BlockStats, BufferId, ExecError, MemPool};
 use cucc_ir::{Kernel, LaunchConfig};
-use cucc_net::{allgather, AllgatherAlgo, AllgatherPlacement, CollectiveCost};
+use cucc_net::{allgather, allgather_traced, AllgatherAlgo, AllgatherPlacement, CollectiveCost};
 use std::ops::Range;
 
 /// A simulated CPU cluster.
@@ -147,12 +147,41 @@ impl SimCluster {
             .iter_mut()
             .map(|p| &mut p.bytes_mut(buf)[lo..hi])
             .collect();
-        allgather(
+        allgather(&mut views, &vec![unit; n], &self.spec.net, algo, placement)
+    }
+
+    /// [`SimCluster::allgather_region`] that also records the collective
+    /// (parent span, per-step children, wire-byte counters) into `tl`
+    /// starting at absolute simulated time `t0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allgather_region_traced(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        unit: u64,
+        algo: AllgatherAlgo,
+        placement: AllgatherPlacement,
+        tl: &mut cucc_trace::Timeline,
+        t0: f64,
+        label: &str,
+    ) -> CollectiveCost {
+        let n = self.pools.len();
+        let lo = base as usize;
+        let hi = lo + unit as usize * n;
+        let mut views: Vec<&mut [u8]> = self
+            .pools
+            .iter_mut()
+            .map(|p| &mut p.bytes_mut(buf)[lo..hi])
+            .collect();
+        allgather_traced(
             &mut views,
             &vec![unit; n],
             &self.spec.net,
             algo,
             placement,
+            tl,
+            t0,
+            label,
         )
     }
 
@@ -205,7 +234,8 @@ mod tests {
         let args = [Arg::Buffer(out)];
         // Node i executes block i only.
         let assignments: Vec<_> = (0..4u64).map(|i| i..i + 1).collect();
-        c.run_blocks_parallel(&k, launch, &assignments, &args).unwrap();
+        c.run_blocks_parallel(&k, launch, &assignments, &args)
+            .unwrap();
         assert!(!c.consistent(out), "nodes must have diverged");
         let cost = c.allgather_region(
             out,

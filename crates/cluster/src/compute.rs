@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn profiled_with_tail() {
         let xeon = CpuSpec::xeon_gold_6226_dual(); // 24 cores
-        // 24 full blocks + tail: tail starts wave 2.
+                                                   // 24 full blocks + tail: tail starts wave 2.
         let t = node_time_profiled(1.0, 24, Some(0.5), 0, false, &xeon);
         assert!((t - 1.5).abs() < 1e-9);
         // 20 full + tail on 24 cores: everything in one wave.

@@ -219,9 +219,17 @@ mod tests {
     fn peak_flops_match_table1() {
         // Table 1: SIMD-Focused 4.15 TF, Thread-Focused 8.19 TF per node.
         let xeon = CpuSpec::xeon_gold_6226_dual();
-        assert!((xeon.peak_flops() / 1e12 - 4.15).abs() < 0.01, "{}", xeon.peak_flops());
+        assert!(
+            (xeon.peak_flops() / 1e12 - 4.15).abs() < 0.01,
+            "{}",
+            xeon.peak_flops()
+        );
         let epyc = CpuSpec::epyc_7713_dual();
-        assert!((epyc.peak_flops() / 1e12 - 8.19).abs() < 0.01, "{}", epyc.peak_flops());
+        assert!(
+            (epyc.peak_flops() / 1e12 - 8.19).abs() < 0.01,
+            "{}",
+            epyc.peak_flops()
+        );
     }
 
     #[test]

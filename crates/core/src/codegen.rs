@@ -17,7 +17,11 @@ pub fn generate_host_module(ck: &CompiledKernel) -> String {
     let k = &ck.kernel;
     let mut out = String::new();
     let _ = writeln!(out, "// CuCC-generated CPU host module for `{}`", k.name);
-    let _ = writeln!(out, "void {}_host(int grid_size, int block_size, ...) {{", k.name);
+    let _ = writeln!(
+        out,
+        "void {}_host(int grid_size, int block_size, ...) {{",
+        k.name
+    );
     match ck.analysis.verdict.meta() {
         Some(meta) => {
             let tail = if meta.tail_divergent() { 1 } else { 0 };
@@ -81,7 +85,11 @@ pub fn generate_kernel_module(ck: &CompiledKernel) -> String {
         params.join(", ")
     );
     if ck.analysis.simd.efficiency > 0.0 {
-        let _ = writeln!(out, "#pragma omp simd  // vectorizable: {:?}", ck.analysis.simd.class);
+        let _ = writeln!(
+            out,
+            "#pragma omp simd  // vectorizable: {:?}",
+            ck.analysis.simd.class
+        );
     } else {
         let _ = writeln!(
             out,
@@ -93,7 +101,11 @@ pub fn generate_kernel_module(ck: &CompiledKernel) -> String {
         out,
         "    for (int thread_id = 0; thread_id < block_size; thread_id++) {{"
     );
-    let _ = writeln!(out, "        // … body of `{}` with threadIdx.x = thread_id,", k.name);
+    let _ = writeln!(
+        out,
+        "        // … body of `{}` with threadIdx.x = thread_id,",
+        k.name
+    );
     let _ = writeln!(out, "        //   blockIdx.x = block_id (see IR below)");
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "}}");

@@ -78,11 +78,7 @@ mod tests {
             }",
         )
         .unwrap();
-        assert!(
-            ck.is_distributable(),
-            "{:?}",
-            ck.analysis.verdict.reasons()
-        );
+        assert!(ck.is_distributable(), "{:?}", ck.analysis.verdict.reasons());
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub trait ProgramBackend {
     /// Host→device copy.
     fn prog_h2d(&mut self, buf: BufferId, data: &[u8]);
     /// Device→host copy.
-    fn prog_d2h(&self, buf: BufferId) -> Vec<u8>;
+    fn prog_d2h(&mut self, buf: BufferId) -> Vec<u8>;
     /// Launch a compiled kernel; returns simulated kernel seconds.
     fn prog_launch(
         &mut self,
@@ -93,7 +93,7 @@ impl ProgramBackend for CuccCluster {
     fn prog_h2d(&mut self, buf: BufferId, data: &[u8]) {
         self.h2d(buf, data);
     }
-    fn prog_d2h(&self, buf: BufferId) -> Vec<u8> {
+    fn prog_d2h(&mut self, buf: BufferId) -> Vec<u8> {
         self.d2h(buf)
     }
     fn prog_launch(
@@ -102,7 +102,8 @@ impl ProgramBackend for CuccCluster {
         launch: LaunchConfig,
         args: &[Arg],
     ) -> Result<f64, MigrateError> {
-        self.launch(kernel, launch, args).map(|r: LaunchReport| r.time())
+        self.launch(kernel, launch, args)
+            .map(|r: LaunchReport| r.time())
     }
 }
 
@@ -124,7 +125,10 @@ impl GpuProgram {
     }
 
     /// Execute on a backend.
-    pub fn run_with<B: ProgramBackend>(&self, backend: &mut B) -> Result<ProgramResult, MigrateError> {
+    pub fn run_with<B: ProgramBackend>(
+        &self,
+        backend: &mut B,
+    ) -> Result<ProgramResult, MigrateError> {
         let mut buffers: BTreeMap<String, BufferId> = BTreeMap::new();
         let mut result = ProgramResult {
             outputs: BTreeMap::new(),
@@ -159,9 +163,11 @@ impl GpuProgram {
                     let mut resolved = Vec::with_capacity(args.len());
                     for a in args {
                         resolved.push(match a {
-                            ArgSpec::Buffer(name) => Arg::Buffer(*buffers.get(name).ok_or_else(
-                                || MigrateError::Launch(format!("unknown buffer `{name}`")),
-                            )?),
+                            ArgSpec::Buffer(name) => {
+                                Arg::Buffer(*buffers.get(name).ok_or_else(|| {
+                                    MigrateError::Launch(format!("unknown buffer `{name}`"))
+                                })?)
+                            }
                             ArgSpec::Int(v) => Arg::Scalar(Value::I64(*v)),
                             ArgSpec::Float(v) => Arg::Scalar(Value::F64(*v)),
                         });
@@ -280,7 +286,12 @@ mod tests {
             .alloc("x", 1000 * 4)
             .alloc("y", 1000 * 4)
             .alloc("z", 1000 * 4)
-            .h2d("x", (0..1000u32).flat_map(|i| (i as f32 * 0.5).to_le_bytes()).collect())
+            .h2d(
+                "x",
+                (0..1000u32)
+                    .flat_map(|i| (i as f32 * 0.5).to_le_bytes())
+                    .collect(),
+            )
             .launch(
                 "scale",
                 LaunchConfig::cover1(1000, 128),
@@ -342,7 +353,10 @@ mod tests {
 
     #[test]
     fn duplicate_alloc_rejected() {
-        let prog = GpuProgram::builder("dup").alloc("a", 16).alloc("a", 16).build();
+        let prog = GpuProgram::builder("dup")
+            .alloc("a", 16)
+            .alloc("a", 16)
+            .build();
         let mut cl = CuccCluster::new(
             ClusterSpec::simd_focused().with_nodes(1),
             RuntimeConfig::default(),

@@ -40,12 +40,16 @@ pub struct PhaseTimes {
     pub allgather: f64,
     /// Phase 3: callback block execution.
     pub callback: f64,
+    /// Broadcast collectives (replicated h2d distribution). Always zero for
+    /// kernel launches; populated by session-level views that include host
+    /// transfers.
+    pub broadcast: f64,
 }
 
 impl PhaseTimes {
-    /// Total simulated kernel time.
+    /// Total simulated time.
     pub fn total(&self) -> f64 {
-        self.partial + self.allgather + self.callback
+        self.partial + self.allgather + self.callback + self.broadcast
     }
 
     /// Fraction of total time spent in communication (Figure 9).
@@ -54,7 +58,7 @@ impl PhaseTimes {
         if t == 0.0 {
             0.0
         } else {
-            self.allgather / t
+            (self.allgather + self.broadcast) / t
         }
     }
 }
@@ -90,9 +94,22 @@ mod tests {
             partial: 0.6,
             allgather: 0.3,
             callback: 0.1,
+            broadcast: 0.0,
         };
         assert!((t.total() - 1.0).abs() < 1e-12);
         assert!((t.comm_fraction() - 0.3).abs() < 1e-12);
         assert_eq!(PhaseTimes::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn broadcast_counts_as_communication() {
+        let t = PhaseTimes {
+            partial: 0.5,
+            allgather: 0.2,
+            callback: 0.1,
+            broadcast: 0.2,
+        };
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert!((t.comm_fraction() - 0.4).abs() < 1e-12);
     }
 }

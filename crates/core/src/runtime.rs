@@ -8,7 +8,8 @@ use cucc_analysis::{plan_launch, Plan, ReplicationCause, ThreePhasePlan};
 use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec, SimCluster};
 use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile};
 use cucc_ir::LaunchConfig;
-use cucc_net::{allgather_cost, broadcast_time, AllgatherAlgo, AllgatherPlacement};
+use cucc_net::{allgather_cost_traced, broadcast_traced, AllgatherAlgo, AllgatherPlacement};
+use cucc_trace::{Category, Mark, Timeline, Track};
 
 /// Whether launches execute functionally or are only timed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +67,11 @@ impl RuntimeConfig {
 pub struct CuccCluster {
     sim: SimCluster,
     config: RuntimeConfig,
-    clock: f64,
+    /// Unified event record. All time accounting lives here: launches and
+    /// host transfers lay spans out on the simulated clock and advance it;
+    /// [`CuccCluster::clock`], [`LaunchReport`] phase times and wire bytes
+    /// are derived views over the recorded spans and counters.
+    timeline: Timeline,
     /// Logical cluster size. In [`ExecutionFidelity::Modeled`] only one
     /// physical node memory is materialized (paper-scale sweeps would
     /// otherwise replicate gigabytes across 32 pools); the time model still
@@ -86,7 +91,7 @@ impl CuccCluster {
         CuccCluster {
             sim: SimCluster::new(sim_spec),
             config,
-            clock: 0.0,
+            timeline: Timeline::new(),
             logical_nodes,
         }
     }
@@ -102,13 +107,45 @@ impl CuccCluster {
     }
 
     /// Simulated seconds elapsed (kernel launches + host transfers).
+    /// Derived from the trace timeline, which owns the simulated clock.
     pub fn clock(&self) -> f64 {
-        self.clock
+        self.timeline.clock()
     }
 
-    /// Reset the simulated clock (e.g. to time a region).
+    /// Reset the simulated clock and drop the recorded trace (e.g. to time
+    /// a region).
     pub fn reset_clock(&mut self) {
-        self.clock = 0.0;
+        self.timeline.reset();
+    }
+
+    /// The recorded trace timeline (spans, counters, simulated clock).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Session-wide phase breakdown derived from the timeline: every launch
+    /// and host transfer since construction (or the last
+    /// [`CuccCluster::reset_clock`]). Unlike per-launch [`LaunchReport`]
+    /// times, this includes h2d broadcast time under
+    /// [`PhaseTimes::broadcast`].
+    pub fn session_times(&self) -> PhaseTimes {
+        PhaseTimes {
+            // Within one launch every node's phase span has the same
+            // duration, so node 0's track carries the per-launch phase
+            // times; summing it in recording order reproduces the legacy
+            // per-launch accumulation exactly.
+            partial: self.timeline.time_in_on(Track::Node(0), Category::Partial),
+            allgather: self.timeline.time_in(Category::Allgather),
+            callback: self.timeline.time_in_on(Track::Node(0), Category::Callback),
+            broadcast: self.timeline.time_in(Category::Broadcast),
+        }
+    }
+
+    /// Total bytes moved across the network since construction (or the last
+    /// [`CuccCluster::reset_clock`]) — Allgathers *and* h2d broadcasts —
+    /// derived from the timeline's wire-byte counters.
+    pub fn wire_bytes(&self) -> u64 {
+        self.timeline.wire_bytes()
     }
 
     /// Direct access to the underlying simulator (tests, diagnostics).
@@ -129,18 +166,38 @@ impl CuccCluster {
     }
 
     /// Host→device copy, broadcast to every node (charged to the clock).
+    /// Records the broadcast on the timeline — including the wire traffic
+    /// the pre-timeline accounting never attributed anywhere.
     pub fn h2d(&mut self, buf: BufferId, data: &[u8]) {
         self.sim.write_all(buf, data);
-        self.clock += broadcast_time(&self.sim.spec.net, self.logical_nodes, data.len() as u64);
+        let t0 = self.timeline.clock();
+        let bt = broadcast_traced(
+            &self.sim.spec.net,
+            self.logical_nodes,
+            data.len() as u64,
+            &mut self.timeline,
+            t0,
+            "h2d broadcast",
+        );
+        self.timeline
+            .span("h2d", Track::Host, Category::H2d, t0, bt);
+        self.timeline.advance(bt);
     }
 
-    /// Device→host copy (from node 0).
-    pub fn d2h(&self, buf: BufferId) -> Vec<u8> {
+    /// Device→host copy (from node 0). Free in the time model, but recorded
+    /// on the timeline's host track.
+    pub fn d2h(&mut self, buf: BufferId) -> Vec<u8> {
+        let t = self.timeline.clock();
+        self.timeline
+            .span("d2h", Track::Host, Category::D2h, t, 0.0);
         self.sim.read(0, buf).to_vec()
     }
 
     /// Typed convenience reads from node 0.
-    pub fn d2h_f32(&self, buf: BufferId) -> Vec<f32> {
+    pub fn d2h_f32(&mut self, buf: BufferId) -> Vec<f32> {
+        let t = self.timeline.clock();
+        self.timeline
+            .span("d2h", Track::Host, Category::D2h, t, 0.0);
         self.sim.node(0).read_f32(buf)
     }
 
@@ -167,7 +224,13 @@ impl CuccCluster {
         if launch.num_blocks() == 0 {
             return Err(MigrateError::Launch("empty grid".into()));
         }
-        let plan = plan_launch(&ck.kernel, &ck.analysis.verdict, launch, args, self.sim.node(0));
+        let plan = plan_launch(
+            &ck.kernel,
+            &ck.analysis.verdict,
+            launch,
+            args,
+            self.sim.node(0),
+        );
         let profile = profile_launch(
             &ck.kernel,
             launch,
@@ -175,16 +238,17 @@ impl CuccCluster {
             self.sim.node(0),
             self.config.profile_samples,
         )?;
+        let mark = self.timeline.checkpoint();
         let report = match plan {
             Plan::ThreePhase(tp) => self.launch_three_phase(ck, launch, args, tp, &profile)?,
-            Plan::Replicated(cause) => {
-                self.launch_replicated(ck, launch, args, cause, &profile)?
-            }
+            Plan::Replicated(cause) => self.launch_replicated(ck, launch, args, cause, &profile)?,
         };
-        self.clock += report.time();
-        if self.config.verify_consistency
-            && self.config.fidelity == ExecutionFidelity::Functional
-        {
+        // The report's times and wire bytes are *derived* from the spans
+        // and counters this launch recorded; the invariant check asserts
+        // they reproduce the directly-computed legacy values bit-for-bit.
+        let report = self.derive_report(mark, report, ck);
+        self.timeline.advance(report.time());
+        if self.config.verify_consistency && self.config.fidelity == ExecutionFidelity::Functional {
             for p in ck.kernel.written_global_buffers() {
                 let Arg::Buffer(id) = args[p.index()] else {
                     continue;
@@ -199,6 +263,60 @@ impl CuccCluster {
             }
         }
         Ok(report)
+    }
+
+    /// Rebuild a launch report's scalar accounting from the timeline
+    /// window the launch recorded, asserting it matches the directly
+    /// computed values bit-for-bit.
+    fn derive_report(&self, mark: Mark, report: LaunchReport, ck: &CompiledKernel) -> LaunchReport {
+        let tl = &self.timeline;
+        let derived = PhaseTimes {
+            // Phase spans are one per node with identical durations
+            // (stragglers are folded into the jitter multiplier), so the
+            // phase time is the per-node maximum.
+            partial: tl.max_in_since(mark, Category::Partial),
+            // Summing the per-collective parent spans in recording order
+            // reproduces the legacy per-region accumulation exactly.
+            allgather: tl.time_in_since(mark, Category::Allgather),
+            callback: tl.max_in_since(mark, Category::Callback),
+            broadcast: tl.time_in_since(mark, Category::Broadcast),
+        };
+        let derived_wire = tl.wire_bytes_since(mark);
+        assert_eq!(
+            derived.partial.to_bits(),
+            report.times.partial.to_bits(),
+            "timeline-derived partial time diverged for `{}`",
+            ck.name()
+        );
+        assert_eq!(
+            derived.allgather.to_bits(),
+            report.times.allgather.to_bits(),
+            "timeline-derived allgather time diverged for `{}`",
+            ck.name()
+        );
+        assert_eq!(
+            derived.callback.to_bits(),
+            report.times.callback.to_bits(),
+            "timeline-derived callback time diverged for `{}`",
+            ck.name()
+        );
+        assert_eq!(
+            derived.broadcast.to_bits(),
+            0.0f64.to_bits(),
+            "kernel launches must not record broadcasts (`{}`)",
+            ck.name()
+        );
+        assert_eq!(
+            derived_wire,
+            report.wire_bytes,
+            "timeline-derived wire bytes diverged for `{}`",
+            ck.name()
+        );
+        LaunchReport {
+            times: derived,
+            wire_bytes: derived_wire,
+            ..report
+        }
     }
 
     fn launch_three_phase(
@@ -219,8 +337,7 @@ impl CuccCluster {
         // A kernel is "staged" when it round-trips a substantial share of its
         // global traffic through emulated shared-memory tiles (transpose-like
         // reshaping) — small reduction scratchpads don't count.
-        let staged =
-            profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
+        let staged = profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
         let tail_divergent = ck
             .analysis
             .verdict
@@ -230,6 +347,10 @@ impl CuccCluster {
 
         // Multi-node straggler/jitter inefficiency on distributed phases.
         let jitter = 1.0 + self.sim.spec.jitter * (n - 1) as f64;
+
+        // Launch phases are laid out on the timeline starting at the
+        // current simulated time; the clock itself advances in `launch`.
+        let t0 = self.timeline.clock();
 
         // ---- Phase 1: partial block execution -------------------------
         let pbn = part.partial_blocks_per_node;
@@ -241,21 +362,50 @@ impl CuccCluster {
             staged,
             &cpu,
         ) * jitter;
+        for i in 0..n {
+            self.timeline.span(
+                format!("{}: partial ({pbn} blocks)", ck.name()),
+                Track::Node(i as u32),
+                Category::Partial,
+                t0,
+                t_partial,
+            );
+        }
 
         // ---- Phase 2: balanced in-place Allgather ----------------------
+        let t_ag0 = t0 + t_partial;
         let mut t_allgather = 0.0;
         let mut wire_bytes = 0u64;
         for region in &tp.buffers {
             let unit = region.unit * part.chunks_per_node;
-            let cost = allgather_cost(
+            let label = format!(
+                "allgather {}",
+                ck.kernel.params[region.param.index()].name()
+            );
+            let cost = allgather_cost_traced(
                 n as usize,
                 unit,
                 &self.sim.spec.net,
                 self.config.allgather_algo,
                 self.config.placement,
+                &mut self.timeline,
+                t_ag0 + t_allgather,
+                &label,
             );
             t_allgather += cost.time;
             wire_bytes += cost.wire_bytes;
+        }
+        if t_allgather > 0.0 {
+            // Visualization-only: every node blocks in the collective.
+            for i in 0..n {
+                self.timeline.child_span(
+                    "allgather",
+                    Track::Node(i as u32),
+                    Category::Allgather,
+                    t_ag0,
+                    t_allgather,
+                );
+            }
         }
 
         // ---- Phase 3: callback block execution -------------------------
@@ -274,6 +424,16 @@ impl CuccCluster {
             staged,
             &cpu,
         ) * jitter;
+        let t_cb0 = t_ag0 + t_allgather;
+        for i in 0..n {
+            self.timeline.span(
+                format!("{}: callback ({} blocks)", ck.name(), part.callback_blocks),
+                Track::Node(i as u32),
+                Category::Callback,
+                t_cb0,
+                t_callback,
+            );
+        }
 
         // ---- Functional execution --------------------------------------
         let mut node_stats = profile.per_block.scaled(pbn + callback_full);
@@ -303,13 +463,16 @@ impl CuccCluster {
                     );
                 }
             }
-            let cb: Vec<_> = (0..n)
-                .map(|_| part.callback_start..tp.num_blocks)
-                .collect();
+            let cb: Vec<_> = (0..n).map(|_| part.callback_start..tp.num_blocks).collect();
             let cb_stats = self
                 .sim
                 .run_blocks_parallel(&ck.kernel, launch, &cb, args)?;
             node_stats = stats[0] + cb_stats[0];
+        }
+
+        // Per-node execution statistics as counter samples at launch start.
+        for i in 0..n {
+            node_stats.emit_counters(&mut self.timeline, Track::Node(i as u32), t0);
         }
 
         Ok(LaunchReport {
@@ -323,6 +486,7 @@ impl CuccCluster {
                 partial: t_partial,
                 allgather: t_allgather,
                 callback: t_callback,
+                broadcast: 0.0,
             },
             node_stats,
             wire_bytes,
@@ -346,8 +510,7 @@ impl CuccCluster {
         // A kernel is "staged" when it round-trips a substantial share of its
         // global traffic through emulated shared-memory tiles (transpose-like
         // reshaping) — small reduction scratchpads don't count.
-        let staged =
-            profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
+        let staged = profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
         let t = node_time_profiled(
             bt_full,
             full,
@@ -364,12 +527,26 @@ impl CuccCluster {
                 .run_blocks_parallel(&ck.kernel, launch, &all, args)?;
             node_stats = stats[0];
         }
+        // Every node redundantly runs the whole grid; the legacy accounting
+        // files replicated time under the callback phase.
+        let t0 = self.timeline.clock();
+        for i in 0..n {
+            self.timeline.span(
+                format!("{}: replicated ({} blocks)", ck.name(), launch.num_blocks()),
+                Track::Node(i as u32),
+                Category::Callback,
+                t0,
+                t,
+            );
+            node_stats.emit_counters(&mut self.timeline, Track::Node(i as u32), t0);
+        }
         Ok(LaunchReport {
             mode: ExecMode::Replicated { cause },
             times: PhaseTimes {
                 partial: 0.0,
                 allgather: 0.0,
                 callback: t,
+                broadcast: 0.0,
             },
             node_stats,
             wire_bytes: 0,
@@ -446,7 +623,12 @@ mod tests {
         gpu.launch(
             &ck.kernel,
             launch,
-            &[Arg::Buffer(gx), Arg::Buffer(gy), Arg::float(1.5), Arg::int(n as i64)],
+            &[
+                Arg::Buffer(gx),
+                Arg::Buffer(gy),
+                Arg::float(1.5),
+                Arg::int(n as i64),
+            ],
         )
         .unwrap();
         let reference = gpu.d2h(gy);
@@ -460,7 +642,12 @@ mod tests {
             cl.launch(
                 &ck,
                 launch,
-                &[Arg::Buffer(cx), Arg::Buffer(cy), Arg::float(1.5), Arg::int(n as i64)],
+                &[
+                    Arg::Buffer(cx),
+                    Arg::Buffer(cy),
+                    Arg::float(1.5),
+                    Arg::int(n as i64),
+                ],
             )
             .unwrap();
             assert_eq!(cl.d2h(cy), reference, "nodes={nodes}");

@@ -192,7 +192,12 @@ mod tests {
         execute_launch(
             &k,
             launch,
-            &[Arg::Buffer(x), Arg::Buffer(y), Arg::float(1.5), Arg::int(n as i64)],
+            &[
+                Arg::Buffer(x),
+                Arg::Buffer(y),
+                Arg::float(1.5),
+                Arg::int(n as i64),
+            ],
             &mut pool,
         )
         .unwrap();
@@ -248,7 +253,12 @@ mod tests {
         let mut pool = MemPool::new();
         let x = pool.alloc_elems(Scalar::F32, n);
         let y = pool.alloc_elems(Scalar::F32, n);
-        let args = vec![Arg::Buffer(x), Arg::Buffer(y), Arg::float(1.0), Arg::int(n as i64)];
+        let args = vec![
+            Arg::Buffer(x),
+            Arg::Buffer(y),
+            Arg::float(1.0),
+            Arg::int(n as i64),
+        ];
         let Plan::ThreePhase(tp) = plan_launch(&ck.kernel, &ck.analysis.verdict, l4, &args, &pool)
         else {
             panic!("expected plan");

@@ -279,11 +279,10 @@ fn check_args(kernel: &Kernel, args: &[Arg]) -> Result<(), ExecError> {
         });
     }
     for (p, a) in kernel.params.iter().zip(args) {
-        let ok = match (p, a) {
-            (Param::Buffer { .. }, Arg::Buffer(_)) => true,
-            (Param::Scalar { .. }, Arg::Scalar(_)) => true,
-            _ => false,
-        };
+        let ok = matches!(
+            (p, a),
+            (Param::Buffer { .. }, Arg::Buffer(_)) | (Param::Scalar { .. }, Arg::Scalar(_))
+        );
         if !ok {
             return Err(ExecError::ArgKind {
                 param: p.name().to_string(),
@@ -300,9 +299,7 @@ fn contains_barrier(s: &Stmt) -> bool {
             then_body,
             else_body,
             ..
-        } => {
-            then_body.iter().any(contains_barrier) || else_body.iter().any(contains_barrier)
-        }
+        } => then_body.iter().any(contains_barrier) || else_body.iter().any(contains_barrier),
         Stmt::For { body, .. } => body.iter().any(contains_barrier),
         _ => false,
     }
@@ -634,7 +631,11 @@ impl<'a> Interp<'a> {
                 let l = self.eval(lhs, env)?;
                 let r = self.eval(rhs, env)?;
                 let float = l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
-                self.count_op(if float { ValueKind::Float } else { ValueKind::Int });
+                self.count_op(if float {
+                    ValueKind::Float
+                } else {
+                    ValueKind::Int
+                });
                 eval_binop(*op, l, r, float)?
             }
             Expr::Select {
@@ -857,9 +858,13 @@ mod tests {
         let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
         pool.write_all(src, &data);
         let launch = LaunchConfig::cover1(n as u64, 256);
-        let stats =
-            execute_launch(&k, launch, &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(n as i64)], &mut pool)
-                .unwrap();
+        let stats = execute_launch(
+            &k,
+            launch,
+            &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(n as i64)],
+            &mut pool,
+        )
+        .unwrap();
         assert_eq!(pool.bytes(dest), &data[..]);
         assert_eq!(stats.blocks, 5);
         assert_eq!(stats.global_write_bytes, n as u64);
@@ -966,7 +971,11 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            ExecError::OutOfBounds { mem, index, len_elems } => {
+            ExecError::OutOfBounds {
+                mem,
+                index,
+                len_elems,
+            } => {
                 assert_eq!(mem, "out");
                 assert_eq!(index, 4);
                 assert_eq!(len_elems, 4);
@@ -1122,8 +1131,17 @@ mod tests {
         let mut pool = MemPool::new();
         let b = pool.alloc(8);
         assert!(matches!(
-            execute_block(&k, LaunchConfig::new(1u32, 1u32), 0, &[Arg::Buffer(b)], &mut pool),
-            Err(ExecError::ArgCount { expected: 3, got: 1 })
+            execute_block(
+                &k,
+                LaunchConfig::new(1u32, 1u32),
+                0,
+                &[Arg::Buffer(b)],
+                &mut pool
+            ),
+            Err(ExecError::ArgCount {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(matches!(
             execute_block(

@@ -70,6 +70,21 @@ impl BlockStats {
         }
     }
 
+    /// Emit this record onto a trace timeline as [`cucc_trace::OPS`],
+    /// [`cucc_trace::GLOBAL_BYTES`] and [`cucc_trace::SHARED_BYTES`]
+    /// counter samples at time `t` (zero-valued counters are skipped).
+    pub fn emit_counters(&self, tl: &mut cucc_trace::Timeline, track: cucc_trace::Track, t: f64) {
+        for (name, value) in [
+            (cucc_trace::OPS, self.total_ops()),
+            (cucc_trace::GLOBAL_BYTES, self.global_bytes()),
+            (cucc_trace::SHARED_BYTES, self.shared_bytes),
+        ] {
+            if value > 0 {
+                tl.counter(name, track, t, value);
+            }
+        }
+    }
+
     /// Scale every counter by `k` — used to extrapolate a sampled block
     /// profile to a full launch.
     pub fn scaled(&self, k: u64) -> BlockStats {

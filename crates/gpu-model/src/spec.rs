@@ -124,7 +124,10 @@ mod tests {
         let v = GpuSpec::v100();
         let ratio = v.kernel_time(&s, l) / a.kernel_time(&s, l);
         let bw_ratio = a.hbm_bw / v.hbm_bw;
-        assert!((ratio - bw_ratio).abs() / bw_ratio < 0.05, "{ratio} vs {bw_ratio}");
+        assert!(
+            (ratio - bw_ratio).abs() / bw_ratio < 0.05,
+            "{ratio} vs {bw_ratio}"
+        );
     }
 
     #[test]

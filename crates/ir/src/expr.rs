@@ -229,6 +229,10 @@ pub enum Expr {
     Call { f: Intrinsic, args: Vec<Expr> },
 }
 
+// The builder methods `add`/`sub`/`mul`/`div`/`rem` intentionally shadow the
+// `std::ops` trait names: they build IR nodes rather than compute values, and
+// operator overloading would hide that distinction at call sites.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal helper.
     #[inline]
@@ -385,7 +389,11 @@ mod tests {
     fn builder_helpers_produce_expected_tree() {
         let e = Expr::int(2).add(Expr::int(3));
         match e {
-            Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(*lhs, Expr::IntConst(2));
                 assert_eq!(*rhs, Expr::IntConst(3));
             }

@@ -187,9 +187,11 @@ impl Kernel {
         fn block_has(stmts: &[Stmt]) -> bool {
             stmts.iter().any(|s| match s {
                 Stmt::SyncThreads => true,
-                Stmt::If { then_body, else_body, .. } => {
-                    block_has(then_body) || block_has(else_body)
-                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => block_has(then_body) || block_has(else_body),
                 Stmt::For { body, .. } => block_has(body),
                 _ => false,
             })
@@ -204,7 +206,11 @@ impl Kernel {
             for s in stmts {
                 f(s);
                 match s {
-                    Stmt::If { then_body, else_body, .. } => {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         walk(then_body, f);
                         walk(else_body, f);
                     }
@@ -248,8 +254,14 @@ mod tests {
         Kernel {
             name: "copy".into(),
             params: vec![
-                Param::Buffer { name: "src".into(), elem: Scalar::F32 },
-                Param::Buffer { name: "dest".into(), elem: Scalar::F32 },
+                Param::Buffer {
+                    name: "src".into(),
+                    elem: Scalar::F32,
+                },
+                Param::Buffer {
+                    name: "dest".into(),
+                    elem: Scalar::F32,
+                },
             ],
             shared: vec![],
             locals: vec![],

@@ -95,11 +95,9 @@ fn opt_block(stmts: Vec<Stmt>, count: &mut usize) -> Vec<Stmt> {
                 // empty AND the variable is obviously unused — too fragile
                 // to prove here, so we only drop statically-empty bodies
                 // with constant zero-trip bounds.
-                if let (Some(s0), Some(e0), Some(st)) = (
-                    const_int(&start),
-                    const_int(&end),
-                    const_int(&step),
-                ) {
+                if let (Some(s0), Some(e0), Some(st)) =
+                    (const_int(&start), const_int(&end), const_int(&step))
+                {
                     let never_runs = (st > 0 && s0 >= e0) || (st < 0 && s0 <= e0);
                     if never_runs {
                         *count += 1;
@@ -163,7 +161,13 @@ pub fn opt_expr(e: Expr, count: &mut usize) -> Expr {
                     Expr::IntConst(!v)
                 }
                 // --x == x
-                (UnOp::Neg, Expr::Unary { op: UnOp::Neg, arg: inner }) => {
+                (
+                    UnOp::Neg,
+                    Expr::Unary {
+                        op: UnOp::Neg,
+                        arg: inner,
+                    },
+                ) => {
                     *count += 1;
                     (**inner).clone()
                 }
@@ -207,9 +211,7 @@ pub fn opt_expr(e: Expr, count: &mut usize) -> Expr {
             if let Expr::IntConst(v) = arg {
                 if ty.kind() == crate::types::ValueKind::Int {
                     *count += 1;
-                    return Expr::IntConst(
-                        crate::types::Value::I64(v).convert_to(ty).as_i64(),
-                    );
+                    return Expr::IntConst(crate::types::Value::I64(v).convert_to(ty).as_i64());
                 }
             }
             Expr::Cast {
@@ -294,11 +296,11 @@ fn simplify_binary(op: BinOp, lhs: Expr, rhs: Expr, count: &mut usize) -> Expr {
         }
         // x * 0 / 0 * x (integer only: the operand may still have been
         // evaluated for side effects, but expressions are effect-free here).
-        (Mul, _, Expr::IntConst(0)) | (Mul, Expr::IntConst(0), _) => {
-            if expr_is_int(&lhs) && expr_is_int(&rhs) {
-                *count += 1;
-                return Expr::IntConst(0);
-            }
+        (Mul, _, Expr::IntConst(0)) | (Mul, Expr::IntConst(0), _)
+            if expr_is_int(&lhs) && expr_is_int(&rhs) =>
+        {
+            *count += 1;
+            return Expr::IntConst(0);
         }
         // x << 0, x >> 0
         (Shl, e, Expr::IntConst(0)) | (Shr, e, Expr::IntConst(0)) => {
@@ -369,7 +371,9 @@ fn recompose_divmod(mul_side: &Expr, rem_side: &Expr) -> Option<Expr> {
 /// Normalize a value to 0/1 truthiness (used when collapsing `1 && x`).
 fn truthy(e: Expr) -> Expr {
     match &e {
-        Expr::Binary { op, .. } if op.is_comparison() || matches!(op, BinOp::LAnd | BinOp::LOr) => e,
+        Expr::Binary { op, .. } if op.is_comparison() || matches!(op, BinOp::LAnd | BinOp::LOr) => {
+            e
+        }
         Expr::IntConst(v) => Expr::IntConst(i64::from(*v != 0)),
         _ => Expr::bin(BinOp::Ne, e, Expr::IntConst(0)),
     }
@@ -496,7 +500,13 @@ mod tests {
         let mut k = b.finish();
         optimize(&mut k);
         // Loop gone, but `i = 5` kept so the later use still validates.
-        assert!(matches!(&k.body[0], Stmt::Assign { value: Expr::IntConst(5), .. }));
+        assert!(matches!(
+            &k.body[0],
+            Stmt::Assign {
+                value: Expr::IntConst(5),
+                ..
+            }
+        ));
         crate::validate::validate(&k).unwrap();
     }
 

@@ -378,7 +378,10 @@ impl Parser {
         if !self.eat_punct(")") {
             loop {
                 let Some(ty) = self.eat_type() else {
-                    return self.err(format!("expected parameter type, found {}", self.describe()));
+                    return self.err(format!(
+                        "expected parameter type, found {}",
+                        self.describe()
+                    ));
                 };
                 let is_ptr = self.eat_punct("*");
                 let pname = self.expect_ident()?;
@@ -1034,7 +1037,13 @@ mod tests {
         validate(&k).unwrap();
         let mut found = false;
         k.visit_stmts(&mut |s| {
-            if matches!(s, Stmt::AtomicRmw { op: AtomicOp::Add, .. }) {
+            if matches!(
+                s,
+                Stmt::AtomicRmw {
+                    op: AtomicOp::Add,
+                    ..
+                }
+            ) {
                 found = true;
             }
         });
@@ -1056,7 +1065,11 @@ mod tests {
         // a = 7, b = 9 at runtime; structural check on the tree instead:
         match &k.body[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("precedence wrong: {other:?}"),
@@ -1132,7 +1145,9 @@ mod tests {
         match &k.body[1] {
             Stmt::If { else_body, .. } => {
                 assert_eq!(else_body.len(), 1);
-                assert!(matches!(&else_body[0], Stmt::If { else_body, .. } if !else_body.is_empty()));
+                assert!(
+                    matches!(&else_body[0], Stmt::If { else_body, .. } if !else_body.is_empty())
+                );
             }
             _ => unreachable!(),
         }

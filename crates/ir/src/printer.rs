@@ -77,9 +77,7 @@ impl<'k> Printer<'k> {
                 Param::Buffer { name, elem } => {
                     write!(self.out, "{}* {}", elem.c_name(), name).unwrap()
                 }
-                Param::Scalar { name, ty } => {
-                    write!(self.out, "{} {}", ty.c_name(), name).unwrap()
-                }
+                Param::Scalar { name, ty } => write!(self.out, "{} {}", ty.c_name(), name).unwrap(),
             }
         }
         self.out.push_str(") {\n");
@@ -128,11 +126,7 @@ impl<'k> Printer<'k> {
     fn stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::Assign { var, value } => {
-                let line = format!(
-                    "{} = {};",
-                    self.var_names[var.index()],
-                    self.expr(value, 0)
-                );
+                let line = format!("{} = {};", self.var_names[var.index()], self.expr(value, 0));
                 self.line(&line);
             }
             Stmt::Store { mem, index, value } => {
@@ -236,9 +230,7 @@ impl<'k> Printer<'k> {
                 format!("{}[{}]", self.mem_name(*mem), self.expr(index, 0)),
                 100,
             ),
-            Expr::Unary { op, arg } => {
-                (format!("{}{}", op.symbol(), self.expr(arg, 90)), 90)
-            }
+            Expr::Unary { op, arg } => (format!("{}{}", op.symbol(), self.expr(arg, 90)), 90),
             Expr::Binary { op, lhs, rhs } => {
                 let prec = bin_prec(*op);
                 (

@@ -142,7 +142,9 @@ mod tests {
     fn for_range_shape() {
         let s = Stmt::for_range(VarId(0), Expr::int(8), vec![]);
         match s {
-            Stmt::For { start, end, step, .. } => {
+            Stmt::For {
+                start, end, step, ..
+            } => {
                 assert_eq!(start, Expr::IntConst(0));
                 assert_eq!(end, Expr::IntConst(8));
                 assert_eq!(step, Expr::IntConst(1));

@@ -227,7 +227,10 @@ mod tests {
     fn value_conversion_wraps_like_c() {
         assert_eq!(Value::I64(300).convert_to(Scalar::U8), Value::I64(44));
         assert_eq!(Value::I64(-1).convert_to(Scalar::U8), Value::I64(255));
-        assert_eq!(Value::I64(-1).convert_to(Scalar::U32), Value::I64(u32::MAX as i64));
+        assert_eq!(
+            Value::I64(-1).convert_to(Scalar::U32),
+            Value::I64(u32::MAX as i64)
+        );
         assert_eq!(
             Value::I64(i64::from(i32::MAX) + 1).convert_to(Scalar::I32),
             Value::I64(i64::from(i32::MIN))

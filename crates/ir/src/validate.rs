@@ -94,7 +94,9 @@ fn check_mem_ref(kernel: &Kernel, mem: MemRef) -> Result<(), ValidateError> {
             Some(Param::Scalar { name, .. }) => Err(ValidateError::BadMemRef(format!(
                 "global reference to scalar parameter `{name}`"
             ))),
-            None => Err(ValidateError::BadMemRef(format!("parameter {p} out of range"))),
+            None => Err(ValidateError::BadMemRef(format!(
+                "parameter {p} out of range"
+            ))),
         },
         MemRef::Shared(i) if (i as usize) < kernel.shared.len() => Ok(()),
         MemRef::Local(i) if (i as usize) < kernel.locals.len() => Ok(()),
@@ -111,28 +113,26 @@ fn check_expr_refs(kernel: &Kernel, nv: u32, e: &Expr) -> Result<(), ValidateErr
         match node {
             Expr::Var(v) if v.0 >= nv => result = Err(ValidateError::BadVarId(*v)),
             Expr::Param(p) if p.index() >= kernel.params.len() => {
-                result = Err(ValidateError::BadMemRef(format!("parameter {p} out of range")))
+                result = Err(ValidateError::BadMemRef(format!(
+                    "parameter {p} out of range"
+                )))
             }
-            Expr::Param(p) => {
-                if kernel.params[p.index()].is_buffer() {
-                    result = Err(ValidateError::BadMemRef(format!(
-                        "scalar read of buffer parameter `{}`",
-                        kernel.params[p.index()].name()
-                    )));
-                }
+            Expr::Param(p) if kernel.params[p.index()].is_buffer() => {
+                result = Err(ValidateError::BadMemRef(format!(
+                    "scalar read of buffer parameter `{}`",
+                    kernel.params[p.index()].name()
+                )));
             }
             Expr::Load { mem, .. } => {
                 if let Err(e) = check_mem_ref(kernel, *mem) {
                     result = Err(e);
                 }
             }
-            Expr::Call { f, args } => {
-                if args.len() != f.arity() {
-                    result = Err(ValidateError::BadArity {
-                        intrinsic: f.c_name(),
-                        got: args.len(),
-                    });
-                }
+            Expr::Call { f, args } if args.len() != f.arity() => {
+                result = Err(ValidateError::BadArity {
+                    intrinsic: f.c_name(),
+                    got: args.len(),
+                });
             }
             _ => {}
         }
@@ -193,7 +193,7 @@ fn check_def_before_use(kernel: &Kernel) -> Result<(), ValidateError> {
         err
     }
 
-    fn walk(stmts: &[Stmt], defined: &mut Vec<bool>, kernel: &Kernel) -> Result<(), ValidateError> {
+    fn walk(stmts: &[Stmt], defined: &mut [bool], kernel: &Kernel) -> Result<(), ValidateError> {
         for s in stmts {
             let mut err = Ok(());
             s.visit_exprs(&mut |e| {
@@ -209,9 +209,9 @@ fn check_def_before_use(kernel: &Kernel) -> Result<(), ValidateError> {
                     else_body,
                     ..
                 } => {
-                    let mut d1 = defined.clone();
+                    let mut d1 = defined.to_vec();
                     walk(then_body, &mut d1, kernel)?;
-                    let mut d2 = defined.clone();
+                    let mut d2 = defined.to_vec();
                     walk(else_body, &mut d2, kernel)?;
                     // A variable is definitely assigned only if both branches
                     // assign it.
@@ -220,7 +220,7 @@ fn check_def_before_use(kernel: &Kernel) -> Result<(), ValidateError> {
                     }
                 }
                 Stmt::For { var, body, .. } => {
-                    let mut d = defined.clone();
+                    let mut d = defined.to_vec();
                     d[var.index()] = true;
                     walk(body, &mut d, kernel)?;
                     // The body may execute zero times: definitions inside do
@@ -309,12 +309,19 @@ pub fn expr_kind(e: &Expr, kinds: &[Option<ValueKind>], kernel: &Kernel) -> Valu
             UnOp::Not | UnOp::BitNot => ValueKind::Int,
         },
         Expr::Binary { op, lhs, rhs } => {
-            if op.is_comparison() || matches!(op, BinOp::LAnd | BinOp::LOr) {
-                ValueKind::Int
-            } else if matches!(
-                op,
-                BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
-            ) {
+            if op.is_comparison()
+                || matches!(
+                    op,
+                    BinOp::LAnd
+                        | BinOp::LOr
+                        | BinOp::Rem
+                        | BinOp::And
+                        | BinOp::Or
+                        | BinOp::Xor
+                        | BinOp::Shl
+                        | BinOp::Shr
+                )
+            {
                 ValueKind::Int
             } else {
                 // Arithmetic promotes to float if either side is float.
@@ -357,11 +364,7 @@ pub fn expr_kind(e: &Expr, kinds: &[Option<ValueKind>], kernel: &Kernel) -> Valu
 
 fn check_expr_kinds(kernel: &Kernel, kinds: &[ValueKind]) -> Result<(), ValidateError> {
     let opt: Vec<Option<ValueKind>> = kinds.iter().copied().map(Some).collect();
-    fn walk(
-        e: &Expr,
-        opt: &[Option<ValueKind>],
-        kernel: &Kernel,
-    ) -> Result<(), ValidateError> {
+    fn walk(e: &Expr, opt: &[Option<ValueKind>], kernel: &Kernel) -> Result<(), ValidateError> {
         match e {
             Expr::Binary { op, lhs, rhs } => {
                 walk(lhs, opt, kernel)?;
@@ -378,7 +381,10 @@ fn check_expr_kinds(kernel: &Kernel, kinds: &[ValueKind]) -> Result<(), Validate
                 }
                 Ok(())
             }
-            Expr::Unary { op: UnOp::BitNot, arg } => {
+            Expr::Unary {
+                op: UnOp::BitNot,
+                arg,
+            } => {
                 walk(arg, opt, kernel)?;
                 if expr_kind(arg, opt, kernel) != ValueKind::Int {
                     return Err(ValidateError::IntOnlyOp("~".into()));
@@ -441,11 +447,11 @@ pub fn thread_variant_vars(kernel: &Kernel) -> Vec<bool> {
     loop {
         let mut changed = false;
         kernel.visit_stmts(&mut |s| match s {
-            Stmt::Assign { var, value } => {
-                if !variant[var.index()] && expr_variant(value, &variant) {
-                    variant[var.index()] = true;
-                    changed = true;
-                }
+            Stmt::Assign { var, value }
+                if !variant[var.index()] && expr_variant(value, &variant) =>
+            {
+                variant[var.index()] = true;
+                changed = true;
             }
             Stmt::For {
                 var,
@@ -453,15 +459,13 @@ pub fn thread_variant_vars(kernel: &Kernel) -> Vec<bool> {
                 end,
                 step,
                 ..
-            } => {
-                if !variant[var.index()]
-                    && (expr_variant(start, &variant)
-                        || expr_variant(end, &variant)
-                        || expr_variant(step, &variant))
-                {
-                    variant[var.index()] = true;
-                    changed = true;
-                }
+            } if !variant[var.index()]
+                && (expr_variant(start, &variant)
+                    || expr_variant(end, &variant)
+                    || expr_variant(step, &variant)) =>
+            {
+                variant[var.index()] = true;
+                changed = true;
             }
             _ => {}
         });
@@ -476,11 +480,9 @@ pub fn thread_variant_vars(kernel: &Kernel) -> Vec<bool> {
         ) {
             for s in stmts {
                 match s {
-                    Stmt::Assign { var, .. } => {
-                        if under_variant && !variant[var.index()] {
-                            variant[var.index()] = true;
-                            *changed = true;
-                        }
+                    Stmt::Assign { var, .. } if under_variant && !variant[var.index()] => {
+                        variant[var.index()] = true;
+                        *changed = true;
                     }
                     Stmt::If {
                         cond,

@@ -52,6 +52,19 @@ pub struct CollectiveCost {
     pub peak_memory_factor: u32,
 }
 
+/// One synchronous step of a collective (all nodes exchange concurrently;
+/// the step is gated by its largest transfer). The step breakdown feeds
+/// the trace timeline; [`CollectiveCost`] stays the authoritative total.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CollectiveStep {
+    /// Simulated seconds this step takes (latency + gating transfer).
+    pub time: f64,
+    /// Bytes all nodes put on the wire during this step.
+    pub wire_bytes: u64,
+    /// Messages sent during this step.
+    pub messages: u64,
+}
+
 /// Perform an Allgather over per-node regions.
 ///
 /// `regions[i]` is node `i`'s copy of the full gathered region; before the
@@ -69,6 +82,20 @@ pub fn allgather(
     model: &NetModel,
     algo: AllgatherAlgo,
     placement: AllgatherPlacement,
+) -> CollectiveCost {
+    allgather_with_steps(regions, seg_sizes, model, algo, placement, &mut Vec::new())
+}
+
+/// [`allgather`] that additionally records the per-step breakdown into
+/// `steps` (one entry per synchronous exchange round). Used by the traced
+/// wrappers in [`crate::traced`]; the cost accounting is identical.
+pub fn allgather_with_steps(
+    regions: &mut [&mut [u8]],
+    seg_sizes: &[u64],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+    steps: &mut Vec<CollectiveStep>,
 ) -> CollectiveCost {
     let n = regions.len();
     assert_eq!(n, seg_sizes.len(), "one segment size per node");
@@ -92,12 +119,12 @@ pub fn allgather(
 
     let mut cost = match (algo, n) {
         (_, 1) => CollectiveCost::default(),
-        (AllgatherAlgo::Ring, _) => ring(regions, seg_sizes, &offsets, model),
+        (AllgatherAlgo::Ring, _) => ring(regions, seg_sizes, &offsets, model, steps),
         (AllgatherAlgo::RecursiveDoubling, _) if n.is_power_of_two() => {
-            recursive_doubling(regions, seg_sizes, &offsets, model)
+            recursive_doubling(regions, seg_sizes, &offsets, model, steps)
         }
         (AllgatherAlgo::RecursiveDoubling, _) | (AllgatherAlgo::Bruck, _) => {
-            bruck(regions, seg_sizes, &offsets, model)
+            bruck(regions, seg_sizes, &offsets, model, steps)
         }
     };
     match placement {
@@ -136,6 +163,7 @@ fn ring(
     seg_sizes: &[u64],
     offsets: &[u64],
     model: &NetModel,
+    steps: &mut Vec<CollectiveStep>,
 ) -> CollectiveCost {
     let n = regions.len();
     let mut cost = CollectiveCost::default();
@@ -144,6 +172,7 @@ fn ring(
     // largest segment.
     for s in 0..n - 1 {
         let mut step_max = 0u64;
+        let mut step_wire = 0u64;
         for i in 0..n {
             let seg = (i + n - s) % n;
             let dst = (i + 1) % n;
@@ -154,18 +183,29 @@ fn ring(
             copy_segment(regions, i, dst, lo, hi);
             cost.wire_bytes += seg_sizes[seg];
             cost.messages += 1;
+            step_wire += seg_sizes[seg];
             step_max = step_max.max(seg_sizes[seg]);
         }
-        cost.time += model.alpha + model.overhead + step_max as f64 * model.beta;
+        let step_time = model.alpha + model.overhead + step_max as f64 * model.beta;
+        cost.time += step_time;
+        steps.push(CollectiveStep {
+            time: step_time,
+            wire_bytes: step_wire,
+            messages: n as u64,
+        });
     }
     cost
 }
 
+// Index-based loops: each iteration reads `snapshot[partner]` for a partner
+// derived from the index, which iterators cannot express.
+#[allow(clippy::needless_range_loop)]
 fn recursive_doubling(
     regions: &mut [&mut [u8]],
     seg_sizes: &[u64],
     offsets: &[u64],
     model: &NetModel,
+    steps: &mut Vec<CollectiveStep>,
 ) -> CollectiveCost {
     let n = regions.len();
     let mut cost = CollectiveCost::default();
@@ -174,6 +214,7 @@ fn recursive_doubling(
     let mut dist = 1usize;
     while dist < n {
         let mut step_max = 0u64;
+        let mut step_wire = 0u64;
         let snapshot = owned.clone();
         for i in 0..n {
             let partner = i ^ dist;
@@ -192,19 +233,30 @@ fn recursive_doubling(
             }
             cost.wire_bytes += recv_bytes;
             cost.messages += 1;
+            step_wire += recv_bytes;
             step_max = step_max.max(recv_bytes);
         }
-        cost.time += model.alpha + model.overhead + step_max as f64 * model.beta;
+        let step_time = model.alpha + model.overhead + step_max as f64 * model.beta;
+        cost.time += step_time;
+        steps.push(CollectiveStep {
+            time: step_time,
+            wire_bytes: step_wire,
+            messages: n as u64,
+        });
         dist <<= 1;
     }
     cost
 }
 
+// Index-based loop: destinations are derived from the sender index, which
+// iterators cannot express.
+#[allow(clippy::needless_range_loop)]
 fn bruck(
     regions: &mut [&mut [u8]],
     seg_sizes: &[u64],
     offsets: &[u64],
     model: &NetModel,
+    steps: &mut Vec<CollectiveStep>,
 ) -> CollectiveCost {
     let n = regions.len();
     let mut cost = CollectiveCost::default();
@@ -213,6 +265,7 @@ fn bruck(
     while dist < n {
         let snapshot = owned.clone();
         let mut step_max = 0u64;
+        let mut step_wire = 0u64;
         for i in 0..n {
             // Bruck: node i sends its owned set to (i − dist) mod n.
             let dst = (i + n - dist) % n;
@@ -230,9 +283,16 @@ fn bruck(
             }
             cost.wire_bytes += sent;
             cost.messages += 1;
+            step_wire += sent;
             step_max = step_max.max(sent);
         }
-        cost.time += model.alpha + model.overhead + step_max as f64 * model.beta;
+        let step_time = model.alpha + model.overhead + step_max as f64 * model.beta;
+        cost.time += step_time;
+        steps.push(CollectiveStep {
+            time: step_time,
+            wire_bytes: step_wire,
+            messages: n as u64,
+        });
         dist <<= 1;
     }
     cost
@@ -293,6 +353,61 @@ pub fn allgather_cost(
     cost
 }
 
+/// Per-step breakdown of a **balanced** Allgather, the step structure
+/// behind [`allgather_cost`] (without the placement staging term). Used to
+/// lay out trace child spans; [`allgather_cost`] remains the authoritative
+/// total, which the sum of step times may differ from by float rounding
+/// (the ring total is computed as `steps × step_time`).
+pub fn balanced_steps(
+    n: usize,
+    unit: u64,
+    model: &NetModel,
+    algo: AllgatherAlgo,
+) -> Vec<CollectiveStep> {
+    let mut steps = Vec::new();
+    if n <= 1 || unit == 0 {
+        return steps;
+    }
+    match (algo, n.is_power_of_two()) {
+        (AllgatherAlgo::Ring, _) => {
+            for _ in 0..n - 1 {
+                steps.push(CollectiveStep {
+                    time: model.alpha + model.overhead + unit as f64 * model.beta,
+                    wire_bytes: n as u64 * unit,
+                    messages: n as u64,
+                });
+            }
+        }
+        (AllgatherAlgo::RecursiveDoubling, true) => {
+            let rounds = (n as f64).log2().round() as u32;
+            for k in 0..rounds {
+                let bytes = (1u64 << k) * unit;
+                steps.push(CollectiveStep {
+                    time: model.alpha + model.overhead + bytes as f64 * model.beta,
+                    wire_bytes: bytes * n as u64,
+                    messages: n as u64,
+                });
+            }
+        }
+        (AllgatherAlgo::RecursiveDoubling, false) | (AllgatherAlgo::Bruck, _) => {
+            let mut dist = 1usize;
+            let mut owned = 1u64;
+            while dist < n {
+                let send = owned.min((n as u64) - owned);
+                let bytes = send * unit;
+                steps.push(CollectiveStep {
+                    time: model.alpha + model.overhead + bytes as f64 * model.beta,
+                    wire_bytes: bytes * n as u64,
+                    messages: n as u64,
+                });
+                owned += send;
+                dist <<= 1;
+            }
+        }
+    }
+    steps
+}
+
 /// Dissemination barrier cost (no data movement).
 pub fn barrier_time(model: &NetModel, n: usize) -> f64 {
     if n <= 1 {
@@ -307,6 +422,15 @@ pub fn broadcast_time(model: &NetModel, n: usize, bytes: u64) -> f64 {
         return 0.0;
     }
     (n as f64).log2().ceil() * model.msg_time(bytes)
+}
+
+/// Wire traffic of a binomial-tree broadcast: every non-root node receives
+/// the payload exactly once.
+pub fn broadcast_wire_bytes(n: usize, bytes: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    (n as u64 - 1) * bytes
 }
 
 #[cfg(test)]
@@ -391,7 +515,12 @@ mod tests {
     #[test]
     fn out_of_place_costs_more() {
         let ip = run(4, 1 << 16, AllgatherAlgo::Ring, AllgatherPlacement::InPlace);
-        let oop = run(4, 1 << 16, AllgatherAlgo::Ring, AllgatherPlacement::OutOfPlace);
+        let oop = run(
+            4,
+            1 << 16,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::OutOfPlace,
+        );
         assert!(oop.time > ip.time);
         assert_eq!(ip.peak_memory_factor, 1);
         assert_eq!(oop.peak_memory_factor, 2);
@@ -411,8 +540,7 @@ mod tests {
         let mk = |sizes: &Vec<u64>| -> f64 {
             let total_b: u64 = sizes.iter().sum();
             let mut regions: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; total_b as usize]).collect();
-            let mut views: Vec<&mut [u8]> =
-                regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+            let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
             allgather(
                 &mut views,
                 sizes,
@@ -439,8 +567,7 @@ mod tests {
         let time = |sizes: &Vec<u64>, placement| {
             let t: u64 = sizes.iter().sum();
             let mut regions: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; t as usize]).collect();
-            let mut views: Vec<&mut [u8]> =
-                regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+            let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
             allgather(&mut views, sizes, &model, AllgatherAlgo::Ring, placement).time
         };
         let best = time(&balanced, AllgatherPlacement::InPlace);

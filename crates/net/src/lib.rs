@@ -18,10 +18,12 @@
 pub mod collectives;
 pub mod model;
 pub mod p2p;
+pub mod traced;
 
 pub use collectives::{
-    allgather, allgather_cost, barrier_time, broadcast_time, AllgatherAlgo, AllgatherPlacement,
-    CollectiveCost,
+    allgather, allgather_cost, balanced_steps, barrier_time, broadcast_time, broadcast_wire_bytes,
+    AllgatherAlgo, AllgatherPlacement, CollectiveCost, CollectiveStep,
 };
 pub use model::NetModel;
 pub use p2p::{P2pStats, P2pTracker};
+pub use traced::{allgather_cost_traced, allgather_traced, broadcast_traced};

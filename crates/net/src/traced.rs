@@ -1,0 +1,213 @@
+//! Timeline-emitting wrappers around the collectives.
+//!
+//! Each wrapper performs (or models) the collective exactly as its
+//! untraced counterpart — same arithmetic, same returned
+//! [`CollectiveCost`] — and additionally records the event into a
+//! [`Timeline`]: one authoritative depth-0 span on the network track whose
+//! duration is the collective's total time, depth-1 child spans for the
+//! individual exchange steps, and one [`WIRE_BYTES`] counter sample per
+//! step.
+
+use crate::collectives::{
+    allgather_cost, allgather_with_steps, balanced_steps, broadcast_time, broadcast_wire_bytes,
+    AllgatherAlgo, AllgatherPlacement, CollectiveCost, CollectiveStep,
+};
+use crate::model::NetModel;
+use cucc_trace::{Category, Timeline, Track, WIRE_BYTES};
+
+/// Lay one collective out on the timeline: parent span of `cost.time` at
+/// `t0`, plus per-step children and wire-byte counters.
+fn record(
+    tl: &mut Timeline,
+    t0: f64,
+    label: &str,
+    cost: &CollectiveCost,
+    steps: &[CollectiveStep],
+    staging_time: f64,
+) {
+    tl.span(label, Track::Network, Category::Allgather, t0, cost.time);
+    let mut t = t0;
+    for (k, step) in steps.iter().enumerate() {
+        tl.child_span(
+            format!("step {k}"),
+            Track::Network,
+            Category::Allgather,
+            t,
+            step.time,
+        );
+        if step.wire_bytes > 0 {
+            tl.counter(WIRE_BYTES, Track::Network, t, step.wire_bytes);
+        }
+        t += step.time;
+    }
+    if staging_time > 0.0 {
+        tl.child_span(
+            "staging copy",
+            Track::Network,
+            Category::Allgather,
+            t,
+            staging_time,
+        );
+    }
+}
+
+/// Functional [`crate::collectives::allgather`] that records the collective
+/// into `tl` starting at absolute simulated time `t0`.
+#[allow(clippy::too_many_arguments)]
+pub fn allgather_traced(
+    regions: &mut [&mut [u8]],
+    seg_sizes: &[u64],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+    tl: &mut Timeline,
+    t0: f64,
+    label: &str,
+) -> CollectiveCost {
+    let mut steps = Vec::new();
+    let cost = allgather_with_steps(regions, seg_sizes, model, algo, placement, &mut steps);
+    let staging = if placement == AllgatherPlacement::OutOfPlace {
+        model.local_copy_time(seg_sizes.iter().copied().max().unwrap_or(0))
+    } else {
+        0.0
+    };
+    record(tl, t0, label, &cost, &steps, staging);
+    cost
+}
+
+/// Analytic [`allgather_cost`] that records the modeled collective into
+/// `tl` starting at absolute simulated time `t0`.
+#[allow(clippy::too_many_arguments)]
+pub fn allgather_cost_traced(
+    n: usize,
+    unit: u64,
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+    tl: &mut Timeline,
+    t0: f64,
+    label: &str,
+) -> CollectiveCost {
+    let cost = allgather_cost(n, unit, model, algo, placement);
+    let steps = balanced_steps(n, unit, model, algo);
+    let staging = if placement == AllgatherPlacement::OutOfPlace {
+        model.local_copy_time(unit)
+    } else {
+        0.0
+    };
+    record(tl, t0, label, &cost, &steps, staging);
+    cost
+}
+
+/// [`broadcast_time`] that records the broadcast — span plus the wire
+/// traffic the legacy accounting dropped — into `tl` at time `t0`.
+pub fn broadcast_traced(
+    model: &NetModel,
+    n: usize,
+    bytes: u64,
+    tl: &mut Timeline,
+    t0: f64,
+    label: &str,
+) -> f64 {
+    let time = broadcast_time(model, n, bytes);
+    let wire = broadcast_wire_bytes(n, bytes);
+    if time > 0.0 || wire > 0 {
+        tl.span(label, Track::Network, Category::Broadcast, t0, time);
+        if wire > 0 {
+            tl.counter(WIRE_BYTES, Track::Network, t0, wire);
+        }
+    }
+    time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_allgather_matches_untraced_and_emits_steps() {
+        let model = NetModel::infiniband_100g();
+        let n = 4usize;
+        let seg = 256usize;
+        let mk = || {
+            let mut regions: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; n * seg]).collect();
+            for (i, r) in regions.iter_mut().enumerate() {
+                r[i * seg..(i + 1) * seg].fill(i as u8 + 1);
+            }
+            regions
+        };
+
+        let mut plain = mk();
+        let mut views: Vec<&mut [u8]> = plain.iter_mut().map(|r| r.as_mut_slice()).collect();
+        let want = crate::collectives::allgather(
+            &mut views,
+            &vec![seg as u64; n],
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
+
+        let mut tl = Timeline::new();
+        let mut traced = mk();
+        let mut views: Vec<&mut [u8]> = traced.iter_mut().map(|r| r.as_mut_slice()).collect();
+        let got = allgather_traced(
+            &mut views,
+            &vec![seg as u64; n],
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+            &mut tl,
+            0.0,
+            "allgather",
+        );
+        assert_eq!(got, want);
+        assert_eq!(plain, traced);
+        // Parent span carries the authoritative time; counters the wire bytes.
+        assert_eq!(tl.time_in(Category::Allgather), want.time);
+        assert_eq!(tl.wire_bytes(), want.wire_bytes);
+        // n−1 ring steps as children plus the parent.
+        assert_eq!(tl.spans().len(), n);
+    }
+
+    #[test]
+    fn traced_cost_matches_untraced() {
+        let model = NetModel::infiniband_100g();
+        for algo in [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+        ] {
+            for n in [1usize, 2, 5, 8] {
+                let mut tl = Timeline::new();
+                let want = allgather_cost(n, 4096, &model, algo, AllgatherPlacement::OutOfPlace);
+                let got = allgather_cost_traced(
+                    n,
+                    4096,
+                    &model,
+                    algo,
+                    AllgatherPlacement::OutOfPlace,
+                    &mut tl,
+                    1.5,
+                    "ag",
+                );
+                assert_eq!(got, want, "{algo:?} n={n}");
+                assert_eq!(tl.wire_bytes(), want.wire_bytes, "{algo:?} n={n}");
+                assert_eq!(tl.time_in(Category::Allgather), want.time);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_records_dropped_wire_traffic() {
+        let model = NetModel::infiniband_100g();
+        let mut tl = Timeline::new();
+        let t = broadcast_traced(&model, 8, 1 << 20, &mut tl, 0.0, "h2d broadcast");
+        assert_eq!(t, broadcast_time(&model, 8, 1 << 20));
+        assert_eq!(tl.wire_bytes(), 7 << 20);
+        assert_eq!(tl.time_in(Category::Broadcast), t);
+        // Single-node broadcast records nothing.
+        let before = tl.spans().len();
+        broadcast_traced(&model, 1, 1 << 20, &mut tl, 0.0, "noop");
+        assert_eq!(tl.spans().len(), before);
+    }
+}

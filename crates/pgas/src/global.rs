@@ -38,19 +38,16 @@ impl GlobalArray {
         debug_assert!(idx < self.len.max(1));
         match self.dist {
             Distribution::Cyclic => idx % n,
-            Distribution::Blocked => {
-                if self.len == 0 {
-                    0
-                } else {
-                    (idx * n / self.len).min(n - 1)
-                }
-            }
+            Distribution::Blocked => (idx * n).checked_div(self.len).map_or(0, |q| q.min(n - 1)),
         }
     }
 
     /// Which rank owns the element containing byte offset `byte_off`.
     pub fn owner_of_byte(&self, byte_off: u64, n: usize) -> usize {
-        self.owner((byte_off as usize / self.elem_size).min(self.len.saturating_sub(1)), n)
+        self.owner(
+            (byte_off as usize / self.elem_size).min(self.len.saturating_sub(1)),
+            n,
+        )
     }
 
     /// Fraction of a contiguous element range `[lo, hi)` that is remote to

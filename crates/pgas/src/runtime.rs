@@ -12,7 +12,8 @@ use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec, SimClust
 use cucc_core::{CompiledKernel, MigrateError};
 use cucc_exec::{execute_block_traced, profile_launch, Arg, BufferId, WriteRecord};
 use cucc_ir::LaunchConfig;
-use cucc_net::{barrier_time, broadcast_time, P2pTracker};
+use cucc_net::{barrier_time, broadcast_traced, P2pTracker};
+use cucc_trace::{Category, Timeline, Track, WIRE_BYTES};
 
 /// Execution fidelity, mirroring `cucc_core::ExecutionFidelity`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +82,8 @@ impl PgasReport {
 pub struct PgasCluster {
     sim: SimCluster,
     config: PgasConfig,
-    clock: f64,
+    /// Unified event record; owns the simulated clock (see `cucc-trace`).
+    timeline: Timeline,
     /// Logical rank count; modeled mode materializes only one node memory.
     logical_nodes: usize,
 }
@@ -98,7 +100,7 @@ impl PgasCluster {
         PgasCluster {
             sim: SimCluster::new(sim_spec),
             config,
-            clock: 0.0,
+            timeline: Timeline::new(),
             logical_nodes,
         }
     }
@@ -108,9 +110,14 @@ impl PgasCluster {
         self.logical_nodes
     }
 
-    /// Simulated elapsed seconds.
+    /// Simulated elapsed seconds (derived from the trace timeline).
     pub fn clock(&self) -> f64 {
-        self.clock
+        self.timeline.clock()
+    }
+
+    /// The recorded trace timeline (spans, counters, simulated clock).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
     }
 
     /// Allocate a global array's backing storage (replicated per node, with
@@ -119,14 +126,29 @@ impl PgasCluster {
         self.sim.alloc(bytes)
     }
 
-    /// Host→device broadcast.
+    /// Host→device broadcast (recorded on the timeline, wire traffic
+    /// included).
     pub fn h2d(&mut self, buf: BufferId, data: &[u8]) {
         self.sim.write_all(buf, data);
-        self.clock += broadcast_time(&self.sim.spec.net, self.logical_nodes, data.len() as u64);
+        let t0 = self.timeline.clock();
+        let bt = broadcast_traced(
+            &self.sim.spec.net,
+            self.logical_nodes,
+            data.len() as u64,
+            &mut self.timeline,
+            t0,
+            "h2d broadcast",
+        );
+        self.timeline
+            .span("h2d", Track::Host, Category::H2d, t0, bt);
+        self.timeline.advance(bt);
     }
 
-    /// Read back from rank 0.
-    pub fn d2h(&self, buf: BufferId) -> Vec<u8> {
+    /// Read back from rank 0 (free, but recorded on the host track).
+    pub fn d2h(&mut self, buf: BufferId) -> Vec<u8> {
+        let t = self.timeline.clock();
+        self.timeline
+            .span("d2h", Track::Host, Category::D2h, t, 0.0);
         self.sim.read(0, buf).to_vec()
     }
 
@@ -192,8 +214,7 @@ impl PgasCluster {
         // A kernel is "staged" when it round-trips a substantial share of its
         // global traffic through emulated shared-memory tiles (transpose-like
         // reshaping) — small reduction scratchpads don't count.
-        let staged =
-            profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
+        let staged = profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1);
         // The busiest rank: rank 0 holds ⌈B/N⌉ full blocks.
         let compute = node_time_profiled(
             bt_full,
@@ -203,8 +224,14 @@ impl PgasCluster {
             staged,
             &cpu,
         )
-        .max(node_time_profiled(bt_full, 0, Some(bt_tail), 0, staged, &cpu))
-            * (1.0 + self.sim.spec.jitter * (n - 1) as f64);
+        .max(node_time_profiled(
+            bt_full,
+            0,
+            Some(bt_tail),
+            0,
+            staged,
+            &cpu,
+        )) * (1.0 + self.sim.spec.jitter * (n - 1) as f64);
 
         match self.config.fidelity {
             PgasFidelity::Functional => {
@@ -285,14 +312,51 @@ impl PgasCluster {
         }
 
         let comm = tracker.completion_time() + barrier_time(&net, n);
-        let report = PgasReport {
-            compute,
+        let messages = tracker.stats().total_messages();
+        let wire_bytes = tracker.stats().total_bytes();
+
+        // Lay the launch out on the timeline: per-rank compute spans, then
+        // one network span covering put delivery + the end-of-kernel
+        // barrier, with the remote payload as a wire-byte counter.
+        let t0 = self.timeline.clock();
+        let mark = self.timeline.checkpoint();
+        for rank in 0..n {
+            self.timeline.span(
+                format!("{}: compute ({bpr} blocks)", ck.name()),
+                Track::Node(rank as u32),
+                Category::Compute,
+                t0,
+                compute,
+            );
+        }
+        self.timeline.span(
+            format!("{}: puts + barrier ({messages} msgs)", ck.name()),
+            Track::Network,
+            Category::P2p,
+            t0 + compute,
             comm,
-            messages: tracker.stats().total_messages(),
-            wire_bytes: tracker.stats().total_bytes(),
+        );
+        if wire_bytes > 0 {
+            self.timeline
+                .counter(WIRE_BYTES, Track::Network, t0 + compute, wire_bytes);
+        }
+        profile
+            .total
+            .emit_counters(&mut self.timeline, Track::Host, t0);
+
+        // Derived views over the recorded window, with the invariant that
+        // they reproduce the directly computed values bit-for-bit.
+        let report = PgasReport {
+            compute: self.timeline.max_in_since(mark, Category::Compute),
+            comm: self.timeline.time_in_since(mark, Category::P2p),
+            messages,
+            wire_bytes: self.timeline.wire_bytes_since(mark),
             blocks_per_rank: bpr,
         };
-        self.clock += report.time();
+        assert_eq!(report.compute.to_bits(), compute.to_bits());
+        assert_eq!(report.comm.to_bits(), comm.to_bits());
+        assert_eq!(report.wire_bytes, wire_bytes);
+        self.timeline.advance(report.time());
         Ok(report)
     }
 }
@@ -323,8 +387,12 @@ mod tests {
         let gs = gpu.alloc(n);
         let gd = gpu.alloc(n);
         gpu.h2d(gs, &data);
-        gpu.launch(&ck.kernel, launch, &[Arg::Buffer(gs), Arg::Buffer(gd), Arg::int(n as i64)])
-            .unwrap();
+        gpu.launch(
+            &ck.kernel,
+            launch,
+            &[Arg::Buffer(gs), Arg::Buffer(gd), Arg::int(n as i64)],
+        )
+        .unwrap();
         let reference = gpu.d2h(gd);
 
         for nodes in [1u32, 2, 4, 5] {
@@ -333,13 +401,16 @@ mod tests {
             let pd = pg.alloc(n);
             pg.h2d(ps, &data);
             let report = pg
-                .launch(&ck, launch, &[Arg::Buffer(ps), Arg::Buffer(pd), Arg::int(n as i64)])
+                .launch(
+                    &ck,
+                    launch,
+                    &[Arg::Buffer(ps), Arg::Buffer(pd), Arg::int(n as i64)],
+                )
                 .unwrap();
             assert_eq!(pg.d2h(pd), reference, "nodes={nodes}");
             if nodes > 1 {
                 // Cyclic layout: ~ (N−1)/N of the 3000 writes are remote.
-                let expected =
-                    (n as f64 * (nodes as f64 - 1.0) / nodes as f64).round() as i64;
+                let expected = (n as f64 * (nodes as f64 - 1.0) / nodes as f64).round() as i64;
                 let got = report.messages as i64;
                 assert!(
                     (got - expected).abs() <= n as i64 / 20,
@@ -363,14 +434,22 @@ mod tests {
         let ps = pg.alloc(n);
         let pd = pg.alloc(n);
         let pr = pg
-            .launch(&ck, launch, &[Arg::Buffer(ps), Arg::Buffer(pd), Arg::int(n as i64)])
+            .launch(
+                &ck,
+                launch,
+                &[Arg::Buffer(ps), Arg::Buffer(pd), Arg::int(n as i64)],
+            )
             .unwrap();
 
         let mut cc = CuccCluster::new(spec(4), RuntimeConfig::modeled());
         let cs = cc.alloc(n);
         let cd = cc.alloc(n);
         let cr = cc
-            .launch(&ck, launch, &[Arg::Buffer(cs), Arg::Buffer(cd), Arg::int(n as i64)])
+            .launch(
+                &ck,
+                launch,
+                &[Arg::Buffer(cs), Arg::Buffer(cd), Arg::int(n as i64)],
+            )
             .unwrap();
 
         assert!(
@@ -423,7 +502,11 @@ mod tests {
             let ps = pg.alloc(n);
             let pd = pg.alloc(n);
             let r = pg
-                .launch(&ck, launch, &[Arg::Buffer(ps), Arg::Buffer(pd), Arg::int(n as i64)])
+                .launch(
+                    &ck,
+                    launch,
+                    &[Arg::Buffer(ps), Arg::Buffer(pd), Arg::int(n as i64)],
+                )
                 .unwrap();
             times.push(r.time());
         }

@@ -153,7 +153,10 @@ pub fn simulate_backfill(partition: &Partition, jobs: &[Job]) -> Vec<JobOutcome>
             start_job(head, clock, &mut free, &mut running, &mut outcome, jobs);
         }
     }
-    outcome.into_iter().map(|o| o.expect("all jobs scheduled")).collect()
+    outcome
+        .into_iter()
+        .map(|o| o.expect("all jobs scheduled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -172,8 +175,16 @@ mod tests {
     #[test]
     fn no_contention_equals_fifo() {
         let jobs = vec![
-            Job { arrival: 0.0, nodes: 1, runtime: 5.0 },
-            Job { arrival: 1.0, nodes: 2, runtime: 5.0 },
+            Job {
+                arrival: 0.0,
+                nodes: 1,
+                runtime: 5.0,
+            },
+            Job {
+                arrival: 1.0,
+                nodes: 2,
+                runtime: 5.0,
+            },
         ];
         let bf = simulate_backfill(&part(4), &jobs);
         let ff = simulate_fifo(&part(4), &jobs);
@@ -183,9 +194,21 @@ mod tests {
     #[test]
     fn small_job_backfills_behind_blocked_head() {
         let jobs = vec![
-            Job { arrival: 0.0, nodes: 2, runtime: 10.0 }, // running
-            Job { arrival: 1.0, nodes: 2, runtime: 10.0 }, // head, blocked
-            Job { arrival: 2.0, nodes: 1, runtime: 3.0 },  // fits now, ends before 10
+            Job {
+                arrival: 0.0,
+                nodes: 2,
+                runtime: 10.0,
+            }, // running
+            Job {
+                arrival: 1.0,
+                nodes: 2,
+                runtime: 10.0,
+            }, // head, blocked
+            Job {
+                arrival: 2.0,
+                nodes: 1,
+                runtime: 3.0,
+            }, // fits now, ends before 10
         ];
         let bf = simulate_backfill(&part(3), &jobs);
         // FIFO: job 2 waits behind the head until t=10.
@@ -201,9 +224,21 @@ mod tests {
         // A long small job must NOT backfill if it would overlap the head's
         // reservation and consume its nodes.
         let jobs = vec![
-            Job { arrival: 0.0, nodes: 2, runtime: 10.0 },
-            Job { arrival: 1.0, nodes: 3, runtime: 5.0 },  // head needs all 3
-            Job { arrival: 2.0, nodes: 1, runtime: 100.0 }, // would delay head
+            Job {
+                arrival: 0.0,
+                nodes: 2,
+                runtime: 10.0,
+            },
+            Job {
+                arrival: 1.0,
+                nodes: 3,
+                runtime: 5.0,
+            }, // head needs all 3
+            Job {
+                arrival: 2.0,
+                nodes: 1,
+                runtime: 100.0,
+            }, // would delay head
         ];
         let bf = simulate_backfill(&part(3), &jobs);
         assert_eq!(bf[1].start, 10.0, "head starts exactly at its reservation");

@@ -140,8 +140,16 @@ mod tests {
     #[test]
     fn empty_partition_runs_immediately() {
         let jobs = vec![
-            Job { arrival: 0.0, nodes: 1, runtime: 10.0 },
-            Job { arrival: 1.0, nodes: 1, runtime: 10.0 },
+            Job {
+                arrival: 0.0,
+                nodes: 1,
+                runtime: 10.0,
+            },
+            Job {
+                arrival: 1.0,
+                nodes: 1,
+                runtime: 10.0,
+            },
         ];
         let out = simulate_fifo(&part(4), &jobs);
         assert_eq!(out[0].wait, 0.0);
@@ -152,7 +160,11 @@ mod tests {
     fn saturation_queues_jobs() {
         // One node, back-to-back jobs.
         let jobs: Vec<Job> = (0..4)
-            .map(|i| Job { arrival: i as f64, nodes: 1, runtime: 10.0 })
+            .map(|i| Job {
+                arrival: i as f64,
+                nodes: 1,
+                runtime: 10.0,
+            })
             .collect();
         let out = simulate_fifo(&part(1), &jobs);
         assert_eq!(out[0].wait, 0.0);
@@ -165,9 +177,21 @@ mod tests {
     fn multi_node_jobs_block_fifo() {
         // Big job at the head blocks a small one (no backfill).
         let jobs = vec![
-            Job { arrival: 0.0, nodes: 2, runtime: 10.0 },
-            Job { arrival: 1.0, nodes: 2, runtime: 5.0 }, // needs both nodes
-            Job { arrival: 2.0, nodes: 1, runtime: 1.0 }, // queued behind
+            Job {
+                arrival: 0.0,
+                nodes: 2,
+                runtime: 10.0,
+            },
+            Job {
+                arrival: 1.0,
+                nodes: 2,
+                runtime: 5.0,
+            }, // needs both nodes
+            Job {
+                arrival: 2.0,
+                nodes: 1,
+                runtime: 1.0,
+            }, // queued behind
         ];
         let out = simulate_fifo(&part(2), &jobs);
         assert_eq!(out[1].start, 10.0);
@@ -178,8 +202,16 @@ mod tests {
     #[test]
     fn release_makes_room() {
         let jobs = vec![
-            Job { arrival: 0.0, nodes: 3, runtime: 5.0 },
-            Job { arrival: 6.0, nodes: 4, runtime: 5.0 },
+            Job {
+                arrival: 0.0,
+                nodes: 3,
+                runtime: 5.0,
+            },
+            Job {
+                arrival: 6.0,
+                nodes: 4,
+                runtime: 5.0,
+            },
         ];
         let out = simulate_fifo(&part(4), &jobs);
         assert_eq!(out[1].wait, 0.0, "nodes released before arrival");
@@ -188,9 +220,21 @@ mod tests {
     #[test]
     fn stats_helpers() {
         let out = vec![
-            JobOutcome { start: 0.0, wait: 0.0, end: 1.0 },
-            JobOutcome { start: 0.0, wait: 10.0, end: 1.0 },
-            JobOutcome { start: 0.0, wait: 2.0, end: 1.0 },
+            JobOutcome {
+                start: 0.0,
+                wait: 0.0,
+                end: 1.0,
+            },
+            JobOutcome {
+                start: 0.0,
+                wait: 10.0,
+                end: 1.0,
+            },
+            JobOutcome {
+                start: 0.0,
+                wait: 2.0,
+                end: 1.0,
+            },
         ];
         assert!((mean_wait(&out) - 4.0).abs() < 1e-12);
         assert_eq!(median_wait(&out), 2.0);
@@ -200,7 +244,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "requests")]
     fn oversized_job_panics() {
-        let jobs = vec![Job { arrival: 0.0, nodes: 9, runtime: 1.0 }];
+        let jobs = vec![Job {
+            arrival: 0.0,
+            nodes: 9,
+            runtime: 1.0,
+        }];
         simulate_fifo(&part(4), &jobs);
     }
 }

@@ -61,8 +61,7 @@ pub fn synthetic_week(params: &TraceParams) -> Vec<Job> {
     // Mean nodes per job under uniform [1, max_req].
     let mean_nodes = (1.0 + max_req as f64) / 2.0;
     // offered load = λ · mean_runtime · mean_nodes = utilization · nodes
-    let lambda = params.utilization * params.nodes as f64
-        / (params.mean_runtime * mean_nodes);
+    let lambda = params.utilization * params.nodes as f64 / (params.mean_runtime * mean_nodes);
     let mut jobs = Vec::new();
     let mut t = 0.0;
     loop {

@@ -12,7 +12,7 @@ pub trait DeviceApi {
     /// Host→device copy.
     fn h2d_dev(&mut self, buf: BufferId, data: &[u8]);
     /// Device→host copy.
-    fn d2h_dev(&self, buf: BufferId) -> Vec<u8>;
+    fn d2h_dev(&mut self, buf: BufferId) -> Vec<u8>;
 }
 
 impl DeviceApi for cucc_gpu_model::GpuDevice {
@@ -22,7 +22,7 @@ impl DeviceApi for cucc_gpu_model::GpuDevice {
     fn h2d_dev(&mut self, buf: BufferId, data: &[u8]) {
         self.h2d(buf, data);
     }
-    fn d2h_dev(&self, buf: BufferId) -> Vec<u8> {
+    fn d2h_dev(&mut self, buf: BufferId) -> Vec<u8> {
         self.d2h(buf)
     }
 }
@@ -34,7 +34,7 @@ impl DeviceApi for cucc_core::CuccCluster {
     fn h2d_dev(&mut self, buf: BufferId, data: &[u8]) {
         self.h2d(buf, data);
     }
-    fn d2h_dev(&self, buf: BufferId) -> Vec<u8> {
+    fn d2h_dev(&mut self, buf: BufferId) -> Vec<u8> {
         self.d2h(buf)
     }
 }
@@ -46,7 +46,7 @@ impl DeviceApi for cucc_pgas::PgasCluster {
     fn h2d_dev(&mut self, buf: BufferId, data: &[u8]) {
         self.h2d(buf, data);
     }
-    fn d2h_dev(&self, buf: BufferId) -> Vec<u8> {
+    fn d2h_dev(&mut self, buf: BufferId) -> Vec<u8> {
         self.d2h(buf)
     }
 }
@@ -97,7 +97,7 @@ impl cucc_core::ProgramBackend for GpuBackend {
     fn prog_h2d(&mut self, buf: BufferId, data: &[u8]) {
         self.0.h2d(buf, data);
     }
-    fn prog_d2h(&self, buf: BufferId) -> Vec<u8> {
+    fn prog_d2h(&mut self, buf: BufferId) -> Vec<u8> {
         self.0.d2h(buf)
     }
     fn prog_launch(
@@ -120,7 +120,7 @@ impl cucc_core::ProgramBackend for PgasBackend {
     fn prog_h2d(&mut self, buf: BufferId, data: &[u8]) {
         self.0.h2d(buf, data);
     }
-    fn prog_d2h(&self, buf: BufferId) -> Vec<u8> {
+    fn prog_d2h(&mut self, buf: BufferId) -> Vec<u8> {
         self.0.d2h(buf)
     }
     fn prog_launch(
@@ -136,7 +136,7 @@ impl cucc_core::ProgramBackend for PgasBackend {
 /// After execution, compare every buffer against the benchmark's reference.
 pub fn run_reference_check<A: DeviceApi>(
     bench: &dyn Benchmark,
-    api: &A,
+    api: &mut A,
     handles: &[BufferId],
 ) -> Result<(), String> {
     let reference = bench.reference();

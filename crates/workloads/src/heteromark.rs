@@ -271,8 +271,8 @@ mod tests {
     #[test]
     fn all_parse_and_validate() {
         for k in heteromark_kernels() {
-            let kernel = cucc_ir::parse_kernel(&k.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let kernel =
+                cucc_ir::parse_kernel(&k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             cucc_ir::validate(&kernel).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }

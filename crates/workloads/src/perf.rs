@@ -183,7 +183,9 @@ impl Benchmark for Transpose {
     }
     fn buffers(&self) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(2);
-        let data: Vec<f32> = (0..self.n * self.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<f32> = (0..self.n * self.n)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         vec![f32s(&data), vec![0u8; self.n * self.n * 4]]
     }
     fn scalars(&self) -> Vec<Value> {
@@ -255,7 +257,9 @@ impl Benchmark for Fir {
         // in is padded by taps + a full block so every thread's reads stay
         // in bounds (including tail-block threads past n).
         let pad = self.taps + 256;
-        let input: Vec<f32> = (0..self.n + pad).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let input: Vec<f32> = (0..self.n + pad)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let coef: Vec<f32> = (0..self.taps).map(|_| rng.gen_range(-0.1..0.1)).collect();
         vec![f32s(&input), f32s(&coef), vec![0u8; self.n * 4]]
     }
@@ -304,7 +308,11 @@ impl Kmeans {
     /// threads = **313 blocks**.
     pub fn new(scale: Scale) -> Kmeans {
         match scale {
-            Scale::Test => Kmeans { n: 4096, k: 4, f: 4 },
+            Scale::Test => Kmeans {
+                n: 4096,
+                k: 4,
+                f: 4,
+            },
             Scale::Paper => Kmeans {
                 n: 80_000,
                 k: 16,
@@ -346,8 +354,12 @@ impl Benchmark for Kmeans {
     }
     fn buffers(&self) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(4);
-        let points: Vec<f32> = (0..self.n * self.f).map(|_| rng.gen_range(0.0..10.0)).collect();
-        let centers: Vec<f32> = (0..self.k * self.f).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let points: Vec<f32> = (0..self.n * self.f)
+            .map(|_| rng.gen_range(0.0..10.0))
+            .collect();
+        let centers: Vec<f32> = (0..self.k * self.f)
+            .map(|_| rng.gen_range(0.0..10.0))
+            .collect();
         vec![f32s(&points), f32s(&centers), vec![0u8; self.n * 4]]
     }
     fn scalars(&self) -> Vec<Value> {
@@ -448,7 +460,9 @@ impl Benchmark for BinomialOption {
     }
     fn buffers(&self) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(5);
-        let prices: Vec<f32> = (0..self.options).map(|_| rng.gen_range(80.0..120.0)).collect();
+        let prices: Vec<f32> = (0..self.options)
+            .map(|_| rng.gen_range(80.0..120.0))
+            .collect();
         vec![f32s(&prices), vec![0u8; self.options * 4]]
     }
     fn scalars(&self) -> Vec<Value> {
@@ -476,8 +490,7 @@ impl Benchmark for BinomialOption {
             }
             for t in 0..steps {
                 for i in 0..steps - t {
-                    vals[i] =
-                        ((0.5 * vals[i + 1] as f64 + 0.5 * vals[i] as f64) * 0.9995) as f32;
+                    vals[i] = ((0.5 * vals[i + 1] as f64 + 0.5 * vals[i] as f64) * 0.9995) as f32;
                 }
             }
             result[o] = vals[0];
@@ -641,7 +654,9 @@ impl Benchmark for Ga {
     fn buffers(&self) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(6);
         // 4-letter alphabet: matches are rare but nonzero.
-        let target: Vec<u8> = (0..self.target_len()).map(|_| rng.gen_range(0u8..4)).collect();
+        let target: Vec<u8> = (0..self.target_len())
+            .map(|_| rng.gen_range(0u8..4))
+            .collect();
         let query: Vec<u8> = (0..self.qlen).map(|_| rng.gen_range(0u8..4)).collect();
         vec![target, query, vec![0u8; self.blocks * 4]]
     }
@@ -653,7 +668,7 @@ impl Benchmark for Ga {
         let target = &bufs[0];
         let query = &bufs[1];
         let mut matches = vec![0i32; self.blocks];
-        for b in 0..self.blocks {
+        for (b, m) in matches.iter_mut().enumerate() {
             let mut total = 0i32;
             for t in 0..self.threads {
                 let base = (b * self.threads + t) * self.seg;
@@ -663,7 +678,7 @@ impl Benchmark for Ga {
                     }
                 }
             }
-            matches[b] = total;
+            *m = total;
         }
         vec![bufs[0].clone(), bufs[1].clone(), i32s(&matches)]
     }
@@ -689,7 +704,10 @@ impl BlackScholes {
     /// 4096×4 test; 2 Mi × 32 paper.
     pub fn new(scale: Scale) -> BlackScholes {
         match scale {
-            Scale::Test => BlackScholes { n: 4096, scenarios: 4 },
+            Scale::Test => BlackScholes {
+                n: 4096,
+                scenarios: 4,
+            },
             Scale::Paper => BlackScholes {
                 n: 2 << 20,
                 scenarios: 32,
@@ -883,8 +901,8 @@ impl Benchmark for Conv2d {
                 let mut acc = 0.0f64;
                 for fy in 0..self.fsize {
                     for fx in 0..self.fsize {
-                        acc += input[(y + fy) * p + x + fx] as f64
-                            * filt[fy * self.fsize + fx] as f64;
+                        acc +=
+                            input[(y + fy) * p + x + fx] as f64 * filt[fy * self.fsize + fx] as f64;
                     }
                 }
                 out[y * self.n + x] = acc as f32;
@@ -908,13 +926,13 @@ mod tests {
         let mut suite = perf_suite(Scale::Test);
         suite.push(Box::new(VecCopy::new(Scale::Test)));
         for bench in &suite {
-            let ck = compile_source(&bench.source())
-                .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+            let ck =
+                compile_source(&bench.source()).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
             let mut gpu = GpuDevice::new(GpuSpec::a100());
             let (args, handles) = setup_args(bench.as_ref(), &ck.kernel, &mut gpu);
             gpu.launch(&ck.kernel, bench.launch(), &args)
                 .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-            run_reference_check(bench.as_ref(), &gpu, &handles)
+            run_reference_check(bench.as_ref(), &mut gpu, &handles)
                 .unwrap_or_else(|e| panic!("{e}"));
         }
     }
@@ -938,16 +956,17 @@ mod tests {
     #[test]
     fn simd_classes_match_paper_narrative() {
         use cucc_analysis::SimdClass;
-        let class_of = |b: &dyn Benchmark| {
-            compile_source(&b.source()).unwrap().analysis.simd.class
-        };
+        let class_of = |b: &dyn Benchmark| compile_source(&b.source()).unwrap().analysis.simd.class;
         // Transpose: "highly amenable to SIMD optimization".
         assert_eq!(class_of(&Transpose::new(Scale::Test)), SimdClass::Full);
         // BlackScholes with the scenario recurrence → Scalar.
         assert_eq!(class_of(&BlackScholes::new(Scale::Test)), SimdClass::Scalar);
         // BinomialOption: "non-parallel for-loop … challenging to apply
         // SIMD" → Scalar.
-        assert_eq!(class_of(&BinomialOption::new(Scale::Test)), SimdClass::Scalar);
+        assert_eq!(
+            class_of(&BinomialOption::new(Scale::Test)),
+            SimdClass::Scalar
+        );
         // EP/GA: "for-loops that cannot be optimized with SIMD".
         assert_eq!(class_of(&Ep::new(Scale::Test)), SimdClass::Scalar);
         assert_eq!(class_of(&Ga::new(Scale::Test)), SimdClass::Scalar);
@@ -967,7 +986,10 @@ mod tests {
     fn ep_ga_paper_block_counts() {
         assert_eq!(Ep::new(Scale::Paper).launch().num_blocks(), 512);
         assert_eq!(Ga::new(Scale::Paper).launch().num_blocks(), 256);
-        assert_eq!(BinomialOption::new(Scale::Paper).launch().num_blocks(), 1024);
+        assert_eq!(
+            BinomialOption::new(Scale::Paper).launch().num_blocks(),
+            1024
+        );
     }
 
     /// Deterministic inputs: two constructions give identical data.

@@ -44,20 +44,22 @@ fn main() {
     let ck0 = compile(kernel.clone()).unwrap();
     let mut gpu = GpuDevice::new(GpuSpec::a100());
     let gh = gpu.alloc(total * 4);
-    gpu.launch(&ck0.kernel, base_launch, &[Arg::Buffer(gh), Arg::int(iters), Arg::int(1)])
-        .unwrap();
+    gpu.launch(
+        &ck0.kernel,
+        base_launch,
+        &[Arg::Buffer(gh), Arg::int(iters), Arg::int(1)],
+    )
+    .unwrap();
     let reference = gpu.d2h(gh);
-    let hits: f64 = gpu
-        .pool()
-        .read_f32(gh)
-        .iter()
-        .map(|&h| h as f64)
-        .sum();
+    let hits: f64 = gpu.pool().read_f32(gh).iter().map(|&h| h as f64).sum();
     let pi = 4.0 * hits / (total as f64 * iters as f64);
     println!("Monte-Carlo π estimate: {pi:.5} (64 blocks × 256 threads × {iters} samples)\n");
 
     println!("32-node SIMD-Focused cluster, split factors:");
-    println!("{:>8} {:>8} {:>10} {:>12} {:>9}", "factor", "blocks", "thr/blk", "time", "speedup");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>9}",
+        "factor", "blocks", "thr/blk", "time", "speedup"
+    );
     let mut base_time = 0.0;
     for factor in [1u32, 2, 4, 8] {
         let (k, launch) = split_blocks(&kernel, base_launch, factor).expect("split");
@@ -71,7 +73,11 @@ fn main() {
         let report = cl
             .launch(&ck, launch, &[Arg::Buffer(h), Arg::int(iters), Arg::int(1)])
             .expect("launch");
-        assert_eq!(cl.d2h(h), reference, "split execution must be bit-identical");
+        assert_eq!(
+            cl.d2h(h),
+            reference,
+            "split execution must be bit-identical"
+        );
         let t = report.time();
         if factor == 1 {
             base_time = t;

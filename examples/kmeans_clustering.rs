@@ -47,11 +47,20 @@ fn main() {
 
     // Paper geometry check (§7.2): 80 000 points → 313 blocks.
     let paper_launch = LaunchConfig::cover1(80_000, 256);
-    println!("§7.2 geometry: 80 000 points / 256 = {} blocks", paper_launch.num_blocks());
+    println!(
+        "§7.2 geometry: 80 000 points / 256 = {} blocks",
+        paper_launch.num_blocks()
+    );
 
     // Three separated Gaussian-ish blobs plus noise.
     let mut rng = StdRng::seed_from_u64(99);
-    let blob_centers = [(2.0f32, 2.0f32), (8.0, 8.0), (2.0, 8.0), (8.0, 2.0), (5.0, 5.0)];
+    let blob_centers = [
+        (2.0f32, 2.0f32),
+        (8.0, 8.0),
+        (2.0, 8.0),
+        (8.0, 2.0),
+        (5.0, 5.0),
+    ];
     let mut points = Vec::with_capacity(n * f);
     for i in 0..n {
         let (cx, cy) = blob_centers[i % k];

@@ -31,17 +31,26 @@ fn main() {
             println!("  verdict      : Allgather distributable");
             println!("  tail_divergent: {}", meta.tail_divergent());
             for b in &meta.buffers {
-                println!("  mem_ptr      : buffer parameter {} ({} B/elem)", b.param, b.elem_size);
+                println!(
+                    "  mem_ptr      : buffer parameter {} ({} B/elem)",
+                    b.param, b.elem_size
+                );
             }
         }
         Verdict::Trivial(reasons) => {
             println!("  verdict      : trivial (replicated): {reasons:?}");
         }
     }
-    println!("  SIMD class   : {:?} (efficiency {:.2})\n", ck.analysis.simd.class, ck.analysis.simd.efficiency);
+    println!(
+        "  SIMD class   : {:?} (efficiency {:.2})\n",
+        ck.analysis.simd.class, ck.analysis.simd.efficiency
+    );
 
     // 2. The generated CPU modules (the paper's Figure 6 artifacts).
-    println!("--- generated CPU host module ---\n{}", generate_host_module(&ck));
+    println!(
+        "--- generated CPU host module ---\n{}",
+        generate_host_module(&ck)
+    );
     println!("--- generated CPU kernel module (header) ---");
     for line in generate_kernel_module(&ck).lines().take(8) {
         println!("{line}");
@@ -77,7 +86,10 @@ fn main() {
         } => {
             println!("three-phase execution on {nodes} nodes:");
             println!("  phase 1: {partial_blocks_per_node} blocks per node (node 0: blocks 0-1, node 1: blocks 2-3)");
-            println!("  phase 2: balanced in-place Allgather ({} B on the wire)", report.wire_bytes);
+            println!(
+                "  phase 2: balanced in-place Allgather ({} B on the wire)",
+                report.wire_bytes
+            );
             println!("  phase 3: {callback_blocks} callback block(s) — block 4, the tail block");
         }
         ExecMode::Replicated { cause } => println!("replicated: {cause}"),
@@ -94,4 +106,8 @@ fn main() {
     assert_eq!(cluster.d2h(dest), data, "copy must be exact");
     assert!(cluster.sim().fully_consistent());
     println!("\nresult verified: dest == src on every node ✓");
+
+    // 5. The same numbers, read off the unified trace timeline (export the
+    //    full span record with `cucc run --trace out.json` → Perfetto).
+    println!("\n{}", cluster.timeline().summary());
 }

@@ -52,14 +52,23 @@ fn main() {
         .launch(
             &ck.kernel,
             launch,
-            &[Arg::Buffer(gin), Arg::Buffer(gco), Arg::Buffer(gout), Arg::int(n as i64), Arg::int(taps as i64)],
+            &[
+                Arg::Buffer(gin),
+                Arg::Buffer(gco),
+                Arg::Buffer(gout),
+                Arg::int(n as i64),
+                Arg::int(taps as i64),
+            ],
         )
         .expect("gpu launch");
     let reference = gpu.d2h(gout);
     println!("GPU (A100, roofline): {:8.3} ms", gres.time * 1e3);
 
     println!("\nCPU cluster (SIMD-Focused), strong scaling:");
-    println!("{:>6} {:>12} {:>10} {:>10}", "nodes", "time (ms)", "speedup", "comm %");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10}",
+        "nodes", "time (ms)", "speedup", "comm %"
+    );
     let mut t1 = 0.0;
     for nodes in [1u32, 2, 4, 8, 16, 32] {
         let mut cl = CuccCluster::new(
@@ -75,10 +84,20 @@ fn main() {
             .launch(
                 &ck,
                 launch,
-                &[Arg::Buffer(cin), Arg::Buffer(cco), Arg::Buffer(cout), Arg::int(n as i64), Arg::int(taps as i64)],
+                &[
+                    Arg::Buffer(cin),
+                    Arg::Buffer(cco),
+                    Arg::Buffer(cout),
+                    Arg::int(n as i64),
+                    Arg::int(taps as i64),
+                ],
             )
             .expect("cluster launch");
-        assert_eq!(cl.d2h(cout), reference, "distributed FIR must match the GPU");
+        assert_eq!(
+            cl.d2h(cout),
+            reference,
+            "distributed FIR must match the GPU"
+        );
         let t = report.time();
         if nodes == 1 {
             t1 = t;

@@ -18,6 +18,8 @@
 //!   --arg float:<v>          float scalar
 //!   --seed S                 RNG seed for buffer data (default 42)
 //!   --modeled                timing-only (skip functional execution)
+//!   --trace out.json         export the simulated-clock timeline as
+//!                            Chrome trace-event JSON (open in Perfetto)
 //! ```
 //!
 //! `run` executes the kernel on the simulated GPU (reference) and on the
@@ -147,6 +149,7 @@ struct RunOpts {
     args: Vec<CliArg>,
     seed: u64,
     modeled: bool,
+    trace: Option<String>,
 }
 
 fn parse_dim(s: &str) -> Result<Dim3, String> {
@@ -172,20 +175,25 @@ impl RunOpts {
             args: Vec::new(),
             seed: 42,
             modeled: false,
+            trace: None,
         };
         let mut i = 0;
         let need = |i: &mut usize| -> Result<&String, String> {
             *i += 1;
-            args.get(*i).ok_or_else(|| format!("missing value after `{}`", args[*i - 1]))
+            args.get(*i)
+                .ok_or_else(|| format!("missing value after `{}`", args[*i - 1]))
         };
         while i < args.len() {
             match args[i].as_str() {
                 "--cluster" => o.cluster = need(&mut i)?.clone(),
-                "--nodes" => o.nodes = need(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?,
+                "--nodes" => {
+                    o.nodes = need(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?
+                }
                 "--grid" => o.grid = parse_dim(need(&mut i)?)?,
                 "--block" => o.block = parse_dim(need(&mut i)?)?,
                 "--seed" => o.seed = need(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--modeled" => o.modeled = true,
+                "--trace" => o.trace = Some(need(&mut i)?.clone()),
                 "--arg" => {
                     let spec = need(&mut i)?;
                     o.args.push(parse_arg(spec)?);
@@ -211,11 +219,14 @@ fn parse_arg(spec: &str) -> Result<CliArg, String> {
             ));
         }
         return Ok(CliArg::BufBytes(
-            rest.parse().map_err(|_| format!("bad buffer size `{spec}`"))?,
+            rest.parse()
+                .map_err(|_| format!("bad buffer size `{spec}`"))?,
         ));
     }
     if let Some(v) = spec.strip_prefix("int:") {
-        return Ok(CliArg::Int(v.parse().map_err(|_| format!("bad int `{spec}`"))?));
+        return Ok(CliArg::Int(
+            v.parse().map_err(|_| format!("bad int `{spec}`"))?,
+        ));
     }
     if let Some(v) = spec.strip_prefix("float:") {
         return Ok(CliArg::Float(
@@ -272,7 +283,12 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
     let n_buf_args = opts
         .args
         .iter()
-        .filter(|a| matches!(a, CliArg::BufBytes(_) | CliArg::BufF32(_) | CliArg::BufI32(_)))
+        .filter(|a| {
+            matches!(
+                a,
+                CliArg::BufBytes(_) | CliArg::BufF32(_) | CliArg::BufI32(_)
+            )
+        })
         .count();
     if opts.args.len() != ck.kernel.params.len() || n_buf_args != n_buffers {
         return Err(format!(
@@ -324,9 +340,12 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         Arg::Buffer(id)
     });
     let gpu_time = if opts.modeled {
-        gpu.time_only(&ck.kernel, launch, &gargs).map_err(|e| e.to_string())?
+        gpu.time_only(&ck.kernel, launch, &gargs)
+            .map_err(|e| e.to_string())?
     } else {
-        gpu.launch(&ck.kernel, launch, &gargs).map_err(|e| e.to_string())?.time
+        gpu.launch(&ck.kernel, launch, &gargs)
+            .map_err(|e| e.to_string())?
+            .time
     };
     out += &format!("  A100 (roofline reference): {:.3} ms\n", gpu_time * 1e3);
 
@@ -374,7 +393,11 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         } else {
             gpu_time / report.time()
         },
-        if report.time() > gpu_time { "slower" } else { "faster" }
+        if report.time() > gpu_time {
+            "slower"
+        } else {
+            "faster"
+        }
     );
 
     if !opts.modeled {
@@ -385,8 +408,22 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             if gb != cb {
                 return Err(format!("buffer {i} diverges from the GPU reference"));
             }
-            out += &format!("  buffer {i}: {} B, checksum {:016x} ✓ matches GPU\n", cb.len(), fnv1a(&cb));
+            out += &format!(
+                "  buffer {i}: {} B, checksum {:016x} ✓ matches GPU\n",
+                cb.len(),
+                fnv1a(&cb)
+            );
         }
+    }
+
+    out += "\n";
+    out += &cl.timeline().summary();
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, cl.timeline().to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        out += &format!(
+            "\ntrace: {} span(s) written to {path} (load in https://ui.perfetto.dev)\n",
+            cl.timeline().spans().len()
+        );
     }
     Ok(out)
 }
@@ -406,7 +443,10 @@ fn cmd_coverage() -> String {
                 d += 1;
             }
         }
-        out += &format!("  {suite:20}: {d}/{} Allgather distributable\n", kernels.len());
+        out += &format!(
+            "  {suite:20}: {d}/{} Allgather distributable\n",
+            kernels.len()
+        );
     }
     out
 }
@@ -438,12 +478,25 @@ mod tests {
     #[test]
     fn run_executes_and_verifies() {
         let opts = RunOpts::parse(
-            &["--nodes", "3", "--grid", "8", "--block", "128",
-              "--arg", "buf:1024f32", "--arg", "buf:1024f32",
-              "--arg", "float:2.0", "--arg", "int:1024"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>(),
+            &[
+                "--nodes",
+                "3",
+                "--grid",
+                "8",
+                "--block",
+                "128",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:1024",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         let out = cmd_run(SAXPY, &opts).unwrap();
@@ -452,9 +505,67 @@ mod tests {
     }
 
     #[test]
+    fn run_writes_chrome_trace() {
+        let path = std::env::temp_dir().join("cucc_cli_trace_test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let opts = RunOpts::parse(
+            &[
+                "--nodes",
+                "3",
+                "--grid",
+                "8",
+                "--block",
+                "128",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:1024",
+                "--trace",
+                &path_str,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        assert!(out.contains("timeline"), "{out}");
+        assert!(out.contains("written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let v = cucc::trace::json::parse(&json).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // One partial + one callback span per node, at least one allgather
+        // span on the network track, and wire-byte counter samples.
+        for (name, want) in [("partial", 3), ("callback", 3), ("allgather", 1)] {
+            let got = events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("name")
+                            .and_then(|n| n.as_str())
+                            .is_some_and(|n| n.contains(name))
+                })
+                .count();
+            assert!(got >= want, "{name}: {got} < {want}");
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                && e.get("name").and_then(|n| n.as_str()) == Some("wire_bytes")));
+    }
+
+    #[test]
     fn run_rejects_bad_arg_count() {
         let opts = RunOpts::parse(
-            &["--arg", "buf:64f32"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &["--arg", "buf:64f32"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let err = cmd_run(SAXPY, &opts).unwrap_err();
@@ -464,10 +575,20 @@ mod tests {
     #[test]
     fn option_parsing() {
         let o = RunOpts::parse(
-            &["--cluster", "thread", "--grid", "4,4", "--block", "16,16", "--modeled", "--seed", "7"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>(),
+            &[
+                "--cluster",
+                "thread",
+                "--grid",
+                "4,4",
+                "--block",
+                "16,16",
+                "--modeled",
+                "--seed",
+                "7",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         assert_eq!(o.cluster, "thread");

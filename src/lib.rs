@@ -24,6 +24,7 @@
 //! | [`pgas`] | the UPC++-style fine-grained baseline (§3.1/§7.3) |
 //! | [`gpu_model`] | A100/V100 roofline model + functional reference device |
 //! | [`slurm`] | partition queueing (Fig. 1) and throughput (Fig. 12) models |
+//! | [`trace`] | simulated-clock span/event timeline + Perfetto export |
 //! | [`workloads`] | the 8 evaluation benchmarks + 34 coverage kernels |
 //!
 //! ## Quickstart
@@ -63,4 +64,5 @@ pub use cucc_ir as ir;
 pub use cucc_net as net;
 pub use cucc_pgas as pgas;
 pub use cucc_slurm as slurm;
+pub use cucc_trace as trace;
 pub use cucc_workloads as workloads;

@@ -7,9 +7,7 @@
 use cucc::cluster::ClusterSpec;
 use cucc::core::{compile_source, CuccCluster, ExecMode, RuntimeConfig};
 use cucc::pgas::{PgasCluster, PgasConfig};
-use cucc::workloads::{
-    perf_suite, run_reference_check, setup_args, Benchmark, Scale,
-};
+use cucc::workloads::{perf_suite, run_reference_check, setup_args, Benchmark, Scale};
 
 fn simd_cluster(n: u32) -> ClusterSpec {
     ClusterSpec::simd_focused().with_nodes(n)
@@ -27,7 +25,7 @@ fn check_cucc(bench: &dyn Benchmark, spec: ClusterSpec) {
     cluster
         .launch(&ck, bench.launch(), &args)
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-    run_reference_check(bench, &cluster, &handles).unwrap_or_else(|e| panic!("{e}"));
+    run_reference_check(bench, &mut cluster, &handles).unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[test]
@@ -66,7 +64,7 @@ fn pgas_baseline_matches_references_too() {
         let (args, handles) = setup_args(bench.as_ref(), &ck.kernel, &mut pg);
         pg.launch(&ck, bench.launch(), &args)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        run_reference_check(bench.as_ref(), &pg, &handles).unwrap_or_else(|e| panic!("{e}"));
+        run_reference_check(bench.as_ref(), &mut pg, &handles).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

@@ -31,7 +31,12 @@ fn consistency_checker_catches_divergent_callback_inputs() {
     let y = cl.alloc(n * 4);
     cl.h2d_f32(x, &vec![1.0; n]);
     cl.h2d_f32(y, &vec![2.0; n]);
-    let args = [Arg::Buffer(x), Arg::Buffer(y), Arg::float(0.5), Arg::int(n as i64)];
+    let args = [
+        Arg::Buffer(x),
+        Arg::Buffer(y),
+        Arg::float(0.5),
+        Arg::int(n as i64),
+    ];
 
     // Healthy launch: fine.
     cl.launch(&ck, launch, &args).unwrap();
@@ -66,7 +71,12 @@ fn corruption_in_gathered_region_heals() {
     let y = cl.alloc(n * 4);
     cl.h2d_f32(x, &vec![1.0; n]);
     cl.h2d_f32(y, &vec![2.0; n]);
-    let args = [Arg::Buffer(x), Arg::Buffer(y), Arg::float(0.5), Arg::int(n as i64)];
+    let args = [
+        Arg::Buffer(x),
+        Arg::Buffer(y),
+        Arg::float(0.5),
+        Arg::int(n as i64),
+    ];
     cl.sim_mut().node_mut(2).bytes_mut(y)[(2 * (n / 4) + 3) * 4] ^= 0xFF;
     // Every element of y is recomputed from (consistent) x, so the launch
     // succeeds and all nodes agree. Note the *values* differ from the
@@ -125,8 +135,17 @@ fn disabling_verification_skips_the_check() {
     cl.sim_mut().node_mut(1).bytes_mut(y)[(n / 2 + 1) * 4] = 0x77;
     // With verification off, the launch "succeeds" silently — documenting
     // exactly what the flag trades away.
-    cl.launch(&ck, launch, &[Arg::Buffer(x), Arg::Buffer(y), Arg::float(2.0), Arg::int(n as i64)])
-        .unwrap();
+    cl.launch(
+        &ck,
+        launch,
+        &[
+            Arg::Buffer(x),
+            Arg::Buffer(y),
+            Arg::float(2.0),
+            Arg::int(n as i64),
+        ],
+    )
+    .unwrap();
 }
 
 #[test]
@@ -146,11 +165,7 @@ fn oob_kernel_reports_not_corrupts() {
     let sentinel = cl.alloc(64);
     cl.h2d(sentinel, &[0xAB; 64]);
     let out = cl.alloc(256);
-    let err = cl.launch(
-        &ck,
-        LaunchConfig::new(2u32, 32u32),
-        &[Arg::Buffer(out)],
-    );
+    let err = cl.launch(&ck, LaunchConfig::new(2u32, 32u32), &[Arg::Buffer(out)]);
     assert!(err.is_err(), "OOB launch must fail");
     assert_eq!(cl.d2h(sentinel), vec![0xAB; 64], "other memory untouched");
 }

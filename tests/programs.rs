@@ -3,9 +3,7 @@
 //! PGAS baseline) and must produce identical outputs.
 
 use cucc::cluster::ClusterSpec;
-use cucc::core::{
-    compile, split_blocks, ArgSpec, CuccCluster, GpuProgram, RuntimeConfig,
-};
+use cucc::core::{compile, split_blocks, ArgSpec, CuccCluster, GpuProgram, RuntimeConfig};
 use cucc::gpu_model::{GpuDevice, GpuSpec};
 use cucc::ir::{parse_kernel, LaunchConfig};
 use cucc::pgas::{PgasCluster, PgasConfig};
@@ -199,7 +197,12 @@ fn split_kernel_runs_distributed_and_matches() {
     let ys: Vec<f32> = (0..n).map(|i| (i % 97) as f32).collect();
     let args = |x, y| {
         use cucc::exec::Arg;
-        [Arg::Buffer(x), Arg::Buffer(y), Arg::float(2.5), Arg::int(n as i64)]
+        [
+            Arg::Buffer(x),
+            Arg::Buffer(y),
+            Arg::float(2.5),
+            Arg::int(n as i64),
+        ]
     };
 
     let mut gpu = GpuDevice::new(GpuSpec::v100());
@@ -207,7 +210,8 @@ fn split_kernel_runs_distributed_and_matches() {
     let gy = gpu.alloc(n * 4);
     gpu.pool_mut().write_f32(gx, &xs);
     gpu.pool_mut().write_f32(gy, &ys);
-    gpu.launch(&ck_base.kernel, base_launch, &args(gx, gy)).unwrap();
+    gpu.launch(&ck_base.kernel, base_launch, &args(gx, gy))
+        .unwrap();
     let want = gpu.d2h(gy);
 
     let mut cl = CuccCluster::new(

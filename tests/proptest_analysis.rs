@@ -29,7 +29,12 @@ struct RandomKernel {
 impl RandomKernel {
     fn source(&self) -> String {
         let idx = if self.width > 1 {
-            format!("(id * {s} + {o}) * {w} + i", s = self.scale, o = self.offset, w = self.width)
+            format!(
+                "(id * {s} + {o}) * {w} + i",
+                s = self.scale,
+                o = self.offset,
+                w = self.width
+            )
         } else {
             format!("id * {s} + {o}", s = self.scale, o = self.offset)
         };
@@ -67,26 +72,31 @@ impl RandomKernel {
 
 fn random_kernel() -> impl Strategy<Value = RandomKernel> {
     (
-        1i64..4,      // scale
-        0i64..32,     // offset
-        1i64..4,      // width
+        1i64..4,  // scale
+        0i64..32, // offset
+        1i64..4,  // width
         any::<bool>(),
-        1u32..12,     // blocks
+        1u32..12, // blocks
         prop::sample::select(vec![1u32, 2, 8, 32]),
     )
         .prop_flat_map(|(scale, offset, width, guard, blocks, threads)| {
             let total = blocks as i64 * threads as i64;
-            (Just((scale, offset, width, guard, blocks, threads)), 1i64..=total)
+            (
+                Just((scale, offset, width, guard, blocks, threads)),
+                1i64..=total,
+            )
         })
-        .prop_map(|((scale, offset, width, guard, blocks, threads), n)| RandomKernel {
-            scale,
-            offset,
-            width,
-            guard,
-            blocks,
-            threads,
-            n,
-        })
+        .prop_map(
+            |((scale, offset, width, guard, blocks, threads), n)| RandomKernel {
+                scale,
+                offset,
+                width,
+                guard,
+                blocks,
+                threads,
+                n,
+            },
+        )
 }
 
 proptest! {
@@ -149,8 +159,8 @@ mod tail_guard_properties {
     ) -> u64 {
         let mut full = 0u64;
         for b in 0..blocks as i64 {
-            let all = (0..threads as i64)
-                .all(|t| (b * threads as i64 + t) * scale + offset < bound);
+            let all =
+                (0..threads as i64).all(|t| (b * threads as i64 + t) * scale + offset < bound);
             if all && full == b as u64 {
                 full += 1;
             } else if !all {

@@ -19,9 +19,13 @@ fn expr_strategy() -> impl Strategy<Value = String> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop::sample::select(vec![
-                "+", "-", "*", "&", "|", "^", "<", "<=", "==", "&&", "||"
-            ]))
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(vec![
+                    "+", "-", "*", "&", "|", "^", "<", "<=", "==", "&&", "||"
+                ])
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
             (inner.clone()).prop_map(|a| format!("(-{a})")),
             (inner.clone(), inner.clone(), inner)

@@ -5,9 +5,7 @@
 
 use cucc::exec::{execute_launch, Arg, MemPool};
 use cucc::ir::printer::print_kernel;
-use cucc::ir::{
-    parse_kernel, validate, Expr, KernelBuilder, LaunchConfig, MemRef, Scalar, VarId,
-};
+use cucc::ir::{parse_kernel, validate, Expr, KernelBuilder, LaunchConfig, MemRef, Scalar, VarId};
 use proptest::prelude::*;
 
 /// Recipe for one random statement.
@@ -52,8 +50,11 @@ fn expr_recipe() -> impl Strategy<Value = ExprRecipe> {
                 .prop_map(|(a, b)| ExprRecipe::Mul(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| ExprRecipe::Lt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| ExprRecipe::Select(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| ExprRecipe::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -67,8 +68,7 @@ fn stmt_recipe() -> impl Strategy<Value = StmtRecipe> {
         prop_oneof![
             (expr_recipe(), prop::collection::vec(inner.clone(), 1..3))
                 .prop_map(|(c, b)| StmtRecipe::If(c, b)),
-            (1u8..4, prop::collection::vec(inner, 1..3))
-                .prop_map(|(n, b)| StmtRecipe::For(n, b)),
+            (1u8..4, prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| StmtRecipe::For(n, b)),
         ]
     })
 }

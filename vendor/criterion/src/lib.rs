@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Implements the benchmark surface `criterion_components.rs` uses —
+//! `Criterion::bench_function`, benchmark groups with throughput,
+//! `Bencher::iter` / `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a plain wall-clock timer. Each bench
+//! warms up briefly, then measures enough iterations to fill a small time
+//! budget and prints the median-of-means per-iteration time. No statistics
+//! machinery, no plotting, no baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted for compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            measured: None,
+            budget,
+        }
+    }
+
+    /// Benchmark `f` back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that fills the
+        // budget, without timing overhead per call.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn fmt_duration(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.1} ns")
+    }
+}
+
+fn report(name: &str, measured: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = measured else {
+        println!("{name:<48} (no measurement)");
+        return;
+    };
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!(
+        "{name:<48} {:>12}/iter ({iters} iters)",
+        fmt_duration(per_iter)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) => format!("{:.1} Melem/s", n as f64 / per_iter * 1e3),
+            Throughput::Bytes(n) => {
+                format!("{:.1} MiB/s", n as f64 / per_iter * 1e9 / (1 << 20) as f64)
+            }
+        };
+        line += &format!("  {per_sec}");
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(
+                std::env::var("CRITERION_BUDGET_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(50),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(&id, b.measured, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        report(&id, b.measured, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Prevent the optimizer from removing a value (criterion re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(2),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

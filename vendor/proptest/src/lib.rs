@@ -1,0 +1,561 @@
+//! Offline stand-in for `proptest` (API-compatible subset).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of proptest the workspace's property tests actually use:
+//! range/`any`/`Just`/`select`/`collection::vec` strategies, tuple
+//! composition, `prop_map` / `prop_flat_map` / `prop_recursive`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros. Cases are generated from a deterministic per-test RNG
+//! (seeded from the test name and case index) so failures are reproducible.
+//! There is **no shrinking** — a failing case reports its inputs via the
+//! values' `Debug` form in the panic message context.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Deterministic case RNG and failure plumbing.
+
+    pub use rand::rngs::StdRng as TestRngInner;
+    use rand::SeedableRng;
+
+    /// Per-case RNG: seeded from the test name and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub TestRngInner);
+
+    impl TestRng {
+        /// Deterministic RNG for `(test, case)`.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng(TestRngInner::seed_from_u64(
+                h ^ ((case as u64) << 32 | 0x9e37),
+            ))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// A failed property (from `prop_assert!`-family macros).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+// ------------------------------------------------------------- strategy --
+
+/// A generator of values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate, then use the value to pick a second strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `f` receives the previous depth level and
+    /// returns the next. `depth` levels are stacked on top of `self`
+    /// (the leaf). `desired_size`/`expected_branch_size` are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = f(level).boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy (clonable).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between alternatives (built by `prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Uniform union of the given strategies.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// Integer and float ranges are strategies, as in proptest. One generic
+// impl per range shape (routed through the rand stub's `SampleUniform`)
+// keeps type inference able to link a range literal's element type to the
+// generated value's type.
+impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+// Tuples of strategies generate tuples of values.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+impl_tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
+
+// ------------------------------------------------------------ arbitrary --
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> AnyStrategy<$t> {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> AnyStrategy<bool> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `A` (`any::<u64>()` etc.).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+// -------------------------------------------------------------- modules --
+
+pub mod sample {
+    //! Sampling from explicit collections.
+
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed vector.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Pick one of `items` uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select over empty vec");
+        Select(items)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for vectors with lengths drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `len ∈ size` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` path alias used by `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// --------------------------------------------------------------- macros --
+
+/// Uniform choice between strategies with one common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts only the current case
+/// with a descriptive message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?}` != `{:?}`", lhs, rhs);
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property `{}` case {}/{} failed: {}",
+                           stringify!($name), case + 1, config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -5i64..5, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u8..10, 1..5),
+            pick in prop::sample::select(vec![2u32, 4, 8]),
+            s in (0u8..3).prop_map(|b| b.to_string()),
+            any_u in any::<u64>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            prop_assert!([2u32, 4, 8].contains(&pick));
+            prop_assert!(s.len() == 1);
+            let _ = any_u;
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_generate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (-9i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                inner.clone(),
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("oneof_and_recursive", 0);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never produced an inner node");
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let strat = prop::collection::vec(any::<u64>(), 2..6);
+        let mut a = crate::test_runner::TestRng::for_case("det", 7);
+        let mut b = crate::test_runner::TestRng::for_case("det", 7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        let mut c = crate::test_runner::TestRng::for_case("det", 8);
+        assert_ne!(strat.generate(&mut a), strat.generate(&mut c));
+    }
+}

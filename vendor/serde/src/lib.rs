@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` to compile without network
+//! access. The derive macros expand to nothing and the traits are empty
+//! markers; no code in this workspace performs serde-based serialization
+//! (the trace exporter writes JSON by hand — see `cucc-trace`).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

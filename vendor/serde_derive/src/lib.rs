@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive macros (and their `syn`/`quote` dependency tree) cannot be
+//! fetched. Nothing in this workspace actually serializes through serde —
+//! the derives exist so hardware-description types stay annotated for a
+//! future online build — so the derive macros here expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — expands to no items.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — expands to no items.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
