@@ -1,0 +1,241 @@
+//! Tree-walk interpreter vs bytecode engine: blocks/second on three
+//! representative kernels (elementwise SAXPY, a shared-memory tile reverse
+//! with a barrier, and a compute-bound Horner polynomial).
+//!
+//! All three launches exactly cover their data (`N = BLOCKS * THREADS`), so
+//! the kernels need no tail guard — their segments are straight-line and
+//! exercise the engine's dense inst-major mode; guarded/divergent and
+//! looping kernels are covered by the equivalence suites and unit tests.
+//!
+//! Besides the criterion report, the harness re-measures each configuration
+//! directly and writes `BENCH_interp.json` at the repository root so docs
+//! and CI can quote the numbers (`speedup = bytecode blocks/s ÷ tree-walk
+//! blocks/s`, with the intra-node parallel engine reported separately).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cucc_exec::{execute_block_range, run_range, run_range_parallel, Arg, MemPool, Program};
+use cucc_ir::{Axis, Expr, Kernel, KernelBuilder, LaunchConfig, Scalar};
+use std::time::Instant;
+
+const BLOCKS: u32 = 128;
+const THREADS: u32 = 128;
+const N: i64 = (BLOCKS as i64) * (THREADS as i64);
+
+/// Which launch arguments a kernel takes (all buffers are `f32[N]`).
+#[derive(Clone, Copy)]
+enum ArgSpec {
+    /// `(x, y)`
+    Xy,
+    /// `(x, y, z, a)` — two inputs, one output, one scalar.
+    XyzA,
+}
+
+fn global_tid(b: &mut KernelBuilder) -> cucc_ir::VarId {
+    b.let_(
+        "g",
+        Expr::BlockIdx(Axis::X)
+            .mul(Expr::BlockDim(Axis::X))
+            .add(Expr::ThreadIdx(Axis::X)),
+    )
+}
+
+/// `z[g] = a * x[g] + y[g]` — the elementwise multi-block baseline
+/// (out-of-place, so loads and stores touch disjoint buffers).
+fn saxpy() -> Kernel {
+    let mut b = KernelBuilder::new("saxpy");
+    let x = b.buffer("x", Scalar::F32);
+    let y = b.buffer("y", Scalar::F32);
+    let z = b.buffer("z", Scalar::F32);
+    let a = b.scalar("a", Scalar::F32);
+    let g = global_tid(&mut b);
+    b.store(
+        z,
+        Expr::Var(g),
+        a.clone()
+            .mul(Expr::load(x, Expr::Var(g)))
+            .add(Expr::load(y, Expr::Var(g))),
+    );
+    b.finish()
+}
+
+/// Stage a tile in shared memory, barrier, write it back reversed.
+fn tile_reverse() -> Kernel {
+    let mut b = KernelBuilder::new("tile_reverse");
+    let x = b.buffer("x", Scalar::F32);
+    let y = b.buffer("y", Scalar::F32);
+    let tile = b.shared("tile", Scalar::F32, THREADS as usize);
+    let g = global_tid(&mut b);
+    b.store(tile, Expr::ThreadIdx(Axis::X), Expr::load(x, Expr::Var(g)));
+    b.sync_threads();
+    b.store(
+        y,
+        Expr::Var(g),
+        Expr::load(
+            tile,
+            Expr::BlockDim(Axis::X)
+                .sub(Expr::int(1))
+                .sub(Expr::ThreadIdx(Axis::X)),
+        ),
+    );
+    b.finish()
+}
+
+/// Degree-15 Horner polynomial per element — a compute-bound straight-line
+/// chain of 30 dependent multiply/adds.
+fn horner15() -> Kernel {
+    let mut b = KernelBuilder::new("horner15");
+    let xb = b.buffer("x", Scalar::F32);
+    let yb = b.buffer("y", Scalar::F32);
+    let g = global_tid(&mut b);
+    let xv = b.let_("xv", Expr::load(xb, Expr::Var(g)));
+    let mut acc = Expr::float(0.5);
+    for i in 0..15 {
+        acc = acc
+            .mul(Expr::Var(xv))
+            .add(Expr::float(0.25 + f64::from(i) * 0.125));
+    }
+    b.store(yb, Expr::Var(g), acc);
+    b.finish()
+}
+
+fn setup(pool: &mut MemPool, spec: ArgSpec) -> Vec<Arg> {
+    let x = pool.alloc_elems(Scalar::F32, N as usize);
+    let y = pool.alloc_elems(Scalar::F32, N as usize);
+    let xs: Vec<u8> = (0..N)
+        .flat_map(|i| ((i % 257) as f32 * 0.01 - 1.0).to_le_bytes())
+        .collect();
+    let ys: Vec<u8> = (0..N)
+        .flat_map(|i| (3.0 - i as f32 * 0.125).to_le_bytes())
+        .collect();
+    pool.write_all(x, &xs);
+    pool.write_all(y, &ys);
+    match spec {
+        ArgSpec::Xy => vec![Arg::Buffer(x), Arg::Buffer(y)],
+        ArgSpec::XyzA => {
+            let z = pool.alloc_elems(Scalar::F32, N as usize);
+            vec![
+                Arg::Buffer(x),
+                Arg::Buffer(y),
+                Arg::Buffer(z),
+                Arg::float(1.0009765625),
+            ]
+        }
+    }
+}
+
+struct Measurement {
+    tree: f64,
+    bytecode: f64,
+    parallel: f64,
+    workers: usize,
+}
+
+/// Best-of-`reps` blocks/second for each engine configuration, after an
+/// equivalence sanity check between the two serial engines.
+fn measure(kernel: &Kernel, launch: LaunchConfig, spec: ArgSpec, reps: usize) -> Measurement {
+    let mut pool_a = MemPool::new();
+    let args = setup(&mut pool_a, spec);
+    let mut pool_b = pool_a.clone();
+    let nblocks = launch.num_blocks();
+
+    let sa = execute_block_range(kernel, launch, 0..nblocks, &args, &mut pool_a).unwrap();
+    let prog = Program::compile(kernel, launch, &args).unwrap();
+    let sb = run_range(&prog, &mut pool_b, 0..nblocks).unwrap();
+    assert_eq!(sa, sb, "engines disagree — refusing to benchmark");
+
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut best = [f64::MAX; 3];
+    for _ in 0..reps {
+        let t = Instant::now();
+        execute_block_range(kernel, launch, 0..nblocks, &args, &mut pool_a).unwrap();
+        best[0] = best[0].min(t.elapsed().as_secs_f64());
+
+        // Compile-once cost is part of the launch, so it stays inside the
+        // timed region for the bytecode configurations.
+        let t = Instant::now();
+        let prog = Program::compile(kernel, launch, &args).unwrap();
+        run_range(&prog, &mut pool_b, 0..nblocks).unwrap();
+        best[1] = best[1].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let prog = Program::compile(kernel, launch, &args).unwrap();
+        run_range_parallel(&prog, &mut pool_b, 0..nblocks, workers).unwrap();
+        best[2] = best[2].min(t.elapsed().as_secs_f64());
+    }
+    let bps = |secs: f64| nblocks as f64 / secs;
+    Measurement {
+        tree: bps(best[0]),
+        bytecode: bps(best[1]),
+        parallel: bps(best[2]),
+        workers,
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let kernels: [(&str, Kernel, ArgSpec); 3] = [
+        ("saxpy", saxpy(), ArgSpec::XyzA),
+        ("tile_reverse", tile_reverse(), ArgSpec::Xy),
+        ("horner15", horner15(), ArgSpec::Xy),
+    ];
+    let launch = LaunchConfig::new(BLOCKS, THREADS);
+
+    let mut rows = String::new();
+    for (name, kernel, spec) in &kernels {
+        let mut pool = MemPool::new();
+        let args = setup(&mut pool, *spec);
+        let mut g = c.benchmark_group(format!("interp/{name}"));
+        g.throughput(Throughput::Elements(launch.num_blocks()));
+        g.bench_function("tree_walk", |b| {
+            b.iter(|| {
+                execute_block_range(kernel, launch, 0..launch.num_blocks(), &args, &mut pool)
+                    .unwrap()
+            })
+        });
+        g.bench_function("bytecode", |b| {
+            b.iter(|| {
+                let prog = Program::compile(kernel, launch, &args).unwrap();
+                run_range(&prog, &mut pool, 0..launch.num_blocks()).unwrap()
+            })
+        });
+        g.finish();
+
+        let m = measure(kernel, launch, *spec, 5);
+        println!(
+            "{name:<14} tree {:>10.0} blk/s | bytecode {:>10.0} blk/s ({:.2}x) | \
+             parallel[{}] {:>10.0} blk/s ({:.2}x)",
+            m.tree,
+            m.bytecode,
+            m.bytecode / m.tree,
+            m.workers,
+            m.parallel,
+            m.parallel / m.tree,
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"kernel\": \"{name}\", \"blocks\": {}, \"threads_per_block\": {}, \
+             \"tree_blocks_per_sec\": {:.0}, \"bytecode_blocks_per_sec\": {:.0}, \
+             \"bytecode_speedup\": {:.2}, \"parallel_workers\": {}, \
+             \"parallel_blocks_per_sec\": {:.0}, \"parallel_speedup\": {:.2}}}",
+            BLOCKS,
+            THREADS,
+            m.tree,
+            m.bytecode,
+            m.bytecode / m.tree,
+            m.workers,
+            m.parallel,
+            m.parallel / m.tree,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"interp\",\n  \"unit\": \"blocks_per_sec\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interp.json");
+    std::fs::write(path, &json).expect("write BENCH_interp.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -11,7 +11,10 @@
 //! thread per simulated node (safe because pools are disjoint).
 
 use crate::specs::ClusterSpec;
-use cucc_exec::{execute_block, Arg, BlockStats, BufferId, ExecError, MemPool};
+use cucc_exec::{
+    execute_block_range, run_range, run_range_parallel, Arg, BlockStats, BufferId, EngineKind,
+    ExecError, ExecOptions, MemPool, Program,
+};
 use cucc_ir::{Kernel, LaunchConfig};
 use cucc_net::{allgather, allgather_traced, AllgatherAlgo, AllgatherPlacement, CollectiveCost};
 use std::ops::Range;
@@ -73,8 +76,29 @@ impl SimCluster {
         &mut self.pools[i]
     }
 
-    /// Execute a contiguous range of blocks on one node (sequential,
-    /// ascending block id). Returns accumulated stats.
+    /// Worker threads one node may use for intra-node block parallelism
+    /// under `opts`, given how many node threads run concurrently and how
+    /// many blocks the node has. Conservative: 1 unless the caller opted in
+    /// via [`ExecOptions::block_parallel`], never more than the simulated
+    /// node's core count, and never so many that workers get fewer than a
+    /// handful of blocks each.
+    fn intra_node_workers(&self, opts: &ExecOptions, nodes_running: usize, nblocks: u64) -> usize {
+        if !opts.block_parallel {
+            return 1;
+        }
+        let req = if opts.node_threads > 0 {
+            opts.node_threads
+        } else {
+            let avail = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (avail / nodes_running.max(1)).clamp(1, self.spec.cpu.cores as usize)
+        };
+        req.min((nblocks / 4).max(1) as usize).max(1)
+    }
+
+    /// Execute a contiguous range of blocks on one node (ascending block
+    /// id, default [`ExecOptions`]). Returns accumulated stats.
     pub fn run_blocks(
         &mut self,
         node: usize,
@@ -83,15 +107,34 @@ impl SimCluster {
         blocks: Range<u64>,
         args: &[Arg],
     ) -> Result<BlockStats, ExecError> {
-        let pool = &mut self.pools[node];
-        let mut total = BlockStats::default();
-        for b in blocks {
-            total += execute_block(kernel, launch, b, args, pool)?;
-        }
-        Ok(total)
+        self.run_blocks_opts(node, kernel, launch, blocks, args, &ExecOptions::default())
     }
 
-    /// Execute per-node block ranges **in parallel** (one thread per node).
+    /// [`SimCluster::run_blocks`] with explicit executor options.
+    pub fn run_blocks_opts(
+        &mut self,
+        node: usize,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        blocks: Range<u64>,
+        args: &[Arg],
+        opts: &ExecOptions,
+    ) -> Result<BlockStats, ExecError> {
+        match opts.engine {
+            EngineKind::TreeWalk => {
+                execute_block_range(kernel, launch, blocks, args, &mut self.pools[node])
+            }
+            EngineKind::Bytecode => {
+                let prog = Program::compile(kernel, launch, args)?;
+                let nblocks = blocks.end.saturating_sub(blocks.start);
+                let workers = self.intra_node_workers(opts, 1, nblocks);
+                run_range_parallel(&prog, &mut self.pools[node], blocks, workers)
+            }
+        }
+    }
+
+    /// Execute per-node block ranges **in parallel** (one thread per node,
+    /// default [`ExecOptions`]).
     ///
     /// `assignments[i]` is the block range node `i` executes. Ranges need
     /// not be disjoint — callback phases intentionally run the same blocks
@@ -103,20 +146,80 @@ impl SimCluster {
         assignments: &[Range<u64>],
         args: &[Arg],
     ) -> Result<Vec<BlockStats>, ExecError> {
+        self.run_blocks_parallel_opts(kernel, launch, assignments, args, &ExecOptions::default())
+    }
+
+    /// [`SimCluster::run_blocks_parallel`] with explicit executor options.
+    /// On the bytecode path the kernel is compiled **once** and the program
+    /// shared read-only by every node thread.
+    pub fn run_blocks_parallel_opts(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        assignments: &[Range<u64>],
+        args: &[Arg],
+        opts: &ExecOptions,
+    ) -> Result<Vec<BlockStats>, ExecError> {
         assert_eq!(assignments.len(), self.pools.len());
+        match opts.engine {
+            EngineKind::TreeWalk => {
+                let mut results: Vec<Result<BlockStats, ExecError>> = Vec::new();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .pools
+                        .iter_mut()
+                        .zip(assignments.iter().cloned())
+                        .map(|(pool, range)| {
+                            s.spawn(move || execute_block_range(kernel, launch, range, args, pool))
+                        })
+                        .collect();
+                    for h in handles {
+                        results.push(h.join().expect("node thread panicked"));
+                    }
+                });
+                results.into_iter().collect()
+            }
+            EngineKind::Bytecode => {
+                let prog = Program::compile(kernel, launch, args)?;
+                self.run_program_parallel(&prog, assignments, opts)
+            }
+        }
+    }
+
+    /// Execute per-node block ranges of an already-compiled [`Program`] in
+    /// parallel (one thread per node, each optionally fanning out across
+    /// intra-node workers). Compile once per launch, then reuse the program
+    /// for every phase that shares the launch — this is the engine's
+    /// compile-once contract.
+    pub fn run_program_parallel(
+        &mut self,
+        prog: &Program,
+        assignments: &[Range<u64>],
+        opts: &ExecOptions,
+    ) -> Result<Vec<BlockStats>, ExecError> {
+        assert_eq!(assignments.len(), self.pools.len());
+        let nodes_running = assignments.iter().filter(|r| !r.is_empty()).count();
+        let workers: Vec<usize> = assignments
+            .iter()
+            .map(|r| {
+                let nblocks = r.end.saturating_sub(r.start);
+                self.intra_node_workers(opts, nodes_running, nblocks)
+            })
+            .collect();
         let mut results: Vec<Result<BlockStats, ExecError>> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .pools
                 .iter_mut()
                 .zip(assignments.iter().cloned())
-                .map(|(pool, range)| {
+                .zip(workers.iter().copied())
+                .map(|((pool, range), w)| {
                     s.spawn(move || {
-                        let mut total = BlockStats::default();
-                        for b in range {
-                            total += execute_block(kernel, launch, b, args, pool)?;
+                        if w <= 1 {
+                            run_range(prog, pool, range)
+                        } else {
+                            run_range_parallel(prog, pool, range, w)
                         }
-                        Ok(total)
                     })
                 })
                 .collect();
@@ -328,6 +431,47 @@ mod tests {
         }
         // Bytes outside the region untouched.
         assert_eq!(&c.read(0, b)[0..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn engines_and_intra_node_parallelism_agree() {
+        let k = parse_kernel(
+            "__global__ void sq(float* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[id] = (float)(id) * (float)(id);
+            }",
+        )
+        .unwrap();
+        let n = 4096u64;
+        let launch = LaunchConfig::cover1(n, 64);
+        let assignments = vec![
+            0..launch.num_blocks() / 2,
+            launch.num_blocks() / 2..launch.num_blocks(),
+        ];
+        let run = |opts: &ExecOptions| {
+            let mut c = small_cluster(2);
+            let b = c.alloc(n as usize * 4);
+            let args = [Arg::Buffer(b), Arg::int(n as i64)];
+            let stats = c
+                .run_blocks_parallel_opts(&k, launch, &assignments, &args, opts)
+                .unwrap();
+            (stats, c.read(0, b).to_vec(), c.read(1, b).to_vec())
+        };
+        let tree = run(&ExecOptions {
+            engine: EngineKind::TreeWalk,
+            ..ExecOptions::default()
+        });
+        let byte = run(&ExecOptions {
+            engine: EngineKind::Bytecode,
+            ..ExecOptions::default()
+        });
+        let par = run(&ExecOptions {
+            engine: EngineKind::Bytecode,
+            node_threads: 4,
+            block_parallel: true,
+        });
+        assert_eq!(tree, byte, "bytecode engine diverged from tree-walk");
+        assert_eq!(tree, par, "intra-node parallel run diverged");
     }
 
     #[test]

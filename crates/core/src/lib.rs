@@ -50,6 +50,7 @@ pub mod runtime;
 pub mod transform;
 
 pub use compile::{compile, compile_source, CompiledKernel};
+pub use cucc_exec::EngineKind;
 pub use error::MigrateError;
 pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
 pub use report::{ExecMode, LaunchReport, PhaseTimes};

@@ -6,7 +6,7 @@ use crate::error::MigrateError;
 use crate::report::{ExecMode, LaunchReport, PhaseTimes};
 use cucc_analysis::{plan_launch, Plan, ReplicationCause, ThreePhasePlan};
 use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec, SimCluster};
-use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile};
+use cucc_exec::{profile_launch, Arg, BufferId, EngineKind, ExecOptions, LaunchProfile, Program};
 use cucc_ir::LaunchConfig;
 use cucc_net::{allgather_cost_traced, broadcast_traced, AllgatherAlgo, AllgatherPlacement};
 use cucc_trace::{Category, Mark, Timeline, Track};
@@ -37,6 +37,12 @@ pub struct RuntimeConfig {
     pub verify_consistency: bool,
     /// Blocks sampled per profile.
     pub profile_samples: usize,
+    /// Which executor runs functional blocks (bytecode engine by default;
+    /// the tree-walk interpreter remains available as the oracle).
+    pub engine: EngineKind,
+    /// Worker threads per node for intra-node block parallelism
+    /// (`0` = derive from host parallelism and the node's core count).
+    pub node_threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -47,6 +53,8 @@ impl Default for RuntimeConfig {
             placement: AllgatherPlacement::InPlace,
             verify_consistency: true,
             profile_samples: 3,
+            engine: EngineKind::default(),
+            node_threads: 0,
         }
     }
 }
@@ -442,9 +450,25 @@ impl CuccCluster {
         }
         if self.config.fidelity == ExecutionFidelity::Functional {
             let assignments: Vec<_> = (0..n).map(|i| i * pbn..(i + 1) * pbn).collect();
-            let stats = self
-                .sim
-                .run_blocks_parallel(&ck.kernel, launch, &assignments, args)?;
+            // Three-phase plans are Allgather-distributable — per-block
+            // write intervals are disjoint — so intra-node block
+            // parallelism is safe to enable here.
+            let opts = ExecOptions {
+                engine: self.config.engine,
+                node_threads: self.config.node_threads,
+                block_parallel: true,
+            };
+            // Compile once per launch; both execution phases reuse it.
+            let prog = match opts.engine {
+                EngineKind::Bytecode => Some(Program::compile(&ck.kernel, launch, args)?),
+                EngineKind::TreeWalk => None,
+            };
+            let stats = if let Some(prog) = &prog {
+                self.sim.run_program_parallel(prog, &assignments, &opts)?
+            } else {
+                self.sim
+                    .run_blocks_parallel_opts(&ck.kernel, launch, &assignments, args, &opts)?
+            };
             for region in &tp.buffers {
                 let unit = region.unit * part.chunks_per_node;
                 let Arg::Buffer(id) = args[region.param.index()] else {
@@ -464,9 +488,12 @@ impl CuccCluster {
                 }
             }
             let cb: Vec<_> = (0..n).map(|_| part.callback_start..tp.num_blocks).collect();
-            let cb_stats = self
-                .sim
-                .run_blocks_parallel(&ck.kernel, launch, &cb, args)?;
+            let cb_stats = if let Some(prog) = &prog {
+                self.sim.run_program_parallel(prog, &cb, &opts)?
+            } else {
+                self.sim
+                    .run_blocks_parallel_opts(&ck.kernel, launch, &cb, args, &opts)?
+            };
             node_stats = stats[0] + cb_stats[0];
         }
 
@@ -522,9 +549,16 @@ impl CuccCluster {
         let mut node_stats = profile.total;
         if self.config.fidelity == ExecutionFidelity::Functional {
             let all: Vec<_> = (0..n).map(|_| 0..launch.num_blocks()).collect();
+            // Replicated launches are exactly the non-distributable ones
+            // (atomics, overlapping writes): keep blocks serial per node.
+            let opts = ExecOptions {
+                engine: self.config.engine,
+                node_threads: self.config.node_threads,
+                block_parallel: false,
+            };
             let stats = self
                 .sim
-                .run_blocks_parallel(&ck.kernel, launch, &all, args)?;
+                .run_blocks_parallel_opts(&ck.kernel, launch, &all, args, &opts)?;
             node_stats = stats[0];
         }
         // Every node redundantly runs the whole grid; the legacy accounting
@@ -776,6 +810,57 @@ mod tests {
         assert!(cl.clock() > before);
         cl.reset_clock();
         assert_eq!(cl.clock(), 0.0);
+    }
+
+    #[test]
+    fn engines_produce_identical_launches() {
+        // Same kernel, same data: tree-walk and bytecode (with intra-node
+        // parallelism) must agree on memory, stats, times and wire bytes.
+        let ck = compile_source(
+            "__global__ void saxpy(float* x, float* y, float a, int n) {
+                int id = blockDim.x * blockIdx.x + threadIdx.x;
+                if (id < n) y[id] = a * x[id] + y[id];
+            }",
+        )
+        .unwrap();
+        let n = 10_000usize;
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let ys: Vec<f32> = (0..n).map(|i| i as f32 * 0.125).collect();
+        let launch = LaunchConfig::cover1(n as u64, 128);
+        let run = |engine: EngineKind, node_threads: usize| {
+            let cfg = RuntimeConfig {
+                engine,
+                node_threads,
+                ..RuntimeConfig::default()
+            };
+            let mut cl = CuccCluster::new(spec(3), cfg);
+            let cx = cl.alloc(n * 4);
+            let cy = cl.alloc(n * 4);
+            cl.h2d_f32(cx, &xs);
+            cl.h2d_f32(cy, &ys);
+            let report = cl
+                .launch(
+                    &ck,
+                    launch,
+                    &[
+                        Arg::Buffer(cx),
+                        Arg::Buffer(cy),
+                        Arg::float(0.75),
+                        Arg::int(n as i64),
+                    ],
+                )
+                .unwrap();
+            (cl.d2h_f32(cy), report)
+        };
+        let (mem_tree, rep_tree) = run(EngineKind::TreeWalk, 0);
+        let (mem_byte, rep_byte) = run(EngineKind::Bytecode, 0);
+        let (mem_par, rep_par) = run(EngineKind::Bytecode, 4);
+        assert_eq!(mem_tree, mem_byte);
+        assert_eq!(mem_tree, mem_par);
+        assert_eq!(rep_tree.node_stats, rep_byte.node_stats);
+        assert_eq!(rep_tree.node_stats, rep_par.node_stats);
+        assert_eq!(rep_tree.times, rep_byte.times);
+        assert_eq!(rep_tree.wire_bytes, rep_byte.wire_bytes);
     }
 
     #[test]

@@ -1,0 +1,1323 @@
+//! Bytecode lowering: compile a [`Kernel`] **once per launch** into a flat,
+//! register-based instruction stream.
+//!
+//! The tree-walk interpreter in [`crate::interp`] re-walks the `Stmt`/`Expr`
+//! AST for every thread of every block. For a launch, though, almost
+//! everything about that walk is invariant: variable slots, the shape of
+//! control flow, the split into barrier phases, `blockDim`/`gridDim` and
+//! every scalar parameter. [`Program::compile`] resolves all of it ahead of
+//! time:
+//!
+//! * variables map to fixed low registers, expression temporaries to a
+//!   compact stack of scratch registers above them;
+//! * scalar params, `blockDim`/`gridDim` and constant subtrees fold into
+//!   [`Inst::Const`] instructions that carry the op counts the folded code
+//!   would have charged (stat parity with the oracle is bit-for-bit);
+//! * buffer params resolve to [`crate::memory::BufferId`]s in a dense
+//!   memory-slot table (see `Kernel::mem_slot`);
+//! * `__syncthreads()` phase boundaries are precomputed into a [`PhaseOp`]
+//!   tree instead of being rediscovered per block via `contains_barrier`.
+//!
+//! Execution of the compiled form lives in [`crate::engine`]. Every
+//! instruction replicates the interpreter's *exact* dynamic statistics
+//! semantics (which operations count as int vs float ops, address
+//! arithmetic, traffic counters), so `BlockStats` from both executors agree
+//! bit-for-bit — enforced by the differential proptest suite.
+
+use crate::interp::{
+    check_args, contains_barrier, eval_binop, eval_intrinsic, eval_unop, Arg, ExecError,
+};
+use crate::memory::BufferId;
+use crate::stats::intrinsic_weight;
+use cucc_ir::{
+    AtomicOp, Axis, BinOp, Expr, Intrinsic, Kernel, LaunchConfig, MemRef, MemSpace, Scalar, Stmt,
+    UnOp, Value, ValueKind,
+};
+
+/// Register index into a thread's register file. Registers `0..num_vars`
+/// hold the kernel's scalar variables; higher registers are expression
+/// temporaries.
+pub(crate) type Reg = u32;
+
+/// What a dense memory slot refers to.
+#[derive(Debug, Clone)]
+pub(crate) enum SlotKind {
+    /// A global buffer, already bound to its launch argument.
+    Global { buf: BufferId },
+    /// `__shared__` array `idx` (per block).
+    Shared { idx: u32 },
+    /// Local array `idx` (per thread).
+    Local { idx: u32 },
+}
+
+/// Compile-time metadata for one referenced memory slot.
+#[derive(Debug, Clone)]
+pub(crate) struct MemSlotInfo {
+    pub kind: SlotKind,
+    pub elem: Scalar,
+    /// Source name, for out-of-bounds diagnostics.
+    pub name: String,
+    /// Element count for shared/local arrays (globals are sized by the pool
+    /// at run time).
+    pub len_elems: usize,
+}
+
+/// One bytecode instruction.
+///
+/// Jump targets are absolute indices into [`Program::code`]. Instructions
+/// that stand in for folded or control-flow work carry the op counts the
+/// interpreter would have charged, keeping `BlockStats` bit-identical.
+#[derive(Debug, Clone)]
+pub(crate) enum Inst {
+    /// `dst ← v`, charging the ops of the constant-folded subtree.
+    Const {
+        dst: Reg,
+        v: Value,
+        int_ops: u32,
+        float_ops: u32,
+    },
+    /// `dst ← threadIdx.<axis>`.
+    Tid {
+        dst: Reg,
+        axis: Axis,
+    },
+    /// `dst ← blockIdx.<axis>` (the only launch-invariant special that
+    /// cannot fold: it varies per block).
+    Bid {
+        dst: Reg,
+        axis: Axis,
+    },
+    /// `dst ← src` (variable reads and assignments).
+    Copy {
+        dst: Reg,
+        src: Reg,
+    },
+    Unary {
+        dst: Reg,
+        op: UnOp,
+        src: Reg,
+    },
+    Binary {
+        dst: Reg,
+        op: BinOp,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    /// Fused `dst ← a * b + c`, the dominant FMA shape in GPU kernels.
+    /// Charges exactly what the interpreter charges for the `Mul` then the
+    /// `Add` (each int or float by its operands' kinds); neither op can
+    /// fault, so the fusion is observationally identical.
+    MulAdd {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
+    Cast {
+        dst: Reg,
+        ty: Scalar,
+        src: Reg,
+    },
+    Intrin1 {
+        dst: Reg,
+        f: Intrinsic,
+        a: Reg,
+    },
+    Intrin2 {
+        dst: Reg,
+        f: Intrinsic,
+        a: Reg,
+        b: Reg,
+    },
+    /// `dst ← (src != 0) as 0/1` — logical-operator normalization; charges
+    /// nothing (the interpreter's `&&`/`||` charge only the decision op).
+    Test {
+        dst: Reg,
+        src: Reg,
+    },
+    Load {
+        dst: Reg,
+        slot: u32,
+        idx: Reg,
+    },
+    Store {
+        slot: u32,
+        idx: Reg,
+        val: Reg,
+    },
+    AtomicRmw {
+        op: cucc_ir::AtomicOp,
+        slot: u32,
+        idx: Reg,
+        val: Reg,
+    },
+    Jump {
+        target: u32,
+    },
+    /// Charge `int_ops` (the branch/short-circuit decision), then jump when
+    /// the register is falsy.
+    JumpIfFalse {
+        cond: Reg,
+        target: u32,
+        int_ops: u32,
+    },
+    /// Charge `int_ops`, then jump when the register is truthy.
+    JumpIfTrue {
+        cond: Reg,
+        target: u32,
+        int_ops: u32,
+    },
+    /// For-loop entry. Registers `start`/`end`/`step` hold the evaluated
+    /// bounds; they are normalized to `I64` in place, `start` becoming the
+    /// *private* induction register (the body may freely clobber the loop
+    /// variable without affecting iteration, exactly like the tree-walk
+    /// interpreter's local induction value). Zero step errors; a zero trip
+    /// count leaves `var = start` and jumps to `exit`.
+    ForInit {
+        var: Reg,
+        start: Reg,
+        end: Reg,
+        step: Reg,
+        exit: u32,
+    },
+    /// For-loop back edge: charge the induction update + test (2 int ops),
+    /// advance the private induction register and the variable, and jump to
+    /// `back` while the loop condition holds. `ind` is the `start` register
+    /// of the matching [`Inst::ForInit`].
+    ForNext {
+        var: Reg,
+        ind: Reg,
+        end: Reg,
+        step: Reg,
+        back: u32,
+    },
+    /// Thread returns: terminate this thread for the rest of the launch.
+    Return,
+}
+
+/// One step of the precomputed barrier-phase schedule (the MCUDA/CuPBoP
+/// loop-fission structure, discovered once at compile time instead of per
+/// block).
+#[derive(Debug, Clone)]
+pub(crate) enum PhaseOp {
+    /// A maximal barrier-free code range: every live thread runs
+    /// `code[start..end]` to completion before the next phase op. `batch`
+    /// is the inst-major execution mode [`seg_batchable`] proved safe.
+    Seg {
+        start: u32,
+        end: u32,
+        batch: BatchKind,
+    },
+    /// `__syncthreads()` — charges one barrier per block.
+    Barrier,
+    /// Uniform loop around a barrier. `bounds` is a code range evaluated
+    /// once on thread 0's registers (op counts charged once, as in the
+    /// oracle), leaving start/end/step in `sreg`/`ereg`/`streg`.
+    UniformFor {
+        var: Reg,
+        bounds: (u32, u32),
+        sreg: Reg,
+        ereg: Reg,
+        streg: Reg,
+        body: Vec<PhaseOp>,
+    },
+    /// Uniform branch around a barrier: `cond` code runs on thread 0 only.
+    UniformIf {
+        cond: (u32, u32),
+        creg: Reg,
+        then_ops: Vec<PhaseOp>,
+        else_ops: Vec<PhaseOp>,
+    },
+}
+
+/// A kernel compiled for one specific launch (geometry and arguments bound).
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) code: Vec<Inst>,
+    pub(crate) phases: Vec<PhaseOp>,
+    /// Registers per thread (variables + peak temporaries).
+    pub(crate) num_regs: u32,
+    /// Leading registers holding kernel variables. Only these need zeroing
+    /// between blocks: temporaries are always written before they are read.
+    pub(crate) num_vars: u32,
+    /// Launch-invariant constants, splatted once per run into the registers
+    /// starting at `const_base` (above the temporaries) and never written
+    /// again — so `reset` between blocks leaves them intact.
+    pub(crate) const_pool: Vec<Value>,
+    pub(crate) const_base: u32,
+    /// Pooled `threadIdx` axes: per-thread but block-invariant values in
+    /// the registers right after the constants, written once per run.
+    pub(crate) tid_pool: Vec<Axis>,
+    /// Slot metadata, indexed by `Kernel::mem_slot` numbering. Slots the
+    /// kernel never references (e.g. scalar parameters) stay `None`.
+    pub(crate) slots: Vec<Option<MemSlotInfo>>,
+    /// Byte sizes of the shared arrays (one image per block).
+    pub(crate) shared_sizes: Vec<usize>,
+    /// Byte sizes of the local arrays (one image per thread each).
+    pub(crate) local_sizes: Vec<usize>,
+    pub(crate) launch: LaunchConfig,
+    kernel_name: String,
+    has_global_atomics: bool,
+}
+
+impl Program {
+    /// Compile `kernel` for one launch: arguments are checked and bound,
+    /// constants folded, phases precomputed. The returned program is
+    /// immutable and reusable across blocks, nodes and worker threads.
+    pub fn compile(
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<Program, ExecError> {
+        check_args(kernel, args)?;
+        let num_vars = kernel.num_vars() as u32;
+        let mut c = Compiler {
+            kernel,
+            launch,
+            args,
+            code: Vec::with_capacity(kernel.flat_stmt_count() * 4),
+            slots: vec![None; kernel.num_mem_slots()],
+            next_reg: num_vars,
+            max_reg: num_vars,
+            consts: Vec::new(),
+            tids: Vec::new(),
+        };
+        let mut phases = c.lower_phases(&kernel.body)?;
+        mark_batchable(&mut phases, &c.code, &c.slots);
+        let (const_base, num_regs) = c.finish_regs();
+        let mut has_global_atomics = false;
+        kernel.visit_stmts(&mut |s| {
+            if let Stmt::AtomicRmw { mem, .. } = s {
+                if mem.space() == MemSpace::Global {
+                    has_global_atomics = true;
+                }
+            }
+        });
+        Ok(Program {
+            code: c.code,
+            phases,
+            num_regs,
+            num_vars,
+            const_pool: c.consts,
+            const_base,
+            tid_pool: c.tids,
+            slots: c.slots,
+            shared_sizes: kernel.shared.iter().map(|a| a.size_bytes()).collect(),
+            local_sizes: kernel.locals.iter().map(|a| a.size_bytes()).collect(),
+            launch,
+            kernel_name: kernel.name.clone(),
+            has_global_atomics,
+        })
+    }
+
+    /// The launch geometry this program was compiled for.
+    pub fn launch(&self) -> LaunchConfig {
+        self.launch
+    }
+
+    /// Name of the source kernel.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// Number of instructions in the flat stream.
+    pub fn num_insts(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Compact human-readable phase schedule — segment ranges with their
+    /// batch modes — for tests and diagnostics.
+    pub fn phase_summary(&self) -> String {
+        fn fmt(ops: &[PhaseOp], out: &mut String) {
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                match op {
+                    PhaseOp::Seg { start, end, batch } => {
+                        let tag = match batch {
+                            BatchKind::No => "seg",
+                            BatchKind::Predicated => "pred",
+                            BatchKind::Dense => "dense",
+                        };
+                        out.push_str(&format!("{tag}[{start}..{end}]"));
+                    }
+                    PhaseOp::Barrier => out.push_str("bar"),
+                    PhaseOp::UniformFor { body, .. } => {
+                        out.push_str("for(");
+                        fmt(body, out);
+                        out.push(')');
+                    }
+                    PhaseOp::UniformIf {
+                        then_ops, else_ops, ..
+                    } => {
+                        out.push_str("if(");
+                        fmt(then_ops, out);
+                        out.push_str(")(");
+                        fmt(else_ops, out);
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        let mut s = String::new();
+        fmt(&self.phases, &mut s);
+        s
+    }
+
+    /// True when the kernel performs atomics on global memory. Such kernels
+    /// interleave read-modify-writes across blocks, so the engine refuses to
+    /// chunk their block range across intra-node workers (serial fallback).
+    pub fn serial_only(&self) -> bool {
+        self.has_global_atomics
+    }
+}
+
+/// Result of constant-folding a subtree: the value plus the op counts the
+/// interpreter would have charged evaluating it.
+#[derive(Clone, Copy)]
+struct Folded {
+    v: Value,
+    int_ops: u32,
+    float_ops: u32,
+}
+
+impl Folded {
+    fn pure(v: Value) -> Folded {
+        Folded {
+            v,
+            int_ops: 0,
+            float_ops: 0,
+        }
+    }
+
+    fn count(mut self, kind: ValueKind) -> Folded {
+        match kind {
+            ValueKind::Int => self.int_ops += 1,
+            ValueKind::Float => self.float_ops += 1,
+        }
+        self
+    }
+
+    fn plus_ops(mut self, other: Folded) -> Folded {
+        self.int_ops += other.int_ops;
+        self.float_ops += other.float_ops;
+        self
+    }
+}
+
+/// Virtual register base for launch-invariant constants during lowering;
+/// [`Compiler::finish_regs`] relocates them above the temporaries.
+const CONST_BASE: Reg = 1 << 30;
+
+/// Virtual register base for pooled `threadIdx` reads (per-thread but
+/// block-invariant, so they are written once per run like constants).
+const TID_BASE: Reg = 1 << 29;
+
+struct Compiler<'a> {
+    kernel: &'a Kernel,
+    launch: LaunchConfig,
+    args: &'a [Arg],
+    code: Vec<Inst>,
+    slots: Vec<Option<MemSlotInfo>>,
+    next_reg: Reg,
+    max_reg: Reg,
+    /// Launch-invariant constant pool: values the engine writes into
+    /// dedicated registers once per run instead of re-materializing with a
+    /// `Const` instruction in every block × thread.
+    consts: Vec<Value>,
+    /// Pooled `threadIdx` axes, same idea per thread (see [`TID_BASE`]).
+    tids: Vec<Axis>,
+}
+
+impl<'a> Compiler<'a> {
+    // ---- register allocation ------------------------------------------
+
+    fn mark(&self) -> Reg {
+        self.next_reg
+    }
+
+    fn restore(&mut self, mark: Reg) {
+        self.next_reg = mark;
+    }
+
+    fn alloc_tmp(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.max_reg = self.max_reg.max(self.next_reg);
+        r
+    }
+
+    /// Dedicated read-only register for a launch-invariant value
+    /// (deduplicated bitwise, so `-0.0` and `0.0` stay distinct).
+    fn const_reg(&mut self, v: Value) -> Reg {
+        let bits = |v: Value| match v {
+            Value::I64(i) => (0u8, i as u64),
+            Value::F64(f) => (1u8, f.to_bits()),
+        };
+        let k = bits(v);
+        let i = match self.consts.iter().position(|c| bits(*c) == k) {
+            Some(i) => i,
+            None => {
+                self.consts.push(v);
+                self.consts.len() - 1
+            }
+        };
+        CONST_BASE + i as Reg
+    }
+
+    /// Dedicated read-only register for a `threadIdx.<axis>` read.
+    fn tid_reg(&mut self, axis: Axis) -> Reg {
+        let i = match self.tids.iter().position(|a| *a == axis) {
+            Some(i) => i,
+            None => {
+                self.tids.push(axis);
+                self.tids.len() - 1
+            }
+        };
+        TID_BASE + i as Reg
+    }
+
+    /// Relocate pooled registers from their virtual ranges to just above
+    /// the temporaries — layout `[vars][temps][consts][tids]` — returning
+    /// `(const_base, num_regs)`.
+    fn finish_regs(&mut self) -> (u32, u32) {
+        let base = self.max_reg.max(1);
+        debug_assert!(base < TID_BASE, "register file overflow");
+        let tid_base = base + self.consts.len() as u32;
+        let remap = |r: &mut Reg| {
+            if *r >= CONST_BASE {
+                *r = base + (*r - CONST_BASE);
+            } else if *r >= TID_BASE {
+                *r = tid_base + (*r - TID_BASE);
+            }
+        };
+        for inst in &mut self.code {
+            match inst {
+                Inst::Const { dst, .. } | Inst::Tid { dst, .. } | Inst::Bid { dst, .. } => {
+                    remap(dst)
+                }
+                Inst::Copy { dst, src }
+                | Inst::Unary { dst, src, .. }
+                | Inst::Cast { dst, src, .. }
+                | Inst::Test { dst, src } => {
+                    remap(dst);
+                    remap(src);
+                }
+                Inst::Binary { dst, lhs, rhs, .. } => {
+                    remap(dst);
+                    remap(lhs);
+                    remap(rhs);
+                }
+                Inst::MulAdd { dst, a, b, c } => {
+                    remap(dst);
+                    remap(a);
+                    remap(b);
+                    remap(c);
+                }
+                Inst::Intrin1 { dst, a, .. } => {
+                    remap(dst);
+                    remap(a);
+                }
+                Inst::Intrin2 { dst, a, b, .. } => {
+                    remap(dst);
+                    remap(a);
+                    remap(b);
+                }
+                Inst::Load { dst, idx, .. } => {
+                    remap(dst);
+                    remap(idx);
+                }
+                Inst::Store { idx, val, .. } | Inst::AtomicRmw { idx, val, .. } => {
+                    remap(idx);
+                    remap(val);
+                }
+                Inst::JumpIfFalse { cond, .. } | Inst::JumpIfTrue { cond, .. } => remap(cond),
+                Inst::ForInit {
+                    var,
+                    start,
+                    end,
+                    step,
+                    ..
+                } => {
+                    // Loop bounds are always materialized into private
+                    // temporaries (`ForInit` normalizes them in place), so
+                    // none of these can be pooled; remap defensively anyway.
+                    remap(var);
+                    remap(start);
+                    remap(end);
+                    remap(step);
+                }
+                Inst::ForNext {
+                    var,
+                    ind,
+                    end,
+                    step,
+                    ..
+                } => {
+                    remap(var);
+                    remap(ind);
+                    remap(end);
+                    remap(step);
+                }
+                Inst::Jump { .. } | Inst::Return => {}
+            }
+        }
+        (base, tid_base + self.tids.len() as u32)
+    }
+
+    // ---- code emission -------------------------------------------------
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn emit(&mut self, i: Inst) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn patch_target(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Inst::Jump { target: t }
+            | Inst::JumpIfFalse { target: t, .. }
+            | Inst::JumpIfTrue { target: t, .. }
+            | Inst::ForInit { exit: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    // ---- memory slots ---------------------------------------------------
+
+    fn slot(&mut self, mem: MemRef) -> u32 {
+        let i = self.kernel.mem_slot(mem);
+        if self.slots[i].is_none() {
+            let elem = self.kernel.elem_type(mem);
+            let info = match mem {
+                MemRef::Global(p) => {
+                    let Arg::Buffer(id) = self.args[p.index()] else {
+                        unreachable!("checked by check_args + validation");
+                    };
+                    MemSlotInfo {
+                        kind: SlotKind::Global { buf: id },
+                        elem,
+                        name: self.kernel.params[p.index()].name().to_string(),
+                        len_elems: 0,
+                    }
+                }
+                MemRef::Shared(s) => {
+                    let d = &self.kernel.shared[s as usize];
+                    MemSlotInfo {
+                        kind: SlotKind::Shared { idx: s },
+                        elem,
+                        name: d.name.clone(),
+                        len_elems: d.len,
+                    }
+                }
+                MemRef::Local(l) => {
+                    let d = &self.kernel.locals[l as usize];
+                    MemSlotInfo {
+                        kind: SlotKind::Local { idx: l },
+                        elem,
+                        name: d.name.clone(),
+                        len_elems: d.len,
+                    }
+                }
+            };
+            self.slots[i] = Some(info);
+        }
+        i as u32
+    }
+
+    // ---- constant folding -----------------------------------------------
+
+    /// Fold a subtree whose value is fully determined at compile time
+    /// (launch geometry and scalar arguments included), accumulating the op
+    /// counts the interpreter would charge. Subtrees that would *error* at
+    /// run time (constant division by zero) are deliberately not folded, so
+    /// the error surfaces with oracle-identical behaviour.
+    fn fold(&self, e: &Expr) -> Option<Folded> {
+        Some(match e {
+            Expr::IntConst(v) => Folded::pure(Value::I64(*v)),
+            Expr::FloatConst(v) => Folded::pure(Value::F64(*v)),
+            Expr::BlockDim(a) => Folded::pure(Value::I64(self.launch.block.get(*a) as i64)),
+            Expr::GridDim(a) => Folded::pure(Value::I64(self.launch.grid.get(*a) as i64)),
+            Expr::Param(p) => {
+                let Arg::Scalar(v) = self.args[p.index()] else {
+                    unreachable!("checked by check_args + validation");
+                };
+                Folded::pure(v.convert_to(self.kernel.params[p.index()].scalar()))
+            }
+            Expr::Unary { op, arg } => {
+                let a = self.fold(arg)?;
+                let v = eval_unop(*op, a.v);
+                Folded { v, ..a }.count(a.v.kind())
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                // Short-circuit: a decided lhs folds even when rhs cannot
+                // (the interpreter would never evaluate it either).
+                BinOp::LAnd => {
+                    let l = self.fold(lhs)?.count(ValueKind::Int);
+                    if !l.v.is_true() {
+                        Folded {
+                            v: Value::I64(0),
+                            ..l
+                        }
+                    } else {
+                        let r = self.fold(rhs)?;
+                        Folded {
+                            v: Value::I64(i64::from(r.v.is_true())),
+                            ..l.plus_ops(r)
+                        }
+                    }
+                }
+                BinOp::LOr => {
+                    let l = self.fold(lhs)?.count(ValueKind::Int);
+                    if l.v.is_true() {
+                        Folded {
+                            v: Value::I64(1),
+                            ..l
+                        }
+                    } else {
+                        let r = self.fold(rhs)?;
+                        Folded {
+                            v: Value::I64(i64::from(r.v.is_true())),
+                            ..l.plus_ops(r)
+                        }
+                    }
+                }
+                _ => {
+                    let l = self.fold(lhs)?;
+                    let r = self.fold(rhs)?;
+                    let float = l.v.kind() == ValueKind::Float || r.v.kind() == ValueKind::Float;
+                    let v = eval_binop(*op, l.v, r.v, float).ok()?;
+                    let kind = if float {
+                        ValueKind::Float
+                    } else {
+                        ValueKind::Int
+                    };
+                    Folded { v, ..l.plus_ops(r) }.count(kind)
+                }
+            },
+            Expr::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let c = self.fold(cond)?.count(ValueKind::Int);
+                let taken = if c.v.is_true() {
+                    self.fold(then_value)?
+                } else {
+                    self.fold(else_value)?
+                };
+                Folded {
+                    v: taken.v,
+                    ..c.plus_ops(taken)
+                }
+            }
+            Expr::Cast { ty, arg } => {
+                let a = self.fold(arg)?;
+                Folded {
+                    v: a.v.convert_to(*ty),
+                    ..a
+                }
+                .count(ty.kind())
+            }
+            Expr::Call { f, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                let mut acc = Folded::pure(Value::I64(0));
+                for a in args {
+                    let fa = self.fold(a)?;
+                    vals.push(fa.v);
+                    acc = acc.plus_ops(fa);
+                }
+                Folded {
+                    v: eval_intrinsic(*f, &vals),
+                    float_ops: acc.float_ops + intrinsic_weight(*f) as u32,
+                    int_ops: acc.int_ops,
+                }
+            }
+            Expr::ThreadIdx(_) | Expr::BlockIdx(_) | Expr::Var(_) | Expr::Load { .. } => {
+                return None
+            }
+        })
+    }
+
+    // ---- expression lowering --------------------------------------------
+
+    /// Lower `e` as a read-only operand: a variable reads its register
+    /// directly and a zero-charge constant its pooled register — no `Copy`
+    /// or `Const` instruction at all. Anything else materializes into a
+    /// fresh temporary; callers bracket the call with `mark`/`restore`.
+    ///
+    /// Never use this for registers an instruction later writes (`ForInit`
+    /// normalizes its bound registers in place).
+    fn lower_operand(&mut self, e: &Expr) -> Result<Reg, ExecError> {
+        if let Some(r) = self.pooled_operand(e) {
+            return Ok(r);
+        }
+        let t = self.alloc_tmp();
+        self.lower_expr(e, t)?;
+        Ok(t)
+    }
+
+    /// The register an operand can read without any code: a variable, a
+    /// pooled `threadIdx`, or a zero-charge launch-invariant constant.
+    fn pooled_operand(&mut self, e: &Expr) -> Option<Reg> {
+        match e {
+            Expr::Var(v) => return Some(v.0 as Reg),
+            Expr::ThreadIdx(a) => return Some(self.tid_reg(*a)),
+            _ => {}
+        }
+        if let Some(f) = self.fold(e) {
+            if f.int_ops == 0 && f.float_ops == 0 {
+                return Some(self.const_reg(f.v));
+            }
+        }
+        None
+    }
+
+    /// [`Self::lower_operand`], but a subexpression that does need code
+    /// reuses the caller's scratch register `dst` instead of a fresh
+    /// temporary (keeps deep left-leaning chains at constant register
+    /// pressure).
+    fn lower_operand_into(&mut self, e: &Expr, dst: Reg) -> Result<Reg, ExecError> {
+        if let Some(r) = self.pooled_operand(e) {
+            return Ok(r);
+        }
+        self.lower_expr(e, dst)?;
+        Ok(dst)
+    }
+
+    /// Lower `e` so its value lands in `dst`. `dst` must be a register this
+    /// subexpression owns — a temporary, or a variable register whose
+    /// current value `e` provably does not read (see [`expr_reads_var`]) —
+    /// because sub-lowering writes through it early.
+    fn lower_expr(&mut self, e: &Expr, dst: Reg) -> Result<(), ExecError> {
+        if let Some(f) = self.fold(e) {
+            self.emit(Inst::Const {
+                dst,
+                v: f.v,
+                int_ops: f.int_ops,
+                float_ops: f.float_ops,
+            });
+            return Ok(());
+        }
+        match e {
+            Expr::ThreadIdx(a) => {
+                self.emit(Inst::Tid { dst, axis: *a });
+            }
+            Expr::BlockIdx(a) => {
+                self.emit(Inst::Bid { dst, axis: *a });
+            }
+            Expr::Var(v) => {
+                self.emit(Inst::Copy {
+                    dst,
+                    src: v.0 as Reg,
+                });
+            }
+            Expr::Load { mem, index } => {
+                let idx = self.lower_operand_into(index, dst)?;
+                let slot = self.slot(*mem);
+                self.emit(Inst::Load { dst, slot, idx });
+            }
+            Expr::Unary { op, arg } => {
+                let src = self.lower_operand_into(arg, dst)?;
+                self.emit(Inst::Unary { dst, op: *op, src });
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::LAnd => {
+                    let c = self.lower_operand_into(lhs, dst)?;
+                    let jf = self.emit(Inst::JumpIfFalse {
+                        cond: c,
+                        target: 0,
+                        int_ops: 1,
+                    });
+                    self.lower_expr(rhs, dst)?;
+                    self.emit(Inst::Test { dst, src: dst });
+                    let j = self.emit(Inst::Jump { target: 0 });
+                    let f = self.here();
+                    self.patch_target(jf, f);
+                    self.emit(Inst::Const {
+                        dst,
+                        v: Value::I64(0),
+                        int_ops: 0,
+                        float_ops: 0,
+                    });
+                    let end = self.here();
+                    self.patch_target(j, end);
+                }
+                BinOp::LOr => {
+                    let c = self.lower_operand_into(lhs, dst)?;
+                    let jt = self.emit(Inst::JumpIfTrue {
+                        cond: c,
+                        target: 0,
+                        int_ops: 1,
+                    });
+                    self.lower_expr(rhs, dst)?;
+                    self.emit(Inst::Test { dst, src: dst });
+                    let j = self.emit(Inst::Jump { target: 0 });
+                    let t = self.here();
+                    self.patch_target(jt, t);
+                    self.emit(Inst::Const {
+                        dst,
+                        v: Value::I64(1),
+                        int_ops: 0,
+                        float_ops: 0,
+                    });
+                    let end = self.here();
+                    self.patch_target(j, end);
+                }
+                _ => {
+                    // Peephole: `a*b + c` fuses into one `MulAdd`. Operand
+                    // code is emitted in oracle evaluation order (a, b, c)
+                    // and the instruction charges the `Mul` and the `Add`
+                    // separately, so stats stay bit-identical; neither op
+                    // can fault, so behaviour is too.
+                    if *op == BinOp::Add {
+                        if let Expr::Binary {
+                            op: BinOp::Mul,
+                            lhs: a,
+                            rhs: b,
+                        } = lhs.as_ref()
+                        {
+                            let ra = self.lower_operand_into(a, dst)?;
+                            let m = self.mark();
+                            let rb = self.lower_operand(b)?;
+                            let rc = self.lower_operand(rhs)?;
+                            self.emit(Inst::MulAdd {
+                                dst,
+                                a: ra,
+                                b: rb,
+                                c: rc,
+                            });
+                            self.restore(m);
+                            return Ok(());
+                        }
+                    }
+                    let l = self.lower_operand_into(lhs, dst)?;
+                    let m = self.mark();
+                    let r = self.lower_operand(rhs)?;
+                    self.emit(Inst::Binary {
+                        dst,
+                        op: *op,
+                        lhs: l,
+                        rhs: r,
+                    });
+                    self.restore(m);
+                }
+            },
+            Expr::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let c = self.lower_operand_into(cond, dst)?;
+                let jf = self.emit(Inst::JumpIfFalse {
+                    cond: c,
+                    target: 0,
+                    int_ops: 1,
+                });
+                self.lower_expr(then_value, dst)?;
+                let j = self.emit(Inst::Jump { target: 0 });
+                let e0 = self.here();
+                self.patch_target(jf, e0);
+                self.lower_expr(else_value, dst)?;
+                let end = self.here();
+                self.patch_target(j, end);
+            }
+            Expr::Cast { ty, arg } => {
+                let src = self.lower_operand_into(arg, dst)?;
+                self.emit(Inst::Cast { dst, ty: *ty, src });
+            }
+            Expr::Call { f, args } => match args.len() {
+                1 => {
+                    let a = self.lower_operand_into(&args[0], dst)?;
+                    self.emit(Inst::Intrin1 { dst, f: *f, a });
+                }
+                2 => {
+                    let a = self.lower_operand_into(&args[0], dst)?;
+                    let m = self.mark();
+                    let b = self.lower_operand(&args[1])?;
+                    self.emit(Inst::Intrin2 { dst, f: *f, a, b });
+                    self.restore(m);
+                }
+                n => unreachable!("intrinsic arity {n} rejected by validation"),
+            },
+            Expr::IntConst(_)
+            | Expr::FloatConst(_)
+            | Expr::BlockDim(_)
+            | Expr::GridDim(_)
+            | Expr::Param(_) => unreachable!("always folded"),
+        }
+        Ok(())
+    }
+
+    // ---- statement lowering ---------------------------------------------
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), ExecError> {
+        match s {
+            Stmt::Assign { var, value } => {
+                if expr_reads_var(value, var.0) {
+                    // `value` reads the variable being assigned, and
+                    // `lower_expr` may clobber `dst` before the read —
+                    // stage through a temporary.
+                    let m = self.mark();
+                    let t = self.alloc_tmp();
+                    self.lower_expr(value, t)?;
+                    self.emit(Inst::Copy {
+                        dst: var.0 as Reg,
+                        src: t,
+                    });
+                    self.restore(m);
+                } else {
+                    self.lower_expr(value, var.0 as Reg)?;
+                }
+            }
+            Stmt::Store { mem, index, value } => {
+                let m = self.mark();
+                let idx = self.lower_operand(index)?;
+                let val = self.lower_operand(value)?;
+                let slot = self.slot(*mem);
+                self.emit(Inst::Store { slot, idx, val });
+                self.restore(m);
+            }
+            Stmt::AtomicRmw {
+                op,
+                mem,
+                index,
+                value,
+            } => {
+                let m = self.mark();
+                let idx = self.lower_operand(index)?;
+                let val = self.lower_operand(value)?;
+                let slot = self.slot(*mem);
+                self.emit(Inst::AtomicRmw {
+                    op: *op,
+                    slot,
+                    idx,
+                    val,
+                });
+                self.restore(m);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let m = self.mark();
+                let c = self.lower_operand(cond)?;
+                self.restore(m);
+                let jf = self.emit(Inst::JumpIfFalse {
+                    cond: c,
+                    target: 0,
+                    int_ops: 1,
+                });
+                for s in then_body {
+                    self.lower_stmt(s)?;
+                }
+                if else_body.is_empty() {
+                    let end = self.here();
+                    self.patch_target(jf, end);
+                } else {
+                    let j = self.emit(Inst::Jump { target: 0 });
+                    let e0 = self.here();
+                    self.patch_target(jf, e0);
+                    for s in else_body {
+                        self.lower_stmt(s)?;
+                    }
+                    let end = self.here();
+                    self.patch_target(j, end);
+                }
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                // Bound registers stay live across the body: hold the mark.
+                let m = self.mark();
+                let rs = self.alloc_tmp();
+                let re = self.alloc_tmp();
+                let rstep = self.alloc_tmp();
+                self.lower_expr(start, rs)?;
+                self.lower_expr(end, re)?;
+                self.lower_expr(step, rstep)?;
+                let init = self.emit(Inst::ForInit {
+                    var: var.0 as Reg,
+                    start: rs,
+                    end: re,
+                    step: rstep,
+                    exit: 0,
+                });
+                let top = self.here();
+                for s in body {
+                    self.lower_stmt(s)?;
+                }
+                self.emit(Inst::ForNext {
+                    var: var.0 as Reg,
+                    ind: rs,
+                    end: re,
+                    step: rstep,
+                    back: top,
+                });
+                let exit = self.here();
+                self.patch_target(init, exit);
+                self.restore(m);
+            }
+            Stmt::SyncThreads => {
+                // Only reachable in barrier-free runs, i.e. never (the phase
+                // builder intercepts barriers); no-op like the interpreter.
+            }
+            Stmt::Return => {
+                self.emit(Inst::Return);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- phase schedule --------------------------------------------------
+
+    /// See [`mark_batchable`]: lowering leaves `batch: false`; the flag is
+    /// decided after the whole code stream exists.
+    fn lower_phases(&mut self, stmts: &[Stmt]) -> Result<Vec<PhaseOp>, ExecError> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < stmts.len() {
+            if !contains_barrier(&stmts[i]) {
+                let start = self.here();
+                let s0 = i;
+                while i < stmts.len() && !contains_barrier(&stmts[i]) {
+                    i += 1;
+                }
+                for s in &stmts[s0..i] {
+                    self.lower_stmt(s)?;
+                }
+                out.push(PhaseOp::Seg {
+                    start,
+                    end: self.here(),
+                    // Decided by `mark_batchable` once all code is emitted.
+                    batch: BatchKind::No,
+                });
+                continue;
+            }
+            match &stmts[i] {
+                Stmt::SyncThreads => out.push(PhaseOp::Barrier),
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
+                    let m = self.mark();
+                    let sreg = self.alloc_tmp();
+                    let ereg = self.alloc_tmp();
+                    let streg = self.alloc_tmp();
+                    let c0 = self.here();
+                    self.lower_expr(start, sreg)?;
+                    self.lower_expr(end, ereg)?;
+                    self.lower_expr(step, streg)?;
+                    let c1 = self.here();
+                    let body_ops = self.lower_phases(body)?;
+                    self.restore(m);
+                    out.push(PhaseOp::UniformFor {
+                        var: var.0 as Reg,
+                        bounds: (c0, c1),
+                        sreg,
+                        ereg,
+                        streg,
+                        body: body_ops,
+                    });
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let m = self.mark();
+                    let creg = self.alloc_tmp();
+                    let c0 = self.here();
+                    self.lower_expr(cond, creg)?;
+                    let c1 = self.here();
+                    let then_ops = self.lower_phases(then_body)?;
+                    let else_ops = self.lower_phases(else_body)?;
+                    self.restore(m);
+                    out.push(PhaseOp::UniformIf {
+                        cond: (c0, c1),
+                        creg,
+                        then_ops,
+                        else_ops,
+                    });
+                }
+                // `contains_barrier` is only true for the three shapes
+                // above; mirror the interpreter's defensive error.
+                _ => return Err(ExecError::DivergentBarrier),
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+}
+
+/// Whether evaluating `e` reads variable `v` — if not, `v`'s register can
+/// serve as the lowering destination directly (no staging temporary).
+fn expr_reads_var(e: &Expr, v: u32) -> bool {
+    match e {
+        Expr::Var(id) => id.0 == v,
+        Expr::Load { index, .. } => expr_reads_var(index, v),
+        Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => expr_reads_var(arg, v),
+        Expr::Binary { lhs, rhs, .. } => expr_reads_var(lhs, v) || expr_reads_var(rhs, v),
+        Expr::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            expr_reads_var(cond, v)
+                || expr_reads_var(then_value, v)
+                || expr_reads_var(else_value, v)
+        }
+        Expr::Call { args, .. } => args.iter().any(|a| expr_reads_var(a, v)),
+        Expr::IntConst(_)
+        | Expr::FloatConst(_)
+        | Expr::ThreadIdx(_)
+        | Expr::BlockIdx(_)
+        | Expr::BlockDim(_)
+        | Expr::GridDim(_)
+        | Expr::Param(_) => false,
+    }
+}
+
+// ---- thread-batching analysis ------------------------------------------
+
+/// How a segment may execute across the threads of a block (decided once at
+/// compile time by [`seg_batchable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchKind {
+    /// Thread-major only: the segment loops, or its memory accesses could
+    /// interleave observably under inst-major order.
+    No,
+    /// Inst-major with per-thread predication (forward jumps / returns
+    /// divert individual threads).
+    Predicated,
+    /// Inst-major with no control flow at all: every thread executes every
+    /// instruction, so the engine can skip predication entirely.
+    Dense,
+}
+
+/// Set [`PhaseOp::Seg::batch`] throughout a phase tree. Runs after all code
+/// is emitted so every jump target is final.
+fn mark_batchable(phases: &mut [PhaseOp], code: &[Inst], slots: &[Option<MemSlotInfo>]) {
+    for p in phases {
+        match p {
+            PhaseOp::Seg { start, end, batch } => {
+                *batch = seg_batchable(code, slots, *start, *end);
+            }
+            PhaseOp::Barrier => {}
+            PhaseOp::UniformFor { body, .. } => mark_batchable(body, code, slots),
+            PhaseOp::UniformIf {
+                then_ops, else_ops, ..
+            } => {
+                mark_batchable(then_ops, code, slots);
+                mark_batchable(else_ops, code, slots);
+            }
+        }
+    }
+}
+
+/// Can `code[start..end)` run *inst-major* across all threads of a block
+/// (one dispatch per instruction, inner loop over threads) while staying
+/// bit-for-bit with the oracle's thread-major order? Two families of rules:
+///
+/// Control flow must be forward-only inside the range — every jump target
+/// satisfies `pc < target <= end` and there is no `ForInit`/`ForNext`.
+/// Divergence then reduces to predication: a thread that jumped ahead sits
+/// out instructions until its resume point, and `Return` retires it.
+///
+/// Memory accesses to non-local slots must not interleave observably
+/// (locals are thread-private, so per-thread program order — which
+/// batching preserves — is all they need):
+///
+/// * a loaded slot has no stores and no atomics in the range: every load
+///   then sees segment-entry state, exactly as in the oracle, where a
+///   thread's own earlier stores are the only ones it could observe;
+/// * at most one plain `Store` instruction per slot (and no atomics on
+///   it): a single instruction's thread-ascending writes leave the same
+///   last-writer-per-element as the thread-major order, but two store
+///   sites can swap order under divergence (`out[0] = 1` by all threads
+///   then `out[0] = 2` by thread 0 only must end at 1, not 2);
+/// * a slot's atomics either come from a single instruction (its
+///   thread-ascending order *is* the oracle order), or all share one op on
+///   an integer element: atomic results are discarded (`AtomicRmw` has no
+///   destination register), so only the final accumulated value matters,
+///   and wrapping-int add/min/max are order-independent — float add is
+///   non-associative and float min/max can flip `±0.0` bits, so multiple
+///   float atomic sites stay thread-major.
+fn seg_batchable(code: &[Inst], slots: &[Option<MemSlotInfo>], start: u32, end: u32) -> BatchKind {
+    struct SlotUse {
+        loaded: bool,
+        stores: u32,
+        atomic: Option<AtomicOp>,
+        atomic_ok: bool,
+    }
+    let mut uses: Vec<SlotUse> = slots
+        .iter()
+        .map(|_| SlotUse {
+            loaded: false,
+            stores: 0,
+            atomic: None,
+            atomic_ok: true,
+        })
+        .collect();
+    let local = |slot: u32| {
+        matches!(
+            slots[slot as usize],
+            Some(MemSlotInfo {
+                kind: SlotKind::Local { .. },
+                ..
+            })
+        )
+    };
+    let mut diverges = false;
+    for pc in start..end {
+        match &code[pc as usize] {
+            Inst::Jump { target }
+            | Inst::JumpIfFalse { target, .. }
+            | Inst::JumpIfTrue { target, .. } => {
+                if *target <= pc || *target > end {
+                    return BatchKind::No;
+                }
+                diverges = true;
+            }
+            Inst::Return => diverges = true,
+            Inst::ForInit { .. } | Inst::ForNext { .. } => return BatchKind::No,
+            Inst::Load { slot, .. } if !local(*slot) => uses[*slot as usize].loaded = true,
+            Inst::Store { slot, .. } if !local(*slot) => uses[*slot as usize].stores += 1,
+            Inst::AtomicRmw { op, slot, .. } if !local(*slot) => {
+                let u = &mut uses[*slot as usize];
+                let commutes = slots[*slot as usize]
+                    .as_ref()
+                    .is_some_and(|i| i.elem.kind() == ValueKind::Int);
+                match u.atomic {
+                    None => u.atomic = Some(*op),
+                    Some(prev) if prev == *op && commutes => {}
+                    Some(_) => u.atomic_ok = false,
+                }
+            }
+            _ => {}
+        }
+    }
+    let safe = uses.iter().all(|u| {
+        u.atomic_ok
+            && !(u.loaded && (u.stores > 0 || u.atomic.is_some()))
+            && u.stores <= 1
+            && !(u.stores == 1 && u.atomic.is_some())
+    });
+    match (safe, diverges) {
+        (false, _) => BatchKind::No,
+        (true, true) => BatchKind::Predicated,
+        (true, false) => BatchKind::Dense,
+    }
+}

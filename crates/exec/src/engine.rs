@@ -1,0 +1,1818 @@
+//! Bytecode execution engine.
+//!
+//! Runs [`Program`]s produced by [`crate::bytecode`] with a reusable
+//! per-run arena: one [`BlockEngine`] holds every thread's register file,
+//! local arrays and the block's shared-memory image, allocated once per
+//! `run_*` call and reset per block. [`run_range`] executes a contiguous
+//! block range serially (the same ascending order as the tree-walk oracle);
+//! [`run_range_parallel`] chunks the range across scoped worker threads for
+//! intra-node block parallelism.
+//!
+//! Parallel legality: CUDA guarantees no ordering between blocks, so any
+//! interleaving of block execution is a valid GPU execution. Workers share
+//! the node's global memory through [`RacyView`] raw-pointer views (the
+//! CuPBoP block-to-thread contract: kernels that race on global memory on a
+//! GPU race here too; kernels with disjoint per-block writes — the common,
+//! Allgather-distributable case — are deterministic). Kernels that use
+//! *global atomics* are refused by the chunker ([`Program::serial_only`])
+//! and fall back to the serial path, since the simulator's atomics are not
+//! host-atomic instructions.
+
+use crate::bytecode::{BatchKind, Inst, MemSlotInfo, PhaseOp, Program, Reg, SlotKind};
+use crate::interp::{
+    apply_atomic, axis_of, binop_faults, eval_binop_total, eval_intrinsic, eval_unop, slice_load,
+    slice_store, Arg, ExecError,
+};
+use crate::memory::{decode, encode, BufferId, MemPool};
+use crate::stats::{intrinsic_weight, BlockStats};
+use cucc_ir::{BinOp, Kernel, LaunchConfig, Scalar, Value, ValueKind};
+use std::fmt;
+use std::ops::Range;
+
+/// Which executor runs functional-fidelity blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The tree-walking reference interpreter (`crate::interp`) — the
+    /// differential-testing oracle.
+    TreeWalk,
+    /// The compiled bytecode engine (this module).
+    #[default]
+    Bytecode,
+}
+
+impl EngineKind {
+    /// Parse a CLI spelling (`tree` / `bytecode`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "tree" | "tree-walk" | "treewalk" | "interp" => Some(EngineKind::TreeWalk),
+            "bytecode" | "byte" | "engine" => Some(EngineKind::Bytecode),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::TreeWalk => write!(f, "tree"),
+            EngineKind::Bytecode => write!(f, "bytecode"),
+        }
+    }
+}
+
+/// Execution knobs threaded from `RuntimeConfig` / the CLI down to the
+/// per-node block loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Which executor to use.
+    pub engine: EngineKind,
+    /// Requested worker threads per node for intra-node block parallelism
+    /// (`0` = derive from host parallelism and the node's core count).
+    pub node_threads: usize,
+    /// Whether intra-node block parallelism is allowed at all. Callers
+    /// enable this only for launches whose blocks are safe to interleave
+    /// (e.g. Allgather-distributable three-phase plans).
+    pub block_parallel: bool,
+}
+
+/// Global-memory access abstraction: the serial path writes straight into a
+/// node's [`MemPool`], parallel workers go through a [`RacyView`].
+pub(crate) trait GlobalMem {
+    fn size_of(&self, id: BufferId) -> usize;
+    fn load(&self, id: BufferId, elem: Scalar, index: i64) -> Option<Value>;
+    fn store(&mut self, id: BufferId, elem: Scalar, index: i64, value: Value) -> bool;
+    /// Resolve a buffer to its raw base pointer and byte length, so the
+    /// inst-major loops pay the lookup once per instruction instead of once
+    /// per thread. All accesses through the pointer go via [`raw_load`] /
+    /// [`raw_store`], which bounds-check every element and copy at most 8
+    /// bytes — no `&`/`&mut` reference into the buffer is ever formed
+    /// (the [`RacyView`] sharing contract).
+    fn raw(&mut self, id: BufferId) -> (*mut u8, usize);
+}
+
+impl GlobalMem for MemPool {
+    #[inline]
+    fn size_of(&self, id: BufferId) -> usize {
+        MemPool::size_of(self, id)
+    }
+
+    #[inline]
+    fn load(&self, id: BufferId, elem: Scalar, index: i64) -> Option<Value> {
+        MemPool::load(self, id, elem, index)
+    }
+
+    #[inline]
+    fn store(&mut self, id: BufferId, elem: Scalar, index: i64, value: Value) -> bool {
+        MemPool::store(self, id, elem, index, value)
+    }
+
+    #[inline]
+    fn raw(&mut self, id: BufferId) -> (*mut u8, usize) {
+        let b = self.bytes_mut(id);
+        (b.as_mut_ptr(), b.len())
+    }
+}
+
+/// Raw-pointer view of a pool's buffers, shared by intra-node workers.
+///
+/// Bounds are always checked; what is *not* synchronized is concurrent
+/// access to the same element from different blocks. That mirrors the GPU:
+/// a CUDA kernel whose blocks race on global memory has indeterminate
+/// results there too, so any byte-level interleaving we produce is a valid
+/// execution of such a kernel. Accesses copy at most 8 bytes through raw
+/// pointers and never form `&`/`&mut` references into the shared buffers.
+#[derive(Clone)]
+struct RacyView {
+    bufs: Vec<(*mut u8, usize)>,
+}
+
+// SAFETY: the view only exists while `run_range_parallel` holds `&mut
+// MemPool`, so the pointed-to allocations are alive and not accessed
+// through the pool for the whole scope; all accesses are bounds-checked
+// byte copies (see type-level comment for the data-race contract).
+unsafe impl Send for RacyView {}
+
+impl RacyView {
+    fn new(pool: &mut MemPool) -> RacyView {
+        let bufs = (0..pool.len())
+            .map(|i| {
+                let b = pool.bytes_mut(BufferId(i as u32));
+                (b.as_mut_ptr(), b.len())
+            })
+            .collect();
+        RacyView { bufs }
+    }
+}
+
+impl GlobalMem for RacyView {
+    fn size_of(&self, id: BufferId) -> usize {
+        self.bufs[id.index()].1
+    }
+
+    fn load(&self, id: BufferId, elem: Scalar, index: i64) -> Option<Value> {
+        let (ptr, len) = self.bufs[id.index()];
+        raw_load(ptr, len, elem, index)
+    }
+
+    fn store(&mut self, id: BufferId, elem: Scalar, index: i64, value: Value) -> bool {
+        let (ptr, len) = self.bufs[id.index()];
+        raw_store(ptr, len, elem, index, value)
+    }
+
+    #[inline]
+    fn raw(&mut self, id: BufferId) -> (*mut u8, usize) {
+        self.bufs[id.index()]
+    }
+}
+
+/// Bounds-checked element load through a raw `(base, len)` buffer view.
+///
+/// SAFETY contract (callers): `ptr` must be valid for `len` bytes for the
+/// duration of the call — guaranteed by both [`GlobalMem::raw`] providers.
+/// The copy stays within `off + size <= len`, checked below.
+#[inline]
+fn raw_load(ptr: *const u8, len: usize, elem: Scalar, index: i64) -> Option<Value> {
+    let sz = elem.size();
+    if index < 0 {
+        return None;
+    }
+    let off = (index as usize).checked_mul(sz)?;
+    if off.checked_add(sz)? > len {
+        return None;
+    }
+    let mut tmp = [0u8; 8];
+    // SAFETY: `off + sz <= len` was just checked; see the function contract.
+    unsafe {
+        std::ptr::copy_nonoverlapping(ptr.add(off), tmp.as_mut_ptr(), sz);
+    }
+    Some(decode(elem, &tmp[..sz]))
+}
+
+/// Bounds-checked element store through a raw `(base, len)` buffer view;
+/// same SAFETY contract as [`raw_load`].
+#[inline]
+fn raw_store(ptr: *mut u8, len: usize, elem: Scalar, index: i64, value: Value) -> bool {
+    let sz = elem.size();
+    if index < 0 {
+        return false;
+    }
+    let Some(off) = (index as usize).checked_mul(sz) else {
+        return false;
+    };
+    let Some(end) = off.checked_add(sz) else {
+        return false;
+    };
+    if end > len {
+        return false;
+    }
+    let mut tmp = [0u8; 8];
+    encode(elem, value, &mut tmp[..sz]);
+    // SAFETY: bounds checked above; see the function contract.
+    unsafe {
+        std::ptr::copy_nonoverlapping(tmp.as_ptr(), ptr.add(off), sz);
+    }
+    true
+}
+
+/// Reusable per-run execution state for one block at a time: every thread's
+/// registers and local arrays plus the block's shared-memory image.
+/// Allocated once per `run_*` call, reset per block.
+pub(crate) struct BlockEngine<'p> {
+    prog: &'p Program,
+    nthreads: usize,
+    num_regs: usize,
+    num_locals: usize,
+    /// Thread-major register file: thread `t`'s registers live at
+    /// `t * num_regs ..`.
+    regs: Vec<Value>,
+    returned: Vec<bool>,
+    /// Per-thread resume targets for inst-major (batched) segments: thread
+    /// `t` executes the instruction at `pc` iff `resume[t] <= pc`, forward
+    /// jumps raise the target, `u32::MAX` retires the thread. Re-seeded at
+    /// the top of every batched segment.
+    resume: Vec<u32>,
+    tids: Vec<(u32, u32, u32)>,
+    shared: Vec<Vec<u8>>,
+    /// Thread-major local arrays: `locals[t * num_locals + l]`.
+    locals: Vec<Vec<u8>>,
+    block: (u32, u32, u32),
+    stats: BlockStats,
+}
+
+impl<'p> BlockEngine<'p> {
+    pub(crate) fn new(prog: &'p Program) -> BlockEngine<'p> {
+        let nthreads = prog.launch.threads_per_block() as usize;
+        let num_regs = prog.num_regs as usize;
+        let num_locals = prog.local_sizes.len();
+        // Launch-invariant constants and threadIdx values are splatted into
+        // every thread's register window once; nothing writes them and
+        // `reset` skips them, so they survive across all blocks of the run.
+        let tids: Vec<(u32, u32, u32)> = (0..nthreads)
+            .map(|t| prog.launch.block.delinearize(t as u64))
+            .collect();
+        let mut regs = vec![Value::I64(0); nthreads * num_regs];
+        let base = prog.const_base as usize;
+        let tid_base = base + prog.const_pool.len();
+        for (t, tid) in tids.iter().enumerate() {
+            let w = t * num_regs;
+            regs[w + base..w + tid_base].copy_from_slice(&prog.const_pool);
+            for (k, axis) in prog.tid_pool.iter().enumerate() {
+                regs[w + tid_base + k] = Value::I64(axis_of(*tid, *axis) as i64);
+            }
+        }
+        BlockEngine {
+            prog,
+            nthreads,
+            num_regs,
+            num_locals,
+            regs,
+            returned: vec![false; nthreads],
+            resume: vec![0; nthreads],
+            tids,
+            shared: prog.shared_sizes.iter().map(|&sz| vec![0u8; sz]).collect(),
+            locals: (0..nthreads)
+                .flat_map(|_| prog.local_sizes.iter().map(|&sz| vec![0u8; sz]))
+                .collect(),
+            block: (0, 0, 0),
+            stats: BlockStats::default(),
+        }
+    }
+
+    fn reset(&mut self) {
+        // Only the leading variable registers carry cross-statement state;
+        // temporaries are always written before read, so stale values from
+        // the previous block are unobservable and need no clearing.
+        let nv = self.prog.num_vars as usize;
+        for t in 0..self.nthreads {
+            let base = t * self.num_regs;
+            self.regs[base..base + nv].fill(Value::I64(0));
+        }
+        self.returned.fill(false);
+        for s in &mut self.shared {
+            s.fill(0);
+        }
+        for l in &mut self.locals {
+            l.fill(0);
+        }
+    }
+
+    #[inline]
+    fn reg(&self, t: usize, r: Reg) -> Value {
+        self.regs[t * self.num_regs + r as usize]
+    }
+
+    /// Broadcast a uniform loop variable to every thread's register file.
+    fn set_var_all(&mut self, r: Reg, v: Value) {
+        for t in 0..self.nthreads {
+            self.regs[t * self.num_regs + r as usize] = v;
+        }
+    }
+
+    /// Execute one block and return its statistics. Global-memory effects
+    /// land in `mem`.
+    pub(crate) fn run_block<M: GlobalMem>(
+        &mut self,
+        mem: &mut M,
+        block_linear: u64,
+    ) -> Result<BlockStats, ExecError> {
+        self.reset();
+        self.block = self.prog.launch.grid.delinearize(block_linear);
+        self.stats = BlockStats {
+            blocks: 1,
+            active_threads: self.nthreads as u64,
+            ..BlockStats::default()
+        };
+        let prog = self.prog;
+        self.exec_ops(&prog.phases, mem)?;
+        Ok(self.stats)
+    }
+
+    fn exec_ops<M: GlobalMem>(&mut self, ops: &[PhaseOp], mem: &mut M) -> Result<(), ExecError> {
+        for op in ops {
+            match op {
+                PhaseOp::Seg { start, end, batch } => {
+                    if *batch != BatchKind::No && self.nthreads > 1 {
+                        // Dense mode additionally needs every thread live:
+                        // an earlier `return` forces predication.
+                        let dense = *batch == BatchKind::Dense && !self.returned.iter().any(|&r| r);
+                        self.seg_batched(*start, *end, dense, mem)?;
+                    } else {
+                        for t in 0..self.nthreads {
+                            if !self.returned[t] {
+                                self.seg(t, *start, *end, mem)?;
+                            }
+                        }
+                    }
+                }
+                PhaseOp::Barrier => {
+                    self.stats.barriers += 1;
+                }
+                PhaseOp::UniformFor {
+                    var,
+                    bounds,
+                    sreg,
+                    ereg,
+                    streg,
+                    body,
+                } => {
+                    // Bounds evaluate once, on thread 0 (oracle semantics).
+                    self.seg(0, bounds.0, bounds.1, mem)?;
+                    let s = self.reg(0, *sreg).as_i64();
+                    let e = self.reg(0, *ereg).as_i64();
+                    let st = self.reg(0, *streg).as_i64();
+                    if st == 0 {
+                        return Err(ExecError::DivergentBarrier);
+                    }
+                    let mut v = s;
+                    while (st > 0 && v < e) || (st < 0 && v > e) {
+                        self.set_var_all(*var, Value::I64(v));
+                        self.exec_ops(body, mem)?;
+                        v += st;
+                    }
+                    self.set_var_all(*var, Value::I64(v));
+                }
+                PhaseOp::UniformIf {
+                    cond,
+                    creg,
+                    then_ops,
+                    else_ops,
+                } => {
+                    self.seg(0, cond.0, cond.1, mem)?;
+                    let taken = self.reg(0, *creg).is_true();
+                    self.exec_ops(if taken { then_ops } else { else_ops }, mem)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatch one thread's segment with that thread's register and
+    /// local-array windows split out of the arena, so the hot loop in
+    /// [`run_seg`] indexes small disjoint slices instead of recomputing
+    /// thread-major offsets through `&mut self` on every access.
+    #[inline]
+    fn seg<M: GlobalMem>(
+        &mut self,
+        t: usize,
+        start: u32,
+        end: u32,
+        mem: &mut M,
+    ) -> Result<(), ExecError> {
+        let nr = self.num_regs;
+        let nl = self.num_locals;
+        run_seg(
+            self.prog,
+            &mut self.regs[t * nr..(t + 1) * nr],
+            &mut self.shared,
+            &mut self.locals[t * nl..(t + 1) * nl],
+            &mut self.returned[t],
+            &mut self.stats,
+            self.block,
+            self.tids[t],
+            start,
+            end,
+            mem,
+        )
+    }
+
+    /// Inst-major execution of a segment `seg_batchable` proved safe: one
+    /// dispatch per *instruction*, inner loop over the block's threads —
+    /// amortizing the dispatch cost `threads_per_block`-fold relative to
+    /// the thread-major [`run_seg`] loop.
+    ///
+    /// Divergence is predication: a forward jump raises the thread's
+    /// `resume` target and the thread sits out instructions until `pc`
+    /// catches up; `Return` retires it. Equivalence with the thread-major
+    /// order follows from `seg_batchable`'s hazard rules (loads only see
+    /// segment-entry state, one store site per slot, commuting atomics)
+    /// plus two observations: per-thread private state goes through the
+    /// identical instruction sequence either way, and `BlockStats` are
+    /// order-independent sums of identical per-thread charges.
+    ///
+    /// Faults: the oracle reports the *lowest* faulting thread (threads are
+    /// its outer loop). A faulting thread here retires itself and every
+    /// thread above it — the oracle never runs those — while lower threads
+    /// continue and may overwrite `pending` with a fault the oracle hits
+    /// first. Partial memory effects on the error path may differ from the
+    /// oracle's; both engines leave them unspecified on `Err`.
+    fn seg_batched<M: GlobalMem>(
+        &mut self,
+        start: u32,
+        end: u32,
+        mut dense: bool,
+        mem: &mut M,
+    ) -> Result<(), ExecError> {
+        const DEAD: u32 = u32::MAX;
+        let n = self.nthreads;
+        let n64 = n as u64;
+        let nr = self.num_regs;
+        let nl = self.num_locals;
+        let prog = self.prog;
+        let code = &prog.code;
+        if !dense {
+            for t in 0..n {
+                self.resume[t] = if self.returned[t] { DEAD } else { start };
+            }
+        }
+        let mut pending: Option<ExecError> = None;
+        let end = end as usize;
+        let mut pc = start as usize;
+        while pc < end {
+            if dense {
+                // Straight-line segment with every thread live: iterate the
+                // per-thread register windows directly — no predication
+                // check, no thread-offset arithmetic in the loop body. A
+                // fault demotes the rest of the segment to the predicated
+                // path (lower threads stay live; the faulting thread and
+                // everything above retire, see `demote`).
+                let mut fault: Option<(usize, ExecError)> = None;
+                match &code[pc] {
+                    Inst::Const {
+                        dst,
+                        v,
+                        int_ops,
+                        float_ops,
+                    } => {
+                        let d = *dst as usize;
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            w[d] = *v;
+                        }
+                        self.stats.int_ops += n64 * u64::from(*int_ops);
+                        self.stats.float_ops += n64 * u64::from(*float_ops);
+                    }
+                    Inst::Tid { dst, axis } => {
+                        let d = *dst as usize;
+                        for (w, tid) in self.regs.chunks_exact_mut(nr).zip(&self.tids) {
+                            w[d] = Value::I64(axis_of(*tid, *axis) as i64);
+                        }
+                    }
+                    Inst::Bid { dst, axis } => {
+                        let d = *dst as usize;
+                        let v = Value::I64(axis_of(self.block, *axis) as i64);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            w[d] = v;
+                        }
+                    }
+                    Inst::Copy { dst, src } => {
+                        let (d, s) = (*dst as usize, *src as usize);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            w[d] = w[s];
+                        }
+                    }
+                    Inst::Unary { dst, op, src } => {
+                        let (d, s) = (*dst as usize, *src as usize);
+                        let (mut iops, mut fops) = (0u64, 0u64);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            let a = w[s];
+                            match a.kind() {
+                                ValueKind::Int => iops += 1,
+                                ValueKind::Float => fops += 1,
+                            }
+                            w[d] = eval_unop(*op, a);
+                        }
+                        self.stats.int_ops += iops;
+                        self.stats.float_ops += fops;
+                    }
+                    Inst::Binary { dst, op, lhs, rhs } => {
+                        let (d, li, ri) = (*dst as usize, *lhs as usize, *rhs as usize);
+                        let (mut iops, mut fops) = (0u64, 0u64);
+                        for (t, w) in self.regs.chunks_exact_mut(nr).enumerate() {
+                            let l = w[li];
+                            let r = w[ri];
+                            let float =
+                                l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                            if float {
+                                fops += 1;
+                            } else {
+                                iops += 1;
+                            }
+                            if binop_faults(*op, r, float) {
+                                fault = Some((t, ExecError::DivByZero));
+                                break;
+                            }
+                            w[d] = eval_binop_total(*op, l, r, float);
+                        }
+                        self.stats.int_ops += iops;
+                        self.stats.float_ops += fops;
+                    }
+                    Inst::MulAdd { dst, a, b, c } => {
+                        let (d, ai, bi, ci) =
+                            (*dst as usize, *a as usize, *b as usize, *c as usize);
+                        let (mut iops, mut fops) = (0u64, 0u64);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            let (av, bv, cv) = (w[ai], w[bi], w[ci]);
+                            let f1 = av.kind() == ValueKind::Float || bv.kind() == ValueKind::Float;
+                            let m = eval_binop_total(BinOp::Mul, av, bv, f1);
+                            let f2 = m.kind() == ValueKind::Float || cv.kind() == ValueKind::Float;
+                            iops += u64::from(!f1) + u64::from(!f2);
+                            fops += u64::from(f1) + u64::from(f2);
+                            w[d] = eval_binop_total(BinOp::Add, m, cv, f2);
+                        }
+                        self.stats.int_ops += iops;
+                        self.stats.float_ops += fops;
+                    }
+                    Inst::Cast { dst, ty, src } => {
+                        let (d, s) = (*dst as usize, *src as usize);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            w[d] = w[s].convert_to(*ty);
+                        }
+                        match ty.kind() {
+                            ValueKind::Int => self.stats.int_ops += n64,
+                            ValueKind::Float => self.stats.float_ops += n64,
+                        }
+                    }
+                    Inst::Intrin1 { dst, f, a } => {
+                        let (d, ai) = (*dst as usize, *a as usize);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            let av = w[ai];
+                            w[d] = eval_intrinsic(*f, &[av]);
+                        }
+                        self.stats.float_ops += n64 * intrinsic_weight(*f);
+                    }
+                    Inst::Intrin2 { dst, f, a, b } => {
+                        let (d, ai, bi) = (*dst as usize, *a as usize, *b as usize);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            let (av, bv) = (w[ai], w[bi]);
+                            w[d] = eval_intrinsic(*f, &[av, bv]);
+                        }
+                        self.stats.float_ops += n64 * intrinsic_weight(*f);
+                    }
+                    Inst::Test { dst, src } => {
+                        let (d, s) = (*dst as usize, *src as usize);
+                        for w in self.regs.chunks_exact_mut(nr) {
+                            w[d] = Value::I64(i64::from(w[s].is_true()));
+                        }
+                    }
+                    Inst::Load { dst, slot, idx } => {
+                        let info = slot_info(prog, *slot);
+                        let (d, ix) = (*dst as usize, *idx as usize);
+                        let sz = info.elem.size() as u64;
+                        match info.kind {
+                            SlotKind::Global { buf } => {
+                                let (ptr, len) = mem.raw(buf);
+                                for (t, w) in self.regs.chunks_exact_mut(nr).enumerate() {
+                                    let index = w[ix].as_i64();
+                                    match raw_load(ptr, len, info.elem, index) {
+                                        Some(v) => w[d] = v,
+                                        None => {
+                                            fault = Some((t, oob(info, index, mem)));
+                                            break;
+                                        }
+                                    }
+                                }
+                                self.stats.global_read_bytes += n64 * sz;
+                                self.stats.global_loads += n64;
+                            }
+                            SlotKind::Shared { idx: si } => {
+                                let sh = &self.shared[si as usize];
+                                for (t, w) in self.regs.chunks_exact_mut(nr).enumerate() {
+                                    let index = w[ix].as_i64();
+                                    match slice_load(sh, info.elem, index) {
+                                        Some(v) => w[d] = v,
+                                        None => {
+                                            fault = Some((t, oob(info, index, mem)));
+                                            break;
+                                        }
+                                    }
+                                }
+                                self.stats.shared_bytes += n64 * sz;
+                            }
+                            SlotKind::Local { idx: li } => {
+                                let lanes = self.locals.chunks_exact(nl);
+                                for (t, (w, lw)) in
+                                    self.regs.chunks_exact_mut(nr).zip(lanes).enumerate()
+                                {
+                                    let index = w[ix].as_i64();
+                                    match slice_load(&lw[li as usize], info.elem, index) {
+                                        Some(v) => w[d] = v,
+                                        None => {
+                                            fault = Some((t, oob(info, index, mem)));
+                                            break;
+                                        }
+                                    }
+                                }
+                                self.stats.local_bytes += n64 * sz;
+                            }
+                        }
+                        self.stats.int_ops += n64; // address computation
+                    }
+                    Inst::Store { slot, idx, val } => {
+                        let info = slot_info(prog, *slot);
+                        let (ix, vi) = (*idx as usize, *val as usize);
+                        let sz = info.elem.size() as u64;
+                        match info.kind {
+                            SlotKind::Global { buf } => {
+                                let (ptr, len) = mem.raw(buf);
+                                for (t, w) in self.regs.chunks_exact(nr).enumerate() {
+                                    let index = w[ix].as_i64();
+                                    if !raw_store(ptr, len, info.elem, index, w[vi]) {
+                                        fault = Some((t, oob(info, index, mem)));
+                                        break;
+                                    }
+                                }
+                                self.stats.global_write_bytes += n64 * sz;
+                                self.stats.global_stores += n64;
+                            }
+                            SlotKind::Shared { idx: si } => {
+                                let sh = &mut self.shared[si as usize];
+                                for (t, w) in self.regs.chunks_exact(nr).enumerate() {
+                                    let index = w[ix].as_i64();
+                                    if !slice_store(sh, info.elem, index, w[vi]) {
+                                        fault = Some((t, oob(info, index, mem)));
+                                        break;
+                                    }
+                                }
+                                self.stats.shared_bytes += n64 * sz;
+                            }
+                            SlotKind::Local { idx: li } => {
+                                let lanes = self.locals.chunks_exact_mut(nl);
+                                for (t, (w, lw)) in
+                                    self.regs.chunks_exact(nr).zip(lanes).enumerate()
+                                {
+                                    let index = w[ix].as_i64();
+                                    if !slice_store(&mut lw[li as usize], info.elem, index, w[vi]) {
+                                        fault = Some((t, oob(info, index, mem)));
+                                        break;
+                                    }
+                                }
+                                self.stats.local_bytes += n64 * sz;
+                            }
+                        }
+                        self.stats.int_ops += n64; // address computation
+                    }
+                    Inst::AtomicRmw { op, slot, idx, val } => {
+                        let info = slot_info(prog, *slot);
+                        let (ix, vi) = (*idx as usize, *val as usize);
+                        let sz = info.elem.size() as u64;
+                        match info.kind {
+                            SlotKind::Global { buf } => {
+                                let (ptr, len) = mem.raw(buf);
+                                for (t, w) in self.regs.chunks_exact(nr).enumerate() {
+                                    let index = w[ix].as_i64();
+                                    let done =
+                                        raw_load(ptr, len, info.elem, index).is_some_and(|old| {
+                                            raw_store(
+                                                ptr,
+                                                len,
+                                                info.elem,
+                                                index,
+                                                apply_atomic(*op, old, w[vi]),
+                                            )
+                                        });
+                                    if !done {
+                                        fault = Some((t, oob(info, index, mem)));
+                                        break;
+                                    }
+                                }
+                                self.stats.global_read_bytes += n64 * sz;
+                                self.stats.global_loads += n64;
+                                self.stats.global_write_bytes += n64 * sz;
+                                self.stats.global_stores += n64;
+                                self.stats.global_atomics += n64;
+                            }
+                            SlotKind::Shared { idx: si } => {
+                                let sh = &mut self.shared[si as usize];
+                                for (t, w) in self.regs.chunks_exact(nr).enumerate() {
+                                    let index = w[ix].as_i64();
+                                    let done =
+                                        slice_load(sh, info.elem, index).is_some_and(|old| {
+                                            slice_store(
+                                                sh,
+                                                info.elem,
+                                                index,
+                                                apply_atomic(*op, old, w[vi]),
+                                            )
+                                        });
+                                    if !done {
+                                        fault = Some((t, oob(info, index, mem)));
+                                        break;
+                                    }
+                                }
+                                self.stats.shared_bytes += 2 * n64 * sz;
+                            }
+                            SlotKind::Local { idx: li } => {
+                                let lanes = self.locals.chunks_exact_mut(nl);
+                                for (t, (w, lw)) in
+                                    self.regs.chunks_exact(nr).zip(lanes).enumerate()
+                                {
+                                    let index = w[ix].as_i64();
+                                    let l = &mut lw[li as usize];
+                                    let done = slice_load(l, info.elem, index).is_some_and(|old| {
+                                        slice_store(
+                                            l,
+                                            info.elem,
+                                            index,
+                                            apply_atomic(*op, old, w[vi]),
+                                        )
+                                    });
+                                    if !done {
+                                        fault = Some((t, oob(info, index, mem)));
+                                        break;
+                                    }
+                                }
+                                self.stats.local_bytes += 2 * n64 * sz;
+                            }
+                        }
+                        // One address computation each for the load and the
+                        // store half, as in the thread-major path.
+                        self.stats.int_ops += 2 * n64;
+                    }
+                    Inst::Jump { .. }
+                    | Inst::JumpIfFalse { .. }
+                    | Inst::JumpIfTrue { .. }
+                    | Inst::ForInit { .. }
+                    | Inst::ForNext { .. }
+                    | Inst::Return => {
+                        unreachable!("dense segments are straight-line")
+                    }
+                }
+                if let Some((t, e)) = fault {
+                    demote(&mut self.resume, t, e, &mut pending);
+                    dense = false;
+                }
+                pc += 1;
+                continue;
+            }
+            let pcu = pc as u32;
+            match &code[pc] {
+                Inst::Const {
+                    dst,
+                    v,
+                    int_ops,
+                    float_ops,
+                } => {
+                    let d = *dst as usize;
+                    let mut cnt = 0u64;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.regs[t * nr + d] = *v;
+                            cnt += 1;
+                        }
+                    }
+                    self.stats.int_ops += cnt * u64::from(*int_ops);
+                    self.stats.float_ops += cnt * u64::from(*float_ops);
+                }
+                Inst::Tid { dst, axis } => {
+                    let d = *dst as usize;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.regs[t * nr + d] = Value::I64(axis_of(self.tids[t], *axis) as i64);
+                        }
+                    }
+                }
+                Inst::Bid { dst, axis } => {
+                    let d = *dst as usize;
+                    let v = Value::I64(axis_of(self.block, *axis) as i64);
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.regs[t * nr + d] = v;
+                        }
+                    }
+                }
+                Inst::Copy { dst, src } => {
+                    let (d, s) = (*dst as usize, *src as usize);
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.regs[t * nr + d] = self.regs[t * nr + s];
+                        }
+                    }
+                }
+                Inst::Unary { dst, op, src } => {
+                    let (d, s) = (*dst as usize, *src as usize);
+                    let (mut iops, mut fops) = (0u64, 0u64);
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            let a = self.regs[t * nr + s];
+                            match a.kind() {
+                                ValueKind::Int => iops += 1,
+                                ValueKind::Float => fops += 1,
+                            }
+                            self.regs[t * nr + d] = eval_unop(*op, a);
+                        }
+                    }
+                    self.stats.int_ops += iops;
+                    self.stats.float_ops += fops;
+                }
+                Inst::Binary { dst, op, lhs, rhs } => {
+                    let (d, li, ri) = (*dst as usize, *lhs as usize, *rhs as usize);
+                    let (mut iops, mut fops) = (0u64, 0u64);
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            let base = t * nr;
+                            let l = self.regs[base + li];
+                            let r = self.regs[base + ri];
+                            let float =
+                                l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                            if float {
+                                fops += 1;
+                            } else {
+                                iops += 1;
+                            }
+                            if binop_faults(*op, r, float) {
+                                retire_from(
+                                    &mut self.resume,
+                                    t,
+                                    ExecError::DivByZero,
+                                    &mut pending,
+                                );
+                                break;
+                            }
+                            self.regs[base + d] = eval_binop_total(*op, l, r, float);
+                        }
+                    }
+                    self.stats.int_ops += iops;
+                    self.stats.float_ops += fops;
+                }
+                Inst::MulAdd { dst, a, b, c } => {
+                    let (d, ai, bi, ci) = (*dst as usize, *a as usize, *b as usize, *c as usize);
+                    let (mut iops, mut fops) = (0u64, 0u64);
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            let base = t * nr;
+                            let (av, bv, cv) = (
+                                self.regs[base + ai],
+                                self.regs[base + bi],
+                                self.regs[base + ci],
+                            );
+                            let f1 = av.kind() == ValueKind::Float || bv.kind() == ValueKind::Float;
+                            let m = eval_binop_total(BinOp::Mul, av, bv, f1);
+                            let f2 = m.kind() == ValueKind::Float || cv.kind() == ValueKind::Float;
+                            iops += u64::from(!f1) + u64::from(!f2);
+                            fops += u64::from(f1) + u64::from(f2);
+                            self.regs[base + d] = eval_binop_total(BinOp::Add, m, cv, f2);
+                        }
+                    }
+                    self.stats.int_ops += iops;
+                    self.stats.float_ops += fops;
+                }
+                Inst::Cast { dst, ty, src } => {
+                    let (d, s) = (*dst as usize, *src as usize);
+                    let mut cnt = 0u64;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            let v = self.regs[t * nr + s];
+                            cnt += 1;
+                            self.regs[t * nr + d] = v.convert_to(*ty);
+                        }
+                    }
+                    match ty.kind() {
+                        ValueKind::Int => self.stats.int_ops += cnt,
+                        ValueKind::Float => self.stats.float_ops += cnt,
+                    }
+                }
+                Inst::Intrin1 { dst, f, a } => {
+                    let (d, ai) = (*dst as usize, *a as usize);
+                    let w = intrinsic_weight(*f);
+                    let mut cnt = 0u64;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            let av = self.regs[t * nr + ai];
+                            cnt += 1;
+                            self.regs[t * nr + d] = eval_intrinsic(*f, &[av]);
+                        }
+                    }
+                    self.stats.float_ops += cnt * w;
+                }
+                Inst::Intrin2 { dst, f, a, b } => {
+                    let (d, ai, bi) = (*dst as usize, *a as usize, *b as usize);
+                    let w = intrinsic_weight(*f);
+                    let mut cnt = 0u64;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            let base = t * nr;
+                            let av = self.regs[base + ai];
+                            let bv = self.regs[base + bi];
+                            cnt += 1;
+                            self.regs[base + d] = eval_intrinsic(*f, &[av, bv]);
+                        }
+                    }
+                    self.stats.float_ops += cnt * w;
+                }
+                Inst::Test { dst, src } => {
+                    let (d, s) = (*dst as usize, *src as usize);
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.regs[t * nr + d] =
+                                Value::I64(i64::from(self.regs[t * nr + s].is_true()));
+                        }
+                    }
+                }
+                // Memory instructions hoist the slot-kind dispatch out of
+                // the thread loop and charge stats in bulk (`cnt` successful
+                // accesses; on a fault the partial charge is discarded with
+                // the stats by the `Err` return anyway).
+                Inst::Load { dst, slot, idx } => {
+                    let info = slot_info(prog, *slot);
+                    let (d, ix) = (*dst as usize, *idx as usize);
+                    let sz = info.elem.size() as u64;
+                    let mut cnt = 0u64;
+                    match info.kind {
+                        SlotKind::Global { buf } => {
+                            let (ptr, len) = mem.raw(buf);
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    match raw_load(ptr, len, info.elem, index) {
+                                        Some(v) => {
+                                            self.regs[base + d] = v;
+                                            cnt += 1;
+                                        }
+                                        None => {
+                                            let e = oob(info, index, mem);
+                                            retire_from(&mut self.resume, t, e, &mut pending);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            self.stats.global_read_bytes += cnt * sz;
+                            self.stats.global_loads += cnt;
+                        }
+                        SlotKind::Shared { idx: si } => {
+                            let sh = &self.shared[si as usize];
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    match slice_load(sh, info.elem, index) {
+                                        Some(v) => {
+                                            self.regs[base + d] = v;
+                                            cnt += 1;
+                                        }
+                                        None => {
+                                            let e = oob(info, index, mem);
+                                            retire_from(&mut self.resume, t, e, &mut pending);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            self.stats.shared_bytes += cnt * sz;
+                        }
+                        SlotKind::Local { idx: li } => {
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let lslice = &self.locals[t * nl + li as usize];
+                                    match slice_load(lslice, info.elem, index) {
+                                        Some(v) => {
+                                            self.regs[base + d] = v;
+                                            cnt += 1;
+                                        }
+                                        None => {
+                                            let e = oob(info, index, mem);
+                                            retire_from(&mut self.resume, t, e, &mut pending);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            self.stats.local_bytes += cnt * sz;
+                        }
+                    }
+                    self.stats.int_ops += cnt; // address computation
+                }
+                Inst::Store { slot, idx, val } => {
+                    let info = slot_info(prog, *slot);
+                    let (ix, vi) = (*idx as usize, *val as usize);
+                    let sz = info.elem.size() as u64;
+                    let mut cnt = 0u64;
+                    match info.kind {
+                        SlotKind::Global { buf } => {
+                            let (ptr, len) = mem.raw(buf);
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let v = self.regs[base + vi];
+                                    if raw_store(ptr, len, info.elem, index, v) {
+                                        cnt += 1;
+                                    } else {
+                                        let e = oob(info, index, mem);
+                                        retire_from(&mut self.resume, t, e, &mut pending);
+                                        break;
+                                    }
+                                }
+                            }
+                            self.stats.global_write_bytes += cnt * sz;
+                            self.stats.global_stores += cnt;
+                        }
+                        SlotKind::Shared { idx: si } => {
+                            let sh = &mut self.shared[si as usize];
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let v = self.regs[base + vi];
+                                    if slice_store(sh, info.elem, index, v) {
+                                        cnt += 1;
+                                    } else {
+                                        let e = oob(info, index, mem);
+                                        retire_from(&mut self.resume, t, e, &mut pending);
+                                        break;
+                                    }
+                                }
+                            }
+                            self.stats.shared_bytes += cnt * sz;
+                        }
+                        SlotKind::Local { idx: li } => {
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let v = self.regs[base + vi];
+                                    let lslice = &mut self.locals[t * nl + li as usize];
+                                    if slice_store(lslice, info.elem, index, v) {
+                                        cnt += 1;
+                                    } else {
+                                        let e = oob(info, index, mem);
+                                        retire_from(&mut self.resume, t, e, &mut pending);
+                                        break;
+                                    }
+                                }
+                            }
+                            self.stats.local_bytes += cnt * sz;
+                        }
+                    }
+                    self.stats.int_ops += cnt; // address computation
+                }
+                Inst::AtomicRmw { op, slot, idx, val } => {
+                    let info = slot_info(prog, *slot);
+                    let (ix, vi) = (*idx as usize, *val as usize);
+                    let sz = info.elem.size() as u64;
+                    let mut cnt = 0u64;
+                    match info.kind {
+                        SlotKind::Global { buf } => {
+                            let (ptr, len) = mem.raw(buf);
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let v = self.regs[base + vi];
+                                    let done =
+                                        raw_load(ptr, len, info.elem, index).is_some_and(|old| {
+                                            raw_store(
+                                                ptr,
+                                                len,
+                                                info.elem,
+                                                index,
+                                                apply_atomic(*op, old, v),
+                                            )
+                                        });
+                                    if done {
+                                        cnt += 1;
+                                    } else {
+                                        let e = oob(info, index, mem);
+                                        retire_from(&mut self.resume, t, e, &mut pending);
+                                        break;
+                                    }
+                                }
+                            }
+                            self.stats.global_read_bytes += cnt * sz;
+                            self.stats.global_loads += cnt;
+                            self.stats.global_write_bytes += cnt * sz;
+                            self.stats.global_stores += cnt;
+                            self.stats.global_atomics += cnt;
+                        }
+                        SlotKind::Shared { idx: si } => {
+                            let sh = &mut self.shared[si as usize];
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let v = self.regs[base + vi];
+                                    let done =
+                                        slice_load(sh, info.elem, index).is_some_and(|old| {
+                                            slice_store(
+                                                sh,
+                                                info.elem,
+                                                index,
+                                                apply_atomic(*op, old, v),
+                                            )
+                                        });
+                                    if done {
+                                        cnt += 1;
+                                    } else {
+                                        let e = oob(info, index, mem);
+                                        retire_from(&mut self.resume, t, e, &mut pending);
+                                        break;
+                                    }
+                                }
+                            }
+                            self.stats.shared_bytes += 2 * cnt * sz;
+                        }
+                        SlotKind::Local { idx: li } => {
+                            for t in 0..n {
+                                if self.resume[t] <= pcu {
+                                    let base = t * nr;
+                                    let index = self.regs[base + ix].as_i64();
+                                    let v = self.regs[base + vi];
+                                    let lslice = &mut self.locals[t * nl + li as usize];
+                                    let done =
+                                        slice_load(lslice, info.elem, index).is_some_and(|old| {
+                                            slice_store(
+                                                lslice,
+                                                info.elem,
+                                                index,
+                                                apply_atomic(*op, old, v),
+                                            )
+                                        });
+                                    if done {
+                                        cnt += 1;
+                                    } else {
+                                        let e = oob(info, index, mem);
+                                        retire_from(&mut self.resume, t, e, &mut pending);
+                                        break;
+                                    }
+                                }
+                            }
+                            self.stats.local_bytes += 2 * cnt * sz;
+                        }
+                    }
+                    // One address computation each for the load and the
+                    // store half, as in the thread-major path.
+                    self.stats.int_ops += 2 * cnt;
+                }
+                Inst::Jump { target } => {
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.resume[t] = *target;
+                        }
+                    }
+                }
+                Inst::JumpIfFalse {
+                    cond,
+                    target,
+                    int_ops,
+                } => {
+                    let c = *cond as usize;
+                    let mut cnt = 0u64;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            cnt += 1;
+                            if !self.regs[t * nr + c].is_true() {
+                                self.resume[t] = *target;
+                            }
+                        }
+                    }
+                    self.stats.int_ops += cnt * u64::from(*int_ops);
+                }
+                Inst::JumpIfTrue {
+                    cond,
+                    target,
+                    int_ops,
+                } => {
+                    let c = *cond as usize;
+                    let mut cnt = 0u64;
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            cnt += 1;
+                            if self.regs[t * nr + c].is_true() {
+                                self.resume[t] = *target;
+                            }
+                        }
+                    }
+                    self.stats.int_ops += cnt * u64::from(*int_ops);
+                }
+                Inst::ForInit { .. } | Inst::ForNext { .. } => {
+                    unreachable!("loop instructions are never marked batchable")
+                }
+                Inst::Return => {
+                    for t in 0..n {
+                        if self.resume[t] <= pcu {
+                            self.returned[t] = true;
+                            self.resume[t] = DEAD;
+                        }
+                    }
+                }
+            }
+            pc += 1;
+        }
+        match pending {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Fault handling for [`BlockEngine::seg_batched`]: retire the faulting
+/// thread and everything above it (the thread-major oracle never runs
+/// those), record the error. Lower threads keep running — any later fault
+/// of theirs is *earlier* in oracle order and overwrites `pending`.
+#[cold]
+fn retire_from(resume: &mut [u32], t: usize, e: ExecError, pending: &mut Option<ExecError>) {
+    for r in &mut resume[t..] {
+        *r = u32::MAX;
+    }
+    *pending = Some(e);
+}
+
+/// Leave dense mode after a fault: `resume` holds stale values (dense
+/// execution never touches it), so seed every lower thread as runnable —
+/// they already executed the faulting instruction — before retiring the
+/// faulting thread and everything above it.
+#[cold]
+fn demote(resume: &mut [u32], t: usize, e: ExecError, pending: &mut Option<ExecError>) {
+    for r in &mut resume[..t] {
+        *r = 0;
+    }
+    retire_from(resume, t, e, pending);
+}
+
+#[inline]
+fn count_op(stats: &mut BlockStats, kind: ValueKind) {
+    match kind {
+        ValueKind::Int => stats.int_ops += 1,
+        ValueKind::Float => stats.float_ops += 1,
+    }
+}
+
+#[inline]
+fn slot_info(prog: &Program, slot: u32) -> &MemSlotInfo {
+    prog.slots[slot as usize]
+        .as_ref()
+        .expect("referenced slot is resolved at compile time")
+}
+
+fn oob(info: &MemSlotInfo, index: i64, mem: &dyn GlobalMem) -> ExecError {
+    let len_elems = match info.kind {
+        SlotKind::Global { buf } => mem.size_of(buf) / info.elem.size(),
+        SlotKind::Shared { .. } | SlotKind::Local { .. } => info.len_elems,
+    };
+    ExecError::OutOfBounds {
+        mem: info.name.clone(),
+        index,
+        len_elems,
+    }
+}
+
+#[inline]
+fn load_value<M: GlobalMem>(
+    info: &MemSlotInfo,
+    shared: &[Vec<u8>],
+    local: &[Vec<u8>],
+    stats: &mut BlockStats,
+    index: i64,
+    mem: &M,
+) -> Result<Value, ExecError> {
+    let sz = info.elem.size() as u64;
+    stats.int_ops += 1; // address computation
+    match info.kind {
+        SlotKind::Global { buf } => {
+            stats.global_read_bytes += sz;
+            stats.global_loads += 1;
+            mem.load(buf, info.elem, index)
+                .ok_or_else(|| oob(info, index, mem))
+        }
+        SlotKind::Shared { idx } => {
+            stats.shared_bytes += sz;
+            slice_load(&shared[idx as usize], info.elem, index).ok_or_else(|| oob(info, index, mem))
+        }
+        SlotKind::Local { idx } => {
+            stats.local_bytes += sz;
+            slice_load(&local[idx as usize], info.elem, index).ok_or_else(|| oob(info, index, mem))
+        }
+    }
+}
+
+#[inline]
+fn store_value<M: GlobalMem>(
+    info: &MemSlotInfo,
+    shared: &mut [Vec<u8>],
+    local: &mut [Vec<u8>],
+    stats: &mut BlockStats,
+    index: i64,
+    value: Value,
+    mem: &mut M,
+) -> Result<(), ExecError> {
+    let sz = info.elem.size() as u64;
+    stats.int_ops += 1; // address computation
+    let ok = match info.kind {
+        SlotKind::Global { buf } => {
+            stats.global_write_bytes += sz;
+            stats.global_stores += 1;
+            mem.store(buf, info.elem, index, value)
+        }
+        SlotKind::Shared { idx } => {
+            stats.shared_bytes += sz;
+            slice_store(&mut shared[idx as usize], info.elem, index, value)
+        }
+        SlotKind::Local { idx } => {
+            stats.local_bytes += sz;
+            slice_store(&mut local[idx as usize], info.elem, index, value)
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(oob(info, index, mem))
+    }
+}
+
+/// Run `code[start..end]` for one thread (a barrier-free segment, a
+/// uniform bounds/cond snippet, or a loop body range re-entered via
+/// jumps).
+///
+/// `regs` and `local` are the calling thread's windows; `shared` is the
+/// block's image. Working on pre-split disjoint borrows keeps every
+/// register access a single small-slice index and lets the stat counters
+/// stay in machine registers across the dispatch loop.
+#[allow(clippy::too_many_arguments)]
+fn run_seg<M: GlobalMem>(
+    prog: &Program,
+    regs: &mut [Value],
+    shared: &mut [Vec<u8>],
+    local: &mut [Vec<u8>],
+    returned: &mut bool,
+    stats: &mut BlockStats,
+    block: (u32, u32, u32),
+    tid: (u32, u32, u32),
+    start: u32,
+    end: u32,
+    mem: &mut M,
+) -> Result<(), ExecError> {
+    let code = &prog.code;
+    let mut pc = start as usize;
+    let end = end as usize;
+    while pc < end {
+        match &code[pc] {
+            Inst::Const {
+                dst,
+                v,
+                int_ops,
+                float_ops,
+            } => {
+                stats.int_ops += u64::from(*int_ops);
+                stats.float_ops += u64::from(*float_ops);
+                regs[*dst as usize] = *v;
+            }
+            Inst::Tid { dst, axis } => {
+                regs[*dst as usize] = Value::I64(axis_of(tid, *axis) as i64);
+            }
+            Inst::Bid { dst, axis } => {
+                regs[*dst as usize] = Value::I64(axis_of(block, *axis) as i64);
+            }
+            Inst::Copy { dst, src } => {
+                regs[*dst as usize] = regs[*src as usize];
+            }
+            Inst::Unary { dst, op, src } => {
+                let a = regs[*src as usize];
+                count_op(stats, a.kind());
+                regs[*dst as usize] = eval_unop(*op, a);
+            }
+            Inst::Binary { dst, op, lhs, rhs } => {
+                let l = regs[*lhs as usize];
+                let r = regs[*rhs as usize];
+                let float = l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                if float {
+                    stats.float_ops += 1;
+                } else {
+                    stats.int_ops += 1;
+                }
+                // Fault check hoisted out of the evaluator so the common
+                // path is an infallible `Value -> Value` computation (no
+                // `Result` moved through the dispatch loop).
+                if binop_faults(*op, r, float) {
+                    return Err(ExecError::DivByZero);
+                }
+                regs[*dst as usize] = eval_binop_total(*op, l, r, float);
+            }
+            Inst::MulAdd { dst, a, b, c } => {
+                let av = regs[*a as usize];
+                let bv = regs[*b as usize];
+                let cv = regs[*c as usize];
+                let f1 = av.kind() == ValueKind::Float || bv.kind() == ValueKind::Float;
+                let m = eval_binop_total(BinOp::Mul, av, bv, f1);
+                let f2 = m.kind() == ValueKind::Float || cv.kind() == ValueKind::Float;
+                stats.int_ops += u64::from(!f1) + u64::from(!f2);
+                stats.float_ops += u64::from(f1) + u64::from(f2);
+                regs[*dst as usize] = eval_binop_total(BinOp::Add, m, cv, f2);
+            }
+            Inst::Cast { dst, ty, src } => {
+                let v = regs[*src as usize];
+                count_op(stats, ty.kind());
+                regs[*dst as usize] = v.convert_to(*ty);
+            }
+            Inst::Intrin1 { dst, f, a } => {
+                let av = regs[*a as usize];
+                stats.float_ops += intrinsic_weight(*f);
+                regs[*dst as usize] = eval_intrinsic(*f, &[av]);
+            }
+            Inst::Intrin2 { dst, f, a, b } => {
+                let av = regs[*a as usize];
+                let bv = regs[*b as usize];
+                stats.float_ops += intrinsic_weight(*f);
+                regs[*dst as usize] = eval_intrinsic(*f, &[av, bv]);
+            }
+            Inst::Test { dst, src } => {
+                regs[*dst as usize] = Value::I64(i64::from(regs[*src as usize].is_true()));
+            }
+            Inst::Load { dst, slot, idx } => {
+                let idx = regs[*idx as usize].as_i64();
+                let info = slot_info(prog, *slot);
+                regs[*dst as usize] = load_value(info, shared, local, stats, idx, mem)?;
+            }
+            Inst::Store { slot, idx, val } => {
+                let idx = regs[*idx as usize].as_i64();
+                let v = regs[*val as usize];
+                let info = slot_info(prog, *slot);
+                store_value(info, shared, local, stats, idx, v, mem)?;
+            }
+            Inst::AtomicRmw { op, slot, idx, val } => {
+                let idx = regs[*idx as usize].as_i64();
+                let v = regs[*val as usize];
+                let info = slot_info(prog, *slot);
+                let old = load_value(info, shared, local, stats, idx, mem)?;
+                let new = apply_atomic(*op, old, v);
+                store_value(info, shared, local, stats, idx, new, mem)?;
+                if matches!(info.kind, SlotKind::Global { .. }) {
+                    stats.global_atomics += 1;
+                }
+            }
+            Inst::Jump { target } => {
+                pc = *target as usize;
+                continue;
+            }
+            Inst::JumpIfFalse {
+                cond,
+                target,
+                int_ops,
+            } => {
+                stats.int_ops += u64::from(*int_ops);
+                if !regs[*cond as usize].is_true() {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Inst::JumpIfTrue {
+                cond,
+                target,
+                int_ops,
+            } => {
+                stats.int_ops += u64::from(*int_ops);
+                if regs[*cond as usize].is_true() {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Inst::ForInit {
+                var,
+                start: sreg,
+                end: ereg,
+                step: streg,
+                exit,
+            } => {
+                let s = regs[*sreg as usize].as_i64();
+                let e = regs[*ereg as usize].as_i64();
+                let st = regs[*streg as usize].as_i64();
+                if st == 0 {
+                    return Err(ExecError::DivByZero);
+                }
+                // Normalize bounds to i64 once; `sreg` doubles as the
+                // private induction register from here on.
+                regs[*sreg as usize] = Value::I64(s);
+                regs[*ereg as usize] = Value::I64(e);
+                regs[*streg as usize] = Value::I64(st);
+                regs[*var as usize] = Value::I64(s);
+                if !((st > 0 && s < e) || (st < 0 && s > e)) {
+                    pc = *exit as usize;
+                    continue;
+                }
+            }
+            Inst::ForNext {
+                var,
+                ind,
+                end: ereg,
+                step: streg,
+                back,
+            } => {
+                stats.int_ops += 2; // induction update + test
+                let st = regs[*streg as usize].as_i64();
+                let e = regs[*ereg as usize].as_i64();
+                let v = regs[*ind as usize].as_i64() + st;
+                regs[*ind as usize] = Value::I64(v);
+                regs[*var as usize] = Value::I64(v);
+                if (st > 0 && v < e) || (st < 0 && v > e) {
+                    pc = *back as usize;
+                    continue;
+                }
+            }
+            Inst::Return => {
+                *returned = true;
+                return Ok(());
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+/// Execute a contiguous block range serially (ascending linear index — the
+/// same order as the tree-walk oracle, so memory effects match bit-for-bit
+/// even for racy kernels).
+pub fn run_range(
+    prog: &Program,
+    pool: &mut MemPool,
+    blocks: Range<u64>,
+) -> Result<BlockStats, ExecError> {
+    let mut eng = BlockEngine::new(prog);
+    let mut total = BlockStats::default();
+    for b in blocks {
+        total += eng.run_block(pool, b)?;
+    }
+    Ok(total)
+}
+
+/// Execute a contiguous block range chunked across up to `workers` scoped
+/// threads. Falls back to [`run_range`] when one worker suffices or the
+/// program is [`Program::serial_only`] (global atomics).
+///
+/// Per-worker [`BlockStats`] are summed at the end; since every counter is
+/// a plain `u64` total, the merged stats are bit-identical to a serial run
+/// regardless of interleaving. On error the first failing block in
+/// ascending order wins (chunks are ascending and each chunk runs
+/// ascending), matching the serial path's reported error.
+pub fn run_range_parallel(
+    prog: &Program,
+    pool: &mut MemPool,
+    blocks: Range<u64>,
+    workers: usize,
+) -> Result<BlockStats, ExecError> {
+    let nblocks = blocks.end.saturating_sub(blocks.start);
+    let workers = workers.min(nblocks.min(usize::MAX as u64) as usize);
+    if workers <= 1 || prog.serial_only() {
+        return run_range(prog, pool, blocks);
+    }
+    let view = RacyView::new(pool);
+    let chunks: Vec<Range<u64>> = (0..workers as u64)
+        .map(|i| {
+            let lo = blocks.start + i * nblocks / workers as u64;
+            let hi = blocks.start + (i + 1) * nblocks / workers as u64;
+            lo..hi
+        })
+        .filter(|r| !r.is_empty())
+        .collect();
+    let results: Vec<Result<BlockStats, ExecError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|r| {
+                let mut v = view.clone();
+                s.spawn(move || {
+                    let mut eng = BlockEngine::new(prog);
+                    let mut total = BlockStats::default();
+                    for b in r {
+                        total += eng.run_block(&mut v, b)?;
+                    }
+                    Ok(total)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let mut total = BlockStats::default();
+    for r in results {
+        total += r?;
+    }
+    Ok(total)
+}
+
+/// Compile `kernel` for `launch` and execute every block with the bytecode
+/// engine — the drop-in counterpart of [`crate::interp::execute_launch`].
+pub fn execute_launch_bytecode(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    pool: &mut MemPool,
+) -> Result<BlockStats, ExecError> {
+    let prog = Program::compile(kernel, launch, args)?;
+    run_range(&prog, pool, 0..launch.num_blocks())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_launch;
+    use cucc_ir::parse_kernel;
+
+    fn check_equiv(src: &str, launch: LaunchConfig, setup: impl Fn(&mut MemPool) -> Vec<Arg>) {
+        let k = parse_kernel(src).unwrap();
+        cucc_ir::validate(&k).unwrap();
+        let mut pool_a = MemPool::new();
+        let args = setup(&mut pool_a);
+        let mut pool_b = pool_a.clone();
+        let mut pool_c = pool_a.clone();
+        let oracle = execute_launch(&k, launch, &args, &mut pool_a);
+        let prog = Program::compile(&k, launch, &args).unwrap();
+        let engine = run_range(&prog, &mut pool_b, 0..launch.num_blocks());
+        assert_eq!(oracle, engine, "stats/error mismatch vs oracle");
+        if oracle.is_ok() {
+            assert_eq!(pool_a, pool_b, "memory mismatch vs oracle");
+        }
+        let par = run_range_parallel(&prog, &mut pool_c, 0..launch.num_blocks(), 4);
+        match (&oracle, &par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "parallel stats mismatch");
+                assert_eq!(pool_a, pool_c, "parallel memory mismatch");
+            }
+            (Err(_), Err(_)) => {}
+            other => panic!("oracle/parallel disagree on success: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saxpy_matches_oracle() {
+        let src = r#"
+            __global__ void saxpy(float* x, float* y, float a, int n) {
+                int i = blockDim.x * blockIdx.x + threadIdx.x;
+                if (i < n) y[i] = a * x[i] + y[i];
+            }
+        "#;
+        check_equiv(src, LaunchConfig::cover1(1000, 128), |pool| {
+            let x = pool.alloc_elems(Scalar::F32, 1000);
+            let y = pool.alloc_elems(Scalar::F32, 1000);
+            let xs: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+            let ys: Vec<f32> = (0..1000).map(|i| 1000.0 - i as f32).collect();
+            pool.write_f32(x, &xs);
+            pool.write_f32(y, &ys);
+            vec![
+                Arg::Buffer(x),
+                Arg::Buffer(y),
+                Arg::float(2.0),
+                Arg::int(1000),
+            ]
+        });
+    }
+
+    #[test]
+    fn shared_reverse_matches_oracle() {
+        let src = r#"
+            __global__ void reverse(int* data) {
+                __shared__ int tile[64];
+                tile[threadIdx.x] = data[blockIdx.x * blockDim.x + threadIdx.x];
+                __syncthreads();
+                data[blockIdx.x * blockDim.x + threadIdx.x] = tile[blockDim.x - 1 - threadIdx.x];
+            }
+        "#;
+        check_equiv(src, LaunchConfig::new(4u32, 64u32), |pool| {
+            let data = pool.alloc_elems(Scalar::I32, 256);
+            let init: Vec<i32> = (0..256).collect();
+            pool.write_i32(data, &init);
+            vec![Arg::Buffer(data)]
+        });
+    }
+
+    #[test]
+    fn barrier_in_uniform_loop_matches_oracle() {
+        let src = r#"
+            __global__ void rotate(int* out, int rounds) {
+                __shared__ int ring[32];
+                ring[threadIdx.x] = threadIdx.x;
+                __syncthreads();
+                int v = 0;
+                for (int r = 0; r < rounds; r++) {
+                    v = ring[(threadIdx.x + 1) % 32];
+                    __syncthreads();
+                    ring[threadIdx.x] = v;
+                    __syncthreads();
+                }
+                out[threadIdx.x] = ring[threadIdx.x];
+            }
+        "#;
+        check_equiv(src, LaunchConfig::new(1u32, 32u32), |pool| {
+            let out = pool.alloc_elems(Scalar::I32, 32);
+            vec![Arg::Buffer(out), Arg::int(5)]
+        });
+    }
+
+    #[test]
+    fn atomics_fall_back_to_serial_and_match() {
+        let src = r#"
+            __global__ void hist(int* bins, int* data, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) atomicAdd(&bins[data[id] % 4], 1);
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        let mut pool = MemPool::new();
+        let bins = pool.alloc_elems(Scalar::I32, 4);
+        let data = pool.alloc_elems(Scalar::I32, 100);
+        let vals: Vec<i32> = (0..100).collect();
+        pool.write_i32(data, &vals);
+        let args = [Arg::Buffer(bins), Arg::Buffer(data), Arg::int(100)];
+        let launch = LaunchConfig::cover1(100, 32);
+        let prog = Program::compile(&k, launch, &args).unwrap();
+        assert!(prog.serial_only());
+        let stats = run_range_parallel(&prog, &mut pool, 0..launch.num_blocks(), 8).unwrap();
+        assert_eq!(pool.read_i32(bins), vec![25, 25, 25, 25]);
+        assert_eq!(stats.global_atomics, 100);
+    }
+
+    #[test]
+    fn early_return_matches_oracle() {
+        let src = r#"
+            __global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id >= n) return;
+                int acc = 0;
+                for (int j = 0; j < id % 7; j++) acc = acc + j * j;
+                out[id] = acc;
+            }
+        "#;
+        check_equiv(src, LaunchConfig::cover1(500, 64), |pool| {
+            let out = pool.alloc_elems(Scalar::I32, 500);
+            vec![Arg::Buffer(out), Arg::int(500)]
+        });
+    }
+
+    #[test]
+    fn oob_error_matches_oracle() {
+        let src = "__global__ void k(int* out) { out[threadIdx.x] = 1; }";
+        check_equiv(src, LaunchConfig::new(1u32, 8u32), |pool| {
+            let out = pool.alloc_elems(Scalar::I32, 4);
+            vec![Arg::Buffer(out)]
+        });
+    }
+
+    #[test]
+    fn div_by_zero_matches_oracle() {
+        let src = "__global__ void k(int* out, int d) { out[0] = 1 / d; }";
+        check_equiv(src, LaunchConfig::new(1u32, 1u32), |pool| {
+            let out = pool.alloc_elems(Scalar::I32, 1);
+            vec![Arg::Buffer(out), Arg::int(0)]
+        });
+    }
+
+    #[test]
+    fn engine_kind_parses() {
+        assert_eq!(EngineKind::parse("tree"), Some(EngineKind::TreeWalk));
+        assert_eq!(EngineKind::parse("bytecode"), Some(EngineKind::Bytecode));
+        assert_eq!(EngineKind::parse("jit"), None);
+        assert_eq!(EngineKind::Bytecode.to_string(), "bytecode");
+    }
+
+    #[test]
+    fn constants_fold_to_short_programs() {
+        // `a * 2.0 + 1.0` with scalar args bound: the whole RHS save the
+        // load collapses, so the stream stays small.
+        let src = r#"
+            __global__ void k(float* out, float a) {
+                out[threadIdx.x] = a * 2.0 + 1.0;
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        let mut pool = MemPool::new();
+        let out = pool.alloc_elems(Scalar::F32, 8);
+        let args = [Arg::Buffer(out), Arg::float(3.0)];
+        let launch = LaunchConfig::new(1u32, 8u32);
+        let prog = Program::compile(&k, launch, &args).unwrap();
+        // Folded value + tid + store: no multiply/add instructions remain.
+        assert!(prog.num_insts() <= 4, "got {} insts", prog.num_insts());
+        run_range(&prog, &mut pool, 0..1).unwrap();
+        assert_eq!(pool.read_f32(out), vec![7.0f32; 8]);
+    }
+}

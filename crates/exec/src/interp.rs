@@ -109,13 +109,61 @@ struct Env {
     tid: (u32, u32, u32),
 }
 
+/// Reusable per-launch execution state: thread environments and the shared
+/// memory image, allocated once and reset per block so that multi-block
+/// runs stop paying per-block allocation cost.
+struct BlockArena {
+    envs: Vec<Env>,
+    shared: Vec<Vec<u8>>,
+}
+
+impl BlockArena {
+    fn new(kernel: &Kernel, launch: LaunchConfig) -> BlockArena {
+        let nthreads = launch.threads_per_block() as usize;
+        BlockArena {
+            envs: (0..nthreads)
+                .map(|t| Env {
+                    vars: vec![Value::I64(0); kernel.num_vars()],
+                    locals: kernel
+                        .locals
+                        .iter()
+                        .map(|a| vec![0u8; a.size_bytes()])
+                        .collect(),
+                    returned: false,
+                    tid: launch.block.delinearize(t as u64),
+                })
+                .collect(),
+            shared: kernel
+                .shared
+                .iter()
+                .map(|a| vec![0u8; a.size_bytes()])
+                .collect(),
+        }
+    }
+
+    /// Restore the freshly-allocated state (zero vars/locals/shared, no
+    /// thread returned). Thread ids are block-invariant and stay.
+    fn reset(&mut self) {
+        for env in &mut self.envs {
+            env.vars.fill(Value::I64(0));
+            for l in &mut env.locals {
+                l.fill(0);
+            }
+            env.returned = false;
+        }
+        for s in &mut self.shared {
+            s.fill(0);
+        }
+    }
+}
+
 struct Interp<'a> {
     kernel: &'a Kernel,
     launch: LaunchConfig,
     block: (u32, u32, u32),
     args: &'a [Arg],
     pool: &'a mut MemPool,
-    shared: Vec<Vec<u8>>,
+    shared: &'a mut [Vec<u8>],
     stats: BlockStats,
     trace: Option<&'a mut Vec<WriteRecord>>,
 }
@@ -154,39 +202,38 @@ fn execute_block_inner(
     trace: Option<&mut Vec<WriteRecord>>,
 ) -> Result<BlockStats, ExecError> {
     check_args(kernel, args)?;
-    let block = launch.grid.delinearize(block_linear);
-    let nthreads = launch.threads_per_block() as usize;
-    let mut envs: Vec<Env> = (0..nthreads)
-        .map(|t| Env {
-            vars: vec![Value::I64(0); kernel.num_vars()],
-            locals: kernel
-                .locals
-                .iter()
-                .map(|a| vec![0u8; a.size_bytes()])
-                .collect(),
-            returned: false,
-            tid: launch.block.delinearize(t as u64),
-        })
-        .collect();
+    let mut arena = BlockArena::new(kernel, launch);
+    run_block_prepared(kernel, launch, block_linear, args, pool, &mut arena, trace)
+}
+
+/// Run one block out of a pre-checked, pre-allocated arena. `check_args`
+/// must have been called once for the launch; the arena is reset here.
+fn run_block_prepared(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    block_linear: u64,
+    args: &[Arg],
+    pool: &mut MemPool,
+    arena: &mut BlockArena,
+    trace: Option<&mut Vec<WriteRecord>>,
+) -> Result<BlockStats, ExecError> {
+    arena.reset();
+    let BlockArena { envs, shared } = arena;
     let mut interp = Interp {
         kernel,
         launch,
-        block,
+        block: launch.grid.delinearize(block_linear),
         args,
         pool,
-        shared: kernel
-            .shared
-            .iter()
-            .map(|a| vec![0u8; a.size_bytes()])
-            .collect(),
+        shared,
         stats: BlockStats {
             blocks: 1,
-            active_threads: nthreads as u64,
+            active_threads: envs.len() as u64,
             ..BlockStats::default()
         },
         trace,
     };
-    interp.run_phased(&kernel.body, &mut envs)?;
+    interp.run_phased(&kernel.body, envs)?;
     Ok(interp.stats)
 }
 
@@ -200,9 +247,24 @@ pub fn execute_launch(
     args: &[Arg],
     pool: &mut MemPool,
 ) -> Result<BlockStats, ExecError> {
+    execute_block_range(kernel, launch, 0..launch.num_blocks(), args, pool)
+}
+
+/// Execute a contiguous range of blocks sequentially (ascending), with
+/// argument checking and environment allocation hoisted out of the per-block
+/// loop. [`execute_launch`] and the cluster's tree-walk path build on this.
+pub fn execute_block_range(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    blocks: std::ops::Range<u64>,
+    args: &[Arg],
+    pool: &mut MemPool,
+) -> Result<BlockStats, ExecError> {
+    check_args(kernel, args)?;
+    let mut arena = BlockArena::new(kernel, launch);
     let mut total = BlockStats::default();
-    for b in 0..launch.num_blocks() {
-        total += execute_block(kernel, launch, b, args, pool)?;
+    for b in blocks {
+        total += run_block_prepared(kernel, launch, b, args, pool, &mut arena, None)?;
     }
     Ok(total)
 }
@@ -235,7 +297,9 @@ pub fn profile_launch(
 ) -> Result<LaunchProfile, ExecError> {
     let nb = launch.num_blocks();
     let mut scratch = pool.clone();
-    let tail = execute_block(kernel, launch, nb - 1, args, &mut scratch)?;
+    check_args(kernel, args)?;
+    let mut arena = BlockArena::new(kernel, launch);
+    let tail = run_block_prepared(kernel, launch, nb - 1, args, &mut scratch, &mut arena, None)?;
     let body_blocks = nb - 1;
     let per_block = if body_blocks == 0 {
         BlockStats::default()
@@ -244,7 +308,7 @@ pub fn profile_launch(
         let mut acc = BlockStats::default();
         for i in 0..k {
             let b = i * body_blocks / k;
-            acc += execute_block(kernel, launch, b, args, &mut scratch)?;
+            acc += run_block_prepared(kernel, launch, b, args, &mut scratch, &mut arena, None)?;
         }
         // Average the samples; keep integer math exact by rounding.
         BlockStats {
@@ -271,7 +335,7 @@ pub fn profile_launch(
     })
 }
 
-fn check_args(kernel: &Kernel, args: &[Arg]) -> Result<(), ExecError> {
+pub(crate) fn check_args(kernel: &Kernel, args: &[Arg]) -> Result<(), ExecError> {
     if args.len() != kernel.params.len() {
         return Err(ExecError::ArgCount {
             expected: kernel.params.len(),
@@ -292,7 +356,7 @@ fn check_args(kernel: &Kernel, args: &[Arg]) -> Result<(), ExecError> {
     Ok(())
 }
 
-fn contains_barrier(s: &Stmt) -> bool {
+pub(crate) fn contains_barrier(s: &Stmt) -> bool {
     match s {
         Stmt::SyncThreads => true,
         Stmt::If {
@@ -598,14 +662,7 @@ impl<'a> Interp<'a> {
             Expr::Unary { op, arg } => {
                 let a = self.eval(arg, env)?;
                 self.count_op(a.kind());
-                match op {
-                    UnOp::Neg => match a {
-                        Value::I64(v) => Value::I64(v.wrapping_neg()),
-                        Value::F64(v) => Value::F64(-v),
-                    },
-                    UnOp::Not => Value::I64(i64::from(!a.is_true())),
-                    UnOp::BitNot => Value::I64(!a.as_i64()),
-                }
+                eval_unop(*op, a)
             }
             Expr::Binary { op, lhs, rhs } => {
                 // Short-circuit logical operators (needed so guarded loads
@@ -677,7 +734,7 @@ impl<'a> Interp<'a> {
 }
 
 #[inline]
-fn axis_of(t: (u32, u32, u32), a: cucc_ir::Axis) -> u32 {
+pub(crate) fn axis_of(t: (u32, u32, u32), a: cucc_ir::Axis) -> u32 {
     match a {
         cucc_ir::Axis::X => t.0,
         cucc_ir::Axis::Y => t.1,
@@ -685,11 +742,44 @@ fn axis_of(t: (u32, u32, u32), a: cucc_ir::Axis) -> u32 {
     }
 }
 
-fn eval_binop(op: BinOp, l: Value, r: Value, float: bool) -> Result<Value, ExecError> {
+/// Apply a unary operator with the interpreter's exact semantics (wrapping
+/// integer negation, C truthiness for `!`).
+#[inline]
+pub(crate) fn eval_unop(op: UnOp, a: Value) -> Value {
+    match op {
+        UnOp::Neg => match a {
+            Value::I64(v) => Value::I64(v.wrapping_neg()),
+            Value::F64(v) => Value::F64(-v),
+        },
+        UnOp::Not => Value::I64(i64::from(!a.is_true())),
+        UnOp::BitNot => Value::I64(!a.as_i64()),
+    }
+}
+
+/// True when evaluating `op` on these operands would fail (integer divide
+/// or remainder by zero) — the only fallible case of [`eval_binop_total`].
+#[inline]
+pub(crate) fn binop_faults(op: BinOp, r: Value, float: bool) -> bool {
+    !float && matches!(op, BinOp::Div | BinOp::Rem) && r.as_i64() == 0
+}
+
+#[inline]
+pub(crate) fn eval_binop(op: BinOp, l: Value, r: Value, float: bool) -> Result<Value, ExecError> {
+    if binop_faults(op, r, float) {
+        return Err(ExecError::DivByZero);
+    }
+    Ok(eval_binop_total(op, l, r, float))
+}
+
+/// Infallible binary-op core. Callers must rule out [`binop_faults`] first;
+/// the int `Div`/`Rem` arms defensively yield 0 on a zero divisor so this
+/// function can never panic.
+#[inline]
+pub(crate) fn eval_binop_total(op: BinOp, l: Value, r: Value, float: bool) -> Value {
     use BinOp::*;
     if float {
         let (a, b) = (l.as_f64(), r.as_f64());
-        return Ok(match op {
+        return match op {
             Add => Value::F64(a + b),
             Sub => Value::F64(a - b),
             Mul => Value::F64(a * b),
@@ -703,27 +793,17 @@ fn eval_binop(op: BinOp, l: Value, r: Value, float: bool) -> Result<Value, ExecE
             // Integer-only operators with float operands are rejected by
             // validation; fall back to int semantics defensively.
             Rem | And | Or | Xor | Shl | Shr | LAnd | LOr => {
-                return eval_binop(op, Value::I64(l.as_i64()), Value::I64(r.as_i64()), false)
+                eval_binop_total(op, Value::I64(l.as_i64()), Value::I64(r.as_i64()), false)
             }
-        });
+        };
     }
     let (a, b) = (l.as_i64(), r.as_i64());
-    Ok(match op {
+    match op {
         Add => Value::I64(a.wrapping_add(b)),
         Sub => Value::I64(a.wrapping_sub(b)),
         Mul => Value::I64(a.wrapping_mul(b)),
-        Div => {
-            if b == 0 {
-                return Err(ExecError::DivByZero);
-            }
-            Value::I64(a.wrapping_div(b))
-        }
-        Rem => {
-            if b == 0 {
-                return Err(ExecError::DivByZero);
-            }
-            Value::I64(a.wrapping_rem(b))
-        }
+        Div => Value::I64(if b == 0 { 0 } else { a.wrapping_div(b) }),
+        Rem => Value::I64(if b == 0 { 0 } else { a.wrapping_rem(b) }),
         Lt => Value::I64(i64::from(a < b)),
         Le => Value::I64(i64::from(a <= b)),
         Gt => Value::I64(i64::from(a > b)),
@@ -737,10 +817,11 @@ fn eval_binop(op: BinOp, l: Value, r: Value, float: bool) -> Result<Value, ExecE
         Shr => Value::I64(a.wrapping_shr(b as u32 & 63)),
         LAnd => Value::I64(i64::from(a != 0 && b != 0)),
         LOr => Value::I64(i64::from(a != 0 || b != 0)),
-    })
+    }
 }
 
-fn eval_intrinsic(f: Intrinsic, args: &[Value]) -> Value {
+#[inline]
+pub(crate) fn eval_intrinsic(f: Intrinsic, args: &[Value]) -> Value {
     use Intrinsic::*;
     match f {
         Min | Max | Abs => {
@@ -790,7 +871,8 @@ pub fn erf(x: f64) -> f64 {
     sign * y
 }
 
-fn apply_atomic(op: AtomicOp, old: Value, v: Value) -> Value {
+#[inline]
+pub(crate) fn apply_atomic(op: AtomicOp, old: Value, v: Value) -> Value {
     let float = old.kind() == ValueKind::Float || v.kind() == ValueKind::Float;
     if float {
         let (a, b) = (old.as_f64(), v.as_f64());
@@ -809,7 +891,8 @@ fn apply_atomic(op: AtomicOp, old: Value, v: Value) -> Value {
     }
 }
 
-fn slice_load(bytes: &[u8], elem: cucc_ir::Scalar, index: i64) -> Option<Value> {
+#[inline]
+pub(crate) fn slice_load(bytes: &[u8], elem: cucc_ir::Scalar, index: i64) -> Option<Value> {
     let sz = elem.size();
     if index < 0 {
         return None;
@@ -819,7 +902,13 @@ fn slice_load(bytes: &[u8], elem: cucc_ir::Scalar, index: i64) -> Option<Value> 
     Some(decode(elem, slice))
 }
 
-fn slice_store(bytes: &mut [u8], elem: cucc_ir::Scalar, index: i64, value: Value) -> bool {
+#[inline]
+pub(crate) fn slice_store(
+    bytes: &mut [u8],
+    elem: cucc_ir::Scalar,
+    index: i64,
+    value: Value,
+) -> bool {
     let sz = elem.size();
     if index < 0 {
         return false;

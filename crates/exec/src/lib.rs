@@ -17,13 +17,22 @@
 //! extrapolates, which is how the figure harnesses scale to paper-sized
 //! workloads without interpreting billions of operations.
 
+//! The tree-walk interpreter in [`interp`] is the *reference* executor (and
+//! differential-testing oracle); [`bytecode`] + [`engine`] compile a kernel
+//! once per launch into a flat register-based instruction stream and run it
+//! with a reusable per-run arena and optional intra-node block parallelism.
+
+pub mod bytecode;
+pub mod engine;
 pub mod interp;
 pub mod memory;
 pub mod stats;
 
+pub use bytecode::Program;
+pub use engine::{execute_launch_bytecode, run_range, run_range_parallel, EngineKind, ExecOptions};
 pub use interp::{
-    execute_block, execute_block_traced, execute_launch, profile_launch, Arg, ExecError,
-    LaunchProfile, WriteRecord,
+    execute_block, execute_block_range, execute_block_traced, execute_launch, profile_launch, Arg,
+    ExecError, LaunchProfile, WriteRecord,
 };
 pub use memory::{BufferId, MemPool};
 pub use stats::BlockStats;

@@ -78,6 +78,7 @@ impl MemPool {
     /// Load element `index` of an allocation viewed as `elem[]`.
     ///
     /// Returns `None` on out-of-bounds.
+    #[inline]
     pub fn load(&self, id: BufferId, elem: Scalar, index: i64) -> Option<Value> {
         let bytes = self.bytes(id);
         let sz = elem.size();
@@ -91,6 +92,7 @@ impl MemPool {
 
     /// Store `value` into element `index` of an allocation viewed as
     /// `elem[]`, applying C narrowing. Returns `false` on out-of-bounds.
+    #[inline]
     pub fn store(&mut self, id: BufferId, elem: Scalar, index: i64, value: Value) -> bool {
         let sz = elem.size();
         if index < 0 {
@@ -160,6 +162,7 @@ impl MemPool {
 }
 
 /// Decode one element from little-endian bytes.
+#[inline]
 pub fn decode(elem: Scalar, bytes: &[u8]) -> Value {
     match elem {
         Scalar::U8 => Value::I64(bytes[0] as i64),
@@ -173,6 +176,7 @@ pub fn decode(elem: Scalar, bytes: &[u8]) -> Value {
 }
 
 /// Encode one value (with C narrowing) into little-endian bytes.
+#[inline]
 pub fn encode(elem: Scalar, value: Value, out: &mut [u8]) {
     match elem {
         Scalar::U8 => out[0] = value.as_i64() as u8,

@@ -369,6 +369,15 @@ impl Expr {
         found
     }
 
+    /// Number of nodes in the expression tree. The bytecode lowering uses
+    /// this to pre-size its instruction buffer (each node lowers to at most
+    /// a few instructions).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
     /// True if the expression contains any memory load.
     pub fn has_load(&self) -> bool {
         let mut found = false;
@@ -413,6 +422,12 @@ mod tests {
         let mut n = 0;
         e.visit(&mut |_| n += 1);
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn node_count_matches_visit() {
+        assert_eq!(Expr::global_tid_x().node_count(), 5);
+        assert_eq!(Expr::int(1).node_count(), 1);
     }
 
     #[test]

@@ -182,6 +182,34 @@ impl Kernel {
             .map(|(i, p)| (ParamId(i as u32), p))
     }
 
+    /// Number of dense *memory slots* a flat executor needs: one per
+    /// parameter (scalar parameter slots stay unused placeholders, keeping
+    /// the numbering trivial), then one per `__shared__` array, then one per
+    /// local array. See [`Kernel::mem_slot`] for the numbering itself.
+    pub fn num_mem_slots(&self) -> usize {
+        self.params.len() + self.shared.len() + self.locals.len()
+    }
+
+    /// Dense slot index of a memory reference, stable for a given kernel:
+    /// buffer parameters first (in declaration order), then shared arrays,
+    /// then locals. The bytecode engine resolves every [`MemRef`] to this
+    /// numbering once at compile time instead of re-matching per access.
+    pub fn mem_slot(&self, mem: MemRef) -> usize {
+        match mem {
+            MemRef::Global(p) => p.index(),
+            MemRef::Shared(i) => self.params.len() + i as usize,
+            MemRef::Local(i) => self.params.len() + self.shared.len() + i as usize,
+        }
+    }
+
+    /// Total number of statements in the body, nested blocks included
+    /// (used to pre-size flat instruction streams).
+    pub fn flat_stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_stmts(&mut |_| n += 1);
+        n
+    }
+
     /// True if the kernel contains any `__syncthreads()` barrier.
     pub fn has_barrier(&self) -> bool {
         fn block_has(stmts: &[Stmt]) -> bool {
@@ -297,6 +325,37 @@ mod tests {
     #[test]
     fn no_barrier_in_toy() {
         assert!(!toy_kernel().has_barrier());
+    }
+
+    #[test]
+    fn mem_slot_numbering_is_dense_and_stable() {
+        let mut k = toy_kernel();
+        k.shared.push(ArrayDecl {
+            name: "tile".into(),
+            elem: Scalar::F32,
+            len: 64,
+        });
+        k.locals.push(ArrayDecl {
+            name: "acc".into(),
+            elem: Scalar::F32,
+            len: 4,
+        });
+        assert_eq!(k.num_mem_slots(), 4); // 2 params + 1 shared + 1 local
+        assert_eq!(k.mem_slot(MemRef::Global(ParamId(0))), 0);
+        assert_eq!(k.mem_slot(MemRef::Global(ParamId(1))), 1);
+        assert_eq!(k.mem_slot(MemRef::Shared(0)), 2);
+        assert_eq!(k.mem_slot(MemRef::Local(0)), 3);
+    }
+
+    #[test]
+    fn flat_stmt_count_includes_nested() {
+        let mut k = toy_kernel();
+        assert_eq!(k.flat_stmt_count(), 1);
+        k.body = vec![Stmt::if_then(
+            Expr::int(1),
+            vec![Stmt::Return, Stmt::Return],
+        )];
+        assert_eq!(k.flat_stmt_count(), 3);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   --arg int:<v>            integer scalar
 //!   --arg float:<v>          float scalar
 //!   --seed S                 RNG seed for buffer data (default 42)
+//!   --engine tree|bytecode   functional executor       (default bytecode)
+//!   --node-threads N         intra-node worker threads (default 0 = auto)
 //!   --modeled                timing-only (skip functional execution)
 //!   --trace out.json         export the simulated-clock timeline as
 //!                            Chrome trace-event JSON (open in Perfetto)
@@ -29,7 +31,7 @@
 use cucc::analysis::Verdict;
 use cucc::cluster::ClusterSpec;
 use cucc::core::codegen::{generate_host_module, generate_kernel_module};
-use cucc::core::{compile_source, CuccCluster, ExecMode, RuntimeConfig};
+use cucc::core::{compile_source, CuccCluster, EngineKind, ExecMode, RuntimeConfig};
 use cucc::exec::Arg;
 use cucc::gpu_model::{GpuDevice, GpuSpec};
 use cucc::ir::{Dim3, LaunchConfig};
@@ -150,6 +152,8 @@ struct RunOpts {
     seed: u64,
     modeled: bool,
     trace: Option<String>,
+    engine: EngineKind,
+    node_threads: usize,
 }
 
 fn parse_dim(s: &str) -> Result<Dim3, String> {
@@ -176,6 +180,8 @@ impl RunOpts {
             seed: 42,
             modeled: false,
             trace: None,
+            engine: EngineKind::default(),
+            node_threads: 0,
         };
         let mut i = 0;
         let need = |i: &mut usize| -> Result<&String, String> {
@@ -194,6 +200,16 @@ impl RunOpts {
                 "--seed" => o.seed = need(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--modeled" => o.modeled = true,
                 "--trace" => o.trace = Some(need(&mut i)?.clone()),
+                "--engine" => {
+                    let v = need(&mut i)?;
+                    o.engine = EngineKind::parse(v)
+                        .ok_or_else(|| format!("--engine: unknown engine `{v}` (tree|bytecode)"))?;
+                }
+                "--node-threads" => {
+                    o.node_threads = need(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--node-threads: {e}"))?;
+                }
                 "--arg" => {
                     let spec = need(&mut i)?;
                     o.args.push(parse_arg(spec)?);
@@ -350,10 +366,14 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
     out += &format!("  A100 (roofline reference): {:.3} ms\n", gpu_time * 1e3);
 
     // CuCC cluster.
-    let cfg = if opts.modeled {
-        RuntimeConfig::modeled()
-    } else {
-        RuntimeConfig::default()
+    let cfg = RuntimeConfig {
+        engine: opts.engine,
+        node_threads: opts.node_threads,
+        ..if opts.modeled {
+            RuntimeConfig::modeled()
+        } else {
+            RuntimeConfig::default()
+        }
     };
     let mut cl = CuccCluster::new(spec, cfg);
     let mut cl_handles = Vec::new();
@@ -363,7 +383,9 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         cl_handles.push(id);
         Arg::Buffer(id)
     });
+    let wall0 = std::time::Instant::now();
     let report = cl.launch(&ck, launch, &cargs).map_err(|e| e.to_string())?;
+    let wall = wall0.elapsed().as_secs_f64();
     match &report.mode {
         ExecMode::ThreePhase {
             partial_blocks_per_node,
@@ -414,6 +436,28 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
                 fnv1a(&cb)
             );
         }
+    }
+
+    if opts.modeled {
+        out += &format!(
+            "  engine: {} (modeled run, blocks not executed)\n",
+            opts.engine
+        );
+    } else {
+        // Blocks node 0 really executed (partial slice + callbacks).
+        let blocks = report.node_stats.blocks;
+        out += &format!(
+            "  engine: {} ({}): {} blocks/node in {:.3} ms wall, {:.0} blocks/s\n",
+            opts.engine,
+            if opts.node_threads == 0 {
+                "auto node-threads".to_string()
+            } else {
+                format!("{} node-threads", opts.node_threads)
+            },
+            blocks,
+            wall * 1e3,
+            blocks as f64 / wall.max(1e-9)
+        );
     }
 
     out += "\n";
@@ -557,6 +601,43 @@ mod tests {
             .iter()
             .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")
                 && e.get("name").and_then(|n| n.as_str()) == Some("wire_bytes")));
+    }
+
+    #[test]
+    fn run_with_engine_flags() {
+        for engine in ["tree", "bytecode"] {
+            let opts = RunOpts::parse(
+                &[
+                    "--nodes",
+                    "2",
+                    "--grid",
+                    "8",
+                    "--block",
+                    "128",
+                    "--engine",
+                    engine,
+                    "--node-threads",
+                    "2",
+                    "--arg",
+                    "buf:1024f32",
+                    "--arg",
+                    "buf:1024f32",
+                    "--arg",
+                    "float:2.0",
+                    "--arg",
+                    "int:1024",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let out = cmd_run(SAXPY, &opts).unwrap();
+            assert!(out.contains(&format!("engine: {engine}")), "{out}");
+            assert!(out.contains("blocks/s"), "{out}");
+            assert!(out.contains("matches GPU"), "{out}");
+        }
+        assert!(RunOpts::parse(&["--engine".into(), "jit".into()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,739 @@
+//! Differential property tests: the bytecode engine (`cucc::exec::bytecode`
+//! + `engine`) must match the tree-walk oracle **bit-for-bit** — identical
+//! `BlockStats` counters, identical final memory, identical runtime errors —
+//! on randomly generated kernels and launch shapes.
+//!
+//! Three kernel families target the engine's distinct code paths:
+//!
+//! 1. **General serial kernels** — nested `if`/`for`, assignments, global +
+//!    local-array traffic, unmasked `/`/`%` (so `DivByZero` errors must
+//!    agree too), global atomics, early `return`, odd launch shapes (tail
+//!    blocks), and partial block ranges (the cluster's per-node slices).
+//! 2. **Barrier kernels** — shared-memory staging with `__syncthreads()` in
+//!    uniform control flow, exercising the precomputed phase tree
+//!    (`Seg`/`Barrier`/`UniformFor`/`UniformIf`).
+//! 3. **Elementwise kernels** — each block writes a disjoint slice, so the
+//!    intra-node parallel path (`run_range_parallel`) must also reproduce
+//!    oracle memory and stats exactly, for any worker count.
+
+use cucc::exec::{
+    execute_block_range, execute_launch, execute_launch_bytecode, run_range, run_range_parallel,
+    Arg, MemPool, Program,
+};
+use cucc::ir::{
+    validate, AtomicOp, Axis, Expr, Intrinsic, Kernel, KernelBuilder, LaunchConfig, MemRef, Scalar,
+    VarId,
+};
+use proptest::prelude::*;
+
+const OUT_LEN: i64 = 128;
+const F_LEN: i64 = 32;
+const SH_LEN: i64 = 16;
+
+/// Deterministically seeded argument pool: one i64 output buffer and one
+/// f32 buffer, plus the scalar params every generated kernel declares.
+fn seed_pool() -> (MemPool, Vec<Arg>) {
+    let mut pool = MemPool::new();
+    let out = pool.alloc_elems(Scalar::I64, OUT_LEN as usize);
+    let fbuf = pool.alloc_elems(Scalar::F32, F_LEN as usize);
+    let out_bytes: Vec<u8> = (0..OUT_LEN)
+        .flat_map(|i| (i * 7 - 40).to_le_bytes())
+        .collect();
+    let f_bytes: Vec<u8> = (0..F_LEN)
+        .flat_map(|i| (i as f32 * 0.5 - 3.0).to_le_bytes())
+        .collect();
+    pool.write_all(out, &out_bytes);
+    pool.write_all(fbuf, &f_bytes);
+    let args = vec![
+        Arg::Buffer(out),
+        Arg::Buffer(fbuf),
+        Arg::int(5),
+        Arg::float(1.5),
+    ];
+    (pool, args)
+}
+
+/// Run both executors from identical pools and assert stats, memory and
+/// errors all agree.
+fn assert_equiv(k: &Kernel, launch: LaunchConfig) {
+    validate(k).expect("generated kernels are valid");
+    let (mut pool_a, args) = seed_pool();
+    let mut pool_b = pool_a.clone();
+    let ra = execute_launch(k, launch, &args, &mut pool_a);
+    let rb = execute_launch_bytecode(k, launch, &args, &mut pool_b);
+    match (&ra, &rb) {
+        (Ok(sa), Ok(sb)) => {
+            assert_eq!(sa, sb, "BlockStats diverged");
+            for id in 0..pool_a.len() {
+                let id = cucc::exec::BufferId(id as u32);
+                assert_eq!(pool_a.bytes(id), pool_b.bytes(id), "memory diverged");
+            }
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "errors diverged"),
+        _ => panic!("result kind diverged: oracle={ra:?} bytecode={rb:?}"),
+    }
+    // Partial block ranges (how cluster nodes drive the engine): the serial
+    // engine over a sub-range must match the oracle over the same sub-range.
+    let n = launch.num_blocks();
+    if ra.is_ok() && n >= 4 {
+        let range = (n / 4)..(n - n / 4);
+        let (mut pa, args) = seed_pool();
+        let mut pb = pa.clone();
+        let sa = execute_block_range(k, launch, range.clone(), &args, &mut pa).unwrap();
+        let prog = Program::compile(k, launch, &args).unwrap();
+        let sb = run_range(&prog, &mut pb, range).unwrap();
+        assert_eq!(sa, sb, "sub-range BlockStats diverged");
+        for id in 0..pa.len() {
+            let id = cucc::exec::BufferId(id as u32);
+            assert_eq!(pa.bytes(id), pb.bytes(id), "sub-range memory diverged");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: general serial kernels (errors, atomics, early return, tails).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ER {
+    Const(i64),
+    FConst(i32),
+    Tid,
+    Bid,
+    P,
+    Q,
+    Var(u8),
+    LoadOut(Box<ER>),
+    LoadF(Box<ER>),
+    Add(Box<ER>, Box<ER>),
+    Sub(Box<ER>, Box<ER>),
+    Mul(Box<ER>, Box<ER>),
+    Div(Box<ER>, Box<ER>),
+    Rem(Box<ER>, Box<ER>),
+    Lt(Box<ER>, Box<ER>),
+    And(Box<ER>, Box<ER>),
+    Select(Box<ER>, Box<ER>, Box<ER>),
+    CastI32(Box<ER>),
+    Min(Box<ER>, Box<ER>),
+}
+
+fn er() -> impl Strategy<Value = ER> {
+    let leaf = prop_oneof![
+        (-9i64..10).prop_map(ER::Const),
+        (-4i32..5).prop_map(ER::FConst),
+        Just(ER::Tid),
+        Just(ER::Bid),
+        Just(ER::P),
+        Just(ER::Q),
+        (0u8..4).prop_map(ER::Var),
+    ];
+    leaf.prop_recursive(3, 20, 2, |i| {
+        prop_oneof![
+            i.clone().prop_map(|a| ER::LoadOut(Box::new(a))),
+            i.clone().prop_map(|a| ER::LoadF(Box::new(a))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::Add(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::Sub(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::Mul(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::Div(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::Rem(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::Lt(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone()).prop_map(|(a, b)| ER::And(Box::new(a), Box::new(b))),
+            (i.clone(), i.clone(), i.clone()).prop_map(|(c, a, b)| ER::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+            i.clone().prop_map(|a| ER::CastI32(Box::new(a))),
+            (i.clone(), i).prop_map(|(a, b)| ER::Min(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+enum SR {
+    Let(ER),
+    Assign(u8, ER),
+    StoreOut(ER, ER),
+    StoreF(ER, ER),
+    StoreLocal(ER, ER),
+    LetLocal(ER),
+    Atomic(u8, ER, ER),
+    If(ER, Vec<SR>),
+    IfElse(ER, Vec<SR>, Vec<SR>),
+    For(u8, Vec<SR>),
+    ForStep(i8, u8, u8, Vec<SR>),
+    RetIf(ER),
+}
+
+fn sr() -> impl Strategy<Value = SR> {
+    let leaf = prop_oneof![
+        er().prop_map(SR::Let),
+        (0u8..4, er()).prop_map(|(v, e)| SR::Assign(v, e)),
+        (er(), er()).prop_map(|(i, v)| SR::StoreOut(i, v)),
+        (er(), er()).prop_map(|(i, v)| SR::StoreF(i, v)),
+        (er(), er()).prop_map(|(i, v)| SR::StoreLocal(i, v)),
+        er().prop_map(SR::LetLocal),
+        (0u8..3, er(), er()).prop_map(|(op, i, v)| SR::Atomic(op, i, v)),
+        er().prop_map(SR::RetIf),
+    ];
+    leaf.prop_recursive(2, 14, 3, |i| {
+        prop_oneof![
+            (er(), prop::collection::vec(i.clone(), 1..3)).prop_map(|(c, b)| SR::If(c, b)),
+            (
+                er(),
+                prop::collection::vec(i.clone(), 1..3),
+                prop::collection::vec(i.clone(), 1..3)
+            )
+                .prop_map(|(c, t, e)| SR::IfElse(c, t, e)),
+            (1u8..4, prop::collection::vec(i.clone(), 1..3)).prop_map(|(n, b)| SR::For(n, b)),
+            (
+                (-2i8..3),
+                (1u8..7),
+                (1u8..3),
+                prop::collection::vec(i, 1..3)
+            )
+                .prop_map(|(s, e, st, b)| SR::ForStep(s, e, st, b)),
+        ]
+    })
+}
+
+/// Mask an arbitrary expression into `[0, len)`. `%` is int-only in the
+/// front-end, so possibly-float inputs are squashed through a cast first.
+fn mask(raw: Expr, len: i64) -> Expr {
+    Expr::cast(Scalar::I64, raw)
+        .rem(Expr::int(len))
+        .add(Expr::int(len))
+        .rem(Expr::int(len))
+}
+
+struct Ctx {
+    out: MemRef,
+    fbuf: MemRef,
+    lcl: MemRef,
+    p: Expr,
+    q: Expr,
+    vars: Vec<VarId>,
+}
+
+fn build_expr(r: &ER, c: &Ctx) -> Expr {
+    match r {
+        ER::Const(v) => Expr::int(*v),
+        ER::FConst(v) => Expr::float(*v as f64 * 0.25),
+        ER::Tid => Expr::ThreadIdx(Axis::X),
+        ER::Bid => Expr::BlockIdx(Axis::X),
+        ER::P => c.p.clone(),
+        ER::Q => c.q.clone(),
+        ER::Var(i) => Expr::Var(c.vars[*i as usize % c.vars.len()]),
+        ER::LoadOut(i) => Expr::load(c.out, mask(build_expr(i, c), OUT_LEN)),
+        ER::LoadF(i) => Expr::load(c.fbuf, mask(build_expr(i, c), F_LEN)),
+        ER::Add(a, b) => build_expr(a, c).add(build_expr(b, c)),
+        ER::Sub(a, b) => build_expr(a, c).sub(build_expr(b, c)),
+        ER::Mul(a, b) => build_expr(a, c).mul(build_expr(b, c)),
+        ER::Div(a, b) => build_expr(a, c).div(build_expr(b, c)),
+        ER::Rem(a, b) => {
+            Expr::cast(Scalar::I64, build_expr(a, c)).rem(Expr::cast(Scalar::I64, build_expr(b, c)))
+        }
+        ER::Lt(a, b) => build_expr(a, c).lt(build_expr(b, c)),
+        ER::And(a, b) => build_expr(a, c).land(build_expr(b, c)),
+        ER::Select(cd, a, b) => Expr::Select {
+            cond: Box::new(build_expr(cd, c)),
+            then_value: Box::new(build_expr(a, c)),
+            else_value: Box::new(build_expr(b, c)),
+        },
+        ER::CastI32(a) => Expr::cast(Scalar::I32, build_expr(a, c)),
+        ER::Min(a, b) => Expr::Call {
+            f: Intrinsic::Min,
+            args: vec![
+                // min/max are int-only; squash possibly-float operands.
+                Expr::cast(Scalar::I64, build_expr(a, c)),
+                Expr::cast(Scalar::I64, build_expr(b, c)),
+            ],
+        },
+    }
+}
+
+fn emit(b: &mut KernelBuilder, stmts: &[SR], c: &Ctx, fresh: &mut u32) {
+    for s in stmts {
+        match s {
+            SR::Let(e) => {
+                let name = format!("t{}", *fresh);
+                *fresh += 1;
+                b.let_(name, build_expr(e, c));
+            }
+            SR::Assign(v, e) => {
+                let var = c.vars[*v as usize % c.vars.len()];
+                b.assign(var, Expr::cast(Scalar::I64, build_expr(e, c)));
+            }
+            SR::StoreOut(i, v) => b.store(
+                c.out,
+                mask(build_expr(i, c), OUT_LEN),
+                Expr::cast(Scalar::I64, build_expr(v, c)),
+            ),
+            SR::StoreF(i, v) => b.store(
+                c.fbuf,
+                mask(build_expr(i, c), F_LEN),
+                Expr::cast(Scalar::F32, build_expr(v, c)),
+            ),
+            SR::StoreLocal(i, v) => b.store(
+                c.lcl,
+                mask(build_expr(i, c), 8),
+                Expr::cast(Scalar::I64, build_expr(v, c)),
+            ),
+            SR::LetLocal(i) => {
+                let name = format!("t{}", *fresh);
+                *fresh += 1;
+                b.let_(name, Expr::load(c.lcl, mask(build_expr(i, c), 8)));
+            }
+            SR::Atomic(op, i, v) => {
+                let op = [AtomicOp::Add, AtomicOp::Min, AtomicOp::Max][*op as usize % 3];
+                b.atomic(
+                    op,
+                    c.out,
+                    mask(build_expr(i, c), OUT_LEN),
+                    Expr::cast(Scalar::I64, build_expr(v, c)),
+                );
+            }
+            SR::If(cond, body) => {
+                let cond = build_expr(cond, c);
+                b.if_then(cond, |b| emit(b, body, c, fresh));
+            }
+            SR::IfElse(cond, t, e) => {
+                let cond = build_expr(cond, c);
+                let fresh_cell = std::cell::Cell::new(*fresh);
+                b.if_else(
+                    cond,
+                    |b| {
+                        let mut f = fresh_cell.get();
+                        emit(b, t, c, &mut f);
+                        fresh_cell.set(f);
+                    },
+                    |b| {
+                        let mut f = fresh_cell.get();
+                        emit(b, e, c, &mut f);
+                        fresh_cell.set(f);
+                    },
+                );
+                *fresh = fresh_cell.get();
+            }
+            SR::For(n, body) => {
+                let name = format!("i{}", *fresh);
+                *fresh += 1;
+                b.for_range(name, Expr::int(*n as i64), |b, _| emit(b, body, c, fresh));
+            }
+            SR::ForStep(start, end, step, body) => {
+                let name = format!("i{}", *fresh);
+                *fresh += 1;
+                b.for_(
+                    name,
+                    Expr::int(*start as i64),
+                    Expr::int(*end as i64),
+                    Expr::int(*step as i64),
+                    |b, _| emit(b, body, c, fresh),
+                );
+            }
+            SR::RetIf(cond) => {
+                let cond = build_expr(cond, c);
+                b.if_then(cond, |b| b.ret());
+            }
+        }
+    }
+}
+
+fn build_general(stmts: &[SR], with_return: bool) -> Kernel {
+    let mut b = KernelBuilder::new("rnd_general");
+    let out = b.buffer("out", Scalar::I64);
+    let fbuf = b.buffer("fbuf", Scalar::F32);
+    let p = b.scalar("p", Scalar::I32);
+    let q = b.scalar("q", Scalar::F32);
+    let lcl = b.local_array("scratch", Scalar::I64, 8);
+    let vars: Vec<VarId> = (0..4)
+        .map(|i| b.let_(format!("v{i}"), Expr::int(i as i64 - 1)))
+        .collect();
+    let c = Ctx {
+        out,
+        fbuf,
+        lcl,
+        p,
+        q,
+        vars,
+    };
+    let mut fresh = 0;
+    if with_return {
+        // Odd threads of odd blocks bail out early.
+        let cond = Expr::ThreadIdx(Axis::X)
+            .add(Expr::BlockIdx(Axis::X))
+            .rem(Expr::int(2))
+            .eq_(Expr::int(1));
+        b.if_then(cond, |b| b.ret());
+    }
+    emit(&mut b, stmts, &c, &mut fresh);
+    b.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: barrier kernels (phase tree: Seg / Barrier / UniformFor / If).
+// ---------------------------------------------------------------------------
+
+/// Statement inside a barrier-free segment; indices masked to shared len.
+#[derive(Debug, Clone)]
+enum SegR {
+    StoreShared(ER, ER),
+    LetShared(ER),
+    StoreOut(ER, ER),
+}
+
+/// Uniform-control-flow phase structure around the segments.
+#[derive(Debug, Clone)]
+enum PhR {
+    Seg(Vec<SegR>),
+    Barrier,
+    UniformFor(u8, Vec<PhR>),
+    UniformIf(bool, Vec<PhR>),
+}
+
+fn seg_r() -> impl Strategy<Value = SegR> {
+    prop_oneof![
+        (er(), er()).prop_map(|(i, v)| SegR::StoreShared(i, v)),
+        er().prop_map(SegR::LetShared),
+        (er(), er()).prop_map(|(i, v)| SegR::StoreOut(i, v)),
+    ]
+}
+
+fn ph_r() -> impl Strategy<Value = PhR> {
+    let leaf = prop_oneof![
+        prop::collection::vec(seg_r(), 1..3).prop_map(PhR::Seg),
+        Just(PhR::Barrier),
+    ];
+    leaf.prop_recursive(2, 10, 3, |i| {
+        prop_oneof![
+            (1u8..3, prop::collection::vec(i.clone(), 1..3))
+                .prop_map(|(n, b)| PhR::UniformFor(n, b)),
+            (any::<bool>(), prop::collection::vec(i, 1..3))
+                .prop_map(|(on_p, b)| PhR::UniformIf(on_p, b)),
+        ]
+    })
+}
+
+fn emit_seg(b: &mut KernelBuilder, stmts: &[SegR], sh: MemRef, c: &Ctx, fresh: &mut u32) {
+    for s in stmts {
+        match s {
+            SegR::StoreShared(i, v) => b.store(
+                sh,
+                mask(build_expr(i, c), SH_LEN),
+                Expr::cast(Scalar::I64, build_expr(v, c)),
+            ),
+            SegR::LetShared(i) => {
+                let name = format!("s{}", *fresh);
+                *fresh += 1;
+                b.let_(name, Expr::load(sh, mask(build_expr(i, c), SH_LEN)));
+            }
+            SegR::StoreOut(i, v) => b.store(
+                c.out,
+                mask(build_expr(i, c), OUT_LEN),
+                Expr::cast(Scalar::I64, build_expr(v, c)),
+            ),
+        }
+    }
+}
+
+fn emit_phases(b: &mut KernelBuilder, phs: &[PhR], sh: MemRef, c: &Ctx, fresh: &mut u32) {
+    for ph in phs {
+        match ph {
+            PhR::Seg(stmts) => emit_seg(b, stmts, sh, c, fresh),
+            PhR::Barrier => b.sync_threads(),
+            PhR::UniformFor(n, body) => {
+                let name = format!("u{}", *fresh);
+                *fresh += 1;
+                // Thread-invariant bounds (consts + param) keep the loop
+                // uniform, so a barrier inside it passes validation.
+                b.for_(
+                    name,
+                    Expr::int(0),
+                    Expr::int(*n as i64).add(c.p.clone().rem(Expr::int(2))),
+                    Expr::int(1),
+                    |b, _| emit_phases(b, body, sh, c, fresh),
+                );
+            }
+            PhR::UniformIf(on_p, body) => {
+                let cond = if *on_p {
+                    c.p.clone().gt(Expr::int(0))
+                } else {
+                    Expr::BlockIdx(Axis::X).rem(Expr::int(2)).eq_(Expr::int(0))
+                };
+                b.if_then(cond, |b| emit_phases(b, body, sh, c, fresh));
+            }
+        }
+    }
+}
+
+fn build_barrier(phs: &[PhR]) -> Kernel {
+    let mut b = KernelBuilder::new("rnd_barrier");
+    let out = b.buffer("out", Scalar::I64);
+    let fbuf = b.buffer("fbuf", Scalar::F32);
+    let p = b.scalar("p", Scalar::I32);
+    let q = b.scalar("q", Scalar::F32);
+    let lcl = b.local_array("scratch", Scalar::I64, 8);
+    let sh = b.shared("tile", Scalar::I64, SH_LEN as usize);
+    let vars: Vec<VarId> = (0..4)
+        .map(|i| b.let_(format!("v{i}"), Expr::int(i as i64 + 1)))
+        .collect();
+    let c = Ctx {
+        out,
+        fbuf,
+        lcl,
+        p,
+        q,
+        vars,
+    };
+    let mut fresh = 0;
+    // Stage: every thread seeds the tile, then a guaranteed barrier, then
+    // the random phase structure, then a final barrier + drain to out.
+    b.store(
+        sh,
+        Expr::ThreadIdx(Axis::X).rem(Expr::int(SH_LEN)),
+        Expr::ThreadIdx(Axis::X)
+            .mul(Expr::int(3))
+            .add(Expr::BlockIdx(Axis::X)),
+    );
+    b.sync_threads();
+    emit_phases(&mut b, phs, sh, &c, &mut fresh);
+    b.sync_threads();
+    b.store(
+        c.out,
+        mask(
+            Expr::ThreadIdx(Axis::X).add(Expr::BlockIdx(Axis::X).mul(Expr::int(7))),
+            OUT_LEN,
+        ),
+        Expr::load(sh, Expr::ThreadIdx(Axis::X).rem(Expr::int(SH_LEN))),
+    );
+    b.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: elementwise kernels (disjoint writes → parallel workers legal).
+// ---------------------------------------------------------------------------
+
+fn build_elementwise(val: &ER, guard: bool) -> Kernel {
+    let mut b = KernelBuilder::new("rnd_elementwise");
+    let out = b.buffer("out", Scalar::I64);
+    let fbuf = b.buffer("fbuf", Scalar::F32);
+    let p = b.scalar("p", Scalar::I32);
+    let q = b.scalar("q", Scalar::F32);
+    let lcl = b.local_array("scratch", Scalar::I64, 8);
+    let g = b.let_(
+        "g",
+        Expr::BlockIdx(Axis::X)
+            .mul(Expr::BlockDim(Axis::X))
+            .add(Expr::ThreadIdx(Axis::X)),
+    );
+    let vars = vec![g, g, g, g];
+    let c = Ctx {
+        out,
+        fbuf,
+        lcl,
+        p,
+        q,
+        vars,
+    };
+    let store = |b: &mut KernelBuilder, c: &Ctx| {
+        b.store(
+            c.out,
+            Expr::Var(g),
+            Expr::cast(Scalar::I64, build_expr(val, c)),
+        );
+    };
+    if guard {
+        b.if_then(Expr::Var(g).lt(Expr::int(OUT_LEN)), |b| store(b, &c));
+    } else {
+        store(&mut b, &c);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Family 1: serial engine ≡ oracle on arbitrary control flow,
+    /// atomics, unmasked division, early return, odd launch shapes.
+    #[test]
+    fn general_kernels_match_oracle(
+        recipes in prop::collection::vec(sr(), 1..6),
+        with_return in any::<bool>(),
+        grid in 1u32..6,
+        block in 1u32..10,
+    ) {
+        let k = build_general(&recipes, with_return);
+        assert_equiv(&k, LaunchConfig::new(grid, block));
+    }
+
+    /// Family 2: barrier kernels exercise the compiled phase tree.
+    #[test]
+    fn barrier_kernels_match_oracle(
+        phases in prop::collection::vec(ph_r(), 1..4),
+        grid in 1u32..5,
+        block in 1u32..17,
+    ) {
+        let k = build_barrier(&phases);
+        assert_equiv(&k, LaunchConfig::new(grid, block));
+    }
+
+    /// Family 3: disjoint-write kernels match the oracle under the
+    /// intra-node parallel path for any worker count (memory AND stats).
+    #[test]
+    fn elementwise_kernels_match_oracle_in_parallel(
+        val in er(),
+        workers in 2usize..6,
+        grid in 2u32..9,
+    ) {
+        let k = build_elementwise(&val, true);
+        validate(&k).expect("generated kernels are valid");
+        let launch = LaunchConfig::new(grid, 16u32);
+        let (mut pool_a, args) = seed_pool();
+        let mut pool_b = pool_a.clone();
+        let ra = execute_launch(&k, launch, &args, &mut pool_a);
+        let prog = Program::compile(&k, launch, &args).unwrap();
+        let rb = run_range_parallel(&prog, &mut pool_b, 0..launch.num_blocks(), workers);
+        match (&ra, &rb) {
+            (Ok(sa), Ok(sb)) => {
+                prop_assert_eq!(sa, sb, "BlockStats diverged under {} workers", workers);
+                for id in 0..pool_a.len() {
+                    let id = cucc::exec::BufferId(id as u32);
+                    prop_assert_eq!(pool_a.bytes(id), pool_b.bytes(id), "memory diverged");
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            _ => prop_assert!(false, "result kind diverged: {:?} vs {:?}", ra, rb),
+        }
+    }
+}
+
+/// Global atomics force the parallel path into its serial fallback; the
+/// result must still match the oracle exactly.
+#[test]
+fn atomic_kernel_parallel_fallback_matches_oracle() {
+    let mut b = KernelBuilder::new("hist");
+    let out = b.buffer("out", Scalar::I64);
+    let g = b.let_(
+        "g",
+        Expr::BlockIdx(Axis::X)
+            .mul(Expr::BlockDim(Axis::X))
+            .add(Expr::ThreadIdx(Axis::X)),
+    );
+    b.atomic(
+        AtomicOp::Add,
+        out,
+        Expr::Var(g).rem(Expr::int(8)),
+        Expr::Var(g).rem(Expr::int(5)).add(Expr::int(1)),
+    );
+    let k = b.finish();
+    validate(&k).unwrap();
+    let launch = LaunchConfig::new(7u32, 32u32);
+
+    let mut pool_a = MemPool::new();
+    let out_a = pool_a.alloc_elems(Scalar::I64, 8);
+    let args = vec![Arg::Buffer(out_a)];
+    let mut pool_b = pool_a.clone();
+
+    let sa = execute_launch(&k, launch, &args, &mut pool_a).unwrap();
+    let prog = Program::compile(&k, launch, &args).unwrap();
+    assert!(
+        prog.serial_only(),
+        "global atomics must force serial fallback"
+    );
+    let sb = run_range_parallel(&prog, &mut pool_b, 0..launch.num_blocks(), 4).unwrap();
+    assert_eq!(sa, sb);
+    assert_eq!(pool_a.bytes(out_a), pool_b.bytes(out_a));
+}
+
+/// Intrinsic calls (weighted float ops) must count identically.
+#[test]
+fn intrinsic_kernel_matches_oracle() {
+    let mut b = KernelBuilder::new("mathy");
+    let fbuf = b.buffer("fbuf", Scalar::F32);
+    let g = b.let_(
+        "g",
+        Expr::BlockIdx(Axis::X)
+            .mul(Expr::BlockDim(Axis::X))
+            .add(Expr::ThreadIdx(Axis::X)),
+    );
+    let idx = Expr::Var(g).rem(Expr::int(F_LEN));
+    let x = b.let_("x", Expr::load(fbuf, idx.clone()));
+    let y = b.let_(
+        "y",
+        Expr::Call {
+            f: Intrinsic::Sqrt,
+            args: vec![Expr::Call {
+                f: Intrinsic::Fabs,
+                args: vec![Expr::Var(x)],
+            }],
+        },
+    );
+    let z = b.let_(
+        "z",
+        Expr::Call {
+            f: Intrinsic::Fmax,
+            args: vec![
+                Expr::Call {
+                    f: Intrinsic::Sin,
+                    args: vec![Expr::Var(y)],
+                },
+                Expr::Call {
+                    f: Intrinsic::Exp,
+                    args: vec![Expr::Var(x)],
+                },
+            ],
+        },
+    );
+    b.store(fbuf, idx, Expr::cast(Scalar::F32, Expr::Var(z)));
+    let k = b.finish();
+    validate(&k).unwrap();
+
+    let launch = LaunchConfig::new(3u32, 16u32);
+    let mut pool_a = MemPool::new();
+    let fb = pool_a.alloc_elems(Scalar::F32, F_LEN as usize);
+    let f_bytes: Vec<u8> = (0..F_LEN)
+        .flat_map(|i| (i as f32 * 0.3 - 2.0).to_le_bytes())
+        .collect();
+    pool_a.write_all(fb, &f_bytes);
+    let args = vec![Arg::Buffer(fb)];
+    let mut pool_b = pool_a.clone();
+
+    let sa = execute_launch(&k, launch, &args, &mut pool_a).unwrap();
+    let sb = execute_launch_bytecode(&k, launch, &args, &mut pool_b).unwrap();
+    assert_eq!(sa, sb);
+    assert_eq!(pool_a.bytes(fb), pool_b.bytes(fb));
+    assert!(sa.float_ops > 0);
+}
+
+/// The zero-iteration / tail-heavy corner: a launch whose guard disables
+/// every thread of the last block entirely.
+#[test]
+fn all_tail_threads_guarded_off() {
+    let mut b = KernelBuilder::new("tail");
+    let out = b.buffer("out", Scalar::I64);
+    let n = b.scalar("n", Scalar::I32);
+    let g = b.let_(
+        "g",
+        Expr::BlockIdx(Axis::X)
+            .mul(Expr::BlockDim(Axis::X))
+            .add(Expr::ThreadIdx(Axis::X)),
+    );
+    b.if_then(Expr::Var(g).lt(n), |b| {
+        b.store(out, Expr::Var(g), Expr::Var(g).mul(Expr::int(2)));
+    });
+    let k = b.finish();
+    validate(&k).unwrap();
+
+    // 3 blocks × 8 threads = 24 lanes but n = 9: block 1 is partial, block
+    // 2 entirely masked off.
+    let launch = LaunchConfig::new(3u32, 8u32);
+    let mut pool_a = MemPool::new();
+    let out_a = pool_a.alloc_elems(Scalar::I64, 24);
+    let args = vec![Arg::Buffer(out_a), Arg::int(9)];
+    let mut pool_b = pool_a.clone();
+
+    let sa = execute_launch(&k, launch, &args, &mut pool_a).unwrap();
+    let sb = execute_launch_bytecode(&k, launch, &args, &mut pool_b).unwrap();
+    assert_eq!(sa, sb);
+    assert_eq!(pool_a.bytes(out_a), pool_b.bytes(out_a));
+}
