@@ -1,0 +1,108 @@
+//! Streams bench — transfer/compute overlap on the simulated clock.
+//!
+//! A chunked pipeline uploads one chunk per replica and runs a saxpy-style
+//! kernel on it. Serially, every upload sits between two kernels; with two
+//! or four streams the host-link uploads prefetch under the previous
+//! chunk's compute, so the end-to-end simulated time shrinks. Writes the
+//! overlap wins to `BENCH_streams.json` at the repository root and a
+//! Perfetto-loadable trace of the two-stream run to `TRACE_streams.json`.
+
+use cucc_bench::banner;
+use cucc_cluster::ClusterSpec;
+use cucc_core::{compile_source, CompiledKernel, CuccCluster, RuntimeConfig};
+use cucc_exec::Arg;
+use cucc_ir::LaunchConfig;
+
+const SCALE: &str = "__global__ void scale(float* x, float* y, float a, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = a * x[id] + y[id];
+}";
+
+const CHUNK: usize = 32_768;
+const REPLICAS: usize = 8;
+const NODES: u32 = 4;
+
+/// Run the chunked pipeline with `streams` streams (0 = sync default
+/// stream) and return (elapsed simulated seconds, cluster for the trace).
+fn pipeline(ck: &CompiledKernel, streams: usize) -> (f64, CuccCluster) {
+    let data: Vec<u8> = (0..CHUNK).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    let launch = LaunchConfig::cover1(CHUNK as u64, 256);
+    let mut cl = CuccCluster::new(
+        ClusterSpec::simd_focused().with_nodes(NODES),
+        RuntimeConfig::default(),
+    );
+    let ss: Vec<_> = (0..streams).map(|_| cl.stream_create()).collect();
+    for r in 0..REPLICAS {
+        let x = cl.alloc(CHUNK * 4);
+        let y = cl.alloc(CHUNK * 4);
+        let args = [
+            Arg::Buffer(x),
+            Arg::Buffer(y),
+            Arg::float(2.0),
+            Arg::int(CHUNK as i64),
+        ];
+        match ss.get(r % ss.len().max(1)) {
+            Some(&s) => {
+                cl.h2d_async(x, &data, s);
+                cl.launch_on(ck, launch, &args, s).unwrap();
+            }
+            None => {
+                cl.h2d(x, &data);
+                cl.launch(ck, launch, &args).unwrap();
+            }
+        }
+    }
+    let elapsed = cl.synchronize();
+    (elapsed, cl)
+}
+
+fn main() {
+    banner(
+        "Streams",
+        "h2d/compute overlap from the async command-queue runtime",
+    );
+    let ck = compile_source(SCALE).expect("compile scale kernel");
+
+    let (serial, _) = pipeline(&ck, 0);
+    println!("{:<12} {:>12} {:>9}", "layout", "simulated", "speedup");
+    println!("{:<12} {:>9.3} ms {:>8.2}x", "serial", serial * 1e3, 1.0);
+
+    let mut rows = String::new();
+    let mut trace = None;
+    for streams in [2usize, 4] {
+        let (overlapped, cl) = pipeline(&ck, streams);
+        let speedup = serial / overlapped;
+        println!(
+            "{:<12} {:>9.3} ms {:>8.2}x",
+            format!("{streams} streams"),
+            overlapped * 1e3,
+            speedup
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"streams\": {streams}, \"replicas\": {REPLICAS}, \"nodes\": {NODES}, \
+             \"serial_s\": {serial:.9}, \"overlapped_s\": {overlapped:.9}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+        if streams == 2 {
+            assert!(
+                speedup >= 1.2,
+                "acceptance: two-stream pipeline must win >=1.2x, got {speedup:.3}x"
+            );
+            trace = Some(cl.timeline().to_chrome_json());
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"streams\",\n  \"unit\": \"simulated_seconds\",\n  \"pipelines\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streams.json");
+    std::fs::write(path, &json).expect("write BENCH_streams.json");
+    println!("\nwrote {path}");
+
+    let tpath = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_streams.json");
+    std::fs::write(tpath, trace.expect("two-stream trace")).expect("write TRACE_streams.json");
+    println!("wrote {tpath} (load in https://ui.perfetto.dev)");
+}

@@ -47,6 +47,8 @@ pub mod error;
 pub mod program;
 pub mod report;
 pub mod runtime;
+pub mod schedule;
+pub mod stream;
 pub mod transform;
 
 pub use compile::{compile, compile_source, CompiledKernel};
@@ -55,4 +57,6 @@ pub use error::MigrateError;
 pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
 pub use report::{ExecMode, LaunchReport, PhaseTimes};
 pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig};
+pub use schedule::{LaunchSchedule, ScheduleDecision};
+pub use stream::{EventId, StreamId, StreamSet, DEFAULT_STREAM};
 pub use transform::{can_split_blocks, split_blocks};

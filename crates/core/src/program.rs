@@ -13,8 +13,10 @@ use crate::compile::{compile_source, CompiledKernel};
 use crate::error::MigrateError;
 use crate::report::LaunchReport;
 use crate::runtime::CuccCluster;
+use crate::stream::StreamId;
 use cucc_exec::{Arg, BufferId};
 use cucc_ir::{LaunchConfig, Value};
+use cucc_trace::{Category, Track};
 use std::collections::BTreeMap;
 
 /// A launch argument referring to program state by name.
@@ -65,6 +67,11 @@ pub struct ProgramResult {
     /// Total simulated kernel time (host transfers excluded, matching the
     /// paper's kernel-execution-time measurements).
     pub kernel_time: f64,
+    /// Simulated host-transfer time this run spent (h2d broadcasts plus
+    /// d2h reads), derived from the backend's timeline so whole-program
+    /// comparisons don't silently drop transfer cost. Zero on backends
+    /// without a transfer-time model.
+    pub transfer_time: f64,
     /// Number of kernel launches executed.
     pub launches: usize,
 }
@@ -84,6 +91,11 @@ pub trait ProgramBackend {
         launch: LaunchConfig,
         args: &[Arg],
     ) -> Result<f64, MigrateError>;
+    /// Cumulative simulated host-transfer seconds (h2d + d2h) so far.
+    /// Backends without a transfer-time model report zero.
+    fn prog_transfer_time(&self) -> f64 {
+        0.0
+    }
 }
 
 impl ProgramBackend for CuccCluster {
@@ -104,6 +116,10 @@ impl ProgramBackend for CuccCluster {
     ) -> Result<f64, MigrateError> {
         self.launch(kernel, launch, args)
             .map(|r: LaunchReport| r.time())
+    }
+    fn prog_transfer_time(&self) -> f64 {
+        let tl = self.timeline();
+        tl.time_in_on(Track::Host, Category::H2d) + tl.time_in_on(Track::Host, Category::D2h)
     }
 }
 
@@ -130,9 +146,11 @@ impl GpuProgram {
         backend: &mut B,
     ) -> Result<ProgramResult, MigrateError> {
         let mut buffers: BTreeMap<String, BufferId> = BTreeMap::new();
+        let transfers_before = backend.prog_transfer_time();
         let mut result = ProgramResult {
             outputs: BTreeMap::new(),
             kernel_time: 0.0,
+            transfer_time: 0.0,
             launches: 0,
         };
         for op in &self.ops {
@@ -183,6 +201,113 @@ impl GpuProgram {
                 }
             }
         }
+        result.transfer_time = backend.prog_transfer_time() - transfers_before;
+        Ok(result)
+    }
+
+    /// Execute on a [`CuccCluster`] through the async command-queue API,
+    /// spreading independent op chains over up to `max_streams` streams.
+    ///
+    /// Dependencies are auto-derived from buffer names: an op lands on the
+    /// stream of the first already-assigned buffer it touches (keeping
+    /// each producer→consumer chain on one stream), and an op touching
+    /// only fresh buffers starts the next chain, round-robin over lazily
+    /// created streams. Cross-chain conflicts the name-based assignment
+    /// misses are still caught by the runtime's RAW/WAW/WAR hazard
+    /// tracker, so outputs are byte-identical to [`GpuProgram::run_with`]
+    /// for every assignment — only the simulated elapsed time changes.
+    ///
+    /// The cluster is synchronized before returning; `cl.clock()` then
+    /// reflects the overlapped end-to-end time.
+    pub fn run_streams_with(
+        &self,
+        cl: &mut CuccCluster,
+        max_streams: usize,
+    ) -> Result<ProgramResult, MigrateError> {
+        let max_streams = max_streams.max(1);
+        let mut buffers: BTreeMap<String, BufferId> = BTreeMap::new();
+        let mut stream_of: BTreeMap<String, StreamId> = BTreeMap::new();
+        let mut streams: Vec<StreamId> = Vec::new();
+        let mut next = 0usize;
+        let transfers_before = cl.prog_transfer_time();
+        let mut result = ProgramResult {
+            outputs: BTreeMap::new(),
+            kernel_time: 0.0,
+            transfer_time: 0.0,
+            launches: 0,
+        };
+        let mut pick = |touched: &[&String], cl: &mut CuccCluster| -> StreamId {
+            let s = touched
+                .iter()
+                .find_map(|b| stream_of.get(*b).copied())
+                .unwrap_or_else(|| {
+                    if streams.len() < max_streams {
+                        streams.push(cl.stream_create());
+                    }
+                    let s = streams[next % streams.len()];
+                    next += 1;
+                    s
+                });
+            for b in touched {
+                stream_of.entry((*b).clone()).or_insert(s);
+            }
+            s
+        };
+        for op in &self.ops {
+            match op {
+                HostOp::Alloc { name, bytes } => {
+                    if buffers.contains_key(name) {
+                        return Err(MigrateError::Launch(format!(
+                            "buffer `{name}` allocated twice"
+                        )));
+                    }
+                    let id = cl.alloc(*bytes);
+                    buffers.insert(name.clone(), id);
+                }
+                HostOp::H2d { buf, data } => {
+                    let id = *buffers.get(buf).ok_or_else(|| {
+                        MigrateError::Launch(format!("h2d to unknown buffer `{buf}`"))
+                    })?;
+                    let s = pick(&[buf], cl);
+                    cl.h2d_async(id, data, s);
+                }
+                HostOp::Launch {
+                    kernel,
+                    launch,
+                    args,
+                } => {
+                    let ck = self.kernel(kernel).ok_or_else(|| {
+                        MigrateError::Launch(format!("unknown kernel `{kernel}`"))
+                    })?;
+                    let mut resolved = Vec::with_capacity(args.len());
+                    let mut touched = Vec::new();
+                    for a in args {
+                        resolved.push(match a {
+                            ArgSpec::Buffer(name) => {
+                                touched.push(name);
+                                Arg::Buffer(*buffers.get(name).ok_or_else(|| {
+                                    MigrateError::Launch(format!("unknown buffer `{name}`"))
+                                })?)
+                            }
+                            ArgSpec::Int(v) => Arg::Scalar(Value::I64(*v)),
+                            ArgSpec::Float(v) => Arg::Scalar(Value::F64(*v)),
+                        });
+                    }
+                    let s = pick(&touched, cl);
+                    result.kernel_time += cl.launch_on(ck, *launch, &resolved, s)?.time();
+                    result.launches += 1;
+                }
+                HostOp::D2h { buf } => {
+                    let id = *buffers.get(buf).ok_or_else(|| {
+                        MigrateError::Launch(format!("d2h from unknown buffer `{buf}`"))
+                    })?;
+                    let s = pick(&[buf], cl);
+                    result.outputs.insert(buf.clone(), cl.d2h_async(id, s));
+                }
+            }
+        }
+        cl.synchronize();
+        result.transfer_time = cl.prog_transfer_time() - transfers_before;
         Ok(result)
     }
 }
@@ -333,6 +458,93 @@ mod tests {
             let want = (i as f32) * (i as f32); // (i·0.5·2)²
             assert_eq!(*v, want, "z[{i}]");
         }
+    }
+
+    #[test]
+    fn result_reports_transfer_time() {
+        let prog = pipeline_program();
+        let mut cl = CuccCluster::new(
+            ClusterSpec::simd_focused().with_nodes(4),
+            RuntimeConfig::default(),
+        );
+        let res = prog.run_with(&mut cl).unwrap();
+        // Multi-node h2d broadcasts cost simulated time; d2h is free but
+        // recorded. The derived transfer time must show up in the result.
+        assert!(res.transfer_time > 0.0);
+        let tl = cl.timeline();
+        assert_eq!(
+            res.transfer_time,
+            tl.time_in_on(cucc_trace::Track::Host, cucc_trace::Category::H2d)
+                + tl.time_in_on(cucc_trace::Track::Host, cucc_trace::Category::D2h)
+        );
+    }
+
+    #[test]
+    fn streamed_run_matches_serial_outputs() {
+        let prog = pipeline_program();
+        let spec = ClusterSpec::simd_focused().with_nodes(4);
+        let mut serial = CuccCluster::new(spec.clone(), RuntimeConfig::default());
+        let res_serial = prog.run_with(&mut serial).unwrap();
+        for max_streams in [1usize, 2, 4] {
+            let mut cl = CuccCluster::new(spec.clone(), RuntimeConfig::default());
+            let res = prog.run_streams_with(&mut cl, max_streams).unwrap();
+            assert_eq!(res.outputs, res_serial.outputs, "streams={max_streams}");
+            assert_eq!(res.launches, res_serial.launches);
+            // Whatever the stream assignment, hazards keep the overlapped
+            // layout no slower than... never slower than serial.
+            assert!(
+                cl.clock() <= serial.clock() * (1.0 + 1e-12),
+                "streams={max_streams}: {} > {}",
+                cl.clock(),
+                serial.clock()
+            );
+        }
+    }
+
+    #[test]
+    fn independent_chains_overlap_under_streams() {
+        // Two completely independent scale chains: with two streams the
+        // second chain's h2d hides under the first chain's kernel.
+        let n = 20_000u32;
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let mut b = GpuProgram::builder("indep")
+            .kernel_source(
+                "__global__ void scale(float* x, float* y, float a, int n) {
+                    int id = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (id < n) y[id] = x[id] * a;
+                }",
+            )
+            .unwrap();
+        for chain in ["a", "b"] {
+            b = b
+                .alloc(format!("x_{chain}"), n as usize * 4)
+                .alloc(format!("y_{chain}"), n as usize * 4)
+                .h2d(format!("x_{chain}"), data.clone())
+                .launch(
+                    "scale",
+                    LaunchConfig::cover1(n as u64, 256),
+                    vec![
+                        ArgSpec::Buffer(format!("x_{chain}")),
+                        ArgSpec::Buffer(format!("y_{chain}")),
+                        ArgSpec::Float(3.0),
+                        ArgSpec::Int(n as i64),
+                    ],
+                )
+                .d2h(format!("y_{chain}"));
+        }
+        let prog = b.build();
+        let spec = ClusterSpec::simd_focused().with_nodes(4);
+        let mut serial = CuccCluster::new(spec.clone(), RuntimeConfig::default());
+        let mut streamed = CuccCluster::new(spec, RuntimeConfig::default());
+        let res_serial = prog.run_with(&mut serial).unwrap();
+        let res = prog.run_streams_with(&mut streamed, 2).unwrap();
+        assert_eq!(res.outputs, res_serial.outputs);
+        assert!(
+            streamed.clock() < serial.clock(),
+            "expected overlap: {} !< {}",
+            streamed.clock(),
+            serial.clock()
+        );
     }
 
     #[test]

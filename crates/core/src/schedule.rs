@@ -1,0 +1,338 @@
+//! The launch **planning** stage: everything the runtime decides *before*
+//! touching the timeline or any node's memory.
+//!
+//! [`plan_schedule`] runs the launch-time planner, the sampling profiler
+//! and the cost model, and returns a [`LaunchSchedule`] — a pure value
+//! describing how the launch will execute (three-phase vs replicated),
+//! what each phase costs on the simulated clock, how many bytes cross the
+//! wire, and which buffers the kernel reads and writes. The execution
+//! stage (`CuccCluster::execute_schedule`) then lays that schedule onto
+//! the trace timeline at an arbitrary start time and runs the functional
+//! blocks.
+//!
+//! Splitting planning from execution is what makes the stream scheduler
+//! possible: an async launch needs its phase durations and buffer sets
+//! *before* it can be placed (its start time is the max of its hazard
+//! dependencies and the ready times of the lanes it occupies), and the
+//! planning stage has no side effects so it can run at submission time.
+//!
+//! Bit-for-bit guarantee: the arithmetic here is the launch path's legacy
+//! cost model, evaluated in the same order on the same inputs — the
+//! execution stage re-derives the same numbers from the recorded spans and
+//! asserts equality on every launch.
+
+use crate::compile::CompiledKernel;
+use crate::error::MigrateError;
+use crate::report::PhaseTimes;
+use crate::runtime::RuntimeConfig;
+use cucc_analysis::{plan_launch, Partition, Plan, ReplicationCause, ThreePhasePlan};
+use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec};
+use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile, MemPool};
+use cucc_ir::{Kernel, LaunchConfig};
+use cucc_net::allgather_cost;
+
+/// How a scheduled launch will execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleDecision {
+    /// The three-phase workflow: partial blocks, balanced in-place
+    /// Allgather, callback blocks.
+    ThreePhase {
+        /// The planner's resolved plan (chunking and gathered regions).
+        plan: ThreePhasePlan,
+        /// Its split across the cluster's nodes.
+        part: Partition,
+        /// Whether the last callback block is the divergent tail block.
+        has_tail_block: bool,
+    },
+    /// Replicated fallback: every node redundantly runs the whole grid.
+    Replicated {
+        /// Why the fallback was taken.
+        cause: ReplicationCause,
+    },
+}
+
+/// The planning stage's output: a launch fully costed and characterized,
+/// ready to be laid onto the timeline at any start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSchedule {
+    /// Three-phase vs replicated, with the resolved partition.
+    pub decision: ScheduleDecision,
+    /// Per-phase simulated durations (broadcast always 0.0 — kernel
+    /// launches never broadcast).
+    pub times: PhaseTimes,
+    /// Bytes the launch will move across the network.
+    pub wire_bytes: u64,
+    /// Buffer arguments the kernel loads from (atomics included).
+    pub reads: Vec<BufferId>,
+    /// Buffer arguments the kernel stores to (atomics included).
+    pub writes: Vec<BufferId>,
+    /// The sampled block profile driving the cost model.
+    pub profile: LaunchProfile,
+}
+
+impl LaunchSchedule {
+    /// Total simulated duration of the launch.
+    pub fn time(&self) -> f64 {
+        self.times.total()
+    }
+}
+
+/// Map the kernel's read/written global-buffer parameter sets onto the
+/// concrete `BufferId` arguments of one launch.
+pub fn buffer_sets(kernel: &Kernel, args: &[Arg]) -> (Vec<BufferId>, Vec<BufferId>) {
+    let resolve = |params: Vec<cucc_ir::ParamId>| -> Vec<BufferId> {
+        let mut out: Vec<BufferId> = params
+            .into_iter()
+            .filter_map(|p| match args.get(p.index()) {
+                Some(Arg::Buffer(id)) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    };
+    (
+        resolve(kernel.read_global_buffers()),
+        resolve(kernel.written_global_buffers()),
+    )
+}
+
+/// Whether a profiled kernel counts as "staged": it round-trips a
+/// substantial share of its global traffic through emulated shared-memory
+/// tiles (transpose-like reshaping) — small reduction scratchpads don't
+/// count.
+fn is_staged(profile: &LaunchProfile) -> bool {
+    profile.per_block.shared_bytes * 4 >= profile.per_block.global_bytes().max(1)
+}
+
+/// Run planner + profiler + cost model for one launch. Pure: reads node
+/// memory (for the launch-time probe and the sampling profiler, both on
+/// scratch copies) but mutates nothing.
+pub fn plan_schedule(
+    ck: &CompiledKernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    node0: &MemPool,
+    spec: &ClusterSpec,
+    logical_nodes: usize,
+    config: &RuntimeConfig,
+) -> Result<LaunchSchedule, MigrateError> {
+    if launch.num_blocks() == 0 {
+        return Err(MigrateError::Launch("empty grid".into()));
+    }
+    let plan = plan_launch(&ck.kernel, &ck.analysis.verdict, launch, args, node0);
+    let profile = profile_launch(&ck.kernel, launch, args, node0, config.profile_samples)?;
+    let (reads, writes) = buffer_sets(&ck.kernel, args);
+    let (decision, times, wire_bytes) = match plan {
+        Plan::ThreePhase(tp) => cost_three_phase(ck, &tp, &profile, spec, logical_nodes, config),
+        Plan::Replicated(cause) => cost_replicated(ck, cause, &profile, spec),
+    };
+    Ok(LaunchSchedule {
+        decision,
+        times,
+        wire_bytes,
+        reads,
+        writes,
+        profile,
+    })
+}
+
+fn cost_three_phase(
+    ck: &CompiledKernel,
+    tp: &ThreePhasePlan,
+    profile: &LaunchProfile,
+    spec: &ClusterSpec,
+    logical_nodes: usize,
+    config: &RuntimeConfig,
+) -> (ScheduleDecision, PhaseTimes, u64) {
+    let n = logical_nodes as u64;
+    let part = tp.partition(n);
+    let cpu = &spec.cpu;
+    let simd_eff = ck.analysis.simd.efficiency;
+
+    let bt_full = block_compute_time(&profile.per_block, simd_eff, cpu);
+    let bt_tail = block_compute_time(&profile.tail_block, simd_eff, cpu);
+    let staged = is_staged(profile);
+    let tail_divergent = ck
+        .analysis
+        .verdict
+        .meta()
+        .map(|m| m.tail_divergent())
+        .unwrap_or(false);
+
+    // Multi-node straggler/jitter inefficiency on distributed phases.
+    let jitter = 1.0 + spec.jitter * (n - 1) as f64;
+
+    // ---- Phase 1: partial block execution -------------------------
+    let pbn = part.partial_blocks_per_node;
+    let t_partial = node_time_profiled(
+        bt_full,
+        pbn,
+        None,
+        pbn * profile.per_block.global_bytes(),
+        staged,
+        cpu,
+    ) * jitter;
+
+    // ---- Phase 2: balanced in-place Allgather ----------------------
+    let mut t_allgather = 0.0;
+    let mut wire_bytes = 0u64;
+    for region in &tp.buffers {
+        let unit = region.unit * part.chunks_per_node;
+        let cost = allgather_cost(
+            n as usize,
+            unit,
+            &spec.net,
+            config.allgather_algo,
+            config.placement,
+        );
+        t_allgather += cost.time;
+        wire_bytes += cost.wire_bytes;
+    }
+
+    // ---- Phase 3: callback block execution -------------------------
+    let has_tail_block = tail_divergent && part.callback_blocks > 0;
+    let callback_full = part.callback_blocks - u64::from(has_tail_block);
+    let t_callback = node_time_profiled(
+        bt_full,
+        callback_full,
+        has_tail_block.then_some(bt_tail),
+        callback_full * profile.per_block.global_bytes()
+            + if has_tail_block {
+                profile.tail_block.global_bytes()
+            } else {
+                0
+            },
+        staged,
+        cpu,
+    ) * jitter;
+
+    (
+        ScheduleDecision::ThreePhase {
+            plan: tp.clone(),
+            part,
+            has_tail_block,
+        },
+        PhaseTimes {
+            partial: t_partial,
+            allgather: t_allgather,
+            callback: t_callback,
+            broadcast: 0.0,
+        },
+        wire_bytes,
+    )
+}
+
+fn cost_replicated(
+    ck: &CompiledKernel,
+    cause: ReplicationCause,
+    profile: &LaunchProfile,
+    spec: &ClusterSpec,
+) -> (ScheduleDecision, PhaseTimes, u64) {
+    let cpu = &spec.cpu;
+    let simd_eff = ck.analysis.simd.efficiency;
+    let bt_full = block_compute_time(&profile.per_block, simd_eff, cpu);
+    let bt_tail = block_compute_time(&profile.tail_block, simd_eff, cpu);
+    let full = profile.num_blocks - 1;
+    let staged = is_staged(profile);
+    let t = node_time_profiled(
+        bt_full,
+        full,
+        Some(bt_tail),
+        profile.total.global_bytes(),
+        staged,
+        cpu,
+    );
+    (
+        ScheduleDecision::Replicated { cause },
+        // Every node redundantly runs the whole grid; the legacy
+        // accounting files replicated time under the callback phase.
+        PhaseTimes {
+            partial: 0.0,
+            allgather: 0.0,
+            callback: t,
+            broadcast: 0.0,
+        },
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_source;
+
+    #[test]
+    fn buffer_sets_resolve_through_args() {
+        let ck = compile_source(
+            "__global__ void saxpy(float* x, float* y, float a, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) y[id] = a * x[id] + y[id];
+            }",
+        )
+        .unwrap();
+        let args = [
+            Arg::Buffer(BufferId(7)),
+            Arg::Buffer(BufferId(3)),
+            Arg::float(2.0),
+            Arg::int(16),
+        ];
+        let (reads, writes) = buffer_sets(&ck.kernel, &args);
+        // y is read-modify-written; x only read.
+        assert_eq!(reads, vec![BufferId(3), BufferId(7)]);
+        assert_eq!(writes, vec![BufferId(3)]);
+    }
+
+    #[test]
+    fn schedule_matches_launch_report() {
+        use crate::runtime::CuccCluster;
+        use cucc_ir::LaunchConfig;
+
+        let ck = compile_source(
+            "__global__ void copy(char* src, char* dst, int n) {
+                int id = blockDim.x * blockIdx.x + threadIdx.x;
+                if (id < n) dst[id] = src[id];
+            }",
+        )
+        .unwrap();
+        let mut cl = CuccCluster::new(
+            ClusterSpec::simd_focused().with_nodes(3),
+            RuntimeConfig::default(),
+        );
+        let src = cl.alloc(4096);
+        let dst = cl.alloc(4096);
+        cl.h2d(src, &[7u8; 4096]);
+        let launch = LaunchConfig::cover1(4096, 256);
+        let args = [Arg::Buffer(src), Arg::Buffer(dst), Arg::int(4096)];
+        let schedule = cl.plan(&ck, launch, &args).unwrap();
+        let report = cl.launch(&ck, launch, &args).unwrap();
+        // Planning is deterministic and execution reproduces it exactly.
+        assert_eq!(schedule.times, report.times);
+        assert_eq!(schedule.wire_bytes, report.wire_bytes);
+        assert_eq!(schedule.time().to_bits(), report.time().to_bits());
+        assert!(matches!(
+            schedule.decision,
+            ScheduleDecision::ThreePhase { .. }
+        ));
+        assert_eq!(schedule.reads, vec![src]);
+        assert_eq!(schedule.writes, vec![dst]);
+    }
+
+    #[test]
+    fn empty_grid_rejected_at_planning() {
+        let ck = compile_source("__global__ void k(int* o) { o[threadIdx.x] = 1; }").unwrap();
+        let spec = ClusterSpec::simd_focused();
+        let pool = MemPool::new();
+        let err = plan_schedule(
+            &ck,
+            LaunchConfig::new(0u32, 32u32),
+            &[Arg::Buffer(BufferId(0))],
+            &pool,
+            &spec,
+            1,
+            &RuntimeConfig::default(),
+        );
+        assert!(matches!(err, Err(MigrateError::Launch(_))));
+    }
+}

@@ -1,5 +1,6 @@
 //! Kernel definitions: parameters, memory declarations and the kernel body.
 
+use crate::expr::Expr;
 use crate::stmt::Stmt;
 use crate::types::{MemSpace, Scalar};
 use serde::{Deserialize, Serialize};
@@ -250,6 +251,40 @@ impl Kernel {
         walk(&self.body, f);
     }
 
+    /// Collect the global buffers the kernel loads from. Atomics count as
+    /// reads too (read-modify-write), so a kernel's read set and write set
+    /// may overlap. Used by the stream scheduler's RAW/WAR hazard tracking.
+    pub fn read_global_buffers(&self) -> Vec<ParamId> {
+        let mut out: Vec<ParamId> = Vec::new();
+        let push = |p: ParamId, out: &mut Vec<ParamId>| {
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        };
+        self.visit_stmts(&mut |s| {
+            if let Stmt::AtomicRmw {
+                mem: MemRef::Global(p),
+                ..
+            } = s
+            {
+                push(*p, &mut out);
+            }
+            s.visit_exprs(&mut |e| {
+                e.visit(&mut |e| {
+                    if let Expr::Load {
+                        mem: MemRef::Global(p),
+                        ..
+                    } = e
+                    {
+                        push(*p, &mut out);
+                    }
+                });
+            });
+        });
+        out.sort();
+        out
+    }
+
     /// Collect the global buffers the kernel stores to (including atomics).
     pub fn written_global_buffers(&self) -> Vec<ParamId> {
         let mut out: Vec<ParamId> = Vec::new();
@@ -305,6 +340,25 @@ mod tests {
     #[test]
     fn written_buffers_found() {
         let k = toy_kernel();
+        assert_eq!(k.written_global_buffers(), vec![ParamId(1)]);
+    }
+
+    #[test]
+    fn read_buffers_found() {
+        let k = toy_kernel();
+        assert_eq!(k.read_global_buffers(), vec![ParamId(0)]);
+    }
+
+    #[test]
+    fn atomics_count_as_reads_and_writes() {
+        let mut k = toy_kernel();
+        k.body = vec![Stmt::AtomicRmw {
+            op: crate::stmt::AtomicOp::Add,
+            mem: MemRef::Global(ParamId(1)),
+            index: Expr::global_tid_x(),
+            value: Expr::load(MemRef::Global(ParamId(0)), Expr::global_tid_x()),
+        }];
+        assert_eq!(k.read_global_buffers(), vec![ParamId(0), ParamId(1)]);
         assert_eq!(k.written_global_buffers(), vec![ParamId(1)]);
     }
 

@@ -169,6 +169,58 @@ pub struct CounterEvent {
     pub value: u64,
 }
 
+/// Per-resource ready times: one simulated-clock ready time per [`Track`]
+/// lane (each node, the network, the host).
+///
+/// The global [`Timeline::clock`] models a fully serial host: every op
+/// starts when the previous one finished. The lane clock is the async
+/// generalization — an op starts at the **max of its dependency times and
+/// the ready times of the lanes it occupies**, and pushes those lanes'
+/// ready times to its end. Independent work on disjoint lanes genuinely
+/// overlaps on the simulated clock; work on a shared lane serializes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneClock {
+    /// `(lane, ready)` pairs; lanes never observed are ready at 0.0.
+    lanes: Vec<(Track, f64)>,
+}
+
+impl LaneClock {
+    /// An empty lane clock (every lane ready at 0.0).
+    pub fn new() -> LaneClock {
+        LaneClock::default()
+    }
+
+    /// Ready time of one lane (0.0 if never reserved).
+    pub fn ready(&self, track: Track) -> f64 {
+        self.lanes
+            .iter()
+            .find(|(t, _)| *t == track)
+            .map_or(0.0, |(_, r)| *r)
+    }
+
+    /// Push a lane's ready time forward to `end` (never backward).
+    pub fn reserve(&mut self, track: Track, end: f64) {
+        match self.lanes.iter_mut().find(|(t, _)| *t == track) {
+            Some((_, r)) => {
+                if end > *r {
+                    *r = end;
+                }
+            }
+            None => self.lanes.push((track, end)),
+        }
+    }
+
+    /// Latest ready time over every lane (0.0 when no lane was reserved).
+    pub fn horizon(&self) -> f64 {
+        self.lanes.iter().fold(0.0f64, |acc, (_, r)| acc.max(*r))
+    }
+
+    /// Forget every reservation (all lanes ready at 0.0 again).
+    pub fn clear(&mut self) {
+        self.lanes.clear();
+    }
+}
+
 /// A position in the timeline, used to window derived views to the events
 /// recorded after a given point (typically: one launch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -189,6 +241,7 @@ pub struct Timeline {
     clock: f64,
     spans: Vec<Span>,
     counters: Vec<CounterEvent>,
+    lanes: LaneClock,
 }
 
 impl Timeline {
@@ -207,11 +260,39 @@ impl Timeline {
         self.clock += dt;
     }
 
-    /// Drop all recorded events and reset the clock to zero.
+    /// Advance the simulated clock to at least `t` (never backward). Used
+    /// by the async scheduler to settle the clock at the lane horizon on
+    /// synchronization points.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Ready time of a resource lane, floored at the serial clock: sync
+    /// ops advance only [`Timeline::clock`], and any async op submitted
+    /// afterwards must not start before the work that already completed.
+    pub fn lane_ready(&self, track: Track) -> f64 {
+        self.lanes.ready(track).max(self.clock)
+    }
+
+    /// Push a resource lane's ready time forward to `end`.
+    pub fn reserve_lane(&mut self, track: Track, end: f64) {
+        self.lanes.reserve(track, end);
+    }
+
+    /// Latest lane ready time (0.0 when no lane was ever reserved).
+    pub fn lanes_horizon(&self) -> f64 {
+        self.lanes.horizon()
+    }
+
+    /// Drop all recorded events and reset the clock (and every lane) to
+    /// zero.
     pub fn reset(&mut self) {
         self.clock = 0.0;
         self.spans.clear();
         self.counters.clear();
+        self.lanes.clear();
     }
 
     /// Snapshot the current position for later [`Timeline::spans_since`] /
@@ -592,11 +673,48 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut tl = sample();
+        tl.reserve_lane(Track::Host, 9.0);
         tl.reset();
         assert_eq!(tl.clock(), 0.0);
         assert!(tl.spans().is_empty());
         assert!(tl.counters().is_empty());
         assert_eq!(tl.wire_bytes(), 0);
+        assert_eq!(tl.lanes_horizon(), 0.0);
+        assert_eq!(tl.lane_ready(Track::Host), 0.0);
+    }
+
+    #[test]
+    fn lane_clock_tracks_per_resource_ready_times() {
+        let mut lanes = LaneClock::new();
+        assert_eq!(lanes.ready(Track::Node(0)), 0.0);
+        assert_eq!(lanes.horizon(), 0.0);
+        lanes.reserve(Track::Node(0), 2.0);
+        lanes.reserve(Track::Network, 1.0);
+        assert_eq!(lanes.ready(Track::Node(0)), 2.0);
+        assert_eq!(lanes.ready(Track::Node(1)), 0.0);
+        assert_eq!(lanes.horizon(), 2.0);
+        // Reservations never move a lane backward.
+        lanes.reserve(Track::Node(0), 1.5);
+        assert_eq!(lanes.ready(Track::Node(0)), 2.0);
+        lanes.clear();
+        assert_eq!(lanes.horizon(), 0.0);
+    }
+
+    #[test]
+    fn lane_ready_is_floored_at_the_serial_clock() {
+        let mut tl = Timeline::new();
+        tl.advance(3.0);
+        // A lane never reserved is still "busy" until the serial clock:
+        // everything the sync path did is finished by `clock`.
+        assert_eq!(tl.lane_ready(Track::Host), 3.0);
+        tl.reserve_lane(Track::Host, 5.0);
+        assert_eq!(tl.lane_ready(Track::Host), 5.0);
+        assert_eq!(tl.lanes_horizon(), 5.0);
+        // advance_to never moves the clock backward.
+        tl.advance_to(1.0);
+        assert_eq!(tl.clock(), 3.0);
+        tl.advance_to(5.0);
+        assert_eq!(tl.clock(), 5.0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   --engine tree|bytecode   functional executor       (default bytecode)
 //!   --node-threads N         intra-node worker threads (default 0 = auto)
 //!   --modeled                timing-only (skip functional execution)
+//!   --streams N              after the verified run, replay the kernel as
+//!                            an N-stream pipeline (async h2d + launch per
+//!                            replica) and report overlap vs serial
 //!   --trace out.json         export the simulated-clock timeline as
 //!                            Chrome trace-event JSON (open in Perfetto)
 //! ```
@@ -151,6 +154,7 @@ struct RunOpts {
     args: Vec<CliArg>,
     seed: u64,
     modeled: bool,
+    streams: usize,
     trace: Option<String>,
     engine: EngineKind,
     node_threads: usize,
@@ -179,6 +183,7 @@ impl RunOpts {
             args: Vec::new(),
             seed: 42,
             modeled: false,
+            streams: 0,
             trace: None,
             engine: EngineKind::default(),
             node_threads: 0,
@@ -199,6 +204,11 @@ impl RunOpts {
                 "--block" => o.block = parse_dim(need(&mut i)?)?,
                 "--seed" => o.seed = need(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--modeled" => o.modeled = true,
+                "--streams" => {
+                    o.streams = need(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--streams: {e}"))?;
+                }
                 "--trace" => o.trace = Some(need(&mut i)?.clone()),
                 "--engine" => {
                     let v = need(&mut i)?;
@@ -375,7 +385,7 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             RuntimeConfig::default()
         }
     };
-    let mut cl = CuccCluster::new(spec, cfg);
+    let mut cl = CuccCluster::new(spec.clone(), cfg);
     let mut cl_handles = Vec::new();
     let cargs = bind(&mut |bytes| {
         let id = cl.alloc(bytes.len());
@@ -457,6 +467,56 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             blocks,
             wall * 1e3,
             blocks as f64 / wall.max(1e-9)
+        );
+    }
+
+    if opts.streams > 0 {
+        // Replay the kernel as a pipeline of independent replicas — fresh
+        // buffers, async h2d + launch per replica, round-robin over the
+        // streams — and compare the simulated elapsed time against the
+        // same pipeline on the default stream.
+        let replicas = opts.streams * 3;
+        let run_pipe = |nstreams: usize| -> Result<f64, String> {
+            let mut cl = CuccCluster::new(spec.clone(), cfg);
+            let streams: Vec<_> = (0..nstreams).map(|_| cl.stream_create()).collect();
+            for r in 0..replicas {
+                let cargs: Vec<Arg> = opts
+                    .args
+                    .iter()
+                    .zip(&host_data)
+                    .map(|(a, data)| match (a, data) {
+                        (CliArg::Int(v), _) => Arg::int(*v),
+                        (CliArg::Float(v), _) => Arg::float(*v),
+                        (_, Some(bytes)) => {
+                            let id = cl.alloc(bytes.len());
+                            if let Some(s) = streams.get(r % nstreams.max(1)) {
+                                cl.h2d_async(id, bytes, *s);
+                            } else {
+                                cl.h2d(id, bytes);
+                            }
+                            Arg::Buffer(id)
+                        }
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                if let Some(s) = streams.get(r % nstreams.max(1)) {
+                    cl.launch_on(&ck, launch, &cargs, *s)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    cl.launch(&ck, launch, &cargs).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(cl.synchronize())
+        };
+        let serial = run_pipe(0)?;
+        let overlapped = run_pipe(opts.streams)?;
+        out += &format!(
+            "  streams: {}-way pipeline, {} replicas: serial {:.3} ms → overlapped {:.3} ms ({:.2}x)\n",
+            opts.streams,
+            replicas,
+            serial * 1e3,
+            overlapped * 1e3,
+            serial / overlapped.max(1e-12)
         );
     }
 
@@ -638,6 +698,51 @@ mod tests {
             assert!(out.contains("matches GPU"), "{out}");
         }
         assert!(RunOpts::parse(&["--engine".into(), "jit".into()]).is_err());
+    }
+
+    #[test]
+    fn run_with_streams_reports_overlap() {
+        let opts = RunOpts::parse(
+            &[
+                "--nodes",
+                "4",
+                "--grid",
+                "64",
+                "--block",
+                "256",
+                "--streams",
+                "2",
+                "--arg",
+                "buf:16384f32",
+                "--arg",
+                "buf:16384f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:16384",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(opts.streams, 2);
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        assert!(out.contains("2-way pipeline"), "{out}");
+        // Overlapped elapsed must not exceed the serial replay.
+        let line = out
+            .lines()
+            .find(|l| l.contains("streams:"))
+            .unwrap()
+            .to_string();
+        let ratio: f64 = line
+            .split('(')
+            .nth(1)
+            .and_then(|s| s.strip_suffix("x)"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ratio >= 1.0, "{line}");
     }
 
     #[test]
