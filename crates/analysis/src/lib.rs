@@ -15,7 +15,10 @@
 //!   against the formal definition of §6.1 (used by the test suite to prove
 //!   the static analysis sound);
 //! * [`simd`] — vectorizability analysis of the transformed thread loop,
-//!   driving the SIMD-Focused vs Thread-Focused performance model (§8.2).
+//!   driving the SIMD-Focused vs Thread-Focused performance model (§8.2);
+//! * [`verify`] — the **kernel verifier**: static inter-block race /
+//!   out-of-bounds / barrier-divergence checking on a MAY/MUST/UNKNOWN
+//!   lattice, cross-validated by the dynamic sanitizer in `cucc-exec`.
 
 pub mod affine;
 pub mod distributable;
@@ -24,6 +27,7 @@ pub mod plan;
 pub mod poly;
 pub mod simd;
 pub mod variance;
+pub mod verify;
 
 pub use affine::{affine_of_expr, AffineForm, IdxVar, VarForms};
 pub use distributable::{
@@ -37,6 +41,11 @@ pub use plan::{
 pub use poly::{Poly, Sym};
 pub use simd::{analyze_simd, SimdClass, SimdReport};
 pub use variance::{var_variance, Variance};
+pub use verify::{
+    analyze_block_races, canonical_check_input, cause_diagnostic, reason_diagnostics,
+    verify_launch, Diagnostic, PropertyVerdict, RaceAnalysis, Rule, Severity, SiteRef,
+    VerifyReport,
+};
 
 /// Complete compile-time analysis result for one kernel.
 #[derive(Debug, Clone)]

@@ -50,6 +50,10 @@ pub enum ReplicationCause {
     ProbeMismatch(String),
     /// Probe execution itself failed (e.g. out-of-bounds).
     ProbeError(String),
+    /// The kernel verifier found a possible or proven inter-block
+    /// write-write race: distributing would make the result depend on node
+    /// execution order, so the launch is replicated instead.
+    RaceHazard(crate::verify::Severity, String),
 }
 
 impl fmt::Display for ReplicationCause {
@@ -68,6 +72,7 @@ impl fmt::Display for ReplicationCause {
             ReplicationCause::NoFullBlocks => write!(f, "no full blocks to distribute"),
             ReplicationCause::ProbeMismatch(m) => write!(f, "probe mismatch: {m}"),
             ReplicationCause::ProbeError(m) => write!(f, "probe failed: {m}"),
+            ReplicationCause::RaceHazard(sev, m) => write!(f, "{sev} write-race hazard: {m}"),
         }
     }
 }
@@ -333,6 +338,25 @@ pub fn plan_launch(
     }
     if full_blocks == 0 {
         return Plan::Replicated(ReplicationCause::NoFullBlocks);
+    }
+
+    // Safety veto: a kernel with a possible inter-block write-write race
+    // yields node-order-dependent results when distributed — replicate. A
+    // verdict of Unknown does NOT veto (the launch-time probe below stays
+    // the dynamic guard for footprints the verifier cannot bound).
+    let races = crate::verify::analyze_block_races(kernel, launch, args, None);
+    if races.verdict >= crate::verify::PropertyVerdict::May {
+        let detail = races
+            .diagnostics
+            .first()
+            .map(|d| d.message.clone())
+            .unwrap_or_else(|| "write footprints overlap across blocks".into());
+        let sev = if races.verdict == crate::verify::PropertyVerdict::Must {
+            crate::verify::Severity::Must
+        } else {
+            crate::verify::Severity::May
+        };
+        return Plan::Replicated(ReplicationCause::RaceHazard(sev, detail));
     }
 
     // Candidate chunk granularities: single block, grid row, grid plane.

@@ -1,0 +1,2033 @@
+//! The **kernel verifier**: static race / bounds / barrier-divergence
+//! analysis with launch-time resolution.
+//!
+//! The Allgather-distributable analysis (paper §6) answers *"can this kernel
+//! be distributed?"* while silently assuming the kernel is *correct*. A
+//! kernel with an inter-block write-write race passes the affine conditions
+//! yet produces node-order-dependent results after migration; an
+//! out-of-bounds store corrupts different bytes on different nodes. This
+//! module reuses the same [`Poly`]/[`AffineForm`]/variance machinery to
+//! prove or refute three properties per kernel:
+//!
+//! 1. **inter-block race freedom** ([`analyze_block_races`]) — pairwise
+//!    write-site footprint disjointness across `blockIdx`, via interval,
+//!    gcd-stride and exact offset-set reasoning;
+//! 2. **in-bounds accesses** — symbolic load/store index ranges compared
+//!    with the buffer extents resolved at launch;
+//! 3. **barrier uniformity** — no `__syncthreads()` under thread-variant
+//!    control flow.
+//!
+//! Verdicts live on a MAY/MUST/UNKNOWN lattice ([`PropertyVerdict`]):
+//! `Safe` is a *proof* (the dynamic sanitizer in `cucc-exec::sanitize` must
+//! never observe a violation — asserted by `tests/proptest_verify.rs`),
+//! `Must` is a proof of violation backed by a concrete witness (and must
+//! reproduce dynamically), `May` over-approximates, and `Unknown` records
+//! that the analysis gave up (non-affine index, unresolved loop, budget).
+//!
+//! Results surface as structured [`Diagnostic`]s with rule ids, severities
+//! and write-site source locations (via [`cucc_ir::SourceMap`]); the same
+//! formatter renders the distributable analysis' [`Reason`]s and the
+//! planner's [`ReplicationCause`]s so `cucc analyze` / `cucc check` / `cucc
+//! run` share one human-readable rendering.
+
+use crate::affine::{affine_of_expr, AffineForm, IdxVar, VarForms};
+use crate::distributable::{collect_write_sites, GuardClass, Reason, WriteSite};
+use crate::plan::{launch_sym_env, ReplicationCause};
+use crate::variance::{expr_variance, var_variance, Variance};
+use cucc_exec::{Arg, BufferId};
+use cucc_ir::{Axis, BinOp, Expr, Kernel, LaunchConfig, MemRef, Param, SourceMap, Stmt, VarId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Per-site offset-set enumeration budget (elements). Beyond this the race
+/// check falls back to interval + stride reasoning only.
+const OFFSET_BUDGET: usize = 1 << 16;
+/// Block-shift lattice budget for multi-axis grids.
+const DELTA_BUDGET: usize = 1 << 16;
+/// Budget for the cross-coefficient full-footprint enumeration.
+const PAIR_BUDGET: u64 = 1 << 21;
+/// Overlap witnesses tried against tail guards before demoting to MAY.
+const WITNESS_TRIES: usize = 64;
+/// Diagnostics cap per rule (the first violations are the useful ones).
+const DIAG_CAP: usize = 16;
+
+// ------------------------------------------------------------- verdicts --
+
+/// Result of checking one property. Ordered for lattice joins:
+/// `Safe < Unknown < May < Must`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PropertyVerdict {
+    /// Proven: no execution of this launch can violate the property.
+    Safe,
+    /// The analysis could not decide (non-affine index, unresolved loop
+    /// bounds, enumeration budget exceeded).
+    Unknown,
+    /// A violation is possible but not proven (over-approximation overlap,
+    /// or a witness that may sit behind an unevaluable guard).
+    May,
+    /// A violation is proven with a concrete witness and will reproduce in
+    /// any complete execution of the launch.
+    Must,
+}
+
+impl PropertyVerdict {
+    /// Lattice join (most severe wins).
+    pub fn join(self, other: PropertyVerdict) -> PropertyVerdict {
+        self.max(other)
+    }
+
+    /// True for `Safe`.
+    pub fn is_safe(self) -> bool {
+        self == PropertyVerdict::Safe
+    }
+}
+
+impl fmt::Display for PropertyVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PropertyVerdict::Safe => "safe",
+            PropertyVerdict::Unknown => "unknown",
+            PropertyVerdict::May => "may-violate",
+            PropertyVerdict::Must => "must-violate",
+        })
+    }
+}
+
+/// Severity of one diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (fallback explanations, unknown verdicts).
+    Info,
+    /// Possible violation.
+    May,
+    /// Proven violation.
+    Must,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::May => "MAY",
+            Severity::Must => "MUST",
+        })
+    }
+}
+
+/// Which verifier rule produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Inter-block write-write race freedom.
+    Race,
+    /// In-bounds memory accesses.
+    Bounds,
+    /// Barrier uniformity.
+    Barrier,
+    /// Distribution decisions (rendered `Reason`s / `ReplicationCause`s).
+    Distribute,
+}
+
+impl Rule {
+    /// Stable rule identifier used in rendered diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Race => "race",
+            Rule::Bounds => "bounds",
+            Rule::Barrier => "barrier",
+            Rule::Distribute => "distribute",
+        }
+    }
+}
+
+/// Source location of the write site (or barrier) a diagnostic refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteRef {
+    /// Buffer name (empty for barrier sites).
+    pub buffer: String,
+    /// Pre-order ordinal among the kernel's global writes (or barriers).
+    pub ordinal: usize,
+    /// 1-based source line, when the kernel came from `parse_kernel_with_map`.
+    pub line: Option<u32>,
+}
+
+/// One structured verifier finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human explanation.
+    pub message: String,
+    /// Write-site / barrier location, when one is attributable.
+    pub site: Option<SiteRef>,
+}
+
+impl Diagnostic {
+    fn new(rule: Rule, severity: Severity, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            message,
+            site: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.rule.id(), self.message)?;
+        if let Some(s) = &self.site {
+            if s.buffer.is_empty() {
+                write!(f, " (barrier #{}", s.ordinal)?;
+            } else {
+                write!(f, " (write #{} to `{}`", s.ordinal, s.buffer)?;
+            }
+            if let Some(l) = s.line {
+                write!(f, ", line {l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Full verifier result for one kernel at one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Inter-block write-write race verdict.
+    pub race: PropertyVerdict,
+    /// In-bounds access verdict.
+    pub bounds: PropertyVerdict,
+    /// Barrier-uniformity verdict.
+    pub barrier: PropertyVerdict,
+    /// All findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// True when no rule produced a MUST-severity diagnostic.
+    pub fn clean(&self) -> bool {
+        !self.has_must()
+    }
+
+    /// True when any diagnostic is MUST severity.
+    pub fn has_must(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Must)
+    }
+
+    /// Multi-line human rendering: one summary line per rule, then the
+    /// diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "  race    : {}\n  bounds  : {}\n  barrier : {}\n",
+            self.race, self.bounds, self.barrier
+        );
+        for d in &self.diagnostics {
+            out += &format!("  {d}\n");
+        }
+        if self.diagnostics.is_empty() {
+            out += "  all checks pass\n";
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------- shared formatter --
+
+/// Render the distributable analysis' fallback [`Reason`]s as diagnostics.
+pub fn reason_diagnostics(reasons: &[Reason]) -> Vec<Diagnostic> {
+    reasons
+        .iter()
+        .map(|r| Diagnostic::new(Rule::Distribute, Severity::Info, r.to_string()))
+        .collect()
+}
+
+/// Render a planner [`ReplicationCause`] as a diagnostic. Race-hazard vetoes
+/// keep their verifier severity; all other causes are informational.
+pub fn cause_diagnostic(cause: &ReplicationCause) -> Diagnostic {
+    let severity = match cause {
+        ReplicationCause::RaceHazard(sev, _) => *sev,
+        _ => Severity::Info,
+    };
+    Diagnostic::new(Rule::Distribute, severity, cause.to_string())
+}
+
+// ------------------------------------------------------ canonical input --
+
+/// Synthesize a canonical launch for `cucc check` / `cucc analyze` when the
+/// caller supplies no geometry: grid 64 × block 256, integer scalars
+/// defaulting to the total thread count (so canonical `id < n` tail guards
+/// hold everywhere), float scalars 1.0, and every buffer *assumed* to hold
+/// exactly `total` elements. Returns `(launch, args, extents)`; the assumed
+/// extents cap definite-overrun bounds findings at MAY severity (pass
+/// `assumed_extents = true` to [`verify_launch`]).
+pub fn canonical_check_input(kernel: &Kernel) -> (LaunchConfig, Vec<Arg>, Vec<Option<u64>>) {
+    let launch = LaunchConfig::new(64u32, 256u32);
+    let total = 64i64 * 256;
+    let mut args = Vec::with_capacity(kernel.params.len());
+    let mut extents = Vec::with_capacity(kernel.params.len());
+    for (i, p) in kernel.params.iter().enumerate() {
+        match p {
+            Param::Buffer { .. } => {
+                args.push(Arg::Buffer(BufferId(i as u32)));
+                extents.push(Some(total as u64));
+            }
+            Param::Scalar { ty, .. } => {
+                args.push(match ty.kind() {
+                    cucc_ir::ValueKind::Int => Arg::int(total),
+                    cucc_ir::ValueKind::Float => Arg::float(1.0),
+                });
+                extents.push(None);
+            }
+        }
+    }
+    (launch, args, extents)
+}
+
+// ------------------------------------------------------------ top level --
+
+/// Run all three verifier rules for one launch.
+///
+/// `extents[p]` is the element count of the buffer bound to parameter `p`
+/// (`None` when unknown — bounds checks on that buffer become `Unknown`).
+/// `assumed_extents` marks the extents as synthesized rather than real
+/// allocation sizes: definite-overrun findings are then capped at MAY
+/// (a definitely-*negative* index stays MUST — no extent can excuse it).
+/// `map` attaches source lines to write sites when available.
+pub fn verify_launch(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    extents: &[Option<u64>],
+    assumed_extents: bool,
+    map: Option<&SourceMap>,
+) -> VerifyReport {
+    let race = analyze_block_races(kernel, launch, args, map);
+    let (bounds, mut bounds_diags) =
+        analyze_bounds(kernel, launch, args, extents, assumed_extents, map);
+    let (barrier, mut barrier_diags) = analyze_barriers(kernel, map);
+
+    // A MUST verdict claims dynamic reproduction, which presumes the
+    // witnessing blocks run to completion. If another rule says execution
+    // may abort first (OOB trap, divergent barrier), demote to MAY. A
+    // `Must` *bounds* verdict survives: the first fault in the witnessing
+    // block is itself an OOB, which the sanitizer records.
+    let mut race_v = race.verdict;
+    let mut race_diags = race.diagnostics;
+    let may_abort = bounds > PropertyVerdict::Unknown || barrier > PropertyVerdict::Unknown;
+    if may_abort && race_v == PropertyVerdict::Must {
+        race_v = PropertyVerdict::May;
+        for d in &mut race_diags {
+            if d.severity == Severity::Must {
+                d.severity = Severity::May;
+            }
+        }
+    }
+
+    let mut diagnostics = race_diags;
+    diagnostics.append(&mut bounds_diags);
+    diagnostics.append(&mut barrier_diags);
+    diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    VerifyReport {
+        race: race_v,
+        bounds,
+        barrier,
+        diagnostics,
+    }
+}
+
+// ------------------------------------------------------------ race rule --
+
+/// Race-rule result (used standalone by the launch planner's safety veto).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceAnalysis {
+    /// Joined verdict over all write-site pairs.
+    pub verdict: PropertyVerdict,
+    /// Race findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Loop-variable iteration ranges resolvable for this launch:
+/// `var -> (first, last, step)` of the values the interpreter actually
+/// iterates (`first <= last` normalized; empty loops map to `None`).
+fn resolve_loops(
+    kernel: &Kernel,
+    forms: &VarForms,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+) -> BTreeMap<VarId, Option<(i128, i128, i128)>> {
+    let mut out = BTreeMap::new();
+    kernel.visit_stmts(&mut |s| {
+        if let Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            ..
+        } = s
+        {
+            let resolved = (|| {
+                let s0 = const_of(start, forms, env)?;
+                let e0 = const_of(end, forms, env)?;
+                let st = const_of(step, forms, env)?;
+                if st == 0 {
+                    return None;
+                }
+                // Interpreter semantics: `v = s0; while (st>0 ? v<e0 : v>e0)`.
+                if st > 0 {
+                    if s0 >= e0 {
+                        return Some(None); // zero iterations
+                    }
+                    let last = s0 + ((e0 - 1 - s0) / st) * st;
+                    Some(Some((s0, last, st)))
+                } else {
+                    if s0 <= e0 {
+                        return Some(None);
+                    }
+                    let last = s0 - ((s0 - (e0 + 1)) / -st) * -st;
+                    Some(Some((last, s0, -st)))
+                }
+            })();
+            // `None` = unresolvable; `Some(None)` = resolved empty.
+            out.insert(*var, resolved.flatten());
+            if resolved.is_none() {
+                out.remove(var);
+            }
+        }
+    });
+    out
+}
+
+/// Evaluate an expression to a launch-invariant constant via its affine form.
+fn const_of(
+    e: &Expr,
+    forms: &VarForms,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+) -> Option<i128> {
+    let f = affine_of_expr(e, forms)?;
+    if !f.is_constant() {
+        return None;
+    }
+    f.constant.eval(env)
+}
+
+/// One enumerable dimension of a write-site footprint.
+#[derive(Debug, Clone)]
+struct FootDim {
+    /// Which index variable (threads use step 1 from 0; loops use their
+    /// resolved progression).
+    var: IdxVar,
+    /// Concrete coefficient.
+    coeff: i128,
+    /// First value, count and stride of the dimension's progression.
+    first: i128,
+    count: u64,
+    step: i128,
+}
+
+/// A 3-D thread (or block) coordinate used in MUST witnesses.
+type Coord = (u32, u32, u32);
+
+/// A write site with its footprint resolved for one launch. Offsets are in
+/// elements and exclude the `blockIdx` contribution (which is linear:
+/// `Σ block_coeff[a]·b_a`).
+#[derive(Debug, Clone)]
+struct ResolvedSite {
+    ordinal: usize,
+    name: String,
+    /// Per-axis concrete blockIdx coefficients.
+    block: BTreeMap<Axis, i128>,
+    /// Offset-set bounds (c0 folded in).
+    min: i128,
+    max: i128,
+    /// All offsets are ≡ `base` (mod `gcd`); `gcd == 0` ⇔ singleton set.
+    base: i128,
+    gcd: i128,
+    /// Exhaustive offsets with a thread-coordinate witness each, when the
+    /// set fits [`OFFSET_BUDGET`]. The witness is only meaningful for
+    /// loop-free sites (MUST candidates).
+    offsets: Option<Vec<(i128, Coord)>>,
+    has_loop: bool,
+    /// Guards that must be re-checked before claiming MUST.
+    tail_guards: Vec<crate::distributable::TailGuard>,
+    /// Any guard the verifier cannot concretely evaluate at a witness.
+    opaque_guard: bool,
+    variant_loop: bool,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn site_name(kernel: &Kernel, site: &WriteSite) -> String {
+    kernel.params[site.buffer.index()].name().to_string()
+}
+
+fn site_ref(kernel: &Kernel, sites: &[WriteSite], i: usize, map: Option<&SourceMap>) -> SiteRef {
+    SiteRef {
+        buffer: site_name(kernel, &sites[i]),
+        ordinal: i,
+        line: map.and_then(|m| m.global_write_lines.get(i).copied()),
+    }
+}
+
+/// Resolve one write site's footprint for a launch. `Ok(None)` = the site
+/// never executes (an enclosing loop is provably empty).
+#[allow(clippy::too_many_arguments)]
+fn resolve_site(
+    kernel: &Kernel,
+    site: &WriteSite,
+    ordinal: usize,
+    launch: LaunchConfig,
+    loops: &BTreeMap<VarId, Option<(i128, i128, i128)>>,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+) -> Result<Option<ResolvedSite>, String> {
+    if site.indirect {
+        return Err("data-dependent (indirect) write index".into());
+    }
+    let Some(index) = &site.index else {
+        return Err("non-affine write index".into());
+    };
+    let Some((coeffs, c0)) = index.eval_coeffs(env) else {
+        return Err("write-index coefficients not resolvable at this launch".into());
+    };
+    let mut block = BTreeMap::new();
+    let mut dims = Vec::new();
+    let mut has_loop = false;
+    for (v, c) in coeffs {
+        match v {
+            IdxVar::Block(a) => {
+                block.insert(a, c);
+            }
+            IdxVar::Thread(a) => dims.push(FootDim {
+                var: v,
+                coeff: c,
+                first: 0,
+                count: launch.block.get(a) as u64,
+                step: 1,
+            }),
+            IdxVar::Loop(lv) => {
+                has_loop = true;
+                match loops.get(&lv) {
+                    Some(Some((first, last, step))) => dims.push(FootDim {
+                        var: v,
+                        coeff: c,
+                        first: *first,
+                        count: ((last - first) / step + 1) as u64,
+                        step: *step,
+                    }),
+                    Some(None) => return Ok(None), // empty loop: dead site
+                    None => return Err("loop bounds not resolvable at this launch".into()),
+                }
+            }
+        }
+    }
+    let mut min = c0;
+    let mut max = c0;
+    let mut base = c0;
+    let mut g = 0i128;
+    let mut total: u64 = 1;
+    for d in &dims {
+        let last = d.first + (d.count as i128 - 1) * d.step;
+        let (lo, hi) = (d.coeff * d.first, d.coeff * last);
+        min += lo.min(hi);
+        max += lo.max(hi);
+        base += d.coeff * d.first;
+        g = gcd(g, d.coeff * d.step);
+        total = total.saturating_mul(d.count);
+    }
+    let offsets = if total as usize <= OFFSET_BUDGET {
+        let mut out = Vec::with_capacity(total as usize);
+        enumerate_offsets(&dims, 0, c0, (0, 0, 0), &mut out);
+        Some(out)
+    } else {
+        None
+    };
+    let mut tail_guards = Vec::new();
+    let mut opaque_guard = false;
+    for gclass in &site.guards {
+        match gclass {
+            GuardClass::Tail(t) => tail_guards.push(t.clone()),
+            _ => opaque_guard = true,
+        }
+    }
+    Ok(Some(ResolvedSite {
+        ordinal,
+        name: site_name(kernel, site),
+        block,
+        min,
+        max,
+        base,
+        gcd: g,
+        offsets,
+        has_loop,
+        tail_guards,
+        opaque_guard,
+        variant_loop: site.variant_loop,
+    }))
+}
+
+/// Recursively enumerate the offset set, carrying thread coordinates as
+/// witnesses (loop dimensions leave the coordinates untouched).
+fn enumerate_offsets(
+    dims: &[FootDim],
+    i: usize,
+    acc: i128,
+    wit: Coord,
+    out: &mut Vec<(i128, Coord)>,
+) {
+    if i == dims.len() {
+        out.push((acc, wit));
+        return;
+    }
+    let d = &dims[i];
+    let mut v = d.first;
+    for k in 0..d.count {
+        let mut w = wit;
+        if let IdxVar::Thread(a) = d.var {
+            match a {
+                Axis::X => w.0 = k as u32,
+                Axis::Y => w.1 = k as u32,
+                Axis::Z => w.2 = k as u32,
+            }
+        }
+        enumerate_offsets(dims, i + 1, acc + d.coeff * v, w, out);
+        v += d.step;
+    }
+}
+
+/// True when any `Div`/`Rem` in the kernel has a non-constant (or zero)
+/// divisor — execution could abort with a division fault before reaching a
+/// witnessed violation, so MUST claims are demoted.
+fn kernel_may_fault(kernel: &Kernel) -> bool {
+    let mut faulty = false;
+    kernel.visit_stmts(&mut |s| {
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |e| {
+                if let Expr::Binary {
+                    op: BinOp::Div | BinOp::Rem,
+                    rhs,
+                    ..
+                } = e
+                {
+                    if !matches!(&**rhs, Expr::IntConst(c) if *c != 0)
+                        && !matches!(&**rhs, Expr::FloatConst(_))
+                    {
+                        faulty = true;
+                    }
+                }
+            });
+        });
+    });
+    faulty
+}
+
+fn kernel_has_return(kernel: &Kernel) -> bool {
+    let mut found = false;
+    kernel.visit_stmts(&mut |s| {
+        if matches!(s, Stmt::Return) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Check the inter-block write-write race rule for one launch.
+///
+/// Two write sites race when a block `b` and a *different* block `b'` write
+/// the same element of the same buffer and the writes are not both atomic
+/// (atomic-atomic overlaps commute and are handled by the distribution
+/// analysis' `AtomicWrite` reason instead). Intra-block overlaps are the
+/// kernel's own business (same as on a GPU) and are not checked here.
+pub fn analyze_block_races(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    map: Option<&SourceMap>,
+) -> RaceAnalysis {
+    let sites = collect_write_sites(kernel);
+    let env = launch_sym_env(launch, args);
+    let forms = VarForms::of_kernel(kernel);
+    let loops = resolve_loops(kernel, &forms, &env);
+
+    // Enclosing-loop status per global-write ordinal (from the bounds
+    // walker, whose pre-order matches `collect_write_sites`): a site under
+    // a provably-empty loop never executes; under an unresolvable loop it
+    // cannot back a MUST claim.
+    let mut site_dead = vec![false; sites.len()];
+    let mut site_loop_unknown = vec![false; sites.len()];
+    for acc in collect_accesses(kernel) {
+        if let Some(ord) = acc.write_ordinal {
+            for lv in &acc.enclosing_loops {
+                match loops.get(lv) {
+                    Some(Some(_)) => {}
+                    Some(None) => site_dead[ord] = true,
+                    None => site_loop_unknown[ord] = true,
+                }
+            }
+        }
+    }
+
+    enum SiteState {
+        Resolved(ResolvedSite),
+        Dead,
+        Unresolved,
+    }
+    let mut verdict = PropertyVerdict::Safe;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut states: Vec<SiteState> = Vec::new();
+    for (i, site) in sites.iter().enumerate() {
+        if site_dead[i] {
+            states.push(SiteState::Dead);
+            continue;
+        }
+        match resolve_site(kernel, site, i, launch, &loops, &env) {
+            Ok(Some(mut r)) => {
+                if site_loop_unknown[i] {
+                    r.has_loop = true; // blocks MUST candidacy
+                }
+                states.push(SiteState::Resolved(r));
+            }
+            Ok(None) => states.push(SiteState::Dead),
+            Err(why) => {
+                states.push(SiteState::Unresolved);
+                // Atomic sites that cannot be resolved are still safe
+                // against *other atomic* sites; against plain sites they
+                // make the pair unknown below. Record the reason once.
+                verdict = verdict.join(PropertyVerdict::Unknown);
+                if diagnostics.len() < DIAG_CAP {
+                    let mut d = Diagnostic::new(
+                        Rule::Race,
+                        Severity::Info,
+                        format!("cannot bound footprint: {why}"),
+                    );
+                    d.site = Some(site_ref(kernel, &sites, i, map));
+                    diagnostics.push(d);
+                }
+            }
+        }
+    }
+
+    let must_eligible = !kernel_has_return(kernel) && !kernel_may_fault(kernel);
+    let nblocks = launch.num_blocks();
+    for i in 0..sites.len() {
+        for j in i..sites.len() {
+            if sites[i].buffer != sites[j].buffer {
+                continue;
+            }
+            if sites[i].atomic && sites[j].atomic {
+                continue;
+            }
+            if matches!(states[i], SiteState::Dead) || matches!(states[j], SiteState::Dead) {
+                continue; // dead site(s): no writes happen
+            }
+            let (SiteState::Resolved(a), SiteState::Resolved(b)) = (&states[i], &states[j]) else {
+                verdict = verdict.join(PropertyVerdict::Unknown);
+                continue;
+            };
+            if nblocks < 2 {
+                continue; // single block: no inter-block pair exists
+            }
+            let pair = check_pair(a, b, launch, &env, must_eligible);
+            verdict = verdict.join(pair.verdict);
+            if let Some(msg) = pair.message {
+                if diagnostics.len() < DIAG_CAP {
+                    let sev = match pair.verdict {
+                        PropertyVerdict::Must => Severity::Must,
+                        PropertyVerdict::May => Severity::May,
+                        _ => Severity::Info,
+                    };
+                    let mut d = Diagnostic::new(Rule::Race, sev, msg);
+                    d.site = Some(site_ref(kernel, &sites, i, map));
+                    diagnostics.push(d);
+                }
+            }
+        }
+    }
+    diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    RaceAnalysis {
+        verdict,
+        diagnostics,
+    }
+}
+
+struct PairOutcome {
+    verdict: PropertyVerdict,
+    message: Option<String>,
+}
+
+impl PairOutcome {
+    fn safe() -> PairOutcome {
+        PairOutcome {
+            verdict: PropertyVerdict::Safe,
+            message: None,
+        }
+    }
+    fn unknown(msg: String) -> PairOutcome {
+        PairOutcome {
+            verdict: PropertyVerdict::Unknown,
+            message: Some(msg),
+        }
+    }
+}
+
+/// Disjointness of `O_a` vs `O_b + δ` using the interval and stride filters,
+/// then (when available) the exact sets. Returns witnesses on overlap.
+#[allow(clippy::type_complexity)]
+fn sets_overlap(
+    a: &ResolvedSite,
+    b: &ResolvedSite,
+    delta: i128,
+) -> Result<Option<Vec<(i128, Coord, Coord)>>, ()> {
+    // Interval filter.
+    if a.max < b.min + delta || b.max + delta < a.min {
+        return Ok(None);
+    }
+    // Stride filter: every element of O_a ≡ base_a (mod g), O_b + δ ≡
+    // base_b + δ (mod g) with g = gcd of both strides.
+    let g = gcd(a.gcd, b.gcd);
+    if g > 0 && (b.base + delta - a.base) % g != 0 {
+        return Ok(None);
+    }
+    if g == 0 {
+        // Both singletons; interval filter already compared them.
+        return Ok(Some(vec![(
+            a.base,
+            a.offsets.as_ref().map(|o| o[0].1).unwrap_or((0, 0, 0)),
+            b.offsets.as_ref().map(|o| o[0].1).unwrap_or((0, 0, 0)),
+        )]));
+    }
+    // Exact membership, when both sets are enumerated.
+    let (Some(oa), Some(ob)) = (&a.offsets, &b.offsets) else {
+        return Err(()); // inconclusive: prefilters passed, no enumeration
+    };
+    let set_a: HashMap<i128, Coord> = oa.iter().map(|(o, w)| (*o, *w)).collect();
+    let mut hits = Vec::new();
+    for (o, wb) in ob {
+        if let Some(wa) = set_a.get(&(o + delta)) {
+            hits.push((o + delta, *wa, *wb));
+            if hits.len() >= WITNESS_TRIES {
+                break;
+            }
+        }
+    }
+    Ok(if hits.is_empty() { None } else { Some(hits) })
+}
+
+/// Evaluate a site's tail guards at concrete thread/block coordinates.
+fn guards_hold(
+    site: &ResolvedSite,
+    wit: Coord,
+    blk: Coord,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+) -> Option<bool> {
+    for g in &site.tail_guards {
+        let (coeffs, c0) = g.lhs.eval_coeffs(env)?;
+        let bound = g.bound.eval(env)?;
+        let mut v = c0;
+        for (var, c) in coeffs {
+            let coord = match var {
+                IdxVar::Thread(Axis::X) => wit.0 as i128,
+                IdxVar::Thread(Axis::Y) => wit.1 as i128,
+                IdxVar::Thread(Axis::Z) => wit.2 as i128,
+                IdxVar::Block(Axis::X) => blk.0 as i128,
+                IdxVar::Block(Axis::Y) => blk.1 as i128,
+                IdxVar::Block(Axis::Z) => blk.2 as i128,
+                IdxVar::Loop(_) => return None, // excluded by classification
+            };
+            v += c * coord;
+        }
+        if v >= bound {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// Check one ordered pair of resolved sites across all block shifts.
+fn check_pair(
+    a: &ResolvedSite,
+    b: &ResolvedSite,
+    launch: LaunchConfig,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+    must_eligible: bool,
+) -> PairOutcome {
+    if a.block == b.block {
+        check_pair_equal_coeffs(a, b, launch, env, must_eligible)
+    } else {
+        check_pair_cross_coeffs(a, b, launch, env, must_eligible)
+    }
+}
+
+/// Grid extents per axis.
+fn grid_ext(launch: LaunchConfig) -> [(Axis, i128); 3] {
+    [
+        (Axis::X, launch.grid.x as i128),
+        (Axis::Y, launch.grid.y as i128),
+        (Axis::Z, launch.grid.z as i128),
+    ]
+}
+
+/// Equal block coefficients: footprints of blocks `b` and `b + Δ` differ by
+/// the constant shift `Σ coeff[axis]·Δ[axis]`; scan the Δ lattice.
+fn check_pair_equal_coeffs(
+    a: &ResolvedSite,
+    b: &ResolvedSite,
+    launch: LaunchConfig,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+    must_eligible: bool,
+) -> PairOutcome {
+    let exts = grid_ext(launch);
+    let active: Vec<(Axis, i128)> = exts.iter().copied().filter(|(_, e)| *e > 1).collect();
+    if active.is_empty() {
+        return PairOutcome::safe();
+    }
+    let lattice: i128 = active.iter().map(|(_, e)| 2 * e - 1).product();
+    if lattice as usize > DELTA_BUDGET {
+        // Dominant special case: one active axis — scan ascending |Δ| and
+        // stop once the shift leaves the window where the intervals can
+        // still touch (overlap needs `shift ∈ [a.min − b.max, a.max − b.min]`,
+        // and |shift| = |c|·d grows monotonically with d).
+        if active.len() == 1 {
+            let (axis, ext) = active[0];
+            let c = a.block.get(&axis).copied().unwrap_or(0);
+            let window = (a.min - b.max).abs().max((a.max - b.min).abs());
+            for d in 1..ext {
+                if c != 0 && (c * d).abs() > window {
+                    break;
+                }
+                for delta in [d, -d] {
+                    let mut dv = [0i128; 3];
+                    dv[axis as usize] = delta;
+                    match scan_delta(a, b, dv, env, must_eligible) {
+                        ScanOutcome::Disjoint => {}
+                        other => return other.into_pair(a, b),
+                    }
+                }
+                if c == 0 {
+                    break; // shift is 0 for every Δ: one probe decides all
+                }
+            }
+            return PairOutcome::safe();
+        }
+        return PairOutcome::unknown(format!(
+            "grid too large to enumerate block shifts for writes to `{}`",
+            a.name
+        ));
+    }
+    // Full lattice walk.
+    let range = |e: i128| -> Vec<i128> { (-(e - 1)..e).collect() };
+    let (rx, ry, rz) = (range(exts[0].1), range(exts[1].1), range(exts[2].1));
+    for &dx in &rx {
+        for &dy in &ry {
+            for &dz in &rz {
+                if dx == 0 && dy == 0 && dz == 0 {
+                    continue;
+                }
+                match scan_delta(a, b, [dx, dy, dz], env, must_eligible) {
+                    ScanOutcome::Disjoint => {}
+                    other => return other.into_pair(a, b),
+                }
+            }
+        }
+    }
+    PairOutcome::safe()
+}
+
+enum ScanOutcome {
+    Disjoint,
+    Inconclusive,
+    Overlap {
+        must: bool,
+        element: i128,
+        blocks: (Coord, Coord),
+    },
+}
+
+impl ScanOutcome {
+    fn into_pair(self, a: &ResolvedSite, b: &ResolvedSite) -> PairOutcome {
+        match self {
+            ScanOutcome::Disjoint => PairOutcome::safe(),
+            ScanOutcome::Inconclusive => PairOutcome::unknown(format!(
+                "write footprints of `{}` not provably disjoint across blocks \
+                 (enumeration budget exceeded)",
+                a.name
+            )),
+            ScanOutcome::Overlap {
+                must,
+                element,
+                blocks,
+            } => {
+                let (ba, bb) = blocks;
+                let verdict = if must {
+                    PropertyVerdict::Must
+                } else {
+                    PropertyVerdict::May
+                };
+                let what = if must { "both write" } else { "may both write" };
+                // The site ref appended by `Diagnostic`'s Display already
+                // names write `a`; only a distinct second site adds info.
+                let sites = if a.ordinal == b.ordinal {
+                    String::new()
+                } else {
+                    format!(" (with write #{})", b.ordinal)
+                };
+                PairOutcome {
+                    verdict,
+                    message: Some(format!(
+                        "blocks ({},{},{}) and ({},{},{}) {what} `{}`[{element}]{sites}",
+                        ba.0, ba.1, ba.2, bb.0, bb.1, bb.2, a.name
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// Test one Δ of the equal-coefficient case.
+fn scan_delta(
+    a: &ResolvedSite,
+    b: &ResolvedSite,
+    dv: [i128; 3],
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+    must_eligible: bool,
+) -> ScanOutcome {
+    let shift: i128 = [Axis::X, Axis::Y, Axis::Z]
+        .iter()
+        .map(|ax| a.block.get(ax).copied().unwrap_or(0) * dv[*ax as usize])
+        .sum();
+    // Blocks b0 and b0+Δ, with b0 chosen so both are inside the grid.
+    let b0 = (
+        (-dv[0]).max(0) as u32,
+        (-dv[1]).max(0) as u32,
+        (-dv[2]).max(0) as u32,
+    );
+    let b1 = (
+        (b0.0 as i128 + dv[0]) as u32,
+        (b0.1 as i128 + dv[1]) as u32,
+        (b0.2 as i128 + dv[2]) as u32,
+    );
+    // Footprint of `a` at b0 vs footprint of `b` at b1 = O_b + shift.
+    match sets_overlap(a, b, shift) {
+        Ok(None) => ScanOutcome::Disjoint,
+        Err(()) => ScanOutcome::Inconclusive,
+        Ok(Some(hits)) => {
+            let block_part: i128 = [Axis::X, Axis::Y, Axis::Z]
+                .iter()
+                .map(|ax| {
+                    a.block.get(ax).copied().unwrap_or(0)
+                        * match ax {
+                            Axis::X => b0.0 as i128,
+                            Axis::Y => b0.1 as i128,
+                            Axis::Z => b0.2 as i128,
+                        }
+                })
+                .sum();
+            let mut must = false;
+            let mut element = hits[0].0 + block_part;
+            if must_eligible && pair_must_candidate(a, b) {
+                for (o, wa, wb) in &hits {
+                    if guards_hold(a, *wa, b0, env) == Some(true)
+                        && guards_hold(b, *wb, b1, env) == Some(true)
+                    {
+                        must = true;
+                        element = o + block_part;
+                        break;
+                    }
+                }
+            }
+            ScanOutcome::Overlap {
+                must,
+                element,
+                blocks: (b0, b1),
+            }
+        }
+    }
+}
+
+/// Structural eligibility of a pair for a MUST verdict: loop-free,
+/// non-atomic-only-guarded by concretely evaluable tail guards.
+fn pair_must_candidate(a: &ResolvedSite, b: &ResolvedSite) -> bool {
+    !a.has_loop
+        && !b.has_loop
+        && !a.variant_loop
+        && !b.variant_loop
+        && !a.opaque_guard
+        && !b.opaque_guard
+}
+
+/// Different block coefficients: compare global footprints, then enumerate
+/// all (block, offset) pairs within budget.
+fn check_pair_cross_coeffs(
+    a: &ResolvedSite,
+    b: &ResolvedSite,
+    launch: LaunchConfig,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+    must_eligible: bool,
+) -> PairOutcome {
+    let exts = grid_ext(launch);
+    let global = |s: &ResolvedSite| -> (i128, i128) {
+        let mut lo = s.min;
+        let mut hi = s.max;
+        for (ax, e) in exts {
+            let c = s.block.get(&ax).copied().unwrap_or(0) * (e - 1);
+            lo += c.min(0);
+            hi += c.max(0);
+        }
+        (lo, hi)
+    };
+    let (alo, ahi) = global(a);
+    let (blo, bhi) = global(b);
+    if ahi < blo || bhi < alo {
+        return PairOutcome::safe();
+    }
+    let nblocks = launch.num_blocks();
+    let cost = |s: &ResolvedSite| -> u64 {
+        nblocks.saturating_mul(
+            s.offsets
+                .as_ref()
+                .map(|o| o.len() as u64)
+                .unwrap_or(u64::MAX),
+        )
+    };
+    if a.offsets.is_none() || b.offsets.is_none() || cost(a) > PAIR_BUDGET || cost(b) > PAIR_BUDGET
+    {
+        return PairOutcome::unknown(format!(
+            "write footprints of `{}` overlap globally but are too large to \
+             enumerate per block",
+            a.name
+        ));
+    }
+    type Wit = (Coord, Coord); // (block, thread)
+    let mut table: HashMap<i128, Wit> = HashMap::new();
+    let block_base = |s: &ResolvedSite, blk: Coord| -> i128 {
+        s.block.get(&Axis::X).copied().unwrap_or(0) * blk.0 as i128
+            + s.block.get(&Axis::Y).copied().unwrap_or(0) * blk.1 as i128
+            + s.block.get(&Axis::Z).copied().unwrap_or(0) * blk.2 as i128
+    };
+    for lin in 0..nblocks {
+        let blk = launch.grid.delinearize(lin);
+        let base = block_base(a, blk);
+        for (o, w) in a.offsets.as_ref().unwrap() {
+            table.entry(o + base).or_insert((blk, *w));
+        }
+    }
+    let mut hit: Option<(i128, Wit, Wit)> = None;
+    let mut must = false;
+    'outer: for lin in 0..nblocks {
+        let blk = launch.grid.delinearize(lin);
+        let base = block_base(b, blk);
+        for (o, w) in b.offsets.as_ref().unwrap() {
+            let elem = o + base;
+            if let Some((ablk, aw)) = table.get(&elem) {
+                if *ablk == blk {
+                    continue; // same block: not an inter-block race
+                }
+                if hit.is_none() {
+                    hit = Some((elem, (*ablk, *aw), (blk, *w)));
+                }
+                if must_eligible
+                    && pair_must_candidate(a, b)
+                    && guards_hold(a, *aw, *ablk, env) == Some(true)
+                    && guards_hold(b, *w, blk, env) == Some(true)
+                {
+                    hit = Some((elem, (*ablk, *aw), (blk, *w)));
+                    must = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    match hit {
+        None => PairOutcome::safe(),
+        Some((elem, (ablk, _), (bblk, _))) => ScanOutcome::Overlap {
+            must,
+            element: elem,
+            blocks: (ablk, bblk),
+        }
+        .into_pair(a, b),
+    }
+}
+
+// ---------------------------------------------------------- bounds rule --
+
+/// One memory access collected by the bounds walker.
+struct Access<'a> {
+    mem: MemRef,
+    index: &'a Expr,
+    is_store: bool,
+    /// Pre-order ordinal among global writes (stores/atomics only).
+    write_ordinal: Option<usize>,
+    /// Guard conjunct expressions on the path (true-branch only narrows).
+    guards: Vec<(&'a Expr, bool)>, // (expr, negated)
+    /// Inside a `Select` arm or a short-circuit operand: evaluation is not
+    /// guaranteed, so the finding cannot be MUST.
+    conditional: bool,
+    /// Loop variables of every enclosing `for` (an access under an empty
+    /// loop never executes; under an unresolvable one it may not).
+    enclosing_loops: Vec<VarId>,
+}
+
+fn collect_accesses(kernel: &Kernel) -> Vec<Access<'_>> {
+    struct Walker<'a> {
+        out: Vec<Access<'a>>,
+        guards: Vec<(&'a Expr, bool)>,
+        write_ord: usize,
+        loops: Vec<VarId>,
+    }
+    impl<'a> Walker<'a> {
+        fn expr(&mut self, e: &'a Expr, conditional: bool) {
+            match e {
+                Expr::Load { mem, index } => {
+                    self.expr(index, conditional);
+                    self.out.push(Access {
+                        mem: *mem,
+                        index,
+                        is_store: false,
+                        write_ordinal: None,
+                        guards: self.guards.clone(),
+                        conditional,
+                        enclosing_loops: self.loops.clone(),
+                    });
+                }
+                Expr::Binary {
+                    op: BinOp::LAnd | BinOp::LOr,
+                    lhs,
+                    rhs,
+                } => {
+                    self.expr(lhs, conditional);
+                    self.expr(rhs, true);
+                }
+                Expr::Binary { lhs, rhs, .. } => {
+                    self.expr(lhs, conditional);
+                    self.expr(rhs, conditional);
+                }
+                Expr::Select {
+                    cond,
+                    then_value,
+                    else_value,
+                } => {
+                    self.expr(cond, conditional);
+                    self.expr(then_value, true);
+                    self.expr(else_value, true);
+                }
+                Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => self.expr(arg, conditional),
+                Expr::Call { args, .. } => {
+                    for a in args {
+                        self.expr(a, conditional);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn stmts(&mut self, stmts: &'a [Stmt]) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { value, .. } => self.expr(value, false),
+                    Stmt::Store { mem, index, value }
+                    | Stmt::AtomicRmw {
+                        mem, index, value, ..
+                    } => {
+                        self.expr(index, false);
+                        self.expr(value, false);
+                        let ord = if matches!(mem, MemRef::Global(_)) {
+                            let o = self.write_ord;
+                            self.write_ord += 1;
+                            Some(o)
+                        } else {
+                            None
+                        };
+                        self.out.push(Access {
+                            mem: *mem,
+                            index,
+                            is_store: true,
+                            write_ordinal: ord,
+                            guards: self.guards.clone(),
+                            conditional: false,
+                            enclosing_loops: self.loops.clone(),
+                        });
+                    }
+                    Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } => {
+                        self.expr(cond, false);
+                        let mut conj = Vec::new();
+                        split_conjuncts_local(cond, &mut conj);
+                        let depth = conj.len();
+                        for c in &conj {
+                            self.guards.push((*c, false));
+                        }
+                        self.stmts(then_body);
+                        self.guards.truncate(self.guards.len() - depth);
+                        if !else_body.is_empty() {
+                            // The negated condition still guards the else
+                            // branch (blocks MUST), but performs no
+                            // narrowing.
+                            self.guards.push((cond, true));
+                            self.stmts(else_body);
+                            self.guards.pop();
+                        }
+                    }
+                    Stmt::For {
+                        var,
+                        start,
+                        end,
+                        step,
+                        body,
+                    } => {
+                        self.expr(start, false);
+                        self.expr(end, false);
+                        self.expr(step, false);
+                        self.loops.push(*var);
+                        self.stmts(body);
+                        self.loops.pop();
+                    }
+                    Stmt::SyncThreads | Stmt::Return => {}
+                }
+            }
+        }
+    }
+    let mut w = Walker {
+        out: Vec::new(),
+        guards: Vec::new(),
+        write_ord: 0,
+        loops: Vec::new(),
+    };
+    w.stmts(&kernel.body);
+    w.out
+}
+
+fn split_conjuncts_local<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary {
+        op: BinOp::LAnd,
+        lhs,
+        rhs,
+    } = e
+    {
+        split_conjuncts_local(lhs, out);
+        split_conjuncts_local(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Interval of an affine form under the launch, `None` when a coefficient or
+/// a loop range cannot be resolved.
+fn range_of(
+    form: &AffineForm,
+    launch: LaunchConfig,
+    loops: &BTreeMap<VarId, Option<(i128, i128, i128)>>,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+) -> Option<(i128, i128)> {
+    let (coeffs, c0) = form.eval_coeffs(env)?;
+    let mut lo = c0;
+    let mut hi = c0;
+    for (v, c) in coeffs {
+        let (vmin, vmax) = match v {
+            IdxVar::Thread(a) => (0, launch.block.get(a) as i128 - 1),
+            IdxVar::Block(a) => (0, launch.grid.get(a) as i128 - 1),
+            IdxVar::Loop(lv) => match loops.get(&lv) {
+                Some(Some((first, last, _))) => (*first, *last),
+                // An empty loop's body never runs; treat the var as its
+                // start value (the access never executes anyway — using any
+                // finite range keeps the analysis an over-approximation).
+                Some(None) => return None,
+                None => return None,
+            },
+        };
+        let (a, b) = (c * vmin, c * vmax);
+        lo += a.min(b);
+        hi += a.max(b);
+    }
+    Some((lo, hi))
+}
+
+/// Check the in-bounds rule. Extents are in elements, indexed by parameter.
+fn analyze_bounds(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    extents: &[Option<u64>],
+    assumed_extents: bool,
+    map: Option<&SourceMap>,
+) -> (PropertyVerdict, Vec<Diagnostic>) {
+    let env = launch_sym_env(launch, args);
+    let forms = VarForms::of_kernel(kernel);
+    let loops = resolve_loops(kernel, &forms, &env);
+    let must_eligible = !kernel_has_return(kernel) && !kernel_may_fault(kernel);
+    let accesses = collect_accesses(kernel);
+
+    let mut verdict = PropertyVerdict::Safe;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut unknown_noted = false;
+    for acc in &accesses {
+        // Enclosing-loop status: an access under a provably-empty loop
+        // never executes (skip); under an unresolvable one it may not
+        // execute (blocks MUST, bounds proofs still hold for whatever
+        // iterations do run).
+        let mut loop_unknown = false;
+        let mut dead = false;
+        for lv in &acc.enclosing_loops {
+            match loops.get(lv) {
+                Some(Some(_)) => {}
+                Some(None) => dead = true,
+                None => loop_unknown = true,
+            }
+        }
+        if dead {
+            continue;
+        }
+        let (name, extent): (String, Option<i128>) = match acc.mem {
+            MemRef::Global(p) => (
+                kernel.params[p.index()].name().to_string(),
+                extents.get(p.index()).copied().flatten().map(|e| e as i128),
+            ),
+            MemRef::Shared(i) => {
+                let d = &kernel.shared[i as usize];
+                (d.name.clone(), Some(d.len as i128))
+            }
+            MemRef::Local(i) => {
+                let d = &kernel.locals[i as usize];
+                (d.name.clone(), Some(d.len as i128))
+            }
+        };
+        let form = affine_of_expr(acc.index, &forms);
+        let range = form
+            .as_ref()
+            .and_then(|f| range_of(f, launch, &loops, &env));
+        let (Some(form), Some((raw_lo, raw_hi))) = (form, range) else {
+            verdict = verdict.join(PropertyVerdict::Unknown);
+            if !unknown_noted && diags.len() < DIAG_CAP {
+                unknown_noted = true;
+                diags.push(Diagnostic::new(
+                    Rule::Bounds,
+                    Severity::Info,
+                    format!("index into `{name}` not analyzable (non-affine or data-dependent)"),
+                ));
+            }
+            continue;
+        };
+        let Some(extent) = extent else {
+            verdict = verdict.join(PropertyVerdict::Unknown);
+            continue;
+        };
+        // Guard narrowing (true-branch comparisons only).
+        let mut lo = raw_lo;
+        let mut hi = raw_hi;
+        for (g, negated) in &acc.guards {
+            if *negated {
+                continue;
+            }
+            if let Some((nlo, nhi)) = narrow_by_guard(&form, g, &forms, launch, &loops, &env) {
+                lo = lo.max(nlo);
+                hi = hi.min(nhi);
+            }
+        }
+        if lo >= 0 && hi < extent {
+            continue; // proven in bounds
+        }
+        // The raw (un-narrowed) box is exact: every corner is attained by
+        // some thread/iteration. Narrowed bounds are over-approximations,
+        // so MUST needs the *raw* range to violate.
+        let definite = acc.guards.is_empty()
+            && !acc.conditional
+            && !loop_unknown
+            && must_eligible
+            && (raw_lo < 0 || raw_hi >= extent);
+        let neg_side = raw_lo < 0 && acc.guards.is_empty() && !acc.conditional && must_eligible;
+        let sev = if definite && (!assumed_extents || neg_side) {
+            Severity::Must
+        } else {
+            Severity::May
+        };
+        verdict = verdict.join(if sev == Severity::Must {
+            PropertyVerdict::Must
+        } else {
+            PropertyVerdict::May
+        });
+        if diags.len() < DIAG_CAP {
+            let kind = if acc.is_store { "store" } else { "load" };
+            let mut d = Diagnostic::new(
+                Rule::Bounds,
+                sev,
+                format!(
+                    "{kind} index into `{name}` ranges over [{lo}, {hi}] but the buffer \
+                     holds {extent} element(s){}",
+                    if assumed_extents && acc.mem.space() == cucc_ir::MemSpace::Global {
+                        " (assumed extent)"
+                    } else {
+                        ""
+                    }
+                ),
+            );
+            if let Some(ord) = acc.write_ordinal {
+                d.site = Some(SiteRef {
+                    buffer: name,
+                    ordinal: ord,
+                    line: map.and_then(|m| m.global_write_lines.get(ord).copied()),
+                });
+            }
+            diags.push(d);
+        }
+    }
+    (verdict, diags)
+}
+
+/// Narrow an index interval using one guard conjunct `small <cmp> big`
+/// (comparisons and equalities over affine expressions).
+///
+/// Pointwise for the thread executing the access, `index = small + d` with
+/// `d = index − small`, so under the guard `index ≤ big − 1 + d` (`Le`: no
+/// `−1`), bounded above by `max(big + d)` over the launch box — computed
+/// jointly so correlated terms cancel. Symmetrically `index = big + e ≥
+/// small + 1 + e` bounds it below via `min(small + e)`. Equality narrows to
+/// the exact range of `big + d`. Unrelated guards yield huge, harmless
+/// bounds; unresolvable ones yield `None` (no narrowing).
+fn narrow_by_guard(
+    index: &AffineForm,
+    guard: &Expr,
+    forms: &VarForms,
+    launch: LaunchConfig,
+    loops: &BTreeMap<VarId, Option<(i128, i128, i128)>>,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+) -> Option<(i128, i128)> {
+    let Expr::Binary { op, lhs, rhs } = guard else {
+        return None;
+    };
+    let (small, big, inclusive, eq) = match op {
+        BinOp::Lt => (lhs, rhs, false, false),
+        BinOp::Le => (lhs, rhs, true, false),
+        BinOp::Gt => (rhs, lhs, false, false),
+        BinOp::Ge => (rhs, lhs, true, false),
+        BinOp::Eq => (lhs, rhs, true, true),
+        _ => return None,
+    };
+    let small_f = affine_of_expr(small, forms)?;
+    let big_f = affine_of_expr(big, forms)?;
+    let upper_f = big_f.add(&index.sub(&small_f)); // big + (index − small)
+    let (ulo, uhi) = range_of(&upper_f, launch, loops, env)?;
+    if eq {
+        return Some((ulo, uhi));
+    }
+    let hi = uhi - if inclusive { 0 } else { 1 };
+    let lower_f = small_f.add(&index.sub(&big_f)); // small + (index − big)
+    let lo = match range_of(&lower_f, launch, loops, env) {
+        Some((llo, _)) => llo + if inclusive { 0 } else { 1 },
+        None => i128::MIN,
+    };
+    Some((lo, hi))
+}
+
+// --------------------------------------------------------- barrier rule --
+
+/// Check barrier uniformity: `__syncthreads()` under thread-variant control
+/// flow diverges (some threads wait forever). Mirrors the validator's rule
+/// but reports structured diagnostics instead of rejecting the kernel, so
+/// builder-constructed kernels get the same scrutiny as parsed ones.
+fn analyze_barriers(
+    kernel: &Kernel,
+    map: Option<&SourceMap>,
+) -> (PropertyVerdict, Vec<Diagnostic>) {
+    let variance = var_variance(kernel);
+    let mut verdict = PropertyVerdict::Safe;
+    let mut diags = Vec::new();
+    let mut ordinal = 0usize;
+    fn walk(
+        stmts: &[Stmt],
+        variance: &[Variance],
+        variant: bool,
+        ordinal: &mut usize,
+        verdict: &mut PropertyVerdict,
+        diags: &mut Vec<Diagnostic>,
+        map: Option<&SourceMap>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::SyncThreads => {
+                    if variant {
+                        *verdict = verdict.join(PropertyVerdict::Must);
+                        if diags.len() < DIAG_CAP {
+                            let mut d = Diagnostic::new(
+                                Rule::Barrier,
+                                Severity::Must,
+                                "__syncthreads() under thread-variant control flow \
+                                 (threads diverge at the barrier)"
+                                    .into(),
+                            );
+                            d.site = Some(SiteRef {
+                                buffer: String::new(),
+                                ordinal: *ordinal,
+                                line: map.and_then(|m| m.barrier_lines.get(*ordinal).copied()),
+                            });
+                            diags.push(d);
+                        }
+                    }
+                    *ordinal += 1;
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let v = variant || expr_variance(cond, variance).thread;
+                    walk(then_body, variance, v, ordinal, verdict, diags, map);
+                    walk(else_body, variance, v, ordinal, verdict, diags, map);
+                }
+                Stmt::For {
+                    start,
+                    end,
+                    step,
+                    body,
+                    ..
+                } => {
+                    let bounds = expr_variance(start, variance)
+                        .join(expr_variance(end, variance))
+                        .join(expr_variance(step, variance));
+                    let v = variant || bounds.thread;
+                    walk(body, variance, v, ordinal, verdict, diags, map);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(
+        &kernel.body,
+        &variance,
+        false,
+        &mut ordinal,
+        &mut verdict,
+        &mut diags,
+        map,
+    );
+    (verdict, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cucc_exec::MemPool;
+    use cucc_ir::{parse_kernel, parse_kernel_with_map};
+
+    fn check(
+        src: &str,
+        launch: LaunchConfig,
+        args: Vec<Arg>,
+        extents: Vec<Option<u64>>,
+    ) -> VerifyReport {
+        let (k, map) = parse_kernel_with_map(src).unwrap();
+        cucc_ir::validate(&k).unwrap();
+        verify_launch(&k, launch, &args, &extents, false, Some(&map))
+    }
+
+    fn races(src: &str, launch: LaunchConfig, args: Vec<Arg>) -> RaceAnalysis {
+        let k = parse_kernel(src).unwrap();
+        analyze_block_races(&k, launch, &args, None)
+    }
+
+    #[test]
+    fn disjoint_saxpy_is_safe() {
+        let r = check(
+            "__global__ void saxpy(float* x, float* y, float a, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) y[id] = a * x[id] + y[id];
+            }",
+            LaunchConfig::new(8u32, 128u32),
+            vec![
+                Arg::Buffer(BufferId(0)),
+                Arg::Buffer(BufferId(1)),
+                Arg::float(2.0),
+                Arg::int(1024),
+            ],
+            vec![Some(1024), Some(1024), None, None],
+        );
+        assert!(r.race.is_safe(), "{r:?}");
+        assert!(r.bounds.is_safe(), "{r:?}");
+        assert!(r.barrier.is_safe(), "{r:?}");
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn block_invariant_write_is_must_race_with_line() {
+        let r = check(
+            "__global__ void k(int* out) {
+                out[threadIdx.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(32)],
+        );
+        assert_eq!(r.race, PropertyVerdict::Must, "{r:?}");
+        let d = &r.diagnostics[0];
+        assert_eq!(d.rule, Rule::Race);
+        assert_eq!(d.severity, Severity::Must);
+        assert_eq!(d.site.as_ref().unwrap().line, Some(2));
+        assert!(d.to_string().contains("MUST[race]"), "{d}");
+    }
+
+    #[test]
+    fn sliding_window_halo_is_must_race() {
+        // Adjacent blocks share one element (the Hetero-Mark overlap demo).
+        let r = races(
+            "__global__ void k(float* out) {
+                out[blockIdx.x * (blockDim.x - 1) + threadIdx.x] = 1.0f;
+            }",
+            LaunchConfig::new(32u32, 64u32),
+            vec![Arg::Buffer(BufferId(0))],
+        );
+        assert_eq!(r.verdict, PropertyVerdict::Must, "{r:?}");
+    }
+
+    #[test]
+    fn strided_interleave_is_safe_by_residue() {
+        // Interleaved but disjoint: residues mod gridDim differ per block.
+        let r = races(
+            "__global__ void k(int* out) {
+                out[threadIdx.x * gridDim.x + blockIdx.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 8u32),
+            vec![Arg::Buffer(BufferId(0))],
+        );
+        assert!(r.verdict.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn guarded_overlap_is_may_not_must() {
+        // The data-dependent guard may disable the racing writes.
+        let r = races(
+            "__global__ void k(int* out, int* flag) {
+                if (flag[0] > 0) out[threadIdx.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::Buffer(BufferId(1))],
+        );
+        assert_eq!(r.verdict, PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn tail_guard_true_at_witness_keeps_must() {
+        let r = races(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[threadIdx.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(1 << 20)],
+        );
+        assert_eq!(r.verdict, PropertyVerdict::Must, "{r:?}");
+    }
+
+    #[test]
+    fn tail_guard_false_everywhere_demotes_to_may() {
+        // n = 0 disables every write; the verifier cannot prove the site
+        // dead (we only evaluate guards at witnesses), so MAY.
+        let r = races(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[threadIdx.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(0)],
+        );
+        assert_eq!(r.verdict, PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn atomic_atomic_overlap_not_a_race() {
+        let r = races(
+            "__global__ void k(int* out) {
+                atomicAdd(&out[0], 1);
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+        );
+        assert!(r.verdict.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn atomic_plain_mix_is_a_race() {
+        let r = races(
+            "__global__ void k(int* out) {
+                atomicAdd(&out[0], 1);
+                if (threadIdx.x == 0) out[0] = 7;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+        );
+        assert!(r.verdict >= PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn indirect_write_is_unknown() {
+        let r = races(
+            "__global__ void k(int* out, int* idx) {
+                out[idx[threadIdx.x]] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::Buffer(BufferId(1))],
+        );
+        assert_eq!(r.verdict, PropertyVerdict::Unknown, "{r:?}");
+    }
+
+    #[test]
+    fn single_block_grid_has_no_interblock_race() {
+        let r = races(
+            "__global__ void k(int* out) {
+                out[threadIdx.x] = 1;
+            }",
+            LaunchConfig::new(1u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+        );
+        assert!(r.verdict.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn loop_strided_writes_safe() {
+        let r = races(
+            "__global__ void k(int* out, int k) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                for (int i = 0; i < k; i++)
+                    out[id * k + i] = i;
+            }",
+            LaunchConfig::new(4u32, 16u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(3)],
+        );
+        assert!(r.verdict.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn loop_overlap_demoted_to_may() {
+        // Each block writes [0, 16k): overlapping, but loop-carried
+        // witnesses are not MUST-eligible.
+        let r = races(
+            "__global__ void k(int* out, int k) {
+                for (int i = 0; i < k; i++)
+                    out[threadIdx.x * k + i] = i;
+            }",
+            LaunchConfig::new(4u32, 16u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(3)],
+        );
+        assert_eq!(r.verdict, PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn definite_oob_store_is_must() {
+        let r = check(
+            "__global__ void k(int* out) {
+                out[threadIdx.x + blockIdx.x * blockDim.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(100)], // 128 threads write [0,127]
+        );
+        assert_eq!(r.bounds, PropertyVerdict::Must, "{r:?}");
+        assert!(r.has_must());
+    }
+
+    #[test]
+    fn guarded_oob_is_may() {
+        let r = check(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[id] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(1 << 20)],
+            vec![Some(100), None],
+        );
+        assert_eq!(r.bounds, PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn tail_guard_narrows_bounds_to_safe() {
+        let r = check(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[id] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(100)],
+            vec![Some(100), None],
+        );
+        assert!(r.bounds.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn eq_guard_narrows_bounds() {
+        // Only thread 0 stores out[blockIdx.x + threadIdx.x]; the equality
+        // substitutes threadIdx.x = 0, so extent = grid size suffices.
+        let r = check(
+            "__global__ void k(float* out) {
+                float acc = 1.0f;
+                if (threadIdx.x == 0)
+                    out[blockIdx.x + threadIdx.x] = acc;
+            }",
+            LaunchConfig::new(8u32, 64u32),
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(8)],
+        );
+        assert!(r.bounds.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn shared_array_bounds_checked() {
+        let r = check(
+            "__global__ void k(float* out) {
+                __shared__ float tile[16];
+                tile[threadIdx.x] = 1.0f;
+                out[blockIdx.x * blockDim.x + threadIdx.x] = tile[0];
+            }",
+            LaunchConfig::new(2u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(64)],
+        );
+        // 32 threads into a 16-wide shared tile: definite OOB.
+        assert_eq!(r.bounds, PropertyVerdict::Must, "{r:?}");
+    }
+
+    #[test]
+    fn negative_index_must_even_with_assumed_extents() {
+        let (k, map) = parse_kernel_with_map(
+            "__global__ void k(int* out) {
+                out[threadIdx.x - 9999999] = 1;
+            }",
+        )
+        .unwrap();
+        let (launch, args, extents) = canonical_check_input(&k);
+        let r = verify_launch(&k, launch, &args, &extents, true, Some(&map));
+        assert_eq!(r.bounds, PropertyVerdict::Must, "{r:?}");
+    }
+
+    #[test]
+    fn assumed_extents_cap_overrun_at_may() {
+        let (k, _) = parse_kernel_with_map(
+            "__global__ void k(int* out) {
+                out[blockIdx.x * blockDim.x + threadIdx.x + 100] = 1;
+            }",
+        )
+        .unwrap();
+        let (launch, args, extents) = canonical_check_input(&k);
+        let r = verify_launch(&k, launch, &args, &extents, true, None);
+        assert_eq!(r.bounds, PropertyVerdict::May, "{r:?}");
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn barrier_under_variant_if_is_must() {
+        // Builder-style construction (the parser/validator would reject it).
+        use cucc_ir::{Expr, Stmt};
+        let k = parse_kernel(
+            "__global__ void k(float* out) {
+                __syncthreads();
+                out[blockIdx.x * blockDim.x + threadIdx.x] = 1.0f;
+            }",
+        )
+        .unwrap();
+        let mut bad = k.clone();
+        bad.body = vec![Stmt::if_then(
+            Expr::ThreadIdx(Axis::X).lt(Expr::int(5)),
+            vec![Stmt::SyncThreads],
+        )];
+        let (v, d) = analyze_barriers(&bad, None);
+        assert_eq!(v, PropertyVerdict::Must);
+        assert_eq!(d[0].rule, Rule::Barrier);
+        let (v2, _) = analyze_barriers(&k, None);
+        assert!(v2.is_safe());
+    }
+
+    #[test]
+    fn race_must_demoted_when_bounds_may_abort() {
+        // The racing store sits next to a definite OOB store: execution
+        // aborts, so the race claim drops to MAY.
+        let r = check(
+            "__global__ void k(int* out, int* big) {
+                big[threadIdx.x + 1000000] = 1;
+                out[threadIdx.x] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::Buffer(BufferId(1))],
+            vec![Some(32), Some(64)],
+        );
+        assert_eq!(r.bounds, PropertyVerdict::Must);
+        assert_eq!(r.race, PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn two_d_tiles_are_safe() {
+        let r = races(
+            "__global__ void k(float* out, int width) {
+                int x = blockIdx.x * blockDim.x + threadIdx.x;
+                int y = blockIdx.y * blockDim.y + threadIdx.y;
+                out[y * width + x] = 1.0f;
+            }",
+            LaunchConfig::new((8u32, 8u32), (16u32, 16u32)),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(128)],
+        );
+        assert!(r.verdict.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let d = Diagnostic {
+            rule: Rule::Bounds,
+            severity: Severity::May,
+            message: "x".into(),
+            site: Some(SiteRef {
+                buffer: "out".into(),
+                ordinal: 1,
+                line: Some(3),
+            }),
+        };
+        assert_eq!(d.to_string(), "MAY[bounds] x (write #1 to `out`, line 3)");
+        assert_eq!(
+            reason_diagnostics(&[Reason::AtomicWrite])[0].rule,
+            Rule::Distribute
+        );
+        let c = cause_diagnostic(&ReplicationCause::NoFullBlocks);
+        assert_eq!(c.severity, Severity::Info);
+    }
+
+    #[test]
+    fn canonical_input_shapes() {
+        let k = parse_kernel(
+            "__global__ void k(float* x, int n, float a) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) x[id] = a;
+            }",
+        )
+        .unwrap();
+        let (launch, args, extents) = canonical_check_input(&k);
+        assert_eq!(launch.num_blocks(), 64);
+        assert_eq!(args.len(), 3);
+        assert_eq!(extents, vec![Some(16384), None, None]);
+        assert!(matches!(args[1], Arg::Scalar(cucc_ir::Value::I64(16384))));
+        // And the canonical report for this kernel is fully clean.
+        let r = verify_launch(&k, launch, &args, &extents, true, None);
+        assert!(r.race.is_safe() && r.bounds.is_safe() && r.barrier.is_safe());
+    }
+
+    #[test]
+    fn report_render_lists_rules() {
+        let k = parse_kernel(
+            "__global__ void k(int* out) {
+                out[blockIdx.x * blockDim.x + threadIdx.x] = 1;
+            }",
+        )
+        .unwrap();
+        let (launch, args, extents) = canonical_check_input(&k);
+        let r = verify_launch(&k, launch, &args, &extents, true, None);
+        let s = r.render();
+        assert!(s.contains("race    : safe"), "{s}");
+        assert!(s.contains("all checks pass"), "{s}");
+        let _ = MemPool::new(); // keep the dev-dependency honest
+    }
+}

@@ -13,7 +13,9 @@
 //! blocks/s`, with the intra-node parallel engine reported separately).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use cucc_exec::{execute_block_range, run_range, run_range_parallel, Arg, MemPool, Program};
+use cucc_exec::{
+    execute_block_range, run_range, run_range_parallel, sanitize_launch, Arg, MemPool, Program,
+};
 use cucc_ir::{Axis, Expr, Kernel, KernelBuilder, LaunchConfig, Scalar};
 use std::time::Instant;
 
@@ -127,6 +129,9 @@ struct Measurement {
     tree: f64,
     bytecode: f64,
     parallel: f64,
+    /// Tree-walk with the dynamic sanitizer (write tracing on a scratch
+    /// pool + interval sweep) — quantifies the `--sanitize` overhead.
+    sanitize: f64,
     workers: usize,
 }
 
@@ -144,7 +149,7 @@ fn measure(kernel: &Kernel, launch: LaunchConfig, spec: ArgSpec, reps: usize) ->
     assert_eq!(sa, sb, "engines disagree — refusing to benchmark");
 
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut best = [f64::MAX; 3];
+    let mut best = [f64::MAX; 4];
     for _ in 0..reps {
         let t = Instant::now();
         execute_block_range(kernel, launch, 0..nblocks, &args, &mut pool_a).unwrap();
@@ -161,12 +166,18 @@ fn measure(kernel: &Kernel, launch: LaunchConfig, spec: ArgSpec, reps: usize) ->
         let prog = Program::compile(kernel, launch, &args).unwrap();
         run_range_parallel(&prog, &mut pool_b, 0..nblocks, workers).unwrap();
         best[2] = best[2].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let report = sanitize_launch(kernel, launch, &args, &pool_a);
+        best[3] = best[3].min(t.elapsed().as_secs_f64());
+        assert!(report.clean(), "bench kernel flagged: {}", report.summary());
     }
     let bps = |secs: f64| nblocks as f64 / secs;
     Measurement {
         tree: bps(best[0]),
         bytecode: bps(best[1]),
         parallel: bps(best[2]),
+        sanitize: bps(best[3]),
         workers,
     }
 }
@@ -202,13 +213,15 @@ fn bench_engines(c: &mut Criterion) {
         let m = measure(kernel, launch, *spec, 5);
         println!(
             "{name:<14} tree {:>10.0} blk/s | bytecode {:>10.0} blk/s ({:.2}x) | \
-             parallel[{}] {:>10.0} blk/s ({:.2}x)",
+             parallel[{}] {:>10.0} blk/s ({:.2}x) | sanitize {:>10.0} blk/s ({:.2}x overhead)",
             m.tree,
             m.bytecode,
             m.bytecode / m.tree,
             m.workers,
             m.parallel,
             m.parallel / m.tree,
+            m.sanitize,
+            m.tree / m.sanitize,
         );
         if !rows.is_empty() {
             rows.push_str(",\n");
@@ -217,7 +230,8 @@ fn bench_engines(c: &mut Criterion) {
             "    {{\"kernel\": \"{name}\", \"blocks\": {}, \"threads_per_block\": {}, \
              \"tree_blocks_per_sec\": {:.0}, \"bytecode_blocks_per_sec\": {:.0}, \
              \"bytecode_speedup\": {:.2}, \"parallel_workers\": {}, \
-             \"parallel_blocks_per_sec\": {:.0}, \"parallel_speedup\": {:.2}}}",
+             \"parallel_blocks_per_sec\": {:.0}, \"parallel_speedup\": {:.2}, \
+             \"sanitize_blocks_per_sec\": {:.0}, \"sanitize_overhead_vs_tree\": {:.2}}}",
             BLOCKS,
             THREADS,
             m.tree,
@@ -226,6 +240,8 @@ fn bench_engines(c: &mut Criterion) {
             m.workers,
             m.parallel,
             m.parallel / m.tree,
+            m.sanitize,
+            m.tree / m.sanitize,
         ));
     }
 

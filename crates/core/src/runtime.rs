@@ -45,6 +45,12 @@ pub struct RuntimeConfig {
     /// Worker threads per node for intra-node block parallelism
     /// (`0` = derive from host parallelism and the node's core count).
     pub node_threads: usize,
+    /// Run the dynamic kernel sanitizer (per-buffer write log + OOB trap)
+    /// before every functional launch and cross-check its observations
+    /// against the static verifier's verdicts. Purely observational except
+    /// that a soundness violation (sanitizer sees a race/OOB the verifier
+    /// proved safe) fails the launch. Ignored in modeled fidelity.
+    pub sanitize: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -57,6 +63,7 @@ impl Default for RuntimeConfig {
             profile_samples: 3,
             engine: EngineKind::default(),
             node_threads: 0,
+            sanitize: false,
         }
     }
 }
@@ -91,6 +98,9 @@ pub struct CuccCluster {
     /// async command-queue API. Empty (default stream only, nothing
     /// pending) unless the async entry points are used.
     streams: StreamSet,
+    /// Observations of the most recent sanitized launch (populated only
+    /// when [`RuntimeConfig::sanitize`] is on).
+    last_sanitize: Option<cucc_exec::SanitizeReport>,
 }
 
 impl CuccCluster {
@@ -108,7 +118,14 @@ impl CuccCluster {
             timeline: Timeline::new(),
             logical_nodes,
             streams: StreamSet::new(),
+            last_sanitize: None,
         }
+    }
+
+    /// The sanitizer report of the most recent launch, when
+    /// [`RuntimeConfig::sanitize`] is enabled.
+    pub fn sanitize_report(&self) -> Option<&cucc_exec::SanitizeReport> {
+        self.last_sanitize.as_ref()
     }
 
     /// Number of (logical) nodes.
@@ -303,6 +320,9 @@ impl CuccCluster {
     ) -> Result<LaunchReport, MigrateError> {
         self.sync_point();
         let sched = self.plan(ck, launch, args)?;
+        if self.config.sanitize && self.config.fidelity == ExecutionFidelity::Functional {
+            self.run_sanitizer(ck, launch, args)?;
+        }
         let mark = self.timeline.checkpoint();
         let t0 = self.timeline.clock();
         // A synchronous launch starts at the clock and nothing else is in
@@ -317,6 +337,54 @@ impl CuccCluster {
         self.timeline.advance(report.time());
         self.verify_written(ck, args)?;
         Ok(report)
+    }
+
+    /// Run the dynamic sanitizer on a scratch clone of node 0's memory and
+    /// cross-validate the static verifier, the same way `oracle.rs`
+    /// validates distribution plans: a dynamic race (or OOB) observed on a
+    /// launch the verifier proved race-free (or in-bounds) is a soundness
+    /// bug and fails the launch loudly. The sanitizer itself is
+    /// observational — findings are stored on [`CuccCluster::sanitize_report`],
+    /// not treated as errors (the real execution below still traps OOB).
+    fn run_sanitizer(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<(), MigrateError> {
+        let pool = self.sim.node(0);
+        let dynamic = cucc_exec::sanitize_launch(&ck.kernel, launch, args, pool);
+        let extents: Vec<Option<u64>> = ck
+            .kernel
+            .params
+            .iter()
+            .zip(args)
+            .map(|(p, a)| match (p, a) {
+                (cucc_ir::Param::Buffer { elem, .. }, Arg::Buffer(id)) => {
+                    Some((pool.size_of(*id) / elem.size()) as u64)
+                }
+                _ => None,
+            })
+            .collect();
+        let s = cucc_analysis::verify_launch(&ck.kernel, launch, args, &extents, false, None);
+        if !dynamic.races.is_empty() && s.race.is_safe() {
+            return Err(MigrateError::Launch(format!(
+                "sanitizer soundness violation in `{}`: dynamic write race observed \
+                 but the static verifier proved race freedom ({})",
+                ck.name(),
+                dynamic.summary()
+            )));
+        }
+        if !dynamic.oob.is_empty() && s.bounds.is_safe() {
+            return Err(MigrateError::Launch(format!(
+                "sanitizer soundness violation in `{}`: dynamic out-of-bounds trapped \
+                 but the static verifier proved in-bounds ({})",
+                ck.name(),
+                dynamic.summary()
+            )));
+        }
+        self.last_sanitize = Some(dynamic);
+        Ok(())
     }
 
     // ---- Async command-queue API -----------------------------------

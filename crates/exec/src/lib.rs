@@ -26,6 +26,7 @@ pub mod bytecode;
 pub mod engine;
 pub mod interp;
 pub mod memory;
+pub mod sanitize;
 pub mod stats;
 
 pub use bytecode::Program;
@@ -35,4 +36,5 @@ pub use interp::{
     ExecError, LaunchProfile, WriteRecord,
 };
 pub use memory::{BufferId, MemPool};
+pub use sanitize::{sanitize_launch, OobFinding, RaceFinding, SanitizeReport};
 pub use stats::BlockStats;

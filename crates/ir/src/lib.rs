@@ -44,7 +44,7 @@ pub use expr::{BinOp, Expr, Intrinsic, UnOp};
 pub use kernel::{ArrayDecl, Kernel, MemRef, Param, ParamId, VarId};
 pub use launch::{Dim3, LaunchConfig};
 pub use optimize::optimize;
-pub use parse::{parse_kernel, ParseError};
+pub use parse::{parse_kernel, parse_kernel_with_map, ParseError, SourceMap};
 pub use stmt::{AtomicOp, Stmt};
 pub use types::{Axis, MemSpace, Scalar, Value, ValueKind};
 pub use validate::{validate, ValidateError};

@@ -41,6 +41,29 @@ impl std::error::Error for ParseError {}
 
 /// Parse one `__global__` kernel from source text.
 pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    parse_kernel_with_map(src).map(|(k, _)| k)
+}
+
+/// Source-location breadcrumbs for diagnostics: 1-based line numbers of the
+/// memory-writing statements and barriers, recorded during parsing.
+///
+/// The IR itself carries no locations (kernels built programmatically have
+/// none, and `Kernel`/`Stmt` equality must stay structural), so the map is a
+/// side table keyed by *pre-order ordinal*: `global_write_lines[k]` is the
+/// line of the k-th `Stmt::Store`/`Stmt::AtomicRmw` targeting **global**
+/// memory in pre-order (= source order), which is exactly the order the
+/// analyses walk write sites in. `barrier_lines` does the same for
+/// `__syncthreads()`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Line of each global-memory `Store`/`AtomicRmw`, in source order.
+    pub global_write_lines: Vec<u32>,
+    /// Line of each `__syncthreads()`, in source order.
+    pub barrier_lines: Vec<u32>,
+}
+
+/// Parse one kernel and also return the [`SourceMap`] breadcrumbs.
+pub fn parse_kernel_with_map(src: &str) -> Result<(Kernel, SourceMap), ParseError> {
     let tokens = lex(src)?;
     let mut p = Parser {
         tokens,
@@ -50,8 +73,10 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
         locals: Vec::new(),
         var_names: Vec::new(),
         scopes: vec![HashMap::new()],
+        map: SourceMap::default(),
     };
-    p.kernel()
+    let kernel = p.kernel()?;
+    Ok((kernel, p.map))
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -217,6 +242,7 @@ struct Parser {
     locals: Vec<ArrayDecl>,
     var_names: Vec<String>,
     scopes: Vec<HashMap<String, Binding>>,
+    map: SourceMap,
 }
 
 impl Parser {
@@ -438,6 +464,9 @@ impl Parser {
     /// produce no IR statement, which is why this appends rather than
     /// returns.
     fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        // Line of the statement's first token, recorded into the side-table
+        // [`SourceMap`] for global writes and barriers.
+        let stmt_line = self.line();
         // __shared__ declarations.
         if self.eat_kw("__shared__") {
             let Some(ty) = self.eat_type() else {
@@ -498,6 +527,7 @@ impl Parser {
             self.expect_punct("(")?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
+            self.map.barrier_lines.push(stmt_line);
             out.push(Stmt::SyncThreads);
             return Ok(());
         }
@@ -535,6 +565,9 @@ impl Parser {
                 let value = self.expr()?;
                 self.expect_punct(")")?;
                 self.expect_punct(";")?;
+                if matches!(mem, MemRef::Global(_)) {
+                    self.map.global_write_lines.push(stmt_line);
+                }
                 out.push(Stmt::AtomicRmw {
                     op,
                     mem,
@@ -556,6 +589,9 @@ impl Parser {
                 self.expect_punct("]")?;
                 let value = self.compound_rhs(Expr::load(mem, index.clone()))?;
                 self.expect_punct(";")?;
+                if matches!(mem, MemRef::Global(_)) {
+                    self.map.global_write_lines.push(stmt_line);
+                }
                 out.push(Stmt::Store { mem, index, value });
                 Ok(())
             }
@@ -1176,5 +1212,41 @@ mod tests {
         });
         assert_eq!(stores[0], Expr::Var(VarId(1)));
         assert_eq!(stores[1], Expr::Var(VarId(0)));
+    }
+
+    #[test]
+    fn source_map_records_write_and_barrier_lines() {
+        let src = "__global__ void k(float* out, float* aux) {\n\
+                   __shared__ float tile[32];\n\
+                   tile[threadIdx.x] = 1.0f;\n\
+                   __syncthreads();\n\
+                   out[blockIdx.x * blockDim.x + threadIdx.x] = tile[0];\n\
+                   if (threadIdx.x < 3)\n\
+                   aux[blockIdx.x * 3 + threadIdx.x] = 2.0f;\n\
+                   atomicAdd(&out[0], 1.0f);\n\
+                   }";
+        let (k, map) = parse_kernel_with_map(src).unwrap();
+        // Shared-memory stores are NOT in the global-write table; the
+        // ordinals line up with the analysis pre-order over global writes.
+        assert_eq!(map.global_write_lines, vec![5, 7, 8]);
+        assert_eq!(map.barrier_lines, vec![4]);
+        // And the plain parser returns the identical kernel.
+        assert_eq!(parse_kernel(src).unwrap(), k);
+    }
+
+    #[test]
+    fn source_map_ordinals_follow_pre_order_through_branches() {
+        let src = "__global__ void k(int* out) {\n\
+                   if (threadIdx.x < 8) {\n\
+                   out[threadIdx.x] = 1;\n\
+                   } else {\n\
+                   out[threadIdx.x + 8] = 2;\n\
+                   }\n\
+                   for (int i = 0; i < 2; i++)\n\
+                   out[i] = 3;\n\
+                   }";
+        let (_, map) = parse_kernel_with_map(src).unwrap();
+        assert_eq!(map.global_write_lines, vec![3, 5, 8]);
+        assert!(map.barrier_lines.is_empty());
     }
 }

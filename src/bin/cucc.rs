@@ -4,6 +4,8 @@
 //! cucc analyze  <kernel.cu>                     # compiler analysis report
 //! cucc codegen  <kernel.cu>                     # Figure-6 CPU modules
 //! cucc run      <kernel.cu> [options]           # migrate & execute
+//! cucc check    <kernel.cu|file.rs>             # static race/bounds/barrier verifier
+//! cucc check    --builtin                       # verify every built-in suite kernel
 //! cucc coverage                                 # Figure-7 suites
 //!
 //! run options:
@@ -25,6 +27,9 @@
 //!                            replica) and report overlap vs serial
 //!   --trace out.json         export the simulated-clock timeline as
 //!                            Chrome trace-event JSON (open in Perfetto)
+//!   --sanitize               run the dynamic write-race / OOB sanitizer
+//!                            before execution and cross-check it against
+//!                            the static verifier verdicts
 //! ```
 //!
 //! `run` executes the kernel on the simulated GPU (reference) and on the
@@ -74,6 +79,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let opts = RunOpts::parse(&args[2..])?;
             cmd_run(&src, &opts)
         }
+        Some("check") => cmd_check(&args[1..]),
         Some("coverage") => Ok(cmd_coverage()),
         Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -81,11 +87,13 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: cucc <analyze|codegen|run|coverage> [args]\n\
+    "usage: cucc <analyze|codegen|run|check|coverage> [args]\n\
      \n\
      analyze  <kernel.cu>         run the Allgather-distributable & SIMD analyses\n\
      codegen  <kernel.cu>         print the generated CPU host/kernel modules\n\
      run      <kernel.cu> [opts]  migrate and execute on a simulated cluster\n\
+     check    <kernel.cu|.rs>     static race / bounds / barrier-divergence verifier\n\
+     check    --builtin           verify all built-in suite kernels at real launches\n\
      coverage                     classify the built-in Figure-7 kernel suites"
         .to_string()
 }
@@ -110,8 +118,8 @@ fn cmd_analyze(src: &str) -> Result<String, String> {
         }
         Verdict::Trivial(reasons) => {
             out += "  verdict       : trivially distributable (replicated execution)\n";
-            for r in reasons {
-                out += &format!("    reason: {r}\n");
+            for d in cucc::analysis::reason_diagnostics(reasons) {
+                out += &format!("    {d}\n");
             }
         }
     }
@@ -122,7 +130,190 @@ fn cmd_analyze(src: &str) -> Result<String, String> {
     for r in &ck.analysis.simd.reasons {
         out += &format!("    simd: {r}\n");
     }
+    // Kernel verifier at the canonical launch (`cucc check` runs the same
+    // rules; real geometry and extents come from `cucc check --builtin`).
+    let map = cucc::ir::parse_kernel_with_map(src).ok().map(|(_, m)| m);
+    let (vlaunch, vargs, vextents) = cucc::analysis::canonical_check_input(&ck.kernel);
+    let vr =
+        cucc::analysis::verify_launch(&ck.kernel, vlaunch, &vargs, &vextents, true, map.as_ref());
+    out += &format!("  verifier      : {vlaunch}\n");
+    out += &vr.render();
     Ok(out)
+}
+
+// ---------------------------------------------------------------- check --
+
+/// Pull every `__global__ … { … }` kernel out of a text file (balanced
+/// braces). Lets `cucc check` run over the mini-CUDA sources embedded in
+/// the Rust examples as well as plain `.cu` files.
+fn extract_cuda_kernels(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some(pos) = text[at..].find("__global__") {
+        let start = at + pos;
+        let Some(open) = text[start..].find('{') else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, c) in text[start + open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(start + open + i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        out.push(text[start..end].to_string());
+        at = end;
+    }
+    out
+}
+
+/// Parse + verify one kernel source. With `real = Some((launch, bytes,
+/// scalars))` the rules run at that geometry with exact allocation-derived
+/// extents; otherwise at the canonical launch with assumed extents.
+fn verify_source(
+    src: &str,
+    real: Option<(LaunchConfig, &[usize], &[cucc::ir::Value])>,
+) -> Result<(String, cucc::analysis::VerifyReport), String> {
+    use cucc::ir::Param;
+    let (kernel, map) = cucc::ir::parse_kernel_with_map(src).map_err(|e| e.to_string())?;
+    cucc::ir::validate(&kernel).map_err(|e| format!("{}: {e}", kernel.name))?;
+    let report = match real {
+        Some((launch, buffer_bytes, scalars)) => {
+            let mut args = Vec::new();
+            let mut extents = Vec::new();
+            let (mut bi, mut si) = (0usize, 0usize);
+            for (i, p) in kernel.params.iter().enumerate() {
+                match p {
+                    Param::Buffer { elem, .. } => {
+                        args.push(Arg::Buffer(cucc::exec::BufferId(i as u32)));
+                        extents.push(Some((buffer_bytes[bi] / elem.size()) as u64));
+                        bi += 1;
+                    }
+                    Param::Scalar { .. } => {
+                        args.push(Arg::Scalar(scalars[si]));
+                        extents.push(None);
+                        si += 1;
+                    }
+                }
+            }
+            cucc::analysis::verify_launch(&kernel, launch, &args, &extents, false, Some(&map))
+        }
+        None => {
+            let (launch, args, extents) = cucc::analysis::canonical_check_input(&kernel);
+            cucc::analysis::verify_launch(&kernel, launch, &args, &extents, true, Some(&map))
+        }
+    };
+    Ok((kernel.name.clone(), report))
+}
+
+fn cmd_check(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        None => Err("usage: cucc check <kernel.cu|file.rs> | cucc check --builtin".into()),
+        Some("--builtin") => cmd_check_builtin(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let sources = if path.ends_with(".rs") {
+                extract_cuda_kernels(&text)
+            } else {
+                vec![text]
+            };
+            if sources.is_empty() {
+                return Err(format!("{path}: no `__global__` kernels found"));
+            }
+            let mut out = String::new();
+            let mut musts = 0usize;
+            for src in &sources {
+                let (name, report) = verify_source(src, None)?;
+                out += &format!("kernel `{name}` at canonical grid 64 × block 256:\n");
+                out += &report.render();
+                if report.has_must() {
+                    musts += 1;
+                }
+            }
+            if musts > 0 {
+                Err(format!(
+                    "{out}{musts} kernel(s) with MUST-level diagnostics"
+                ))
+            } else {
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Verify every coverage kernel and perf benchmark at its real launch
+/// geometry and allocation sizes. MUST-level findings are only tolerated on
+/// kernels already annotated as overlapping (`Expected::Overlap/Indirect`) —
+/// anywhere else they fail the command, which is what CI runs.
+fn cmd_check_builtin() -> Result<String, String> {
+    use cucc::workloads::{heteromark_kernels, perf_suite, triton_kernels, Expected, Scale};
+    let mut out = String::from("kernel verifier over the built-in suites (real launches):\n");
+    let mut unexpected: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for (suite, kernels) in [
+        ("Triton (BERT+ViT)", triton_kernels()),
+        ("Hetero-Mark", heteromark_kernels()),
+    ] {
+        for k in &kernels {
+            let (_, report) =
+                verify_source(&k.source, Some((k.launch, &k.buffer_bytes, &k.scalars)))?;
+            let annotated = k.expected != Expected::Distributable;
+            out += &format!(
+                "  {suite:18} {:22} race {:<12} bounds {:<12} barrier {:<12}{}\n",
+                k.name,
+                report.race.to_string(),
+                report.bounds.to_string(),
+                report.barrier.to_string(),
+                if annotated && report.has_must() {
+                    "  (expected: overlapping writes)"
+                } else {
+                    ""
+                }
+            );
+            if report.has_must() && !annotated {
+                unexpected.push(format!("{suite}/{}", k.name));
+            }
+            checked += 1;
+        }
+    }
+    for b in perf_suite(Scale::Test) {
+        let bufs = b.buffers();
+        let bytes: Vec<usize> = bufs.iter().map(Vec::len).collect();
+        let scalars = b.scalars();
+        let (_, report) = verify_source(&b.source(), Some((b.launch(), &bytes, &scalars)))?;
+        out += &format!(
+            "  {:18} {:22} race {:<12} bounds {:<12} barrier {:<12}\n",
+            "perf (Fig. 9)",
+            b.name(),
+            report.race.to_string(),
+            report.bounds.to_string(),
+            report.barrier.to_string(),
+        );
+        if report.has_must() {
+            unexpected.push(format!("perf/{}", b.name()));
+        }
+        checked += 1;
+    }
+    if unexpected.is_empty() {
+        out += &format!(
+            "{checked} kernels checked; MUST findings confined to annotated overlapping kernels\n"
+        );
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}unexpected MUST-level diagnostics on: {}",
+            unexpected.join(", ")
+        ))
+    }
 }
 
 fn cmd_codegen(src: &str) -> Result<String, String> {
@@ -158,6 +349,7 @@ struct RunOpts {
     trace: Option<String>,
     engine: EngineKind,
     node_threads: usize,
+    sanitize: bool,
 }
 
 fn parse_dim(s: &str) -> Result<Dim3, String> {
@@ -187,6 +379,7 @@ impl RunOpts {
             trace: None,
             engine: EngineKind::default(),
             node_threads: 0,
+            sanitize: false,
         };
         let mut i = 0;
         let need = |i: &mut usize| -> Result<&String, String> {
@@ -210,6 +403,7 @@ impl RunOpts {
                         .map_err(|e| format!("--streams: {e}"))?;
                 }
                 "--trace" => o.trace = Some(need(&mut i)?.clone()),
+                "--sanitize" => o.sanitize = true,
                 "--engine" => {
                     let v = need(&mut i)?;
                     o.engine = EngineKind::parse(v)
@@ -379,6 +573,7 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
     let cfg = RuntimeConfig {
         engine: opts.engine,
         node_threads: opts.node_threads,
+        sanitize: opts.sanitize,
         ..if opts.modeled {
             RuntimeConfig::modeled()
         } else {
@@ -407,8 +602,14 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             );
         }
         ExecMode::Replicated { cause } => {
-            out += &format!("  mode: replicated ({cause})\n");
+            out += &format!(
+                "  mode: replicated ({})\n",
+                cucc::analysis::cause_diagnostic(cause)
+            );
         }
+    }
+    if let Some(r) = cl.sanitize_report() {
+        out += &format!("  {}\n", r.summary());
     }
     out += &format!(
         "  cluster time: {:.3} ms (partial {:.3} + allgather {:.3} + callback {:.3}), {} B on the wire\n",
@@ -794,5 +995,92 @@ mod tests {
         assert!(dispatch(&["analyze".to_string()]).is_err());
         let cov = dispatch(&["coverage".to_string()]).unwrap();
         assert!(cov.contains("21/21") || cov.contains("8/13"), "{cov}");
+    }
+
+    #[test]
+    fn analyze_includes_verifier_section() {
+        let out = cmd_analyze(SAXPY).unwrap();
+        assert!(out.contains("verifier"), "{out}");
+        assert!(out.contains("race    : safe"), "{out}");
+        assert!(out.contains("all checks pass"), "{out}");
+    }
+
+    #[test]
+    fn check_passes_clean_kernel_and_fails_racy_one() {
+        let dir = std::env::temp_dir();
+        let clean = dir.join("cucc_check_clean.cu");
+        std::fs::write(&clean, SAXPY).unwrap();
+        let out = cmd_check(&[clean.to_str().unwrap().to_string()]).unwrap();
+        std::fs::remove_file(&clean).ok();
+        assert!(out.contains("all checks pass"), "{out}");
+
+        let racy = dir.join("cucc_check_racy.cu");
+        std::fs::write(
+            &racy,
+            "__global__ void k(int* out) { out[threadIdx.x] = 1; }",
+        )
+        .unwrap();
+        let err = cmd_check(&[racy.to_str().unwrap().to_string()]).unwrap_err();
+        std::fs::remove_file(&racy).ok();
+        assert!(err.contains("MUST"), "{err}");
+        assert!(err.contains("race"), "{err}");
+    }
+
+    #[test]
+    fn check_extracts_kernels_from_rust_sources() {
+        let text = r#"
+            fn main() {
+                let a = "__global__ void one(int* x) { x[threadIdx.x + blockIdx.x * blockDim.x] = 0; }";
+                let b = "__global__ void two(float* y, int n) {
+                    int id = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (id < n) { y[id] = 1.0f; }
+                }";
+            }
+        "#;
+        let kernels = extract_cuda_kernels(text);
+        assert_eq!(kernels.len(), 2);
+        assert!(kernels[0].contains("void one"));
+        assert!(kernels[1].trim_end().ends_with('}'));
+        for k in &kernels {
+            let (_, report) = verify_source(k, None).unwrap();
+            assert!(!report.has_must(), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn check_builtin_suites_have_no_unexpected_musts() {
+        let out = cmd_check_builtin().unwrap();
+        assert!(out.contains("kernels checked"), "{out}");
+    }
+
+    #[test]
+    fn run_with_sanitizer_reports_clean() {
+        let opts = RunOpts::parse(
+            &[
+                "--nodes",
+                "2",
+                "--grid",
+                "8",
+                "--block",
+                "128",
+                "--sanitize",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:1024",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(opts.sanitize);
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        assert!(out.contains("sanitizer: clean"), "{out}");
+        assert!(out.contains("matches GPU"), "{out}");
     }
 }

@@ -1,0 +1,229 @@
+//! Property tests for the kernel verifier (`cucc-analysis::verify`).
+//!
+//! The verifier's contract is a two-sided soundness pact with the dynamic
+//! sanitizer (`cucc-exec::sanitize`), checked here over a corpus of random
+//! affine kernels with **exact, known buffer extents** and no division or
+//! barriers (so every verdict direction is decidable):
+//!
+//! 1. `Safe` is a proof: if the sanitizer observes an inter-block
+//!    write-write race, the static race verdict must not be `Safe`; if it
+//!    traps an out-of-bounds access, the static bounds verdict must not be
+//!    `Safe`.
+//! 2. `Must` is a witness: a MUST-level race verdict must reproduce as an
+//!    observed dynamic race, and a MUST-level bounds verdict as a dynamic
+//!    OOB trap.
+//!
+//! `Unknown`/`May` are unconstrained — imprecision is allowed, unsoundness
+//! is not.
+
+use cucc::analysis::{verify_launch, PropertyVerdict};
+use cucc::exec::{sanitize_launch, Arg, MemPool};
+use cucc::ir::{parse_kernel, validate, LaunchConfig};
+use proptest::prelude::*;
+
+/// One random verifier subject: an indexing shape, a launch geometry, and
+/// an allocation shortfall (elements removed from the exact footprint; 0
+/// means the buffer fits exactly, >0 forces out-of-bounds traps).
+#[derive(Debug, Clone)]
+struct Subject {
+    shape: Shape,
+    blocks: u32,
+    threads: u32,
+    shortfall: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    /// `out[(b·T + t) · stride]` — disjoint per-block footprints.
+    Strided { stride: i64 },
+    /// `out[t]` — every block writes the same window.
+    BlockInvariant,
+    /// `out[b·(T − overlap) + t]` — adjacent blocks share `overlap` elems.
+    Halo { overlap: u32 },
+    /// `out[id] = …; out[id + gap] = …` — second site shifted by `gap`.
+    TwoSite { gap: i64 },
+    /// `if (id < n) out[id] = …` — guarded tail, exact extent `n`.
+    GuardedTail { quarters: i64 },
+}
+
+impl Subject {
+    fn total(&self) -> i64 {
+        self.blocks as i64 * self.threads as i64
+    }
+
+    /// Clamp shape parameters to the launch (halo overlap < threads).
+    fn overlap(&self) -> i64 {
+        match self.shape {
+            Shape::Halo { overlap } => (overlap as i64).min(self.threads as i64 - 1).max(0),
+            _ => 0,
+        }
+    }
+
+    fn source(&self) -> String {
+        let body = match &self.shape {
+            Shape::Strided { stride } => format!(
+                "int id = blockIdx.x * blockDim.x + threadIdx.x;
+                 out[id * {stride}] = id;"
+            ),
+            Shape::BlockInvariant => "out[threadIdx.x] = 1;".to_string(),
+            Shape::Halo { .. } => format!(
+                "out[blockIdx.x * (blockDim.x - {}) + threadIdx.x] = 1;",
+                self.overlap()
+            ),
+            Shape::TwoSite { gap } => format!(
+                "int id = blockIdx.x * blockDim.x + threadIdx.x;
+                 out[id] = id;
+                 out[id + {gap}] = id;"
+            ),
+            Shape::GuardedTail { .. } => "int id = blockIdx.x * blockDim.x + threadIdx.x;
+                 if (id < n) out[id] = id;"
+                .to_string(),
+        };
+        let params = match self.shape {
+            Shape::GuardedTail { .. } => "int* out, int n",
+            _ => "int* out",
+        };
+        format!("__global__ void k({params}) {{ {body} }}")
+    }
+
+    /// Exact element footprint of all writes (before the shortfall).
+    fn exact_extent(&self) -> i64 {
+        let total = self.total();
+        match &self.shape {
+            Shape::Strided { stride } => (total - 1) * stride + 1,
+            Shape::BlockInvariant => self.threads as i64,
+            Shape::Halo { .. } => {
+                (self.blocks as i64 - 1) * (self.threads as i64 - self.overlap())
+                    + self.threads as i64
+            }
+            Shape::TwoSite { gap } => total + gap,
+            Shape::GuardedTail { quarters } => (total * quarters / 4).max(1),
+        }
+    }
+
+    fn n_arg(&self) -> Option<i64> {
+        match self.shape {
+            Shape::GuardedTail { .. } => Some(self.exact_extent()),
+            _ => None,
+        }
+    }
+}
+
+fn subject() -> impl Strategy<Value = Subject> {
+    let shape = prop_oneof![
+        (1i64..4).prop_map(|stride| Shape::Strided { stride }),
+        Just(Shape::BlockInvariant),
+        (0u32..3).prop_map(|overlap| Shape::Halo { overlap }),
+        (0i64..6).prop_map(|gap| Shape::TwoSite { gap }),
+        (1i64..=4).prop_map(|quarters| Shape::GuardedTail { quarters }),
+    ];
+    (
+        shape,
+        1u32..6,
+        prop::sample::select(vec![2u32, 4, 8]),
+        0u64..3,
+    )
+        .prop_map(|(shape, blocks, threads, shortfall)| Subject {
+            shape,
+            blocks,
+            threads,
+            shortfall,
+        })
+}
+
+/// Run both the static verifier (exact extents, no assumed-extent cap) and
+/// the dynamic sanitizer on a subject; returns `(report, dynamic)`.
+fn run_both(s: &Subject) -> (cucc::analysis::VerifyReport, cucc::exec::SanitizeReport) {
+    let kernel = parse_kernel(&s.source()).unwrap();
+    validate(&kernel).unwrap();
+    let launch = LaunchConfig::new(s.blocks, s.threads);
+    let extent = (s.exact_extent() as u64).saturating_sub(s.shortfall).max(1);
+    let mut pool = MemPool::new();
+    let out = pool.alloc(extent as usize * 4);
+    let mut args = vec![Arg::Buffer(out)];
+    let mut extents = vec![Some(extent)];
+    if let Some(n) = s.n_arg() {
+        args.push(Arg::int(n));
+        extents.push(None);
+    }
+    let report = verify_launch(&kernel, launch, &args, &extents, false, None);
+    let dynamic = sanitize_launch(&kernel, launch, &args, &pool);
+    (report, dynamic)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Two-sided soundness: `Safe` never contradicted dynamically, `Must`
+    /// always reproduced dynamically.
+    #[test]
+    fn verifier_sound_against_sanitizer(s in subject()) {
+        let (report, dynamic) = run_both(&s);
+        // Safe is a proof.
+        if !dynamic.races.is_empty() {
+            prop_assert!(
+                report.race != PropertyVerdict::Safe,
+                "dynamic race but static Safe on {:?}\n{:?}", s, dynamic.races
+            );
+        }
+        if !dynamic.oob.is_empty() {
+            prop_assert!(
+                report.bounds != PropertyVerdict::Safe,
+                "dynamic OOB but static Safe on {:?}\n{:?}", s, dynamic.oob
+            );
+        }
+        // Must is a witness.
+        if report.race == PropertyVerdict::Must {
+            prop_assert!(
+                !dynamic.races.is_empty(),
+                "MUST race did not reproduce on {:?}\n{:?}", s, report.diagnostics
+            );
+        }
+        if report.bounds == PropertyVerdict::Must {
+            prop_assert!(
+                !dynamic.oob.is_empty(),
+                "MUST bounds did not reproduce on {:?}\n{:?}", s, report.diagnostics
+            );
+        }
+        // Corpus has no barriers: the barrier rule must prove uniformity.
+        prop_assert_eq!(report.barrier, PropertyVerdict::Safe);
+    }
+
+    /// Precision floor: exact-extent strided kernels are fully proven safe
+    /// (no spurious MAY/UNKNOWN on the bread-and-butter affine pattern).
+    #[test]
+    fn strided_exact_is_proven_safe(
+        stride in 1i64..4,
+        blocks in 1u32..6,
+        threads in prop::sample::select(vec![2u32, 4, 8]),
+    ) {
+        let s = Subject {
+            shape: Shape::Strided { stride },
+            blocks,
+            threads,
+            shortfall: 0,
+        };
+        let (report, dynamic) = run_both(&s);
+        prop_assert_eq!(report.race, PropertyVerdict::Safe, "{:?}", report.diagnostics);
+        prop_assert_eq!(report.bounds, PropertyVerdict::Safe, "{:?}", report.diagnostics);
+        prop_assert!(dynamic.clean(), "{:?}", dynamic.summary());
+    }
+
+    /// Block-invariant writes with ≥2 blocks and an exactly-sized buffer
+    /// are a MUST-level race — and the sanitizer sees them.
+    #[test]
+    fn block_invariant_is_must_race(
+        blocks in 2u32..6,
+        threads in prop::sample::select(vec![2u32, 4, 8]),
+    ) {
+        let s = Subject {
+            shape: Shape::BlockInvariant,
+            blocks,
+            threads,
+            shortfall: 0,
+        };
+        let (report, dynamic) = run_both(&s);
+        prop_assert_eq!(report.race, PropertyVerdict::Must, "{:?}", report.diagnostics);
+        prop_assert!(!dynamic.races.is_empty());
+    }
+}
