@@ -54,6 +54,11 @@ pub enum ReplicationCause {
     /// write-write race: distributing would make the result depend on node
     /// execution order, so the launch is replicated instead.
     RaceHazard(crate::verify::Severity, String),
+    /// A node died mid-launch and the dead node's chunks could not be
+    /// re-partitioned across the survivors without breaking Allgather
+    /// balance, so the launch degraded to replicated execution on the
+    /// surviving nodes.
+    NodeLoss(String),
 }
 
 impl fmt::Display for ReplicationCause {
@@ -73,6 +78,7 @@ impl fmt::Display for ReplicationCause {
             ReplicationCause::ProbeMismatch(m) => write!(f, "probe mismatch: {m}"),
             ReplicationCause::ProbeError(m) => write!(f, "probe failed: {m}"),
             ReplicationCause::RaceHazard(sev, m) => write!(f, "{sev} write-race hazard: {m}"),
+            ReplicationCause::NodeLoss(m) => write!(f, "node loss: {m}"),
         }
     }
 }

@@ -52,7 +52,7 @@ fn pipeline(ck: &CompiledKernel, streams: usize) -> (f64, CuccCluster) {
             }
         }
     }
-    let elapsed = cl.synchronize();
+    let elapsed = cl.synchronize().expect("synchronize");
     (elapsed, cl)
 }
 

@@ -253,6 +253,34 @@ impl SimCluster {
         allgather(&mut views, &vec![unit; n], &self.spec.net, algo, placement)
     }
 
+    /// [`SimCluster::allgather_region`] restricted to a survivor subset:
+    /// the gather runs over `nodes` (physical node indices, ascending)
+    /// only, each contributing `unit` bytes, and dead pools are left
+    /// untouched. With `nodes` covering every node this is exactly
+    /// [`SimCluster::allgather_region`].
+    pub fn allgather_region_among(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        unit: u64,
+        nodes: &[usize],
+        algo: AllgatherAlgo,
+        placement: AllgatherPlacement,
+    ) -> CollectiveCost {
+        let m = nodes.len();
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "ascending indices");
+        let lo = base as usize;
+        let hi = lo + unit as usize * m;
+        let mut views: Vec<&mut [u8]> = self
+            .pools
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| nodes.contains(i))
+            .map(|(_, p)| &mut p.bytes_mut(buf)[lo..hi])
+            .collect();
+        allgather(&mut views, &vec![unit; m], &self.spec.net, algo, placement)
+    }
+
     /// [`SimCluster::allgather_region`] that also records the collective
     /// (parent span, per-step children, wire-byte counters) into `tl`
     /// starting at absolute simulated time `t0`.
@@ -299,6 +327,19 @@ impl SimCluster {
     pub fn fully_consistent(&self) -> bool {
         (0..self.pools[0].len() as u32).all(|i| self.consistent(BufferId(i)))
     }
+
+    /// [`SimCluster::consistent`] restricted to a node subset — dead nodes'
+    /// stale memory is exempt from the lockstep invariant.
+    pub fn consistent_among(&self, buf: BufferId, nodes: &[usize]) -> bool {
+        let Some(&first) = nodes.first() else {
+            return true;
+        };
+        let first = self.pools[first].bytes(buf);
+        nodes
+            .iter()
+            .skip(1)
+            .all(|&i| self.pools[i].bytes(buf) == first)
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +351,39 @@ mod tests {
 
     fn small_cluster(n: u32) -> SimCluster {
         SimCluster::new(ClusterSpec::simd_focused().with_nodes(n))
+    }
+
+    #[test]
+    fn survivor_subset_gather_skips_dead_pools() {
+        let mut c = small_cluster(4);
+        let b = c.alloc(16);
+        let survivors = [0usize, 1, 3];
+        for (slot, &node) in survivors.iter().enumerate() {
+            let lo = slot * 4;
+            c.node_mut(node).bytes_mut(b)[lo..lo + 4].fill(0x10 + node as u8);
+        }
+        c.allgather_region_among(
+            b,
+            0,
+            4,
+            &survivors,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
+        let want: Vec<u8> = [0x10u8, 0x11, 0x13]
+            .iter()
+            .flat_map(|&v| [v; 4])
+            .chain([0; 4])
+            .collect();
+        for &node in &survivors {
+            assert_eq!(c.read(node, b), &want[..], "node {node}");
+        }
+        // The dead pool kept its zeros, so full consistency fails but the
+        // survivor-restricted check passes.
+        assert_eq!(c.read(2, b), &[0u8; 16]);
+        assert!(!c.consistent(b));
+        assert!(c.consistent_among(b, &survivors));
+        assert!(c.consistent_among(b, &[]));
     }
 
     #[test]

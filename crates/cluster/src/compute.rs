@@ -200,8 +200,8 @@ mod tests {
 
     #[test]
     fn fewer_blocks_than_cores_wastes_cores() {
-        let epyc = CpuSpec::epyc_7713_dual(); // 128 cores
         let nine = vec![1.0; 9];
+        // 128 cores, as on the dual-socket EPYC 7713.
         let m = lpt_makespan(&nine, 128);
         // Nine blocks on 128 cores take as long as one block.
         assert_eq!(m, 1.0);

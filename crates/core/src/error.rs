@@ -13,6 +13,32 @@ pub enum MigrateError {
     Exec(cucc_exec::ExecError),
     /// A launch was attempted with malformed arguments or geometry.
     Launch(String),
+    /// A host transfer targeted a missing buffer or mismatched its size.
+    Transfer(String),
+    /// A node was confirmed dead and the launch could not complete on the
+    /// survivors (or no survivors remain).
+    NodeFailure {
+        /// The dead node, when one was identified.
+        node: Option<u32>,
+        /// What was being attempted.
+        context: String,
+    },
+    /// A collective exhausted its retries without a dead peer to evict — a
+    /// persistent link fault.
+    Timeout {
+        /// What timed out.
+        context: String,
+        /// Wasted attempts before giving up.
+        retries: u32,
+    },
+    /// Recovery would have required degraded (replicated-on-survivors)
+    /// execution but the fault plan forbids it.
+    Degraded {
+        /// Why re-partitioning across the survivors was not possible.
+        context: String,
+        /// Surviving nodes at the point of failure.
+        survivors: u32,
+    },
 }
 
 impl fmt::Display for MigrateError {
@@ -22,6 +48,18 @@ impl fmt::Display for MigrateError {
             MigrateError::Validate(e) => write!(f, "validation error: {e}"),
             MigrateError::Exec(e) => write!(f, "execution error: {e}"),
             MigrateError::Launch(m) => write!(f, "launch error: {m}"),
+            MigrateError::Transfer(m) => write!(f, "transfer error: {m}"),
+            MigrateError::NodeFailure { node, context } => match node {
+                Some(n) => write!(f, "node failure: node {n} died during {context}"),
+                None => write!(f, "node failure: no surviving nodes for {context}"),
+            },
+            MigrateError::Timeout { context, retries } => {
+                write!(f, "timeout: {context} failed after {retries} retries")
+            }
+            MigrateError::Degraded { context, survivors } => write!(
+                f,
+                "degraded execution required but disallowed: {context} ({survivors} survivors)"
+            ),
         }
     }
 }
@@ -56,5 +94,26 @@ mod tests {
         assert!(e.to_string().contains("division"));
         let e = MigrateError::Launch("bad grid".into());
         assert!(e.to_string().contains("bad grid"));
+    }
+
+    #[test]
+    fn fault_variant_display() {
+        let e = MigrateError::NodeFailure {
+            node: Some(3),
+            context: "allgather y".into(),
+        };
+        assert!(e.to_string().contains("node 3"));
+        let e = MigrateError::Timeout {
+            context: "allgather y".into(),
+            retries: 3,
+        };
+        assert!(e.to_string().contains("3 retries"));
+        let e = MigrateError::Degraded {
+            context: "5 chunks over 2 survivors".into(),
+            survivors: 2,
+        };
+        assert!(e.to_string().contains("disallowed"));
+        let e = MigrateError::Transfer("buffer 9 does not exist".into());
+        assert!(e.to_string().contains("transfer error"));
     }
 }

@@ -49,14 +49,17 @@ pub mod report;
 pub mod runtime;
 pub mod schedule;
 pub mod stream;
+pub mod transfer;
 pub mod transform;
 
 pub use compile::{compile, compile_source, CompiledKernel};
 pub use cucc_exec::EngineKind;
+pub use cucc_net::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 pub use error::MigrateError;
 pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
-pub use report::{ExecMode, LaunchReport, PhaseTimes};
-pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig};
+pub use report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes, ThreePhaseShape};
+pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig, RuntimeConfigBuilder};
 pub use schedule::{LaunchSchedule, ScheduleDecision};
 pub use stream::{EventId, StreamId, StreamSet, DEFAULT_STREAM};
+pub use transfer::HostScalar;
 pub use transform::{can_split_blocks, split_blocks};

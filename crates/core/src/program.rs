@@ -306,7 +306,7 @@ impl GpuProgram {
                 }
             }
         }
-        cl.synchronize();
+        cl.synchronize()?;
         result.transfer_time = cl.prog_transfer_time() - transfers_before;
         Ok(result)
     }

@@ -1,5 +1,6 @@
 //! Launch reports: what happened, where the time went.
 
+use crate::error::MigrateError;
 use cucc_analysis::{ReplicationCause, ThreePhasePlan};
 use cucc_exec::BlockStats;
 
@@ -29,6 +30,40 @@ impl ExecMode {
     pub fn is_three_phase(&self) -> bool {
         matches!(self, ExecMode::ThreePhase { .. })
     }
+
+    /// The three-phase geometry, or a typed error naming the fallback
+    /// cause. Replaces the old pattern of panicking on the unexpected arm.
+    pub fn three_phase(&self) -> Result<ThreePhaseShape<'_>, MigrateError> {
+        match self {
+            ExecMode::ThreePhase {
+                plan,
+                nodes,
+                partial_blocks_per_node,
+                callback_blocks,
+            } => Ok(ThreePhaseShape {
+                plan,
+                nodes: *nodes,
+                partial_blocks_per_node: *partial_blocks_per_node,
+                callback_blocks: *callback_blocks,
+            }),
+            ExecMode::Replicated { cause } => Err(MigrateError::Launch(format!(
+                "expected three-phase execution, got replicated ({cause})"
+            ))),
+        }
+    }
+}
+
+/// Borrowed view of [`ExecMode::ThreePhase`]'s fields.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreePhaseShape<'a> {
+    /// The resolved plan.
+    pub plan: &'a ThreePhasePlan,
+    /// Nodes used.
+    pub nodes: u64,
+    /// Blocks each node ran in phase 1.
+    pub partial_blocks_per_node: u64,
+    /// Blocks run redundantly in phase 3.
+    pub callback_blocks: u64,
 }
 
 /// Simulated time breakdown of one launch (drives Figures 8–13).
@@ -44,22 +79,52 @@ pub struct PhaseTimes {
     /// kernel launches; populated by session-level views that include host
     /// transfers.
     pub broadcast: f64,
+    /// Time wasted on collective retries (timeout + backoff) while
+    /// detecting faults. Zero unless faults fired.
+    pub retry: f64,
+    /// Recovery re-execution time: slowest surviving node's total across
+    /// all re-partition rounds (and a degraded re-run, if one happened).
+    /// Zero unless faults fired.
+    pub reexec: f64,
 }
 
 impl PhaseTimes {
     /// Total simulated time.
     pub fn total(&self) -> f64 {
-        self.partial + self.allgather + self.callback + self.broadcast
+        self.partial + self.allgather + self.callback + self.broadcast + self.retry + self.reexec
     }
 
-    /// Fraction of total time spent in communication (Figure 9).
+    /// Fraction of total time spent in communication (Figure 9). Retry time
+    /// is fabric time (timeouts on the wire), so it counts as
+    /// communication; re-execution is compute.
     pub fn comm_fraction(&self) -> f64 {
         let t = self.total();
         if t == 0.0 {
             0.0
         } else {
-            (self.allgather + self.broadcast) / t
+            (self.allgather + self.broadcast + self.retry) / t
         }
+    }
+}
+
+/// What the fault subsystem saw and did during one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Confirmed node deaths during this launch.
+    pub failures: u32,
+    /// Wasted collective attempts (timeouts that were retried).
+    pub retries: u32,
+    /// Blocks re-executed by survivors during recovery (including a full
+    /// degraded re-run).
+    pub reexecuted_blocks: u64,
+    /// True when recovery fell back to replicated execution on survivors.
+    pub degraded: bool,
+}
+
+impl FaultSummary {
+    /// True when no fault left any mark on this launch.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultSummary::default()
     }
 }
 
@@ -75,6 +140,10 @@ pub struct LaunchReport {
     pub node_stats: BlockStats,
     /// Bytes moved across the network by this launch.
     pub wire_bytes: u64,
+    /// Fault activity. [`FaultSummary::default`] (all zeros) when no fault
+    /// fired, so fault-free reports compare bit-for-bit with pre-fault
+    /// ones.
+    pub faults: FaultSummary,
 }
 
 impl LaunchReport {
@@ -94,7 +163,7 @@ mod tests {
             partial: 0.6,
             allgather: 0.3,
             callback: 0.1,
-            broadcast: 0.0,
+            ..PhaseTimes::default()
         };
         assert!((t.total() - 1.0).abs() < 1e-12);
         assert!((t.comm_fraction() - 0.3).abs() < 1e-12);
@@ -108,8 +177,42 @@ mod tests {
             allgather: 0.2,
             callback: 0.1,
             broadcast: 0.2,
+            ..PhaseTimes::default()
         };
         assert!((t.total() - 1.0).abs() < 1e-12);
         assert!((t.comm_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_is_comm_and_reexec_is_compute() {
+        let t = PhaseTimes {
+            partial: 0.3,
+            allgather: 0.2,
+            callback: 0.1,
+            retry: 0.2,
+            reexec: 0.2,
+            ..PhaseTimes::default()
+        };
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert!((t.comm_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_summary_cleanliness() {
+        assert!(FaultSummary::default().is_clean());
+        let s = FaultSummary {
+            retries: 1,
+            ..FaultSummary::default()
+        };
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn three_phase_accessor_is_typed() {
+        let mode = ExecMode::Replicated {
+            cause: ReplicationCause::NoFullBlocks,
+        };
+        let err = mode.three_phase().unwrap_err();
+        assert!(err.to_string().contains("no full blocks"));
     }
 }

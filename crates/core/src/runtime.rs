@@ -3,14 +3,18 @@
 
 use crate::compile::CompiledKernel;
 use crate::error::MigrateError;
-use crate::report::{ExecMode, LaunchReport, PhaseTimes};
+use crate::report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes};
 use crate::schedule::{plan_schedule, LaunchSchedule, ScheduleDecision};
 use crate::stream::{EventId, StreamId, StreamSet};
+use crate::transfer::HostScalar;
 use cucc_analysis::{Partition, ReplicationCause, ThreePhasePlan};
 use cucc_cluster::{ClusterSpec, SimCluster};
 use cucc_exec::{Arg, BufferId, EngineKind, ExecOptions, Program};
 use cucc_ir::LaunchConfig;
-use cucc_net::{allgather_cost_traced, broadcast_traced, AllgatherAlgo, AllgatherPlacement};
+use cucc_net::{
+    allgather_cost_traced, allgather_cost_traced_fallible, broadcast_traced, AllgatherAlgo,
+    AllgatherPlacement, FaultInjector, FaultPlan,
+};
 use cucc_trace::{Category, Mark, Timeline, Track};
 
 /// Whether launches execute functionally or are only timed.
@@ -26,7 +30,13 @@ pub enum ExecutionFidelity {
 }
 
 /// Runtime knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Construct via [`RuntimeConfig::builder`] (or [`RuntimeConfig::default`] /
+/// [`RuntimeConfig::modeled`] plus struct update). Direct field-by-field
+/// struct literals are considered legacy style: every added knob (like
+/// [`RuntimeConfig::faults`]) breaks them, while the builder and struct
+/// update stay source-compatible.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// Functional vs modeled execution.
     pub fidelity: ExecutionFidelity,
@@ -51,6 +61,12 @@ pub struct RuntimeConfig {
     /// that a soundness violation (sanitizer sees a race/OOB the verifier
     /// proved safe) fails the launch. Ignored in modeled fidelity.
     pub sanitize: bool,
+    /// Deterministic fault plan: scripted node kills, stragglers, and
+    /// dropped collective steps, plus the retry policy used to detect
+    /// them. [`FaultPlan::none`] (the default) keeps the fault machinery
+    /// entirely out of the launch path, so fault-free sessions reproduce
+    /// pre-fault reports bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
@@ -64,6 +80,7 @@ impl Default for RuntimeConfig {
             engine: EngineKind::default(),
             node_threads: 0,
             sanitize: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -76,6 +93,96 @@ impl RuntimeConfig {
             verify_consistency: false,
             ..RuntimeConfig::default()
         }
+    }
+
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            config: RuntimeConfig::default(),
+        }
+    }
+}
+
+/// Chainable constructor for [`RuntimeConfig`] — the supported way to set
+/// runtime knobs without naming every field.
+///
+/// ```
+/// use cucc_core::runtime::RuntimeConfig;
+/// let cfg = RuntimeConfig::builder().node_threads(2).sanitize(true).build();
+/// assert!(cfg.sanitize);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Switch to timing-only modeled fidelity (disables consistency
+    /// verification, like [`RuntimeConfig::modeled`]).
+    pub fn modeled(mut self) -> Self {
+        self.config.fidelity = ExecutionFidelity::Modeled;
+        self.config.verify_consistency = false;
+        self
+    }
+
+    /// Set the execution fidelity directly.
+    pub fn fidelity(mut self, fidelity: ExecutionFidelity) -> Self {
+        self.config.fidelity = fidelity;
+        self
+    }
+
+    /// Select the functional block executor.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Worker threads per node (`0` = derive from the host).
+    pub fn node_threads(mut self, threads: usize) -> Self {
+        self.config.node_threads = threads;
+        self
+    }
+
+    /// Enable or disable the dynamic kernel sanitizer.
+    pub fn sanitize(mut self, on: bool) -> Self {
+        self.config.sanitize = on;
+        self
+    }
+
+    /// Choose the Allgather algorithm.
+    pub fn allgather_algo(mut self, algo: AllgatherAlgo) -> Self {
+        self.config.allgather_algo = algo;
+        self
+    }
+
+    /// Choose the Allgather buffer placement.
+    pub fn placement(mut self, placement: AllgatherPlacement) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Enable or disable the per-launch consistency check.
+    pub fn verify_consistency(mut self, on: bool) -> Self {
+        self.config.verify_consistency = on;
+        self
+    }
+
+    /// Blocks sampled per launch profile.
+    pub fn profile_samples(mut self, samples: usize) -> Self {
+        self.config.profile_samples = samples;
+        self
+    }
+
+    /// Install a fault plan (scripted kills/stragglers/drops + retry
+    /// policy).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Finish and return the configuration.
+    pub fn build(self) -> RuntimeConfig {
+        self.config
     }
 }
 
@@ -101,6 +208,13 @@ pub struct CuccCluster {
     /// Observations of the most recent sanitized launch (populated only
     /// when [`RuntimeConfig::sanitize`] is on).
     last_sanitize: Option<cucc_exec::SanitizeReport>,
+    /// The fault injector, seeded from [`RuntimeConfig::faults`]. `None`
+    /// when the plan is empty, which keeps every fault branch off the
+    /// launch path (the bit-for-bit guarantee).
+    fault_state: Option<FaultInjector>,
+    /// Liveness per logical node. Deaths persist across launches: a node
+    /// confirmed dead never rejoins the communicator or receives work.
+    alive: Vec<bool>,
 }
 
 impl CuccCluster {
@@ -112,6 +226,11 @@ impl CuccCluster {
         } else {
             spec
         };
+        let fault_state = if config.faults.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(config.faults.clone()))
+        };
         CuccCluster {
             sim: SimCluster::new(sim_spec),
             config,
@@ -119,7 +238,27 @@ impl CuccCluster {
             logical_nodes,
             streams: StreamSet::new(),
             last_sanitize: None,
+            fault_state,
+            alive: vec![true; logical_nodes],
         }
+    }
+
+    /// Logical node ids that are still alive, in ascending order.
+    fn alive_ids(&self) -> Vec<u32> {
+        (0..self.logical_nodes as u32)
+            .filter(|&i| self.alive[i as usize])
+            .collect()
+    }
+
+    /// Number of nodes still participating in launches.
+    pub fn active_nodes(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Liveness of one logical node (nodes die only under an injected
+    /// fault plan; without one this is always `true`).
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive.get(node).copied().unwrap_or(false)
     }
 
     /// The sanitizer report of the most recent launch, when
@@ -172,6 +311,10 @@ impl CuccCluster {
             allgather: self.timeline.time_in(Category::Allgather),
             callback: self.timeline.time_in_on(Track::Node(0), Category::Callback),
             broadcast: self.timeline.time_in(Category::Broadcast),
+            retry: self.timeline.time_in(Category::Retry),
+            reexec: self
+                .timeline
+                .max_track_sum_since(Mark::default(), Category::Reexec),
         }
     }
 
@@ -202,10 +345,11 @@ impl CuccCluster {
     /// Drain pending async work before a synchronous op touches the clock.
     /// No-op on pure-sync sessions, so the legacy clock arithmetic is
     /// untouched when the stream API is never used.
-    fn sync_point(&mut self) {
+    fn sync_point(&mut self) -> Result<(), MigrateError> {
         if self.streams.pending() {
-            self.synchronize();
+            self.synchronize()?;
         }
+        Ok(())
     }
 
     /// Record one host-side transfer span starting at `t0`, reserve the
@@ -248,40 +392,107 @@ impl CuccCluster {
         bt
     }
 
-    /// Host→device copy, broadcast to every node (charged to the clock).
-    /// Records the broadcast on the timeline — including the wire traffic
-    /// the pre-timeline accounting never attributed anywhere.
-    pub fn h2d(&mut self, buf: BufferId, data: &[u8]) {
-        self.sync_point();
-        let t0 = self.timeline.clock();
-        let bt = self.perform_h2d(buf, data, t0);
-        self.timeline.advance(bt);
-    }
-
-    /// Device→host copy (from node 0). Free in the time model, but recorded
-    /// on the timeline's host track.
-    pub fn d2h(&mut self, buf: BufferId) -> Vec<u8> {
-        self.sync_point();
-        let t = self.timeline.clock();
-        self.record_host_transfer("d2h", Category::D2h, t, 0.0);
-        self.sim.read(0, buf).to_vec()
-    }
-
-    /// Typed convenience reads from node 0.
-    pub fn d2h_f32(&mut self, buf: BufferId) -> Vec<f32> {
-        self.sync_point();
-        let t = self.timeline.clock();
-        self.record_host_transfer("d2h", Category::D2h, t, 0.0);
-        self.sim.node(0).read_f32(buf)
-    }
-
-    /// Typed convenience writes (broadcast).
-    pub fn h2d_f32(&mut self, buf: BufferId, data: &[f32]) {
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for v in data {
-            bytes.extend_from_slice(&v.to_le_bytes());
+    /// Validate that `buf` names an allocation and return its byte size.
+    fn check_buffer(&self, buf: BufferId, op: &str) -> Result<usize, MigrateError> {
+        let pool = self.sim.node(0);
+        if buf.index() >= pool.len() {
+            return Err(MigrateError::Transfer(format!(
+                "{op}: buffer id {} was never allocated",
+                buf.index()
+            )));
         }
-        self.h2d(buf, &bytes);
+        Ok(pool.size_of(buf))
+    }
+
+    /// Validate an upload payload against the destination allocation.
+    fn check_upload<T: HostScalar>(&self, buf: BufferId, n: usize) -> Result<(), MigrateError> {
+        let size = self.check_buffer(buf, "upload")?;
+        if n * T::SIZE != size {
+            return Err(MigrateError::Transfer(format!(
+                "upload: {n} {} elements ({} bytes) do not fill buffer id {} ({size} bytes)",
+                T::NAME,
+                n * T::SIZE,
+                buf.index()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validate a download source and return its byte size.
+    fn check_download<T: HostScalar>(&self, buf: BufferId) -> Result<usize, MigrateError> {
+        let size = self.check_buffer(buf, "download")?;
+        if size % T::SIZE != 0 {
+            return Err(MigrateError::Transfer(format!(
+                "download: buffer id {} ({size} bytes) is not a whole number of {} elements",
+                buf.index(),
+                T::NAME
+            )));
+        }
+        Ok(size)
+    }
+
+    /// The physical pool downloads read: node 0 normally, the first
+    /// surviving node once faults have killed nodes (dead pools hold stale
+    /// pre-recovery bytes). Modeled fidelity materializes only pool 0.
+    fn read_node(&self) -> usize {
+        if self.sim.spec.nodes as usize == self.logical_nodes {
+            self.alive.iter().position(|&a| a).unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Host→device copy: broadcast `data` to every node's replica of `buf`,
+    /// charged to the clock. The generic, validated entry point behind
+    /// [`CuccCluster::h2d`] and [`CuccCluster::h2d_f32`]. Records the
+    /// broadcast on the timeline — including the wire traffic the
+    /// pre-timeline accounting never attributed anywhere.
+    pub fn upload<T: HostScalar>(&mut self, buf: BufferId, data: &[T]) -> Result<(), MigrateError> {
+        self.check_upload::<T>(buf, data.len())?;
+        self.sync_point()?;
+        let t0 = self.timeline.clock();
+        let bt = self.perform_h2d(buf, &T::encode(data), t0);
+        self.timeline.advance(bt);
+        Ok(())
+    }
+
+    /// Device→host copy of a whole buffer. Free in the time model, but
+    /// recorded on the timeline's host track. The generic, validated entry
+    /// point behind [`CuccCluster::d2h`] and [`CuccCluster::d2h_f32`].
+    pub fn download<T: HostScalar>(&mut self, buf: BufferId) -> Result<Vec<T>, MigrateError> {
+        self.check_download::<T>(buf)?;
+        self.sync_point()?;
+        let t = self.timeline.clock();
+        self.record_host_transfer("d2h", Category::D2h, t, 0.0);
+        Ok(T::decode(self.sim.read(self.read_node(), buf)))
+    }
+
+    /// Untyped host→device broadcast. Panicking shim over
+    /// [`CuccCluster::upload`] for legacy call sites.
+    pub fn h2d(&mut self, buf: BufferId, data: &[u8]) {
+        self.upload(buf, data)
+            .unwrap_or_else(|e| panic!("h2d failed: {e}"));
+    }
+
+    /// Untyped device→host copy. Panicking shim over
+    /// [`CuccCluster::download`] for legacy call sites.
+    pub fn d2h(&mut self, buf: BufferId) -> Vec<u8> {
+        self.download(buf)
+            .unwrap_or_else(|e| panic!("d2h failed: {e}"))
+    }
+
+    /// Typed convenience reads. Panicking shim over
+    /// [`CuccCluster::download`] for legacy call sites.
+    pub fn d2h_f32(&mut self, buf: BufferId) -> Vec<f32> {
+        self.download(buf)
+            .unwrap_or_else(|e| panic!("d2h_f32 failed: {e}"))
+    }
+
+    /// Typed convenience writes (broadcast). Panicking shim over
+    /// [`CuccCluster::upload`] for legacy call sites.
+    pub fn h2d_f32(&mut self, buf: BufferId, data: &[f32]) {
+        self.upload(buf, data)
+            .unwrap_or_else(|e| panic!("h2d_f32 failed: {e}"));
     }
 
     /// The pure **planning** stage of a launch: run the launch-time
@@ -295,13 +506,20 @@ impl CuccCluster {
         launch: LaunchConfig,
         args: &[Arg],
     ) -> Result<LaunchSchedule, MigrateError> {
+        let active = self.active_nodes();
+        if active == 0 {
+            return Err(MigrateError::NodeFailure {
+                node: None,
+                context: format!("planning `{}`", ck.name()),
+            });
+        }
         plan_schedule(
             ck,
             launch,
             args,
-            self.sim.node(0),
+            self.sim.node(self.read_node()),
             &self.sim.spec,
-            self.logical_nodes,
+            active,
             &self.config,
         )
     }
@@ -318,7 +536,7 @@ impl CuccCluster {
         launch: LaunchConfig,
         args: &[Arg],
     ) -> Result<LaunchReport, MigrateError> {
-        self.sync_point();
+        self.sync_point()?;
         let sched = self.plan(ck, launch, args)?;
         if self.config.sanitize && self.config.fidelity == ExecutionFidelity::Functional {
             self.run_sanitizer(ck, launch, args)?;
@@ -436,37 +654,63 @@ impl CuccCluster {
     /// (broadcasts serialize on the host's injection link) and overlaps
     /// with kernel compute on the node lanes. The bytes land immediately
     /// (see [`CuccCluster::launch_on`] on eager functional execution).
-    pub fn h2d_async(&mut self, buf: BufferId, data: &[u8], stream: StreamId) {
+    /// The generic, validated twin of [`CuccCluster::upload`].
+    pub fn upload_on<T: HostScalar>(
+        &mut self,
+        buf: BufferId,
+        data: &[T],
+        stream: StreamId,
+    ) -> Result<(), MigrateError> {
+        self.check_upload::<T>(buf, data.len())?;
         let t0 = self
             .streams
             .dep_floor(stream, &[], &[buf])
             .max(self.timeline.lane_ready(Track::Host));
-        let bt = self.perform_h2d(buf, data, t0);
+        let bt = self.perform_h2d(buf, &T::encode(data), t0);
         self.streams.commit(stream, &[], &[buf], t0 + bt);
+        Ok(())
     }
 
-    /// Typed async broadcast.
-    pub fn h2d_async_f32(&mut self, buf: BufferId, data: &[f32], stream: StreamId) {
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for v in data {
-            bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        self.h2d_async(buf, &bytes, stream);
-    }
-
-    /// Async device→host copy on `stream` (from node 0). Free in the time
-    /// model but hazard-ordered: it waits for the last write to `buf` on
-    /// the simulated clock, and later writes wait for it (WAR). The data
-    /// is returned immediately — eager functional execution guarantees it
-    /// already holds the value the stream order will produce.
-    pub fn d2h_async(&mut self, buf: BufferId, stream: StreamId) -> Vec<u8> {
+    /// Async device→host copy on `stream`. Free in the time model but
+    /// hazard-ordered: it waits for the last write to `buf` on the
+    /// simulated clock, and later writes wait for it (WAR). The data is
+    /// returned immediately — eager functional execution guarantees it
+    /// already holds the value the stream order will produce. The generic,
+    /// validated twin of [`CuccCluster::download`].
+    pub fn download_on<T: HostScalar>(
+        &mut self,
+        buf: BufferId,
+        stream: StreamId,
+    ) -> Result<Vec<T>, MigrateError> {
+        self.check_download::<T>(buf)?;
         let t0 = self
             .streams
             .dep_floor(stream, &[buf], &[])
             .max(self.timeline.lane_ready(Track::Host));
         self.record_host_transfer("d2h", Category::D2h, t0, 0.0);
         self.streams.commit(stream, &[buf], &[], t0);
-        self.sim.read(0, buf).to_vec()
+        Ok(T::decode(self.sim.read(self.read_node(), buf)))
+    }
+
+    /// Untyped async broadcast. Panicking shim over
+    /// [`CuccCluster::upload_on`] for legacy call sites.
+    pub fn h2d_async(&mut self, buf: BufferId, data: &[u8], stream: StreamId) {
+        self.upload_on(buf, data, stream)
+            .unwrap_or_else(|e| panic!("h2d_async failed: {e}"));
+    }
+
+    /// Typed async broadcast. Panicking shim over
+    /// [`CuccCluster::upload_on`] for legacy call sites.
+    pub fn h2d_async_f32(&mut self, buf: BufferId, data: &[f32], stream: StreamId) {
+        self.upload_on(buf, data, stream)
+            .unwrap_or_else(|e| panic!("h2d_async_f32 failed: {e}"));
+    }
+
+    /// Untyped async device→host copy. Panicking shim over
+    /// [`CuccCluster::download_on`] for legacy call sites.
+    pub fn d2h_async(&mut self, buf: BufferId, stream: StreamId) -> Vec<u8> {
+        self.download_on(buf, stream)
+            .unwrap_or_else(|e| panic!("d2h_async failed: {e}"))
     }
 
     /// Record an event capturing `stream`'s current position.
@@ -482,22 +726,38 @@ impl CuccCluster {
     /// Drain every stream: advance the simulated clock to the end of all
     /// in-flight async work and clear hazard state. Returns the clock.
     /// A no-op (and the clock is untouched) when nothing is pending.
-    pub fn synchronize(&mut self) -> f64 {
+    ///
+    /// Fallible as part of the `Result`-based launch surface: draining can
+    /// surface deferred failures, and callers should treat it like any
+    /// other synchronization point.
+    pub fn synchronize(&mut self) -> Result<f64, MigrateError> {
         let horizon = self.streams.horizon().max(self.timeline.lanes_horizon());
         self.timeline.advance_to(horizon);
         self.streams.settle(self.timeline.clock());
-        self.timeline.clock()
+        Ok(self.timeline.clock())
     }
 
     /// The paper's consistency invariant: after a functional launch every
     /// written buffer must be identical on every node.
     fn verify_written(&self, ck: &CompiledKernel, args: &[Arg]) -> Result<(), MigrateError> {
         if self.config.verify_consistency && self.config.fidelity == ExecutionFidelity::Functional {
+            // Dead nodes keep stale pre-recovery bytes; the invariant holds
+            // over the surviving communicator.
+            let survivors: Vec<usize> = if self.fault_state.is_some() {
+                self.alive_ids().iter().map(|&i| i as usize).collect()
+            } else {
+                (0..self.logical_nodes).collect()
+            };
             for p in ck.kernel.written_global_buffers() {
                 let Arg::Buffer(id) = args[p.index()] else {
                     continue;
                 };
-                if !self.sim.consistent(id) {
+                let ok = if self.fault_state.is_some() {
+                    self.sim.consistent_among(id, &survivors)
+                } else {
+                    self.sim.consistent(id)
+                };
+                if !ok {
                     return Err(MigrateError::Launch(format!(
                         "consistency violation: buffer `{}` differs across nodes after `{}`",
                         ck.kernel.params[p.index()].name(),
@@ -516,14 +776,20 @@ impl CuccCluster {
         let tl = &self.timeline;
         let derived = PhaseTimes {
             // Phase spans are one per node with identical durations
-            // (stragglers are folded into the jitter multiplier), so the
-            // phase time is the per-node maximum.
+            // (stragglers stretch individual spans; the phase time is the
+            // per-node maximum either way).
             partial: tl.max_in_since(mark, Category::Partial),
             // Summing the per-collective parent spans in recording order
             // reproduces the legacy per-region accumulation exactly.
             allgather: tl.time_in_since(mark, Category::Allgather),
             callback: tl.max_in_since(mark, Category::Callback),
             broadcast: tl.time_in_since(mark, Category::Broadcast),
+            // Retry spans are wasted wire time: a flat in-order sum.
+            retry: tl.time_in_since(mark, Category::Retry),
+            // Re-execution rounds are recorded uniformly on every current
+            // survivor and survivors only shrink, so the slowest track's
+            // in-order sum accumulates every round exactly.
+            reexec: tl.max_track_sum_since(mark, Category::Reexec),
         };
         let derived_wire = tl.wire_bytes_since(mark);
         assert_eq!(
@@ -548,6 +814,18 @@ impl CuccCluster {
             derived.broadcast.to_bits(),
             0.0f64.to_bits(),
             "kernel launches must not record broadcasts (`{}`)",
+            ck.name()
+        );
+        assert_eq!(
+            derived.retry.to_bits(),
+            report.times.retry.to_bits(),
+            "timeline-derived retry time diverged for `{}`",
+            ck.name()
+        );
+        assert_eq!(
+            derived.reexec.to_bits(),
+            report.times.reexec.to_bits(),
+            "timeline-derived re-execution time diverged for `{}`",
             ck.name()
         );
         assert_eq!(
@@ -588,11 +866,23 @@ impl CuccCluster {
                 let plan = plan.clone();
                 let part = part.clone();
                 let tail = *has_tail_block;
-                self.execute_three_phase(ck, launch, args, sched, plan, part, tail, t0, net_floor)
+                if self.fault_state.is_some() {
+                    self.execute_three_phase_faulty(
+                        ck, launch, args, sched, plan, part, tail, t0, net_floor,
+                    )
+                } else {
+                    self.execute_three_phase(
+                        ck, launch, args, sched, plan, part, tail, t0, net_floor,
+                    )
+                }
             }
             ScheduleDecision::Replicated { cause } => {
                 let cause = cause.clone();
-                self.execute_replicated(ck, launch, args, sched, cause, t0)
+                if self.fault_state.is_some() {
+                    self.execute_replicated_faulty(ck, launch, args, sched, cause, t0)
+                } else {
+                    self.execute_replicated(ck, launch, args, sched, cause, t0)
+                }
             }
         }
     }
@@ -762,10 +1052,11 @@ impl CuccCluster {
                     partial: t_partial,
                     allgather: t_allgather,
                     callback: t_callback,
-                    broadcast: 0.0,
+                    ..PhaseTimes::default()
                 },
                 node_stats,
                 wire_bytes,
+                faults: FaultSummary::default(),
             },
             end,
         ))
@@ -815,16 +1106,511 @@ impl CuccCluster {
             LaunchReport {
                 mode: ExecMode::Replicated { cause },
                 times: PhaseTimes {
-                    partial: 0.0,
-                    allgather: 0.0,
                     callback: t,
-                    broadcast: 0.0,
+                    ..PhaseTimes::default()
                 },
                 node_stats,
                 wire_bytes: 0,
+                faults: FaultSummary::default(),
             },
             end,
         ))
+    }
+
+    /// Fault-aware three-phase execution. Taken only when a fault plan is
+    /// installed, so the fault-free path above keeps its legacy arithmetic
+    /// untouched. When the plan fires nothing, the produced report is
+    /// bit-identical to the fault-free one (stretches return durations
+    /// unchanged, the fallible collective reproduces the clean layout, and
+    /// all report scalars are the same derived views `derive_report`
+    /// asserts against).
+    ///
+    /// Recovery protocol on a confirmed node death:
+    /// 1. evict the dead node from the surviving communicator;
+    /// 2. if the distributed chunk count divides the survivor count,
+    ///    re-partition the whole block space across survivors, have each
+    ///    survivor re-execute exactly the blocks its new slice adds
+    ///    (recorded as `Reexec` spans), and restart the Allgather phase
+    ///    over the survivors;
+    /// 3. otherwise §6 balance is violated: degrade to replicated
+    ///    execution on the survivors (or fail with
+    ///    [`MigrateError::Degraded`] when the plan forbids it).
+    ///
+    /// All functional memory effects are deferred until the timing walk is
+    /// complete, so each block runs at most once per surviving pool —
+    /// read-modify-write kernels stay correct through recovery.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_three_phase_faulty(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+        sched: &LaunchSchedule,
+        tp: ThreePhasePlan,
+        part: Partition,
+        has_tail_block: bool,
+        t0: f64,
+        net_floor: f64,
+    ) -> Result<(LaunchReport, f64), MigrateError> {
+        let mark = self.timeline.checkpoint();
+        let mut survivors: Vec<u32> = self.alive_ids();
+        let initial = survivors.clone();
+        let n0 = survivors.len() as u64;
+        let pbn = part.partial_blocks_per_node;
+        let t_partial = sched.times.partial;
+        let per_block = if pbn > 0 { t_partial / pbn as f64 } else { 0.0 };
+
+        // ---- Phase 1: partial block execution (stragglers stretch) -----
+        let mut t_partial_eff = 0.0f64;
+        for &node in &survivors {
+            let d = self
+                .fault_state
+                .as_ref()
+                .unwrap()
+                .stretch(node, t0, t_partial);
+            self.timeline.span(
+                format!("{}: partial ({pbn} blocks)", ck.name()),
+                Track::Node(node),
+                Category::Partial,
+                t0,
+                d,
+            );
+            t_partial_eff = t_partial_eff.max(d);
+        }
+
+        // ---- Phase 2: Allgather with retry, eviction and re-partition --
+        let t_ag_start = (t0 + t_partial_eff).max(net_floor);
+        let mut t_cursor = t_ag_start;
+        let mut failures = 0u32;
+        let mut retries_total = 0u32;
+        let mut reexec_blocks = 0u64;
+        let mut degraded_ctx: Option<String> = None;
+        // The §6 balance invariant: the total distributed chunk count is
+        // fixed by the plan; a survivor set can take over the dead node's
+        // slice iff it divides that count evenly.
+        let dist_chunks = part.chunks_per_node * n0;
+        let mut cur_cpn = part.chunks_per_node;
+        let mut cur_pbn = pbn;
+        // Global block ids each survivor slot currently holds results for
+        // (contiguous by construction: re-partition hands each survivor
+        // its full new slice).
+        let mut owned: Vec<std::ops::Range<u64>> =
+            (0..n0).map(|i| i * pbn..(i + 1) * pbn).collect();
+        // Deferred re-execution passes (per-pool block ranges), run after
+        // the timing walk.
+        let mut reexec_passes: Vec<Vec<std::ops::Range<u64>>> = Vec::new();
+
+        'recover: loop {
+            let m = survivors.len();
+            for region in &tp.buffers {
+                let unit = region.unit * cur_cpn;
+                let label = format!(
+                    "allgather {}",
+                    ck.kernel.params[region.param.index()].name()
+                );
+                let res = allgather_cost_traced_fallible(
+                    m,
+                    unit,
+                    &self.sim.spec.net,
+                    self.config.allgather_algo,
+                    self.config.placement,
+                    &survivors,
+                    self.fault_state.as_mut().unwrap(),
+                    &mut self.timeline,
+                    t_cursor,
+                    &label,
+                );
+                match res {
+                    Ok(g) => {
+                        retries_total += g.retries;
+                        t_cursor += g.retry_time + g.cost.time;
+                    }
+                    Err(abort) => {
+                        retries_total += abort.retries;
+                        t_cursor += abort.retry_time;
+                        let Some(slot) = abort.dead_slot else {
+                            return Err(MigrateError::Timeout {
+                                context: format!("{label} in `{}`", ck.name()),
+                                retries: abort.retries,
+                            });
+                        };
+                        failures += 1;
+                        let dead = survivors.remove(slot);
+                        self.alive[dead as usize] = false;
+                        owned.remove(slot);
+                        if survivors.is_empty() {
+                            return Err(MigrateError::NodeFailure {
+                                node: Some(dead),
+                                context: format!("{label} in `{}`", ck.name()),
+                            });
+                        }
+                        let m_new = survivors.len() as u64;
+                        let ctx = format!("node {dead} died during {label} in `{}`", ck.name());
+                        if dist_chunks % m_new != 0 {
+                            // Re-partitioning would break Allgather balance.
+                            if !self.fault_state.as_ref().unwrap().allow_degraded() {
+                                return Err(MigrateError::Degraded {
+                                    context: ctx,
+                                    survivors: m_new as u32,
+                                });
+                            }
+                            degraded_ctx = Some(ctx);
+                            break 'recover;
+                        }
+                        // Re-partition: survivor slot j takes the j-th of
+                        // m_new equal slices; it re-executes only the
+                        // blocks its new slice adds over what it owns.
+                        cur_cpn = dist_chunks / m_new;
+                        cur_pbn = cur_cpn * tp.chunk_blocks;
+                        let mut pass_a = vec![0u64..0u64; self.logical_nodes];
+                        let mut pass_b = vec![0u64..0u64; self.logical_nodes];
+                        let mut t_round = 0.0f64;
+                        let mut new_owned = Vec::with_capacity(survivors.len());
+                        for (j, &node) in survivors.iter().enumerate() {
+                            let new = j as u64 * cur_pbn..(j as u64 + 1) * cur_pbn;
+                            let old = &owned[j];
+                            let left = new.start..old.start.clamp(new.start, new.end);
+                            let right = old.end.clamp(new.start, new.end)..new.end;
+                            let blocks = (left.end - left.start) + (right.end - right.start);
+                            let d = self.fault_state.as_ref().unwrap().stretch(
+                                node,
+                                t_cursor,
+                                per_block * blocks as f64,
+                            );
+                            t_round = t_round.max(d);
+                            reexec_blocks += blocks;
+                            pass_a[node as usize] = left;
+                            pass_b[node as usize] = right;
+                            new_owned.push(new);
+                        }
+                        // Recorded uniformly (the round's critical path) on
+                        // every survivor: the slowest surviving track then
+                        // accumulates every round, which is what the
+                        // derived `reexec` view sums.
+                        for &node in &survivors {
+                            self.timeline.span(
+                                format!("{}: re-exec after node {dead} death", ck.name()),
+                                Track::Node(node),
+                                Category::Reexec,
+                                t_cursor,
+                                t_round,
+                            );
+                        }
+                        t_cursor += t_round;
+                        owned = new_owned;
+                        if pass_a.iter().any(|r| r.end > r.start) {
+                            reexec_passes.push(pass_a);
+                        }
+                        if pass_b.iter().any(|r| r.end > r.start) {
+                            reexec_passes.push(pass_b);
+                        }
+                        // The whole Allgather phase restarts over the
+                        // surviving communicator.
+                        continue 'recover;
+                    }
+                }
+            }
+            break 'recover;
+        }
+        let net_end = t_cursor;
+
+        let opts = ExecOptions {
+            engine: self.config.engine,
+            node_threads: self.config.node_threads,
+            block_parallel: true,
+        };
+        let functional = self.config.fidelity == ExecutionFidelity::Functional;
+
+        // ---- Degraded completion: replicated re-run on survivors -------
+        if let Some(ctx) = degraded_ctx {
+            let t_deg = sched.degraded_time;
+            let mut t_round = 0.0f64;
+            for &node in &survivors {
+                let d = self
+                    .fault_state
+                    .as_ref()
+                    .unwrap()
+                    .stretch(node, t_cursor, t_deg);
+                t_round = t_round.max(d);
+            }
+            for &node in &survivors {
+                self.timeline.span(
+                    format!(
+                        "{}: degraded replicated re-run ({} blocks)",
+                        ck.name(),
+                        launch.num_blocks()
+                    ),
+                    Track::Node(node),
+                    Category::Reexec,
+                    t_cursor,
+                    t_round,
+                );
+            }
+            reexec_blocks += launch.num_blocks() * survivors.len() as u64;
+            let end = t_cursor + t_round;
+            let mut node_stats = sched.profile.total;
+            if functional {
+                // Partial results may be mid-gather; the simple, correct
+                // recovery re-runs the whole grid from the (unmodified by
+                // this launch's deferred passes) inputs — so the partial
+                // and re-exec passes above are intentionally *not* run.
+                let rep_opts = ExecOptions {
+                    block_parallel: false,
+                    ..opts
+                };
+                let mut all = vec![0u64..0u64; self.logical_nodes];
+                for &node in &survivors {
+                    all[node as usize] = 0..launch.num_blocks();
+                }
+                let stats = self
+                    .sim
+                    .run_blocks_parallel_opts(&ck.kernel, launch, &all, args, &rep_opts)?;
+                node_stats = stats[survivors[0] as usize];
+            }
+            for &node in &survivors {
+                node_stats.emit_counters(&mut self.timeline, Track::Node(node), t0);
+            }
+            for &node in &initial {
+                self.timeline.reserve_lane(Track::Node(node), end);
+            }
+            if net_end > t_ag_start {
+                self.timeline.reserve_lane(Track::Network, net_end);
+            }
+            let report = LaunchReport {
+                mode: ExecMode::Replicated {
+                    cause: ReplicationCause::NodeLoss(ctx),
+                },
+                times: self.derived_times(mark),
+                node_stats,
+                wire_bytes: self.timeline.wire_bytes_since(mark),
+                faults: FaultSummary {
+                    failures,
+                    retries: retries_total,
+                    reexecuted_blocks: reexec_blocks,
+                    degraded: true,
+                },
+            };
+            return Ok((report, end));
+        }
+
+        // ---- Phase 3: callback on survivors ----------------------------
+        if t_cursor > t_ag_start {
+            // Visualization-only: every survivor blocks in the collective
+            // (including its retry and re-execution windows).
+            for &node in &survivors {
+                self.timeline.child_span(
+                    "allgather",
+                    Track::Node(node),
+                    Category::Allgather,
+                    t_ag_start,
+                    t_cursor - t_ag_start,
+                );
+            }
+        }
+        let t_callback = sched.times.callback;
+        let mut t_cb_eff = 0.0f64;
+        for &node in &survivors {
+            let d = self
+                .fault_state
+                .as_ref()
+                .unwrap()
+                .stretch(node, t_cursor, t_callback);
+            self.timeline.span(
+                format!("{}: callback ({} blocks)", ck.name(), part.callback_blocks),
+                Track::Node(node),
+                Category::Callback,
+                t_cursor,
+                d,
+            );
+            t_cb_eff = t_cb_eff.max(d);
+        }
+        let end = t_cursor + t_cb_eff;
+
+        // ---- Deferred functional execution ------------------------------
+        let callback_full = part.callback_blocks - u64::from(has_tail_block);
+        let mut node_stats = sched.profile.per_block.scaled(pbn + callback_full);
+        if has_tail_block {
+            node_stats += sched.profile.tail_block;
+        }
+        if functional {
+            let prog = match opts.engine {
+                EngineKind::Bytecode => Some(Program::compile(&ck.kernel, launch, args)?),
+                EngineKind::TreeWalk => None,
+            };
+            // Pass A: the original partial slices, on every node that was
+            // alive at launch entry (mid-launch deaths are detected at the
+            // collective; the dead pool's stale bytes are never gathered).
+            let mut assignments = vec![0u64..0u64; self.logical_nodes];
+            for (j, &node) in initial.iter().enumerate() {
+                assignments[node as usize] = j as u64 * pbn..(j as u64 + 1) * pbn;
+            }
+            let stats = run_pass(
+                &mut self.sim,
+                prog.as_ref(),
+                ck,
+                launch,
+                args,
+                &assignments,
+                &opts,
+            )?;
+            let first = survivors[0] as usize;
+            node_stats = stats[first];
+            // Pass B: recovery re-execution rounds, in order.
+            for pass in &reexec_passes {
+                let s = run_pass(&mut self.sim, prog.as_ref(), ck, launch, args, pass, &opts)?;
+                node_stats += s[first];
+            }
+            // Pass C: the Allgather over the surviving communicator, with
+            // the final re-partitioned unit.
+            let nodes: Vec<usize> = survivors.iter().map(|&s| s as usize).collect();
+            for region in &tp.buffers {
+                let unit = region.unit * cur_cpn;
+                let Arg::Buffer(id) = args[region.param.index()] else {
+                    return Err(MigrateError::Launch(format!(
+                        "parameter {} is not a buffer",
+                        region.param
+                    )));
+                };
+                if unit > 0 {
+                    self.sim.allgather_region_among(
+                        id,
+                        region.base,
+                        unit,
+                        &nodes,
+                        self.config.allgather_algo,
+                        self.config.placement,
+                    );
+                }
+            }
+            // Pass D: callbacks on survivors.
+            let mut cb = vec![0u64..0u64; self.logical_nodes];
+            for &node in &survivors {
+                cb[node as usize] = part.callback_start..tp.num_blocks;
+            }
+            let cb_stats = run_pass(&mut self.sim, prog.as_ref(), ck, launch, args, &cb, &opts)?;
+            node_stats += cb_stats[first];
+        }
+
+        for &node in &survivors {
+            node_stats.emit_counters(&mut self.timeline, Track::Node(node), t0);
+        }
+        for &node in &initial {
+            self.timeline.reserve_lane(Track::Node(node), end);
+        }
+        if net_end > t_ag_start {
+            self.timeline.reserve_lane(Track::Network, net_end);
+        }
+
+        let report = LaunchReport {
+            mode: ExecMode::ThreePhase {
+                plan: tp,
+                nodes: survivors.len() as u64,
+                partial_blocks_per_node: cur_pbn,
+                callback_blocks: part.callback_blocks,
+            },
+            times: self.derived_times(mark),
+            node_stats,
+            wire_bytes: self.timeline.wire_bytes_since(mark),
+            faults: FaultSummary {
+                failures,
+                retries: retries_total,
+                reexecuted_blocks: reexec_blocks,
+                degraded: false,
+            },
+        };
+        Ok((report, end))
+    }
+
+    /// Fault-aware replicated execution: the launch runs on the surviving
+    /// nodes only, with straggler stretch. Replicated launches run no
+    /// collective, so a scripted kill is *not detected* here — the node
+    /// simply keeps its stale replica (excluded from the consistency
+    /// check) until a three-phase launch's collective confirms the death.
+    fn execute_replicated_faulty(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+        sched: &LaunchSchedule,
+        cause: ReplicationCause,
+        t0: f64,
+    ) -> Result<(LaunchReport, f64), MigrateError> {
+        let mark = self.timeline.checkpoint();
+        let survivors = self.alive_ids();
+        let t = sched.times.callback;
+        let mut t_eff = 0.0f64;
+        for &node in &survivors {
+            let d = self.fault_state.as_ref().unwrap().stretch(node, t0, t);
+            self.timeline.span(
+                format!("{}: replicated ({} blocks)", ck.name(), launch.num_blocks()),
+                Track::Node(node),
+                Category::Callback,
+                t0,
+                d,
+            );
+            t_eff = t_eff.max(d);
+        }
+        let end = t0 + t_eff;
+        let mut node_stats = sched.profile.total;
+        if self.config.fidelity == ExecutionFidelity::Functional {
+            let opts = ExecOptions {
+                engine: self.config.engine,
+                node_threads: self.config.node_threads,
+                block_parallel: false,
+            };
+            let mut all = vec![0u64..0u64; self.logical_nodes];
+            for &node in &survivors {
+                all[node as usize] = 0..launch.num_blocks();
+            }
+            let stats = self
+                .sim
+                .run_blocks_parallel_opts(&ck.kernel, launch, &all, args, &opts)?;
+            node_stats = stats[survivors[0] as usize];
+        }
+        for &node in &survivors {
+            node_stats.emit_counters(&mut self.timeline, Track::Node(node), t0);
+            self.timeline.reserve_lane(Track::Node(node), end);
+        }
+        let report = LaunchReport {
+            mode: ExecMode::Replicated { cause },
+            times: self.derived_times(mark),
+            node_stats,
+            wire_bytes: self.timeline.wire_bytes_since(mark),
+            faults: FaultSummary::default(),
+        };
+        Ok((report, end))
+    }
+
+    /// The derived [`PhaseTimes`] of the window since `mark` — the same
+    /// views [`CuccCluster::derive_report`] re-computes and asserts
+    /// against, so fault-path reports are consistent by construction.
+    fn derived_times(&self, mark: Mark) -> PhaseTimes {
+        let tl = &self.timeline;
+        PhaseTimes {
+            partial: tl.max_in_since(mark, Category::Partial),
+            allgather: tl.time_in_since(mark, Category::Allgather),
+            callback: tl.max_in_since(mark, Category::Callback),
+            broadcast: tl.time_in_since(mark, Category::Broadcast),
+            retry: tl.time_in_since(mark, Category::Retry),
+            reexec: tl.max_track_sum_since(mark, Category::Reexec),
+        }
+    }
+}
+
+/// Run one deferred block pass through the configured engine.
+fn run_pass(
+    sim: &mut SimCluster,
+    prog: Option<&Program>,
+    ck: &CompiledKernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    ranges: &[std::ops::Range<u64>],
+    opts: &ExecOptions,
+) -> Result<Vec<cucc_exec::BlockStats>, MigrateError> {
+    if let Some(p) = prog {
+        Ok(sim.run_program_parallel(p, ranges, opts)?)
+    } else {
+        Ok(sim.run_blocks_parallel_opts(&ck.kernel, launch, ranges, args, opts)?)
     }
 }
 
@@ -858,16 +1644,10 @@ mod tests {
                 &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1200)],
             )
             .unwrap();
-        match &report.mode {
-            ExecMode::ThreePhase {
-                partial_blocks_per_node,
-                callback_blocks,
-                ..
-            } => {
-                assert_eq!(*partial_blocks_per_node, 2);
-                assert_eq!(*callback_blocks, 1);
-            }
-            other => panic!("expected three-phase, got {other:?}"),
+        {
+            let shape = report.mode.three_phase().unwrap();
+            assert_eq!(shape.partial_blocks_per_node, 2);
+            assert_eq!(shape.callback_blocks, 1);
         }
         assert_eq!(cl.d2h(dest), data);
         assert!(report.times.allgather > 0.0);
@@ -1137,7 +1917,7 @@ mod tests {
         let args = [Arg::Buffer(a_src), Arg::Buffer(a_dest), Arg::int(4096)];
         let q1 = asy.launch_on(&ck, launch, &args, DEFAULT_STREAM).unwrap();
         let q2 = asy.launch_on(&ck, launch, &args, DEFAULT_STREAM).unwrap();
-        asy.synchronize();
+        asy.synchronize().unwrap();
         let asy_mem = asy.d2h(a_dest);
 
         // Per-launch durations and wire traffic are clock-independent:
@@ -1183,7 +1963,7 @@ mod tests {
                 let s2 = cl.stream_create();
                 cl.h2d_async(other, &payload, s2);
                 cl.launch_on(&ck, launch, &args, s1).unwrap();
-                cl.synchronize()
+                cl.synchronize().unwrap()
             } else {
                 cl.h2d(other, &payload);
                 cl.launch(&ck, launch, &args).unwrap();
@@ -1215,7 +1995,7 @@ mod tests {
             cl.h2d_async(src, &data, s1);
             let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(8192)];
             cl.launch_on(&ck, launch, &args, s2).unwrap();
-            (cl.synchronize(), cl.d2h(dest))
+            (cl.synchronize().unwrap(), cl.d2h(dest))
         };
         let (t_one, mem_one) = run(false);
         let (t_two, mem_two) = run(true);
@@ -1242,7 +2022,7 @@ mod tests {
         cl.stream_wait_event(s2, ready);
         let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(4096)];
         cl.launch_on(&ck, launch, &args, s2).unwrap();
-        cl.synchronize();
+        cl.synchronize().unwrap();
         assert_eq!(cl.d2h(dest), data);
     }
 
@@ -1284,5 +2064,213 @@ mod tests {
         assert_eq!(r.times.allgather, 0.0);
         assert_eq!(r.wire_bytes, 0);
         assert_eq!(cl.d2h(dest), vec![3u8; 2048]);
+    }
+
+    /// Run one copy launch of `bytes` bytes on `nodes` nodes under `faults`
+    /// and return the report, the output memory, and the cluster.
+    fn fault_run(
+        ck: &CompiledKernel,
+        nodes: u32,
+        bytes: usize,
+        data: &[u8],
+        faults: FaultPlan,
+    ) -> (Result<LaunchReport, MigrateError>, Vec<u8>, CuccCluster) {
+        let cfg = RuntimeConfig::builder().faults(faults).build();
+        let mut cl = CuccCluster::new(spec(nodes), cfg);
+        let src = cl.alloc(bytes);
+        let dest = cl.alloc(bytes);
+        cl.h2d(src, data);
+        let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(bytes as i64)];
+        let report = cl.launch(ck, LaunchConfig::cover1(bytes as u64, 256), &args);
+        let mem = if report.is_ok() {
+            cl.d2h(dest)
+        } else {
+            Vec::new()
+        };
+        (report, mem, cl)
+    }
+
+    #[test]
+    fn node_kill_recovers_bit_identical_memory() {
+        let ck = compile_source(LISTING1).unwrap();
+        // 25 blocks on 3 nodes: 8 chunks/node, so 2 survivors re-partition
+        // the 24 distributed chunks evenly (12 each).
+        let bytes = 25 * 256;
+        let data: Vec<u8> = (0..bytes).map(|i| (i % 241) as u8).collect();
+
+        let (clean, mem_clean, _) = fault_run(&ck, 3, bytes, &data, FaultPlan::none());
+        let (faulty, mem_faulty, cl) =
+            fault_run(&ck, 3, bytes, &data, FaultPlan::none().kill(1, 0.0));
+        let clean = clean.unwrap();
+        let faulty = faulty.unwrap();
+
+        // Recovered output is bit-identical to the fault-free run.
+        assert_eq!(mem_faulty, mem_clean);
+        assert_eq!(mem_faulty, data);
+        assert!(faulty.mode.is_three_phase());
+        assert_eq!(faulty.faults.failures, 1);
+        assert!(faulty.faults.retries > 0);
+        assert!(faulty.faults.reexecuted_blocks > 0);
+        assert!(!faulty.faults.degraded);
+        assert!(faulty.times.retry > 0.0);
+        assert!(faulty.times.reexec > 0.0);
+        assert!(faulty.time() > clean.time());
+        // The death persists: the communicator shrank for good.
+        assert_eq!(cl.active_nodes(), 2);
+        assert!(!cl.is_alive(1));
+        // The timeline shows the retry and re-execution spans.
+        let tl = cl.timeline();
+        assert!(tl.spans().iter().any(|s| s.category == Category::Retry));
+        assert!(tl.spans().iter().any(|s| s.category == Category::Reexec));
+    }
+
+    #[test]
+    fn infeasible_repartition_degrades_to_replicated() {
+        let ck = compile_source(LISTING1).unwrap();
+        // 10 blocks on 3 nodes: 3 chunks/node, 9 distributed chunks — not
+        // divisible across 2 survivors, so recovery must degrade.
+        let bytes = 10 * 256;
+        let data: Vec<u8> = (0..bytes).map(|i| (i % 97) as u8).collect();
+
+        let (report, mem, cl) = fault_run(&ck, 3, bytes, &data, FaultPlan::none().kill(2, 0.0));
+        let report = report.unwrap();
+        assert_eq!(mem, data);
+        assert!(matches!(
+            &report.mode,
+            ExecMode::Replicated {
+                cause: cucc_analysis::ReplicationCause::NodeLoss(_)
+            }
+        ));
+        assert!(report.faults.degraded);
+        assert_eq!(report.faults.failures, 1);
+        assert!(report.times.reexec > 0.0);
+        assert_eq!(cl.active_nodes(), 2);
+
+        // The same death with degraded execution disallowed is an error.
+        let plan = FaultPlan {
+            allow_degraded: false,
+            ..FaultPlan::none().kill(2, 0.0)
+        };
+        let (report, _, _) = fault_run(&ck, 3, bytes, &data, plan);
+        assert!(matches!(
+            report.unwrap_err(),
+            MigrateError::Degraded { survivors: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn straggler_stretches_but_stays_clean() {
+        let ck = compile_source(LISTING1).unwrap();
+        let bytes = 16 * 256;
+        let data = vec![5u8; bytes];
+        let (clean, mem_clean, _) = fault_run(&ck, 4, bytes, &data, FaultPlan::none());
+        let (slow, mem_slow, _) = fault_run(
+            &ck,
+            4,
+            bytes,
+            &data,
+            FaultPlan::none().straggle(0, 0.0, 4.0),
+        );
+        let clean = clean.unwrap();
+        let slow = slow.unwrap();
+        assert_eq!(mem_slow, mem_clean);
+        // A whole-launch straggler stretches the partial phase by exactly
+        // its factor (the max over nodes is the stretched span).
+        assert_eq!(
+            slow.times.partial.to_bits(),
+            (clean.times.partial * 4.0).to_bits()
+        );
+        assert!(slow.time() > clean.time());
+        // Stragglers are not failures: the summary stays clean.
+        assert!(slow.faults.is_clean());
+    }
+
+    #[test]
+    fn dropped_step_is_retried() {
+        let ck = compile_source(LISTING1).unwrap();
+        let bytes = 16 * 256;
+        let data = vec![9u8; bytes];
+        let (clean, mem_clean, _) = fault_run(&ck, 4, bytes, &data, FaultPlan::none());
+        let (report, mem, _) = fault_run(&ck, 4, bytes, &data, FaultPlan::none().drop_step(0.0));
+        let report = report.unwrap();
+        assert_eq!(mem, mem_clean);
+        assert_eq!(report.faults.retries, 1);
+        assert_eq!(report.faults.failures, 0);
+        assert!(report.times.retry > 0.0);
+        // The collective itself still costs the analytic fault-free time.
+        assert_eq!(
+            report.times.allgather.to_bits(),
+            clean.unwrap().times.allgather.to_bits()
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_without_a_corpse_is_a_timeout() {
+        let ck = compile_source(LISTING1).unwrap();
+        let bytes = 16 * 256;
+        let data = vec![1u8; bytes];
+        // Three scripted drops exhaust the default three attempts with no
+        // dead peer to evict.
+        let plan = FaultPlan::none()
+            .drop_step(0.0)
+            .drop_step(0.0)
+            .drop_step(0.0);
+        let (report, _, _) = fault_run(&ck, 4, bytes, &data, plan);
+        assert!(matches!(
+            report.unwrap_err(),
+            MigrateError::Timeout { retries: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn armed_but_silent_fault_plan_reproduces_reports_bitwise() {
+        let ck = compile_source(LISTING1).unwrap();
+        let bytes = 25 * 256;
+        let data: Vec<u8> = (0..bytes).map(|i| (i % 199) as u8).collect();
+        let (clean, mem_clean, _) = fault_run(&ck, 3, bytes, &data, FaultPlan::none());
+        // A kill scheduled far beyond the launch never fires, but the
+        // injector is active — the fault-aware path must reproduce the
+        // fault-free report bit-for-bit.
+        let (armed, mem_armed, _) = fault_run(&ck, 3, bytes, &data, FaultPlan::none().kill(2, 1e9));
+        let clean = clean.unwrap();
+        let armed = armed.unwrap();
+        assert_eq!(mem_armed, mem_clean);
+        assert_eq!(armed.times.partial.to_bits(), clean.times.partial.to_bits());
+        assert_eq!(
+            armed.times.allgather.to_bits(),
+            clean.times.allgather.to_bits()
+        );
+        assert_eq!(
+            armed.times.callback.to_bits(),
+            clean.times.callback.to_bits()
+        );
+        assert_eq!(armed.time().to_bits(), clean.time().to_bits());
+        assert_eq!(armed, clean);
+    }
+
+    #[test]
+    fn transfer_validation_is_typed() {
+        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let buf = cl.alloc(8);
+        // Wrong payload size.
+        assert!(matches!(
+            cl.upload(buf, &[1u8; 7]).unwrap_err(),
+            MigrateError::Transfer(_)
+        ));
+        // Unknown buffer.
+        assert!(matches!(
+            cl.upload(BufferId(99), &[0u8; 4]).unwrap_err(),
+            MigrateError::Transfer(_)
+        ));
+        // Non-divisible element size.
+        let odd = cl.alloc(10);
+        assert!(matches!(
+            cl.download::<f32>(odd).unwrap_err(),
+            MigrateError::Transfer(_)
+        ));
+        // The generic surface round-trips typed data.
+        cl.upload(buf, &[1.5f32, -2.0]).unwrap();
+        assert_eq!(cl.download::<f32>(buf).unwrap(), vec![1.5, -2.0]);
+        assert_eq!(cl.download::<u8>(buf).unwrap().len(), 8);
     }
 }

@@ -68,6 +68,11 @@ pub struct LaunchSchedule {
     pub writes: Vec<BufferId>,
     /// The sampled block profile driving the cost model.
     pub profile: LaunchProfile,
+    /// Cost of running the whole grid replicated on one node — the
+    /// fallback price fault recovery pays when a node death cannot be
+    /// re-partitioned across the survivors (degraded execution). Equal to
+    /// `times.callback` for replicated decisions.
+    pub degraded_time: f64,
 }
 
 impl LaunchSchedule {
@@ -124,9 +129,10 @@ pub fn plan_schedule(
     let plan = plan_launch(&ck.kernel, &ck.analysis.verdict, launch, args, node0);
     let profile = profile_launch(&ck.kernel, launch, args, node0, config.profile_samples)?;
     let (reads, writes) = buffer_sets(&ck.kernel, args);
+    let degraded_time = replicated_time(ck, &profile, spec);
     let (decision, times, wire_bytes) = match plan {
         Plan::ThreePhase(tp) => cost_three_phase(ck, &tp, &profile, spec, logical_nodes, config),
-        Plan::Replicated(cause) => cost_replicated(ck, cause, &profile, spec),
+        Plan::Replicated(cause) => cost_replicated(cause, degraded_time),
     };
     Ok(LaunchSchedule {
         decision,
@@ -135,7 +141,27 @@ pub fn plan_schedule(
         reads,
         writes,
         profile,
+        degraded_time,
     })
+}
+
+/// Cost of one node redundantly running the whole grid (the replicated
+/// fallback, also the degraded-recovery price).
+fn replicated_time(ck: &CompiledKernel, profile: &LaunchProfile, spec: &ClusterSpec) -> f64 {
+    let cpu = &spec.cpu;
+    let simd_eff = ck.analysis.simd.efficiency;
+    let bt_full = block_compute_time(&profile.per_block, simd_eff, cpu);
+    let bt_tail = block_compute_time(&profile.tail_block, simd_eff, cpu);
+    let full = profile.num_blocks - 1;
+    let staged = is_staged(profile);
+    node_time_profiled(
+        bt_full,
+        full,
+        Some(bt_tail),
+        profile.total.global_bytes(),
+        staged,
+        cpu,
+    )
 }
 
 fn cost_three_phase(
@@ -218,41 +244,20 @@ fn cost_three_phase(
             partial: t_partial,
             allgather: t_allgather,
             callback: t_callback,
-            broadcast: 0.0,
+            ..PhaseTimes::default()
         },
         wire_bytes,
     )
 }
 
-fn cost_replicated(
-    ck: &CompiledKernel,
-    cause: ReplicationCause,
-    profile: &LaunchProfile,
-    spec: &ClusterSpec,
-) -> (ScheduleDecision, PhaseTimes, u64) {
-    let cpu = &spec.cpu;
-    let simd_eff = ck.analysis.simd.efficiency;
-    let bt_full = block_compute_time(&profile.per_block, simd_eff, cpu);
-    let bt_tail = block_compute_time(&profile.tail_block, simd_eff, cpu);
-    let full = profile.num_blocks - 1;
-    let staged = is_staged(profile);
-    let t = node_time_profiled(
-        bt_full,
-        full,
-        Some(bt_tail),
-        profile.total.global_bytes(),
-        staged,
-        cpu,
-    );
+fn cost_replicated(cause: ReplicationCause, t: f64) -> (ScheduleDecision, PhaseTimes, u64) {
     (
         ScheduleDecision::Replicated { cause },
         // Every node redundantly runs the whole grid; the legacy
         // accounting files replicated time under the callback phase.
         PhaseTimes {
-            partial: 0.0,
-            allgather: 0.0,
             callback: t,
-            broadcast: 0.0,
+            ..PhaseTimes::default()
         },
         0,
     )

@@ -16,6 +16,7 @@
 //! this model expresses.
 
 pub mod collectives;
+pub mod fault;
 pub mod model;
 pub mod p2p;
 pub mod traced;
@@ -24,6 +25,10 @@ pub use collectives::{
     allgather, allgather_cost, balanced_steps, barrier_time, broadcast_time, broadcast_wire_bytes,
     AllgatherAlgo, AllgatherPlacement, CollectiveCost, CollectiveStep,
 };
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use model::NetModel;
 pub use p2p::{P2pStats, P2pTracker};
-pub use traced::{allgather_cost_traced, allgather_traced, broadcast_traced};
+pub use traced::{
+    allgather_cost_traced, allgather_cost_traced_fallible, allgather_traced, broadcast_traced,
+    FaultyGather, GatherAbort,
+};

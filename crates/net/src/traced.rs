@@ -12,6 +12,7 @@ use crate::collectives::{
     allgather_cost, allgather_with_steps, balanced_steps, broadcast_time, broadcast_wire_bytes,
     AllgatherAlgo, AllgatherPlacement, CollectiveCost, CollectiveStep,
 };
+use crate::fault::FaultInjector;
 use crate::model::NetModel;
 use cucc_trace::{Category, Timeline, Track, WIRE_BYTES};
 
@@ -97,6 +98,132 @@ pub fn allgather_cost_traced(
     };
     record(tl, t0, label, &cost, &steps, staging);
     cost
+}
+
+/// A fault-aware collective that completed, possibly after retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyGather {
+    /// Analytic cost of the *successful* collective (identical to the
+    /// fault-free [`allgather_cost`]); wasted attempts are not included.
+    pub cost: CollectiveCost,
+    /// Wasted attempts across all steps.
+    pub retries: u32,
+    /// Total simulated time burned on wasted attempts (timeout + backoff).
+    pub retry_time: f64,
+}
+
+/// A fault-aware collective that could not complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatherAbort {
+    /// Slot (index into the participant list) of the peer whose scripted
+    /// kill explains the failure — `None` when every retry was exhausted by
+    /// transient step drops with no dead peer to evict (a link timeout).
+    pub dead_slot: Option<usize>,
+    /// Wasted attempts before giving up.
+    pub retries: u32,
+    /// Total simulated time burned before giving up.
+    pub retry_time: f64,
+}
+
+/// Analytic [`allgather_cost`] stepped under a [`FaultInjector`] with the
+/// plan's retry policy.
+///
+/// Each balanced step gets a deadline derived from the cost model
+/// ([`crate::fault::RetryPolicy::deadline`]); attempt `k` of a failing step
+/// wastes `deadline × 2^(k−1)` (exponential backoff), recorded as a depth-0
+/// [`Category::Retry`] span on the network track. When the retries of one
+/// step are exhausted the collective aborts: with the offending peer's slot
+/// if a scripted kill explains it, with `dead_slot: None` otherwise.
+/// Wasted attempts charge **no** wire bytes — the payload never arrived.
+///
+/// When no fault fires, the recorded layout and returned cost are
+/// bit-identical to [`allgather_cost_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn allgather_cost_traced_fallible(
+    n: usize,
+    unit: u64,
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+    participants: &[u32],
+    injector: &mut FaultInjector,
+    tl: &mut Timeline,
+    t0: f64,
+    label: &str,
+) -> Result<FaultyGather, GatherAbort> {
+    debug_assert_eq!(participants.len(), n);
+    let cost = allgather_cost(n, unit, model, algo, placement);
+    let steps = balanced_steps(n, unit, model, algo);
+    let staging = if placement == AllgatherPlacement::OutOfPlace {
+        model.local_copy_time(unit)
+    } else {
+        0.0
+    };
+    let policy = injector.policy();
+
+    let mut t = t0;
+    let mut retries = 0u32;
+    let mut retry_time = 0.0f64;
+    let mut starts: Vec<f64> = Vec::with_capacity(steps.len());
+    for (k, step) in steps.iter().enumerate() {
+        let deadline = policy.deadline(step.time, model);
+        let mut attempt = 1u32;
+        loop {
+            let killed = injector.kill_pending(participants, t);
+            let dropped = killed.is_none() && injector.take_drop(t);
+            if killed.is_none() && !dropped {
+                starts.push(t);
+                t += step.time;
+                break;
+            }
+            let wasted = deadline * (1u64 << (attempt - 1)) as f64;
+            tl.span(
+                format!("{label}: step {k} timeout (attempt {attempt})"),
+                Track::Network,
+                Category::Retry,
+                t,
+                wasted,
+            );
+            t += wasted;
+            retry_time += wasted;
+            retries += 1;
+            if attempt == policy.max_attempts {
+                return Err(GatherAbort {
+                    dead_slot: killed,
+                    retries,
+                    retry_time,
+                });
+            }
+            attempt += 1;
+        }
+    }
+
+    if retries == 0 {
+        // Clean run: identical layout and arithmetic to the fault-free path.
+        record(tl, t0, label, &cost, &steps, staging);
+    } else {
+        // Parent span keeps the analytic duration (the authoritative
+        // allgather time excludes retries); children sit at their actual
+        // post-retry positions.
+        tl.span(label, Track::Network, Category::Allgather, t0, cost.time);
+        for (k, (step, &start)) in steps.iter().zip(starts.iter()).enumerate() {
+            tl.child_span(
+                format!("step {k}"),
+                Track::Network,
+                Category::Allgather,
+                start,
+                step.time,
+            );
+            if step.wire_bytes > 0 {
+                tl.counter(WIRE_BYTES, Track::Network, start, step.wire_bytes);
+            }
+        }
+    }
+    Ok(FaultyGather {
+        cost,
+        retries,
+        retry_time,
+    })
 }
 
 /// [`broadcast_time`] that records the broadcast — span plus the wire
@@ -195,6 +322,134 @@ mod tests {
                 assert_eq!(tl.time_in(Category::Allgather), want.time);
             }
         }
+    }
+
+    #[test]
+    fn fallible_gather_without_faults_matches_clean_layout() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let model = NetModel::infiniband_100g();
+        let mut clean = Timeline::new();
+        let want = allgather_cost_traced(
+            4,
+            4096,
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+            &mut clean,
+            0.25,
+            "ag",
+        );
+        let mut tl = Timeline::new();
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let got = allgather_cost_traced_fallible(
+            4,
+            4096,
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+            &[0, 1, 2, 3],
+            &mut inj,
+            &mut tl,
+            0.25,
+            "ag",
+        )
+        .unwrap();
+        assert_eq!(got.cost, want);
+        assert_eq!(got.retries, 0);
+        assert_eq!(got.retry_time, 0.0);
+        assert_eq!(tl.spans(), clean.spans());
+        assert_eq!(tl.counters(), clean.counters());
+    }
+
+    #[test]
+    fn fallible_gather_retries_a_dropped_step() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let model = NetModel::infiniband_100g();
+        let mut tl = Timeline::new();
+        let mut inj = FaultInjector::new(FaultPlan::default().drop_step(0.0));
+        let got = allgather_cost_traced_fallible(
+            4,
+            4096,
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+            &[0, 1, 2, 3],
+            &mut inj,
+            &mut tl,
+            0.0,
+            "ag",
+        )
+        .unwrap();
+        let clean = allgather_cost(
+            4,
+            4096,
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
+        assert_eq!(got.cost, clean, "retries do not change the collective cost");
+        assert_eq!(got.retries, 1);
+        let step = balanced_steps(4, 4096, &model, AllgatherAlgo::Ring)[0];
+        let want_retry = inj.policy().deadline(step.time, &model);
+        assert_eq!(got.retry_time, want_retry);
+        assert_eq!(tl.time_in(Category::Retry), want_retry);
+        assert_eq!(tl.time_in(Category::Allgather), clean.time);
+        assert_eq!(
+            tl.wire_bytes(),
+            clean.wire_bytes,
+            "wasted attempts move no bytes"
+        );
+    }
+
+    #[test]
+    fn fallible_gather_confirms_a_killed_peer() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let model = NetModel::infiniband_100g();
+        let mut tl = Timeline::new();
+        let mut inj = FaultInjector::new(FaultPlan::default().kill(7, 0.0));
+        let err = allgather_cost_traced_fallible(
+            4,
+            4096,
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+            &[3, 5, 7, 9],
+            &mut inj,
+            &mut tl,
+            0.0,
+            "ag",
+        )
+        .unwrap_err();
+        assert_eq!(err.dead_slot, Some(2), "slot of node 7 in the communicator");
+        assert_eq!(err.retries, inj.policy().max_attempts);
+        let step = balanced_steps(4, 4096, &model, AllgatherAlgo::Ring)[0];
+        assert_eq!(
+            err.retry_time,
+            inj.policy().detection_time(step.time, &model)
+        );
+        assert_eq!(tl.wire_bytes(), 0, "nothing completed");
+        // Exhausted transient drops with nobody dead -> timeout, no culprit.
+        let mut tl = Timeline::new();
+        let mut inj = FaultInjector::new(
+            FaultPlan::default()
+                .drop_step(0.0)
+                .drop_step(0.0)
+                .drop_step(0.0),
+        );
+        let err = allgather_cost_traced_fallible(
+            2,
+            512,
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+            &[0, 1],
+            &mut inj,
+            &mut tl,
+            0.0,
+            "ag",
+        )
+        .unwrap_err();
+        assert_eq!(err.dead_slot, None);
     }
 
     #[test]

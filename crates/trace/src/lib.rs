@@ -85,11 +85,17 @@ pub enum Category {
     H2d,
     /// Device-to-host staging.
     D2h,
+    /// A wasted collective attempt: timeout + exponential backoff spent
+    /// detecting a fault before a step is retried (or a node evicted).
+    Retry,
+    /// Recovery re-execution: blocks a survivor re-runs after a node death
+    /// re-partitions the dead node's slice.
+    Reexec,
 }
 
 impl Category {
     /// All categories, in summary-table order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 10] = [
         Category::Partial,
         Category::Allgather,
         Category::Callback,
@@ -98,6 +104,8 @@ impl Category {
         Category::P2p,
         Category::H2d,
         Category::D2h,
+        Category::Retry,
+        Category::Reexec,
     ];
 
     /// Short lower-case label, also used as the Chrome `cat` field.
@@ -111,6 +119,8 @@ impl Category {
             Category::P2p => "p2p",
             Category::H2d => "h2d",
             Category::D2h => "d2h",
+            Category::Retry => "retry",
+            Category::Reexec => "reexec",
         }
     }
 
@@ -118,7 +128,7 @@ impl Category {
     pub fn is_comm(self) -> bool {
         matches!(
             self,
-            Category::Allgather | Category::Broadcast | Category::P2p
+            Category::Allgather | Category::Broadcast | Category::P2p | Category::Retry
         )
     }
 
@@ -126,7 +136,7 @@ impl Category {
     pub fn is_compute(self) -> bool {
         matches!(
             self,
-            Category::Partial | Category::Callback | Category::Compute
+            Category::Partial | Category::Callback | Category::Compute | Category::Reexec
         )
     }
 }
@@ -419,6 +429,27 @@ impl Timeline {
         t
     }
 
+    /// Maximum over tracks of the in-order per-track sum of depth-0 span
+    /// durations of `category` after `mark` (0.0 when there are none).
+    ///
+    /// Used for phases that can repeat within one launch (fault-recovery
+    /// re-execution rounds): each round records one span per surviving node,
+    /// every round's spans land on the nodes that are still alive, and
+    /// survivors only shrink — so the slowest surviving track accumulates
+    /// every round and its sum is the phase's total elapsed time.
+    pub fn max_track_sum_since(&self, mark: Mark, category: Category) -> f64 {
+        let mut sums: Vec<(Track, f64)> = Vec::new();
+        for s in self.spans_since(mark) {
+            if s.depth == 0 && s.category == category {
+                match sums.iter_mut().find(|(t, _)| *t == s.track) {
+                    Some((_, sum)) => *sum += s.dur,
+                    None => sums.push((s.track, s.dur)),
+                }
+            }
+        }
+        sums.iter().fold(0.0f64, |m, &(_, s)| m.max(s))
+    }
+
     /// Total of counter `name` after `mark`.
     pub fn counter_total_since(&self, mark: Mark, name: &str) -> u64 {
         self.counters_since(mark)
@@ -668,6 +699,21 @@ mod tests {
         assert_eq!(tl.time_in_since(mark, Category::Partial), 7.0);
         assert_eq!(tl.wire_bytes_since(mark), 32);
         assert_eq!(tl.wire_bytes(), 160);
+    }
+
+    #[test]
+    fn max_track_sum_accumulates_rounds_per_track() {
+        let mut tl = Timeline::new();
+        let mark = tl.checkpoint();
+        // Round 1: nodes 0 and 1 survive; round 2: only node 0.
+        tl.span("reexec", Track::Node(0), Category::Reexec, 1.0, 2.0);
+        tl.span("reexec", Track::Node(1), Category::Reexec, 1.0, 2.0);
+        tl.span("reexec", Track::Node(0), Category::Reexec, 4.0, 0.5);
+        assert_eq!(tl.max_track_sum_since(mark, Category::Reexec), 2.5);
+        // Depth-1 children are excluded; empty category yields 0.0.
+        tl.child_span("detail", Track::Node(0), Category::Reexec, 1.0, 9.0);
+        assert_eq!(tl.max_track_sum_since(mark, Category::Reexec), 2.5);
+        assert_eq!(tl.max_track_sum_since(mark, Category::Retry), 0.0);
     }
 
     #[test]

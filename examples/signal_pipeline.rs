@@ -154,7 +154,7 @@ fn main() {
                 }
             }
         }
-        (cl.synchronize(), outs)
+        (cl.synchronize().expect("synchronize"), outs)
     };
     let (serial, serial_outs) = pipeline(0);
     let (overlapped, stream_outs) = pipeline(2);

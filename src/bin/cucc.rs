@@ -39,7 +39,7 @@
 use cucc::analysis::Verdict;
 use cucc::cluster::ClusterSpec;
 use cucc::core::codegen::{generate_host_module, generate_kernel_module};
-use cucc::core::{compile_source, CuccCluster, EngineKind, ExecMode, RuntimeConfig};
+use cucc::core::{compile_source, CuccCluster, EngineKind, ExecMode, FaultPlan, RuntimeConfig};
 use cucc::exec::Arg;
 use cucc::gpu_model::{GpuDevice, GpuSpec};
 use cucc::ir::{Dim3, LaunchConfig};
@@ -350,6 +350,7 @@ struct RunOpts {
     engine: EngineKind,
     node_threads: usize,
     sanitize: bool,
+    faults: Vec<String>,
 }
 
 fn parse_dim(s: &str) -> Result<Dim3, String> {
@@ -380,6 +381,7 @@ impl RunOpts {
             engine: EngineKind::default(),
             node_threads: 0,
             sanitize: false,
+            faults: Vec::new(),
         };
         let mut i = 0;
         let need = |i: &mut usize| -> Result<&String, String> {
@@ -418,6 +420,7 @@ impl RunOpts {
                     let spec = need(&mut i)?;
                     o.args.push(parse_arg(spec)?);
                 }
+                "--fault" => o.faults.push(need(&mut i)?.clone()),
                 other => return Err(format!("unknown option `{other}`")),
             }
             i += 1;
@@ -570,17 +573,20 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
     out += &format!("  A100 (roofline reference): {:.3} ms\n", gpu_time * 1e3);
 
     // CuCC cluster.
-    let cfg = RuntimeConfig {
-        engine: opts.engine,
-        node_threads: opts.node_threads,
-        sanitize: opts.sanitize,
-        ..if opts.modeled {
-            RuntimeConfig::modeled()
-        } else {
-            RuntimeConfig::default()
-        }
-    };
-    let mut cl = CuccCluster::new(spec.clone(), cfg);
+    let mut faults = FaultPlan::none();
+    for spec in &opts.faults {
+        faults = faults.with_spec(spec)?;
+    }
+    let mut builder = RuntimeConfig::builder()
+        .engine(opts.engine)
+        .node_threads(opts.node_threads)
+        .sanitize(opts.sanitize)
+        .faults(faults);
+    if opts.modeled {
+        builder = builder.modeled();
+    }
+    let cfg = builder.build();
+    let mut cl = CuccCluster::new(spec.clone(), cfg.clone());
     let mut cl_handles = Vec::new();
     let cargs = bind(&mut |bytes| {
         let id = cl.alloc(bytes.len());
@@ -610,6 +616,19 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
     }
     if let Some(r) = cl.sanitize_report() {
         out += &format!("  {}\n", r.summary());
+    }
+    if !report.faults.is_clean() {
+        out += &format!(
+            "  faults: {} node failure(s), {} collective retry(s), {} block(s) re-executed{}\n",
+            report.faults.failures,
+            report.faults.retries,
+            report.faults.reexecuted_blocks,
+            if report.faults.degraded {
+                " (degraded to replicated)"
+            } else {
+                ""
+            }
+        );
     }
     out += &format!(
         "  cluster time: {:.3} ms (partial {:.3} + allgather {:.3} + callback {:.3}), {} B on the wire\n",
@@ -678,7 +697,7 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         // same pipeline on the default stream.
         let replicas = opts.streams * 3;
         let run_pipe = |nstreams: usize| -> Result<f64, String> {
-            let mut cl = CuccCluster::new(spec.clone(), cfg);
+            let mut cl = CuccCluster::new(spec.clone(), cfg.clone());
             let streams: Vec<_> = (0..nstreams).map(|_| cl.stream_create()).collect();
             for r in 0..replicas {
                 let cargs: Vec<Arg> = opts
@@ -707,7 +726,7 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
                     cl.launch(&ck, launch, &cargs).map_err(|e| e.to_string())?;
                 }
             }
-            Ok(cl.synchronize())
+            cl.synchronize().map_err(|e| e.to_string())
         };
         let serial = run_pipe(0)?;
         let overlapped = run_pipe(opts.streams)?;

@@ -513,7 +513,36 @@ fn build_barrier(phs: &[PhR]) -> Kernel {
 // Family 3: elementwise kernels (disjoint writes → parallel workers legal).
 // ---------------------------------------------------------------------------
 
+/// Rewrite every `out` read into an `fbuf` read. Family 3 writes `out` from
+/// concurrent workers: a load of `out` at an arbitrary masked index could
+/// observe another block's write (or not) depending on scheduling, so the
+/// oracle and the parallel path would legitimately diverge. `fbuf` is never
+/// written by this family, so reads from it are race-free.
+fn strip_out_reads(r: &ER) -> ER {
+    match r {
+        ER::LoadOut(i) => ER::LoadF(Box::new(strip_out_reads(i))),
+        ER::LoadF(i) => ER::LoadF(Box::new(strip_out_reads(i))),
+        ER::Add(a, b) => ER::Add(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::Sub(a, b) => ER::Sub(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::Mul(a, b) => ER::Mul(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::Div(a, b) => ER::Div(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::Rem(a, b) => ER::Rem(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::Lt(a, b) => ER::Lt(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::And(a, b) => ER::And(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        ER::Select(c, a, b) => ER::Select(
+            Box::new(strip_out_reads(c)),
+            Box::new(strip_out_reads(a)),
+            Box::new(strip_out_reads(b)),
+        ),
+        ER::CastI32(a) => ER::CastI32(Box::new(strip_out_reads(a))),
+        ER::Min(a, b) => ER::Min(Box::new(strip_out_reads(a)), Box::new(strip_out_reads(b))),
+        other => other.clone(),
+    }
+}
+
 fn build_elementwise(val: &ER, guard: bool) -> Kernel {
+    let val = strip_out_reads(val);
+    let val = &val;
     let mut b = KernelBuilder::new("rnd_elementwise");
     let out = b.buffer("out", Scalar::I64);
     let fbuf = b.buffer("fbuf", Scalar::F32);

@@ -153,7 +153,7 @@ proptest! {
                 }
             }
         }
-        let async_elapsed = cl.synchronize();
+        let async_elapsed = cl.synchronize().unwrap();
 
         prop_assert_eq!(&async_out, &serial_out);
         for c in 0..chains {
@@ -191,7 +191,7 @@ proptest! {
                 let s = streams[rng.gen_range(0..streams_to_use)];
                 cl.launch_on(&ck, launch, &[Arg::Buffer(buf), Arg::int(n as i64)], s).unwrap();
             }
-            let elapsed = cl.synchronize();
+            let elapsed = cl.synchronize().unwrap();
             (elapsed, cl.d2h(buf))
         };
 
@@ -229,7 +229,7 @@ fn pipeline_elapsed(ck: &CompiledKernel, streams: usize, replicas: usize) -> (f6
             cl.launch_on(ck, launch, &args, s).unwrap();
         }
     }
-    let elapsed = cl.synchronize();
+    let elapsed = cl.synchronize().expect("synchronize");
     (elapsed, cl)
 }
 
