@@ -1,0 +1,49 @@
+//! Throwaway review test: two node deaths in one launch.
+
+use cucc::cluster::ClusterSpec;
+use cucc::core::{compile_source, CuccCluster, FaultPlan, RuntimeConfig};
+use cucc::exec::Arg;
+use cucc::ir::LaunchConfig;
+
+const SAXPY: &str = "__global__ void f(float* x, float* y, float a, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = a * x[id] + y[id];
+}";
+
+fn run(faults: FaultPlan) -> Vec<u8> {
+    let ck = compile_source(SAXPY).unwrap();
+    // 13 blocks on 4 nodes: 12 distributed chunks, divisible by 3 and by 2,
+    // so both deaths re-partition (no degraded fallback).
+    let n = 13 * 128;
+    let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25 - 100.0).collect();
+    let ys: Vec<f32> = (0..n).map(|i| 50.0 - i as f32 * 0.125).collect();
+    let mut cl = CuccCluster::new(
+        ClusterSpec::simd_focused().with_nodes(4),
+        RuntimeConfig::builder().faults(faults).build(),
+    );
+    let x = cl.alloc(n * 4);
+    let y = cl.alloc(n * 4);
+    cl.upload::<f32>(x, &xs).unwrap();
+    cl.upload::<f32>(y, &ys).unwrap();
+    let report = cl
+        .launch(
+            &ck,
+            LaunchConfig::cover1(n as u64, 128),
+            &[
+                Arg::Buffer(x),
+                Arg::Buffer(y),
+                Arg::float(2.0),
+                Arg::int(n as i64),
+            ],
+        )
+        .expect("recoverable");
+    eprintln!("faults = {:?}, mode three-phase = {}", report.faults, report.mode.is_three_phase());
+    cl.download::<u8>(y).unwrap()
+}
+
+#[test]
+fn double_kill_recovers_bit_identical_memory() {
+    let want = run(FaultPlan::none());
+    let got = run(FaultPlan::none().kill(1, 0.0).kill(3, 0.0));
+    assert_eq!(got, want, "double-death recovery diverged from fault-free run");
+}
