@@ -1,0 +1,341 @@
+//! Launch-resolved, per-node-sliceable access footprints.
+//!
+//! The planner (`plan_launch`) proves *write* footprints by probing; the
+//! verifier (`verify_launch`) reasons about write-write races. What neither
+//! exports is the shape a **graph communication optimizer** needs: for a
+//! given launch, which byte ranges of each buffer does a *block* read or
+//! write — resolved against the concrete [`LaunchConfig`] and scalar
+//! arguments, and sliceable per node (a node runs a contiguous range of
+//! linear blocks plus the shared callback tail).
+//!
+//! This module re-runs the affine machinery ([`affine_of_expr`] over
+//! [`VarForms`], resolved through [`launch_sym_env`]) on every global
+//! access and classifies each buffer on the verifier's lattice:
+//!
+//! * [`BufferFootprint::Must`] — **every** access to the buffer provably
+//!   falls inside a union of per-block intervals `[coeff·b + lo, coeff·b +
+//!   hi]` (elements, inclusive, `b` the linear block id). This is an
+//!   *over-approximation* of the accessed set (guards are ignored — they
+//!   only shrink the real set), which is the sound direction for elision:
+//!   if the `Must` hull is covered by resident data, the real reads are
+//!   too.
+//! * [`BufferFootprint::Unknown`] — the analysis gave up (non-affine or
+//!   loop-dependent index, unresolvable scalar, multi-axis grid). The
+//!   caller must assume the buffer is read/written anywhere; the
+//!   communication optimizer keeps the full Allgather.
+//!
+//! There is deliberately no `May` here: a footprint either bounds *all*
+//! accesses (`Must`) or bounds nothing (`Unknown`). Partial knowledge would
+//! be unsound to elide on.
+
+use crate::affine::{affine_of_expr, IdxVar, VarForms};
+use crate::plan::launch_sym_env;
+use cucc_exec::Arg;
+use cucc_ir::{Axis, Expr, Kernel, LaunchConfig, MemRef, Param, ParamId, Stmt};
+use std::collections::BTreeMap;
+
+/// One per-block access interval: linear block `b` touches elements
+/// `[coeff·b + lo, coeff·b + hi]` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInterval {
+    /// Elements the interval shifts per linear block.
+    pub coeff: i128,
+    /// Lowest element offset at block 0.
+    pub lo: i128,
+    /// Highest element offset at block 0 (inclusive).
+    pub hi: i128,
+}
+
+/// Launch-resolved footprint of one buffer parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferFootprint {
+    /// Every access provably falls inside the union of the intervals.
+    Must {
+        /// Element size in bytes (indices scale by this).
+        elem_bytes: u64,
+        /// Per-block access intervals (deduplicated, order of discovery).
+        intervals: Vec<BlockInterval>,
+    },
+    /// The analysis could not bound the accesses.
+    Unknown {
+        /// Human-readable reason (diagnostics / trace labels).
+        why: String,
+    },
+}
+
+impl BufferFootprint {
+    /// True when the footprint bounds every access.
+    pub fn is_must(&self) -> bool {
+        matches!(self, BufferFootprint::Must { .. })
+    }
+
+    /// Byte ranges (half-open, clamped at 0) touched by the linear blocks
+    /// `[blocks.start, blocks.end)`; `None` for [`BufferFootprint::Unknown`].
+    /// Each interval contributes its convex hull over the block range, so
+    /// the union is an over-approximation of the touched set.
+    pub fn byte_ranges(&self, blocks: std::ops::Range<u64>) -> Option<Vec<(u64, u64)>> {
+        let BufferFootprint::Must {
+            elem_bytes,
+            intervals,
+        } = self
+        else {
+            return None;
+        };
+        let mut out = Vec::new();
+        if blocks.start >= blocks.end {
+            return Some(out);
+        }
+        let (b0, b1) = (blocks.start as i128, blocks.end as i128 - 1);
+        for iv in intervals {
+            let lo = (iv.coeff * b0 + iv.lo).min(iv.coeff * b1 + iv.lo).max(0);
+            let hi = (iv.coeff * b0 + iv.hi).max(iv.coeff * b1 + iv.hi);
+            if hi < lo {
+                continue;
+            }
+            out.push((lo as u64 * elem_bytes, (hi as u64 + 1) * elem_bytes));
+        }
+        Some(out)
+    }
+}
+
+/// Read and write footprints of one launch, keyed by buffer parameter.
+/// Only parameters with at least one global access appear.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaunchFootprints {
+    /// Loads plus the read half of atomics.
+    pub reads: BTreeMap<ParamId, BufferFootprint>,
+    /// Stores plus atomics.
+    pub writes: BTreeMap<ParamId, BufferFootprint>,
+}
+
+impl LaunchFootprints {
+    /// Read footprint of a parameter ([`BufferFootprint::Unknown`] when the
+    /// kernel never reads it returns `None`).
+    pub fn read(&self, p: ParamId) -> Option<&BufferFootprint> {
+        self.reads.get(&p)
+    }
+}
+
+/// Resolve the read/write footprints of `kernel` under a concrete launch.
+///
+/// Purely static — no probing, no memory access — so the result is a
+/// function of `(kernel, launch, scalar args)` alone and can ride along a
+/// captured graph node.
+pub fn launch_footprints(kernel: &Kernel, launch: &LaunchConfig, args: &[Arg]) -> LaunchFootprints {
+    let forms = VarForms::of_kernel(kernel);
+    let env = launch_sym_env(*launch, args);
+    let mut fp = LaunchFootprints::default();
+
+    let record = |map: &mut BTreeMap<ParamId, BufferFootprint>, p: ParamId, index: &Expr| {
+        let elem_bytes = match &kernel.params[p.index()] {
+            Param::Buffer { elem, .. } => elem.size() as u64,
+            Param::Scalar { .. } => return, // rejected by validation anyway
+        };
+        let next = match resolve_access(kernel, launch, &forms, &env, index) {
+            Ok(iv) => iv,
+            Err(why) => {
+                map.insert(p, BufferFootprint::Unknown { why });
+                return;
+            }
+        };
+        match map.entry(p).or_insert_with(|| BufferFootprint::Must {
+            elem_bytes,
+            intervals: Vec::new(),
+        }) {
+            BufferFootprint::Must { intervals, .. } => {
+                if !intervals.contains(&next) {
+                    intervals.push(next);
+                }
+            }
+            BufferFootprint::Unknown { .. } => {} // stays Unknown
+        }
+    };
+
+    kernel.visit_stmts(&mut |s| {
+        match s {
+            Stmt::Store {
+                mem: MemRef::Global(p),
+                index,
+                ..
+            } => record(&mut fp.writes, *p, index),
+            Stmt::AtomicRmw {
+                mem: MemRef::Global(p),
+                index,
+                ..
+            } => {
+                record(&mut fp.writes, *p, index);
+                record(&mut fp.reads, *p, index);
+            }
+            _ => {}
+        }
+        // All loads, including those inside store indices/values and guards.
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |e| {
+                if let Expr::Load {
+                    mem: MemRef::Global(p),
+                    index,
+                } = e
+                {
+                    record(&mut fp.reads, *p, index);
+                }
+            });
+        });
+    });
+    fp
+}
+
+/// Resolve one access index to a per-block interval, or explain why not.
+fn resolve_access(
+    _kernel: &Kernel,
+    launch: &LaunchConfig,
+    forms: &VarForms,
+    env: &impl Fn(crate::poly::Sym) -> Option<i128>,
+    index: &Expr,
+) -> Result<BlockInterval, String> {
+    let form = affine_of_expr(index, forms).ok_or_else(|| "non-affine index".to_string())?;
+    let (coeffs, c0) = form
+        .eval_coeffs(env)
+        .ok_or_else(|| "unresolvable coefficient".to_string())?;
+    let mut coeff = 0i128;
+    let mut lo = c0;
+    let mut hi = c0;
+    for (v, c) in coeffs {
+        if c == 0 {
+            continue;
+        }
+        match v {
+            IdxVar::Thread(a) => {
+                let span = c * (launch.block.get(a) as i128 - 1);
+                lo += span.min(0);
+                hi += span.max(0);
+            }
+            IdxVar::Block(Axis::X) => {
+                if launch.grid.y != 1 || launch.grid.z != 1 {
+                    return Err("blockIdx on a multi-axis grid".to_string());
+                }
+                coeff += c;
+            }
+            IdxVar::Block(a) => {
+                if launch.grid.get(a) != 1 {
+                    return Err(format!("blockIdx.{a} in index"));
+                }
+                // extent-1 axis: the variable is constantly 0.
+            }
+            IdxVar::Loop(_) => return Err("loop-dependent index".to_string()),
+        }
+    }
+    Ok(BlockInterval { coeff, lo, hi })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cucc_ir::parse_kernel;
+
+    fn kernel_of(src: &str) -> Kernel {
+        parse_kernel(src).expect("parse")
+    }
+
+    #[test]
+    fn slice_local_kernel_is_must_with_block_coeff() {
+        let k = kernel_of(
+            "__global__ void f(float* x, float* y, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) y[id] = 2.0f * x[id];
+            }",
+        );
+        let launch = LaunchConfig::cover1(1024, 128);
+        let fp = launch_footprints(&k, &launch, &[Arg::int(0), Arg::int(0), Arg::int(1024)]);
+        let x = k.param_by_name("x").unwrap();
+        let y = k.param_by_name("y").unwrap();
+        let read = fp.reads.get(&x).expect("x read");
+        assert!(read.is_must());
+        // block b reads elements [128b, 128b + 127] -> bytes [512b, 512b+512)
+        assert_eq!(read.byte_ranges(2..3), Some(vec![(1024, 1536)]));
+        assert_eq!(read.byte_ranges(0..8), Some(vec![(0, 4096)]));
+        let write = fp.writes.get(&y).expect("y write");
+        assert!(write.is_must());
+        assert!(fp.reads.get(&y).is_none(), "y is write-only");
+    }
+
+    #[test]
+    fn indirect_index_is_unknown() {
+        let k = kernel_of(
+            "__global__ void g(int* idx, float* x, float* y, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) y[id] = x[idx[id]];
+            }",
+        );
+        let launch = LaunchConfig::cover1(256, 64);
+        let fp = launch_footprints(
+            &k,
+            &launch,
+            &[Arg::int(0), Arg::int(0), Arg::int(0), Arg::int(256)],
+        );
+        let x = k.param_by_name("x").unwrap();
+        assert!(
+            !fp.reads.get(&x).expect("x read").is_must(),
+            "data-dependent read must stay Unknown"
+        );
+        // The index buffer itself is still an affine Must read.
+        let idx = k.param_by_name("idx").unwrap();
+        assert!(fp.reads.get(&idx).unwrap().is_must());
+    }
+
+    #[test]
+    fn block_invariant_read_has_zero_coeff() {
+        let k = kernel_of(
+            "__global__ void h(float* x, float* y, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) y[id] = x[id] + x[0];
+            }",
+        );
+        let launch = LaunchConfig::cover1(512, 64);
+        let fp = launch_footprints(&k, &launch, &[Arg::int(0), Arg::int(0), Arg::int(512)]);
+        let x = k.param_by_name("x").unwrap();
+        let BufferFootprint::Must { intervals, .. } = fp.reads.get(&x).unwrap() else {
+            panic!("expected Must");
+        };
+        assert_eq!(intervals.len(), 2, "slice-local + broadcast element");
+        assert!(intervals.contains(&BlockInterval {
+            coeff: 0,
+            lo: 0,
+            hi: 0
+        }));
+        // Blocks 4..8 read their slices plus element 0.
+        let ranges = fp.reads.get(&x).unwrap().byte_ranges(4..8).unwrap();
+        assert!(ranges.contains(&(4 * 64 * 4, 8 * 64 * 4)));
+        assert!(ranges.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn loop_dependent_index_is_unknown() {
+        let k = kernel_of(
+            "__global__ void l(float* x, float* y, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                float acc = 0.0f;
+                for (int i = 0; i < 4; i++) { acc = acc + x[id + i]; }
+                if (id < n) y[id] = acc;
+            }",
+        );
+        let launch = LaunchConfig::cover1(256, 64);
+        let fp = launch_footprints(&k, &launch, &[Arg::int(0), Arg::int(0), Arg::int(256)]);
+        let x = k.param_by_name("x").unwrap();
+        assert!(!fp.reads.get(&x).unwrap().is_must());
+    }
+
+    #[test]
+    fn atomic_counts_as_read_and_write() {
+        let k = kernel_of(
+            "__global__ void a(int* c, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) atomicAdd(&c[0], 1);
+            }",
+        );
+        let launch = LaunchConfig::cover1(128, 64);
+        let fp = launch_footprints(&k, &launch, &[Arg::int(0), Arg::int(128)]);
+        let c = k.param_by_name("c").unwrap();
+        assert!(fp.reads.contains_key(&c));
+        assert!(fp.writes.contains_key(&c));
+    }
+}

@@ -18,10 +18,14 @@
 //!   driving the SIMD-Focused vs Thread-Focused performance model (§8.2);
 //! * [`verify`] — the **kernel verifier**: static inter-block race /
 //!   out-of-bounds / barrier-divergence checking on a MAY/MUST/UNKNOWN
-//!   lattice, cross-validated by the dynamic sanitizer in `cucc-exec`.
+//!   lattice, cross-validated by the dynamic sanitizer in `cucc-exec`;
+//! * [`footprint`] — launch-resolved, per-node-sliceable read/write
+//!   footprints (`Must`/`Unknown`) consumed by the launch-graph
+//!   communication optimizer in `cucc-core`.
 
 pub mod affine;
 pub mod distributable;
+pub mod footprint;
 pub mod oracle;
 pub mod plan;
 pub mod poly;
@@ -33,6 +37,7 @@ pub use affine::{affine_of_expr, AffineForm, IdxVar, VarForms};
 pub use distributable::{
     analyze_kernel, GatherBuffer, GuardClass, KernelMeta, Reason, TailGuard, Verdict, WriteSite,
 };
+pub use footprint::{launch_footprints, BlockInterval, BufferFootprint, LaunchFootprints};
 pub use oracle::{verify_plan, OracleReport};
 pub use plan::{
     full_blocks_under_guard, plan_launch, BufferRegion, Partition, Plan, ReplicationCause,

@@ -16,7 +16,10 @@ use cucc_exec::{
     ExecError, ExecOptions, MemPool, Program,
 };
 use cucc_ir::{Kernel, LaunchConfig};
-use cucc_net::{allgather, allgather_traced, AllgatherAlgo, AllgatherPlacement, CollectiveCost};
+use cucc_net::{
+    allgather, allgather_traced, partial_gather_traced, AllgatherAlgo, AllgatherPlacement,
+    CollectiveCost, GatherSegment,
+};
 use std::ops::Range;
 
 /// A simulated CPU cluster.
@@ -307,6 +310,43 @@ impl SimCluster {
         allgather_traced(
             &mut views,
             &vec![unit; n],
+            &self.spec.net,
+            algo,
+            placement,
+            tl,
+            t0,
+            label,
+        )
+    }
+
+    /// Partial gather over the byte region `[base, base + len)` of `buf`:
+    /// every segment (byte ranges **relative to `base`**, each authoritative
+    /// on its owner node) ends up on every node, and the collective is
+    /// recorded into `tl` at `t0`. This is how the graph communication
+    /// optimizer narrows an elided Allgather to the uncovered sub-ranges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn partial_gather_region_traced(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        len: u64,
+        segments: &[GatherSegment],
+        algo: AllgatherAlgo,
+        placement: AllgatherPlacement,
+        tl: &mut cucc_trace::Timeline,
+        t0: f64,
+        label: &str,
+    ) -> CollectiveCost {
+        let lo = base as usize;
+        let hi = lo + len as usize;
+        let mut views: Vec<&mut [u8]> = self
+            .pools
+            .iter_mut()
+            .map(|p| &mut p.bytes_mut(buf)[lo..hi])
+            .collect();
+        partial_gather_traced(
+            &mut views,
+            segments,
             &self.spec.net,
             algo,
             placement,

@@ -9,6 +9,10 @@
 use crate::error::MigrateError;
 use cucc_analysis::{analyze, KernelAnalysis};
 use cucc_ir::{optimize, parse_kernel, validate, Kernel};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source of [`CompiledKernel::id`] values, process-wide.
+static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A kernel that went through the full CuCC compiler.
 #[derive(Debug, Clone)]
@@ -17,6 +21,11 @@ pub struct CompiledKernel {
     pub kernel: Kernel,
     /// Allgather-distributable verdict + SIMD report.
     pub analysis: KernelAnalysis,
+    /// Process-unique compilation id (clones share it — they are the same
+    /// kernel). Keys the runtime's schedule cache: two `compile` calls on
+    /// identical source still get distinct ids, so a cached schedule can
+    /// never outlive the compilation it was planned for.
+    pub id: u64,
 }
 
 impl CompiledKernel {
@@ -38,7 +47,11 @@ pub fn compile(mut kernel: Kernel) -> Result<CompiledKernel, MigrateError> {
     validate(&kernel)?;
     optimize(&mut kernel);
     let analysis = analyze(&kernel);
-    Ok(CompiledKernel { kernel, analysis })
+    Ok(CompiledKernel {
+        kernel,
+        analysis,
+        id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
+    })
 }
 
 /// Compile from mini-CUDA source.

@@ -1,0 +1,535 @@
+//! Launch-graph capture and the graph communication optimizer.
+//!
+//! CUDA applications amortize launch overhead by capturing a stream of
+//! kernel launches into a **graph** and replaying it; CuCC inherits the
+//! idea and adds a cluster-specific payoff: on replay the runtime knows
+//! the whole producer→consumer structure up front, so it can
+//!
+//! 1. serve every launch's [`crate::schedule::LaunchSchedule`] from the
+//!    [`crate::schedule::ScheduleCache`] (planning, probing and the
+//!    sampling profiler become amortized-free), and
+//! 2. **elide or narrow Allgathers**: when a consumer's launch-resolved
+//!    read footprint ([`cucc_analysis::launch_footprints`]) on each node
+//!    is covered by data already resident there (the producer's own
+//!    write slice plus any earlier partial gathers), the producer's
+//!    gather is skipped entirely or narrowed to the uncovered byte
+//!    sub-ranges via [`cucc_net::partial_gather`].
+//!
+//! Capture records ops without executing them — the same contract as CUDA
+//! stream capture. Dependencies are derived exactly like the stream
+//! hazard tracker in [`crate::stream`]: program order within the capture
+//! stream plus RAW/WAW/WAR edges on buffer arguments.
+//!
+//! **Capture-time stationarity.** A replayed schedule was planned against
+//! the memory contents of the first replay (the launch-time probe and the
+//! sampling profiler read node memory). Replay assumes those
+//! data-dependent decisions remain valid — the same assumption CUDA
+//! graphs make about captured kernel parameters. The schedule cache key
+//! covers everything else (kernel identity, launch geometry, scalar bits,
+//! cluster shape, engine knobs), and any cluster-shape change evicts the
+//! whole cache.
+//!
+//! Elision soundness rests on the `Must` footprint being an
+//! *over-approximation* of all accesses: if the hull of a consumer's
+//! reads is covered by resident data, the real reads are too. `Unknown`
+//! footprints, replicated consumers, aliased buffers and fault-injection
+//! sessions all fall back to the full Allgather.
+
+use crate::compile::CompiledKernel;
+use crate::schedule::buffer_sets;
+use cucc_analysis::{launch_footprints, LaunchFootprints};
+use cucc_exec::{Arg, BufferId};
+use cucc_ir::LaunchConfig;
+use cucc_net::GatherSegment;
+use std::collections::HashMap;
+
+/// One captured operation.
+#[derive(Debug, Clone)]
+pub enum GraphOp {
+    /// A kernel launch (clones share the compilation id, so cached
+    /// schedules apply across replays).
+    Launch {
+        /// The compiled kernel (boxed: a kernel dwarfs the upload variant).
+        ck: Box<CompiledKernel>,
+        /// Launch geometry.
+        launch: LaunchConfig,
+        /// Arguments, captured by value.
+        args: Vec<Arg>,
+    },
+    /// A host→device broadcast of the captured payload.
+    Upload {
+        /// Destination buffer (whole-buffer overwrite).
+        buf: BufferId,
+        /// The bytes to broadcast.
+        data: Vec<u8>,
+    },
+}
+
+/// A captured op plus its dependency edges and static metadata.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// The operation.
+    pub op: GraphOp,
+    /// Indices of earlier nodes this node must follow (RAW/WAW/WAR on
+    /// buffer arguments — the same hazards the stream scheduler tracks).
+    pub deps: Vec<usize>,
+    /// Launch-resolved read/write footprints (launch nodes only). Purely
+    /// static — a function of (kernel, launch, scalar args) — so they
+    /// ride along the node and never need re-deriving on replay.
+    pub footprints: Option<LaunchFootprints>,
+}
+
+/// An immutable captured DAG, ready for [`replay`](crate::runtime::CuccCluster::graph_replay).
+#[derive(Debug, Clone, Default)]
+pub struct LaunchGraph {
+    /// Nodes in capture (submission) order — a valid topological order.
+    pub nodes: Vec<GraphNode>,
+}
+
+impl LaunchGraph {
+    /// Number of captured ops.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All dependency edges as `(producer, consumer)` pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                out.push((d, i));
+            }
+        }
+        out
+    }
+
+    /// Number of launch nodes.
+    pub fn num_launches(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, GraphOp::Launch { .. }))
+            .count()
+    }
+}
+
+/// Records a stream of launches and transfers into a [`LaunchGraph`]
+/// without executing anything.
+///
+/// ```
+/// use cucc_core::{compile_source, GraphCapture};
+/// use cucc_exec::{Arg, BufferId};
+/// use cucc_ir::LaunchConfig;
+///
+/// let ck = compile_source(
+///     "__global__ void k(float* x, int n) {
+///         int id = blockIdx.x * blockDim.x + threadIdx.x;
+///         if (id < n) x[id] = 1.0f;
+///     }",
+/// )
+/// .unwrap();
+/// let mut cap = GraphCapture::new();
+/// let a = cap.launch(&ck, LaunchConfig::cover1(1024, 128),
+///                    &[Arg::Buffer(BufferId(0)), Arg::int(1024)]);
+/// let b = cap.launch(&ck, LaunchConfig::cover1(1024, 128),
+///                    &[Arg::Buffer(BufferId(0)), Arg::int(1024)]);
+/// let graph = cap.finish();
+/// assert_eq!(graph.len(), 2);
+/// assert!(graph.edges().contains(&(a, b))); // WAW on buffer 0
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphCapture {
+    nodes: Vec<GraphNode>,
+    /// Last node that wrote each buffer.
+    last_writer: HashMap<BufferId, usize>,
+    /// Readers of each buffer since its last write.
+    readers_since: HashMap<BufferId, Vec<usize>>,
+}
+
+impl GraphCapture {
+    /// Start an empty capture.
+    pub fn new() -> GraphCapture {
+        GraphCapture::default()
+    }
+
+    /// Dependency edges for one op touching `reads`/`writes`, updating the
+    /// hazard state — the capture-time mirror of the stream tracker's
+    /// `dep_floor` + `commit`.
+    fn hazards(&mut self, id: usize, reads: &[BufferId], writes: &[BufferId]) -> Vec<usize> {
+        let mut deps = Vec::new();
+        for b in reads {
+            if let Some(&w) = self.last_writer.get(b) {
+                deps.push(w); // RAW
+            }
+        }
+        for b in writes {
+            if let Some(&w) = self.last_writer.get(b) {
+                deps.push(w); // WAW
+            }
+            if let Some(rs) = self.readers_since.get(b) {
+                deps.extend(rs.iter().copied()); // WAR
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&d| d != id);
+        for b in reads {
+            self.readers_since.entry(*b).or_default().push(id);
+        }
+        for b in writes {
+            self.last_writer.insert(*b, id);
+            self.readers_since.insert(*b, Vec::new());
+        }
+        deps
+    }
+
+    /// Record a kernel launch. Returns the node index.
+    pub fn launch(&mut self, ck: &CompiledKernel, launch: LaunchConfig, args: &[Arg]) -> usize {
+        let id = self.nodes.len();
+        let (reads, writes) = buffer_sets(&ck.kernel, args);
+        let deps = self.hazards(id, &reads, &writes);
+        let footprints = launch_footprints(&ck.kernel, &launch, args);
+        self.nodes.push(GraphNode {
+            op: GraphOp::Launch {
+                ck: Box::new(ck.clone()),
+                launch,
+                args: args.to_vec(),
+            },
+            deps,
+            footprints: Some(footprints),
+        });
+        id
+    }
+
+    /// Record a host→device broadcast. Returns the node index.
+    pub fn upload(&mut self, buf: BufferId, data: Vec<u8>) -> usize {
+        let id = self.nodes.len();
+        let deps = self.hazards(id, &[], &[buf]);
+        self.nodes.push(GraphNode {
+            op: GraphOp::Upload { buf, data },
+            deps,
+            footprints: None,
+        });
+        id
+    }
+
+    /// Finish the capture.
+    pub fn finish(self) -> LaunchGraph {
+        LaunchGraph { nodes: self.nodes }
+    }
+}
+
+/// Counters from one [`graph_replay`](crate::runtime::CuccCluster::graph_replay) call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayStats {
+    /// Schedule-cache hits during this replay.
+    pub cache_hits: u64,
+    /// Schedule-cache misses (fresh plans) during this replay.
+    pub cache_misses: u64,
+    /// Producer gathers skipped entirely (the buffer went pending).
+    pub gathers_elided: u64,
+    /// Partial gathers issued for uncovered consumer sub-ranges. A region
+    /// that is first elided and later partially gathered counts in both
+    /// `gathers_elided` and `gathers_narrowed`.
+    pub gathers_narrowed: u64,
+    /// Gathers executed in full inside launches (nothing elided).
+    pub gathers_full: u64,
+    /// Pending buffers force-materialized with a full gather (fallbacks:
+    /// `Unknown` footprint, replicated consumer, geometry conflict).
+    pub materializations: u64,
+    /// Bytes actually moved across the wire during the replay window.
+    pub wire_bytes: u64,
+    /// Planned wire bytes (sum of the launches' scheduled gathers) minus
+    /// `wire_bytes` — what elision and narrowing saved this iteration.
+    pub wire_bytes_saved: u64,
+    /// Simulated seconds the replay occupied.
+    pub time: f64,
+}
+
+impl ReplayStats {
+    /// Accumulate another replay's counters (CLI loops over iterations).
+    pub fn accumulate(&mut self, other: &ReplayStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.gathers_elided += other.gathers_elided;
+        self.gathers_narrowed += other.gathers_narrowed;
+        self.gathers_full += other.gathers_full;
+        self.materializations += other.materializations;
+        self.wire_bytes += other.wire_bytes;
+        self.wire_bytes_saved += other.wire_bytes_saved;
+        self.time += other.time;
+    }
+
+    /// `cache_hits / (cache_hits + cache_misses)`, or 0 when no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pending-gather state and coverage arithmetic
+// ---------------------------------------------------------------------
+
+/// An elided Allgather: buffer region `[base, base + unit·nodes)` is *not*
+/// consistent across nodes. Node `j`'s copy is valid only in its own slice
+/// `[base + j·unit, base + (j+1)·unit)` plus `extras`; bytes outside the
+/// region are consistent (partial-phase writes land slice-locally and
+/// callback writes are redundant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingGather {
+    /// Region start (bytes into the buffer).
+    pub base: u64,
+    /// Bytes per node slice.
+    pub unit: u64,
+    /// Node count the slicing was computed for.
+    pub nodes: u64,
+    /// Absolute byte ranges inside the region already gathered everywhere
+    /// (by earlier partial gathers). Normalized: sorted, non-overlapping.
+    pub extras: Vec<(u64, u64)>,
+}
+
+impl PendingGather {
+    /// Total region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.unit * self.nodes
+    }
+
+    /// True for a degenerate empty region.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The region as an absolute half-open byte range.
+    pub fn span(&self) -> (u64, u64) {
+        (self.base, self.base + self.len())
+    }
+
+    /// Node `j`'s slice as an absolute half-open byte range.
+    pub fn slice(&self, j: u64) -> (u64, u64) {
+        (self.base + j * self.unit, self.base + (j + 1) * self.unit)
+    }
+}
+
+/// Normalize a range list: drop empties, sort, merge overlaps/adjacency.
+pub(crate) fn normalize(mut rs: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    rs.retain(|r| r.1 > r.0);
+    rs.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(rs.len());
+    for r in rs {
+        match out.last_mut() {
+            Some(last) if r.0 <= last.1 => last.1 = last.1.max(r.1),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// Intersect one range with a normalized list.
+fn intersect_one(r: (u64, u64), with: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    with.iter()
+        .map(|w| (r.0.max(w.0), r.1.min(w.1)))
+        .filter(|x| x.1 > x.0)
+        .collect()
+}
+
+/// Subtract a normalized list from one range.
+fn subtract_one(r: (u64, u64), minus: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut keep = vec![r];
+    for m in minus {
+        let mut next = Vec::with_capacity(keep.len() + 1);
+        for k in keep {
+            if m.1 <= k.0 || m.0 >= k.1 {
+                next.push(k);
+                continue;
+            }
+            if k.0 < m.0 {
+                next.push((k.0, m.0));
+            }
+            if m.1 < k.1 {
+                next.push((m.1, k.1));
+            }
+        }
+        keep = next;
+    }
+    keep
+}
+
+/// The byte ranges of `pg`'s region that a consumer still needs gathered,
+/// given what each node must read.
+///
+/// * `per_node[j]` — absolute byte ranges node `j`'s private (partial
+///   phase) blocks read from the buffer; covered by node `j`'s own slice,
+///   `extras`, or anything outside the region.
+/// * `everywhere` — absolute byte ranges *every* node reads (callback
+///   blocks run redundantly); only `extras` or out-of-region bytes cover
+///   those.
+///
+/// Returns a normalized list of absolute uncovered ranges — empty means
+/// the consumer is fully covered and the gather stays elided.
+pub(crate) fn uncovered_ranges(
+    pg: &PendingGather,
+    per_node: &[Vec<(u64, u64)>],
+    everywhere: &[(u64, u64)],
+) -> Vec<(u64, u64)> {
+    let span = pg.span();
+    let mut missing = Vec::new();
+    for (j, reqs) in per_node.iter().enumerate() {
+        let slice = pg.slice(j as u64);
+        for &r in reqs {
+            for inside in intersect_one(r, &[span]) {
+                for gap in subtract_one(inside, &[slice]) {
+                    missing.extend(subtract_one(gap, &pg.extras));
+                }
+            }
+        }
+    }
+    for &r in everywhere {
+        for inside in intersect_one(r, &[span]) {
+            missing.extend(subtract_one(inside, &pg.extras));
+        }
+    }
+    normalize(missing)
+}
+
+/// Split absolute uncovered ranges into per-owner [`GatherSegment`]s
+/// (offsets relative to `pg.base`): every uncovered byte lies in exactly
+/// one owner's slice, and that owner holds the authoritative copy.
+pub(crate) fn segments_for(pg: &PendingGather, uncovered: &[(u64, u64)]) -> Vec<GatherSegment> {
+    let mut segs = Vec::new();
+    for &(lo, hi) in uncovered {
+        let mut cur = lo;
+        while cur < hi {
+            let owner = (cur - pg.base) / pg.unit;
+            let slice_end = pg.slice(owner).1;
+            let end = hi.min(slice_end);
+            segs.push(GatherSegment {
+                owner: owner as usize,
+                lo: cur - pg.base,
+                hi: end - pg.base,
+            });
+            cur = end;
+        }
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_source;
+
+    fn pg(base: u64, unit: u64, nodes: u64) -> PendingGather {
+        PendingGather {
+            base,
+            unit,
+            nodes,
+            extras: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn normalize_merges_and_sorts() {
+        assert_eq!(
+            normalize(vec![(10, 20), (0, 5), (4, 12), (30, 30)]),
+            vec![(0, 20)]
+        );
+    }
+
+    #[test]
+    fn slice_local_reads_are_covered() {
+        let pg = pg(0, 100, 4);
+        // Each node reads exactly its own slice: nothing to gather.
+        let per_node: Vec<_> = (0..4u64).map(|j| vec![pg.slice(j)]).collect();
+        assert!(uncovered_ranges(&pg, &per_node, &[]).is_empty());
+    }
+
+    #[test]
+    fn cross_slice_read_is_uncovered_and_owned() {
+        let p = pg(1000, 100, 4);
+        // Node 0 reads 10 bytes of node 2's slice.
+        let per_node = vec![vec![(1205u64, 1215u64)], vec![], vec![], vec![]];
+        let un = uncovered_ranges(&p, &per_node, &[]);
+        assert_eq!(un, vec![(1205, 1215)]);
+        let segs = segments_for(&p, &un);
+        assert_eq!(
+            segs,
+            vec![GatherSegment {
+                owner: 2,
+                lo: 205,
+                hi: 215
+            }]
+        );
+    }
+
+    #[test]
+    fn extras_and_out_of_region_cover() {
+        let mut p = pg(0, 100, 2);
+        p.extras = vec![(150, 160)];
+        // In-slice + extra + outside-region reads: all covered.
+        let per_node = vec![vec![(0, 100), (150, 160), (200, 999)], vec![]];
+        assert!(uncovered_ranges(&p, &per_node, &[]).is_empty());
+        // Callback reads need extras (own slice does not help).
+        assert!(uncovered_ranges(&p, &[vec![], vec![]], &[(150, 158)]).is_empty());
+        assert_eq!(
+            uncovered_ranges(&p, &[vec![], vec![]], &[(140, 155)]),
+            vec![(140, 150)]
+        );
+    }
+
+    #[test]
+    fn uncovered_range_spanning_slices_splits_by_owner() {
+        let p = pg(0, 100, 3);
+        let un = vec![(50u64, 250u64)];
+        let segs = segments_for(&p, &un);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].owner, 0);
+        assert_eq!((segs[0].lo, segs[0].hi), (50, 100));
+        assert_eq!(segs[1].owner, 1);
+        assert_eq!((segs[1].lo, segs[1].hi), (100, 200));
+        assert_eq!(segs[2].owner, 2);
+        assert_eq!((segs[2].lo, segs[2].hi), (200, 250));
+    }
+
+    #[test]
+    fn capture_edges_follow_hazards() {
+        let ck = compile_source(
+            "__global__ void k(float* x, float* y, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) y[id] = 2.0f * x[id];
+            }",
+        )
+        .unwrap();
+        let x = BufferId(0);
+        let y = BufferId(1);
+        let launch = LaunchConfig::cover1(1024, 128);
+        let mut cap = GraphCapture::new();
+        let up = cap.upload(x, vec![0u8; 4096]);
+        let a = cap.launch(
+            &ck,
+            launch,
+            &[Arg::Buffer(x), Arg::Buffer(y), Arg::int(1024)],
+        );
+        // y -> x: reads a's output (RAW), and overwrites a's input (WAR).
+        let b = cap.launch(
+            &ck,
+            launch,
+            &[Arg::Buffer(y), Arg::Buffer(x), Arg::int(1024)],
+        );
+        let g = cap.finish();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_launches(), 2);
+        let edges = g.edges();
+        assert!(edges.contains(&(up, a)), "RAW upload→launch");
+        assert!(edges.contains(&(a, b)), "producer→consumer");
+        assert!(g.nodes[a].footprints.is_some());
+    }
+}

@@ -44,6 +44,7 @@
 pub mod codegen;
 pub mod compile;
 pub mod error;
+pub mod graph;
 pub mod program;
 pub mod report;
 pub mod runtime;
@@ -56,10 +57,11 @@ pub use compile::{compile, compile_source, CompiledKernel};
 pub use cucc_exec::EngineKind;
 pub use cucc_net::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 pub use error::MigrateError;
+pub use graph::{GraphCapture, GraphNode, GraphOp, LaunchGraph, PendingGather, ReplayStats};
 pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
 pub use report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes, ThreePhaseShape};
 pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig, RuntimeConfigBuilder};
-pub use schedule::{LaunchSchedule, ScheduleDecision};
+pub use schedule::{schedule_key, LaunchSchedule, ScheduleCache, ScheduleDecision, ScheduleKey};
 pub use stream::{EventId, StreamId, StreamSet, DEFAULT_STREAM};
 pub use transfer::HostScalar;
 pub use transform::{can_split_blocks, split_blocks};

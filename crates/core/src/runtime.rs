@@ -3,19 +3,26 @@
 
 use crate::compile::CompiledKernel;
 use crate::error::MigrateError;
+use crate::graph::{
+    segments_for, uncovered_ranges, GraphOp, LaunchGraph, PendingGather, ReplayStats,
+};
 use crate::report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes};
-use crate::schedule::{plan_schedule, LaunchSchedule, ScheduleDecision};
+use crate::schedule::{
+    plan_schedule, schedule_key, LaunchSchedule, ScheduleCache, ScheduleDecision,
+};
 use crate::stream::{EventId, StreamId, StreamSet};
 use crate::transfer::HostScalar;
-use cucc_analysis::{Partition, ReplicationCause, ThreePhasePlan};
+use cucc_analysis::{LaunchFootprints, Partition, ReplicationCause, ThreePhasePlan};
 use cucc_cluster::{ClusterSpec, SimCluster};
 use cucc_exec::{Arg, BufferId, EngineKind, ExecOptions, Program};
 use cucc_ir::LaunchConfig;
 use cucc_net::{
-    allgather_cost_traced, allgather_cost_traced_fallible, broadcast_traced, AllgatherAlgo,
-    AllgatherPlacement, FaultInjector, FaultPlan,
+    allgather_cost_traced, allgather_cost_traced_fallible, broadcast_traced, owner_bytes,
+    partial_gather_cost_traced, AllgatherAlgo, AllgatherPlacement, FaultInjector, FaultPlan,
+    GatherSegment,
 };
 use cucc_trace::{Category, Mark, Timeline, Track};
+use std::collections::BTreeMap;
 
 /// Whether launches execute functionally or are only timed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +193,18 @@ impl RuntimeConfigBuilder {
     }
 }
 
+/// How a pending (elided) gather meets a consuming launch inside a
+/// replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PendingAction {
+    /// Every resolved read lands on data already resident where it runs.
+    Covered,
+    /// Gather only the uncovered per-owner sub-ranges.
+    Narrow(Vec<GatherSegment>),
+    /// Fall back to the full deferred Allgather.
+    Materialize,
+}
+
 /// A CUDA-context-like handle to a simulated CPU cluster.
 #[derive(Debug, Clone)]
 pub struct CuccCluster {
@@ -215,6 +234,17 @@ pub struct CuccCluster {
     /// Liveness per logical node. Deaths persist across launches: a node
     /// confirmed dead never rejoins the communicator or receives work.
     alive: Vec<bool>,
+    /// Memoized launch schedules (graph replay). Explicitly invalidated
+    /// whenever the cluster shape changes (node death), and keyed on the
+    /// alive set as defense in depth.
+    schedule_cache: ScheduleCache,
+    /// Elided Allgathers: buffers whose gathered region is currently
+    /// inconsistent across nodes (each node holds its own slice plus any
+    /// partially gathered extras). Consulted by every consistency check
+    /// and materialized lazily — at downloads, graph-external launches,
+    /// or when a graph consumer's footprint is not covered. Empty unless
+    /// graph replay elided a gather, so legacy paths are untouched.
+    pending: BTreeMap<BufferId, PendingGather>,
 }
 
 impl CuccCluster {
@@ -240,6 +270,8 @@ impl CuccCluster {
             last_sanitize: None,
             fault_state,
             alive: vec![true; logical_nodes],
+            schedule_cache: ScheduleCache::new(),
+            pending: BTreeMap::new(),
         }
     }
 
@@ -450,6 +482,9 @@ impl CuccCluster {
     pub fn upload<T: HostScalar>(&mut self, buf: BufferId, data: &[T]) -> Result<(), MigrateError> {
         self.check_upload::<T>(buf, data.len())?;
         self.sync_point()?;
+        // A whole-buffer broadcast makes every replica identical: any
+        // deferred gather for this buffer is moot.
+        self.pending.remove(&buf);
         let t0 = self.timeline.clock();
         let bt = self.perform_h2d(buf, &T::encode(data), t0);
         self.timeline.advance(bt);
@@ -462,6 +497,8 @@ impl CuccCluster {
     pub fn download<T: HostScalar>(&mut self, buf: BufferId) -> Result<Vec<T>, MigrateError> {
         self.check_download::<T>(buf)?;
         self.sync_point()?;
+        // The host observes memory: an elided gather must happen now.
+        self.materialize_buffer(buf);
         let t = self.timeline.clock();
         self.record_host_transfer("d2h", Category::D2h, t, 0.0);
         Ok(T::decode(self.sim.read(self.read_node(), buf)))
@@ -537,6 +574,9 @@ impl CuccCluster {
         args: &[Arg],
     ) -> Result<LaunchReport, MigrateError> {
         self.sync_point()?;
+        // A graph-external launch must see fully gathered memory: the
+        // planner probes node memory and the grid may read anywhere.
+        self.materialize_args(args);
         let sched = self.plan(ck, launch, args)?;
         if self.config.sanitize && self.config.fidelity == ExecutionFidelity::Functional {
             self.run_sanitizer(ck, launch, args)?;
@@ -635,6 +675,16 @@ impl CuccCluster {
         args: &[Arg],
         stream: StreamId,
     ) -> Result<LaunchReport, MigrateError> {
+        if args
+            .iter()
+            .any(|a| matches!(a, Arg::Buffer(b) if self.pending.contains_key(b)))
+        {
+            // Async launches do not interleave with deferred gathers:
+            // drain the streams and materialize synchronously first (only
+            // reachable when graph replay left a gather pending).
+            self.synchronize()?;
+            self.materialize_args(args);
+        }
         let sched = self.plan(ck, launch, args)?;
         let mut t0 = self.streams.dep_floor(stream, &sched.reads, &sched.writes);
         for i in 0..self.logical_nodes {
@@ -662,6 +712,7 @@ impl CuccCluster {
         stream: StreamId,
     ) -> Result<(), MigrateError> {
         self.check_upload::<T>(buf, data.len())?;
+        self.pending.remove(&buf);
         let t0 = self
             .streams
             .dep_floor(stream, &[], &[buf])
@@ -683,6 +734,12 @@ impl CuccCluster {
         stream: StreamId,
     ) -> Result<Vec<T>, MigrateError> {
         self.check_download::<T>(buf)?;
+        if self.pending.contains_key(&buf) {
+            // Same policy as `launch_on`: deferred gathers resolve at a
+            // synchronous point, not mid-stream.
+            self.synchronize()?;
+            self.materialize_buffer(buf);
+        }
         let t0 = self
             .streams
             .dep_floor(stream, &[buf], &[])
@@ -737,6 +794,469 @@ impl CuccCluster {
         Ok(self.timeline.clock())
     }
 
+    // ---- Graph replay ----------------------------------------------
+
+    /// Schedule-cache counters and contents (diagnostics, the CLI's
+    /// hit-rate report).
+    pub fn schedule_cache(&self) -> &ScheduleCache {
+        &self.schedule_cache
+    }
+
+    /// Buffers with a currently deferred (elided) gather.
+    pub fn pending_gathers(&self) -> Vec<BufferId> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// [`CuccCluster::plan`] through the [`ScheduleCache`]: a hit returns
+    /// the memoized schedule without touching the planner, probe or
+    /// profiler; a miss plans fresh and fills the cache. The key covers
+    /// kernel identity, launch geometry, argument fingerprints, the
+    /// cluster shape (node count + alive set) and the engine knobs.
+    pub fn plan_cached(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<LaunchSchedule, MigrateError> {
+        let key = schedule_key(
+            ck,
+            launch,
+            args,
+            self.logical_nodes,
+            &self.alive,
+            &self.config,
+        );
+        if let Some(sched) = self.schedule_cache.get(&key) {
+            return Ok(sched);
+        }
+        let sched = self.plan(ck, launch, args)?;
+        self.schedule_cache.insert(key, sched.clone());
+        Ok(sched)
+    }
+
+    /// Replay a captured [`LaunchGraph`] once.
+    ///
+    /// Ops execute in capture order (a valid topological order of the
+    /// dependency DAG). Launch schedules come from the [`ScheduleCache`];
+    /// the communication optimizer decides, per gathered region, whether
+    /// the Allgather runs in full, is narrowed to uncovered sub-ranges
+    /// (partial gather), or is elided entirely (the buffer goes
+    /// *pending* — each node keeps just its own slice until a download,
+    /// an uncovered consumer, or a graph-external launch materializes
+    /// it). Memory after replay + download is bit-identical to running
+    /// the same ops uncaptured.
+    pub fn graph_replay(&mut self, graph: &LaunchGraph) -> Result<ReplayStats, MigrateError> {
+        self.sync_point()?;
+        let mut stats = ReplayStats::default();
+        let hits0 = self.schedule_cache.hits();
+        let misses0 = self.schedule_cache.misses();
+        let t_start = self.timeline.clock();
+        let mut planned_wire = 0u64;
+        let mut gather_wire = 0u64;
+        for node in &graph.nodes {
+            match &node.op {
+                GraphOp::Upload { buf, data } => {
+                    self.pending.remove(buf);
+                    let t0 = self.timeline.clock();
+                    let bt = self.perform_h2d(*buf, data, t0);
+                    self.timeline.advance(bt);
+                }
+                GraphOp::Launch { ck, launch, args } => {
+                    let sched = self.plan_cached(ck, *launch, args)?;
+                    planned_wire += sched.wire_bytes;
+                    let w0 = self.timeline.wire_bytes();
+                    self.replay_launch(
+                        ck,
+                        *launch,
+                        args,
+                        &sched,
+                        node.footprints.as_ref(),
+                        &mut stats,
+                    )?;
+                    gather_wire += self.timeline.wire_bytes() - w0;
+                }
+            }
+        }
+        stats.cache_hits = self.schedule_cache.hits() - hits0;
+        stats.cache_misses = self.schedule_cache.misses() - misses0;
+        // Launch-related wire only (full + partial + materialization
+        // gathers); captured uploads broadcast the same bytes captured
+        // or not, so they are excluded from the savings accounting.
+        stats.wire_bytes = gather_wire;
+        stats.wire_bytes_saved = planned_wire.saturating_sub(gather_wire);
+        stats.time = self.timeline.clock() - t_start;
+        Ok(stats)
+    }
+
+    /// One launch inside a replay: reconcile pending inputs, decide
+    /// elision for its own gathers, execute, and record new pending
+    /// state.
+    fn replay_launch(
+        &mut self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+        sched: &LaunchSchedule,
+        fps: Option<&LaunchFootprints>,
+        stats: &mut ReplayStats,
+    ) -> Result<(), MigrateError> {
+        self.reconcile_pending(args, sched, fps, stats)?;
+        let elide = self.elision_plan(args, sched, fps);
+
+        if self.config.sanitize && self.config.fidelity == ExecutionFidelity::Functional {
+            self.run_sanitizer(ck, launch, args)?;
+        }
+        let mark = self.timeline.checkpoint();
+        let t0 = self.timeline.clock();
+        let (report, _end) = if elide.iter().any(|&e| e) {
+            // Elision is only planned on the fault-free three-phase path.
+            let ScheduleDecision::ThreePhase {
+                plan,
+                part,
+                has_tail_block,
+            } = &sched.decision
+            else {
+                unreachable!("elision planned for a non-three-phase launch")
+            };
+            self.execute_three_phase(
+                ck,
+                launch,
+                args,
+                sched,
+                plan.clone(),
+                part.clone(),
+                *has_tail_block,
+                t0,
+                t0,
+                &elide,
+            )?
+        } else {
+            self.execute_schedule(ck, launch, args, sched, t0, t0)?
+        };
+        let report = self.derive_report(mark, report, ck);
+        self.timeline.advance(report.time());
+
+        // Bookkeeping: elided regions go (or stay) pending with fresh
+        // slices; fully gathered regions are consistent again.
+        if let ScheduleDecision::ThreePhase { plan, part, .. } = &sched.decision {
+            for (idx, region) in plan.buffers.iter().enumerate() {
+                let Arg::Buffer(id) = args[region.param.index()] else {
+                    continue;
+                };
+                let unit = region.unit * part.chunks_per_node;
+                if elide.get(idx).copied().unwrap_or(false) {
+                    stats.gathers_elided += 1;
+                    self.pending.insert(
+                        id,
+                        PendingGather {
+                            base: region.base,
+                            unit,
+                            nodes: self.logical_nodes as u64,
+                            extras: Vec::new(),
+                        },
+                    );
+                } else if unit > 0 {
+                    stats.gathers_full += 1;
+                    // `reconcile_pending` only lets a matching-geometry
+                    // region write a pending buffer, so the full gather
+                    // covered the whole pending span.
+                    self.pending.remove(&id);
+                }
+            }
+        }
+        self.verify_written(ck, args)?;
+        Ok(())
+    }
+
+    /// Walk the pending buffers this launch touches and resolve each:
+    /// covered (nothing to do), narrowed (partial gather of the uncovered
+    /// sub-ranges), or materialized (full fallback gather).
+    fn reconcile_pending(
+        &mut self,
+        args: &[Arg],
+        sched: &LaunchSchedule,
+        fps: Option<&LaunchFootprints>,
+        stats: &mut ReplayStats,
+    ) -> Result<(), MigrateError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut touched: Vec<BufferId> = sched
+            .reads
+            .iter()
+            .chain(sched.writes.iter())
+            .copied()
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for id in touched {
+            let Some(pg) = self.pending.get(&id).cloned() else {
+                continue;
+            };
+            match self.pending_action(args, sched, fps, id, &pg) {
+                PendingAction::Covered => {}
+                PendingAction::Narrow(segs) => self.partial_gather_pending(id, &segs, stats),
+                PendingAction::Materialize => {
+                    self.materialize_buffer(id);
+                    stats.materializations += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decide how a pending buffer meets one consuming launch. Sound
+    /// fallback in every uncertain case is the full gather.
+    fn pending_action(
+        &self,
+        args: &[Arg],
+        sched: &LaunchSchedule,
+        fps: Option<&LaunchFootprints>,
+        id: BufferId,
+        pg: &PendingGather,
+    ) -> PendingAction {
+        // Fault sessions never elide; if one inherits pending state,
+        // resolve it the safe way.
+        if self.fault_state.is_some() {
+            return PendingAction::Materialize;
+        }
+        // Replicated consumers run the whole grid on every node: any node
+        // may read anywhere.
+        let ScheduleDecision::ThreePhase { plan, part, .. } = &sched.decision else {
+            return PendingAction::Materialize;
+        };
+        let Some(fps) = fps else {
+            return PendingAction::Materialize;
+        };
+        let n = self.logical_nodes as u64;
+        if pg.nodes != n || pg.unit == 0 {
+            return PendingAction::Materialize;
+        }
+        // Writes: only a same-geometry gathered region may overwrite a
+        // pending buffer (each node then rewrites exactly its own slice,
+        // which the probe proved dense and slice-local).
+        if sched.writes.contains(&id) {
+            let matching = plan.buffers.iter().any(|r| {
+                matches!(args.get(r.param.index()), Some(Arg::Buffer(b)) if *b == id)
+                    && r.base == pg.base
+                    && r.unit * part.chunks_per_node == pg.unit
+            });
+            if !matching {
+                return PendingAction::Materialize;
+            }
+        }
+        // Reads: every read of this buffer must have a `Must` footprint;
+        // partial-phase reads of node `j` must be covered by node `j`'s
+        // resident data, callback-phase reads by data resident everywhere.
+        let pbn = part.partial_blocks_per_node;
+        let mut per_node: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n as usize];
+        let mut everywhere: Vec<(u64, u64)> = Vec::new();
+        let mut saw_read = false;
+        for (p, fp) in &fps.reads {
+            if !matches!(args.get(p.index()), Some(Arg::Buffer(b)) if *b == id) {
+                continue;
+            }
+            saw_read = true;
+            if !fp.is_must() {
+                return PendingAction::Materialize;
+            }
+            match fp.byte_ranges(part.callback_start..plan.num_blocks) {
+                Some(rs) => everywhere.extend(rs),
+                None => return PendingAction::Materialize,
+            }
+            for j in 0..n {
+                match fp.byte_ranges(j * pbn..(j + 1) * pbn) {
+                    Some(rs) => per_node[j as usize].extend(rs),
+                    None => return PendingAction::Materialize,
+                }
+            }
+        }
+        if sched.reads.contains(&id) && !saw_read {
+            // The schedule says the kernel reads this buffer but the
+            // footprints do not show it — never elide on a mismatch.
+            return PendingAction::Materialize;
+        }
+        let uncovered = uncovered_ranges(pg, &per_node, &everywhere);
+        if uncovered.is_empty() {
+            PendingAction::Covered
+        } else {
+            PendingAction::Narrow(segments_for(pg, &uncovered))
+        }
+    }
+
+    /// Which of this launch's own gathered regions can be deferred: the
+    /// fault-free three-phase path, unaliased region buffers, and no
+    /// callback-phase read touching the gathered span.
+    fn elision_plan(
+        &self,
+        args: &[Arg],
+        sched: &LaunchSchedule,
+        fps: Option<&LaunchFootprints>,
+    ) -> Vec<bool> {
+        if self.fault_state.is_some() {
+            return Vec::new();
+        }
+        let ScheduleDecision::ThreePhase { plan, part, .. } = &sched.decision else {
+            return Vec::new();
+        };
+        let Some(fps) = fps else {
+            return Vec::new();
+        };
+        let n = self.logical_nodes as u64;
+        // Aliased region buffers would share one pending entry: keep the
+        // full gathers.
+        let mut region_bufs = std::collections::BTreeSet::new();
+        for region in &plan.buffers {
+            match args.get(region.param.index()) {
+                Some(Arg::Buffer(id)) => {
+                    if !region_bufs.insert(*id) {
+                        return Vec::new();
+                    }
+                }
+                _ => return Vec::new(),
+            }
+        }
+        let mut elide = vec![false; plan.buffers.len()];
+        for (idx, region) in plan.buffers.iter().enumerate() {
+            let unit = region.unit * part.chunks_per_node;
+            if unit == 0 {
+                continue;
+            }
+            let Some(Arg::Buffer(id)) = args.get(region.param.index()) else {
+                continue;
+            };
+            let span = (region.base, region.base + unit * n);
+            // Callback blocks run redundantly on every node *after* the
+            // gather: any callback-phase read of the gathered span needs
+            // the gather. (Partial-phase reads precede the gather in both
+            // worlds, so they never constrain elision.)
+            let mut ok = true;
+            for (p, fp) in &fps.reads {
+                if !matches!(args.get(p.index()), Some(Arg::Buffer(b)) if b == id) {
+                    continue;
+                }
+                match fp.byte_ranges(part.callback_start..plan.num_blocks) {
+                    Some(rs) => {
+                        if rs.iter().any(|&(lo, hi)| lo < span.1 && hi > span.0) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            elide[idx] = ok;
+        }
+        elide
+    }
+
+    /// Run (and trace) a deferred full Allgather for `buf` at the current
+    /// clock, advancing past it. No-op when the buffer is not pending.
+    /// Recorded *outside* any launch's report window, so launch reports
+    /// keep their bit-for-bit derived invariants.
+    fn materialize_buffer(&mut self, buf: BufferId) {
+        let Some(pg) = self.pending.remove(&buf) else {
+            return;
+        };
+        if pg.is_empty() {
+            return;
+        }
+        let t0 = self.timeline.clock();
+        let label = "materialize gather";
+        let cost = if self.config.fidelity == ExecutionFidelity::Functional {
+            self.sim.allgather_region_traced(
+                buf,
+                pg.base,
+                pg.unit,
+                self.config.allgather_algo,
+                self.config.placement,
+                &mut self.timeline,
+                t0,
+                label,
+            )
+        } else {
+            allgather_cost_traced(
+                pg.nodes as usize,
+                pg.unit,
+                &self.sim.spec.net,
+                self.config.allgather_algo,
+                self.config.placement,
+                &mut self.timeline,
+                t0,
+                label,
+            )
+        };
+        if cost.time > 0.0 {
+            self.timeline.reserve_lane(Track::Network, t0 + cost.time);
+        }
+        self.timeline.advance(cost.time);
+    }
+
+    /// Materialize every pending buffer among `args` (graph-external
+    /// launches). No-op when nothing is pending.
+    fn materialize_args(&mut self, args: &[Arg]) {
+        if self.pending.is_empty() {
+            return;
+        }
+        for a in args {
+            if let Arg::Buffer(id) = a {
+                self.materialize_buffer(*id);
+            }
+        }
+    }
+
+    /// Narrow a pending buffer: gather only `segs` (per-owner uncovered
+    /// sub-ranges) and remember them as resident-everywhere extras.
+    fn partial_gather_pending(
+        &mut self,
+        buf: BufferId,
+        segs: &[GatherSegment],
+        stats: &mut ReplayStats,
+    ) {
+        let Some(pg) = self.pending.get(&buf) else {
+            return;
+        };
+        let (base, len, nodes) = (pg.base, pg.len(), pg.nodes);
+        let t0 = self.timeline.clock();
+        let label = "partial gather";
+        let cost = if self.config.fidelity == ExecutionFidelity::Functional {
+            self.sim.partial_gather_region_traced(
+                buf,
+                base,
+                len,
+                segs,
+                self.config.allgather_algo,
+                self.config.placement,
+                &mut self.timeline,
+                t0,
+                label,
+            )
+        } else {
+            let per_owner = owner_bytes(nodes as usize, segs);
+            partial_gather_cost_traced(
+                &per_owner,
+                &self.sim.spec.net,
+                self.config.allgather_algo,
+                self.config.placement,
+                &mut self.timeline,
+                t0,
+                label,
+            )
+        };
+        if cost.time > 0.0 {
+            self.timeline.reserve_lane(Track::Network, t0 + cost.time);
+        }
+        self.timeline.advance(cost.time);
+        stats.gathers_narrowed += 1;
+        let pg = self.pending.get_mut(&buf).expect("pending entry");
+        let mut extras = std::mem::take(&mut pg.extras);
+        extras.extend(segs.iter().map(|s| (base + s.lo, base + s.hi)));
+        pg.extras = crate::graph::normalize(extras);
+    }
+
     /// The paper's consistency invariant: after a functional launch every
     /// written buffer must be identical on every node.
     fn verify_written(&self, ck: &CompiledKernel, args: &[Arg]) -> Result<(), MigrateError> {
@@ -752,6 +1272,12 @@ impl CuccCluster {
                 let Arg::Buffer(id) = args[p.index()] else {
                     continue;
                 };
+                // A pending (elided-gather) buffer is inconsistent by
+                // design until it is materialized; the invariant is
+                // checked at materialization points instead.
+                if self.pending.contains_key(&id) {
+                    continue;
+                }
                 let ok = if self.fault_state.is_some() {
                     self.sim.consistent_among(id, &survivors)
                 } else {
@@ -872,7 +1398,16 @@ impl CuccCluster {
                     )
                 } else {
                     self.execute_three_phase(
-                        ck, launch, args, sched, plan, part, tail, t0, net_floor,
+                        ck,
+                        launch,
+                        args,
+                        sched,
+                        plan,
+                        part,
+                        tail,
+                        t0,
+                        net_floor,
+                        &[],
                     )
                 }
             }
@@ -887,6 +1422,10 @@ impl CuccCluster {
         }
     }
 
+    /// `elide` (parallel to `tp.buffers`, or empty for "gather all") marks
+    /// regions whose Allgather is deferred by the graph replayer: they
+    /// produce no collective spans, no wire bytes, and no functional
+    /// gather — each node keeps only its own slice.
     #[allow(clippy::too_many_arguments)]
     fn execute_three_phase(
         &mut self,
@@ -899,6 +1438,7 @@ impl CuccCluster {
         has_tail_block: bool,
         t0: f64,
         net_floor: f64,
+        elide: &[bool],
     ) -> Result<(LaunchReport, f64), MigrateError> {
         let n = self.logical_nodes as u64;
         let profile = &sched.profile;
@@ -925,7 +1465,10 @@ impl CuccCluster {
         let t_ag0 = (t0 + t_partial).max(net_floor);
         let mut t_allgather = 0.0;
         let mut wire_bytes = 0u64;
-        for region in &tp.buffers {
+        for (idx, region) in tp.buffers.iter().enumerate() {
+            if elide.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
             let unit = region.unit * part.chunks_per_node;
             let label = format!(
                 "allgather {}",
@@ -997,7 +1540,10 @@ impl CuccCluster {
                 self.sim
                     .run_blocks_parallel_opts(&ck.kernel, launch, &assignments, args, &opts)?
             };
-            for region in &tp.buffers {
+            for (idx, region) in tp.buffers.iter().enumerate() {
+                if elide.get(idx).copied().unwrap_or(false) {
+                    continue;
+                }
                 let unit = region.unit * part.chunks_per_node;
                 let Arg::Buffer(id) = args[region.param.index()] else {
                     return Err(MigrateError::Launch(format!(
@@ -1237,6 +1783,11 @@ impl CuccCluster {
                         failures += 1;
                         let dead = survivors.remove(slot);
                         self.alive[dead as usize] = false;
+                        // The cluster shape changed: every cached schedule
+                        // was planned for the old partition and must never
+                        // be replayed.
+                        self.schedule_cache
+                            .invalidate_all(&format!("node {dead} died"));
                         owned.remove(slot);
                         if survivors.is_empty() {
                             return Err(MigrateError::NodeFailure {
@@ -1281,7 +1832,19 @@ impl CuccCluster {
                             reexec_blocks += blocks;
                             pass_a[node as usize] = left;
                             pass_b[node as usize] = right;
-                            new_owned.push(new);
+                            // The pool now holds results for old ∪ new —
+                            // recording only `new` would forget blocks the
+                            // node already ran and re-execute them after a
+                            // later death (double-applying non-idempotent
+                            // kernels). Consecutive slices of one survivor
+                            // always overlap, so the union is contiguous;
+                            // fall back to `new` defensively if not.
+                            let merged = if old.start <= new.end && new.start <= old.end {
+                                old.start.min(new.start)..old.end.max(new.end)
+                            } else {
+                                new
+                            };
+                            new_owned.push(merged);
                         }
                         // Recorded uniformly (the round's critical path) on
                         // every survivor: the slowest surviving track then

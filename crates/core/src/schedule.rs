@@ -28,8 +28,9 @@ use crate::runtime::RuntimeConfig;
 use cucc_analysis::{plan_launch, Partition, Plan, ReplicationCause, ThreePhasePlan};
 use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec};
 use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile, MemPool};
-use cucc_ir::{Kernel, LaunchConfig};
-use cucc_net::allgather_cost;
+use cucc_ir::{Kernel, LaunchConfig, Value};
+use cucc_net::{allgather_cost, AllgatherAlgo, AllgatherPlacement};
+use std::collections::HashMap;
 
 /// How a scheduled launch will execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +80,180 @@ impl LaunchSchedule {
     /// Total simulated duration of the launch.
     pub fn time(&self) -> f64 {
         self.times.total()
+    }
+}
+
+/// One launch argument, reduced to the exact bits that influence
+/// planning. Scalars are fingerprinted by bit pattern (so `-0.0` and
+/// `0.0` — which the probe and profiler can distinguish through guards —
+/// hash differently), buffers by identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ArgFingerprint {
+    Int(i64),
+    FloatBits(u64),
+    Buffer(BufferId),
+}
+
+/// Everything [`plan_schedule`] reads that can vary between launches:
+/// which compilation, the launch geometry, the argument values the
+/// launch-time probe resolves, the **cluster shape** (logical node count
+/// plus the alive set — a dead node changes every partition), and the
+/// engine knobs the cost model consults. Two launches with equal keys are
+/// guaranteed to plan to `PartialEq`-identical [`LaunchSchedule`]s, *if*
+/// buffer contents feeding the probe/profiler are also unchanged — the
+/// capture-time-stationarity assumption graph replay documents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    kernel_id: u64,
+    launch: LaunchConfig,
+    args: Vec<ArgFingerprint>,
+    logical_nodes: usize,
+    alive: Vec<bool>,
+    algo: AllgatherAlgoKey,
+    placement: AllgatherPlacementKey,
+    profile_samples: usize,
+}
+
+// `AllgatherAlgo` / `AllgatherPlacement` derive `Eq` but not `Hash`
+// (they predate this cache); mirror them into hashable key enums rather
+// than widening the public derive surface of `cucc-net`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AllgatherAlgoKey {
+    Ring,
+    RecursiveDoubling,
+    Bruck,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AllgatherPlacementKey {
+    InPlace,
+    OutOfPlace,
+}
+
+/// Build the cache key for one prospective launch.
+pub fn schedule_key(
+    ck: &CompiledKernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    logical_nodes: usize,
+    alive: &[bool],
+    config: &RuntimeConfig,
+) -> ScheduleKey {
+    ScheduleKey {
+        kernel_id: ck.id,
+        launch,
+        args: args
+            .iter()
+            .map(|a| match a {
+                Arg::Scalar(Value::I64(v)) => ArgFingerprint::Int(*v),
+                Arg::Scalar(Value::F64(v)) => ArgFingerprint::FloatBits(v.to_bits()),
+                Arg::Buffer(id) => ArgFingerprint::Buffer(*id),
+            })
+            .collect(),
+        logical_nodes,
+        alive: alive.to_vec(),
+        algo: match config.allgather_algo {
+            AllgatherAlgo::Ring => AllgatherAlgoKey::Ring,
+            AllgatherAlgo::RecursiveDoubling => AllgatherAlgoKey::RecursiveDoubling,
+            AllgatherAlgo::Bruck => AllgatherAlgoKey::Bruck,
+        },
+        placement: match config.placement {
+            AllgatherPlacement::InPlace => AllgatherPlacementKey::InPlace,
+            AllgatherPlacement::OutOfPlace => AllgatherPlacementKey::OutOfPlace,
+        },
+        profile_samples: config.profile_samples,
+    }
+}
+
+/// Memoizes [`plan_schedule`] results so graph replay pays the planner,
+/// probe and sampling profiler once per distinct launch, not once per
+/// iteration.
+///
+/// The cache is **explicitly invalidated** — never consulted stale — on
+/// any cluster-shape change: fault recovery calls
+/// [`ScheduleCache::invalidate_all`] at the moment it marks a node dead,
+/// and the alive set is also part of [`ScheduleKey`] as defense in depth.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCache {
+    map: HashMap<ScheduleKey, LaunchSchedule>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    last_invalidation: Option<String>,
+}
+
+impl ScheduleCache {
+    /// Empty cache.
+    pub fn new() -> ScheduleCache {
+        ScheduleCache::default()
+    }
+
+    /// Look up a schedule, counting a hit or miss.
+    pub fn get(&mut self, key: &ScheduleKey) -> Option<LaunchSchedule> {
+        match self.map.get(key) {
+            Some(s) => {
+                self.hits += 1;
+                Some(s.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a freshly planned schedule.
+    pub fn insert(&mut self, key: ScheduleKey, schedule: LaunchSchedule) {
+        self.map.insert(key, schedule);
+    }
+
+    /// Drop every cached schedule (cluster shape changed: node death,
+    /// degradation, or an explicit reconfiguration). Records why, for
+    /// diagnostics.
+    pub fn invalidate_all(&mut self, reason: &str) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
+        self.last_invalidation = Some(reason.to_string());
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped by [`ScheduleCache::invalidate_all`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `hits / (hits + misses)`, or 0 when never queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Reason string from the most recent invalidation, if any.
+    pub fn last_invalidation(&self) -> Option<&str> {
+        self.last_invalidation.as_deref()
     }
 }
 

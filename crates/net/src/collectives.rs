@@ -65,6 +65,19 @@ pub struct CollectiveStep {
     pub messages: u64,
 }
 
+/// Duration of one synchronous collective step gated by a `bytes`-sized
+/// transfer: `α + o + bytes·β`.
+///
+/// This is THE step-time formula — every full- and partial-gather step
+/// (functional, analytic, and traced) charges through here, and the
+/// fault path's per-step deadline ([`crate::fault::RetryPolicy::deadline`])
+/// is defined on top of it. Keep it in one place so the two gather
+/// families can never drift apart.
+#[inline]
+pub fn collective_step_time(model: &NetModel, bytes: u64) -> f64 {
+    model.alpha + model.overhead + bytes as f64 * model.beta
+}
+
 /// Perform an Allgather over per-node regions.
 ///
 /// `regions[i]` is node `i`'s copy of the full gathered region; before the
@@ -186,7 +199,7 @@ fn ring(
             step_wire += seg_sizes[seg];
             step_max = step_max.max(seg_sizes[seg]);
         }
-        let step_time = model.alpha + model.overhead + step_max as f64 * model.beta;
+        let step_time = collective_step_time(model, step_max);
         cost.time += step_time;
         steps.push(CollectiveStep {
             time: step_time,
@@ -236,7 +249,7 @@ fn recursive_doubling(
             step_wire += recv_bytes;
             step_max = step_max.max(recv_bytes);
         }
-        let step_time = model.alpha + model.overhead + step_max as f64 * model.beta;
+        let step_time = collective_step_time(model, step_max);
         cost.time += step_time;
         steps.push(CollectiveStep {
             time: step_time,
@@ -286,7 +299,7 @@ fn bruck(
             step_wire += sent;
             step_max = step_max.max(sent);
         }
-        let step_time = model.alpha + model.overhead + step_max as f64 * model.beta;
+        let step_time = collective_step_time(model, step_max);
         cost.time += step_time;
         steps.push(CollectiveStep {
             time: step_time,
@@ -317,7 +330,7 @@ pub fn allgather_cost(
         match (algo, n.is_power_of_two()) {
             (AllgatherAlgo::Ring, _) => {
                 let steps = (n - 1) as f64;
-                cost.time = steps * (model.alpha + model.overhead + unit as f64 * model.beta);
+                cost.time = steps * collective_step_time(model, unit);
                 cost.wire_bytes = (n as u64 - 1) * n as u64 * unit;
                 cost.messages = (n as u64 - 1) * n as u64;
             }
@@ -325,7 +338,7 @@ pub fn allgather_cost(
                 let steps = (n as f64).log2().round() as u32;
                 for k in 0..steps {
                     let bytes = (1u64 << k) * unit;
-                    cost.time += model.alpha + model.overhead + bytes as f64 * model.beta;
+                    cost.time += collective_step_time(model, bytes);
                     cost.wire_bytes += bytes * n as u64;
                     cost.messages += n as u64;
                 }
@@ -336,7 +349,7 @@ pub fn allgather_cost(
                 while dist < n {
                     let send = owned.min((n as u64) - owned);
                     let bytes = send * unit;
-                    cost.time += model.alpha + model.overhead + bytes as f64 * model.beta;
+                    cost.time += collective_step_time(model, bytes);
                     cost.wire_bytes += bytes * n as u64;
                     cost.messages += n as u64;
                     owned += send;
@@ -372,7 +385,7 @@ pub fn balanced_steps(
         (AllgatherAlgo::Ring, _) => {
             for _ in 0..n - 1 {
                 steps.push(CollectiveStep {
-                    time: model.alpha + model.overhead + unit as f64 * model.beta,
+                    time: collective_step_time(model, unit),
                     wire_bytes: n as u64 * unit,
                     messages: n as u64,
                 });
@@ -383,7 +396,7 @@ pub fn balanced_steps(
             for k in 0..rounds {
                 let bytes = (1u64 << k) * unit;
                 steps.push(CollectiveStep {
-                    time: model.alpha + model.overhead + bytes as f64 * model.beta,
+                    time: collective_step_time(model, bytes),
                     wire_bytes: bytes * n as u64,
                     messages: n as u64,
                 });
@@ -396,7 +409,7 @@ pub fn balanced_steps(
                 let send = owned.min((n as u64) - owned);
                 let bytes = send * unit;
                 steps.push(CollectiveStep {
-                    time: model.alpha + model.overhead + bytes as f64 * model.beta,
+                    time: collective_step_time(model, bytes),
                     wire_bytes: bytes * n as u64,
                     messages: n as u64,
                 });
@@ -406,6 +419,271 @@ pub fn balanced_steps(
         }
     }
     steps
+}
+
+// ------------------------------------------------------- partial gather --
+
+/// One authoritative sub-range of a partial gather: the byte range
+/// `[lo, hi)` of the shared region, held only by `owner` before the call
+/// and by every node after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatherSegment {
+    /// Node whose copy of `[lo, hi)` is authoritative.
+    pub owner: usize,
+    /// Inclusive start byte within the region.
+    pub lo: u64,
+    /// Exclusive end byte within the region.
+    pub hi: u64,
+}
+
+impl GatherSegment {
+    /// Length of the segment in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.hi - self.lo
+    }
+}
+
+/// Total authoritative bytes per owner, the quantity that gates partial
+/// gather steps (the per-owner segment *set* travels as one unit, exactly
+/// like the per-node segment of a full Allgather).
+pub fn owner_bytes(n: usize, segments: &[GatherSegment]) -> Vec<u64> {
+    let mut per = vec![0u64; n];
+    for s in segments {
+        per[s.owner] += s.bytes();
+    }
+    per
+}
+
+/// Shared step engine for partial gathers. The same loops drive the
+/// functional primitive (real `relay` closure) and the analytic cost
+/// (no-op closure), so the two are bit-identical by construction.
+/// `relay(src, dst, owner)` moves *all* of `owner`'s segments that `src`
+/// holds to `dst`.
+fn partial_engine(
+    n: usize,
+    per_owner: &[u64],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    steps: &mut Vec<CollectiveStep>,
+    mut relay: impl FnMut(usize, usize, usize),
+) -> CollectiveCost {
+    let mut cost = CollectiveCost::default();
+    match (algo, n.is_power_of_two()) {
+        (AllgatherAlgo::Ring, _) => {
+            // Step s: node i relays the segments of owner (i − s) mod n to
+            // node (i+1) mod n; every owner set is in flight each step.
+            for s in 0..n - 1 {
+                let mut step_max = 0u64;
+                let mut step_wire = 0u64;
+                for i in 0..n {
+                    let owner = (i + n - s) % n;
+                    let dst = (i + 1) % n;
+                    relay(i, dst, owner);
+                    cost.wire_bytes += per_owner[owner];
+                    cost.messages += 1;
+                    step_wire += per_owner[owner];
+                    step_max = step_max.max(per_owner[owner]);
+                }
+                let step_time = collective_step_time(model, step_max);
+                cost.time += step_time;
+                steps.push(CollectiveStep {
+                    time: step_time,
+                    wire_bytes: step_wire,
+                    messages: n as u64,
+                });
+            }
+        }
+        (AllgatherAlgo::RecursiveDoubling, true) => {
+            let mut owned: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+            let mut dist = 1usize;
+            while dist < n {
+                let mut step_max = 0u64;
+                let mut step_wire = 0u64;
+                let snapshot = owned.clone();
+                for (i, mine) in owned.iter_mut().enumerate() {
+                    let partner = i ^ dist;
+                    let mut recv = 0u64;
+                    for &owner in &snapshot[partner] {
+                        if !mine.contains(&owner) {
+                            relay(partner, i, owner);
+                            mine.push(owner);
+                            recv += per_owner[owner];
+                        }
+                    }
+                    cost.wire_bytes += recv;
+                    cost.messages += 1;
+                    step_wire += recv;
+                    step_max = step_max.max(recv);
+                }
+                let step_time = collective_step_time(model, step_max);
+                cost.time += step_time;
+                steps.push(CollectiveStep {
+                    time: step_time,
+                    wire_bytes: step_wire,
+                    messages: n as u64,
+                });
+                dist <<= 1;
+            }
+        }
+        (AllgatherAlgo::RecursiveDoubling, false) | (AllgatherAlgo::Bruck, _) => {
+            let mut owned: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+            let mut dist = 1usize;
+            while dist < n {
+                let snapshot = owned.clone();
+                let mut step_max = 0u64;
+                let mut step_wire = 0u64;
+                for (i, sent_set) in snapshot.iter().enumerate() {
+                    // Bruck: node i sends its owned set to (i − dist) mod n.
+                    let dst = (i + n - dist) % n;
+                    let mut sent = 0u64;
+                    for &owner in sent_set {
+                        if !owned[dst].contains(&owner) {
+                            relay(i, dst, owner);
+                            owned[dst].push(owner);
+                            sent += per_owner[owner];
+                        }
+                    }
+                    cost.wire_bytes += sent;
+                    cost.messages += 1;
+                    step_wire += sent;
+                    step_max = step_max.max(sent);
+                }
+                let step_time = collective_step_time(model, step_max);
+                cost.time += step_time;
+                steps.push(CollectiveStep {
+                    time: step_time,
+                    wire_bytes: step_wire,
+                    messages: n as u64,
+                });
+                dist <<= 1;
+            }
+        }
+    }
+    cost
+}
+
+fn apply_partial_placement(
+    cost: &mut CollectiveCost,
+    placement: AllgatherPlacement,
+    model: &NetModel,
+    per_owner: &[u64],
+) {
+    match placement {
+        AllgatherPlacement::InPlace => cost.peak_memory_factor = 1,
+        AllgatherPlacement::OutOfPlace => {
+            // Each node stages its own authoritative segments; the node with
+            // the most bytes gates completion.
+            let max_own = per_owner.iter().copied().max().unwrap_or(0);
+            cost.time += model.local_copy_time(max_own);
+            cost.local_copy_bytes += per_owner.iter().sum::<u64>();
+            cost.peak_memory_factor = 2;
+        }
+    }
+}
+
+fn check_segments(n: usize, region_len: u64, segments: &[GatherSegment]) {
+    let mut sorted: Vec<(u64, u64)> = segments.iter().map(|s| (s.lo, s.hi)).collect();
+    sorted.sort_unstable();
+    for (k, s) in segments.iter().enumerate() {
+        assert!(
+            s.owner < n,
+            "segment {k}: owner {} out of {n} nodes",
+            s.owner
+        );
+        assert!(s.lo <= s.hi, "segment {k}: lo > hi");
+        assert!(s.hi <= region_len, "segment {k}: past region end");
+    }
+    for w in sorted.windows(2) {
+        assert!(w[0].1 <= w[1].0, "overlapping gather segments");
+    }
+}
+
+/// Gather only the given sub-ranges of a shared per-node region: after the
+/// call every node's region holds every segment. The degenerate case of one
+/// segment `[i·unit, (i+1)·unit)` per node is a balanced Allgather, and the
+/// cost charged matches [`allgather_cost`]'s step structure exactly (the
+/// per-owner segment set travels as one unit per relay).
+///
+/// A single node or an empty segment set is free. Segments must be
+/// non-overlapping; each must lie inside every region.
+pub fn partial_gather(
+    regions: &mut [&mut [u8]],
+    segments: &[GatherSegment],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+) -> CollectiveCost {
+    partial_gather_with_steps(regions, segments, model, algo, placement, &mut Vec::new())
+}
+
+/// [`partial_gather`] that additionally records the per-step breakdown.
+pub fn partial_gather_with_steps(
+    regions: &mut [&mut [u8]],
+    segments: &[GatherSegment],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+    steps: &mut Vec<CollectiveStep>,
+) -> CollectiveCost {
+    let n = regions.len();
+    assert!(n > 0, "empty cluster");
+    let len = regions[0].len() as u64;
+    for r in regions.iter() {
+        assert_eq!(r.len() as u64, len, "regions must have equal lengths");
+    }
+    check_segments(n, len, segments);
+    let per_owner = owner_bytes(n, segments);
+    if n == 1 || per_owner.iter().all(|&b| b == 0) {
+        return CollectiveCost {
+            peak_memory_factor: 1,
+            ..CollectiveCost::default()
+        };
+    }
+    let mut by_owner: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for s in segments {
+        by_owner[s.owner].push((s.lo as usize, s.hi as usize));
+    }
+    let mut cost = partial_engine(n, &per_owner, model, algo, steps, |src, dst, owner| {
+        for &(lo, hi) in &by_owner[owner] {
+            copy_segment(regions, src, dst, lo, hi);
+        }
+    });
+    apply_partial_placement(&mut cost, placement, model, &per_owner);
+    cost
+}
+
+/// Analytic cost of a partial gather with `per_owner[i]` authoritative
+/// bytes on node `i`, without moving data. Bit-identical to what
+/// [`partial_gather`] charges (both run [`partial_engine`]).
+pub fn partial_gather_cost(
+    per_owner: &[u64],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+) -> CollectiveCost {
+    partial_gather_cost_steps(per_owner, model, algo, placement, &mut Vec::new())
+}
+
+/// [`partial_gather_cost`] that records the per-step breakdown, mirroring
+/// [`balanced_steps`] for the full Allgather.
+pub fn partial_gather_cost_steps(
+    per_owner: &[u64],
+    model: &NetModel,
+    algo: AllgatherAlgo,
+    placement: AllgatherPlacement,
+    steps: &mut Vec<CollectiveStep>,
+) -> CollectiveCost {
+    let n = per_owner.len();
+    assert!(n > 0, "empty cluster");
+    if n == 1 || per_owner.iter().all(|&b| b == 0) {
+        return CollectiveCost {
+            peak_memory_factor: 1,
+            ..CollectiveCost::default()
+        };
+    }
+    let mut cost = partial_engine(n, per_owner, model, algo, steps, |_, _, _| {});
+    apply_partial_placement(&mut cost, placement, model, per_owner);
+    cost
 }
 
 /// Dissemination barrier cost (no data movement).
@@ -631,6 +909,177 @@ mod tests {
                 assert_eq!(functional.wire_bytes, analytic.wire_bytes, "{algo:?} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn partial_gather_moves_only_segments() {
+        let model = NetModel::infiniband_100g();
+        for algo in [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+        ] {
+            for n in [2usize, 3, 4, 5, 8] {
+                let len = 64 * n;
+                // Node i's copy: its pattern everywhere; gathered ranges must
+                // become the owner's pattern, everything else must stay put.
+                let mut regions: Vec<Vec<u8>> =
+                    (0..n).map(|i| vec![(i * 13 + 1) as u8; len]).collect();
+                let segments = vec![
+                    GatherSegment {
+                        owner: 0,
+                        lo: 4,
+                        hi: 12,
+                    },
+                    GatherSegment {
+                        owner: n - 1,
+                        lo: 40,
+                        hi: 41,
+                    },
+                ];
+                let mut views: Vec<&mut [u8]> =
+                    regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+                let cost = partial_gather(
+                    &mut views,
+                    &segments,
+                    &model,
+                    algo,
+                    AllgatherPlacement::InPlace,
+                );
+                assert!(cost.time > 0.0);
+                for (i, r) in regions.iter().enumerate() {
+                    for (b, v) in r.iter().enumerate() {
+                        let want = if (4..12).contains(&b) {
+                            1 // owner 0's pattern
+                        } else if b == 40 {
+                            ((n - 1) * 13 + 1) as u8 // owner n−1's pattern
+                        } else {
+                            (i * 13 + 1) as u8
+                        };
+                        assert_eq!(*v, want, "{algo:?} n={n} node {i} byte {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_gather_full_slices_matches_allgather_cost() {
+        // One full slice per owner degenerates to a balanced Allgather.
+        let model = NetModel::infiniband_100g();
+        for algo in [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+        ] {
+            for n in [2usize, 4, 5, 8] {
+                let unit = 4096u64;
+                let per_owner = vec![unit; n];
+                let partial =
+                    partial_gather_cost(&per_owner, &model, algo, AllgatherPlacement::InPlace);
+                let full = allgather_cost(n, unit, &model, algo, AllgatherPlacement::InPlace);
+                assert!(
+                    (partial.time - full.time).abs() / full.time < 1e-9,
+                    "{algo:?} n={n}: {} vs {}",
+                    partial.time,
+                    full.time
+                );
+                assert_eq!(partial.wire_bytes, full.wire_bytes, "{algo:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_gather_analytic_matches_functional() {
+        let model = NetModel::infiniband_100g();
+        for algo in [AllgatherAlgo::Ring, AllgatherAlgo::Bruck] {
+            let n = 4usize;
+            let segments = vec![
+                GatherSegment {
+                    owner: 0,
+                    lo: 0,
+                    hi: 100,
+                },
+                GatherSegment {
+                    owner: 2,
+                    lo: 200,
+                    hi: 232,
+                },
+                GatherSegment {
+                    owner: 2,
+                    lo: 300,
+                    hi: 304,
+                },
+            ];
+            let mut regions: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 512]).collect();
+            let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+            let mut fsteps = Vec::new();
+            let functional = partial_gather_with_steps(
+                &mut views,
+                &segments,
+                &model,
+                algo,
+                AllgatherPlacement::InPlace,
+                &mut fsteps,
+            );
+            let mut asteps = Vec::new();
+            let analytic = partial_gather_cost_steps(
+                &owner_bytes(n, &segments),
+                &model,
+                algo,
+                AllgatherPlacement::InPlace,
+                &mut asteps,
+            );
+            assert_eq!(functional.time.to_bits(), analytic.time.to_bits());
+            assert_eq!(functional.wire_bytes, analytic.wire_bytes);
+            assert_eq!(fsteps, asteps);
+        }
+    }
+
+    #[test]
+    fn partial_gather_empty_or_single_node_is_free() {
+        let model = NetModel::infiniband_100g();
+        let free = partial_gather_cost(
+            &[0, 0, 0],
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
+        assert_eq!(free.time, 0.0);
+        assert_eq!(free.wire_bytes, 0);
+        let one = partial_gather_cost(
+            &[4096],
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
+        assert_eq!(one.time, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping gather segments")]
+    fn partial_gather_rejects_overlap() {
+        let model = NetModel::infiniband_100g();
+        let mut regions: Vec<Vec<u8>> = (0..2).map(|_| vec![0u8; 64]).collect();
+        let mut views: Vec<&mut [u8]> = regions.iter_mut().map(|r| r.as_mut_slice()).collect();
+        partial_gather(
+            &mut views,
+            &[
+                GatherSegment {
+                    owner: 0,
+                    lo: 0,
+                    hi: 10,
+                },
+                GatherSegment {
+                    owner: 1,
+                    lo: 5,
+                    hi: 12,
+                },
+            ],
+            &model,
+            AllgatherAlgo::Ring,
+            AllgatherPlacement::InPlace,
+        );
     }
 
     #[test]

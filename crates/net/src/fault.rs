@@ -80,7 +80,11 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Deadline for one attempt of a step whose modeled duration is
-    /// `step_time`.
+    /// `step_time`: `timeout_factor × step + (α + o)`.
+    ///
+    /// This is the **only** place the deadline formula lives — full
+    /// Allgathers and partial gathers both step through
+    /// `traced::run_fallible`, which calls here per step.
     pub fn deadline(&self, step_time: f64, model: &NetModel) -> f64 {
         self.timeout_factor * step_time + (model.alpha + model.overhead)
     }

@@ -23,12 +23,15 @@ pub mod traced;
 
 pub use collectives::{
     allgather, allgather_cost, balanced_steps, barrier_time, broadcast_time, broadcast_wire_bytes,
-    AllgatherAlgo, AllgatherPlacement, CollectiveCost, CollectiveStep,
+    collective_step_time, owner_bytes, partial_gather, partial_gather_cost,
+    partial_gather_cost_steps, partial_gather_with_steps, AllgatherAlgo, AllgatherPlacement,
+    CollectiveCost, CollectiveStep, GatherSegment,
 };
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use model::NetModel;
 pub use p2p::{P2pStats, P2pTracker};
 pub use traced::{
     allgather_cost_traced, allgather_cost_traced_fallible, allgather_traced, broadcast_traced,
+    partial_gather_cost_traced, partial_gather_cost_traced_fallible, partial_gather_traced,
     FaultyGather, GatherAbort,
 };

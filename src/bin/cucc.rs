@@ -25,6 +25,10 @@
 //!   --streams N              after the verified run, replay the kernel as
 //!                            an N-stream pipeline (async h2d + launch per
 //!                            replica) and report overlap vs serial
+//!   --graph N                after the verified run, capture the upload +
+//!                            launch sequence into a launch graph and replay
+//!                            it N times; report schedule-cache hit rate,
+//!                            elided/narrowed Allgathers and wire bytes saved
 //!   --trace out.json         export the simulated-clock timeline as
 //!                            Chrome trace-event JSON (open in Perfetto)
 //!   --sanitize               run the dynamic write-race / OOB sanitizer
@@ -346,6 +350,7 @@ struct RunOpts {
     seed: u64,
     modeled: bool,
     streams: usize,
+    graph: usize,
     trace: Option<String>,
     engine: EngineKind,
     node_threads: usize,
@@ -377,6 +382,7 @@ impl RunOpts {
             seed: 42,
             modeled: false,
             streams: 0,
+            graph: 0,
             trace: None,
             engine: EngineKind::default(),
             node_threads: 0,
@@ -403,6 +409,9 @@ impl RunOpts {
                     o.streams = need(&mut i)?
                         .parse()
                         .map_err(|e| format!("--streams: {e}"))?;
+                }
+                "--graph" => {
+                    o.graph = need(&mut i)?.parse().map_err(|e| format!("--graph: {e}"))?;
                 }
                 "--trace" => o.trace = Some(need(&mut i)?.clone()),
                 "--sanitize" => o.sanitize = true,
@@ -740,6 +749,60 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         );
     }
 
+    if opts.graph > 0 {
+        // Capture the workload's sequence (buffer uploads + the launch)
+        // into a launch graph, replay it N times, and report what the
+        // schedule cache and the communication optimizer saved.
+        use cucc::core::{GraphCapture, ReplayStats};
+        let mut gcl = CuccCluster::new(spec.clone(), cfg.clone());
+        let mut graph_handles = Vec::new();
+        let mut cap = GraphCapture::new();
+        let gr_args = bind(&mut |bytes| {
+            let id = gcl.alloc(bytes.len());
+            cap.upload(id, bytes.to_vec());
+            graph_handles.push(id);
+            Arg::Buffer(id)
+        });
+        cap.launch(&ck, launch, &gr_args);
+        let graph = cap.finish();
+        let mut total = ReplayStats::default();
+        for _ in 0..opts.graph {
+            let s = gcl.graph_replay(&graph).map_err(|e| e.to_string())?;
+            total.accumulate(&s);
+        }
+        out += &format!(
+            "  graph: {} op(s) captured, replayed {}x: cache hit rate {:.1}% ({} hit / {} miss)\n",
+            graph.len(),
+            opts.graph,
+            total.cache_hit_rate() * 100.0,
+            total.cache_hits,
+            total.cache_misses,
+        );
+        out += &format!(
+            "  graph: allgathers: {} elided, {} narrowed, {} full, {} materialized\n",
+            total.gathers_elided,
+            total.gathers_narrowed,
+            total.gathers_full,
+            total.materializations,
+        );
+        out += &format!(
+            "  graph: wire bytes saved: {} B ({} B moved vs {} B planned)\n",
+            total.wire_bytes_saved,
+            total.wire_bytes,
+            total.wire_bytes + total.wire_bytes_saved,
+        );
+        if !opts.modeled {
+            // Each iteration re-uploads, so the replayed end state must
+            // match the verified single launch bit-for-bit.
+            for (i, (g, c)) in graph_handles.iter().zip(&cl_handles).enumerate() {
+                if gcl.d2h(*g) != cl.d2h(*c) {
+                    return Err(format!("buffer {i} diverges after graph replay"));
+                }
+            }
+            out += "  graph: replayed memory matches the uncaptured run ✓\n";
+        }
+    }
+
     out += "\n";
     out += &cl.timeline().summary();
     if let Some(path) = &opts.trace {
@@ -963,6 +1026,58 @@ mod tests {
             .parse()
             .unwrap();
         assert!(ratio >= 1.0, "{line}");
+    }
+
+    #[test]
+    fn run_with_graph_reports_cache_and_elision() {
+        let opts = RunOpts::parse(
+            &[
+                "--nodes",
+                "4",
+                "--grid",
+                "64",
+                "--block",
+                "256",
+                "--graph",
+                "3",
+                "--arg",
+                "buf:16384f32",
+                "--arg",
+                "buf:16384f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:16384",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(opts.graph, 3);
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        // Iteration 1 plans (1 miss), iterations 2–3 hit.
+        assert!(
+            out.contains("cache hit rate 66.7% (2 hit / 1 miss)"),
+            "{out}"
+        );
+        // SAXPY's only gathered region (y) elides on every iteration: its
+        // callback reads lie beyond the distributed span.
+        assert!(out.contains("allgathers: 3 elided"), "{out}");
+        let saved = out
+            .lines()
+            .find(|l| l.contains("wire bytes saved"))
+            .unwrap()
+            .to_string();
+        let n: u64 = saved
+            .split("saved: ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n > 0, "{saved}");
+        assert!(out.contains("matches the uncaptured run"), "{out}");
     }
 
     #[test]

@@ -175,3 +175,36 @@ proptest! {
         prop_assert_eq!(armed.wire_bytes, clean.wire_bytes);
     }
 }
+
+/// Two node deaths in one launch. 13 blocks on 4 nodes leave 12 distributed
+/// chunks — divisible by 3 and by 2 — so both deaths re-partition across the
+/// survivors (no degraded fallback) and memory must still match the
+/// fault-free run bit-for-bit.
+#[test]
+fn double_kill_recovers_bit_identical_memory() {
+    let ck = compile_source(&family_source(1)).unwrap();
+    let n = 13 * 128;
+    let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25 - 100.0).collect();
+    let ys: Vec<f32> = (0..n).map(|i| 50.0 - i as f32 * 0.125).collect();
+    let launch = LaunchConfig::cover1(n as u64, 128);
+
+    let (_, want, _) = run(&ck, 4, launch, &xs, &ys, 2.0, n, FaultPlan::none());
+    let (report, got, cl) = run(
+        &ck,
+        4,
+        launch,
+        &xs,
+        &ys,
+        2.0,
+        n,
+        FaultPlan::none().kill(1, 0.0).kill(3, 0.0),
+    );
+
+    assert_eq!(
+        got, want,
+        "double-death recovery diverged from fault-free run"
+    );
+    assert_eq!(report.faults.failures, 2, "both kills must be confirmed");
+    assert!(!cl.is_alive(1) && !cl.is_alive(3));
+    assert_eq!(cl.active_nodes(), 2);
+}

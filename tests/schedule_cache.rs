@@ -1,0 +1,99 @@
+//! The schedule cache's two load-bearing properties (ISSUE 6):
+//!
+//! 1. a warm (cached) plan is `PartialEq`-identical to the cold plan it
+//!    memoized — caching never changes what executes;
+//! 2. a cached schedule is **never** reused across a cluster-shape change:
+//!    a node death evicts the whole cache and the next lookup replans
+//!    against the surviving communicator.
+
+use cucc::cluster::ClusterSpec;
+use cucc::core::{compile_source, CompiledKernel, CuccCluster, FaultPlan, RuntimeConfig};
+use cucc::exec::Arg;
+use cucc::ir::LaunchConfig;
+use proptest::prelude::*;
+
+const SAXPY: &str = "__global__ void f(float* x, float* y, float a, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = a * x[id] + y[id];
+}";
+
+fn setup(
+    nodes: u32,
+    n: usize,
+    faults: FaultPlan,
+) -> (CuccCluster, CompiledKernel, Vec<Arg>, LaunchConfig) {
+    let ck = compile_source(SAXPY).unwrap();
+    let mut cl = CuccCluster::new(
+        ClusterSpec::simd_focused().with_nodes(nodes),
+        RuntimeConfig::builder().faults(faults).build(),
+    );
+    let x = cl.alloc(n * 4);
+    let y = cl.alloc(n * 4);
+    let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+    cl.upload::<f32>(x, &xs).unwrap();
+    cl.upload::<f32>(y, &xs).unwrap();
+    let args = vec![
+        Arg::Buffer(x),
+        Arg::Buffer(y),
+        Arg::float(2.0),
+        Arg::int(n as i64),
+    ];
+    (cl, ck, args, LaunchConfig::cover1(n as u64, 128))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cold and warm plans are indistinguishable, and the warm one really
+    /// came from the cache.
+    #[test]
+    fn warm_plans_equal_cold_plans(
+        n in 256usize..4000,
+        nodes in 1u32..6,
+    ) {
+        let (mut cl, ck, args, launch) = setup(nodes, n, FaultPlan::none());
+        let cold = cl.plan_cached(&ck, launch, &args).unwrap();
+        let warm = cl.plan_cached(&ck, launch, &args).unwrap();
+        prop_assert_eq!(cl.schedule_cache().hits(), 1);
+        prop_assert_eq!(cl.schedule_cache().misses(), 1);
+        prop_assert_eq!(&warm, &cold, "cached schedule differs from fresh plan");
+        // The cache never changes what a plain plan would produce.
+        let fresh = cl.plan(&ck, launch, &args).unwrap();
+        prop_assert_eq!(&fresh, &cold);
+    }
+
+    /// A node death between two lookups must evict the cache: the second
+    /// lookup misses and replans for the smaller communicator.
+    #[test]
+    fn cached_schedules_never_survive_shape_changes(
+        n in 512usize..4000,
+        nodes in 3u32..6,
+        victim in 0u32..8,
+    ) {
+        let victim = victim % nodes;
+        let (mut cl, ck, args, launch) =
+            setup(nodes, n, FaultPlan::none().kill(victim, 0.0));
+        let before = cl.plan_cached(&ck, launch, &args).unwrap();
+        prop_assert_eq!(cl.schedule_cache().len(), 1);
+
+        // The launch triggers the scripted kill; recovery marks the victim
+        // dead and must invalidate every cached schedule.
+        let report = cl.launch(&ck, launch, &args).unwrap();
+        prop_assert!(report.faults.failures > 0); // kill at t=0 always fires
+        prop_assert!(!cl.is_alive(victim as usize));
+        prop_assert_eq!(cl.schedule_cache().len(), 0, "death must evict the cache");
+        prop_assert!(cl.schedule_cache().evictions() >= 1);
+        prop_assert!(
+            cl.schedule_cache().last_invalidation().is_some(),
+            "invalidation reason must be recorded"
+        );
+
+        // Replan: a fresh miss, keyed against the survivors.
+        let after = cl.plan_cached(&ck, launch, &args).unwrap();
+        prop_assert_eq!(cl.schedule_cache().misses(), 2, "post-death lookup must miss");
+        prop_assert_eq!(cl.schedule_cache().hits(), 0);
+        // The surviving communicator is smaller, so the three-phase
+        // partition cannot be the one planned for the full cluster.
+        prop_assert!(after != before, "stale schedule reused across shape change");
+    }
+}
