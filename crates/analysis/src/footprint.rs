@@ -255,7 +255,7 @@ mod tests {
         assert_eq!(read.byte_ranges(0..8), Some(vec![(0, 4096)]));
         let write = fp.writes.get(&y).expect("y write");
         assert!(write.is_must());
-        assert!(fp.reads.get(&y).is_none(), "y is write-only");
+        assert!(!fp.reads.contains_key(&y), "y is write-only");
     }
 
     #[test]

@@ -47,6 +47,27 @@ pub struct SimdReport {
     pub reasons: Vec<String>,
 }
 
+impl SimdReport {
+    /// One-line human-readable summary for CLI diagnostics (`cucc run -v`):
+    /// the class, the efficiency, and why it was downgraded, if it was.
+    pub fn summary(&self) -> String {
+        let class = match self.class {
+            SimdClass::Full => "full",
+            SimdClass::Partial => "partial",
+            SimdClass::Scalar => "scalar",
+        };
+        if self.reasons.is_empty() {
+            format!("{class} ({:.0}% lane efficiency)", self.efficiency * 100.0)
+        } else {
+            format!(
+                "{class} ({:.0}% lane efficiency): {}",
+                self.efficiency * 100.0,
+                self.reasons.join("; ")
+            )
+        }
+    }
+}
+
 /// Analyze the kernel's thread loop for vectorizability.
 pub fn analyze_simd(kernel: &Kernel) -> SimdReport {
     let variance = var_variance(kernel);

@@ -1,20 +1,29 @@
-//! Tree-walk interpreter vs bytecode engine: blocks/second on three
-//! representative kernels (elementwise SAXPY, a shared-memory tile reverse
-//! with a barrier, and a compute-bound Horner polynomial).
+//! Tree-walk interpreter vs bytecode engine vs the vectorized lane-array
+//! tier: blocks/second on three representative kernels (elementwise SAXPY, a
+//! shared-memory tile reverse with a barrier, and a compute-bound Horner
+//! polynomial).
 //!
 //! All three launches exactly cover their data (`N = BLOCKS * THREADS`), so
 //! the kernels need no tail guard — their segments are straight-line and
-//! exercise the engine's dense inst-major mode; guarded/divergent and
-//! looping kernels are covered by the equivalence suites and unit tests.
+//! exercise the engines' dense modes; guarded/divergent and looping kernels
+//! are covered by the equivalence suites and unit tests.
 //!
 //! Besides the criterion report, the harness re-measures each configuration
-//! directly and writes `BENCH_interp.json` at the repository root so docs
-//! and CI can quote the numbers (`speedup = bytecode blocks/s ÷ tree-walk
-//! blocks/s`, with the intra-node parallel engine reported separately).
+//! directly — at 1, 2, 4 and 8 intra-node workers — and writes
+//! `BENCH_interp.json` at the repository root so docs and CI can quote the
+//! numbers: one row per (kernel, worker count) with `tree`, `bytecode` and
+//! `simd` blocks/s columns (`bytecode_speedup` is vs the serial tree walk,
+//! `simd_speedup` is vs the bytecode engine at the *same* worker count).
+//!
+//! The harness doubles as the perf-regression smoke: it panics if the
+//! vectorized tier fails to beat the bytecode engine on the saxpy or
+//! horner15 serial rows, so a CI bench run fails on a vectorization
+//! regression.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cucc_exec::{
-    execute_block_range, run_range, run_range_parallel, sanitize_launch, Arg, MemPool, Program,
+    execute_block_range, run_range, run_range_parallel, run_range_parallel_simd, run_range_simd,
+    sanitize_launch, Arg, MemPool, Program,
 };
 use cucc_ir::{Axis, Expr, Kernel, KernelBuilder, LaunchConfig, Scalar};
 use std::time::Instant;
@@ -22,6 +31,7 @@ use std::time::Instant;
 const BLOCKS: u32 = 128;
 const THREADS: u32 = 128;
 const N: i64 = (BLOCKS as i64) * (THREADS as i64);
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Which launch arguments a kernel takes (all buffers are `f32[N]`).
 #[derive(Clone, Copy)]
@@ -125,61 +135,94 @@ fn setup(pool: &mut MemPool, spec: ArgSpec) -> Vec<Arg> {
     }
 }
 
-struct Measurement {
+/// Serial baselines, measured once per kernel.
+struct SerialBase {
     tree: f64,
-    bytecode: f64,
-    parallel: f64,
     /// Tree-walk with the dynamic sanitizer (write tracing on a scratch
     /// pool + interval sweep) — quantifies the `--sanitize` overhead.
     sanitize: f64,
-    workers: usize,
 }
 
-/// Best-of-`reps` blocks/second for each engine configuration, after an
-/// equivalence sanity check between the two serial engines.
-fn measure(kernel: &Kernel, launch: LaunchConfig, spec: ArgSpec, reps: usize) -> Measurement {
+/// One (kernel, worker count) configuration: bytecode vs vectorized.
+struct WorkerRow {
+    workers: usize,
+    bytecode: f64,
+    simd: f64,
+}
+
+/// Best-of-`reps` blocks/second for every engine configuration, after an
+/// equivalence sanity check between the serial engines. Compile-once cost
+/// is part of the launch, so it stays inside the timed region for the
+/// bytecode and simd configurations.
+fn measure(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    spec: ArgSpec,
+    reps: usize,
+) -> (SerialBase, Vec<WorkerRow>) {
     let mut pool_a = MemPool::new();
     let args = setup(&mut pool_a, spec);
     let mut pool_b = pool_a.clone();
+    let mut pool_c = pool_a.clone();
     let nblocks = launch.num_blocks();
 
     let sa = execute_block_range(kernel, launch, 0..nblocks, &args, &mut pool_a).unwrap();
     let prog = Program::compile(kernel, launch, &args).unwrap();
     let sb = run_range(&prog, &mut pool_b, 0..nblocks).unwrap();
     assert_eq!(sa, sb, "engines disagree — refusing to benchmark");
+    let sc = run_range_simd(&prog, &mut pool_c, 0..nblocks).unwrap();
+    assert_eq!(sa, sc, "simd engine disagrees — refusing to benchmark");
 
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut best = [f64::MAX; 4];
+    let bps = |secs: f64| nblocks as f64 / secs;
+    let mut tree = f64::MAX;
+    let mut sanitize = f64::MAX;
     for _ in 0..reps {
         let t = Instant::now();
         execute_block_range(kernel, launch, 0..nblocks, &args, &mut pool_a).unwrap();
-        best[0] = best[0].min(t.elapsed().as_secs_f64());
-
-        // Compile-once cost is part of the launch, so it stays inside the
-        // timed region for the bytecode configurations.
-        let t = Instant::now();
-        let prog = Program::compile(kernel, launch, &args).unwrap();
-        run_range(&prog, &mut pool_b, 0..nblocks).unwrap();
-        best[1] = best[1].min(t.elapsed().as_secs_f64());
-
-        let t = Instant::now();
-        let prog = Program::compile(kernel, launch, &args).unwrap();
-        run_range_parallel(&prog, &mut pool_b, 0..nblocks, workers).unwrap();
-        best[2] = best[2].min(t.elapsed().as_secs_f64());
+        tree = tree.min(t.elapsed().as_secs_f64());
 
         let t = Instant::now();
         let report = sanitize_launch(kernel, launch, &args, &pool_a);
-        best[3] = best[3].min(t.elapsed().as_secs_f64());
+        sanitize = sanitize.min(t.elapsed().as_secs_f64());
         assert!(report.clean(), "bench kernel flagged: {}", report.summary());
     }
-    let bps = |secs: f64| nblocks as f64 / secs;
-    Measurement {
-        tree: bps(best[0]),
-        bytecode: bps(best[1]),
-        parallel: bps(best[2]),
-        sanitize: bps(best[3]),
-        workers,
+
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let mut bytecode = f64::MAX;
+        let mut simd = f64::MAX;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let prog = Program::compile(kernel, launch, &args).unwrap();
+            if workers <= 1 {
+                run_range(&prog, &mut pool_b, 0..nblocks).unwrap();
+            } else {
+                run_range_parallel(&prog, &mut pool_b, 0..nblocks, workers).unwrap();
+            }
+            bytecode = bytecode.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            let prog = Program::compile(kernel, launch, &args).unwrap();
+            if workers <= 1 {
+                run_range_simd(&prog, &mut pool_c, 0..nblocks).unwrap();
+            } else {
+                run_range_parallel_simd(&prog, &mut pool_c, 0..nblocks, workers).unwrap();
+            }
+            simd = simd.min(t.elapsed().as_secs_f64());
+        }
+        rows.push(WorkerRow {
+            workers,
+            bytecode: bps(bytecode),
+            simd: bps(simd),
+        });
     }
+    (
+        SerialBase {
+            tree: bps(tree),
+            sanitize: bps(sanitize),
+        },
+        rows,
+    )
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -208,45 +251,64 @@ fn bench_engines(c: &mut Criterion) {
                 run_range(&prog, &mut pool, 0..launch.num_blocks()).unwrap()
             })
         });
+        g.bench_function("simd", |b| {
+            b.iter(|| {
+                let prog = Program::compile(kernel, launch, &args).unwrap();
+                run_range_simd(&prog, &mut pool, 0..launch.num_blocks()).unwrap()
+            })
+        });
         g.finish();
 
-        let m = measure(kernel, launch, *spec, 5);
-        println!(
-            "{name:<14} tree {:>10.0} blk/s | bytecode {:>10.0} blk/s ({:.2}x) | \
-             parallel[{}] {:>10.0} blk/s ({:.2}x) | sanitize {:>10.0} blk/s ({:.2}x overhead)",
-            m.tree,
-            m.bytecode,
-            m.bytecode / m.tree,
-            m.workers,
-            m.parallel,
-            m.parallel / m.tree,
-            m.sanitize,
-            m.tree / m.sanitize,
-        );
-        if !rows.is_empty() {
-            rows.push_str(",\n");
+        let (base, wrows) = measure(kernel, launch, *spec, 5);
+        for r in &wrows {
+            println!(
+                "{name:<14} w={} tree {:>10.0} blk/s | bytecode {:>10.0} blk/s ({:.2}x) | \
+                 simd {:>10.0} blk/s ({:.2}x vs bytecode) | sanitize {:>10.0} blk/s",
+                r.workers,
+                base.tree,
+                r.bytecode,
+                r.bytecode / base.tree,
+                r.simd,
+                r.simd / r.bytecode,
+                base.sanitize,
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"kernel\": \"{name}\", \"blocks\": {}, \"threads_per_block\": {}, \
+                 \"workers\": {}, \"tree_blocks_per_sec\": {:.0}, \
+                 \"bytecode_blocks_per_sec\": {:.0}, \"bytecode_speedup\": {:.2}, \
+                 \"simd_blocks_per_sec\": {:.0}, \"simd_speedup\": {:.2}, \
+                 \"sanitize_blocks_per_sec\": {:.0}, \"sanitize_overhead_vs_tree\": {:.2}}}",
+                BLOCKS,
+                THREADS,
+                r.workers,
+                base.tree,
+                r.bytecode,
+                r.bytecode / base.tree,
+                r.simd,
+                r.simd / r.bytecode,
+                base.sanitize,
+                base.tree / base.sanitize,
+            ));
         }
-        rows.push_str(&format!(
-            "    {{\"kernel\": \"{name}\", \"blocks\": {}, \"threads_per_block\": {}, \
-             \"tree_blocks_per_sec\": {:.0}, \"bytecode_blocks_per_sec\": {:.0}, \
-             \"bytecode_speedup\": {:.2}, \"parallel_workers\": {}, \
-             \"parallel_blocks_per_sec\": {:.0}, \"parallel_speedup\": {:.2}, \
-             \"sanitize_blocks_per_sec\": {:.0}, \"sanitize_overhead_vs_tree\": {:.2}}}",
-            BLOCKS,
-            THREADS,
-            m.tree,
-            m.bytecode,
-            m.bytecode / m.tree,
-            m.workers,
-            m.parallel,
-            m.parallel / m.tree,
-            m.sanitize,
-            m.tree / m.sanitize,
-        ));
+        // Perf-regression smoke: the vectorized tier must not lose to the
+        // bytecode engine on the dense compute kernels it was built for.
+        if matches!(*name, "saxpy" | "horner15") {
+            let serial = &wrows[0];
+            assert!(
+                serial.simd >= serial.bytecode,
+                "{name}: simd tier regressed below bytecode \
+                 ({:.0} < {:.0} blocks/s serial)",
+                serial.simd,
+                serial.bytecode,
+            );
+        }
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"interp\",\n  \"unit\": \"blocks_per_sec\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"interp\",\n  \"unit\": \"blocks_per_sec\",\n  \"rows\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interp.json");
     std::fs::write(path, &json).expect("write BENCH_interp.json");

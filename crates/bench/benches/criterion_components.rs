@@ -69,6 +69,7 @@ fn bench_interpreter(c: &mut Criterion) {
 fn bench_collectives(c: &mut Criterion) {
     let model = NetModel::infiniband_100g();
     let mut g = c.benchmark_group("allgather_functional");
+    #[allow(clippy::single_element_loop)] // sweep list; add (nodes, unit) configs here
     for (nodes, unit) in [(8usize, 1usize << 17)] {
         let total = nodes * unit;
         g.throughput(Throughput::Bytes((total * (nodes - 1)) as u64));

@@ -12,8 +12,8 @@
 
 use crate::specs::ClusterSpec;
 use cucc_exec::{
-    execute_block_range, run_range, run_range_parallel, Arg, BlockStats, BufferId, EngineKind,
-    ExecError, ExecOptions, MemPool, Program,
+    execute_block_range, run_range, run_range_parallel, run_range_parallel_simd, run_range_simd,
+    Arg, BlockStats, BufferId, EngineKind, ExecError, ExecOptions, MemPool, Program,
 };
 use cucc_ir::{Kernel, LaunchConfig};
 use cucc_net::{
@@ -133,6 +133,12 @@ impl SimCluster {
                 let workers = self.intra_node_workers(opts, 1, nblocks);
                 run_range_parallel(&prog, &mut self.pools[node], blocks, workers)
             }
+            EngineKind::Simd => {
+                let prog = Program::compile(kernel, launch, args)?;
+                let nblocks = blocks.end.saturating_sub(blocks.start);
+                let workers = self.intra_node_workers(opts, 1, nblocks);
+                run_range_parallel_simd(&prog, &mut self.pools[node], blocks, workers)
+            }
         }
     }
 
@@ -182,7 +188,7 @@ impl SimCluster {
                 });
                 results.into_iter().collect()
             }
-            EngineKind::Bytecode => {
+            EngineKind::Bytecode | EngineKind::Simd => {
                 let prog = Program::compile(kernel, launch, args)?;
                 self.run_program_parallel(&prog, assignments, opts)
             }
@@ -209,6 +215,7 @@ impl SimCluster {
                 self.intra_node_workers(opts, nodes_running, nblocks)
             })
             .collect();
+        let simd = opts.engine == EngineKind::Simd;
         let mut results: Vec<Result<BlockStats, ExecError>> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -217,12 +224,11 @@ impl SimCluster {
                 .zip(assignments.iter().cloned())
                 .zip(workers.iter().copied())
                 .map(|((pool, range), w)| {
-                    s.spawn(move || {
-                        if w <= 1 {
-                            run_range(prog, pool, range)
-                        } else {
-                            run_range_parallel(prog, pool, range, w)
-                        }
+                    s.spawn(move || match (simd, w) {
+                        (false, 0..=1) => run_range(prog, pool, range),
+                        (false, _) => run_range_parallel(prog, pool, range, w),
+                        (true, 0..=1) => run_range_simd(prog, pool, range),
+                        (true, _) => run_range_parallel_simd(prog, pool, range, w),
                     })
                 })
                 .collect();

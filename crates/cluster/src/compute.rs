@@ -181,7 +181,7 @@ mod tests {
         let mut times = vec![1.0; 10];
         times.push(20.0);
         let m = lpt_makespan(&times, 4);
-        assert!(m >= 20.0 && m < 21.0 + 1e-9, "{m}");
+        assert!((20.0..21.0 + 1e-9).contains(&m), "{m}");
     }
 
     #[test]

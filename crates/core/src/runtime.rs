@@ -1531,7 +1531,9 @@ impl CuccCluster {
             };
             // Compile once per launch; both execution phases reuse it.
             let prog = match opts.engine {
-                EngineKind::Bytecode => Some(Program::compile(&ck.kernel, launch, args)?),
+                EngineKind::Bytecode | EngineKind::Simd => {
+                    Some(Program::compile(&ck.kernel, launch, args)?)
+                }
                 EngineKind::TreeWalk => None,
             };
             let stats = if let Some(prog) = &prog {
@@ -1997,7 +1999,9 @@ impl CuccCluster {
         }
         if functional {
             let prog = match opts.engine {
-                EngineKind::Bytecode => Some(Program::compile(&ck.kernel, launch, args)?),
+                EngineKind::Bytecode | EngineKind::Simd => {
+                    Some(Program::compile(&ck.kernel, launch, args)?)
+                }
                 EngineKind::TreeWalk => None,
             };
             // Pass A: the original partial slices, on every node that was
@@ -2438,12 +2442,20 @@ mod tests {
         let (mem_tree, rep_tree) = run(EngineKind::TreeWalk, 0);
         let (mem_byte, rep_byte) = run(EngineKind::Bytecode, 0);
         let (mem_par, rep_par) = run(EngineKind::Bytecode, 4);
+        let (mem_simd, rep_simd) = run(EngineKind::Simd, 0);
+        let (mem_spar, rep_spar) = run(EngineKind::Simd, 4);
         assert_eq!(mem_tree, mem_byte);
         assert_eq!(mem_tree, mem_par);
+        assert_eq!(mem_tree, mem_simd);
+        assert_eq!(mem_tree, mem_spar);
         assert_eq!(rep_tree.node_stats, rep_byte.node_stats);
         assert_eq!(rep_tree.node_stats, rep_par.node_stats);
+        assert_eq!(rep_tree.node_stats, rep_simd.node_stats);
+        assert_eq!(rep_tree.node_stats, rep_spar.node_stats);
         assert_eq!(rep_tree.times, rep_byte.times);
+        assert_eq!(rep_tree.times, rep_simd.times);
         assert_eq!(rep_tree.wire_bytes, rep_byte.wire_bytes);
+        assert_eq!(rep_tree.wire_bytes, rep_simd.wire_bytes);
     }
 
     #[test]

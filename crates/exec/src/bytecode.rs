@@ -202,11 +202,14 @@ pub(crate) enum Inst {
 pub(crate) enum PhaseOp {
     /// A maximal barrier-free code range: every live thread runs
     /// `code[start..end]` to completion before the next phase op. `batch`
-    /// is the inst-major execution mode [`seg_batchable`] proved safe.
+    /// is the inst-major execution mode [`seg_batchable`] proved safe;
+    /// `plan` indexes [`Program::lane_plans`] for the vectorized tier
+    /// ([`NO_PLAN`] when the segment is not batchable).
     Seg {
         start: u32,
         end: u32,
         batch: BatchKind,
+        plan: u32,
     },
     /// `__syncthreads()` — charges one barrier per block.
     Barrier,
@@ -255,6 +258,11 @@ pub struct Program {
     pub(crate) shared_sizes: Vec<usize>,
     /// Byte sizes of the local arrays (one image per thread each).
     pub(crate) local_sizes: Vec<usize>,
+    /// Superinstruction-fused lane programs for every batchable segment,
+    /// indexed by [`PhaseOp::Seg::plan`] (see [`build_lane_plan`]). Only the
+    /// vectorized tier ([`crate::lane`]) executes these; the bytecode and
+    /// tree-walk paths ignore them.
+    pub(crate) lane_plans: Vec<LanePlan>,
     pub(crate) launch: LaunchConfig,
     kernel_name: String,
     has_global_atomics: bool,
@@ -285,6 +293,11 @@ impl Program {
         let mut phases = c.lower_phases(&kernel.body)?;
         mark_batchable(&mut phases, &c.code, &c.slots);
         let (const_base, num_regs) = c.finish_regs();
+        // Lane plans read the *final* register layout (temporaries are
+        // `num_vars <= r < const_base`), so they must build after
+        // `finish_regs` relocates the pooled registers.
+        let mut lane_plans = Vec::new();
+        assign_lane_plans(&mut phases, &c.code, num_vars, const_base, &mut lane_plans);
         let mut has_global_atomics = false;
         kernel.visit_stmts(&mut |s| {
             if let Stmt::AtomicRmw { mem, .. } = s {
@@ -304,6 +317,7 @@ impl Program {
             slots: c.slots,
             shared_sizes: kernel.shared.iter().map(|a| a.size_bytes()).collect(),
             local_sizes: kernel.locals.iter().map(|a| a.size_bytes()).collect(),
+            lane_plans,
             launch,
             kernel_name: kernel.name.clone(),
             has_global_atomics,
@@ -326,42 +340,55 @@ impl Program {
     }
 
     /// Compact human-readable phase schedule — segment ranges with their
-    /// batch modes — for tests and diagnostics.
+    /// chosen batch/vector mode (`dense`/`pred`/`scalar`) and, for
+    /// vectorizable segments, the superinstruction count as `+Nf` — for
+    /// tests and `cucc run -v` diagnostics.
     pub fn phase_summary(&self) -> String {
-        fn fmt(ops: &[PhaseOp], out: &mut String) {
+        fn fmt(ops: &[PhaseOp], plans: &[LanePlan], out: &mut String) {
             for (i, op) in ops.iter().enumerate() {
                 if i > 0 {
                     out.push(' ');
                 }
                 match op {
-                    PhaseOp::Seg { start, end, batch } => {
+                    PhaseOp::Seg {
+                        start,
+                        end,
+                        batch,
+                        plan,
+                    } => {
                         let tag = match batch {
-                            BatchKind::No => "seg",
+                            BatchKind::No => "scalar",
                             BatchKind::Predicated => "pred",
                             BatchKind::Dense => "dense",
                         };
                         out.push_str(&format!("{tag}[{start}..{end}]"));
+                        if *plan != NO_PLAN {
+                            let fused = plans[*plan as usize].fused;
+                            if fused > 0 {
+                                out.push_str(&format!("+{fused}f"));
+                            }
+                        }
                     }
                     PhaseOp::Barrier => out.push_str("bar"),
                     PhaseOp::UniformFor { body, .. } => {
                         out.push_str("for(");
-                        fmt(body, out);
+                        fmt(body, plans, out);
                         out.push(')');
                     }
                     PhaseOp::UniformIf {
                         then_ops, else_ops, ..
                     } => {
                         out.push_str("if(");
-                        fmt(then_ops, out);
+                        fmt(then_ops, plans, out);
                         out.push_str(")(");
-                        fmt(else_ops, out);
+                        fmt(else_ops, plans, out);
                         out.push(')');
                     }
                 }
             }
         }
         let mut s = String::new();
-        fmt(&self.phases, &mut s);
+        fmt(&self.phases, &self.lane_plans, &mut s);
         s
     }
 
@@ -1100,6 +1127,7 @@ impl<'a> Compiler<'a> {
                     end: self.here(),
                     // Decided by `mark_batchable` once all code is emitted.
                     batch: BatchKind::No,
+                    plan: NO_PLAN,
                 });
                 continue;
             }
@@ -1212,7 +1240,9 @@ pub(crate) enum BatchKind {
 fn mark_batchable(phases: &mut [PhaseOp], code: &[Inst], slots: &[Option<MemSlotInfo>]) {
     for p in phases {
         match p {
-            PhaseOp::Seg { start, end, batch } => {
+            PhaseOp::Seg {
+                start, end, batch, ..
+            } => {
                 *batch = seg_batchable(code, slots, *start, *end);
             }
             PhaseOp::Barrier => {}
@@ -1320,4 +1350,644 @@ fn seg_batchable(code: &[Inst], slots: &[Option<MemSlotInfo>], start: u32, end: 
         (true, true) => BatchKind::Predicated,
         (true, false) => BatchKind::Dense,
     }
+}
+
+// ---- lane plans: superinstruction fusion for the vectorized tier --------
+
+/// Sentinel for [`PhaseOp::Seg::plan`]: no lane plan (the segment is not
+/// batchable, so the vectorized tier falls back to thread-major scalar
+/// execution).
+pub(crate) const NO_PLAN: u32 = u32::MAX;
+
+/// One instruction of a fused lane program. The base variants mirror
+/// [`Inst`] one-for-one (jump targets rebased to plan-relative indices); the
+/// superinstruction variants collapse the adjacent pairs and triples that
+/// dominate the built-in kernels, so the vectorized hot loop dispatches once
+/// where the bytecode engine dispatches two or three times. Every fused
+/// variant charges *exactly* the per-component `BlockStats` its expansion
+/// would, and faults in per-lane program order, so observational equivalence
+/// with the oracle is preserved (see [`try_fuse`] for the legality rules).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LaneOp {
+    Const {
+        dst: Reg,
+        v: Value,
+        int_ops: u32,
+        float_ops: u32,
+    },
+    Tid {
+        dst: Reg,
+        axis: Axis,
+    },
+    Bid {
+        dst: Reg,
+        axis: Axis,
+    },
+    Copy {
+        dst: Reg,
+        src: Reg,
+    },
+    Unary {
+        dst: Reg,
+        op: UnOp,
+        src: Reg,
+    },
+    Binary {
+        dst: Reg,
+        op: BinOp,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    MulAdd {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
+    Cast {
+        dst: Reg,
+        ty: Scalar,
+        src: Reg,
+    },
+    Intrin1 {
+        dst: Reg,
+        f: Intrinsic,
+        a: Reg,
+    },
+    Intrin2 {
+        dst: Reg,
+        f: Intrinsic,
+        a: Reg,
+        b: Reg,
+    },
+    Test {
+        dst: Reg,
+        src: Reg,
+    },
+    Load {
+        dst: Reg,
+        slot: u32,
+        idx: Reg,
+    },
+    Store {
+        slot: u32,
+        idx: Reg,
+        val: Reg,
+    },
+    AtomicRmw {
+        op: AtomicOp,
+        slot: u32,
+        idx: Reg,
+        val: Reg,
+    },
+    Jump {
+        target: u32,
+    },
+    JumpIfFalse {
+        cond: Reg,
+        target: u32,
+        int_ops: u32,
+    },
+    JumpIfTrue {
+        cond: Reg,
+        target: u32,
+        int_ops: u32,
+    },
+    Return,
+    /// Fused comparison + conditional branch (guard checks): jump when the
+    /// comparison result equals `jump_if`. Charges the comparison (by its
+    /// operands' kinds) plus the branch's `int_ops`; comparisons never
+    /// fault, so the fusion is observationally identical.
+    CmpBranch {
+        op: BinOp,
+        lhs: Reg,
+        rhs: Reg,
+        target: u32,
+        int_ops: u32,
+        jump_if: bool,
+    },
+    /// Fused load + binary op: `dst ← loaded ⊕ other` (or `other ⊕ loaded`
+    /// when `load_lhs` is false). Only non-faulting operators fuse.
+    LoadBin {
+        dst: Reg,
+        op: BinOp,
+        slot: u32,
+        idx: Reg,
+        other: Reg,
+        load_lhs: bool,
+    },
+    /// Fused binary op + store: `mem[idx] ← lhs ⊕ rhs`.
+    BinStore {
+        op: BinOp,
+        lhs: Reg,
+        rhs: Reg,
+        slot: u32,
+        idx: Reg,
+    },
+    /// Fused load + store (tile staging): `dslot[didx] ← sslot[sidx]`. The
+    /// two slots are necessarily distinct — `seg_batchable` forbids stores
+    /// to a loaded slot — so per-lane load-then-store order is unobservable.
+    LoadStore {
+        sslot: u32,
+        sidx: Reg,
+        dslot: u32,
+        didx: Reg,
+    },
+    /// Fused load + muladd: the loaded value takes operand position `pos`
+    /// (0 = a, 1 = b, 2 = c) of `dst ← a*b + c`; `x`/`y` are the remaining
+    /// two operands in order.
+    LoadMulAdd {
+        dst: Reg,
+        x: Reg,
+        y: Reg,
+        slot: u32,
+        idx: Reg,
+        pos: u8,
+    },
+    /// Fused muladd + store: `mem[idx] ← a*b + c`.
+    MulAddStore {
+        a: Reg,
+        b: Reg,
+        c: Reg,
+        slot: u32,
+        idx: Reg,
+    },
+    /// The saxpy triple: load, muladd (loaded value at `pos`), store.
+    LoadMulAddStore {
+        x: Reg,
+        y: Reg,
+        pos: u8,
+        lslot: u32,
+        lidx: Reg,
+        dslot: u32,
+        didx: Reg,
+    },
+}
+
+/// A batchable segment compiled for inst-major lane-array execution:
+/// superinstruction-fused ops with plan-relative jump targets.
+#[derive(Debug, Clone)]
+pub(crate) struct LanePlan {
+    pub ops: Vec<LaneOp>,
+    /// Number of source instructions eliminated by fusion (diagnostics).
+    pub fused: u32,
+}
+
+/// Build a [`LanePlan`] for every batchable segment in the phase tree and
+/// record its index in [`PhaseOp::Seg::plan`].
+fn assign_lane_plans(
+    phases: &mut [PhaseOp],
+    code: &[Inst],
+    num_vars: u32,
+    const_base: u32,
+    plans: &mut Vec<LanePlan>,
+) {
+    for p in phases {
+        match p {
+            PhaseOp::Seg {
+                start,
+                end,
+                batch,
+                plan,
+            } => {
+                if *batch != BatchKind::No {
+                    *plan = plans.len() as u32;
+                    plans.push(build_lane_plan(code, *start, *end, num_vars, const_base));
+                }
+            }
+            PhaseOp::Barrier => {}
+            PhaseOp::UniformFor { body, .. } => {
+                assign_lane_plans(body, code, num_vars, const_base, plans)
+            }
+            PhaseOp::UniformIf {
+                then_ops, else_ops, ..
+            } => {
+                assign_lane_plans(then_ops, code, num_vars, const_base, plans);
+                assign_lane_plans(else_ops, code, num_vars, const_base, plans);
+            }
+        }
+    }
+}
+
+/// Whether executing `inst` reads register `r`.
+fn inst_reads(inst: &Inst, r: Reg) -> bool {
+    match inst {
+        Inst::Const { .. } | Inst::Tid { .. } | Inst::Bid { .. } | Inst::Jump { .. } => false,
+        Inst::Return => false,
+        Inst::Copy { src, .. }
+        | Inst::Unary { src, .. }
+        | Inst::Cast { src, .. }
+        | Inst::Test { src, .. } => *src == r,
+        Inst::Binary { lhs, rhs, .. } => *lhs == r || *rhs == r,
+        Inst::MulAdd { a, b, c, .. } => *a == r || *b == r || *c == r,
+        Inst::Intrin1 { a, .. } => *a == r,
+        Inst::Intrin2 { a, b, .. } => *a == r || *b == r,
+        Inst::Load { idx, .. } => *idx == r,
+        Inst::Store { idx, val, .. } | Inst::AtomicRmw { idx, val, .. } => *idx == r || *val == r,
+        Inst::JumpIfFalse { cond, .. } | Inst::JumpIfTrue { cond, .. } => *cond == r,
+        Inst::ForInit {
+            start, end, step, ..
+        } => *start == r || *end == r || *step == r,
+        Inst::ForNext { ind, end, step, .. } => *ind == r || *end == r || *step == r,
+    }
+}
+
+/// The destination register a lane op writes, when it has one.
+fn lane_dst(op: &LaneOp) -> Option<Reg> {
+    match op {
+        LaneOp::Const { dst, .. }
+        | LaneOp::Tid { dst, .. }
+        | LaneOp::Bid { dst, .. }
+        | LaneOp::Copy { dst, .. }
+        | LaneOp::Unary { dst, .. }
+        | LaneOp::Binary { dst, .. }
+        | LaneOp::MulAdd { dst, .. }
+        | LaneOp::Cast { dst, .. }
+        | LaneOp::Intrin1 { dst, .. }
+        | LaneOp::Intrin2 { dst, .. }
+        | LaneOp::Test { dst, .. }
+        | LaneOp::Load { dst, .. }
+        | LaneOp::LoadBin { dst, .. }
+        | LaneOp::LoadMulAdd { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// Redirect a lane op's destination (result forwarding — see [`try_fuse`]).
+fn set_lane_dst(op: &mut LaneOp, r: Reg) {
+    match op {
+        LaneOp::Const { dst, .. }
+        | LaneOp::Tid { dst, .. }
+        | LaneOp::Bid { dst, .. }
+        | LaneOp::Copy { dst, .. }
+        | LaneOp::Unary { dst, .. }
+        | LaneOp::Binary { dst, .. }
+        | LaneOp::MulAdd { dst, .. }
+        | LaneOp::Cast { dst, .. }
+        | LaneOp::Intrin1 { dst, .. }
+        | LaneOp::Intrin2 { dst, .. }
+        | LaneOp::Test { dst, .. }
+        | LaneOp::Load { dst, .. }
+        | LaneOp::LoadBin { dst, .. }
+        | LaneOp::LoadMulAdd { dst, .. } => *dst = r,
+        other => unreachable!("retargeting dst-less lane op {other:?}"),
+    }
+}
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+    )
+}
+
+/// Try to fuse `inst` into the previously emitted lane op, rewriting it in
+/// place. Legality rests on three facts:
+///
+/// * the consumed register is an expression *temporary* (`num_vars <= r <
+///   const_base`) that no later instruction of the segment reads — and
+///   temporaries are always written before they are read within a segment,
+///   so a temp dead at segment end is dead, period (callers never observe
+///   its stale value);
+/// * the fused-over instruction is not a jump target (checked by the
+///   caller), and the first component is never a branch, so a lane active
+///   at the first component is active at the second — per-lane the fused op
+///   executes exactly the component sequence;
+/// * components fault in per-lane program order (load before compute before
+///   store), which is the oracle's thread-local order, and cross-lane
+///   memory effects are unobservable under `seg_batchable`'s hazard rules.
+///
+/// Faultable binary ops (`Div`/`Rem`, whose int forms can trap) never fuse,
+/// keeping every fused compute component total.
+fn try_fuse(
+    last: &mut LaneOp,
+    inst: &Inst,
+    is_temp: &dyn Fn(Reg) -> bool,
+    dead_after: &dyn Fn(Reg) -> bool,
+) -> bool {
+    let gone = |t: Reg| is_temp(t) && dead_after(t);
+    match (*last, inst) {
+        // Result forwarding: `op t; copy v<-t` => `op` writing `v` directly.
+        (ref l, Inst::Copy { dst, src }) if lane_dst(l) == Some(*src) && gone(*src) => {
+            set_lane_dst(last, *dst);
+            true
+        }
+        // Compare + branch (loop guards, `if (i < n)` predication).
+        (
+            LaneOp::Binary { dst, op, lhs, rhs },
+            Inst::JumpIfFalse {
+                cond,
+                target,
+                int_ops,
+            },
+        ) if *cond == dst && is_cmp(op) && gone(dst) => {
+            *last = LaneOp::CmpBranch {
+                op,
+                lhs,
+                rhs,
+                target: *target,
+                int_ops: *int_ops,
+                jump_if: false,
+            };
+            true
+        }
+        (
+            LaneOp::Binary { dst, op, lhs, rhs },
+            Inst::JumpIfTrue {
+                cond,
+                target,
+                int_ops,
+            },
+        ) if *cond == dst && is_cmp(op) && gone(dst) => {
+            *last = LaneOp::CmpBranch {
+                op,
+                lhs,
+                rhs,
+                target: *target,
+                int_ops: *int_ops,
+                jump_if: true,
+            };
+            true
+        }
+        // Load + binary (exactly one operand is the loaded temp).
+        (LaneOp::Load { dst: t, slot, idx }, Inst::Binary { dst, op, lhs, rhs })
+            if gone(t)
+                && !matches!(op, BinOp::Div | BinOp::Rem)
+                && ((*lhs == t) != (*rhs == t)) =>
+        {
+            let load_lhs = *lhs == t;
+            *last = LaneOp::LoadBin {
+                dst: *dst,
+                op: *op,
+                slot,
+                idx,
+                other: if load_lhs { *rhs } else { *lhs },
+                load_lhs,
+            };
+            true
+        }
+        // Load + muladd (exactly one operand is the loaded temp).
+        (LaneOp::Load { dst: t, slot, idx }, Inst::MulAdd { dst, a, b, c })
+            if gone(t) && (u32::from(*a == t) + u32::from(*b == t) + u32::from(*c == t)) == 1 =>
+        {
+            let (pos, x, y) = if *a == t {
+                (0, *b, *c)
+            } else if *b == t {
+                (1, *a, *c)
+            } else {
+                (2, *a, *b)
+            };
+            *last = LaneOp::LoadMulAdd {
+                dst: *dst,
+                x,
+                y,
+                slot,
+                idx,
+                pos,
+            };
+            true
+        }
+        // Load + store (tile staging).
+        (
+            LaneOp::Load { dst: t, slot, idx },
+            Inst::Store {
+                slot: ds,
+                idx: di,
+                val,
+            },
+        ) if *val == t && *di != t && gone(t) => {
+            *last = LaneOp::LoadStore {
+                sslot: slot,
+                sidx: idx,
+                dslot: *ds,
+                didx: *di,
+            };
+            true
+        }
+        // Binary + store.
+        (
+            LaneOp::Binary {
+                dst: t,
+                op,
+                lhs,
+                rhs,
+            },
+            Inst::Store { slot, idx, val },
+        ) if *val == t && *idx != t && gone(t) && !matches!(op, BinOp::Div | BinOp::Rem) => {
+            *last = LaneOp::BinStore {
+                op,
+                lhs,
+                rhs,
+                slot: *slot,
+                idx: *idx,
+            };
+            true
+        }
+        // Muladd + store.
+        (LaneOp::MulAdd { dst: t, a, b, c }, Inst::Store { slot, idx, val })
+            if *val == t && *idx != t && gone(t) =>
+        {
+            *last = LaneOp::MulAddStore {
+                a,
+                b,
+                c,
+                slot: *slot,
+                idx: *idx,
+            };
+            true
+        }
+        // Load + muladd + store: the saxpy triple, completed.
+        (
+            LaneOp::LoadMulAdd {
+                dst: t,
+                x,
+                y,
+                slot,
+                idx,
+                pos,
+            },
+            Inst::Store {
+                slot: ds,
+                idx: di,
+                val,
+            },
+        ) if *val == t && *di != t && gone(t) => {
+            *last = LaneOp::LoadMulAddStore {
+                x,
+                y,
+                pos,
+                lslot: slot,
+                lidx: idx,
+                dslot: *ds,
+                didx: *di,
+            };
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Compile `code[start..end)` — a segment `seg_batchable` proved safe — into
+/// a [`LanePlan`]: translate each instruction to its [`LaneOp`] mirror,
+/// greedily fusing into the previous op where [`try_fuse`] allows, then
+/// rebase jump targets to plan-relative indices.
+///
+/// Fusion never crosses a jump target (a lane resuming at the second
+/// component could not skip the first inside a fused op), and chains
+/// naturally: `Load` + `MulAdd` fuse to `LoadMulAdd`, which a following
+/// `Store` completes to `LoadMulAddStore`.
+fn build_lane_plan(
+    code: &[Inst],
+    start: u32,
+    end: u32,
+    num_vars: u32,
+    const_base: u32,
+) -> LanePlan {
+    let s = start as usize;
+    let e = end as usize;
+    let n = e - s;
+    let mut is_target = vec![false; n + 1];
+    for inst in &code[s..e] {
+        match inst {
+            Inst::Jump { target }
+            | Inst::JumpIfFalse { target, .. }
+            | Inst::JumpIfTrue { target, .. } => {
+                is_target[*target as usize - s] = true;
+            }
+            _ => {}
+        }
+    }
+    let is_temp = |r: Reg| r >= num_vars && r < const_base;
+    let mut ops: Vec<LaneOp> = Vec::with_capacity(n);
+    let mut old2new = vec![0u32; n + 1];
+    let mut fused = 0u32;
+    for pc in s..e {
+        let rel = pc - s;
+        let inst = &code[pc];
+        if !is_target[rel] {
+            if let Some(last) = ops.last_mut() {
+                let dead_after = |r: Reg| !code[pc + 1..e].iter().any(|i| inst_reads(i, r));
+                if try_fuse(last, inst, &is_temp, &dead_after) {
+                    fused += 1;
+                    old2new[rel] = ops.len() as u32 - 1;
+                    continue;
+                }
+            }
+        }
+        old2new[rel] = ops.len() as u32;
+        ops.push(match inst {
+            Inst::Const {
+                dst,
+                v,
+                int_ops,
+                float_ops,
+            } => LaneOp::Const {
+                dst: *dst,
+                v: *v,
+                int_ops: *int_ops,
+                float_ops: *float_ops,
+            },
+            Inst::Tid { dst, axis } => LaneOp::Tid {
+                dst: *dst,
+                axis: *axis,
+            },
+            Inst::Bid { dst, axis } => LaneOp::Bid {
+                dst: *dst,
+                axis: *axis,
+            },
+            Inst::Copy { dst, src } => LaneOp::Copy {
+                dst: *dst,
+                src: *src,
+            },
+            Inst::Unary { dst, op, src } => LaneOp::Unary {
+                dst: *dst,
+                op: *op,
+                src: *src,
+            },
+            Inst::Binary { dst, op, lhs, rhs } => LaneOp::Binary {
+                dst: *dst,
+                op: *op,
+                lhs: *lhs,
+                rhs: *rhs,
+            },
+            Inst::MulAdd { dst, a, b, c } => LaneOp::MulAdd {
+                dst: *dst,
+                a: *a,
+                b: *b,
+                c: *c,
+            },
+            Inst::Cast { dst, ty, src } => LaneOp::Cast {
+                dst: *dst,
+                ty: *ty,
+                src: *src,
+            },
+            Inst::Intrin1 { dst, f, a } => LaneOp::Intrin1 {
+                dst: *dst,
+                f: *f,
+                a: *a,
+            },
+            Inst::Intrin2 { dst, f, a, b } => LaneOp::Intrin2 {
+                dst: *dst,
+                f: *f,
+                a: *a,
+                b: *b,
+            },
+            Inst::Test { dst, src } => LaneOp::Test {
+                dst: *dst,
+                src: *src,
+            },
+            Inst::Load { dst, slot, idx } => LaneOp::Load {
+                dst: *dst,
+                slot: *slot,
+                idx: *idx,
+            },
+            Inst::Store { slot, idx, val } => LaneOp::Store {
+                slot: *slot,
+                idx: *idx,
+                val: *val,
+            },
+            Inst::AtomicRmw { op, slot, idx, val } => LaneOp::AtomicRmw {
+                op: *op,
+                slot: *slot,
+                idx: *idx,
+                val: *val,
+            },
+            Inst::Jump { target } => LaneOp::Jump { target: *target },
+            Inst::JumpIfFalse {
+                cond,
+                target,
+                int_ops,
+            } => LaneOp::JumpIfFalse {
+                cond: *cond,
+                target: *target,
+                int_ops: *int_ops,
+            },
+            Inst::JumpIfTrue {
+                cond,
+                target,
+                int_ops,
+            } => LaneOp::JumpIfTrue {
+                cond: *cond,
+                target: *target,
+                int_ops: *int_ops,
+            },
+            Inst::Return => LaneOp::Return,
+            Inst::ForInit { .. } | Inst::ForNext { .. } => {
+                unreachable!("loop instructions are never batchable")
+            }
+        });
+    }
+    old2new[n] = ops.len() as u32;
+    for op in &mut ops {
+        match op {
+            LaneOp::Jump { target }
+            | LaneOp::JumpIfFalse { target, .. }
+            | LaneOp::JumpIfTrue { target, .. }
+            | LaneOp::CmpBranch { target, .. } => {
+                *target = old2new[*target as usize - s];
+            }
+            _ => {}
+        }
+    }
+    LanePlan { ops, fused }
 }

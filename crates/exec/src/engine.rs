@@ -38,14 +38,19 @@ pub enum EngineKind {
     /// The compiled bytecode engine (this module).
     #[default]
     Bytecode,
+    /// The vectorized lane-array engine (`crate::lane`): inst-major over
+    /// SoA lane chunks with superinstruction fusion for batchable segments,
+    /// scalar fallback otherwise.
+    Simd,
 }
 
 impl EngineKind {
-    /// Parse a CLI spelling (`tree` / `bytecode`).
+    /// Parse a CLI spelling (`tree` / `bytecode` / `simd`).
     pub fn parse(s: &str) -> Option<EngineKind> {
         match s {
             "tree" | "tree-walk" | "treewalk" | "interp" => Some(EngineKind::TreeWalk),
             "bytecode" | "byte" | "engine" => Some(EngineKind::Bytecode),
+            "simd" | "vec" | "vector" | "vectorized" | "lanes" => Some(EngineKind::Simd),
             _ => None,
         }
     }
@@ -56,6 +61,7 @@ impl fmt::Display for EngineKind {
         match self {
             EngineKind::TreeWalk => write!(f, "tree"),
             EngineKind::Bytecode => write!(f, "bytecode"),
+            EngineKind::Simd => write!(f, "simd"),
         }
     }
 }
@@ -122,7 +128,7 @@ impl GlobalMem for MemPool {
 /// execution of such a kernel. Accesses copy at most 8 bytes through raw
 /// pointers and never form `&`/`&mut` references into the shared buffers.
 #[derive(Clone)]
-struct RacyView {
+pub(crate) struct RacyView {
     bufs: Vec<(*mut u8, usize)>,
 }
 
@@ -133,7 +139,7 @@ struct RacyView {
 unsafe impl Send for RacyView {}
 
 impl RacyView {
-    fn new(pool: &mut MemPool) -> RacyView {
+    pub(crate) fn new(pool: &mut MemPool) -> RacyView {
         let bufs = (0..pool.len())
             .map(|i| {
                 let b = pool.bytes_mut(BufferId(i as u32));
@@ -171,7 +177,7 @@ impl GlobalMem for RacyView {
 /// duration of the call — guaranteed by both [`GlobalMem::raw`] providers.
 /// The copy stays within `off + size <= len`, checked below.
 #[inline]
-fn raw_load(ptr: *const u8, len: usize, elem: Scalar, index: i64) -> Option<Value> {
+pub(crate) fn raw_load(ptr: *const u8, len: usize, elem: Scalar, index: i64) -> Option<Value> {
     let sz = elem.size();
     if index < 0 {
         return None;
@@ -191,7 +197,7 @@ fn raw_load(ptr: *const u8, len: usize, elem: Scalar, index: i64) -> Option<Valu
 /// Bounds-checked element store through a raw `(base, len)` buffer view;
 /// same SAFETY contract as [`raw_load`].
 #[inline]
-fn raw_store(ptr: *mut u8, len: usize, elem: Scalar, index: i64, value: Value) -> bool {
+pub(crate) fn raw_store(ptr: *mut u8, len: usize, elem: Scalar, index: i64, value: Value) -> bool {
     let sz = elem.size();
     if index < 0 {
         return false;
@@ -330,7 +336,9 @@ impl<'p> BlockEngine<'p> {
     fn exec_ops<M: GlobalMem>(&mut self, ops: &[PhaseOp], mem: &mut M) -> Result<(), ExecError> {
         for op in ops {
             match op {
-                PhaseOp::Seg { start, end, batch } => {
+                PhaseOp::Seg {
+                    start, end, batch, ..
+                } => {
                     if *batch != BatchKind::No && self.nthreads > 1 {
                         // Dense mode additionally needs every thread live:
                         // an earlier `return` forces predication.
@@ -1262,7 +1270,7 @@ fn demote(resume: &mut [u32], t: usize, e: ExecError, pending: &mut Option<ExecE
 }
 
 #[inline]
-fn count_op(stats: &mut BlockStats, kind: ValueKind) {
+pub(crate) fn count_op(stats: &mut BlockStats, kind: ValueKind) {
     match kind {
         ValueKind::Int => stats.int_ops += 1,
         ValueKind::Float => stats.float_ops += 1,
@@ -1270,13 +1278,13 @@ fn count_op(stats: &mut BlockStats, kind: ValueKind) {
 }
 
 #[inline]
-fn slot_info(prog: &Program, slot: u32) -> &MemSlotInfo {
+pub(crate) fn slot_info(prog: &Program, slot: u32) -> &MemSlotInfo {
     prog.slots[slot as usize]
         .as_ref()
         .expect("referenced slot is resolved at compile time")
 }
 
-fn oob(info: &MemSlotInfo, index: i64, mem: &dyn GlobalMem) -> ExecError {
+pub(crate) fn oob(info: &MemSlotInfo, index: i64, mem: &dyn GlobalMem) -> ExecError {
     let len_elems = match info.kind {
         SlotKind::Global { buf } => mem.size_of(buf) / info.elem.size(),
         SlotKind::Shared { .. } | SlotKind::Local { .. } => info.len_elems,
@@ -1289,7 +1297,7 @@ fn oob(info: &MemSlotInfo, index: i64, mem: &dyn GlobalMem) -> ExecError {
 }
 
 #[inline]
-fn load_value<M: GlobalMem>(
+pub(crate) fn load_value<M: GlobalMem>(
     info: &MemSlotInfo,
     shared: &[Vec<u8>],
     local: &[Vec<u8>],
@@ -1318,7 +1326,7 @@ fn load_value<M: GlobalMem>(
 }
 
 #[inline]
-fn store_value<M: GlobalMem>(
+pub(crate) fn store_value<M: GlobalMem>(
     info: &MemSlotInfo,
     shared: &mut [Vec<u8>],
     local: &mut [Vec<u8>],
@@ -1360,7 +1368,7 @@ fn store_value<M: GlobalMem>(
 /// register access a single small-slice index and lets the stat counters
 /// stay in machine registers across the dispatch loop.
 #[allow(clippy::too_many_arguments)]
-fn run_seg<M: GlobalMem>(
+pub(crate) fn run_seg<M: GlobalMem>(
     prog: &Program,
     regs: &mut [Value],
     shared: &mut [Vec<u8>],
@@ -1646,6 +1654,8 @@ mod tests {
         let args = setup(&mut pool_a);
         let mut pool_b = pool_a.clone();
         let mut pool_c = pool_a.clone();
+        let mut pool_d = pool_a.clone();
+        let mut pool_e = pool_a.clone();
         let oracle = execute_launch(&k, launch, &args, &mut pool_a);
         let prog = Program::compile(&k, launch, &args).unwrap();
         let engine = run_range(&prog, &mut pool_b, 0..launch.num_blocks());
@@ -1661,6 +1671,21 @@ mod tests {
             }
             (Err(_), Err(_)) => {}
             other => panic!("oracle/parallel disagree on success: {other:?}"),
+        }
+        let simd = crate::lane::run_range_simd(&prog, &mut pool_d, 0..launch.num_blocks());
+        assert_eq!(oracle, simd, "simd stats/error mismatch vs oracle");
+        if oracle.is_ok() {
+            assert_eq!(pool_a, pool_d, "simd memory mismatch vs oracle");
+        }
+        let spar =
+            crate::lane::run_range_parallel_simd(&prog, &mut pool_e, 0..launch.num_blocks(), 4);
+        match (&oracle, &spar) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "parallel simd stats mismatch");
+                assert_eq!(pool_a, pool_e, "parallel simd memory mismatch");
+            }
+            (Err(_), Err(_)) => {}
+            other => panic!("oracle/parallel-simd disagree on success: {other:?}"),
         }
     }
 
@@ -1791,8 +1816,11 @@ mod tests {
     fn engine_kind_parses() {
         assert_eq!(EngineKind::parse("tree"), Some(EngineKind::TreeWalk));
         assert_eq!(EngineKind::parse("bytecode"), Some(EngineKind::Bytecode));
+        assert_eq!(EngineKind::parse("simd"), Some(EngineKind::Simd));
+        assert_eq!(EngineKind::parse("vectorized"), Some(EngineKind::Simd));
         assert_eq!(EngineKind::parse("jit"), None);
         assert_eq!(EngineKind::Bytecode.to_string(), "bytecode");
+        assert_eq!(EngineKind::Simd.to_string(), "simd");
     }
 
     #[test]

@@ -1005,7 +1005,7 @@ mod tests {
             .map(|i| {
                 let block = i / 64;
                 let t = i % 64;
-                (block * 64 + (63 - t)) as i32
+                block * 64 + (63 - t)
             })
             .collect();
         assert_eq!(got, want);
@@ -1042,7 +1042,7 @@ mod tests {
         )
         .unwrap();
         let got = pool.read_i32(out);
-        let want: Vec<i32> = (0..32).map(|t| ((t + 3) % 32) as i32).collect();
+        let want: Vec<i32> = (0..32).map(|t| (t + 3) % 32).collect();
         assert_eq!(got, want);
     }
 

@@ -1,0 +1,1897 @@
+//! Vectorized lane-array execution tier.
+//!
+//! Third engine beside the tree-walk oracle and the bytecode engine:
+//! batchable segments run *instruction-major over chunked lane-arrays*. The
+//! register file is struct-of-arrays (`bits`/`kinds`, reg-major), threads
+//! are processed in fixed-width chunks of [`LANES`], and each chunk executes
+//! the segment's pre-fused [`LanePlan`] (see `bytecode::build_lane_plan`)
+//! with branch-free inner loops over contiguous `u64` rows the compiler can
+//! autovectorize. `Predicated` segments carry a per-lane `resume` mask
+//! through the same loops; non-batchable segments fall back to the scalar
+//! [`run_seg`] path, so every kernel the bytecode engine runs, this engine
+//! runs with bit-identical `BlockStats`, memory effects and errors.
+//!
+//! Chunk-major order (each chunk finishes the whole plan before the next
+//! chunk starts) is observationally equivalent to the oracle's thread-major
+//! order under `seg_batchable`'s hazard rules: loads only see segment-entry
+//! state, each slot has at most one store site (so stores from different
+//! lanes land ascending at distinct or last-writer-wins-identical indices
+//! exactly as the oracle's ascending thread loop), and atomics commute.
+//! Faults preserve the lowest-thread rule: a faulting lane retires itself
+//! and every lane above, lower lanes finish the plan and may overwrite the
+//! pending error with one the oracle hits first, and later chunks never
+//! start once an error is pending.
+
+use crate::bytecode::{BatchKind, LaneOp, LanePlan, PhaseOp, Program, Reg, SlotKind};
+use crate::engine::{
+    count_op, load_value, oob, raw_load, raw_store, run_seg, slot_info, store_value, GlobalMem,
+    RacyView,
+};
+use crate::interp::{
+    apply_atomic, axis_of, binop_faults, eval_binop_total, eval_intrinsic, eval_unop, Arg,
+    ExecError,
+};
+use crate::memory::MemPool;
+use crate::stats::{intrinsic_weight, BlockStats};
+use cucc_ir::{BinOp, Kernel, LaunchConfig, Scalar, Value, ValueKind};
+use std::ops::Range;
+
+/// Lane-chunk width: one chunk of threads runs the whole plan before the
+/// next chunk starts. 16 × 8-byte rows keep a chunk's working set inside two
+/// cache lines per register while giving AVX2/AVX-512 full vectors.
+pub const LANES: usize = 16;
+
+const DEAD: u32 = u32::MAX;
+
+#[inline]
+fn pack(v: Value) -> (u64, u8) {
+    match v {
+        Value::I64(i) => (i as u64, 0),
+        Value::F64(f) => (f.to_bits(), 1),
+    }
+}
+
+#[inline]
+fn unpack(bits: u64, kind: u8) -> Value {
+    if kind == 0 {
+        Value::I64(bits as i64)
+    } else {
+        Value::F64(f64::from_bits(bits))
+    }
+}
+
+/// Branch-free truthiness on the packed representation: ints are true when
+/// nonzero; floats when not ±0.0 (shifting out the sign bit — NaN stays
+/// true), matching `Value::is_true`.
+#[inline]
+fn truthy(bits: u64, kind: u8) -> bool {
+    if kind == 0 {
+        bits != 0
+    } else {
+        (bits << 1) != 0
+    }
+}
+
+#[inline]
+fn as_index(bits: u64, kind: u8) -> i64 {
+    if kind == 0 {
+        bits as i64
+    } else {
+        f64::from_bits(bits) as i64
+    }
+}
+
+/// `Some(kind)` when every lane of the row holds the same value kind — the
+/// gate for the branch-free all-float / all-int fast loops. A full chunk
+/// (`LANES` = 16 lanes) is one 16-byte compare.
+#[inline]
+fn uniform(kinds: &[u8]) -> Option<u8> {
+    let k = kinds[0];
+    if let Ok(arr) = <&[u8; LANES]>::try_from(kinds) {
+        let splat = u128::from(k) * (u128::MAX / 0xff);
+        if u128::from_ne_bytes(*arr) == splat {
+            Some(k)
+        } else {
+            None
+        }
+    } else if kinds.iter().all(|&x| x == k) {
+        Some(k)
+    } else {
+        None
+    }
+}
+
+/// Infallible int binary op on i64 lanes — exact mirror of
+/// `eval_binop_total`'s int path. Callers pre-check `Div`/`Rem` divisors.
+#[inline]
+fn ibin(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::LAnd => i64::from(a != 0 && b != 0),
+        BinOp::LOr => i64::from(a != 0 || b != 0),
+    }
+}
+
+/// Float arithmetic ops that have a branch-free all-float lane loop (same
+/// result as `eval_binop_total`'s float path).
+#[inline]
+fn fbin_arith(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    match op {
+        BinOp::Add => Some(a + b),
+        BinOp::Sub => Some(a - b),
+        BinOp::Mul => Some(a * b),
+        BinOp::Div => Some(a / b),
+        _ => None,
+    }
+}
+
+#[inline]
+fn fcmp(op: BinOp, a: f64, b: f64) -> Option<i64> {
+    match op {
+        BinOp::Lt => Some(i64::from(a < b)),
+        BinOp::Le => Some(i64::from(a <= b)),
+        BinOp::Gt => Some(i64::from(a > b)),
+        BinOp::Ge => Some(i64::from(a >= b)),
+        BinOp::Eq => Some(i64::from(a == b)),
+        BinOp::Ne => Some(i64::from(a != b)),
+        _ => None,
+    }
+}
+
+/// Arrange a muladd's operands given the loaded value `v` and its operand
+/// position (`0` = a, `1` = b, `2` = c of `a*b + c`).
+#[inline]
+fn arrange(x: Value, y: Value, v: Value, pos: u8) -> (Value, Value, Value) {
+    match pos {
+        0 => (v, x, y),
+        1 => (x, v, y),
+        _ => (x, y, v),
+    }
+}
+
+/// `Value::as_f64` on the packed representation.
+#[inline]
+fn lane_f64(bits: u64, kind: u8) -> f64 {
+    if kind == 0 {
+        bits as i64 as f64
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+/// Bounds check mirroring `raw_load`/`raw_store`: `Some(byte offset)` when
+/// `index * sz .. + sz` fits in `len`.
+#[inline]
+fn elem_off(index: i64, sz: usize, len: usize) -> Option<usize> {
+    if index < 0 {
+        return None;
+    }
+    let off = (index as usize).checked_mul(sz)?;
+    if off.checked_add(sz)? > len {
+        return None;
+    }
+    Some(off)
+}
+
+/// Bounds-checked gather of `nl` lanes from a raw global buffer straight
+/// into packed lane bits — `pack ∘ decode ∘ raw_load` per lane with the
+/// element-type dispatch hoisted out of the loop. `Err(i)` is the first
+/// faulting lane; lanes below `i` are already committed to `out`.
+#[inline]
+fn gather(
+    ptr: *const u8,
+    len: usize,
+    elem: Scalar,
+    ix: &[i64; LANES],
+    nl: usize,
+    out: &mut [u64; LANES],
+) -> Result<(), usize> {
+    let nl = nl.min(LANES);
+    let sz = elem.size();
+    macro_rules! per_lane {
+        ($t:ty, $conv:expr) => {
+            for i in 0..nl {
+                let Some(off) = elem_off(ix[i], sz, len) else {
+                    return Err(i);
+                };
+                // SAFETY: `off + sz <= len` per `elem_off`; the caller's
+                // `(ptr, len)` view contract is `GlobalMem::raw`'s.
+                let raw = unsafe { std::ptr::read_unaligned(ptr.add(off) as *const $t) };
+                out[i] = $conv(<$t>::from_le(raw));
+            }
+        };
+    }
+    match elem {
+        Scalar::U8 => per_lane!(u8, |v| v as u64),
+        Scalar::I8 => per_lane!(u8, |v| v as i8 as i64 as u64),
+        Scalar::I32 => per_lane!(u32, |v| v as i32 as i64 as u64),
+        Scalar::U32 => per_lane!(u32, |v| v as u64),
+        Scalar::I64 => per_lane!(u64, |v| v),
+        Scalar::F32 => per_lane!(u32, |v| (f32::from_bits(v) as f64).to_bits()),
+        Scalar::F64 => per_lane!(u64, |v| v),
+    }
+    Ok(())
+}
+
+/// Bounds-checked scatter of `nl` packed lanes into a raw global buffer —
+/// `raw_store ∘ unpack` per lane (same C narrowing as `encode`), dispatch
+/// hoisted. `Err(i)` is the first faulting lane; lanes below committed.
+#[inline]
+fn scatter(
+    ptr: *mut u8,
+    len: usize,
+    elem: Scalar,
+    ix: &[i64; LANES],
+    vb: &[u64],
+    vk: &[u8],
+    nl: usize,
+) -> Result<(), usize> {
+    let sz = elem.size();
+    macro_rules! per_lane {
+        ($t:ty, $conv:expr) => {
+            for i in 0..nl {
+                let Some(off) = elem_off(ix[i], sz, len) else {
+                    return Err(i);
+                };
+                let enc: $t = $conv(vb[i], vk[i]);
+                // SAFETY: bounds checked by `elem_off`; view contract as in
+                // `gather`.
+                unsafe { std::ptr::write_unaligned(ptr.add(off) as *mut $t, enc.to_le()) };
+            }
+        };
+    }
+    #[inline]
+    fn vi(b: u64, k: u8) -> i64 {
+        if k == 0 {
+            b as i64
+        } else {
+            f64::from_bits(b) as i64
+        }
+    }
+    match elem {
+        Scalar::U8 => per_lane!(u8, |b, k| vi(b, k) as u8),
+        Scalar::I8 => per_lane!(u8, |b, k| vi(b, k) as i8 as u8),
+        Scalar::I32 => per_lane!(u32, |b, k| vi(b, k) as i32 as u32),
+        Scalar::U32 => per_lane!(u32, |b, k| vi(b, k) as u32),
+        Scalar::I64 => per_lane!(u64, |b, k| vi(b, k) as u64),
+        Scalar::F32 => per_lane!(u32, |b, k| (lane_f64(b, k) as f32).to_bits()),
+        Scalar::F64 => per_lane!(u64, |b, k| lane_f64(b, k).to_bits()),
+    }
+    Ok(())
+}
+
+/// A full chunk fast-path fault: chunk-relative lane index plus the error.
+/// Lanes below the index committed the op; the lane and everything above
+/// retire.
+type LaneFault = (usize, ExecError);
+
+/// Reusable per-run lane-array execution state: the SoA register file for
+/// every thread, plus shared/local images — the lane-tier counterpart of
+/// `engine::BlockEngine`, allocated once per `run_*` call and reset per
+/// block.
+pub(crate) struct LaneEngine<'p> {
+    prog: &'p Program,
+    nthreads: usize,
+    num_locals: usize,
+    /// Reg-major packed register values: register `r`, thread `t` lives at
+    /// `bits[r * nthreads + t]`.
+    bits: Vec<u64>,
+    /// Value kind per register per thread (`0` = int, `1` = float),
+    /// same layout as `bits`.
+    kinds: Vec<u8>,
+    returned: Vec<bool>,
+    tids: Vec<(u32, u32, u32)>,
+    shared: Vec<Vec<u8>>,
+    /// Thread-major local arrays: `locals[t * num_locals + l]`.
+    locals: Vec<Vec<u8>>,
+    block: (u32, u32, u32),
+    stats: BlockStats,
+    /// AoS staging buffer for the scalar fallback (`run_seg` windows).
+    scratch: Vec<Value>,
+}
+
+impl<'p> LaneEngine<'p> {
+    pub(crate) fn new(prog: &'p Program) -> LaneEngine<'p> {
+        let nthreads = prog.launch.threads_per_block() as usize;
+        let num_regs = prog.num_regs as usize;
+        let num_locals = prog.local_sizes.len();
+        let tids: Vec<(u32, u32, u32)> = (0..nthreads)
+            .map(|t| prog.launch.block.delinearize(t as u64))
+            .collect();
+        let mut eng = LaneEngine {
+            prog,
+            nthreads,
+            num_locals,
+            bits: vec![0; num_regs * nthreads],
+            kinds: vec![0; num_regs * nthreads],
+            returned: vec![false; nthreads],
+            tids,
+            shared: prog.shared_sizes.iter().map(|&sz| vec![0u8; sz]).collect(),
+            locals: (0..nthreads)
+                .flat_map(|_| prog.local_sizes.iter().map(|&sz| vec![0u8; sz]))
+                .collect(),
+            block: (0, 0, 0),
+            stats: BlockStats::default(),
+            scratch: vec![Value::I64(0); num_regs],
+        };
+        // Launch-invariant rows are splatted once and survive every block:
+        // nothing writes them and `reset` skips them.
+        let base = prog.const_base as usize;
+        for (k, c) in prog.const_pool.iter().enumerate() {
+            let (b, kd) = pack(*c);
+            let r = base + k;
+            eng.bits[r * nthreads..(r + 1) * nthreads].fill(b);
+            eng.kinds[r * nthreads..(r + 1) * nthreads].fill(kd);
+        }
+        let tid_base = base + prog.const_pool.len();
+        for (k, axis) in prog.tid_pool.iter().enumerate() {
+            let r = tid_base + k;
+            for t in 0..nthreads {
+                eng.bits[r * nthreads + t] = axis_of(eng.tids[t], *axis) as u64;
+            }
+        }
+        eng
+    }
+
+    fn reset(&mut self) {
+        // Variable registers carry cross-statement state; temporaries are
+        // written before read, so only the leading `num_vars` rows (and the
+        // `I64(0)` kind) need clearing.
+        let nv = self.prog.num_vars as usize * self.nthreads;
+        self.bits[..nv].fill(0);
+        self.kinds[..nv].fill(0);
+        self.returned.fill(false);
+        for s in &mut self.shared {
+            s.fill(0);
+        }
+        for l in &mut self.locals {
+            l.fill(0);
+        }
+    }
+
+    #[inline]
+    fn get(&self, r: Reg, t: usize) -> Value {
+        let i = r as usize * self.nthreads + t;
+        unpack(self.bits[i], self.kinds[i])
+    }
+
+    #[inline]
+    fn set(&mut self, r: Reg, t: usize, v: Value) {
+        let (b, k) = pack(v);
+        let i = r as usize * self.nthreads + t;
+        self.bits[i] = b;
+        self.kinds[i] = k;
+    }
+
+    /// Copy one register's chunk row into stack arrays (lanes past `nl` are
+    /// zero-padded and never read).
+    #[inline]
+    fn load_row(&self, r: Reg, c0: usize, nl: usize) -> ([u64; LANES], [u8; LANES]) {
+        let base = r as usize * self.nthreads + c0;
+        let mut b = [0u64; LANES];
+        let mut k = [0u8; LANES];
+        b[..nl].copy_from_slice(&self.bits[base..base + nl]);
+        k[..nl].copy_from_slice(&self.kinds[base..base + nl]);
+        (b, k)
+    }
+
+    /// Write the first `nl` lanes of `out` to a register row with a uniform
+    /// value kind.
+    #[inline]
+    fn store_row(&mut self, r: Reg, c0: usize, nl: usize, out: &[u64; LANES], kind: u8) {
+        let base = r as usize * self.nthreads + c0;
+        self.bits[base..base + nl].copy_from_slice(&out[..nl]);
+        self.kinds[base..base + nl].fill(kind);
+    }
+
+    #[inline]
+    fn store_row_mixed(
+        &mut self,
+        r: Reg,
+        c0: usize,
+        nl: usize,
+        out: &[u64; LANES],
+        kinds: &[u8; LANES],
+    ) {
+        let base = r as usize * self.nthreads + c0;
+        self.bits[base..base + nl].copy_from_slice(&out[..nl]);
+        self.kinds[base..base + nl].copy_from_slice(&kinds[..nl]);
+    }
+
+    /// Gather a register row as memory indices (`Value::as_i64` per lane).
+    #[inline]
+    fn idx_row(&self, r: Reg, c0: usize, nl: usize) -> [i64; LANES] {
+        let base = r as usize * self.nthreads + c0;
+        let bs = &self.bits[base..base + nl];
+        let ks = &self.kinds[base..base + nl];
+        let mut ix = [0i64; LANES];
+        if uniform(ks) == Some(0) {
+            for i in 0..nl {
+                ix[i] = bs[i] as i64;
+            }
+        } else {
+            for i in 0..nl {
+                ix[i] = as_index(bs[i], ks[i]);
+            }
+        }
+        ix
+    }
+
+    /// Direct borrow of one register's chunk row (no copy) — bits and kinds.
+    #[inline]
+    fn row(&self, r: Reg, c0: usize, nl: usize) -> (&[u64], &[u8]) {
+        let base = r as usize * self.nthreads + c0;
+        (&self.bits[base..base + nl], &self.kinds[base..base + nl])
+    }
+
+    /// Broadcast a uniform loop variable to every thread's row.
+    fn set_var_all(&mut self, r: Reg, v: Value) {
+        let (b, k) = pack(v);
+        let base = r as usize * self.nthreads;
+        self.bits[base..base + self.nthreads].fill(b);
+        self.kinds[base..base + self.nthreads].fill(k);
+    }
+
+    /// Execute one block; global-memory effects land in `mem`.
+    pub(crate) fn run_block<M: GlobalMem>(
+        &mut self,
+        mem: &mut M,
+        block_linear: u64,
+    ) -> Result<BlockStats, ExecError> {
+        self.reset();
+        self.block = self.prog.launch.grid.delinearize(block_linear);
+        self.stats = BlockStats {
+            blocks: 1,
+            active_threads: self.nthreads as u64,
+            ..BlockStats::default()
+        };
+        let prog = self.prog;
+        self.exec_ops(&prog.phases, mem)?;
+        Ok(self.stats)
+    }
+
+    fn exec_ops<M: GlobalMem>(&mut self, ops: &[PhaseOp], mem: &mut M) -> Result<(), ExecError> {
+        let prog = self.prog;
+        for op in ops {
+            match op {
+                PhaseOp::Seg {
+                    start,
+                    end,
+                    batch,
+                    plan,
+                } => {
+                    if *batch != BatchKind::No && self.nthreads > 1 {
+                        self.run_plan(&prog.lane_plans[*plan as usize], mem)?;
+                    } else {
+                        for t in 0..self.nthreads {
+                            if !self.returned[t] {
+                                self.seg_scalar(t, *start, *end, mem)?;
+                            }
+                        }
+                    }
+                }
+                PhaseOp::Barrier => {
+                    self.stats.barriers += 1;
+                }
+                PhaseOp::UniformFor {
+                    var,
+                    bounds,
+                    sreg,
+                    ereg,
+                    streg,
+                    body,
+                } => {
+                    // Bounds evaluate once, on thread 0 (oracle semantics).
+                    self.seg_scalar(0, bounds.0, bounds.1, mem)?;
+                    let s = self.get(*sreg, 0).as_i64();
+                    let e = self.get(*ereg, 0).as_i64();
+                    let st = self.get(*streg, 0).as_i64();
+                    if st == 0 {
+                        return Err(ExecError::DivergentBarrier);
+                    }
+                    let mut v = s;
+                    while (st > 0 && v < e) || (st < 0 && v > e) {
+                        self.set_var_all(*var, Value::I64(v));
+                        self.exec_ops(body, mem)?;
+                        v += st;
+                    }
+                    self.set_var_all(*var, Value::I64(v));
+                }
+                PhaseOp::UniformIf {
+                    cond,
+                    creg,
+                    then_ops,
+                    else_ops,
+                } => {
+                    self.seg_scalar(0, cond.0, cond.1, mem)?;
+                    let taken = self.get(*creg, 0).is_true();
+                    self.exec_ops(if taken { then_ops } else { else_ops }, mem)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scalar fallback for non-batchable segments and uniform snippets:
+    /// stage thread `t`'s registers into an AoS window and run the shared
+    /// thread-major interpreter loop, then scatter the results back.
+    fn seg_scalar<M: GlobalMem>(
+        &mut self,
+        t: usize,
+        start: u32,
+        end: u32,
+        mem: &mut M,
+    ) -> Result<(), ExecError> {
+        let n = self.nthreads;
+        let nl = self.num_locals;
+        let prog = self.prog;
+        let num_regs = prog.num_regs as usize;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (r, s) in scratch.iter_mut().enumerate() {
+            *s = unpack(self.bits[r * n + t], self.kinds[r * n + t]);
+        }
+        let res = run_seg(
+            prog,
+            &mut scratch,
+            &mut self.shared,
+            &mut self.locals[t * nl..(t + 1) * nl],
+            &mut self.returned[t],
+            &mut self.stats,
+            self.block,
+            self.tids[t],
+            start,
+            end,
+            mem,
+        );
+        for (r, s) in scratch.iter().enumerate().take(num_regs) {
+            let (b, k) = pack(*s);
+            self.bits[r * n + t] = b;
+            self.kinds[r * n + t] = k;
+        }
+        self.scratch = scratch;
+        res
+    }
+
+    /// Run a batchable segment's fused plan, chunk-major: each [`LANES`]-wide
+    /// chunk executes the whole plan before the next chunk starts. Once a
+    /// chunk leaves an error pending, later chunks never start (the oracle
+    /// never runs those threads).
+    fn run_plan<M: GlobalMem>(&mut self, plan: &LanePlan, mem: &mut M) -> Result<(), ExecError> {
+        let n = self.nthreads;
+        let mut pending: Option<ExecError> = None;
+        let mut c0 = 0;
+        while c0 < n {
+            let nl = LANES.min(n - c0);
+            self.chunk(plan, c0, nl, &mut pending, mem);
+            if pending.is_some() {
+                break;
+            }
+            c0 += nl;
+        }
+        match pending {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Execute one lane chunk (`c0 .. c0+nl`) through the whole plan.
+    ///
+    /// Predication mirrors `seg_batched`: lane `i` executes the op at index
+    /// `ip` iff `resume[i] <= ip`; forward jumps raise the target, `Return`
+    /// or a fault retires the lane (`DEAD`). While every lane is live and
+    /// converged (`!divergent`) the chunk runs the branch-free full-width
+    /// fast paths and takes uniform branches by moving `ip` directly; a
+    /// partially-taken branch flips it into masked per-lane execution, and
+    /// full re-convergence (every resume target caught up) flips it back.
+    ///
+    /// Faults keep the lowest-thread rule: the faulting lane and everything
+    /// above retire, lower lanes continue and may overwrite `pending` with
+    /// an error the oracle (which runs them to completion *first*) reports.
+    fn chunk<M: GlobalMem>(
+        &mut self,
+        plan: &LanePlan,
+        c0: usize,
+        nl: usize,
+        pending: &mut Option<ExecError>,
+        mem: &mut M,
+    ) {
+        let nl = nl.min(LANES);
+        let ops = &plan.ops;
+        let nops = ops.len() as u32;
+        let mut resume = [0u32; LANES];
+        let mut divergent = false;
+        for (i, r) in resume.iter_mut().enumerate().take(nl) {
+            if self.returned[c0 + i] {
+                *r = DEAD;
+                divergent = true;
+            }
+        }
+        let mut ip: u32 = 0;
+        while ip < nops {
+            let op = &ops[ip as usize];
+            if !divergent {
+                match op {
+                    LaneOp::Jump { target } => {
+                        ip = *target;
+                        continue;
+                    }
+                    LaneOp::Return => {
+                        for i in 0..nl {
+                            self.returned[c0 + i] = true;
+                        }
+                        return;
+                    }
+                    LaneOp::JumpIfFalse {
+                        cond,
+                        target,
+                        int_ops,
+                    }
+                    | LaneOp::JumpIfTrue {
+                        cond,
+                        target,
+                        int_ops,
+                    } => {
+                        let jump_if = matches!(op, LaneOp::JumpIfTrue { .. });
+                        self.stats.int_ops += nl as u64 * u64::from(*int_ops);
+                        let (cb, ck) = self.row(*cond, c0, nl);
+                        let mut jump = [false; LANES];
+                        let mut njump = 0usize;
+                        for i in 0..nl {
+                            jump[i] = truthy(cb[i], ck[i]) == jump_if;
+                            njump += usize::from(jump[i]);
+                        }
+                        ip =
+                            self.branch(&jump, njump, nl, &mut resume, &mut divergent, ip, *target);
+                        continue;
+                    }
+                    LaneOp::CmpBranch {
+                        op: bop,
+                        lhs,
+                        rhs,
+                        target,
+                        int_ops,
+                        jump_if,
+                    } => {
+                        let (lb, lk) = self.row(*lhs, c0, nl);
+                        let (rb, rk) = self.row(*rhs, c0, nl);
+                        let mut jump = [false; LANES];
+                        let mut njump = 0usize;
+                        let (iops, fops);
+                        // Comparisons never fault; result is I64(0/1).
+                        match (uniform(lk), uniform(rk)) {
+                            (Some(0), Some(0)) => {
+                                for i in 0..nl {
+                                    jump[i] =
+                                        (ibin(*bop, lb[i] as i64, rb[i] as i64) != 0) == *jump_if;
+                                    njump += usize::from(jump[i]);
+                                }
+                                (iops, fops) = (nl as u64, 0);
+                            }
+                            (Some(1), Some(1)) if fcmp(*bop, 0.0, 0.0).is_some() => {
+                                for i in 0..nl {
+                                    let c =
+                                        fcmp(*bop, f64::from_bits(lb[i]), f64::from_bits(rb[i]));
+                                    jump[i] = (c.unwrap() != 0) == *jump_if;
+                                    njump += usize::from(jump[i]);
+                                }
+                                (iops, fops) = (0, nl as u64);
+                            }
+                            _ => {
+                                let (mut io, mut fo) = (0u64, 0u64);
+                                for i in 0..nl {
+                                    let l = unpack(lb[i], lk[i]);
+                                    let r = unpack(rb[i], rk[i]);
+                                    let float = l.kind() == ValueKind::Float
+                                        || r.kind() == ValueKind::Float;
+                                    if float {
+                                        fo += 1;
+                                    } else {
+                                        io += 1;
+                                    }
+                                    jump[i] =
+                                        eval_binop_total(*bop, l, r, float).is_true() == *jump_if;
+                                    njump += usize::from(jump[i]);
+                                }
+                                (iops, fops) = (io, fo);
+                            }
+                        }
+                        self.stats.int_ops += iops + nl as u64 * u64::from(*int_ops);
+                        self.stats.float_ops += fops;
+                        ip =
+                            self.branch(&jump, njump, nl, &mut resume, &mut divergent, ip, *target);
+                        continue;
+                    }
+                    _ => match self.op_full(op, c0, nl, mem) {
+                        Ok(()) => {}
+                        Err((lane, e)) => {
+                            // Lanes below the fault committed this op and
+                            // stay runnable; the faulting lane and above
+                            // retire (the oracle never runs them).
+                            for r in &mut resume[..lane] {
+                                *r = 0;
+                            }
+                            for r in &mut resume[lane..nl] {
+                                *r = DEAD;
+                            }
+                            *pending = Some(e);
+                            divergent = true;
+                        }
+                    },
+                }
+                ip += 1;
+                continue;
+            }
+            // Masked execution: recompute the active set, re-converge when
+            // every live lane has caught up.
+            let mut nact = 0usize;
+            let mut ndead = 0usize;
+            for &r in &resume[..nl] {
+                nact += usize::from(r <= ip);
+                ndead += usize::from(r == DEAD);
+            }
+            if ndead == nl {
+                return;
+            }
+            if nact == nl {
+                divergent = false;
+                continue;
+            }
+            if nact == 0 {
+                ip += 1;
+                continue;
+            }
+            match op {
+                LaneOp::Jump { target } => {
+                    for r in &mut resume[..nl] {
+                        if *r <= ip {
+                            *r = *target;
+                        }
+                    }
+                }
+                LaneOp::Return => {
+                    for (i, r) in resume[..nl].iter_mut().enumerate() {
+                        if *r <= ip {
+                            self.returned[c0 + i] = true;
+                            *r = DEAD;
+                        }
+                    }
+                }
+                LaneOp::JumpIfFalse {
+                    cond,
+                    target,
+                    int_ops,
+                }
+                | LaneOp::JumpIfTrue {
+                    cond,
+                    target,
+                    int_ops,
+                } => {
+                    let jump_if = matches!(op, LaneOp::JumpIfTrue { .. });
+                    self.stats.int_ops += nact as u64 * u64::from(*int_ops);
+                    for (i, r) in resume.iter_mut().enumerate().take(nl) {
+                        if *r <= ip && (self.get(*cond, c0 + i).is_true() == jump_if) {
+                            *r = *target;
+                        }
+                    }
+                }
+                LaneOp::CmpBranch {
+                    op: bop,
+                    lhs,
+                    rhs,
+                    target,
+                    int_ops,
+                    jump_if,
+                } => {
+                    let (mut iops, mut fops) = (0u64, 0u64);
+                    for (i, res) in resume.iter_mut().enumerate().take(nl) {
+                        if *res <= ip {
+                            let l = self.get(*lhs, c0 + i);
+                            let r = self.get(*rhs, c0 + i);
+                            let float =
+                                l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                            if float {
+                                fops += 1;
+                            } else {
+                                iops += 1;
+                            }
+                            if eval_binop_total(*bop, l, r, float).is_true() == *jump_if {
+                                *res = *target;
+                            }
+                        }
+                    }
+                    self.stats.int_ops += iops + nact as u64 * u64::from(*int_ops);
+                    self.stats.float_ops += fops;
+                }
+                _ => {
+                    for i in 0..nl {
+                        if resume[i] <= ip {
+                            if let Err(e) = self.lane_step(op, c0 + i, mem) {
+                                // Lower lanes already ran this op; this lane
+                                // and everything above retire.
+                                for r in &mut resume[i..nl] {
+                                    *r = DEAD;
+                                }
+                                *pending = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            ip += 1;
+        }
+    }
+
+    /// Resolve a full-width branch: taken by every lane → move `ip` (stay
+    /// converged), taken by none → fall through, split → raise the jumping
+    /// lanes' resume targets and go divergent.
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        &mut self,
+        jump: &[bool; LANES],
+        njump: usize,
+        nl: usize,
+        resume: &mut [u32; LANES],
+        divergent: &mut bool,
+        ip: u32,
+        target: u32,
+    ) -> u32 {
+        if njump == nl {
+            target
+        } else if njump == 0 {
+            ip + 1
+        } else {
+            for i in 0..nl {
+                if jump[i] {
+                    resume[i] = target;
+                }
+            }
+            *divergent = true;
+            ip + 1
+        }
+    }
+
+    /// Execute a data op for every lane of a fully-active chunk.
+    ///
+    /// This is the engine's hot loop: operand rows are copied into stack
+    /// arrays, the common uniform-kind cases run branch-free loops over raw
+    /// `u64`/`i64`/`f64` lanes (float muladds keep the two separate
+    /// roundings of the oracle — never `mul_add`), and memory
+    /// superinstructions hoist the slot lookup and buffer pointer out of
+    /// the per-lane loop. Anything rare falls through to [`Self::lane_step`]
+    /// per lane. On a fault, lanes below the returned index have committed
+    /// the op; the caller retires the rest.
+    fn op_full<M: GlobalMem>(
+        &mut self,
+        op: &LaneOp,
+        c0: usize,
+        nl: usize,
+        mem: &mut M,
+    ) -> Result<(), LaneFault> {
+        // `nl <= LANES` always holds; restating it lets the optimizer drop
+        // the bounds checks on `[u64; LANES]` temporaries in the lane loops.
+        let nl = nl.min(LANES);
+        let n64 = nl as u64;
+        let prog = self.prog;
+        match op {
+            LaneOp::Const {
+                dst,
+                v,
+                int_ops,
+                float_ops,
+            } => {
+                let (b, k) = pack(*v);
+                self.store_row(*dst, c0, nl, &[b; LANES], k);
+                self.stats.int_ops += n64 * u64::from(*int_ops);
+                self.stats.float_ops += n64 * u64::from(*float_ops);
+            }
+            LaneOp::Tid { dst, axis } => {
+                let mut out = [0u64; LANES];
+                for (i, o) in out.iter_mut().enumerate().take(nl) {
+                    *o = axis_of(self.tids[c0 + i], *axis) as u64;
+                }
+                self.store_row(*dst, c0, nl, &out, 0);
+            }
+            LaneOp::Bid { dst, axis } => {
+                let v = axis_of(self.block, *axis) as u64;
+                self.store_row(*dst, c0, nl, &[v; LANES], 0);
+            }
+            LaneOp::Copy { dst, src } => {
+                let n = self.nthreads;
+                let (sb, db) = (*src as usize * n + c0, *dst as usize * n + c0);
+                self.bits.copy_within(sb..sb + nl, db);
+                self.kinds.copy_within(sb..sb + nl, db);
+            }
+            LaneOp::Test { dst, src } => {
+                let (b, k) = self.row(*src, c0, nl);
+                let mut out = [0u64; LANES];
+                for i in 0..nl {
+                    out[i] = u64::from(truthy(b[i], k[i]));
+                }
+                self.store_row(*dst, c0, nl, &out, 0);
+            }
+            LaneOp::Unary { dst, op, src } => {
+                let (b, k) = self.load_row(*src, c0, nl);
+                let mut out = [0u64; LANES];
+                let mut ok = [0u8; LANES];
+                for i in 0..nl {
+                    let a = unpack(b[i], k[i]);
+                    count_op(&mut self.stats, a.kind());
+                    let (ob, okd) = pack(eval_unop(*op, a));
+                    out[i] = ob;
+                    ok[i] = okd;
+                }
+                self.store_row_mixed(*dst, c0, nl, &out, &ok);
+            }
+            LaneOp::Cast { dst, ty, src } => {
+                let (b, k) = self.load_row(*src, c0, nl);
+                let mut out = [0u64; LANES];
+                for i in 0..nl {
+                    out[i] = pack(unpack(b[i], k[i]).convert_to(*ty)).0;
+                }
+                let okind = match ty.kind() {
+                    ValueKind::Int => {
+                        self.stats.int_ops += n64;
+                        0
+                    }
+                    ValueKind::Float => {
+                        self.stats.float_ops += n64;
+                        1
+                    }
+                };
+                self.store_row(*dst, c0, nl, &out, okind);
+            }
+            LaneOp::Intrin1 { dst, f, a } => {
+                let (b, k) = self.load_row(*a, c0, nl);
+                let mut out = [0u64; LANES];
+                let mut ok = [0u8; LANES];
+                for i in 0..nl {
+                    let (ob, okd) = pack(eval_intrinsic(*f, &[unpack(b[i], k[i])]));
+                    out[i] = ob;
+                    ok[i] = okd;
+                }
+                self.stats.float_ops += n64 * intrinsic_weight(*f);
+                self.store_row_mixed(*dst, c0, nl, &out, &ok);
+            }
+            LaneOp::Intrin2 { dst, f, a, b } => {
+                let (ab, ak) = self.load_row(*a, c0, nl);
+                let (bb, bk) = self.load_row(*b, c0, nl);
+                let mut out = [0u64; LANES];
+                let mut ok = [0u8; LANES];
+                for i in 0..nl {
+                    let (ob, okd) = pack(eval_intrinsic(
+                        *f,
+                        &[unpack(ab[i], ak[i]), unpack(bb[i], bk[i])],
+                    ));
+                    out[i] = ob;
+                    ok[i] = okd;
+                }
+                self.stats.float_ops += n64 * intrinsic_weight(*f);
+                self.store_row_mixed(*dst, c0, nl, &out, &ok);
+            }
+            LaneOp::Binary { dst, op, lhs, rhs } => {
+                let (lb, lk) = self.row(*lhs, c0, nl);
+                let (rb, rk) = self.row(*rhs, c0, nl);
+                let mut out = [0u64; LANES];
+                match (uniform(lk), uniform(rk)) {
+                    (Some(1), Some(1)) if fbin_arith(*op, 0.0, 0.0).is_some() => {
+                        for i in 0..nl {
+                            let a = f64::from_bits(lb[i]);
+                            let b = f64::from_bits(rb[i]);
+                            out[i] = fbin_arith(*op, a, b).unwrap().to_bits();
+                        }
+                        self.stats.float_ops += n64;
+                        self.store_row(*dst, c0, nl, &out, 1);
+                    }
+                    (Some(1), Some(1)) if fcmp(*op, 0.0, 0.0).is_some() => {
+                        for i in 0..nl {
+                            let a = f64::from_bits(lb[i]);
+                            let b = f64::from_bits(rb[i]);
+                            out[i] = fcmp(*op, a, b).unwrap() as u64;
+                        }
+                        self.stats.float_ops += n64;
+                        self.store_row(*dst, c0, nl, &out, 0);
+                    }
+                    (Some(0), Some(0)) => {
+                        if matches!(op, BinOp::Div | BinOp::Rem) {
+                            let mut fault = None;
+                            for i in 0..nl {
+                                if rb[i] == 0 {
+                                    fault = Some(i);
+                                    break;
+                                }
+                                out[i] = ibin(*op, lb[i] as i64, rb[i] as i64) as u64;
+                            }
+                            if let Some(i) = fault {
+                                // Lanes below already computed: commit them
+                                // before reporting the fault.
+                                self.stats.int_ops += i as u64 + 1;
+                                let row = *dst as usize * self.nthreads + c0;
+                                self.bits[row..row + i].copy_from_slice(&out[..i]);
+                                self.kinds[row..row + i].fill(0);
+                                return Err((i, ExecError::DivByZero));
+                            }
+                        } else {
+                            for i in 0..nl {
+                                out[i] = ibin(*op, lb[i] as i64, rb[i] as i64) as u64;
+                            }
+                        }
+                        self.stats.int_ops += n64;
+                        self.store_row(*dst, c0, nl, &out, 0);
+                    }
+                    _ => {
+                        let mut ok = [0u8; LANES];
+                        let (mut io, mut fo) = (0u64, 0u64);
+                        let mut fault = None;
+                        for i in 0..nl {
+                            let l = unpack(lb[i], lk[i]);
+                            let r = unpack(rb[i], rk[i]);
+                            let float =
+                                l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                            if float {
+                                fo += 1;
+                            } else {
+                                io += 1;
+                            }
+                            if binop_faults(*op, r, float) {
+                                fault = Some(i);
+                                break;
+                            }
+                            let (ob, okd) = pack(eval_binop_total(*op, l, r, float));
+                            out[i] = ob;
+                            ok[i] = okd;
+                        }
+                        self.stats.int_ops += io;
+                        self.stats.float_ops += fo;
+                        if let Some(i) = fault {
+                            self.store_row_mixed(*dst, c0, i, &out, &ok);
+                            return Err((i, ExecError::DivByZero));
+                        }
+                        self.store_row_mixed(*dst, c0, nl, &out, &ok);
+                    }
+                }
+            }
+            LaneOp::MulAdd { dst, a, b, c } => {
+                let (ab, ak) = self.row(*a, c0, nl);
+                let (bb, bk) = self.row(*b, c0, nl);
+                let (cb, ck) = self.row(*c, c0, nl);
+                let kinds = (uniform(ak), uniform(bk), uniform(ck));
+                let mut out = [0u64; LANES];
+                match kinds {
+                    (Some(1), Some(1), Some(1)) => {
+                        // Fixed-width body for full chunks so the trip count
+                        // is a compile-time constant the autovectorizer can
+                        // unroll into whole vectors.
+                        if let (Ok(ab), Ok(bb), Ok(cb)) = (
+                            <&[u64; LANES]>::try_from(ab),
+                            <&[u64; LANES]>::try_from(bb),
+                            <&[u64; LANES]>::try_from(cb),
+                        ) {
+                            for i in 0..LANES {
+                                let m = f64::from_bits(ab[i]) * f64::from_bits(bb[i]);
+                                out[i] = (m + f64::from_bits(cb[i])).to_bits();
+                            }
+                        } else {
+                            for i in 0..nl {
+                                let m = f64::from_bits(ab[i]) * f64::from_bits(bb[i]);
+                                out[i] = (m + f64::from_bits(cb[i])).to_bits();
+                            }
+                        }
+                        self.stats.float_ops += 2 * n64;
+                        self.store_row(*dst, c0, nl, &out, 1);
+                    }
+                    (Some(0), Some(0), Some(0)) => {
+                        for i in 0..nl {
+                            let m = (ab[i] as i64).wrapping_mul(bb[i] as i64);
+                            out[i] = m.wrapping_add(cb[i] as i64) as u64;
+                        }
+                        self.stats.int_ops += 2 * n64;
+                        self.store_row(*dst, c0, nl, &out, 0);
+                    }
+                    _ => {
+                        let (ab, ak) = self.load_row(*a, c0, nl);
+                        let (bb, bk) = self.load_row(*b, c0, nl);
+                        let (cb, ck) = self.load_row(*c, c0, nl);
+                        let mut ok = [0u8; LANES];
+                        for i in 0..nl {
+                            let v = self.muladd(
+                                unpack(ab[i], ak[i]),
+                                unpack(bb[i], bk[i]),
+                                unpack(cb[i], ck[i]),
+                            );
+                            let (ob, okd) = pack(v);
+                            out[i] = ob;
+                            ok[i] = okd;
+                        }
+                        self.store_row_mixed(*dst, c0, nl, &out, &ok);
+                    }
+                }
+            }
+            LaneOp::Load { dst, slot, idx } => {
+                let info = slot_info(prog, *slot);
+                let sz = info.elem.size() as u64;
+                let ix = self.idx_row(*idx, c0, nl);
+                let okind = match info.elem.kind() {
+                    ValueKind::Int => 0,
+                    ValueKind::Float => 1,
+                };
+                let mut out = [0u64; LANES];
+                match info.kind {
+                    SlotKind::Global { buf } => {
+                        let (ptr, len) = mem.raw(buf);
+                        if let Err(i) = gather(ptr, len, info.elem, &ix, nl, &mut out) {
+                            self.store_row(*dst, c0, i, &out, okind);
+                            return Err((i, oob(info, ix[i], mem)));
+                        }
+                        self.stats.global_read_bytes += n64 * sz;
+                        self.stats.global_loads += n64;
+                    }
+                    SlotKind::Shared { idx: si } => {
+                        let sh = &self.shared[si as usize];
+                        let (sp, slen) = (sh.as_ptr(), sh.len());
+                        if let Err(i) = gather(sp, slen, info.elem, &ix, nl, &mut out) {
+                            self.store_row(*dst, c0, i, &out, okind);
+                            return Err((i, oob(info, ix[i], mem)));
+                        }
+                        self.stats.shared_bytes += n64 * sz;
+                    }
+                    SlotKind::Local { .. } => return self.full_fallback(op, c0, nl, mem),
+                }
+                self.stats.int_ops += n64; // address computation
+                self.store_row(*dst, c0, nl, &out, okind);
+            }
+            LaneOp::Store { slot, idx, val } => {
+                let info = slot_info(prog, *slot);
+                let sz = info.elem.size() as u64;
+                let ix = self.idx_row(*idx, c0, nl);
+                match info.kind {
+                    SlotKind::Global { buf } => {
+                        let (ptr, len) = mem.raw(buf);
+                        let (vb, vk) = self.row(*val, c0, nl);
+                        if let Err(i) = scatter(ptr, len, info.elem, &ix, vb, vk, nl) {
+                            return Err((i, oob(info, ix[i], mem)));
+                        }
+                        self.stats.global_write_bytes += n64 * sz;
+                        self.stats.global_stores += n64;
+                    }
+                    SlotKind::Shared { idx: si } => {
+                        let pv = *val as usize * self.nthreads + c0;
+                        let (vb, vk) = (&self.bits[pv..pv + nl], &self.kinds[pv..pv + nl]);
+                        let sh = &mut self.shared[si as usize];
+                        if let Err(i) =
+                            scatter(sh.as_mut_ptr(), sh.len(), info.elem, &ix, vb, vk, nl)
+                        {
+                            return Err((i, oob(info, ix[i], mem)));
+                        }
+                        self.stats.shared_bytes += n64 * sz;
+                    }
+                    SlotKind::Local { .. } => return self.full_fallback(op, c0, nl, mem),
+                }
+                self.stats.int_ops += n64; // address computation
+            }
+            LaneOp::LoadStore {
+                sslot,
+                sidx,
+                dslot,
+                didx,
+            } => {
+                let sinfo = slot_info(prog, *sslot);
+                let dinfo = slot_info(prog, *dslot);
+                let six = self.idx_row(*sidx, c0, nl);
+                let dix = self.idx_row(*didx, c0, nl);
+                let ssz = sinfo.elem.size() as u64;
+                let dsz = dinfo.elem.size() as u64;
+                // `seg_batchable` forbids stores to a loaded slot, so the
+                // source and destination images never alias; raw pointers /
+                // disjoint slices are taken per slot kind up front.
+                match (&sinfo.kind, &dinfo.kind) {
+                    (SlotKind::Global { buf: sb }, SlotKind::Global { buf: db }) => {
+                        let (sp, slen) = mem.raw(*sb);
+                        let (dp, dlen) = mem.raw(*db);
+                        let mut v = [0u64; LANES];
+                        // Gather everything first, then scatter what loaded:
+                        // a store fault on a lower lane precedes a load fault
+                        // on a higher one in the oracle's per-thread order.
+                        let lf = gather(sp, slen, sinfo.elem, &six, nl, &mut v).err();
+                        let m = lf.unwrap_or(nl);
+                        let vk = [u8::from(sinfo.elem.kind() == ValueKind::Float); LANES];
+                        let sf = scatter(dp, dlen, dinfo.elem, &dix, &v[..m], &vk[..m], m).err();
+                        if let Some(j) = sf {
+                            return Err((j, oob(dinfo, dix[j], mem)));
+                        }
+                        if let Some(i) = lf {
+                            return Err((i, oob(sinfo, six[i], mem)));
+                        }
+                        self.stats.global_read_bytes += n64 * ssz;
+                        self.stats.global_loads += n64;
+                        self.stats.global_write_bytes += n64 * dsz;
+                        self.stats.global_stores += n64;
+                    }
+                    (SlotKind::Global { buf: sb }, SlotKind::Shared { idx: di }) => {
+                        let (sp, slen) = mem.raw(*sb);
+                        let mut v = [0u64; LANES];
+                        let lf = gather(sp, slen, sinfo.elem, &six, nl, &mut v).err();
+                        let m = lf.unwrap_or(nl);
+                        let vk = [u8::from(sinfo.elem.kind() == ValueKind::Float); LANES];
+                        let sh = &mut self.shared[*di as usize];
+                        let sf = scatter(
+                            sh.as_mut_ptr(),
+                            sh.len(),
+                            dinfo.elem,
+                            &dix,
+                            &v[..m],
+                            &vk[..m],
+                            m,
+                        )
+                        .err();
+                        if let Some(j) = sf {
+                            return Err((j, oob(dinfo, dix[j], mem)));
+                        }
+                        if let Some(i) = lf {
+                            return Err((i, oob(sinfo, six[i], mem)));
+                        }
+                        self.stats.global_read_bytes += n64 * ssz;
+                        self.stats.global_loads += n64;
+                        self.stats.shared_bytes += n64 * dsz;
+                    }
+                    (SlotKind::Shared { idx: si }, SlotKind::Global { buf: db }) => {
+                        let (dp, dlen) = mem.raw(*db);
+                        let sh = &self.shared[*si as usize];
+                        let mut v = [0u64; LANES];
+                        let lf = gather(sh.as_ptr(), sh.len(), sinfo.elem, &six, nl, &mut v).err();
+                        let m = lf.unwrap_or(nl);
+                        let vk = [u8::from(sinfo.elem.kind() == ValueKind::Float); LANES];
+                        let sf = scatter(dp, dlen, dinfo.elem, &dix, &v[..m], &vk[..m], m).err();
+                        if let Some(j) = sf {
+                            return Err((j, oob(dinfo, dix[j], mem)));
+                        }
+                        if let Some(i) = lf {
+                            return Err((i, oob(sinfo, six[i], mem)));
+                        }
+                        self.stats.shared_bytes += n64 * ssz;
+                        self.stats.global_write_bytes += n64 * dsz;
+                        self.stats.global_stores += n64;
+                    }
+                    _ => return self.full_fallback(op, c0, nl, mem),
+                }
+                self.stats.int_ops += 2 * n64; // two address computations
+            }
+            LaneOp::LoadMulAdd {
+                dst,
+                x,
+                y,
+                slot,
+                idx,
+                pos,
+            } => {
+                let info = slot_info(prog, *slot);
+                let SlotKind::Global { buf } = info.kind else {
+                    return self.full_fallback(op, c0, nl, mem);
+                };
+                let sz = info.elem.size() as u64;
+                let ix = self.idx_row(*idx, c0, nl);
+                let (ptr, len) = mem.raw(buf);
+                let mut out = [0u64; LANES];
+                let all_float = {
+                    let (_, xk) = self.row(*x, c0, nl);
+                    let (_, yk) = self.row(*y, c0, nl);
+                    info.elem.kind() == ValueKind::Float
+                        && uniform(xk) == Some(1)
+                        && uniform(yk) == Some(1)
+                };
+                if all_float {
+                    let mut vb = [0u64; LANES];
+                    let lf = gather(ptr, len, info.elem, &ix, nl, &mut vb).err();
+                    let m = lf.unwrap_or(nl);
+                    let (xb, _) = self.row(*x, c0, nl);
+                    let (yb, _) = self.row(*y, c0, nl);
+                    for i in 0..m {
+                        let v = f64::from_bits(vb[i]);
+                        let (a, b, c) = match pos {
+                            0 => (v, f64::from_bits(xb[i]), f64::from_bits(yb[i])),
+                            1 => (f64::from_bits(xb[i]), v, f64::from_bits(yb[i])),
+                            _ => (f64::from_bits(xb[i]), f64::from_bits(yb[i]), v),
+                        };
+                        out[i] = (a * b + c).to_bits();
+                    }
+                    if let Some(i) = lf {
+                        self.store_row(*dst, c0, i, &out, 1);
+                        return Err((i, oob(info, ix[i], mem)));
+                    }
+                    self.stats.float_ops += 2 * n64;
+                    self.store_row(*dst, c0, nl, &out, 1);
+                } else {
+                    let (xb, xk) = self.load_row(*x, c0, nl);
+                    let (yb, yk) = self.load_row(*y, c0, nl);
+                    let mut ok = [0u8; LANES];
+                    for i in 0..nl {
+                        let Some(v) = raw_load(ptr, len, info.elem, ix[i]) else {
+                            self.store_row_mixed(*dst, c0, i, &out, &ok);
+                            return Err((i, oob(info, ix[i], mem)));
+                        };
+                        let (a, b, c) =
+                            arrange(unpack(xb[i], xk[i]), unpack(yb[i], yk[i]), v, *pos);
+                        let (ob, okd) = pack(self.muladd(a, b, c));
+                        out[i] = ob;
+                        ok[i] = okd;
+                    }
+                    self.store_row_mixed(*dst, c0, nl, &out, &ok);
+                }
+                self.stats.global_read_bytes += n64 * sz;
+                self.stats.global_loads += n64;
+                self.stats.int_ops += n64; // address computation
+            }
+            LaneOp::MulAddStore { a, b, c, slot, idx } => {
+                let info = slot_info(prog, *slot);
+                let SlotKind::Global { buf } = info.kind else {
+                    return self.full_fallback(op, c0, nl, mem);
+                };
+                let sz = info.elem.size() as u64;
+                let ix = self.idx_row(*idx, c0, nl);
+                let (ptr, len) = mem.raw(buf);
+                let all_float = {
+                    let (_, ak) = self.row(*a, c0, nl);
+                    let (_, bk) = self.row(*b, c0, nl);
+                    let (_, ck) = self.row(*c, c0, nl);
+                    uniform(ak) == Some(1) && uniform(bk) == Some(1) && uniform(ck) == Some(1)
+                };
+                if all_float {
+                    let (ab, _) = self.row(*a, c0, nl);
+                    let (bb, _) = self.row(*b, c0, nl);
+                    let (cb, _) = self.row(*c, c0, nl);
+                    let mut out = [0u64; LANES];
+                    for i in 0..nl {
+                        let m = f64::from_bits(ab[i]) * f64::from_bits(bb[i]);
+                        out[i] = (m + f64::from_bits(cb[i])).to_bits();
+                    }
+                    let vk = [1u8; LANES];
+                    if let Err(i) = scatter(ptr, len, info.elem, &ix, &out, &vk, nl) {
+                        self.stats.float_ops += 2 * (i as u64 + 1);
+                        return Err((i, oob(info, ix[i], mem)));
+                    }
+                    self.stats.float_ops += 2 * n64;
+                } else {
+                    let (ab, ak) = self.load_row(*a, c0, nl);
+                    let (bb, bk) = self.load_row(*b, c0, nl);
+                    let (cb, ck) = self.load_row(*c, c0, nl);
+                    for i in 0..nl {
+                        let v = self.muladd(
+                            unpack(ab[i], ak[i]),
+                            unpack(bb[i], bk[i]),
+                            unpack(cb[i], ck[i]),
+                        );
+                        if !raw_store(ptr, len, info.elem, ix[i], v) {
+                            return Err((i, oob(info, ix[i], mem)));
+                        }
+                    }
+                }
+                self.stats.global_write_bytes += n64 * sz;
+                self.stats.global_stores += n64;
+                self.stats.int_ops += n64; // address computation
+            }
+            LaneOp::LoadMulAddStore {
+                x,
+                y,
+                pos,
+                lslot,
+                lidx,
+                dslot,
+                didx,
+            } => {
+                let linfo = slot_info(prog, *lslot);
+                let dinfo = slot_info(prog, *dslot);
+                let (SlotKind::Global { buf: lb }, SlotKind::Global { buf: db }) =
+                    (&linfo.kind, &dinfo.kind)
+                else {
+                    return self.full_fallback(op, c0, nl, mem);
+                };
+                let lsz = linfo.elem.size() as u64;
+                let dsz = dinfo.elem.size() as u64;
+                let lix = self.idx_row(*lidx, c0, nl);
+                let dix = self.idx_row(*didx, c0, nl);
+                let (lp, llen) = mem.raw(*lb);
+                let (dp, dlen) = mem.raw(*db);
+                let all_float = {
+                    let (_, xk) = self.row(*x, c0, nl);
+                    let (_, yk) = self.row(*y, c0, nl);
+                    linfo.elem.kind() == ValueKind::Float
+                        && uniform(xk) == Some(1)
+                        && uniform(yk) == Some(1)
+                };
+                if all_float {
+                    let mut vb = [0u64; LANES];
+                    // Gather, compute, scatter; a store fault on a lower lane
+                    // precedes a load fault on a higher one (oracle order).
+                    let lf = gather(lp, llen, linfo.elem, &lix, nl, &mut vb).err();
+                    let m = lf.unwrap_or(nl);
+                    let mut out = [0u64; LANES];
+                    {
+                        let (xb, _) = self.row(*x, c0, nl);
+                        let (yb, _) = self.row(*y, c0, nl);
+                        for i in 0..m {
+                            let v = f64::from_bits(vb[i]);
+                            let (a, b, c) = match pos {
+                                0 => (v, f64::from_bits(xb[i]), f64::from_bits(yb[i])),
+                                1 => (f64::from_bits(xb[i]), v, f64::from_bits(yb[i])),
+                                _ => (f64::from_bits(xb[i]), f64::from_bits(yb[i]), v),
+                            };
+                            out[i] = (a * b + c).to_bits();
+                        }
+                    }
+                    let vk = [1u8; LANES];
+                    let sf = scatter(dp, dlen, dinfo.elem, &dix, &out[..m], &vk[..m], m).err();
+                    if let Some(j) = sf {
+                        return Err((j, oob(dinfo, dix[j], mem)));
+                    }
+                    if let Some(i) = lf {
+                        return Err((i, oob(linfo, lix[i], mem)));
+                    }
+                    self.stats.float_ops += 2 * n64;
+                } else {
+                    let (xb, xk) = self.load_row(*x, c0, nl);
+                    let (yb, yk) = self.load_row(*y, c0, nl);
+                    for i in 0..nl {
+                        let Some(v) = raw_load(lp, llen, linfo.elem, lix[i]) else {
+                            return Err((i, oob(linfo, lix[i], mem)));
+                        };
+                        let (a, b, c) =
+                            arrange(unpack(xb[i], xk[i]), unpack(yb[i], yk[i]), v, *pos);
+                        let r = self.muladd(a, b, c);
+                        if !raw_store(dp, dlen, dinfo.elem, dix[i], r) {
+                            return Err((i, oob(dinfo, dix[i], mem)));
+                        }
+                    }
+                }
+                self.stats.global_read_bytes += n64 * lsz;
+                self.stats.global_loads += n64;
+                self.stats.global_write_bytes += n64 * dsz;
+                self.stats.global_stores += n64;
+                self.stats.int_ops += 2 * n64; // two address computations
+            }
+            // Rare in batchable segments: per-lane scalar execution with the
+            // slot lookup still amortized by `lane_step`'s shared code.
+            LaneOp::LoadBin { .. } | LaneOp::BinStore { .. } | LaneOp::AtomicRmw { .. } => {
+                return self.full_fallback(op, c0, nl, mem)
+            }
+            LaneOp::Jump { .. }
+            | LaneOp::JumpIfFalse { .. }
+            | LaneOp::JumpIfTrue { .. }
+            | LaneOp::CmpBranch { .. }
+            | LaneOp::Return => unreachable!("control flow is handled by `chunk`"),
+        }
+        Ok(())
+    }
+
+    /// Per-lane scalar execution of a full-width chunk for ops without a
+    /// vector fast path.
+    fn full_fallback<M: GlobalMem>(
+        &mut self,
+        op: &LaneOp,
+        c0: usize,
+        nl: usize,
+        mem: &mut M,
+    ) -> Result<(), LaneFault> {
+        for i in 0..nl {
+            if let Err(e) = self.lane_step(op, c0 + i, mem) {
+                return Err((i, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Mul-then-add with the oracle's exact kind promotion and per-component
+    /// charging (two separate roundings in the float case).
+    #[inline]
+    fn muladd(&mut self, av: Value, bv: Value, cv: Value) -> Value {
+        let f1 = av.kind() == ValueKind::Float || bv.kind() == ValueKind::Float;
+        let m = eval_binop_total(BinOp::Mul, av, bv, f1);
+        let f2 = m.kind() == ValueKind::Float || cv.kind() == ValueKind::Float;
+        self.stats.int_ops += u64::from(!f1) + u64::from(!f2);
+        self.stats.float_ops += u64::from(f1) + u64::from(f2);
+        eval_binop_total(BinOp::Add, m, cv, f2)
+    }
+
+    /// Execute one data op for a single lane — the masked-mode workhorse
+    /// and the fallback for ops without a full-width fast path. Mirrors
+    /// `run_seg`'s per-instruction semantics and charging exactly; fused
+    /// ops execute their components in program order, so faults surface in
+    /// the order the oracle hits them.
+    fn lane_step<M: GlobalMem>(
+        &mut self,
+        op: &LaneOp,
+        t: usize,
+        mem: &mut M,
+    ) -> Result<(), ExecError> {
+        let prog = self.prog;
+        let nloc = self.num_locals;
+        match op {
+            LaneOp::Const {
+                dst,
+                v,
+                int_ops,
+                float_ops,
+            } => {
+                self.stats.int_ops += u64::from(*int_ops);
+                self.stats.float_ops += u64::from(*float_ops);
+                self.set(*dst, t, *v);
+            }
+            LaneOp::Tid { dst, axis } => {
+                let v = Value::I64(axis_of(self.tids[t], *axis) as i64);
+                self.set(*dst, t, v);
+            }
+            LaneOp::Bid { dst, axis } => {
+                let v = Value::I64(axis_of(self.block, *axis) as i64);
+                self.set(*dst, t, v);
+            }
+            LaneOp::Copy { dst, src } => {
+                let v = self.get(*src, t);
+                self.set(*dst, t, v);
+            }
+            LaneOp::Unary { dst, op, src } => {
+                let a = self.get(*src, t);
+                count_op(&mut self.stats, a.kind());
+                self.set(*dst, t, eval_unop(*op, a));
+            }
+            LaneOp::Binary { dst, op, lhs, rhs } => {
+                let l = self.get(*lhs, t);
+                let r = self.get(*rhs, t);
+                let float = l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                if float {
+                    self.stats.float_ops += 1;
+                } else {
+                    self.stats.int_ops += 1;
+                }
+                if binop_faults(*op, r, float) {
+                    return Err(ExecError::DivByZero);
+                }
+                self.set(*dst, t, eval_binop_total(*op, l, r, float));
+            }
+            LaneOp::MulAdd { dst, a, b, c } => {
+                let (av, bv, cv) = (self.get(*a, t), self.get(*b, t), self.get(*c, t));
+                let v = self.muladd(av, bv, cv);
+                self.set(*dst, t, v);
+            }
+            LaneOp::Cast { dst, ty, src } => {
+                let v = self.get(*src, t);
+                count_op(&mut self.stats, ty.kind());
+                self.set(*dst, t, v.convert_to(*ty));
+            }
+            LaneOp::Intrin1 { dst, f, a } => {
+                let av = self.get(*a, t);
+                self.stats.float_ops += intrinsic_weight(*f);
+                self.set(*dst, t, eval_intrinsic(*f, &[av]));
+            }
+            LaneOp::Intrin2 { dst, f, a, b } => {
+                let (av, bv) = (self.get(*a, t), self.get(*b, t));
+                self.stats.float_ops += intrinsic_weight(*f);
+                self.set(*dst, t, eval_intrinsic(*f, &[av, bv]));
+            }
+            LaneOp::Test { dst, src } => {
+                let v = Value::I64(i64::from(self.get(*src, t).is_true()));
+                self.set(*dst, t, v);
+            }
+            LaneOp::Load { dst, slot, idx } => {
+                let index = self.get(*idx, t).as_i64();
+                let info = slot_info(prog, *slot);
+                let v = load_value(
+                    info,
+                    &self.shared,
+                    &self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    mem,
+                )?;
+                self.set(*dst, t, v);
+            }
+            LaneOp::Store { slot, idx, val } => {
+                let index = self.get(*idx, t).as_i64();
+                let v = self.get(*val, t);
+                let info = slot_info(prog, *slot);
+                store_value(
+                    info,
+                    &mut self.shared,
+                    &mut self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    v,
+                    mem,
+                )?;
+            }
+            LaneOp::AtomicRmw { op, slot, idx, val } => {
+                let index = self.get(*idx, t).as_i64();
+                let v = self.get(*val, t);
+                let info = slot_info(prog, *slot);
+                let old = load_value(
+                    info,
+                    &self.shared,
+                    &self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    mem,
+                )?;
+                let new = apply_atomic(*op, old, v);
+                store_value(
+                    info,
+                    &mut self.shared,
+                    &mut self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    new,
+                    mem,
+                )?;
+                if matches!(info.kind, SlotKind::Global { .. }) {
+                    self.stats.global_atomics += 1;
+                }
+            }
+            LaneOp::LoadBin {
+                dst,
+                op,
+                slot,
+                idx,
+                other,
+                load_lhs,
+            } => {
+                let index = self.get(*idx, t).as_i64();
+                let info = slot_info(prog, *slot);
+                let v = load_value(
+                    info,
+                    &self.shared,
+                    &self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    mem,
+                )?;
+                let o = self.get(*other, t);
+                let (l, r) = if *load_lhs { (v, o) } else { (o, v) };
+                let float = l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                if float {
+                    self.stats.float_ops += 1;
+                } else {
+                    self.stats.int_ops += 1;
+                }
+                // Fusion excludes `Div`/`Rem`, so the op is total.
+                self.set(*dst, t, eval_binop_total(*op, l, r, float));
+            }
+            LaneOp::BinStore {
+                op,
+                lhs,
+                rhs,
+                slot,
+                idx,
+            } => {
+                let l = self.get(*lhs, t);
+                let r = self.get(*rhs, t);
+                let float = l.kind() == ValueKind::Float || r.kind() == ValueKind::Float;
+                if float {
+                    self.stats.float_ops += 1;
+                } else {
+                    self.stats.int_ops += 1;
+                }
+                let v = eval_binop_total(*op, l, r, float);
+                let index = self.get(*idx, t).as_i64();
+                let info = slot_info(prog, *slot);
+                store_value(
+                    info,
+                    &mut self.shared,
+                    &mut self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    v,
+                    mem,
+                )?;
+            }
+            LaneOp::LoadStore {
+                sslot,
+                sidx,
+                dslot,
+                didx,
+            } => {
+                let sindex = self.get(*sidx, t).as_i64();
+                let sinfo = slot_info(prog, *sslot);
+                let v = load_value(
+                    sinfo,
+                    &self.shared,
+                    &self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    sindex,
+                    mem,
+                )?;
+                let dindex = self.get(*didx, t).as_i64();
+                let dinfo = slot_info(prog, *dslot);
+                store_value(
+                    dinfo,
+                    &mut self.shared,
+                    &mut self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    dindex,
+                    v,
+                    mem,
+                )?;
+            }
+            LaneOp::LoadMulAdd {
+                dst,
+                x,
+                y,
+                slot,
+                idx,
+                pos,
+            } => {
+                let index = self.get(*idx, t).as_i64();
+                let info = slot_info(prog, *slot);
+                let v = load_value(
+                    info,
+                    &self.shared,
+                    &self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    mem,
+                )?;
+                let (a, b, c) = arrange(self.get(*x, t), self.get(*y, t), v, *pos);
+                let r = self.muladd(a, b, c);
+                self.set(*dst, t, r);
+            }
+            LaneOp::MulAddStore { a, b, c, slot, idx } => {
+                let (av, bv, cv) = (self.get(*a, t), self.get(*b, t), self.get(*c, t));
+                let v = self.muladd(av, bv, cv);
+                let index = self.get(*idx, t).as_i64();
+                let info = slot_info(prog, *slot);
+                store_value(
+                    info,
+                    &mut self.shared,
+                    &mut self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    index,
+                    v,
+                    mem,
+                )?;
+            }
+            LaneOp::LoadMulAddStore {
+                x,
+                y,
+                pos,
+                lslot,
+                lidx,
+                dslot,
+                didx,
+            } => {
+                let lindex = self.get(*lidx, t).as_i64();
+                let linfo = slot_info(prog, *lslot);
+                let v = load_value(
+                    linfo,
+                    &self.shared,
+                    &self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    lindex,
+                    mem,
+                )?;
+                let (a, b, c) = arrange(self.get(*x, t), self.get(*y, t), v, *pos);
+                let r = self.muladd(a, b, c);
+                let dindex = self.get(*didx, t).as_i64();
+                let dinfo = slot_info(prog, *dslot);
+                store_value(
+                    dinfo,
+                    &mut self.shared,
+                    &mut self.locals[t * nloc..(t + 1) * nloc],
+                    &mut self.stats,
+                    dindex,
+                    r,
+                    mem,
+                )?;
+            }
+            LaneOp::Jump { .. }
+            | LaneOp::JumpIfFalse { .. }
+            | LaneOp::JumpIfTrue { .. }
+            | LaneOp::CmpBranch { .. }
+            | LaneOp::Return => unreachable!("control flow is handled by `chunk`"),
+        }
+        Ok(())
+    }
+}
+
+/// Execute a contiguous block range serially with the vectorized lane-array
+/// engine (ascending linear index — the tree-walk oracle's order, so memory
+/// effects match bit-for-bit even for racy kernels).
+pub fn run_range_simd(
+    prog: &Program,
+    pool: &mut MemPool,
+    blocks: Range<u64>,
+) -> Result<BlockStats, ExecError> {
+    let mut eng = LaneEngine::new(prog);
+    let mut total = BlockStats::default();
+    for b in blocks {
+        total += eng.run_block(pool, b)?;
+    }
+    Ok(total)
+}
+
+/// Lane-array counterpart of `run_range_parallel`: chunk the block range
+/// across up to `workers` scoped threads, each running its own
+/// [`LaneEngine`] over a shared `RacyView`. Falls back to [`run_range_simd`]
+/// when one worker suffices or the program is `Program::serial_only`
+/// (global atomics).
+pub fn run_range_parallel_simd(
+    prog: &Program,
+    pool: &mut MemPool,
+    blocks: Range<u64>,
+    workers: usize,
+) -> Result<BlockStats, ExecError> {
+    let nblocks = blocks.end.saturating_sub(blocks.start);
+    let workers = workers.min(nblocks.min(usize::MAX as u64) as usize);
+    if workers <= 1 || prog.serial_only() {
+        return run_range_simd(prog, pool, blocks);
+    }
+    let view = RacyView::new(pool);
+    let chunks: Vec<Range<u64>> = (0..workers as u64)
+        .map(|i| {
+            let lo = blocks.start + i * nblocks / workers as u64;
+            let hi = blocks.start + (i + 1) * nblocks / workers as u64;
+            lo..hi
+        })
+        .filter(|r| !r.is_empty())
+        .collect();
+    let results: Vec<Result<BlockStats, ExecError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|r| {
+                let mut v = view.clone();
+                s.spawn(move || {
+                    let mut eng = LaneEngine::new(prog);
+                    let mut total = BlockStats::default();
+                    for b in r {
+                        total += eng.run_block(&mut v, b)?;
+                    }
+                    Ok(total)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lane engine worker panicked"))
+            .collect()
+    });
+    let mut total = BlockStats::default();
+    for r in results {
+        total += r?;
+    }
+    Ok(total)
+}
+
+/// Compile `kernel` for `launch` and execute every block with the
+/// vectorized lane-array engine — the drop-in counterpart of
+/// `crate::interp::execute_launch` and `execute_launch_bytecode`.
+pub fn execute_launch_simd(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    pool: &mut MemPool,
+) -> Result<BlockStats, ExecError> {
+    let prog = Program::compile(kernel, launch, args)?;
+    run_range_simd(&prog, pool, 0..launch.num_blocks())
+}

@@ -21,10 +21,15 @@
 //! differential-testing oracle); [`bytecode`] + [`engine`] compile a kernel
 //! once per launch into a flat register-based instruction stream and run it
 //! with a reusable per-run arena and optional intra-node block parallelism.
+//! [`lane`] adds a third, vectorized tier on top of the same compiled
+//! [`Program`]: batchable segments execute instruction-major over chunked
+//! SoA lane-arrays with superinstruction fusion, falling back to the scalar
+//! path elsewhere — bit-identical results, `EngineKind::Simd` to select it.
 
 pub mod bytecode;
 pub mod engine;
 pub mod interp;
+pub mod lane;
 pub mod memory;
 pub mod sanitize;
 pub mod stats;
@@ -35,6 +40,7 @@ pub use interp::{
     execute_block, execute_block_range, execute_block_traced, execute_launch, profile_launch, Arg,
     ExecError, LaunchProfile, WriteRecord,
 };
+pub use lane::{execute_launch_simd, run_range_parallel_simd, run_range_simd};
 pub use memory::{BufferId, MemPool};
 pub use sanitize::{sanitize_launch, OobFinding, RaceFinding, SanitizeReport};
 pub use stats::BlockStats;

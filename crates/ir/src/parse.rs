@@ -1138,10 +1138,10 @@ mod tests {
         "#;
         let k = parse_kernel(src).unwrap();
         match &k.body[0] {
-            Stmt::Store { value, .. } => match value {
-                Expr::Binary { lhs, .. } => assert_eq!(**lhs, Expr::IntConst(255)),
-                _ => unreachable!(),
-            },
+            Stmt::Store {
+                value: Expr::Binary { lhs, .. },
+                ..
+            } => assert_eq!(**lhs, Expr::IntConst(255)),
             _ => unreachable!(),
         }
     }

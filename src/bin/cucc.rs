@@ -19,7 +19,11 @@
 //!   --arg int:<v>            integer scalar
 //!   --arg float:<v>          float scalar
 //!   --seed S                 RNG seed for buffer data (default 42)
-//!   --engine tree|bytecode   functional executor       (default bytecode)
+//!   --engine tree|bytecode|simd
+//!                            functional executor       (default bytecode)
+//!   -v, --verbose            per-phase batch/vector report: why each phase
+//!                            ran dense/pred/scalar and how many
+//!                            superinstructions were fused
 //!   --node-threads N         intra-node worker threads (default 0 = auto)
 //!   --modeled                timing-only (skip functional execution)
 //!   --streams N              after the verified run, replay the kernel as
@@ -356,6 +360,7 @@ struct RunOpts {
     node_threads: usize,
     sanitize: bool,
     faults: Vec<String>,
+    verbose: bool,
 }
 
 fn parse_dim(s: &str) -> Result<Dim3, String> {
@@ -388,6 +393,7 @@ impl RunOpts {
             node_threads: 0,
             sanitize: false,
             faults: Vec::new(),
+            verbose: false,
         };
         let mut i = 0;
         let need = |i: &mut usize| -> Result<&String, String> {
@@ -417,8 +423,9 @@ impl RunOpts {
                 "--sanitize" => o.sanitize = true,
                 "--engine" => {
                     let v = need(&mut i)?;
-                    o.engine = EngineKind::parse(v)
-                        .ok_or_else(|| format!("--engine: unknown engine `{v}` (tree|bytecode)"))?;
+                    o.engine = EngineKind::parse(v).ok_or_else(|| {
+                        format!("--engine: unknown engine `{v}` (tree|bytecode|simd)")
+                    })?;
                 }
                 "--node-threads" => {
                     o.node_threads = need(&mut i)?
@@ -430,6 +437,7 @@ impl RunOpts {
                     o.args.push(parse_arg(spec)?);
                 }
                 "--fault" => o.faults.push(need(&mut i)?.clone()),
+                "-v" | "--verbose" => o.verbose = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
             i += 1;
@@ -699,6 +707,24 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         );
     }
 
+    if opts.verbose {
+        // Per-phase batch/vector report: shows why each phase ran dense,
+        // predicated, or scalar, and how many superinstructions were fused.
+        match cucc::exec::Program::compile(&ck.kernel, launch, &cargs) {
+            Ok(prog) => {
+                out += "  vectorization (per phase):\n";
+                for line in prog.phase_summary().lines() {
+                    out += &format!("    {line}\n");
+                }
+            }
+            Err(e) => out += &format!("  vectorization: unavailable ({e})\n"),
+        }
+        out += &format!(
+            "  simd analysis: {}\n",
+            cucc::analysis::analyze_simd(&ck.kernel).summary()
+        );
+    }
+
     if opts.streams > 0 {
         // Replay the kernel as a pipeline of independent replicas — fresh
         // buffers, async h2d + launch per replica, round-robin over the
@@ -948,7 +974,7 @@ mod tests {
 
     #[test]
     fn run_with_engine_flags() {
-        for engine in ["tree", "bytecode"] {
+        for engine in ["tree", "bytecode", "simd"] {
             let opts = RunOpts::parse(
                 &[
                     "--nodes",
@@ -981,6 +1007,86 @@ mod tests {
             assert!(out.contains("matches GPU"), "{out}");
         }
         assert!(RunOpts::parse(&["--engine".into(), "jit".into()]).is_err());
+    }
+
+    #[test]
+    fn run_verbose_reports_vector_mode() {
+        // Three-address saxpy: the output buffer is distinct from both
+        // inputs, so the guarded body batches under a per-lane mask.
+        let src = "__global__ void saxpy3(float* x, float* y, float* out, float a, int n) {
+            int id = blockIdx.x * blockDim.x + threadIdx.x;
+            if (id < n) out[id] = a * x[id] + y[id];
+        }";
+        let opts = RunOpts::parse(
+            &[
+                "--nodes",
+                "2",
+                "--grid",
+                "8",
+                "--block",
+                "128",
+                "--engine",
+                "simd",
+                "-v",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:1024",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(opts.verbose);
+        let out = cmd_run(src, &opts).unwrap();
+        // The guarded body vectorizes under a mask (pred) with fused
+        // superinstructions; the report should say so and include the simd
+        // analysis verdict. The in-place SAXPY kernel, by contrast, must
+        // report scalar (load/store hazard on `y`).
+        assert!(out.contains("vectorization (per phase):"), "{out}");
+        let seg = out
+            .lines()
+            .find(|l| l.contains("pred[") || l.contains("dense["))
+            .unwrap_or_else(|| panic!("no vectorized segment in {out}"));
+        assert!(seg.contains('f'), "no fused-count marker in `{seg}`");
+        assert!(out.contains("simd analysis:"), "{out}");
+        assert!(out.contains("lane efficiency"), "{out}");
+
+        let scalar_out = cmd_run(SAXPY, &opts_for_saxpy()).unwrap();
+        assert!(scalar_out.contains("scalar["), "{scalar_out}");
+    }
+
+    fn opts_for_saxpy() -> RunOpts {
+        RunOpts::parse(
+            &[
+                "--grid",
+                "8",
+                "--block",
+                "128",
+                "--engine",
+                "simd",
+                "-v",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "buf:1024f32",
+                "--arg",
+                "float:2.0",
+                "--arg",
+                "int:1024",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap()
     }
 
     #[test]

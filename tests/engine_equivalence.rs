@@ -1,7 +1,8 @@
 //! Differential property tests: the bytecode engine (`cucc::exec::bytecode`
-//! + `engine`) must match the tree-walk oracle **bit-for-bit** — identical
-//! `BlockStats` counters, identical final memory, identical runtime errors —
-//! on randomly generated kernels and launch shapes.
+//! plus `engine`) and the vectorized lane-array engine (`cucc::exec::lane`)
+//! must match the tree-walk oracle **bit-for-bit** — identical `BlockStats`
+//! counters, identical final memory, identical runtime errors — on randomly
+//! generated kernels and launch shapes.
 //!
 //! Three kernel families target the engine's distinct code paths:
 //!
@@ -17,8 +18,8 @@
 //!    oracle memory and stats exactly, for any worker count.
 
 use cucc::exec::{
-    execute_block_range, execute_launch, execute_launch_bytecode, run_range, run_range_parallel,
-    Arg, MemPool, Program,
+    execute_block_range, execute_launch, execute_launch_bytecode, execute_launch_simd, run_range,
+    run_range_parallel, run_range_parallel_simd, run_range_simd, Arg, MemPool, Program,
 };
 use cucc::ir::{
     validate, AtomicOp, Axis, Expr, Intrinsic, Kernel, KernelBuilder, LaunchConfig, MemRef, Scalar,
@@ -72,6 +73,21 @@ fn assert_equiv(k: &Kernel, launch: LaunchConfig) {
         (Err(ea), Err(eb)) => assert_eq!(ea, eb, "errors diverged"),
         _ => panic!("result kind diverged: oracle={ra:?} bytecode={rb:?}"),
     }
+    // Vectorized lane-array tier: chunk-major execution with superinstruction
+    // fusion must still be observationally identical to the oracle.
+    let (mut pool_c, cargs) = seed_pool();
+    let rc = execute_launch_simd(k, launch, &cargs, &mut pool_c);
+    match (&ra, &rc) {
+        (Ok(sa), Ok(sc)) => {
+            assert_eq!(sa, sc, "simd BlockStats diverged");
+            for id in 0..pool_a.len() {
+                let id = cucc::exec::BufferId(id as u32);
+                assert_eq!(pool_a.bytes(id), pool_c.bytes(id), "simd memory diverged");
+            }
+        }
+        (Err(ea), Err(ec)) => assert_eq!(ea, ec, "simd errors diverged"),
+        _ => panic!("result kind diverged: oracle={ra:?} simd={rc:?}"),
+    }
     // Partial block ranges (how cluster nodes drive the engine): the serial
     // engine over a sub-range must match the oracle over the same sub-range.
     let n = launch.num_blocks();
@@ -79,13 +95,17 @@ fn assert_equiv(k: &Kernel, launch: LaunchConfig) {
         let range = (n / 4)..(n - n / 4);
         let (mut pa, args) = seed_pool();
         let mut pb = pa.clone();
+        let mut pc = pa.clone();
         let sa = execute_block_range(k, launch, range.clone(), &args, &mut pa).unwrap();
         let prog = Program::compile(k, launch, &args).unwrap();
-        let sb = run_range(&prog, &mut pb, range).unwrap();
+        let sb = run_range(&prog, &mut pb, range.clone()).unwrap();
         assert_eq!(sa, sb, "sub-range BlockStats diverged");
+        let sc = run_range_simd(&prog, &mut pc, range).unwrap();
+        assert_eq!(sa, sc, "sub-range simd BlockStats diverged");
         for id in 0..pa.len() {
             let id = cucc::exec::BufferId(id as u32);
             assert_eq!(pa.bytes(id), pb.bytes(id), "sub-range memory diverged");
+            assert_eq!(pa.bytes(id), pc.bytes(id), "sub-range simd memory diverged");
         }
     }
 }
@@ -619,9 +639,11 @@ proptest! {
         let launch = LaunchConfig::new(grid, 16u32);
         let (mut pool_a, args) = seed_pool();
         let mut pool_b = pool_a.clone();
+        let mut pool_c = pool_a.clone();
         let ra = execute_launch(&k, launch, &args, &mut pool_a);
         let prog = Program::compile(&k, launch, &args).unwrap();
         let rb = run_range_parallel(&prog, &mut pool_b, 0..launch.num_blocks(), workers);
+        let rc = run_range_parallel_simd(&prog, &mut pool_c, 0..launch.num_blocks(), workers);
         match (&ra, &rb) {
             (Ok(sa), Ok(sb)) => {
                 prop_assert_eq!(sa, sb, "BlockStats diverged under {} workers", workers);
@@ -632,6 +654,17 @@ proptest! {
             }
             (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
             _ => prop_assert!(false, "result kind diverged: {:?} vs {:?}", ra, rb),
+        }
+        match (&ra, &rc) {
+            (Ok(sa), Ok(sc)) => {
+                prop_assert_eq!(sa, sc, "simd BlockStats diverged under {} workers", workers);
+                for id in 0..pool_a.len() {
+                    let id = cucc::exec::BufferId(id as u32);
+                    prop_assert_eq!(pool_a.bytes(id), pool_c.bytes(id), "simd memory diverged");
+                }
+            }
+            (Err(ea), Err(ec)) => prop_assert_eq!(ea, ec),
+            _ => prop_assert!(false, "simd result kind diverged: {:?} vs {:?}", ra, rc),
         }
     }
 }
@@ -663,6 +696,7 @@ fn atomic_kernel_parallel_fallback_matches_oracle() {
     let args = vec![Arg::Buffer(out_a)];
     let mut pool_b = pool_a.clone();
 
+    let mut pool_c = pool_b.clone();
     let sa = execute_launch(&k, launch, &args, &mut pool_a).unwrap();
     let prog = Program::compile(&k, launch, &args).unwrap();
     assert!(
@@ -672,6 +706,115 @@ fn atomic_kernel_parallel_fallback_matches_oracle() {
     let sb = run_range_parallel(&prog, &mut pool_b, 0..launch.num_blocks(), 4).unwrap();
     assert_eq!(sa, sb);
     assert_eq!(pool_a.bytes(out_a), pool_b.bytes(out_a));
+    // The vectorized tier takes the same serial fallback; the interleaved
+    // read-modify-writes must still match the oracle exactly.
+    let sc = run_range_parallel_simd(&prog, &mut pool_c, 0..launch.num_blocks(), 4).unwrap();
+    assert_eq!(sa, sc);
+    assert_eq!(pool_a.bytes(out_a), pool_c.bytes(out_a));
+}
+
+/// Divergent per-lane masks: an early `return` retires some lanes and a
+/// data-dependent guard predicates the store. The segment must batch as
+/// `pred` and the vectorized tier must match the oracle bit-for-bit,
+/// serially and under parallel workers.
+#[test]
+fn divergent_mask_kernel_matches_oracle_simd() {
+    let mut b = KernelBuilder::new("divergent");
+    let out = b.buffer("out", Scalar::I64);
+    let fbuf = b.buffer("fbuf", Scalar::F32);
+    let g = b.let_(
+        "g",
+        Expr::BlockIdx(Axis::X)
+            .mul(Expr::BlockDim(Axis::X))
+            .add(Expr::ThreadIdx(Axis::X)),
+    );
+    b.if_then(Expr::Var(g).rem(Expr::int(4)).eq_(Expr::int(0)), |b| {
+        b.ret()
+    });
+    let v = b.let_("v", Expr::load(fbuf, Expr::Var(g).rem(Expr::int(F_LEN))));
+    b.if_then(Expr::Var(v).lt(Expr::float(0.5)), |b| {
+        b.store(
+            out,
+            Expr::Var(g),
+            Expr::cast(Scalar::I64, Expr::Var(v).mul(Expr::float(3.0))),
+        );
+    });
+    let k = b.finish();
+    validate(&k).unwrap();
+    let launch = LaunchConfig::new(6u32, 20u32);
+
+    let mut pool_a = MemPool::new();
+    let out_id = pool_a.alloc_elems(Scalar::I64, OUT_LEN as usize);
+    let fb = pool_a.alloc_elems(Scalar::F32, F_LEN as usize);
+    let f_bytes: Vec<u8> = (0..F_LEN)
+        .flat_map(|i| (i as f32 * 0.37 - 2.5).to_le_bytes())
+        .collect();
+    pool_a.write_all(fb, &f_bytes);
+    let args = vec![Arg::Buffer(out_id), Arg::Buffer(fb)];
+    let mut pool_b = pool_a.clone();
+    let mut pool_c = pool_a.clone();
+
+    let sa = execute_launch(&k, launch, &args, &mut pool_a).unwrap();
+    let prog = Program::compile(&k, launch, &args).unwrap();
+    assert!(
+        prog.phase_summary().contains("pred["),
+        "divergent kernel should batch predicated: {}",
+        prog.phase_summary()
+    );
+    let sb = run_range_simd(&prog, &mut pool_b, 0..launch.num_blocks()).unwrap();
+    assert_eq!(sa, sb);
+    assert_eq!(pool_a.bytes(out_id), pool_b.bytes(out_id));
+    let sc = run_range_parallel_simd(&prog, &mut pool_c, 0..launch.num_blocks(), 3).unwrap();
+    assert_eq!(sa, sc);
+    assert_eq!(pool_a.bytes(out_id), pool_c.bytes(out_id));
+}
+
+/// Multiple lanes of one chunk fault on an out-of-bounds store: the
+/// vectorized tier must report the *lowest* faulting thread's error,
+/// exactly as the serial oracle does — both in dense full-mode and under a
+/// divergent mask.
+#[test]
+fn faulting_lanes_report_lowest_thread_simd() {
+    for guarded in [false, true] {
+        let mut b = KernelBuilder::new("oob");
+        let out = b.buffer("out", Scalar::I64);
+        let idx = Expr::ThreadIdx(Axis::X)
+            .mul(Expr::int(17))
+            .rem(Expr::int(256));
+        let val = Expr::cast(Scalar::I64, Expr::ThreadIdx(Axis::X));
+        if guarded {
+            let cond = Expr::ThreadIdx(Axis::X).rem(Expr::int(2)).eq_(Expr::int(0));
+            let (idx, val) = (idx.clone(), val.clone());
+            b.if_then(cond, move |b| b.store(out, idx, val));
+        } else {
+            b.store(out, idx, val);
+        }
+        let k = b.finish();
+        validate(&k).unwrap();
+        let launch = LaunchConfig::new(2u32, 32u32);
+
+        let mut pool_a = MemPool::new();
+        let out_id = pool_a.alloc_elems(Scalar::I64, OUT_LEN as usize);
+        let args = vec![Arg::Buffer(out_id)];
+        let mut pool_b = pool_a.clone();
+        let mut pool_c = pool_a.clone();
+
+        let ra = execute_launch(&k, launch, &args, &mut pool_a);
+        let ea = ra.expect_err("threads with tid*17 % 256 >= OUT_LEN must fault");
+        let prog = Program::compile(&k, launch, &args).unwrap();
+        let want = if guarded { "pred[" } else { "dense[" };
+        assert!(
+            prog.phase_summary().contains(want),
+            "guarded={guarded}: {}",
+            prog.phase_summary()
+        );
+        let eb = run_range_simd(&prog, &mut pool_b, 0..launch.num_blocks())
+            .expect_err("simd must fault too");
+        assert_eq!(ea, eb, "guarded={guarded}: simd fault diverged from oracle");
+        let ec = run_range_parallel_simd(&prog, &mut pool_c, 0..launch.num_blocks(), 4)
+            .expect_err("parallel simd must fault too");
+        assert_eq!(ea, ec, "guarded={guarded}: parallel simd fault diverged");
+    }
 }
 
 /// Intrinsic calls (weighted float ops) must count identically.

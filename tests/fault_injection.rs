@@ -125,8 +125,10 @@ fn disabling_verification_skips_the_check() {
     let ck = compile_source(SAXPY).unwrap();
     let n = 1024usize;
     let launch = LaunchConfig::cover1(n as u64, 256);
-    let mut cfg = RuntimeConfig::default();
-    cfg.verify_consistency = false;
+    let cfg = RuntimeConfig {
+        verify_consistency: false,
+        ..Default::default()
+    };
     let mut cl = CuccCluster::new(ClusterSpec::simd_focused().with_nodes(2), cfg);
     let x = cl.alloc(n * 4);
     let y = cl.alloc(n * 4);
