@@ -69,6 +69,25 @@ impl SimCluster {
         self.pools[node].bytes(id)
     }
 
+    /// Grow the cluster by one node whose memory starts as a byte-for-byte
+    /// clone of node `src`'s pool — the state transfer a joining node
+    /// receives over the wire (the time cost is charged by the runtime
+    /// layer). Returns the new node's id.
+    pub fn add_node_from(&mut self, src: usize) -> usize {
+        let pool = self.pools[src].clone();
+        self.pools.push(pool);
+        self.spec.nodes = self.pools.len() as u32;
+        self.pools.len() - 1
+    }
+
+    /// Overwrite node `dst`'s memory with a byte-for-byte clone of node
+    /// `src`'s pool — the state transfer a *reviving* node receives (its
+    /// pool contents are stale from before it died).
+    pub fn copy_node_state(&mut self, src: usize, dst: usize) {
+        assert_ne!(src, dst, "state transfer needs two distinct nodes");
+        self.pools[dst] = self.pools[src].clone();
+    }
+
     /// Immutable access to a node memory.
     pub fn node(&self, i: usize) -> &MemPool {
         &self.pools[i]

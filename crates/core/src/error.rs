@@ -39,6 +39,9 @@ pub enum MigrateError {
         /// Surviving nodes at the point of failure.
         survivors: u32,
     },
+    /// A checkpoint could not be written, read, or restored (I/O failure,
+    /// corrupt or incompatible payload, mismatched fault plan).
+    Checkpoint(String),
 }
 
 impl fmt::Display for MigrateError {
@@ -60,6 +63,7 @@ impl fmt::Display for MigrateError {
                 f,
                 "degraded execution required but disallowed: {context} ({survivors} survivors)"
             ),
+            MigrateError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }
@@ -115,5 +119,7 @@ mod tests {
         assert!(e.to_string().contains("disallowed"));
         let e = MigrateError::Transfer("buffer 9 does not exist".into());
         assert!(e.to_string().contains("transfer error"));
+        let e = MigrateError::Checkpoint("bad magic".into());
+        assert!(e.to_string().contains("checkpoint error"));
     }
 }

@@ -49,6 +49,7 @@ pub mod program;
 pub mod report;
 pub mod runtime;
 pub mod schedule;
+pub mod state;
 pub mod stream;
 pub mod transfer;
 pub mod transform;
@@ -62,6 +63,7 @@ pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, P
 pub use report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes, ThreePhaseShape};
 pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig, RuntimeConfigBuilder};
 pub use schedule::{schedule_key, LaunchSchedule, ScheduleCache, ScheduleDecision, ScheduleKey};
+pub use state::{Checkpoint, ClusterState, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use stream::{EventId, StreamId, StreamSet, DEFAULT_STREAM};
 pub use transfer::HostScalar;
 pub use transform::{can_split_blocks, split_blocks};

@@ -10,6 +10,7 @@ use crate::report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes};
 use crate::schedule::{
     plan_schedule, schedule_key, LaunchSchedule, ScheduleCache, ScheduleDecision,
 };
+use crate::state::{Checkpoint, ClusterState};
 use crate::stream::{EventId, StreamId, StreamSet};
 use crate::transfer::HostScalar;
 use cucc_analysis::{LaunchFootprints, Partition, ReplicationCause, ThreePhasePlan};
@@ -17,11 +18,11 @@ use cucc_cluster::{ClusterSpec, SimCluster};
 use cucc_exec::{Arg, BufferId, EngineKind, ExecOptions, Program};
 use cucc_ir::LaunchConfig;
 use cucc_net::{
-    allgather_cost_traced, allgather_cost_traced_fallible, broadcast_traced, owner_bytes,
-    partial_gather_cost_traced, AllgatherAlgo, AllgatherPlacement, FaultInjector, FaultPlan,
-    GatherSegment,
+    allgather_cost_traced, allgather_cost_traced_fallible, broadcast_traced, collective_step_time,
+    owner_bytes, partial_gather_cost_traced, AllgatherAlgo, AllgatherPlacement, FaultInjector,
+    FaultPlan, GatherSegment,
 };
-use cucc_trace::{Category, Mark, Timeline, Track};
+use cucc_trace::{Category, Mark, Timeline, Track, WIRE_BYTES};
 use std::collections::BTreeMap;
 
 /// Whether launches execute functionally or are only timed.
@@ -215,11 +216,16 @@ pub struct CuccCluster {
     /// [`CuccCluster::clock`], [`LaunchReport`] phase times and wire bytes
     /// are derived views over the recorded spans and counters.
     timeline: Timeline,
-    /// Logical cluster size. In [`ExecutionFidelity::Modeled`] only one
-    /// physical node memory is materialized (paper-scale sweeps would
-    /// otherwise replicate gigabytes across 32 pools); the time model still
-    /// uses the logical node count.
-    logical_nodes: usize,
+    /// The single ownership boundary for cluster **membership**: logical
+    /// node count, per-node liveness, the monotonically increasing
+    /// membership epoch and the interned shape registry. Every layer that
+    /// reads the cluster shape — planner, scheduler cache, fault recovery,
+    /// consistency checks, the CLI — goes through here. In
+    /// [`ExecutionFidelity::Modeled`] only one physical node memory is
+    /// materialized (paper-scale sweeps would otherwise replicate
+    /// gigabytes across 32 pools); the time model still uses the logical
+    /// node count this state carries.
+    state: ClusterState,
     /// Stream/event state and the RAW/WAW/WAR hazard tracker behind the
     /// async command-queue API. Empty (default stream only, nothing
     /// pending) unless the async entry points are used.
@@ -231,12 +237,10 @@ pub struct CuccCluster {
     /// when the plan is empty, which keeps every fault branch off the
     /// launch path (the bit-for-bit guarantee).
     fault_state: Option<FaultInjector>,
-    /// Liveness per logical node. Deaths persist across launches: a node
-    /// confirmed dead never rejoins the communicator or receives work.
-    alive: Vec<bool>,
-    /// Memoized launch schedules (graph replay). Explicitly invalidated
-    /// whenever the cluster shape changes (node death), and keyed on the
-    /// alive set as defense in depth.
+    /// Memoized launch schedules (graph replay). Keyed on the interned
+    /// membership-shape id from [`ClusterState`], so entries survive
+    /// membership changes and become valid again when the cluster returns
+    /// to a previously seen shape (kill → join back).
     schedule_cache: ScheduleCache,
     /// Elided Allgathers: buffers whose gathered region is currently
     /// inconsistent across nodes (each node holds its own slice plus any
@@ -265,11 +269,10 @@ impl CuccCluster {
             sim: SimCluster::new(sim_spec),
             config,
             timeline: Timeline::new(),
-            logical_nodes,
+            state: ClusterState::new(logical_nodes),
             streams: StreamSet::new(),
             last_sanitize: None,
             fault_state,
-            alive: vec![true; logical_nodes],
             schedule_cache: ScheduleCache::new(),
             pending: BTreeMap::new(),
         }
@@ -277,20 +280,31 @@ impl CuccCluster {
 
     /// Logical node ids that are still alive, in ascending order.
     fn alive_ids(&self) -> Vec<u32> {
-        (0..self.logical_nodes as u32)
-            .filter(|&i| self.alive[i as usize])
-            .collect()
+        self.state.alive_ids()
     }
 
     /// Number of nodes still participating in launches.
     pub fn active_nodes(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.state.active_nodes()
     }
 
     /// Liveness of one logical node (nodes die only under an injected
-    /// fault plan; without one this is always `true`).
+    /// fault plan; without one this is always `true`, and dead nodes can
+    /// rejoin via `join:` fault events).
     pub fn is_alive(&self, node: usize) -> bool {
-        self.alive.get(node).copied().unwrap_or(false)
+        self.state.is_alive(node)
+    }
+
+    /// The membership epoch: bumped once per membership change (death,
+    /// revival, growth). A launch planned at epoch `e` is valid only while
+    /// the epoch stays `e`.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch()
+    }
+
+    /// The elastic membership state (epoch, liveness, shape registry).
+    pub fn cluster_state(&self) -> &ClusterState {
+        &self.state
     }
 
     /// The sanitizer report of the most recent launch, when
@@ -301,7 +315,7 @@ impl CuccCluster {
 
     /// Number of (logical) nodes.
     pub fn num_nodes(&self) -> usize {
-        self.logical_nodes
+        self.state.logical_nodes()
     }
 
     /// Cluster hardware description.
@@ -414,7 +428,7 @@ impl CuccCluster {
         self.sim.write_all(buf, data);
         let bt = broadcast_traced(
             &self.sim.spec.net,
-            self.logical_nodes,
+            self.state.logical_nodes(),
             data.len() as u64,
             &mut self.timeline,
             t0,
@@ -467,11 +481,106 @@ impl CuccCluster {
     /// surviving node once faults have killed nodes (dead pools hold stale
     /// pre-recovery bytes). Modeled fidelity materializes only pool 0.
     fn read_node(&self) -> usize {
-        if self.sim.spec.nodes as usize == self.logical_nodes {
-            self.alive.iter().position(|&a| a).unwrap_or(0)
+        if self.sim.spec.nodes as usize == self.state.logical_nodes() {
+            self.state.alive().iter().position(|&a| a).unwrap_or(0)
         } else {
             0
         }
+    }
+
+    /// Total allocated buffer bytes held by one node — the payload a
+    /// joining node's state transfer moves, and the dominant term of a
+    /// checkpoint's size.
+    fn node_state_bytes(&self) -> u64 {
+        let pool = self.sim.node(self.read_node());
+        (0..pool.len())
+            .map(|i| pool.size_of(BufferId(i as u32)) as u64)
+            .sum()
+    }
+
+    /// Admit every scripted `join:` event whose time has come. Called at
+    /// launch boundaries (and before a checkpoint), never inside a launch's
+    /// report window — the joiner's state transfer is recorded as a
+    /// broadcast, which launch reports assert they never contain.
+    fn process_joins(&mut self) -> Result<(), MigrateError> {
+        if self.fault_state.is_none() {
+            return Ok(());
+        }
+        loop {
+            let t = self.timeline.clock();
+            let n = self.state.logical_nodes();
+            let ripe = self.fault_state.as_ref().unwrap().joins_pending(t);
+            // A join for a currently-alive slot stays pending — it fires
+            // at the first boundary that finds the slot dead (a `kill` at
+            // the same timestamp is admitted first, mid-launch).
+            let Some(&node) = ripe
+                .iter()
+                .find(|&&jn| (jn as usize) >= n || !self.state.is_alive(jn as usize))
+            else {
+                return Ok(());
+            };
+            self.admit_join(node, t)?;
+        }
+    }
+
+    /// Admit one join at a launch boundary: revive a dead slot, or grow
+    /// the cluster by one when `node` names the next fresh id. The joiner
+    /// receives the full cluster state from the first surviving node
+    /// (pending gathers are flushed first so that state is globally
+    /// consistent), and the membership epoch advances.
+    fn admit_join(&mut self, node: u32, t: f64) -> Result<(), MigrateError> {
+        let n = self.state.logical_nodes();
+        let nn = node as usize;
+        let inj = self.fault_state.as_mut().unwrap();
+        inj.take_join(node, t);
+        // The join supersedes whatever kill(s) took this slot down.
+        inj.absorb_kills(node, t);
+        if nn < n && self.state.is_alive(nn) {
+            // Already a member: the join is a no-op (but stays consumed).
+            return Ok(());
+        }
+        if nn > n {
+            return Err(MigrateError::Launch(format!(
+                "join:node={node} skips ids — the cluster has {n} node slots; \
+                 a growth join must use node={n}"
+            )));
+        }
+        // The joiner must see globally consistent memory: flush deferred
+        // gathers before cloning the donor's pool.
+        let bufs: Vec<BufferId> = self.pending.keys().copied().collect();
+        for buf in bufs {
+            self.materialize_buffer(buf);
+        }
+        let donor = self.read_node();
+        if self.config.fidelity == ExecutionFidelity::Functional {
+            if nn == n {
+                self.sim.add_node_from(donor);
+            } else {
+                self.sim.copy_node_state(donor, nn);
+            }
+        }
+        if nn == n {
+            self.state.grow();
+        } else {
+            self.state.mark_alive(nn);
+        }
+        let bytes = self.node_state_bytes();
+        let t0 = self.timeline.clock();
+        // One donor, one receiver: a 2-party broadcast prices the p2p
+        // state transfer and records its wire traffic.
+        let dur = broadcast_traced(
+            &self.sim.spec.net,
+            2,
+            bytes,
+            &mut self.timeline,
+            t0,
+            &format!("join: state transfer to node {node}"),
+        );
+        if dur > 0.0 {
+            self.timeline.reserve_lane(Track::Network, t0 + dur);
+        }
+        self.timeline.advance(dur);
+        Ok(())
     }
 
     /// Host→device copy: broadcast `data` to every node's replica of `buf`,
@@ -574,6 +683,9 @@ impl CuccCluster {
         args: &[Arg],
     ) -> Result<LaunchReport, MigrateError> {
         self.sync_point()?;
+        // A synchronous launch is a membership boundary: scripted joins
+        // whose time has come enter the communicator before planning.
+        self.process_joins()?;
         // A graph-external launch must see fully gathered memory: the
         // planner probes node memory and the grid may read anywhere.
         self.materialize_args(args);
@@ -687,7 +799,7 @@ impl CuccCluster {
         }
         let sched = self.plan(ck, launch, args)?;
         let mut t0 = self.streams.dep_floor(stream, &sched.reads, &sched.writes);
-        for i in 0..self.logical_nodes {
+        for i in 0..self.state.logical_nodes() {
             t0 = t0.max(self.timeline.lane_ready(Track::Node(i as u32)));
         }
         let net_floor = self.timeline.lane_ready(Track::Network);
@@ -811,19 +923,22 @@ impl CuccCluster {
     /// the memoized schedule without touching the planner, probe or
     /// profiler; a miss plans fresh and fills the cache. The key covers
     /// kernel identity, launch geometry, argument fingerprints, the
-    /// cluster shape (node count + alive set) and the engine knobs.
+    /// interned membership-shape id and the engine knobs — so entries
+    /// planned for an old shape are never reused after a membership
+    /// change, yet warm up again when the cluster returns to that shape.
     pub fn plan_cached(
         &mut self,
         ck: &CompiledKernel,
         launch: LaunchConfig,
         args: &[Arg],
     ) -> Result<LaunchSchedule, MigrateError> {
+        let shape = self.state.shape_id();
         let key = schedule_key(
             ck,
             launch,
             args,
-            self.logical_nodes,
-            &self.alive,
+            self.state.logical_nodes(),
+            shape,
             &self.config,
         );
         if let Some(sched) = self.schedule_cache.get(&key) {
@@ -862,6 +977,9 @@ impl CuccCluster {
                     self.timeline.advance(bt);
                 }
                 GraphOp::Launch { ck, launch, args } => {
+                    // Each replayed launch is a membership boundary, same
+                    // as its uncaptured counterpart.
+                    self.process_joins()?;
                     let sched = self.plan_cached(ck, *launch, args)?;
                     planned_wire += sched.wire_bytes;
                     let w0 = self.timeline.wire_bytes();
@@ -886,6 +1004,124 @@ impl CuccCluster {
         stats.wire_bytes_saved = planned_wire.saturating_sub(gather_wire);
         stats.time = self.timeline.clock() - t_start;
         Ok(stats)
+    }
+
+    // ---- Elasticity: checkpoint and restore ------------------------
+
+    /// Capture the full cluster state at a quiesce barrier: drain every
+    /// stream, flush every deferred gather (a checkpoint taken mid-graph
+    /// would otherwise record per-node slices), and admit ripe joins so
+    /// the image reflects the membership the next launch would see. The
+    /// returned [`Checkpoint`] serializes with [`Checkpoint::encode`] and
+    /// restores — into the same or a *different* node count — with
+    /// [`CuccCluster::restore`].
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, MigrateError> {
+        self.synchronize()?;
+        self.process_joins()?;
+        let bufs: Vec<BufferId> = self.pending.keys().copied().collect();
+        for buf in bufs {
+            self.materialize_buffer(buf);
+        }
+        let pool = self.sim.node(self.read_node());
+        let buffers: Vec<Vec<u8>> = (0..pool.len())
+            .map(|i| pool.bytes(BufferId(i as u32)).to_vec())
+            .collect();
+        Ok(Checkpoint {
+            logical_nodes: self.state.logical_nodes() as u32,
+            epoch: self.state.epoch(),
+            clock: self.timeline.clock(),
+            modeled: self.config.fidelity == ExecutionFidelity::Modeled,
+            alive: self.state.alive().to_vec(),
+            fault_cursor: self.fault_state.as_ref().map(|inj| inj.cursor()),
+            buffers,
+        })
+    }
+
+    /// [`CuccCluster::checkpoint`], serialized to a file in the versioned
+    /// on-disk format. Returns the byte size written.
+    pub fn checkpoint_to(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<u64, MigrateError> {
+        let ckpt = self.checkpoint()?;
+        let bytes = ckpt.encode();
+        std::fs::write(path.as_ref(), &bytes).map_err(|e| {
+            MigrateError::Checkpoint(format!("writing {}: {e}", path.as_ref().display()))
+        })?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Rebuild a cluster from a checkpoint. With `spec.nodes` equal to the
+    /// checkpointed node count, liveness and epoch survive the restore
+    /// and execution resumes bit-identically to the uninterrupted run.
+    /// With a *different* node count the restore is a migration: every
+    /// node of the new shape starts alive, one epoch past the image's.
+    /// Buffer ids are replayed in allocation order, so handles held
+    /// before the checkpoint stay valid against the restored cluster.
+    pub fn restore(
+        spec: ClusterSpec,
+        config: RuntimeConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<CuccCluster, MigrateError> {
+        let modeled = config.fidelity == ExecutionFidelity::Modeled;
+        if ckpt.modeled != modeled {
+            return Err(MigrateError::Checkpoint(format!(
+                "fidelity mismatch: the checkpoint was taken under {} execution \
+                 but the restore config uses {}",
+                if ckpt.modeled {
+                    "modeled"
+                } else {
+                    "functional"
+                },
+                if modeled { "modeled" } else { "functional" },
+            )));
+        }
+        let mut cl = CuccCluster::new(spec, config);
+        if cl.state.logical_nodes() == ckpt.logical_nodes as usize {
+            cl.state = ClusterState::restored(ckpt.alive.clone(), ckpt.epoch);
+        } else {
+            let n = cl.state.logical_nodes();
+            cl.state = ClusterState::restored(vec![true; n], ckpt.epoch + 1);
+        }
+        for bytes in &ckpt.buffers {
+            let id = cl.sim.alloc(bytes.len());
+            cl.sim.write_all(id, bytes);
+        }
+        // Consumed one-shot fault events stay consumed across the restore,
+        // and the fault RNG continues its checkpointed sequence.
+        if let Some((rng, used)) = &ckpt.fault_cursor {
+            match cl.fault_state.as_mut() {
+                Some(inj) => inj
+                    .restore_cursor(*rng, used)
+                    .map_err(MigrateError::Checkpoint)?,
+                None => {
+                    return Err(MigrateError::Checkpoint(
+                        "the checkpoint carries a fault-session cursor but the restore \
+                         config has no fault plan"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        // Resume the simulated clock at the checkpointed floor.
+        cl.timeline.advance_to(ckpt.clock);
+        let t = cl.timeline.clock();
+        cl.streams.settle(t);
+        Ok(cl)
+    }
+
+    /// [`CuccCluster::restore`] from a file written by
+    /// [`CuccCluster::checkpoint_to`].
+    pub fn restore_from(
+        spec: ClusterSpec,
+        config: RuntimeConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<CuccCluster, MigrateError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            MigrateError::Checkpoint(format!("reading {}: {e}", path.as_ref().display()))
+        })?;
+        let ckpt = Checkpoint::decode(&bytes)?;
+        CuccCluster::restore(spec, config, &ckpt)
     }
 
     /// One launch inside a replay: reconcile pending inputs, decide
@@ -951,7 +1187,7 @@ impl CuccCluster {
                         PendingGather {
                             base: region.base,
                             unit,
-                            nodes: self.logical_nodes as u64,
+                            nodes: self.state.logical_nodes() as u64,
                             extras: Vec::new(),
                         },
                     );
@@ -1028,7 +1264,7 @@ impl CuccCluster {
         let Some(fps) = fps else {
             return PendingAction::Materialize;
         };
-        let n = self.logical_nodes as u64;
+        let n = self.state.logical_nodes() as u64;
         if pg.nodes != n || pg.unit == 0 {
             return PendingAction::Materialize;
         }
@@ -1102,7 +1338,7 @@ impl CuccCluster {
         let Some(fps) = fps else {
             return Vec::new();
         };
-        let n = self.logical_nodes as u64;
+        let n = self.state.logical_nodes() as u64;
         // Aliased region buffers would share one pending entry: keep the
         // full gathers.
         let mut region_bufs = std::collections::BTreeSet::new();
@@ -1266,7 +1502,7 @@ impl CuccCluster {
             let survivors: Vec<usize> = if self.fault_state.is_some() {
                 self.alive_ids().iter().map(|&i| i as usize).collect()
             } else {
-                (0..self.logical_nodes).collect()
+                (0..self.state.logical_nodes()).collect()
             };
             for p in ck.kernel.written_global_buffers() {
                 let Arg::Buffer(id) = args[p.index()] else {
@@ -1440,7 +1676,7 @@ impl CuccCluster {
         net_floor: f64,
         elide: &[bool],
     ) -> Result<(LaunchReport, f64), MigrateError> {
-        let n = self.logical_nodes as u64;
+        let n = self.state.logical_nodes() as u64;
         let profile = &sched.profile;
 
         // ---- Phase 1: partial block execution -------------------------
@@ -1619,7 +1855,7 @@ impl CuccCluster {
         cause: ReplicationCause,
         t0: f64,
     ) -> Result<(LaunchReport, f64), MigrateError> {
-        let n = self.logical_nodes as u64;
+        let n = self.state.logical_nodes() as u64;
         let t = sched.times.callback;
         let mut node_stats = sched.profile.total;
         if self.config.fidelity == ExecutionFidelity::Functional {
@@ -1747,8 +1983,128 @@ impl CuccCluster {
         // Deferred re-execution passes (per-pool block ranges), run after
         // the timing walk.
         let mut reexec_passes: Vec<Vec<std::ops::Range<u64>>> = Vec::new();
+        // Nodes admitted mid-launch via a `join:` event (they are not in
+        // `initial`): the functional section first hands each one the
+        // donor's launch-entry pool, and their tracks join the lane floor.
+        let mut joined: Vec<u32> = Vec::new();
+        // Joins that §6 rejects mid-launch (the in-flight chunk count does
+        // not divide the enlarged communicator) wait for the next launch
+        // boundary; the cluster keeps its current shape for this launch.
+        let mut deferred_joins: Vec<u32> = Vec::new();
 
         'recover: loop {
+            // Mid-launch joins: before (re)starting the Allgather phase
+            // over the current communicator, admit any scripted joiner
+            // that is ripe. Only existing node slots can rejoin mid-launch
+            // — cluster *growth* is a launch-boundary operation — and the
+            // §6 balance rule gates admission exactly like the death-side
+            // re-partition below.
+            while let Some(node) = self
+                .fault_state
+                .as_ref()
+                .unwrap()
+                .joins_pending(t_cursor)
+                .into_iter()
+                .find(|&jn| {
+                    // A node that died *this* launch rejoins at the next
+                    // launch boundary: its pool already ran partial blocks
+                    // here, and a mid-launch readmission would re-apply
+                    // them (wrong for read-modify-write kernels).
+                    (jn as usize) < self.state.logical_nodes()
+                        && !survivors.contains(&jn)
+                        && !initial.contains(&jn)
+                        && !deferred_joins.contains(&jn)
+                })
+            {
+                let m_new = survivors.len() as u64 + 1;
+                if dist_chunks % m_new != 0 {
+                    deferred_joins.push(node);
+                    continue;
+                }
+                let inj = self.fault_state.as_mut().unwrap();
+                inj.take_join(node, t_cursor);
+                // The join supersedes the kill(s) that took the slot down.
+                inj.absorb_kills(node, t_cursor);
+                self.state.mark_alive(node as usize);
+                let slot = survivors
+                    .iter()
+                    .position(|&s| s > node)
+                    .unwrap_or(survivors.len());
+                survivors.insert(slot, node);
+                if !joined.contains(&node) {
+                    joined.push(node);
+                }
+                // Re-partition onto the enlarged communicator. The joiner
+                // owns nothing yet — an empty range at its new slice
+                // start — so the slice-diff below hands it exactly its
+                // full new slice.
+                cur_cpn = dist_chunks / m_new;
+                cur_pbn = cur_cpn * tp.chunk_blocks;
+                let start = slot as u64 * cur_pbn;
+                owned.insert(slot, start..start);
+                // The joiner first receives the launch-entry cluster state
+                // from one survivor (point-to-point on the wire), then
+                // re-executes its slice like any re-partition.
+                let xfer_bytes = self.node_state_bytes();
+                let xfer = collective_step_time(&self.sim.spec.net, xfer_bytes);
+                if xfer_bytes > 0 {
+                    self.timeline
+                        .counter(WIRE_BYTES, Track::Network, t_cursor, xfer_bytes);
+                }
+                let mut pass_a = vec![0u64..0u64; self.state.logical_nodes()];
+                let mut pass_b = vec![0u64..0u64; self.state.logical_nodes()];
+                let mut t_round = 0.0f64;
+                let mut new_owned = Vec::with_capacity(survivors.len());
+                for (j, &sn) in survivors.iter().enumerate() {
+                    let new = j as u64 * cur_pbn..(j as u64 + 1) * cur_pbn;
+                    let old = &owned[j];
+                    let left = new.start..old.start.clamp(new.start, new.end);
+                    let right = old.end.clamp(new.start, new.end)..new.end;
+                    let blocks = (left.end - left.start) + (right.end - right.start);
+                    let mut d = self.fault_state.as_ref().unwrap().stretch(
+                        sn,
+                        t_cursor,
+                        per_block * blocks as f64,
+                    );
+                    if sn == node {
+                        // The state transfer precedes the joiner's re-run.
+                        d += xfer;
+                    }
+                    t_round = t_round.max(d);
+                    reexec_blocks += blocks;
+                    pass_a[sn as usize] = left;
+                    pass_b[sn as usize] = right;
+                    let merged = if old.start <= new.end && new.start <= old.end {
+                        old.start.min(new.start)..old.end.max(new.end)
+                    } else {
+                        new
+                    };
+                    new_owned.push(merged);
+                }
+                // Recorded uniformly on every current survivor, joiner
+                // included, mirroring the death-side rounds: the derived
+                // `reexec` view sums the slowest surviving track.
+                for &sn in &survivors {
+                    self.timeline.span(
+                        format!("{}: re-exec after node {node} join", ck.name()),
+                        Track::Node(sn),
+                        Category::Reexec,
+                        t_cursor,
+                        t_round,
+                    );
+                }
+                t_cursor += t_round;
+                owned = new_owned;
+                if pass_a.iter().any(|r| r.end > r.start) {
+                    reexec_passes.push(pass_a);
+                }
+                if pass_b.iter().any(|r| r.end > r.start) {
+                    reexec_passes.push(pass_b);
+                }
+                // The Allgather phase restarts over the enlarged
+                // communicator.
+                continue 'recover;
+            }
             let m = survivors.len();
             for region in &tp.buffers {
                 let unit = region.unit * cur_cpn;
@@ -1784,12 +2140,10 @@ impl CuccCluster {
                         };
                         failures += 1;
                         let dead = survivors.remove(slot);
-                        self.alive[dead as usize] = false;
-                        // The cluster shape changed: every cached schedule
-                        // was planned for the old partition and must never
-                        // be replayed.
-                        self.schedule_cache
-                            .invalidate_all(&format!("node {dead} died"));
+                        // The membership epoch advances; shape-keyed cached
+                        // schedules stay put and become valid again only if
+                        // this exact shape returns (kill → join back).
+                        self.state.mark_dead(dead as usize);
                         owned.remove(slot);
                         if survivors.is_empty() {
                             return Err(MigrateError::NodeFailure {
@@ -1815,8 +2169,8 @@ impl CuccCluster {
                         // blocks its new slice adds over what it owns.
                         cur_cpn = dist_chunks / m_new;
                         cur_pbn = cur_cpn * tp.chunk_blocks;
-                        let mut pass_a = vec![0u64..0u64; self.logical_nodes];
-                        let mut pass_b = vec![0u64..0u64; self.logical_nodes];
+                        let mut pass_a = vec![0u64..0u64; self.state.logical_nodes()];
+                        let mut pass_b = vec![0u64..0u64; self.state.logical_nodes()];
                         let mut t_round = 0.0f64;
                         let mut new_owned = Vec::with_capacity(survivors.len());
                         for (j, &node) in survivors.iter().enumerate() {
@@ -1923,7 +2277,13 @@ impl CuccCluster {
                     block_parallel: false,
                     ..opts
                 };
-                let mut all = vec![0u64..0u64; self.logical_nodes];
+                // Mid-launch joiners first receive the launch-entry state
+                // from a donor pool (functional effects are deferred, so
+                // the donor still holds it).
+                for &jn in &joined {
+                    self.sim.copy_node_state(initial[0] as usize, jn as usize);
+                }
+                let mut all = vec![0u64..0u64; self.state.logical_nodes()];
                 for &node in &survivors {
                     all[node as usize] = 0..launch.num_blocks();
                 }
@@ -1935,7 +2295,7 @@ impl CuccCluster {
             for &node in &survivors {
                 node_stats.emit_counters(&mut self.timeline, Track::Node(node), t0);
             }
-            for &node in &initial {
+            for &node in initial.iter().chain(&joined) {
                 self.timeline.reserve_lane(Track::Node(node), end);
             }
             if net_end > t_ag_start {
@@ -2004,10 +2364,16 @@ impl CuccCluster {
                 }
                 EngineKind::TreeWalk => None,
             };
+            // Mid-launch joiners first receive the launch-entry state from
+            // a donor pool; their blocks then come from the re-exec passes
+            // (Pass B) recorded at admission time.
+            for &jn in &joined {
+                self.sim.copy_node_state(initial[0] as usize, jn as usize);
+            }
             // Pass A: the original partial slices, on every node that was
             // alive at launch entry (mid-launch deaths are detected at the
             // collective; the dead pool's stale bytes are never gathered).
-            let mut assignments = vec![0u64..0u64; self.logical_nodes];
+            let mut assignments = vec![0u64..0u64; self.state.logical_nodes()];
             for (j, &node) in initial.iter().enumerate() {
                 assignments[node as usize] = j as u64 * pbn..(j as u64 + 1) * pbn;
             }
@@ -2050,7 +2416,7 @@ impl CuccCluster {
                 }
             }
             // Pass D: callbacks on survivors.
-            let mut cb = vec![0u64..0u64; self.logical_nodes];
+            let mut cb = vec![0u64..0u64; self.state.logical_nodes()];
             for &node in &survivors {
                 cb[node as usize] = part.callback_start..tp.num_blocks;
             }
@@ -2061,7 +2427,7 @@ impl CuccCluster {
         for &node in &survivors {
             node_stats.emit_counters(&mut self.timeline, Track::Node(node), t0);
         }
-        for &node in &initial {
+        for &node in initial.iter().chain(&joined) {
             self.timeline.reserve_lane(Track::Node(node), end);
         }
         if net_end > t_ag_start {
@@ -2125,7 +2491,7 @@ impl CuccCluster {
                 node_threads: self.config.node_threads,
                 block_parallel: false,
             };
-            let mut all = vec![0u64..0u64; self.logical_nodes];
+            let mut all = vec![0u64..0u64; self.state.logical_nodes()];
             for &node in &survivors {
                 all[node as usize] = 0..launch.num_blocks();
             }

@@ -97,7 +97,8 @@ enum ArgFingerprint {
 /// Everything [`plan_schedule`] reads that can vary between launches:
 /// which compilation, the launch geometry, the argument values the
 /// launch-time probe resolves, the **cluster shape** (logical node count
-/// plus the alive set — a dead node changes every partition), and the
+/// plus the interned membership-shape id — a dead or joined node changes
+/// every partition, but returning to a seen shape reuses its id), and the
 /// engine knobs the cost model consults. Two launches with equal keys are
 /// guaranteed to plan to `PartialEq`-identical [`LaunchSchedule`]s, *if*
 /// buffer contents feeding the probe/profiler are also unchanged — the
@@ -108,7 +109,13 @@ pub struct ScheduleKey {
     launch: LaunchConfig,
     args: Vec<ArgFingerprint>,
     logical_nodes: usize,
-    alive: Vec<bool>,
+    /// Interned membership-shape id from [`ClusterState::shape_id`]: the
+    /// same id always denotes the same (node count, alive mask) pair, so a
+    /// cluster that *returns* to a previously seen shape — kill then join
+    /// back — hits the entries planned for that shape again.
+    ///
+    /// [`ClusterState::shape_id`]: crate::state::ClusterState::shape_id
+    shape: u64,
     algo: AllgatherAlgoKey,
     placement: AllgatherPlacementKey,
     profile_samples: usize,
@@ -130,13 +137,14 @@ enum AllgatherPlacementKey {
     OutOfPlace,
 }
 
-/// Build the cache key for one prospective launch.
+/// Build the cache key for one prospective launch. `shape` is the interned
+/// membership-shape id of the cluster (see `ClusterState::shape_id`).
 pub fn schedule_key(
     ck: &CompiledKernel,
     launch: LaunchConfig,
     args: &[Arg],
     logical_nodes: usize,
-    alive: &[bool],
+    shape: u64,
     config: &RuntimeConfig,
 ) -> ScheduleKey {
     ScheduleKey {
@@ -151,7 +159,7 @@ pub fn schedule_key(
             })
             .collect(),
         logical_nodes,
-        alive: alive.to_vec(),
+        shape,
         algo: match config.allgather_algo {
             AllgatherAlgo::Ring => AllgatherAlgoKey::Ring,
             AllgatherAlgo::RecursiveDoubling => AllgatherAlgoKey::RecursiveDoubling,
@@ -169,10 +177,13 @@ pub fn schedule_key(
 /// probe and sampling profiler once per distinct launch, not once per
 /// iteration.
 ///
-/// The cache is **explicitly invalidated** — never consulted stale — on
-/// any cluster-shape change: fault recovery calls
-/// [`ScheduleCache::invalidate_all`] at the moment it marks a node dead,
-/// and the alive set is also part of [`ScheduleKey`] as defense in depth.
+/// Entries are **shape-keyed**, never evicted on membership changes: the
+/// interned shape id in [`ScheduleKey`] guarantees a schedule planned for
+/// one (node count, alive mask) pair can never serve another, and a
+/// cluster that returns to a previously seen shape (node death followed by
+/// a rejoin) warm-hits the entries it planned there. Wholesale
+/// [`ScheduleCache::invalidate_all`] remains available for explicit
+/// reconfiguration (engine or cost-model knob changes outside the key).
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleCache {
     map: HashMap<ScheduleKey, LaunchSchedule>,

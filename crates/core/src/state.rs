@@ -1,0 +1,356 @@
+//! Elastic cluster state: the single ownership boundary for *membership*.
+//!
+//! Historically the cluster's shape was smeared across `CuccCluster` as an
+//! ad-hoc alive mask consulted by the runtime, the scheduler, the fault
+//! path and the CLI. [`ClusterState`] centralizes it behind a
+//! **membership epoch** — a monotonically increasing counter bumped on
+//! every membership change (death, join, growth, restore) — plus an
+//! interned **shape id** per distinct (node count, alive mask) pair. The
+//! epoch answers "did anything change since I last looked?" (staleness);
+//! the shape id answers "have I seen this exact shape before?" (schedule
+//! reuse): a cluster that loses node 1 and later gets it back is at a
+//! *later epoch* but the *same shape*, so shape-keyed artifacts like
+//! cached schedules become valid again.
+//!
+//! The module also defines the versioned on-disk [`Checkpoint`] format
+//! that serializes the full observable cluster state — buffer bytes,
+//! alive/epoch, the simulated clock, and the fault-session cursor — so a
+//! job can be restored into a new process (same or different node count)
+//! and resume bit-identically.
+
+use crate::error::MigrateError;
+
+/// Membership state of a simulated cluster: which logical nodes exist,
+/// which are alive, and how many membership changes have happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterState {
+    /// Monotonically increasing membership epoch. Starts at 0; every
+    /// death, join, growth or cross-shape restore bumps it by one. Never
+    /// reused, never decreased.
+    epoch: u64,
+    /// Liveness per logical node; its length is the logical node count.
+    alive: Vec<bool>,
+    /// Interned shapes, in first-seen order; a shape id is an index here.
+    /// Two moments with equal alive masks share one id even when many
+    /// epochs apart.
+    shapes: Vec<Vec<bool>>,
+}
+
+impl ClusterState {
+    /// Fresh state: `logical_nodes` nodes, all alive, epoch 0.
+    pub fn new(logical_nodes: usize) -> ClusterState {
+        let alive = vec![true; logical_nodes];
+        ClusterState {
+            epoch: 0,
+            shapes: vec![alive.clone()],
+            alive,
+        }
+    }
+
+    /// Rebuild state from a restored checkpoint: an explicit alive mask at
+    /// an explicit (already advanced) epoch.
+    pub(crate) fn restored(alive: Vec<bool>, epoch: u64) -> ClusterState {
+        ClusterState {
+            epoch,
+            shapes: vec![alive.clone()],
+            alive,
+        }
+    }
+
+    /// Logical node count (alive or dead).
+    pub fn logical_nodes(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Liveness mask per logical node.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Liveness of one logical node (out-of-range ids are dead).
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive.get(node).copied().unwrap_or(false)
+    }
+
+    /// Logical node ids that are alive, in ascending order.
+    pub fn alive_ids(&self) -> Vec<u32> {
+        (0..self.alive.len() as u32)
+            .filter(|&i| self.alive[i as usize])
+            .collect()
+    }
+
+    /// Number of alive nodes.
+    pub fn active_nodes(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Intern the current alive mask and return its shape id. The same
+    /// mask always maps to the same id, so shape-keyed artifacts (cached
+    /// schedules) planned before a membership excursion become valid again
+    /// when the cluster returns to that shape.
+    pub fn shape_id(&mut self) -> u64 {
+        if let Some(i) = self.shapes.iter().position(|s| *s == self.alive) {
+            return i as u64;
+        }
+        self.shapes.push(self.alive.clone());
+        (self.shapes.len() - 1) as u64
+    }
+
+    /// Mark a node dead; bumps the epoch. Returns the new epoch.
+    pub fn mark_dead(&mut self, node: usize) -> u64 {
+        debug_assert!(self.alive[node], "node {node} is already dead");
+        self.alive[node] = false;
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Revive a dead node (a rejoin); bumps the epoch. Returns the new
+    /// epoch.
+    pub fn mark_alive(&mut self, node: usize) -> u64 {
+        debug_assert!(!self.alive[node], "node {node} is already alive");
+        self.alive[node] = true;
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Grow the cluster by one fresh, alive node; bumps the epoch.
+    /// Returns the new node's id.
+    pub fn grow(&mut self) -> usize {
+        self.alive.push(true);
+        self.epoch += 1;
+        self.alive.len() - 1
+    }
+}
+
+/// One serialized cluster checkpoint: everything needed to resume a job
+/// bit-identically in a new process, possibly at a different node count.
+///
+/// The on-disk layout (version 1, all integers little-endian) is:
+///
+/// ```text
+/// magic       8  b"CUCCCKPT"
+/// version     u32
+/// nodes       u32   logical node count at checkpoint time
+/// epoch       u64   membership epoch at checkpoint time
+/// clock       f64   simulated clock (timeline floor for the restore)
+/// modeled     u8    1 when the session ran at modeled fidelity
+/// alive       nodes × u8
+/// cursor      u8    1 when a fault-session cursor follows
+///   rng       u64   injector RNG state
+///   flags     u32 + n × u8   per-event consumption flags
+/// buffers     u32 + per buffer (u64 length + raw bytes)
+/// ```
+///
+/// Checkpoints are taken at a **quiesce barrier**: the runtime drains all
+/// streams and materializes every pending (elided) gather first, so the
+/// recorded buffer bytes are globally consistent and a single copy per
+/// buffer suffices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Logical node count the checkpoint was taken at.
+    pub logical_nodes: u32,
+    /// Membership epoch at checkpoint time.
+    pub epoch: u64,
+    /// Simulated clock at the quiesce barrier.
+    pub clock: f64,
+    /// Whether the session ran at modeled (timing-only) fidelity.
+    pub modeled: bool,
+    /// Liveness mask (length == `logical_nodes`).
+    pub alive: Vec<bool>,
+    /// Fault-session cursor: injector RNG state plus per-event
+    /// consumption flags. `None` when the session had no fault plan.
+    pub fault_cursor: Option<(u64, Vec<bool>)>,
+    /// Raw bytes of every buffer, in allocation (= `BufferId`) order.
+    pub buffers: Vec<Vec<u8>>,
+}
+
+/// File magic of the checkpoint format.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"CUCCCKPT";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Serialize to the versioned binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.logical_nodes.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.clock.to_bits().to_le_bytes());
+        out.push(self.modeled as u8);
+        debug_assert_eq!(self.alive.len(), self.logical_nodes as usize);
+        out.extend(self.alive.iter().map(|&a| a as u8));
+        match &self.fault_cursor {
+            None => out.push(0),
+            Some((rng, flags)) => {
+                out.push(1);
+                out.extend_from_slice(&rng.to_le_bytes());
+                out.extend_from_slice(&(flags.len() as u32).to_le_bytes());
+                out.extend(flags.iter().map(|&f| f as u8));
+            }
+        }
+        out.extend_from_slice(&(self.buffers.len() as u32).to_le_bytes());
+        for buf in &self.buffers {
+            out.extend_from_slice(&(buf.len() as u64).to_le_bytes());
+            out.extend_from_slice(buf);
+        }
+        out
+    }
+
+    /// Parse the versioned binary format.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, MigrateError> {
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], MigrateError> {
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| MigrateError::Checkpoint("truncated checkpoint".into()))?;
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        }
+        let bad = |m: &str| MigrateError::Checkpoint(m.to_string());
+        let mut p = 0usize;
+        let mut take = |n: usize| take(bytes, &mut p, n);
+        if take(8)? != CHECKPOINT_MAGIC {
+            return Err(bad("not a cucc checkpoint (bad magic)"));
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        if version != CHECKPOINT_VERSION {
+            return Err(MigrateError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (this build reads \
+                 version {CHECKPOINT_VERSION})"
+            )));
+        }
+        let logical_nodes = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let epoch = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let clock = f64::from_bits(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+        let modeled = take(1)?[0] != 0;
+        let alive: Vec<bool> = take(logical_nodes as usize)?
+            .iter()
+            .map(|&b| b != 0)
+            .collect();
+        let fault_cursor = if take(1)?[0] != 0 {
+            let rng = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let nflags = u32::from_le_bytes(take(4)?.try_into().unwrap());
+            let flags = take(nflags as usize)?.iter().map(|&b| b != 0).collect();
+            Some((rng, flags))
+        } else {
+            None
+        };
+        let nbufs = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let mut buffers = Vec::with_capacity(nbufs as usize);
+        for _ in 0..nbufs {
+            let len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            buffers.push(take(len as usize)?.to_vec());
+        }
+        if p != bytes.len() {
+            return Err(bad("trailing bytes after checkpoint payload"));
+        }
+        Ok(Checkpoint {
+            logical_nodes,
+            epoch,
+            clock,
+            modeled,
+            alive,
+            fault_cursor,
+            buffers,
+        })
+    }
+
+    /// Total buffer payload in bytes (the dominant term of the state
+    /// size).
+    pub fn state_bytes(&self) -> u64 {
+        self.buffers.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monotonic_and_shapes_are_interned() {
+        let mut st = ClusterState::new(3);
+        assert_eq!(st.epoch(), 0);
+        assert_eq!(st.active_nodes(), 3);
+        let healthy = st.shape_id();
+
+        st.mark_dead(1);
+        assert_eq!(st.epoch(), 1);
+        assert_eq!(st.alive_ids(), vec![0, 2]);
+        let degraded = st.shape_id();
+        assert_ne!(healthy, degraded);
+
+        // Rejoin: later epoch, same shape id as the healthy cluster.
+        st.mark_alive(1);
+        assert_eq!(st.epoch(), 2);
+        assert_eq!(st.shape_id(), healthy);
+
+        // Growth: new id, new shape.
+        assert_eq!(st.grow(), 3);
+        assert_eq!(st.epoch(), 3);
+        assert_eq!(st.logical_nodes(), 4);
+        assert!(st.is_alive(3));
+        assert_ne!(st.shape_id(), healthy);
+        assert_ne!(st.shape_id(), degraded);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bitwise() {
+        let ck = Checkpoint {
+            logical_nodes: 3,
+            epoch: 7,
+            clock: 1.25e-3,
+            modeled: false,
+            alive: vec![true, false, true],
+            fault_cursor: Some((0xDEAD_BEEF, vec![true, false, true, true])),
+            buffers: vec![vec![1, 2, 3, 4], vec![], vec![0xFF; 31]],
+        };
+        let bytes = ck.encode();
+        assert_eq!(Checkpoint::decode(&bytes).unwrap(), ck);
+        assert_eq!(ck.state_bytes(), 35);
+
+        let no_cursor = Checkpoint {
+            fault_cursor: None,
+            ..ck.clone()
+        };
+        assert_eq!(Checkpoint::decode(&no_cursor.encode()).unwrap(), no_cursor);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let good = Checkpoint {
+            logical_nodes: 2,
+            epoch: 0,
+            clock: 0.0,
+            modeled: true,
+            alive: vec![true, true],
+            fault_cursor: None,
+            buffers: vec![vec![9; 8]],
+        }
+        .encode();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(Checkpoint::decode(&bad).is_err());
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(Checkpoint::decode(&bad).is_err());
+        // Truncation anywhere must error, never panic.
+        for cut in 0..good.len() {
+            assert!(Checkpoint::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(Checkpoint::decode(&bad).is_err());
+    }
+}

@@ -19,7 +19,9 @@ use std::fmt;
 /// What a fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
-    /// The node stops responding permanently from the event time on.
+    /// The node stops responding permanently from the event time on —
+    /// unless a later admitted `Join` for the same node supersedes the
+    /// kill (the replacement process is a fresh, healthy peer).
     Kill {
         /// Logical node that dies.
         node: u32,
@@ -35,6 +37,16 @@ pub enum FaultKind {
     /// One collective step is lost and must be retried (a transient link
     /// fault). Consumed by the first step at or after the event time.
     DropStep,
+    /// A node joins (or rejoins) the cluster from the event time on. The
+    /// runtime enlarges the communicator, transfers state to the joiner and
+    /// re-partitions work onto the new shape — or defers the join to the
+    /// next launch boundary when the paper's §6 balance rule forbids
+    /// re-partitioning mid-collective. One-shot: consumed when admitted.
+    Join {
+        /// Logical node that joins. An id below the current cluster size
+        /// revives a dead slot; an id equal to the cluster size grows it.
+        node: u32,
+    },
 }
 
 /// One scripted fault: a kind plus the simulated time it takes effect.
@@ -54,6 +66,7 @@ impl fmt::Display for FaultEvent {
                 write!(f, "delay:node={node}@t={},factor={factor}", self.at)
             }
             FaultKind::DropStep => write!(f, "drop:step@t={}", self.at),
+            FaultKind::Join { node } => write!(f, "join:node={node}@t={}", self.at),
         }
     }
 }
@@ -165,18 +178,28 @@ impl FaultPlan {
         self
     }
 
+    /// Add a node join at simulated time `at`.
+    pub fn join(mut self, node: u32, at: f64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::Join { node },
+        });
+        self
+    }
+
     /// Parse one CLI fault spec and append it. Accepted forms:
     ///
     /// * `kill:node=3@t=0.5`
     /// * `delay:node=2@t=0.1,factor=3`
     /// * `drop:step@t=0.2`
+    /// * `join:node=4@t=0.5`
     pub fn with_spec(mut self, spec: &str) -> Result<Self, String> {
         self.events.push(parse_event(spec)?);
         Ok(self)
     }
 }
 
-/// Parse a `kill:node=3@t=0.5`-style fault spec.
+/// Parse a `kill:node=3@t=0.5`- or `join:node=4@t=0.5`-style fault spec.
 pub fn parse_event(spec: &str) -> Result<FaultEvent, String> {
     let err = |m: &str| format!("bad fault spec `{spec}`: {m}");
     let (kind, rest) = spec
@@ -226,9 +249,10 @@ pub fn parse_event(spec: &str) -> Result<FaultEvent, String> {
             }
             FaultKind::DropStep
         }
+        "join" => FaultKind::Join { node: node()? },
         other => {
             return Err(err(&format!(
-                "unknown fault kind `{other}` (want kill|delay|drop)"
+                "unknown fault kind `{other}` (want kill|delay|drop|join)"
             )))
         }
     };
@@ -287,11 +311,13 @@ impl FaultInjector {
     }
 
     /// Slot (index into `participants`) of the first participant with a
-    /// kill event active at simulated time `t`, if any.
+    /// kill event active at simulated time `t`, if any. Kills absorbed by
+    /// a later admitted join ([`FaultInjector::absorb_kills`]) no longer
+    /// count.
     pub fn kill_pending(&self, participants: &[u32], t: f64) -> Option<usize> {
-        for ev in &self.plan.events {
+        for (i, ev) in self.plan.events.iter().enumerate() {
             if let FaultKind::Kill { node } = ev.kind {
-                if ev.at <= t {
+                if !self.used[i] && ev.at <= t {
                     if let Some(slot) = participants.iter().position(|&p| p == node) {
                         return Some(slot);
                     }
@@ -299,6 +325,21 @@ impl FaultInjector {
             }
         }
         None
+    }
+
+    /// Consume every kill event for `node` that is ripe at time `t`. An
+    /// admitted join supersedes the kills that took the slot down — the
+    /// replacement process is not killed by the event that killed its
+    /// predecessor. Returns how many kills were absorbed.
+    pub fn absorb_kills(&mut self, node: u32, t: f64) -> u32 {
+        let mut absorbed = 0;
+        for (i, ev) in self.plan.events.iter().enumerate() {
+            if ev.kind == (FaultKind::Kill { node }) && !self.used[i] && ev.at <= t {
+                self.used[i] = true;
+                absorbed += 1;
+            }
+        }
+        absorbed
     }
 
     /// True if `node` has a kill event active at time `t`.
@@ -341,6 +382,62 @@ impl FaultInjector {
         }
         self.plan.drop_p > 0.0 && self.rng.next_f64() < self.plan.drop_p
     }
+
+    /// Nodes with an unconsumed join event ripe at simulated time `t`, in
+    /// event order. Peeking does not consume — the runtime decides whether
+    /// a ripe join is admissible (§6 balance) before calling [`take_join`].
+    ///
+    /// [`take_join`]: FaultInjector::take_join
+    pub fn joins_pending(&self, t: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (i, ev) in self.plan.events.iter().enumerate() {
+            if let FaultKind::Join { node } = ev.kind {
+                if !self.used[i] && ev.at <= t {
+                    out.push(node);
+                }
+            }
+        }
+        out
+    }
+
+    /// Consume the first unconsumed join event for `node` that is ripe at
+    /// time `t`. Returns false when no such event exists.
+    pub fn take_join(&mut self, node: u32, t: f64) -> bool {
+        for (i, ev) in self.plan.events.iter().enumerate() {
+            if ev.kind == (FaultKind::Join { node }) && !self.used[i] && ev.at <= t {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checkpoint cursor: the RNG state plus the per-event consumption
+    /// flags. Restoring this cursor into a fresh injector over the same
+    /// plan resumes the fault session exactly where it left off — consumed
+    /// one-shot events never refire and random drops continue the same
+    /// deterministic sequence.
+    pub fn cursor(&self) -> (u64, Vec<bool>) {
+        (self.rng.0, self.used.clone())
+    }
+
+    /// Restore a checkpoint cursor captured by [`cursor`]. Fails when the
+    /// flag count does not match the plan's event count (the restored
+    /// session was given a different fault plan).
+    ///
+    /// [`cursor`]: FaultInjector::cursor
+    pub fn restore_cursor(&mut self, rng: u64, used: &[bool]) -> Result<(), String> {
+        if used.len() != self.plan.events.len() {
+            return Err(format!(
+                "fault cursor has {} event flags but the plan has {} events",
+                used.len(),
+                self.plan.events.len()
+            ));
+        }
+        self.rng = XorShift(rng);
+        self.used = used.to_vec();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -348,7 +445,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_the_three_spec_forms() {
+    fn parses_the_four_spec_forms() {
         assert_eq!(
             parse_event("kill:node=3@t=0.5").unwrap(),
             FaultEvent {
@@ -373,6 +470,13 @@ mod tests {
                 kind: FaultKind::DropStep
             }
         );
+        assert_eq!(
+            parse_event("join:node=4@t=0.5").unwrap(),
+            FaultEvent {
+                at: 0.5,
+                kind: FaultKind::Join { node: 4 }
+            }
+        );
         for bad in [
             "kill",
             "kill:node=3",
@@ -380,6 +484,7 @@ mod tests {
             "kill:node=3@t=-1",
             "delay:node=2@t=0.1,factor=0",
             "drop:node=1@t=0.2",
+            "join:step@t=0.2",
             "explode:node=1@t=0.2",
         ] {
             assert!(parse_event(bad).is_err(), "{bad} should not parse");
@@ -392,6 +497,7 @@ mod tests {
             "kill:node=3@t=0.5",
             "delay:node=2@t=0.1,factor=3",
             "drop:step@t=0.2",
+            "join:node=4@t=0.5",
         ] {
             let ev = parse_event(spec).unwrap();
             assert_eq!(parse_event(&ev.to_string()).unwrap(), ev);
@@ -439,6 +545,51 @@ mod tests {
         };
         assert_eq!(roll(7), roll(7), "same seed, same drops");
         assert_ne!(roll(7), roll(8), "different seed, different drops");
+    }
+
+    #[test]
+    fn joins_are_one_shot_and_peekable() {
+        let mut inj = FaultInjector::new(FaultPlan::default().join(4, 0.5).join(2, 0.5));
+        assert!(inj.joins_pending(0.4).is_empty());
+        // Peeking does not consume.
+        assert_eq!(inj.joins_pending(0.6), vec![4, 2]);
+        assert_eq!(inj.joins_pending(0.6), vec![4, 2]);
+        assert!(inj.take_join(4, 0.6));
+        assert_eq!(inj.joins_pending(0.6), vec![2]);
+        assert!(!inj.take_join(4, 0.9), "join is consumed");
+        assert!(inj.take_join(2, 0.9));
+        assert!(inj.joins_pending(1e9).is_empty());
+    }
+
+    #[test]
+    fn cursor_round_trips_consumption_state() {
+        let plan = FaultPlan {
+            drop_p: 0.5,
+            ..FaultPlan::default()
+        }
+        .drop_step(0.1)
+        .join(3, 0.2);
+        let mut inj = FaultInjector::new(plan.clone());
+        assert!(inj.take_drop(0.15));
+        assert!(inj.take_join(3, 0.25));
+        let _ = inj.take_drop(0.3); // advance the RNG
+        let (rng, used) = inj.cursor();
+
+        let mut restored = FaultInjector::new(plan);
+        restored.restore_cursor(rng, &used).unwrap();
+        // Same RNG state → same continuation of the drop sequence.
+        for k in 0..32 {
+            let t = 1.0 + k as f64;
+            assert_eq!(restored.take_drop(t), inj.take_drop(t));
+        }
+        assert!(
+            restored.joins_pending(1e9).is_empty(),
+            "join stays consumed"
+        );
+        assert_eq!(restored.cursor().1.len(), 2);
+
+        let mut wrong = FaultInjector::new(FaultPlan::none());
+        assert!(wrong.restore_cursor(rng, &used).is_err());
     }
 
     #[test]

@@ -38,6 +38,17 @@
 //!   --sanitize               run the dynamic write-race / OOB sanitizer
 //!                            before execution and cross-check it against
 //!                            the static verifier verdicts
+//!   --fault SPEC             inject a scripted fault; repeatable. SPECs:
+//!                            kill:node=N@t=T, delay:node=N@t=T[,factor=F],
+//!                            drop:step@t=T, join:node=N@t=T (revive a dead
+//!                            slot, or grow the cluster when N == size)
+//!   --checkpoint PATH        after the verified run, serialize the full
+//!                            cluster state (buffers, membership epoch,
+//!                            fault cursor, clock) to PATH
+//!   --restore PATH           resume from a checkpoint instead of fresh
+//!                            uploads; buffer args bind to the restored
+//!                            allocations in order (GPU byte-comparison is
+//!                            skipped — the state is mid-job)
 //! ```
 //!
 //! `run` executes the kernel on the simulated GPU (reference) and on the
@@ -360,6 +371,8 @@ struct RunOpts {
     node_threads: usize,
     sanitize: bool,
     faults: Vec<String>,
+    checkpoint: Option<String>,
+    restore: Option<String>,
     verbose: bool,
 }
 
@@ -393,6 +406,8 @@ impl RunOpts {
             node_threads: 0,
             sanitize: false,
             faults: Vec::new(),
+            checkpoint: None,
+            restore: None,
             verbose: false,
         };
         let mut i = 0;
@@ -437,6 +452,8 @@ impl RunOpts {
                     o.args.push(parse_arg(spec)?);
                 }
                 "--fault" => o.faults.push(need(&mut i)?.clone()),
+                "--checkpoint" => o.checkpoint = Some(need(&mut i)?.clone()),
+                "--restore" => o.restore = Some(need(&mut i)?.clone()),
                 "-v" | "--verbose" => o.verbose = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -603,14 +620,47 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         builder = builder.modeled();
     }
     let cfg = builder.build();
-    let mut cl = CuccCluster::new(spec.clone(), cfg.clone());
     let mut cl_handles = Vec::new();
-    let cargs = bind(&mut |bytes| {
-        let id = cl.alloc(bytes.len());
-        cl.h2d(id, bytes);
-        cl_handles.push(id);
-        Arg::Buffer(id)
-    });
+    let (mut cl, cargs) = if let Some(path) = &opts.restore {
+        // Resume mid-job: buffers already live in the image, in the same
+        // allocation order the fresh run would have created them.
+        let cl = CuccCluster::restore_from(spec.clone(), cfg.clone(), path)
+            .map_err(|e| e.to_string())?;
+        out += &format!(
+            "  restore: resumed from {path} (epoch {}, {}/{} node(s) alive, clock {:.3} ms)\n",
+            cl.epoch(),
+            cl.active_nodes(),
+            cl.num_nodes(),
+            cl.clock() * 1e3,
+        );
+        let mut next = 0u32;
+        let cargs: Vec<Arg> = opts
+            .args
+            .iter()
+            .zip(&host_data)
+            .map(|(a, data)| match (a, data) {
+                (CliArg::Int(v), _) => Arg::int(*v),
+                (CliArg::Float(v), _) => Arg::float(*v),
+                (_, Some(_)) => {
+                    let id = cucc::exec::BufferId(next);
+                    next += 1;
+                    cl_handles.push(id);
+                    Arg::Buffer(id)
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        (cl, cargs)
+    } else {
+        let mut cl = CuccCluster::new(spec.clone(), cfg.clone());
+        let cargs = bind(&mut |bytes| {
+            let id = cl.alloc(bytes.len());
+            cl.h2d(id, bytes);
+            cl_handles.push(id);
+            Arg::Buffer(id)
+        });
+        (cl, cargs)
+    };
     let wall0 = std::time::Instant::now();
     let report = cl.launch(&ck, launch, &cargs).map_err(|e| e.to_string())?;
     let wall = wall0.elapsed().as_secs_f64();
@@ -669,8 +719,20 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         }
     );
 
-    if !opts.modeled {
-        // Verify buffers byte-for-byte against the GPU reference.
+    if let Some(path) = &opts.checkpoint {
+        let size = cl.checkpoint_to(path).map_err(|e| e.to_string())?;
+        out += &format!(
+            "  checkpoint: wrote {path} ({size} B, epoch {}, {}/{} node(s) alive)\n",
+            cl.epoch(),
+            cl.active_nodes(),
+            cl.num_nodes(),
+        );
+    }
+
+    if !opts.modeled && opts.restore.is_none() {
+        // Verify buffers byte-for-byte against the GPU reference. A
+        // restored run starts from mid-job state, so the single-launch GPU
+        // reference does not apply there.
         for (i, (g, c)) in gpu_handles.iter().zip(&cl_handles).enumerate() {
             let gb = gpu.d2h(*g);
             let cb = cl.d2h(*c);
@@ -1007,6 +1069,68 @@ mod tests {
             assert!(out.contains("matches GPU"), "{out}");
         }
         assert!(RunOpts::parse(&["--engine".into(), "jit".into()]).is_err());
+    }
+
+    #[test]
+    fn run_with_join_checkpoint_restore_round_trip() {
+        let path = std::env::temp_dir().join("cucc_cli_ckpt_test.bin");
+        let path_str = path.to_str().unwrap().to_string();
+        let common = [
+            "--nodes",
+            "4",
+            "--grid",
+            "13",
+            "--block",
+            "128",
+            "--arg",
+            "buf:1664f32",
+            "--arg",
+            "buf:1664f32",
+            "--arg",
+            "float:2.0",
+            "--arg",
+            "int:1664",
+        ];
+        // Kill node 3 mid-launch, grow by a fresh node at the checkpoint's
+        // quiesce barrier, and write the image.
+        let mut first: Vec<String> = common.iter().map(|s| s.to_string()).collect();
+        for extra in [
+            "--fault",
+            "kill:node=3@t=0",
+            "--fault",
+            "join:node=4@t=0",
+            "--checkpoint",
+            &path_str,
+        ] {
+            first.push(extra.to_string());
+        }
+        let opts = RunOpts::parse(&first).unwrap();
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        assert!(out.contains("faults: 1 node failure"), "{out}");
+        assert!(out.contains("checkpoint: wrote"), "{out}");
+        assert!(out.contains("4/5 node(s) alive"), "{out}");
+
+        // Restore into a new process at the grown shape and resume. The
+        // same fault plan rides along; the image's cursor marks both
+        // events consumed, so neither refires.
+        let mut second: Vec<String> = common.iter().map(|s| s.to_string()).collect();
+        second[1] = "5".to_string(); // --nodes 5: the image's grown shape
+        for extra in [
+            "--fault",
+            "kill:node=3@t=0",
+            "--fault",
+            "join:node=4@t=0",
+            "--restore",
+            &path_str,
+        ] {
+            second.push(extra.to_string());
+        }
+        let opts = RunOpts::parse(&second).unwrap();
+        let out = cmd_run(SAXPY, &opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("restore: resumed from"), "{out}");
+        assert!(out.contains("4/5 node(s) alive"), "{out}");
+        assert!(out.contains("cluster time"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Property tests of the elastic cluster state (ISSUE 8): checkpoint →
+//! restore → continue is bit-identical to the uninterrupted run, kill +
+//! join sequences recover memory bit-identical to the fault-free run, and
+//! a checkpoint restores into a *different* node count with the same
+//! bytes a fresh run at that shape produces.
+
+use cucc::cluster::ClusterSpec;
+use cucc::core::{
+    compile_source, Checkpoint, CompiledKernel, CuccCluster, FaultPlan, GraphCapture, RuntimeConfig,
+};
+use cucc::exec::Arg;
+use cucc::ir::LaunchConfig;
+use proptest::prelude::*;
+
+const SAXPY: &str = "__global__ void f(float* x, float* y, float a, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = a * x[id] + y[id];
+}";
+
+fn seeded(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let xs = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    let ys = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    (xs, ys)
+}
+
+fn cluster(nodes: u32, faults: FaultPlan) -> CuccCluster {
+    CuccCluster::new(
+        ClusterSpec::simd_focused().with_nodes(nodes),
+        RuntimeConfig::builder().faults(faults).build(),
+    )
+}
+
+fn saxpy_args(x: cucc::exec::BufferId, y: cucc::exec::BufferId, n: usize) -> Vec<Arg> {
+    vec![
+        Arg::Buffer(x),
+        Arg::Buffer(y),
+        Arg::float(1.5),
+        Arg::int(n as i64),
+    ]
+}
+
+/// Upload `xs`/`ys` into a fresh cluster and return it with the handles.
+fn loaded(
+    nodes: u32,
+    faults: FaultPlan,
+    xs: &[f32],
+    ys: &[f32],
+) -> (CuccCluster, cucc::exec::BufferId, cucc::exec::BufferId) {
+    let mut cl = cluster(nodes, faults);
+    let x = cl.alloc(xs.len() * 4);
+    let y = cl.alloc(ys.len() * 4);
+    cl.upload::<f32>(x, xs).unwrap();
+    cl.upload::<f32>(y, ys).unwrap();
+    (cl, x, y)
+}
+
+fn launch_twice_reference(
+    ck: &CompiledKernel,
+    nodes: u32,
+    launch: LaunchConfig,
+    xs: &[f32],
+    ys: &[f32],
+    n: usize,
+) -> (Vec<u8>, f64) {
+    let (mut cl, x, y) = loaded(nodes, FaultPlan::none(), xs, ys);
+    let args = saxpy_args(x, y, n);
+    cl.launch(ck, launch, &args).unwrap();
+    // Mirror the checkpointed run's quiesce barrier so the clocks of the
+    // two histories stay comparable bit-for-bit.
+    cl.synchronize().unwrap();
+    cl.launch(ck, launch, &args).unwrap();
+    (cl.download::<u8>(y).unwrap(), cl.clock())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint → serialize → decode → restore → continue reproduces the
+    /// uninterrupted run bit-for-bit: same memory, same simulated clock.
+    #[test]
+    fn checkpoint_restore_continue_is_bit_identical(
+        n in 256usize..4000,
+        nodes in 1u32..6,
+        block in prop::sample::select(vec![64u32, 128, 256]),
+        seed in any::<u64>(),
+    ) {
+        let ck = compile_source(SAXPY).unwrap();
+        let (xs, ys) = seeded(seed, n);
+        let launch = LaunchConfig::cover1(n as u64, block);
+        let (reference, ref_clock) =
+            launch_twice_reference(&ck, nodes, launch, &xs, &ys, n);
+
+        let (mut cl, x, y) = loaded(nodes, FaultPlan::none(), &xs, &ys);
+        let args = saxpy_args(x, y, n);
+        cl.launch(&ck, launch, &args).unwrap();
+        // Round-trip through the on-disk byte format, not just the struct.
+        let image = cl.checkpoint().unwrap().encode();
+        drop(cl); // the original process is gone
+        let ckpt = Checkpoint::decode(&image).unwrap();
+        let mut restored = CuccCluster::restore(
+            ClusterSpec::simd_focused().with_nodes(nodes),
+            RuntimeConfig::default(),
+            &ckpt,
+        ).unwrap();
+        restored.launch(&ck, launch, &args).unwrap();
+        prop_assert_eq!(restored.download::<u8>(y).unwrap(), reference,
+            "restored continuation diverged from the uninterrupted run");
+        prop_assert_eq!(restored.clock().to_bits(), ref_clock.to_bits(),
+            "restored clock diverged from the uninterrupted run");
+    }
+
+    /// A kill followed by a rejoin of the same node recovers memory
+    /// bit-identical to the fault-free run, and the cluster returns to its
+    /// original shape (every node alive, epoch advanced twice).
+    #[test]
+    fn kill_then_join_recovers_bit_identical_memory(
+        n in 256usize..4000,
+        nodes in 2u32..6,
+        block in prop::sample::select(vec![64u32, 128, 256]),
+        victim in 0u32..8,
+        kill_t in prop::sample::select(vec![0.0f64, 1e-7, 1e-5]),
+        seed in any::<u64>(),
+    ) {
+        let victim = victim % nodes;
+        let ck = compile_source(SAXPY).unwrap();
+        let (xs, ys) = seeded(seed, n);
+        let launch = LaunchConfig::cover1(n as u64, block);
+
+        let (mut clean, cx, cy) = loaded(nodes, FaultPlan::none(), &xs, &ys);
+        let clean_args = saxpy_args(cx, cy, n);
+        clean.launch(&ck, launch, &clean_args).unwrap();
+        clean.launch(&ck, launch, &clean_args).unwrap();
+        let reference = clean.download::<u8>(cy).unwrap();
+
+        let plan = FaultPlan::none().kill(victim, kill_t).join(victim, kill_t);
+        let (mut cl, x, y) = loaded(nodes, plan, &xs, &ys);
+        let args = saxpy_args(x, y, n);
+        cl.launch(&ck, launch, &args).unwrap();
+        // The second launch boundary readmits the victim (a node that died
+        // mid-launch rejoins at the next boundary).
+        cl.launch(&ck, launch, &args).unwrap();
+        prop_assert!(cl.is_alive(victim as usize), "join must revive the victim");
+        prop_assert_eq!(cl.active_nodes(), nodes as usize);
+        prop_assert_eq!(cl.download::<u8>(y).unwrap(), reference,
+            "kill+join run diverged from the fault-free run");
+    }
+
+    /// A checkpoint restores into a *different* node count and the
+    /// continued run matches a fresh run at that shape bit-for-bit.
+    #[test]
+    fn restore_into_different_shape_matches_fresh_run(
+        n in 256usize..4000,
+        from in 1u32..6,
+        to in 1u32..6,
+        block in prop::sample::select(vec![64u32, 128, 256]),
+        seed in any::<u64>(),
+    ) {
+        let ck = compile_source(SAXPY).unwrap();
+        let (xs, ys) = seeded(seed, n);
+        let launch = LaunchConfig::cover1(n as u64, block);
+
+        // Fresh reference at the target shape: the paper's bit-identity
+        // guarantee makes results shape-independent, so launch 1 runs at
+        // `to` nodes here and at `from` nodes below.
+        let (mut fresh, fx, fy) = loaded(to, FaultPlan::none(), &xs, &ys);
+        let fresh_args = saxpy_args(fx, fy, n);
+        fresh.launch(&ck, launch, &fresh_args).unwrap();
+        fresh.launch(&ck, launch, &fresh_args).unwrap();
+        let reference = fresh.download::<u8>(fy).unwrap();
+
+        let (mut cl, x, y) = loaded(from, FaultPlan::none(), &xs, &ys);
+        let args = saxpy_args(x, y, n);
+        cl.launch(&ck, launch, &args).unwrap();
+        let ckpt = cl.checkpoint().unwrap();
+        let mut migrated = CuccCluster::restore(
+            ClusterSpec::simd_focused().with_nodes(to),
+            RuntimeConfig::default(),
+            &ckpt,
+        ).unwrap();
+        prop_assert_eq!(migrated.num_nodes(), to as usize);
+        prop_assert_eq!(migrated.active_nodes(), to as usize,
+            "a cross-shape restore starts every node alive");
+        migrated.launch(&ck, launch, &args).unwrap();
+        prop_assert_eq!(migrated.download::<u8>(y).unwrap(), reference,
+            "migrated run diverged from the fresh run at the target shape");
+    }
+}
+
+/// The ISSUE's acceptance scenario, end to end: a workload is killed at
+/// node 3, a fresh node joins (cluster growth 4 → 5), the job is
+/// checkpointed to disk, restored into a new process, and run to
+/// completion — memory must be bit-identical to the uninterrupted healthy
+/// run.
+#[test]
+fn kill_join_checkpoint_restore_completes_bit_identical() {
+    let n = 13 * 128;
+    let ck = compile_source(SAXPY).unwrap();
+    let (xs, ys) = seeded(42, n);
+    let launch = LaunchConfig::cover1(n as u64, 128);
+
+    // Uninterrupted healthy reference at the original shape.
+    let (mut clean, cx, cy) = loaded(4, FaultPlan::none(), &xs, &ys);
+    let clean_args = saxpy_args(cx, cy, n);
+    clean.launch(&ck, launch, &clean_args).unwrap();
+    clean.launch(&ck, launch, &clean_args).unwrap();
+    let reference = clean.download::<u8>(cy).unwrap();
+
+    // Faulty run: node 3 dies during the first launch; a fresh node (id 4
+    // — one past the current size, so the cluster grows) joins at the next
+    // boundary, reached by the checkpoint's quiesce barrier.
+    let plan = FaultPlan::none()
+        .with_spec("kill:node=3@t=0")
+        .unwrap()
+        .with_spec("join:node=4@t=0")
+        .unwrap();
+    let (mut cl, x, y) = loaded(4, plan.clone(), &xs, &ys);
+    let args = saxpy_args(x, y, n);
+    let report = cl.launch(&ck, launch, &args).unwrap();
+    assert_eq!(report.faults.failures, 1, "the kill must fire");
+    assert!(!cl.is_alive(3));
+
+    let path = std::env::temp_dir().join(format!("cucc-elastic-{}.ckpt", std::process::id()));
+    let size = cl.checkpoint_to(&path).unwrap();
+    assert!(size > 0);
+    assert_eq!(cl.num_nodes(), 5, "the growth join lands at the barrier");
+    assert!(cl.is_alive(4));
+    let epoch = cl.epoch();
+    drop(cl); // the original process is gone
+
+    // New process: restore from disk into the grown 5-node shape (same
+    // count as the image, so liveness and epoch survive).
+    let mut restored = CuccCluster::restore_from(
+        ClusterSpec::simd_focused().with_nodes(5),
+        RuntimeConfig::builder().faults(plan).build(),
+        &path,
+    )
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.epoch(), epoch);
+    assert!(!restored.is_alive(3), "liveness must survive the restore");
+    assert_eq!(restored.active_nodes(), 4);
+    restored.launch(&ck, launch, &args).unwrap();
+    assert_eq!(
+        restored.download::<u8>(y).unwrap(),
+        reference,
+        "the killed+joined+restored run diverged from the healthy run"
+    );
+}
+
+/// Satellite 2: a checkpoint taken while a replayed graph left gathers
+/// pending must flush them first — the image holds globally consistent
+/// bytes, never per-node slices.
+#[test]
+fn checkpoint_flushes_pending_gathers() {
+    const ELEMS: usize = 1024;
+    let prod = compile_source(
+        "__global__ void prod(float* x) {
+            int id = blockIdx.x * blockDim.x + threadIdx.x;
+            x[id] = x[id] * 3.0f + 1.0f;
+        }",
+    )
+    .unwrap();
+    let launch = LaunchConfig::cover1(ELEMS as u64, 64);
+    let (xs, _) = seeded(7, ELEMS);
+
+    let mut cl = cluster(4, FaultPlan::none());
+    let x = cl.alloc(ELEMS * 4);
+    let mut cap = GraphCapture::new();
+    cap.upload(x, <f32 as cucc::core::HostScalar>::encode(&xs).into_owned());
+    cap.launch(&prod, launch, &[Arg::Buffer(x)]);
+    cap.launch(&prod, launch, &[Arg::Buffer(x)]);
+    let graph = cap.finish();
+    cl.graph_replay(&graph).unwrap();
+    assert_eq!(
+        cl.pending_gathers(),
+        vec![x],
+        "the replay must leave x pending for this test to bite"
+    );
+
+    let ckpt = cl.checkpoint().unwrap();
+    assert!(
+        cl.pending_gathers().is_empty(),
+        "checkpoint must flush pending gathers"
+    );
+
+    // The image's bytes must match the uncaptured run, proving the flush
+    // gathered every node's slice before serializing.
+    let mut restored = CuccCluster::restore(
+        ClusterSpec::simd_focused().with_nodes(4),
+        RuntimeConfig::default(),
+        &ckpt,
+    )
+    .unwrap();
+    let mut b = cluster(4, FaultPlan::none());
+    let xb = b.alloc(ELEMS * 4);
+    b.upload::<f32>(xb, &xs).unwrap();
+    b.launch(&prod, launch, &[Arg::Buffer(xb)]).unwrap();
+    b.launch(&prod, launch, &[Arg::Buffer(xb)]).unwrap();
+    assert_eq!(
+        restored.download::<u8>(x).unwrap(),
+        b.download::<u8>(xb).unwrap(),
+        "checkpointed pending buffer diverged from the uncaptured run"
+    );
+}
+
+/// Restore rejects images whose execution fidelity or fault session does
+/// not match the target configuration.
+#[test]
+fn restore_rejects_mismatched_configurations() {
+    let mut cl = cluster(3, FaultPlan::none().kill(1, 1e9));
+    let x = cl.alloc(64);
+    cl.upload::<f32>(x, &[1.0; 16]).unwrap();
+    let ckpt = cl.checkpoint().unwrap();
+    assert!(ckpt.fault_cursor.is_some());
+
+    // The image carries a fault cursor; restoring without a plan fails.
+    let err = CuccCluster::restore(
+        ClusterSpec::simd_focused().with_nodes(3),
+        RuntimeConfig::default(),
+        &ckpt,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("fault"), "unexpected error: {err}");
+
+    // Fidelity must match the image.
+    let err = CuccCluster::restore(
+        ClusterSpec::simd_focused().with_nodes(3),
+        RuntimeConfig::builder()
+            .fidelity(cucc::core::ExecutionFidelity::Modeled)
+            .build(),
+        &ckpt,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("fidelity"),
+        "unexpected error: {err}"
+    );
+}
