@@ -13,8 +13,8 @@
 //! access and classifies each buffer on the verifier's lattice:
 //!
 //! * [`BufferFootprint::Must`] — **every** access to the buffer provably
-//!   falls inside a union of per-block intervals `[coeff·b + lo, coeff·b +
-//!   hi]` (elements, inclusive, `b` the linear block id). This is an
+//!   falls inside a union of per-block intervals `span + coeff·b`
+//!   (elements, inclusive, `b` the linear block id). This is an
 //!   *over-approximation* of the accessed set (guards are ignored — they
 //!   only shrink the real set), which is the sound direction for elision:
 //!   if the `Must` hull is covered by resident data, the real reads are
@@ -30,20 +30,26 @@
 
 use crate::affine::{affine_of_expr, IdxVar, VarForms};
 use crate::plan::launch_sym_env;
+use crate::range::Interval;
 use cucc_exec::Arg;
 use cucc_ir::{Axis, Expr, Kernel, LaunchConfig, MemRef, Param, ParamId, Stmt};
 use std::collections::BTreeMap;
 
 /// One per-block access interval: linear block `b` touches elements
-/// `[coeff·b + lo, coeff·b + hi]` (inclusive).
+/// `span + coeff·b` (inclusive element offsets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockInterval {
     /// Elements the interval shifts per linear block.
     pub coeff: i128,
-    /// Lowest element offset at block 0.
-    pub lo: i128,
-    /// Highest element offset at block 0 (inclusive).
-    pub hi: i128,
+    /// Element offsets touched at block 0.
+    pub span: Interval,
+}
+
+impl BlockInterval {
+    /// Element offsets touched by linear block `b`.
+    pub fn at(self, b: i128) -> Interval {
+        self.span.translate(self.coeff.saturating_mul(b))
+    }
 }
 
 /// Launch-resolved footprint of one buffer parameter.
@@ -87,12 +93,12 @@ impl BufferFootprint {
         }
         let (b0, b1) = (blocks.start as i128, blocks.end as i128 - 1);
         for iv in intervals {
-            let lo = (iv.coeff * b0 + iv.lo).min(iv.coeff * b1 + iv.lo).max(0);
-            let hi = (iv.coeff * b0 + iv.hi).max(iv.coeff * b1 + iv.hi);
-            if hi < lo {
+            let hullv = iv.at(b0).hull(iv.at(b1));
+            let lo = hullv.lo.max(0);
+            if hullv.hi < lo {
                 continue;
             }
-            out.push((lo as u64 * elem_bytes, (hi as u64 + 1) * elem_bytes));
+            out.push((lo as u64 * elem_bytes, (hullv.hi as u64 + 1) * elem_bytes));
         }
         Some(out)
     }
@@ -197,17 +203,15 @@ fn resolve_access(
         .eval_coeffs(env)
         .ok_or_else(|| "unresolvable coefficient".to_string())?;
     let mut coeff = 0i128;
-    let mut lo = c0;
-    let mut hi = c0;
+    let mut span = Interval::point(c0);
     for (v, c) in coeffs {
         if c == 0 {
             continue;
         }
         match v {
             IdxVar::Thread(a) => {
-                let span = c * (launch.block.get(a) as i128 - 1);
-                lo += span.min(0);
-                hi += span.max(0);
+                let reach = c * (launch.block.get(a) as i128 - 1);
+                span = span.add(Interval::point(0).hull(Interval::point(reach)));
             }
             IdxVar::Block(Axis::X) => {
                 if launch.grid.y != 1 || launch.grid.z != 1 {
@@ -224,7 +228,7 @@ fn resolve_access(
             IdxVar::Loop(_) => return Err("loop-dependent index".to_string()),
         }
     }
-    Ok(BlockInterval { coeff, lo, hi })
+    Ok(BlockInterval { coeff, span })
 }
 
 #[cfg(test)]
@@ -299,8 +303,7 @@ mod tests {
         assert_eq!(intervals.len(), 2, "slice-local + broadcast element");
         assert!(intervals.contains(&BlockInterval {
             coeff: 0,
-            lo: 0,
-            hi: 0
+            span: Interval::point(0),
         }));
         // Blocks 4..8 read their slices plus element 0.
         let ranges = fp.reads.get(&x).unwrap().byte_ranges(4..8).unwrap();

@@ -21,14 +21,22 @@
 //!   lattice, cross-validated by the dynamic sanitizer in `cucc-exec`;
 //! * [`footprint`] — launch-resolved, per-node-sliceable read/write
 //!   footprints (`Must`/`Unknown`) consumed by the launch-graph
-//!   communication optimizer in `cucc-core`.
+//!   communication optimizer in `cucc-core`;
+//! * [`range`] — flow-sensitive interval **abstract interpretation** over
+//!   compiled bytecode, producing per-access bounds certificates that the
+//!   engines consume to elide bounds checks and the verifier consumes to
+//!   discharge MAY-bounds findings;
+//! * [`lint`] — dead-store / redundant-barrier / constant-condition /
+//!   unreachable-code findings on top of the range analysis (`cucc lint`).
 
 pub mod affine;
 pub mod distributable;
 pub mod footprint;
+pub mod lint;
 pub mod oracle;
 pub mod plan;
 pub mod poly;
+pub mod range;
 pub mod simd;
 pub mod variance;
 pub mod verify;
@@ -38,12 +46,17 @@ pub use distributable::{
     analyze_kernel, GatherBuffer, GuardClass, KernelMeta, Reason, TailGuard, Verdict, WriteSite,
 };
 pub use footprint::{launch_footprints, BlockInterval, BufferFootprint, LaunchFootprints};
+pub use lint::{lint_kernel, LintReport};
 pub use oracle::{verify_plan, OracleReport};
 pub use plan::{
     full_blocks_under_guard, plan_launch, BufferRegion, Partition, Plan, ReplicationCause,
     ThreePhasePlan,
 };
 pub use poly::{Poly, Sym};
+pub use range::{
+    analyze_ranges, certify_program, global_extents, param_slot_extents, AccessCert, AccessKind,
+    BranchFact, Interval, RangeAnalysis,
+};
 pub use simd::{analyze_simd, SimdClass, SimdReport};
 pub use variance::{var_variance, Variance};
 pub use verify::{

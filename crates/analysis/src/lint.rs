@@ -1,0 +1,477 @@
+//! Kernel lint pass: dead-code and style findings on top of the range
+//! analysis.
+//!
+//! The verifier ([`crate::verify`]) answers "can this launch fault or
+//! race?"; this module answers the softer question "is this kernel doing
+//! work that cannot matter?". All findings are `Severity::Info` — a lint
+//! never fails a build — and reuse the verifier's [`Diagnostic`] shape so
+//! `cucc lint`, `cucc check` and `cucc analyze` share one rendering.
+//!
+//! Finding catalog (each message starts with its stable kind tag):
+//!
+//! * `dead store` — a store to a `__shared__` or local array that the
+//!   kernel never reads back: the array is write-only, so the stores (and
+//!   any barrier protecting them) are dead work.
+//! * `redundant barrier` — a `__syncthreads()` in a kernel with no shared
+//!   memory accesses at all: there is nothing to synchronize.
+//! * `uniform branch barrier` — a barrier nested under `if`s whose
+//!   conditions are all provably thread-uniform: legal (no divergence), but
+//!   the barrier can be hoisted out of the conditional, where the phase
+//!   splitter handles it without per-phase condition re-evaluation.
+//! * `constant condition` — an `if` whose condition the range analysis
+//!   proves always-true or always-false *under this launch* (attributed to
+//!   a source line through the compiler's `if`-site table — `?:` selects
+//!   also lower to conditional jumps, so jump-counting alone would
+//!   misattribute).
+//! * `unreachable code` — compiled instructions the abstract interpreter
+//!   proves can never execute under this launch (dead branches of constant
+//!   conditions, code after a uniform `return`).
+//!
+//! The launch-graph analogue (a statically dead *launch*) lives in
+//! `cucc-core::graph`, which owns the graph structure; it reuses this
+//! module's diagnostic shape.
+
+use crate::range::{analyze_ranges, param_slot_extents, RangeAnalysis};
+use crate::variance::{expr_variance, var_variance, Variance};
+use crate::verify::{Diagnostic, Rule, Severity, SiteRef};
+use cucc_exec::{Arg, Program};
+use cucc_ir::{Expr, Kernel, LaunchConfig, MemRef, SourceMap, Stmt};
+
+/// Result of [`lint_kernel`]: findings plus the range-analysis coverage
+/// summary (`cucc check --builtin` prints the latter per kernel).
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All findings, in catalog order (every severity is `Info`).
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(certified, total)` reachable memory accesses.
+    pub cert_stats: (usize, usize),
+    /// `(reachable, total)` compiled instructions.
+    pub reach_stats: (usize, usize),
+}
+
+impl LintReport {
+    /// One-line range/lint summary (used by `cucc check --builtin`).
+    pub fn summary(&self) -> String {
+        let (c, t) = self.cert_stats;
+        let (r, n) = self.reach_stats;
+        format!(
+            "certified {c}/{t} accesses, reachable {r}/{n} insts, {} lint finding(s)",
+            self.diagnostics.len()
+        )
+    }
+
+    /// Multi-line human rendering in the verifier's format.
+    pub fn render(&self) -> String {
+        let mut out = format!("  range   : {}\n", self.summary());
+        for d in &self.diagnostics {
+            out += &format!("  {d}\n");
+        }
+        if self.diagnostics.is_empty() {
+            out += "  no lint findings\n";
+        }
+        out
+    }
+}
+
+/// Run every kernel lint at one launch. `extents` are per-parameter element
+/// counts (the [`crate::verify::verify_launch`] convention). Fails only
+/// when the kernel does not compile.
+pub fn lint_kernel(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    extents: &[Option<u64>],
+    map: Option<&SourceMap>,
+) -> Result<LintReport, String> {
+    let prog = Program::compile(kernel, launch, args).map_err(|e| e.to_string())?;
+    let slot_extents = param_slot_extents(&prog, args, extents);
+    let ra = analyze_ranges(&prog, &slot_extents);
+
+    let mut diags = Vec::new();
+    lint_dead_stores(kernel, map, &mut diags);
+    lint_barriers(kernel, map, &mut diags);
+    lint_constant_conditions(&prog, &ra, map, &mut diags);
+    lint_unreachable(&ra, &mut diags);
+
+    let reachable = ra.reachable.iter().filter(|r| **r).count();
+    Ok(LintReport {
+        diagnostics: diags,
+        cert_stats: ra.stats(),
+        reach_stats: (reachable, ra.reachable.len()),
+    })
+}
+
+fn info(msg: String) -> Diagnostic {
+    Diagnostic::new(Rule::Lint, Severity::Info, msg)
+}
+
+// ------------------------------------------------------------ dead store --
+
+/// Name of a shared/local array, for messages.
+fn array_name(kernel: &Kernel, mem: MemRef) -> Option<&str> {
+    match mem {
+        MemRef::Shared(i) => kernel.shared.get(i as usize).map(|d| d.name.as_str()),
+        MemRef::Local(i) => kernel.locals.get(i as usize).map(|d| d.name.as_str()),
+        MemRef::Global(_) => None,
+    }
+}
+
+/// Stores to shared/local arrays the kernel never reads. Global buffers are
+/// exempt: their stores are the kernel's observable output.
+fn lint_dead_stores(kernel: &Kernel, map: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    use std::collections::HashSet;
+    let mut read: HashSet<MemRef> = HashSet::new();
+    kernel.visit_stmts(&mut |s| {
+        // Atomics read-modify-write their target.
+        if let Stmt::AtomicRmw { mem, .. } = s {
+            read.insert(*mem);
+        }
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |e| {
+                if let Expr::Load { mem, .. } = e {
+                    read.insert(*mem);
+                }
+            });
+        });
+    });
+    // Pre-order walk over non-global writes, tracking the shared-write
+    // ordinal for source-line attribution.
+    let mut ordinal = 0usize;
+    kernel.visit_stmts(&mut |s| {
+        let (Stmt::Store { mem, .. } | Stmt::AtomicRmw { mem, .. }) = s else {
+            return;
+        };
+        if matches!(mem, MemRef::Global(_)) {
+            return;
+        }
+        if !read.contains(mem) {
+            let name = array_name(kernel, *mem).unwrap_or("?");
+            let mut d = info(format!(
+                "dead store: `{name}` is written but never read — the store (and any \
+                 barrier ordering it) is dead work"
+            ));
+            d.site = Some(SiteRef {
+                buffer: name.to_string(),
+                ordinal,
+                line: map.and_then(|m| m.shared_write_lines.get(ordinal).copied()),
+            });
+            out.push(d);
+        }
+        ordinal += 1;
+    });
+}
+
+// -------------------------------------------------------------- barriers --
+
+/// Redundant and uniformly-guarded barriers.
+fn lint_barriers(kernel: &Kernel, map: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    // Does the kernel touch shared memory at all?
+    let mut touches_shared = false;
+    kernel.visit_stmts(&mut |s| {
+        if let Stmt::Store { mem, .. } | Stmt::AtomicRmw { mem, .. } = s {
+            touches_shared |= matches!(mem, MemRef::Shared(_));
+        }
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |e| {
+                if let Expr::Load {
+                    mem: MemRef::Shared(_),
+                    ..
+                } = e
+                {
+                    touches_shared = true;
+                }
+            });
+        });
+    });
+    let variance = var_variance(kernel);
+    let mut ordinal = 0usize;
+    walk_barriers(
+        &kernel.body,
+        &variance,
+        0,
+        touches_shared,
+        map,
+        &mut ordinal,
+        out,
+    );
+}
+
+fn walk_barriers(
+    stmts: &[Stmt],
+    variance: &[Variance],
+    uniform_depth: usize,
+    touches_shared: bool,
+    map: Option<&SourceMap>,
+    ordinal: &mut usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::SyncThreads => {
+                let mut d = None;
+                if !touches_shared {
+                    d = Some(info(
+                        "redundant barrier: the kernel never accesses shared memory, so \
+                         `__syncthreads()` has nothing to order"
+                            .into(),
+                    ));
+                } else if uniform_depth > 0 {
+                    d = Some(info(format!(
+                        "uniform branch barrier: `__syncthreads()` sits under {uniform_depth} \
+                         provably thread-uniform condition(s) — hoisting it out of the \
+                         conditional avoids per-phase condition re-evaluation"
+                    )));
+                }
+                if let Some(mut d) = d {
+                    d.site = Some(SiteRef {
+                        buffer: String::new(),
+                        ordinal: *ordinal,
+                        line: map.and_then(|m| m.barrier_lines.get(*ordinal).copied()),
+                    });
+                    out.push(d);
+                }
+                *ordinal += 1;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // A thread-variant branch containing a barrier is the
+                // verifier's MUST finding, not a lint; only count uniform
+                // nesting here.
+                let depth = if expr_variance(cond, variance).thread {
+                    uniform_depth
+                } else {
+                    uniform_depth + 1
+                };
+                walk_barriers(
+                    then_body,
+                    variance,
+                    depth,
+                    touches_shared,
+                    map,
+                    ordinal,
+                    out,
+                );
+                walk_barriers(
+                    else_body,
+                    variance,
+                    depth,
+                    touches_shared,
+                    map,
+                    ordinal,
+                    out,
+                );
+            }
+            Stmt::For { body, .. } => {
+                walk_barriers(
+                    body,
+                    variance,
+                    uniform_depth,
+                    touches_shared,
+                    map,
+                    ordinal,
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+// --------------------------------------------------- constant conditions --
+
+/// `if`s whose condition the range analysis proves constant at this launch.
+fn lint_constant_conditions(
+    prog: &Program,
+    ra: &RangeAnalysis,
+    map: Option<&SourceMap>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for fact in &ra.branches {
+        let Some(outcome) = fact.outcome else {
+            continue;
+        };
+        // Attribute the branch pc to a source `if` (selects are excluded
+        // from the if-site table, so they never produce this lint).
+        let Some(ord) = prog.if_sites().iter().position(|pc| *pc == fact.pc) else {
+            continue;
+        };
+        let mut d = info(format!(
+            "constant condition: `if` #{ord} is provably always {outcome} at this launch — \
+             the {} branch is dead here",
+            if outcome { "else" } else { "then" }
+        ));
+        d.site = Some(SiteRef {
+            buffer: String::new(),
+            ordinal: ord,
+            line: map.and_then(|m| m.if_lines.get(ord).copied()),
+        });
+        out.push(d);
+    }
+}
+
+// ------------------------------------------------------ unreachable code --
+
+/// Instructions the abstract interpreter never reached under this launch.
+fn lint_unreachable(ra: &RangeAnalysis, out: &mut Vec<Diagnostic>) {
+    let dead = ra.reachable.iter().filter(|r| !**r).count();
+    if dead > 0 {
+        out.push(info(format!(
+            "unreachable code: {dead} of {} compiled instruction(s) can never execute at \
+             this launch",
+            ra.reachable.len()
+        )));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cucc_exec::BufferId;
+    use cucc_ir::parse_kernel_with_map;
+
+    fn lint(src: &str, args: Vec<Arg>, extents: Vec<Option<u64>>) -> LintReport {
+        let (k, map) = parse_kernel_with_map(src).unwrap();
+        cucc_ir::validate(&k).unwrap();
+        lint_kernel(
+            &k,
+            LaunchConfig::new(2u32, 32u32),
+            &args,
+            &extents,
+            Some(&map),
+        )
+        .unwrap()
+    }
+
+    fn kinds(r: &LintReport) -> Vec<&str> {
+        r.diagnostics
+            .iter()
+            .map(|d| d.message.split(':').next().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let r = lint(
+            "__global__ void k(float* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) out[id] = 1.0f;
+            }",
+            // n = 50 < 64 threads, so the guard genuinely cuts (a guard that
+            // is always true at the launch is itself a constant-condition
+            // finding, by design).
+            vec![Arg::Buffer(BufferId(0)), Arg::int(50)],
+            vec![Some(64), None],
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.cert_stats.0, r.cert_stats.1);
+    }
+
+    #[test]
+    fn dead_store_to_unread_shared_array() {
+        let r = lint(
+            "__global__ void k(float* out) {
+                __shared__ float tile[32];
+                tile[threadIdx.x] = 1.0f;
+                out[blockIdx.x * blockDim.x + threadIdx.x] = 2.0f;
+            }",
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(64)],
+        );
+        assert!(kinds(&r).contains(&"dead store"), "{:?}", r.diagnostics);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.site.as_ref().unwrap().line, Some(3));
+    }
+
+    #[test]
+    fn redundant_barrier_without_shared_memory() {
+        let r = lint(
+            "__global__ void k(float* out) {
+                out[threadIdx.x] = 1.0f;
+                __syncthreads();
+                out[threadIdx.x] = 2.0f;
+            }",
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(32)],
+        );
+        assert!(
+            kinds(&r).contains(&"redundant barrier"),
+            "{:?}",
+            r.diagnostics
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.message.starts_with("redundant barrier"))
+            .unwrap();
+        assert_eq!(d.site.as_ref().unwrap().line, Some(3));
+    }
+
+    #[test]
+    fn uniform_branch_barrier_flagged() {
+        let r = lint(
+            "__global__ void k(float* out, int n) {
+                __shared__ float tile[32];
+                if (n > 0) {
+                    tile[threadIdx.x] = 1.0f;
+                    __syncthreads();
+                    out[threadIdx.x] = tile[0];
+                }
+            }",
+            vec![Arg::Buffer(BufferId(0)), Arg::int(4)],
+            vec![Some(32), None],
+        );
+        assert!(
+            kinds(&r).contains(&"uniform branch barrier"),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn constant_condition_and_unreachable_reported_with_line() {
+        let r = lint(
+            "__global__ void k(float* out, int n) {
+                int id = threadIdx.x;
+                if (id < 100) {
+                    out[id] = 1.0f;
+                } else {
+                    out[0] = 2.0f;
+                }
+            }",
+            vec![Arg::Buffer(BufferId(0)), Arg::int(4)],
+            vec![Some(32), None],
+        );
+        // blockDim 32 → id < 100 always true; the else branch is dead.
+        let ks = kinds(&r);
+        assert!(ks.contains(&"constant condition"), "{:?}", r.diagnostics);
+        assert!(ks.contains(&"unreachable code"), "{:?}", r.diagnostics);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.message.starts_with("constant condition"))
+            .unwrap();
+        assert_eq!(d.site.as_ref().unwrap().line, Some(3));
+    }
+
+    #[test]
+    fn select_does_not_masquerade_as_if() {
+        // `?:` lowers to a conditional jump too; the if-site table must not
+        // attribute its constant condition to a nonexistent `if`.
+        let r = lint(
+            "__global__ void k(float* out) {
+                int id = threadIdx.x;
+                out[id] = id < 100 ? 1.0f : 2.0f;
+            }",
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(32)],
+        );
+        assert!(
+            !kinds(&r).contains(&"constant condition"),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+}

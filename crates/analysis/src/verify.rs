@@ -33,8 +33,10 @@
 use crate::affine::{affine_of_expr, AffineForm, IdxVar, VarForms};
 use crate::distributable::{collect_write_sites, GuardClass, Reason, WriteSite};
 use crate::plan::{launch_sym_env, ReplicationCause};
+use crate::range::Interval;
 use crate::variance::{expr_variance, var_variance, Variance};
-use cucc_exec::{Arg, BufferId};
+use cucc_exec::bytecode::SlotKind;
+use cucc_exec::{Arg, BufferId, Program};
 use cucc_ir::{Axis, BinOp, Expr, Kernel, LaunchConfig, MemRef, Param, SourceMap, Stmt, VarId};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -125,6 +127,8 @@ pub enum Rule {
     Barrier,
     /// Distribution decisions (rendered `Reason`s / `ReplicationCause`s).
     Distribute,
+    /// Style / dead-code findings from the lint pass (`cucc lint`).
+    Lint,
 }
 
 impl Rule {
@@ -135,6 +139,7 @@ impl Rule {
             Rule::Bounds => "bounds",
             Rule::Barrier => "barrier",
             Rule::Distribute => "distribute",
+            Rule::Lint => "lint",
         }
     }
 }
@@ -164,7 +169,9 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(rule: Rule, severity: Severity, message: String) -> Diagnostic {
+    /// A site-less diagnostic (attach a [`SiteRef`] afterwards if one is
+    /// attributable).
+    pub fn new(rule: Rule, severity: Severity, message: String) -> Diagnostic {
         Diagnostic {
             rule,
             severity,
@@ -178,7 +185,11 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[{}] {}", self.severity, self.rule.id(), self.message)?;
         if let Some(s) = &self.site {
-            if s.buffer.is_empty() {
+            if self.rule == Rule::Lint {
+                // Lint ordinals count sites of the finding's own kind
+                // (shared write, barrier, `if`, graph node), not writes.
+                write!(f, " (site #{}", s.ordinal)?;
+            } else if s.buffer.is_empty() {
                 write!(f, " (barrier #{}", s.ordinal)?;
             } else {
                 write!(f, " (write #{} to `{}`", s.ordinal, s.buffer)?;
@@ -439,9 +450,8 @@ struct ResolvedSite {
     name: String,
     /// Per-axis concrete blockIdx coefficients.
     block: BTreeMap<Axis, i128>,
-    /// Offset-set bounds (c0 folded in).
-    min: i128,
-    max: i128,
+    /// Offset-set hull (c0 folded in).
+    span: Interval,
     /// All offsets are ≡ `base` (mod `gcd`); `gcd == 0` ⇔ singleton set.
     base: i128,
     gcd: i128,
@@ -530,16 +540,13 @@ fn resolve_site(
             }
         }
     }
-    let mut min = c0;
-    let mut max = c0;
+    let mut span = Interval::point(c0);
     let mut base = c0;
     let mut g = 0i128;
     let mut total: u64 = 1;
     for d in &dims {
         let last = d.first + (d.count as i128 - 1) * d.step;
-        let (lo, hi) = (d.coeff * d.first, d.coeff * last);
-        min += lo.min(hi);
-        max += lo.max(hi);
+        span = span.add(Interval::point(d.coeff * d.first).hull(Interval::point(d.coeff * last)));
         base += d.coeff * d.first;
         g = gcd(g, d.coeff * d.step);
         total = total.saturating_mul(d.count);
@@ -563,8 +570,7 @@ fn resolve_site(
         ordinal,
         name: site_name(kernel, site),
         block,
-        min,
-        max,
+        span,
         base,
         gcd: g,
         offsets,
@@ -788,7 +794,7 @@ fn sets_overlap(
     delta: i128,
 ) -> Result<Option<Vec<(i128, Coord, Coord)>>, ()> {
     // Interval filter.
-    if a.max < b.min + delta || b.max + delta < a.min {
+    if a.span.meet(b.span.translate(delta)).is_none() {
         return Ok(None);
     }
     // Stride filter: every element of O_a ≡ base_a (mod g), O_b + δ ≡
@@ -893,13 +899,13 @@ fn check_pair_equal_coeffs(
     let lattice: i128 = active.iter().map(|(_, e)| 2 * e - 1).product();
     if lattice as usize > DELTA_BUDGET {
         // Dominant special case: one active axis — scan ascending |Δ| and
-        // stop once the shift leaves the window where the intervals can
-        // still touch (overlap needs `shift ∈ [a.min − b.max, a.max − b.min]`,
-        // and |shift| = |c|·d grows monotonically with d).
+        // stop once the shift leaves the window where the spans can still
+        // touch (overlap needs `shift ∈ span_a − span_b`, and |shift| =
+        // |c|·d grows monotonically with d).
         if active.len() == 1 {
             let (axis, ext) = active[0];
             let c = a.block.get(&axis).copied().unwrap_or(0);
-            let window = (a.min - b.max).abs().max((a.max - b.min).abs());
+            let window = a.span.sub(b.span).abs_hi();
             for d in 1..ext {
                 if c != 0 && (c * d).abs() > window {
                     break;
@@ -1074,19 +1080,15 @@ fn check_pair_cross_coeffs(
     must_eligible: bool,
 ) -> PairOutcome {
     let exts = grid_ext(launch);
-    let global = |s: &ResolvedSite| -> (i128, i128) {
-        let mut lo = s.min;
-        let mut hi = s.max;
+    let global = |s: &ResolvedSite| -> Interval {
+        let mut iv = s.span;
         for (ax, e) in exts {
             let c = s.block.get(&ax).copied().unwrap_or(0) * (e - 1);
-            lo += c.min(0);
-            hi += c.max(0);
+            iv = iv.add(Interval::point(0).hull(Interval::point(c)));
         }
-        (lo, hi)
+        iv
     };
-    let (alo, ahi) = global(a);
-    let (blo, bhi) = global(b);
-    if ahi < blo || bhi < alo {
+    if global(a).meet(global(b)).is_none() {
         return PairOutcome::safe();
     }
     let nblocks = launch.num_blocks();
@@ -1328,10 +1330,9 @@ fn range_of(
     launch: LaunchConfig,
     loops: &BTreeMap<VarId, Option<(i128, i128, i128)>>,
     env: &impl Fn(crate::poly::Sym) -> Option<i128>,
-) -> Option<(i128, i128)> {
+) -> Option<Interval> {
     let (coeffs, c0) = form.eval_coeffs(env)?;
-    let mut lo = c0;
-    let mut hi = c0;
+    let mut iv = Interval::point(c0);
     for (v, c) in coeffs {
         let (vmin, vmax) = match v {
             IdxVar::Thread(a) => (0, launch.block.get(a) as i128 - 1),
@@ -1345,11 +1346,9 @@ fn range_of(
                 None => return None,
             },
         };
-        let (a, b) = (c * vmin, c * vmax);
-        lo += a.min(b);
-        hi += a.max(b);
+        iv = iv.add(Interval::point(vmin).hull(Interval::point(vmax)).scale(c));
     }
-    Some((lo, hi))
+    Some(iv)
 }
 
 /// Check the in-bounds rule. Extents are in elements, indexed by parameter.
@@ -1366,6 +1365,10 @@ fn analyze_bounds(
     let loops = resolve_loops(kernel, &forms, &env);
     let must_eligible = !kernel_has_return(kernel) && !kernel_may_fault(kernel);
     let accesses = collect_accesses(kernel);
+    // Bytecode range-analysis facts for MAY→Safe discharge, built lazily on
+    // the first finding the affine rule cannot prove (it compiles the
+    // kernel, so the common all-Safe path never pays for it).
+    let mut discharge: Option<Option<RangeDischarge>> = None;
 
     let mut verdict = PropertyVerdict::Safe;
     let mut diags: Vec<Diagnostic> = Vec::new();
@@ -1405,7 +1408,16 @@ fn analyze_bounds(
         let range = form
             .as_ref()
             .and_then(|f| range_of(f, launch, &loops, &env));
-        let (Some(form), Some((raw_lo, raw_hi))) = (form, range) else {
+        let (Some(form), Some(raw)) = (form, range) else {
+            // The affine walker gave up, but the flow-sensitive bytecode
+            // analysis may still certify the buffer (guard refinement,
+            // constant propagation through variables).
+            let disc = discharge
+                .get_or_insert_with(|| range_discharge(kernel, launch, args, extents))
+                .as_ref();
+            if disc.is_some_and(|d| d.certified(acc.mem)) {
+                continue; // every compiled access certified in bounds
+            }
             verdict = verdict.join(PropertyVerdict::Unknown);
             if !unknown_noted && diags.len() < DIAG_CAP {
                 unknown_noted = true;
@@ -1421,21 +1433,25 @@ fn analyze_bounds(
             verdict = verdict.join(PropertyVerdict::Unknown);
             continue;
         };
-        // Guard narrowing (true-branch comparisons only).
-        let mut lo = raw_lo;
-        let mut hi = raw_hi;
+        // Guard narrowing (true-branch comparisons only). An empty meet
+        // means the guards contradict the raw range: no thread both passes
+        // the guards and performs the access, so the site is dead.
+        let mut narrowed = Some(raw);
         for (g, negated) in &acc.guards {
             if *negated {
                 continue;
             }
-            if let Some((nlo, nhi)) = narrow_by_guard(&form, g, &forms, launch, &loops, &env) {
-                lo = lo.max(nlo);
-                hi = hi.min(nhi);
+            if let Some(n) = narrow_by_guard(&form, g, &forms, launch, &loops, &env) {
+                narrowed = narrowed.and_then(|iv| iv.meet(n));
             }
         }
-        if lo >= 0 && hi < extent {
+        let Some(iv) = narrowed else {
+            continue; // guards prove the access never executes
+        };
+        if iv.lo >= 0 && iv.hi < extent {
             continue; // proven in bounds
         }
+        let (lo, hi) = (iv.lo, iv.hi);
         // The raw (un-narrowed) box is exact: every corner is attained by
         // some thread/iteration. Narrowed bounds are over-approximations,
         // so MUST needs the *raw* range to violate.
@@ -1443,13 +1459,35 @@ fn analyze_bounds(
             && !acc.conditional
             && !loop_unknown
             && must_eligible
-            && (raw_lo < 0 || raw_hi >= extent);
-        let neg_side = raw_lo < 0 && acc.guards.is_empty() && !acc.conditional && must_eligible;
+            && (raw.lo < 0 || raw.hi >= extent);
+        let neg_side = raw.lo < 0 && acc.guards.is_empty() && !acc.conditional && must_eligible;
         let sev = if definite && (!assumed_extents || neg_side) {
             Severity::Must
         } else {
             Severity::May
         };
+        // MAY→Safe discharge: a MAY finding is an over-approximation
+        // artifact whenever the bytecode interpreter certifies every
+        // reachable access to the buffer in bounds under this launch.
+        if sev == Severity::May {
+            let disc = discharge
+                .get_or_insert_with(|| range_discharge(kernel, launch, args, extents))
+                .as_ref();
+            if disc.is_some_and(|d| d.certified(acc.mem)) {
+                if diags.len() < DIAG_CAP {
+                    let kind = if acc.is_store { "store" } else { "load" };
+                    diags.push(Diagnostic::new(
+                        Rule::Bounds,
+                        Severity::Info,
+                        format!(
+                            "{kind} index into `{name}` MAY exceed [0, {extent}) affinely, \
+                             but range analysis certifies every access — discharged"
+                        ),
+                    ));
+                }
+                continue;
+            }
+        }
         verdict = verdict.join(if sev == Severity::Must {
             PropertyVerdict::Must
         } else {
@@ -1500,7 +1538,7 @@ fn narrow_by_guard(
     launch: LaunchConfig,
     loops: &BTreeMap<VarId, Option<(i128, i128, i128)>>,
     env: &impl Fn(crate::poly::Sym) -> Option<i128>,
-) -> Option<(i128, i128)> {
+) -> Option<Interval> {
     let Expr::Binary { op, lhs, rhs } = guard else {
         return None;
     };
@@ -1515,17 +1553,83 @@ fn narrow_by_guard(
     let small_f = affine_of_expr(small, forms)?;
     let big_f = affine_of_expr(big, forms)?;
     let upper_f = big_f.add(&index.sub(&small_f)); // big + (index − small)
-    let (ulo, uhi) = range_of(&upper_f, launch, loops, env)?;
+    let u = range_of(&upper_f, launch, loops, env)?;
     if eq {
-        return Some((ulo, uhi));
+        return Some(u);
     }
-    let hi = uhi - if inclusive { 0 } else { 1 };
+    let hi = u.hi - if inclusive { 0 } else { 1 };
     let lower_f = small_f.add(&index.sub(&big_f)); // small + (index − big)
     let lo = match range_of(&lower_f, launch, loops, env) {
-        Some((llo, _)) => llo + if inclusive { 0 } else { 1 },
+        Some(l) => l.lo + if inclusive { 0 } else { 1 },
         None => i128::MIN,
     };
-    Some((lo, hi))
+    // May be empty (`lo > hi`) when the guard contradicts the raw range;
+    // the caller's `meet` then proves the access dead.
+    Some(Interval { lo, hi })
+}
+
+// ----------------------------------------------- range-analysis discharge --
+
+/// Per-buffer facts from the bytecode abstract interpreter
+/// ([`crate::range::analyze_ranges`]): a memory reference maps to certified
+/// when every *reachable* compiled access to it is proven in bounds, so the
+/// launch cannot fault on that buffer and a MAY finding of the affine rule
+/// is an over-approximation artifact.
+struct RangeDischarge {
+    /// Global buffers, keyed by parameter index.
+    global: BTreeMap<usize, bool>,
+    /// Shared arrays, keyed by declaration index.
+    shared: BTreeMap<u32, bool>,
+    /// Local arrays, keyed by declaration index.
+    local: BTreeMap<u32, bool>,
+}
+
+impl RangeDischarge {
+    fn certified(&self, mem: MemRef) -> bool {
+        match mem {
+            MemRef::Global(p) => self.global.get(&p.index()).copied().unwrap_or(false),
+            MemRef::Shared(i) => self.shared.get(&i).copied().unwrap_or(false),
+            MemRef::Local(i) => self.local.get(&i).copied().unwrap_or(false),
+        }
+    }
+}
+
+/// Compile the kernel and run the range analysis, folding the per-slot
+/// certificates back onto source-level memory references. `None` when the
+/// kernel does not compile (the affine verdict then stands alone).
+fn range_discharge(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    extents: &[Option<u64>],
+) -> Option<RangeDischarge> {
+    let prog = Program::compile(kernel, launch, args).ok()?;
+    let param_of = |buf: BufferId| {
+        args.iter()
+            .position(|a| matches!(a, Arg::Buffer(b) if *b == buf))
+    };
+    let slot_extents = crate::range::param_slot_extents(&prog, args, extents);
+    let ok = crate::range::analyze_ranges(&prog, &slot_extents).certified_slots();
+    let mut d = RangeDischarge {
+        global: BTreeMap::new(),
+        shared: BTreeMap::new(),
+        local: BTreeMap::new(),
+    };
+    for (i, s) in prog.slots().iter().enumerate() {
+        let Some(info) = s else { continue };
+        // A slot with no reachable access cannot fault.
+        let c = ok.get(&(i as u32)).copied().unwrap_or(true);
+        match info.kind {
+            SlotKind::Global { buf } => {
+                if let Some(p) = param_of(buf) {
+                    *d.global.entry(p).or_insert(true) &= c;
+                }
+            }
+            SlotKind::Shared { idx } => *d.shared.entry(idx).or_insert(true) &= c,
+            SlotKind::Local { idx } => *d.local.entry(idx).or_insert(true) &= c,
+        }
+    }
+    Some(d)
 }
 
 // --------------------------------------------------------- barrier rule --
@@ -1845,6 +1949,46 @@ mod tests {
             vec![Some(100), None],
         );
         assert_eq!(r.bounds, PropertyVerdict::May, "{r:?}");
+    }
+
+    #[test]
+    fn nonaffine_index_discharged_by_range_analysis() {
+        // `id % 64` is non-affine, so the affine rule alone says Unknown;
+        // the bytecode range analysis proves [0, 63] and discharges.
+        let r = check(
+            "__global__ void k(int* out) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                out[id % 64] = id;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0))],
+            vec![Some(64)],
+        );
+        assert!(r.bounds.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn guard_through_variable_discharged_by_range_analysis() {
+        // The guard is a *variable* holding a comparison, which the affine
+        // narrowing cannot see through (it would report MAY); the bytecode
+        // analysis tracks the predicate provenance and certifies.
+        let r = check(
+            "__global__ void k(int* out, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                int ok = id < n;
+                if (ok) out[id] = 1;
+            }",
+            LaunchConfig::new(4u32, 32u32),
+            vec![Arg::Buffer(BufferId(0)), Arg::int(100)],
+            vec![Some(100), None],
+        );
+        assert!(r.bounds.is_safe(), "{r:?}");
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Info && d.message.contains("discharged")),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -13,17 +13,26 @@
 //! `BENCH_interp.json` at the repository root so docs and CI can quote the
 //! numbers: one row per (kernel, worker count) with `tree`, `bytecode` and
 //! `simd` blocks/s columns (`bytecode_speedup` is vs the serial tree walk,
-//! `simd_speedup` is vs the bytecode engine at the *same* worker count).
+//! `simd_speedup` is vs the bytecode engine at the *same* worker count),
+//! plus steady-state `*_run_blocks_per_sec` (checked) and
+//! `*_unchecked_blocks_per_sec` (range-certified, bounds-check-elided)
+//! columns with compile + range analysis hoisted out of the timed region
+//! — the schedule cache amortizes both across replays — so
+//! `elide_speedup` (certified simd vs checked simd run-only, same worker
+//! count) isolates the elision effect from per-launch compile jitter.
 //!
 //! The harness doubles as the perf-regression smoke: it panics if the
-//! vectorized tier fails to beat the bytecode engine on the saxpy or
-//! horner15 serial rows, so a CI bench run fails on a vectorization
-//! regression.
+//! vectorized tier fails to beat the bytecode engine, or if the certified
+//! unchecked path falls behind the checked path, on the saxpy or horner15
+//! serial rows — so a CI bench run fails on a vectorization or elision
+//! regression. Checked-vs-unchecked bit-identity (stats and memory) is
+//! asserted before anything is timed.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cucc_analysis::{certify_program, global_extents};
 use cucc_exec::{
     execute_block_range, run_range, run_range_parallel, run_range_parallel_simd, run_range_simd,
-    sanitize_launch, Arg, MemPool, Program,
+    sanitize_launch, Arg, BufferId, CertMode, MemPool, Program,
 };
 use cucc_ir::{Axis, Expr, Kernel, KernelBuilder, LaunchConfig, Scalar};
 use std::time::Instant;
@@ -143,11 +152,40 @@ struct SerialBase {
     sanitize: f64,
 }
 
-/// One (kernel, worker count) configuration: bytecode vs vectorized.
+/// One (kernel, worker count) configuration: bytecode vs vectorized with
+/// compile inside the timed region (the historical columns), plus
+/// steady-state run-only rows — compile + range analysis hoisted, as the
+/// schedule cache amortizes them across replays — in checked and
+/// range-certified (bounds-check-elided) flavours, so `elide_speedup`
+/// isolates the elision effect from per-launch compile jitter.
 struct WorkerRow {
     workers: usize,
     bytecode: f64,
     simd: f64,
+    bytecode_run: f64,
+    simd_run: f64,
+    bytecode_unchecked: f64,
+    simd_unchecked: f64,
+}
+
+/// Compile and attach `CertMode::Elide` certificates against the pool's
+/// real allocation sizes; the dense exact-cover bench kernels must
+/// certify every access or the elided rows would be measuring nothing.
+fn compile_certified(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    args: &[Arg],
+    pool: &MemPool,
+) -> Program {
+    let mut prog = Program::compile(kernel, launch, args).unwrap();
+    let exts = global_extents(&prog, |b| (b.index() < pool.len()).then(|| pool.size_of(b)));
+    let (certified, total) = certify_program(&mut prog, &exts, CertMode::Elide).stats();
+    assert_eq!(
+        certified, total,
+        "bench kernel `{}` only certified {certified}/{total} accesses",
+        kernel.name
+    );
+    prog
 }
 
 /// Best-of-`reps` blocks/second for every engine configuration, after an
@@ -164,6 +202,8 @@ fn measure(
     let args = setup(&mut pool_a, spec);
     let mut pool_b = pool_a.clone();
     let mut pool_c = pool_a.clone();
+    let mut pool_d = pool_a.clone();
+    let mut pool_e = pool_a.clone();
     let nblocks = launch.num_blocks();
 
     let sa = execute_block_range(kernel, launch, 0..nblocks, &args, &mut pool_a).unwrap();
@@ -172,6 +212,30 @@ fn measure(
     assert_eq!(sa, sb, "engines disagree — refusing to benchmark");
     let sc = run_range_simd(&prog, &mut pool_c, 0..nblocks).unwrap();
     assert_eq!(sa, sc, "simd engine disagrees — refusing to benchmark");
+
+    // Checked-vs-unchecked bit-identity: the certified elided path must
+    // reproduce the checked path's stats and memory exactly.
+    let prog_u = compile_certified(kernel, launch, &args, &pool_d);
+    let sd = run_range(&prog_u, &mut pool_d, 0..nblocks).unwrap();
+    assert_eq!(
+        sa, sd,
+        "certified bytecode disagrees — refusing to benchmark"
+    );
+    let se = run_range_simd(&prog_u, &mut pool_e, 0..nblocks).unwrap();
+    assert_eq!(sa, se, "certified simd disagrees — refusing to benchmark");
+    for i in 0..pool_a.len() {
+        let id = BufferId(i as u32);
+        assert_eq!(
+            pool_a.bytes(id),
+            pool_d.bytes(id),
+            "certified bytecode memory diverged"
+        );
+        assert_eq!(
+            pool_a.bytes(id),
+            pool_e.bytes(id),
+            "certified simd memory diverged"
+        );
+    }
 
     let bps = |secs: f64| nblocks as f64 / secs;
     let mut tree = f64::MAX;
@@ -189,8 +253,15 @@ fn measure(
 
     let mut rows = Vec::new();
     for workers in WORKER_COUNTS {
+        // Pre-built programs for the steady-state (run-only) rows.
+        let prog_run = Program::compile(kernel, launch, &args).unwrap();
+        let prog_cert = compile_certified(kernel, launch, &args, &pool_d);
         let mut bytecode = f64::MAX;
         let mut simd = f64::MAX;
+        let mut bytecode_r = f64::MAX;
+        let mut simd_r = f64::MAX;
+        let mut bytecode_u = f64::MAX;
+        let mut simd_u = f64::MAX;
         for _ in 0..reps {
             let t = Instant::now();
             let prog = Program::compile(kernel, launch, &args).unwrap();
@@ -209,11 +280,47 @@ fn measure(
                 run_range_parallel_simd(&prog, &mut pool_c, 0..nblocks, workers).unwrap();
             }
             simd = simd.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            if workers <= 1 {
+                run_range(&prog_run, &mut pool_b, 0..nblocks).unwrap();
+            } else {
+                run_range_parallel(&prog_run, &mut pool_b, 0..nblocks, workers).unwrap();
+            }
+            bytecode_r = bytecode_r.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            if workers <= 1 {
+                run_range_simd(&prog_run, &mut pool_c, 0..nblocks).unwrap();
+            } else {
+                run_range_parallel_simd(&prog_run, &mut pool_c, 0..nblocks, workers).unwrap();
+            }
+            simd_r = simd_r.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            if workers <= 1 {
+                run_range(&prog_cert, &mut pool_d, 0..nblocks).unwrap();
+            } else {
+                run_range_parallel(&prog_cert, &mut pool_d, 0..nblocks, workers).unwrap();
+            }
+            bytecode_u = bytecode_u.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            if workers <= 1 {
+                run_range_simd(&prog_cert, &mut pool_e, 0..nblocks).unwrap();
+            } else {
+                run_range_parallel_simd(&prog_cert, &mut pool_e, 0..nblocks, workers).unwrap();
+            }
+            simd_u = simd_u.min(t.elapsed().as_secs_f64());
         }
         rows.push(WorkerRow {
             workers,
             bytecode: bps(bytecode),
             simd: bps(simd),
+            bytecode_run: bps(bytecode_r),
+            simd_run: bps(simd_r),
+            bytecode_unchecked: bps(bytecode_u),
+            simd_unchecked: bps(simd_u),
         });
     }
     (
@@ -259,17 +366,21 @@ fn bench_engines(c: &mut Criterion) {
         });
         g.finish();
 
-        let (base, wrows) = measure(kernel, launch, *spec, 5);
+        let (base, wrows) = measure(kernel, launch, *spec, 9);
         for r in &wrows {
             println!(
                 "{name:<14} w={} tree {:>10.0} blk/s | bytecode {:>10.0} blk/s ({:.2}x) | \
-                 simd {:>10.0} blk/s ({:.2}x vs bytecode) | sanitize {:>10.0} blk/s",
+                 simd {:>10.0} blk/s ({:.2}x vs bytecode) | certified simd {:>10.0} blk/s \
+                 ({:.2}x vs checked run-only {:>10.0}) | sanitize {:>10.0} blk/s",
                 r.workers,
                 base.tree,
                 r.bytecode,
                 r.bytecode / base.tree,
                 r.simd,
                 r.simd / r.bytecode,
+                r.simd_unchecked,
+                r.simd_unchecked / r.simd_run,
+                r.simd_run,
                 base.sanitize,
             );
             if !rows.is_empty() {
@@ -280,6 +391,10 @@ fn bench_engines(c: &mut Criterion) {
                  \"workers\": {}, \"tree_blocks_per_sec\": {:.0}, \
                  \"bytecode_blocks_per_sec\": {:.0}, \"bytecode_speedup\": {:.2}, \
                  \"simd_blocks_per_sec\": {:.0}, \"simd_speedup\": {:.2}, \
+                 \"bytecode_run_blocks_per_sec\": {:.0}, \
+                 \"simd_run_blocks_per_sec\": {:.0}, \
+                 \"bytecode_unchecked_blocks_per_sec\": {:.0}, \
+                 \"simd_unchecked_blocks_per_sec\": {:.0}, \"elide_speedup\": {:.2}, \
                  \"sanitize_blocks_per_sec\": {:.0}, \"sanitize_overhead_vs_tree\": {:.2}}}",
                 BLOCKS,
                 THREADS,
@@ -289,12 +404,19 @@ fn bench_engines(c: &mut Criterion) {
                 r.bytecode / base.tree,
                 r.simd,
                 r.simd / r.bytecode,
+                r.bytecode_run,
+                r.simd_run,
+                r.bytecode_unchecked,
+                r.simd_unchecked,
+                r.simd_unchecked / r.simd_run,
                 base.sanitize,
                 base.tree / base.sanitize,
             ));
         }
         // Perf-regression smoke: the vectorized tier must not lose to the
-        // bytecode engine on the dense compute kernels it was built for.
+        // bytecode engine, and the certified bounds-check-elided path must
+        // not lose to the checked path, on the dense compute kernels they
+        // were built for.
         if matches!(*name, "saxpy" | "horner15") {
             let serial = &wrows[0];
             assert!(
@@ -303,6 +425,17 @@ fn bench_engines(c: &mut Criterion) {
                  ({:.0} < {:.0} blocks/s serial)",
                 serial.simd,
                 serial.bytecode,
+            );
+            // 10% noise floor: on the compute-bound kernels the two
+            // memory ops per element put elision within run-to-run
+            // jitter, so only a real regression should fail CI. Both
+            // sides are steady-state run-only measurements.
+            assert!(
+                serial.simd_unchecked >= serial.simd_run * 0.9,
+                "{name}: certified simd path regressed below checked \
+                 ({:.0} < {:.0} blocks/s serial run-only)",
+                serial.simd_unchecked,
+                serial.simd_run,
             );
         }
     }

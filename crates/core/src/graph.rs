@@ -37,7 +37,7 @@
 
 use crate::compile::CompiledKernel;
 use crate::schedule::buffer_sets;
-use cucc_analysis::{launch_footprints, LaunchFootprints};
+use cucc_analysis::{launch_footprints, Diagnostic, LaunchFootprints, Rule, Severity, SiteRef};
 use cucc_exec::{Arg, BufferId};
 use cucc_ir::LaunchConfig;
 use cucc_net::GatherSegment;
@@ -115,6 +115,153 @@ impl LaunchGraph {
             .filter(|n| matches!(n.op, GraphOp::Launch { .. }))
             .count()
     }
+}
+
+// ---------------------------------------------------------------------
+// Graph lint: statically dead launches
+// ---------------------------------------------------------------------
+
+/// `ParamId → BufferId` bindings of a launch node's buffer arguments.
+fn buffer_args(args: &[Arg]) -> Vec<(usize, BufferId)> {
+    args.iter()
+        .enumerate()
+        .filter_map(|(i, a)| match a {
+            Arg::Buffer(b) => Some((i, *b)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Find **statically dead launches**: launch nodes whose entire `Must`
+/// write footprint is overwritten by later nodes before any node reads it.
+/// Such a launch's output is unobservable — both inside the graph and
+/// after replay — so the whole launch (and any Allgather it would have
+/// triggered) is dead work.
+///
+/// The proof is conservative in the safe direction: an `Unknown` footprint
+/// anywhere in the chain (the dead candidate's own writes, or a later
+/// consumer's reads) blocks the finding, as does any write surviving to
+/// the end of the graph (graph outputs are observable by the host).
+/// Findings are `Severity::Info` under [`Rule::Lint`], matching the
+/// kernel-level lints in `cucc-analysis`.
+pub fn lint_graph(graph: &LaunchGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let GraphOp::Launch { ck, launch, args } = &node.op else {
+            continue;
+        };
+        let Some(fp) = &node.footprints else { continue };
+        if fp.writes.is_empty() {
+            continue; // nothing observable to be dead
+        }
+        let blocks = launch.grid.count();
+        let mut dead = true;
+        let mut dead_bufs: Vec<BufferId> = Vec::new();
+        'bufs: for (p, w) in &fp.writes {
+            let Some(&(_, buf)) = buffer_args(args).iter().find(|(q, _)| *q == p.index()) else {
+                dead = false;
+                break;
+            };
+            // `Unknown` write footprint: cannot bound what i wrote.
+            let Some(ranges) = w.byte_ranges(0..blocks) else {
+                dead = false;
+                break;
+            };
+            let mut remaining = normalize(ranges);
+            for later in &graph.nodes[i + 1..] {
+                if remaining.is_empty() {
+                    break;
+                }
+                match &later.op {
+                    GraphOp::Upload { buf: ub, data } if *ub == buf => {
+                        // Whole-buffer broadcast overwrite.
+                        remaining = remaining
+                            .into_iter()
+                            .flat_map(|r| subtract_one(r, &[(0, data.len() as u64)]))
+                            .collect();
+                    }
+                    GraphOp::Upload { .. } => {}
+                    GraphOp::Launch {
+                        launch: l2,
+                        args: a2,
+                        ..
+                    } => {
+                        let Some(fp2) = &later.footprints else {
+                            dead = false;
+                            break 'bufs;
+                        };
+                        let b2 = l2.grid.count();
+                        for (q, qb) in buffer_args(a2) {
+                            if qb != buf {
+                                continue;
+                            }
+                            let q = cucc_ir::ParamId(q as u32);
+                            // Reads first: a consumer observes the buffer
+                            // before (conceptually, while) overwriting it.
+                            if let Some(r) = fp2.reads.get(&q) {
+                                match r.byte_ranges(0..b2) {
+                                    // Unknown reads may touch anything.
+                                    None => {
+                                        dead = false;
+                                        break 'bufs;
+                                    }
+                                    Some(rr) => {
+                                        let rr = normalize(rr);
+                                        if remaining
+                                            .iter()
+                                            .any(|&r| !intersect_one(r, &rr).is_empty())
+                                        {
+                                            dead = false;
+                                            break 'bufs;
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(w2) = fp2.writes.get(&q) {
+                                // Unknown later writes cover nothing.
+                                if let Some(ww) = w2.byte_ranges(0..b2) {
+                                    let ww = normalize(ww);
+                                    remaining = remaining
+                                        .into_iter()
+                                        .flat_map(|r| subtract_one(r, &ww))
+                                        .collect();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !remaining.is_empty() {
+                dead = false; // survives to graph exit: host-observable
+                break;
+            }
+            dead_bufs.push(buf);
+        }
+        if dead {
+            let bufs = dead_bufs
+                .iter()
+                .map(|b| format!("buffer {}", b.0))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut d = Diagnostic::new(
+                Rule::Lint,
+                Severity::Info,
+                format!(
+                    "dead launch: node #{i} (`{}`) writes only {bufs}, and every byte is \
+                     overwritten by later nodes before any read — the launch and its \
+                     Allgather are dead work",
+                    ck.kernel.name
+                ),
+            );
+            d.site = Some(SiteRef {
+                buffer: ck.kernel.name.clone(),
+                ordinal: i,
+                line: None,
+            });
+            out.push(d);
+        }
+    }
+    out
 }
 
 /// Records a stream of launches and transfers into a [`LaunchGraph`]
@@ -497,6 +644,86 @@ mod tests {
         assert_eq!((segs[1].lo, segs[1].hi), (100, 200));
         assert_eq!(segs[2].owner, 2);
         assert_eq!((segs[2].lo, segs[2].hi), (200, 250));
+    }
+
+    #[test]
+    fn dead_launch_lint_fires_on_overwritten_producer() {
+        let ck = compile_source(
+            "__global__ void fill(float* x, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) x[id] = 1.0f;
+            }",
+        )
+        .unwrap();
+        let x = BufferId(0);
+        let launch = LaunchConfig::cover1(1024, 128);
+        let args = [Arg::Buffer(x), Arg::int(1024)];
+        let mut cap = GraphCapture::new();
+        // First fill is completely overwritten by the second before anyone
+        // reads x: statically dead.
+        let dead = cap.launch(&ck, launch, &args);
+        cap.launch(&ck, launch, &args);
+        let g = cap.finish();
+        let findings = lint_graph(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.starts_with("dead launch"));
+        assert_eq!(findings[0].site.as_ref().unwrap().ordinal, dead);
+    }
+
+    #[test]
+    fn dead_launch_lint_spares_read_and_final_writes() {
+        let fill = compile_source(
+            "__global__ void fill(float* x, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) x[id] = 1.0f;
+            }",
+        )
+        .unwrap();
+        let copy = compile_source(
+            "__global__ void copy(float* src, float* dst, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) dst[id] = src[id];
+            }",
+        )
+        .unwrap();
+        let x = BufferId(0);
+        let y = BufferId(1);
+        let launch = LaunchConfig::cover1(1024, 128);
+        let mut cap = GraphCapture::new();
+        // fill(x) is read by copy(x→y) before the second fill(x): not dead.
+        cap.launch(&fill, launch, &[Arg::Buffer(x), Arg::int(1024)]);
+        cap.launch(
+            &copy,
+            launch,
+            &[Arg::Buffer(x), Arg::Buffer(y), Arg::int(1024)],
+        );
+        cap.launch(&fill, launch, &[Arg::Buffer(x), Arg::int(1024)]);
+        let g = cap.finish();
+        // Second fill survives to graph exit (host-observable) — no finding
+        // for it either.
+        assert!(lint_graph(&g).is_empty(), "{:?}", lint_graph(&g));
+    }
+
+    #[test]
+    fn dead_launch_lint_counts_upload_overwrite() {
+        let ck = compile_source(
+            "__global__ void fill(float* x, int n) {
+                int id = blockIdx.x * blockDim.x + threadIdx.x;
+                if (id < n) x[id] = 1.0f;
+            }",
+        )
+        .unwrap();
+        let x = BufferId(0);
+        let mut cap = GraphCapture::new();
+        cap.launch(
+            &ck,
+            LaunchConfig::cover1(1024, 128),
+            &[Arg::Buffer(x), Arg::int(1024)],
+        );
+        // Host broadcast overwrites all 4096 bytes the launch wrote.
+        cap.upload(x, vec![0u8; 4096]);
+        let g = cap.finish();
+        assert_eq!(lint_graph(&g).len(), 1);
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub use compile::{compile, compile_source, CompiledKernel};
 pub use cucc_exec::EngineKind;
 pub use cucc_net::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 pub use error::MigrateError;
-pub use graph::{GraphCapture, GraphNode, GraphOp, LaunchGraph, PendingGather, ReplayStats};
+pub use graph::{
+    lint_graph, GraphCapture, GraphNode, GraphOp, LaunchGraph, PendingGather, ReplayStats,
+};
 pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
 pub use report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes, ThreePhaseShape};
 pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig, RuntimeConfigBuilder};

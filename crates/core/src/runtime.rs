@@ -13,9 +13,11 @@ use crate::schedule::{
 use crate::state::{Checkpoint, ClusterState};
 use crate::stream::{EventId, StreamId, StreamSet};
 use crate::transfer::HostScalar;
-use cucc_analysis::{LaunchFootprints, Partition, ReplicationCause, ThreePhasePlan};
+use cucc_analysis::{
+    certify_program, global_extents, LaunchFootprints, Partition, ReplicationCause, ThreePhasePlan,
+};
 use cucc_cluster::{ClusterSpec, SimCluster};
-use cucc_exec::{Arg, BufferId, EngineKind, ExecOptions, Program};
+use cucc_exec::{Arg, BufferId, CertMode, EngineKind, ExecOptions, Program};
 use cucc_ir::LaunchConfig;
 use cucc_net::{
     allgather_cost_traced, allgather_cost_traced_fallible, broadcast_traced, collective_step_time,
@@ -1603,6 +1605,30 @@ impl CuccCluster {
         }
     }
 
+    /// Compile the kernel for a bytecode-tier launch and attach range
+    /// certificates resolved against the live allocation sizes: certified
+    /// accesses take the engines' unchecked fast path ([`CertMode::Elide`]).
+    /// Under `--sanitize` every certificate is instead *cross-validated* at
+    /// runtime ([`CertMode::Validate`]) — a wrong certificate becomes a
+    /// hard `CertificateViolation` error, never UB.
+    fn compile_certified(
+        &self,
+        ck: &CompiledKernel,
+        launch: LaunchConfig,
+        args: &[Arg],
+    ) -> Result<Program, MigrateError> {
+        let mut prog = Program::compile(&ck.kernel, launch, args)?;
+        let pool = self.sim.node(0);
+        let exts = global_extents(&prog, |b| (b.index() < pool.len()).then(|| pool.size_of(b)));
+        let mode = if self.config.sanitize {
+            CertMode::Validate
+        } else {
+            CertMode::Elide
+        };
+        certify_program(&mut prog, &exts, mode);
+        Ok(prog)
+    }
+
     /// The **execution** stage: lay a planned schedule onto the timeline
     /// starting at `t0` (Allgather additionally floored at `net_floor`,
     /// the network lane's ready time) and run the functional blocks.
@@ -1768,7 +1794,7 @@ impl CuccCluster {
             // Compile once per launch; both execution phases reuse it.
             let prog = match opts.engine {
                 EngineKind::Bytecode | EngineKind::Simd => {
-                    Some(Program::compile(&ck.kernel, launch, args)?)
+                    Some(self.compile_certified(ck, launch, args)?)
                 }
                 EngineKind::TreeWalk => None,
             };
@@ -2360,7 +2386,7 @@ impl CuccCluster {
         if functional {
             let prog = match opts.engine {
                 EngineKind::Bytecode | EngineKind::Simd => {
-                    Some(Program::compile(&ck.kernel, launch, args)?)
+                    Some(self.compile_certified(ck, launch, args)?)
                 }
                 EngineKind::TreeWalk => None,
             };

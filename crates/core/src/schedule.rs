@@ -25,9 +25,11 @@ use crate::compile::CompiledKernel;
 use crate::error::MigrateError;
 use crate::report::PhaseTimes;
 use crate::runtime::RuntimeConfig;
-use cucc_analysis::{plan_launch, Partition, Plan, ReplicationCause, ThreePhasePlan};
+use cucc_analysis::{
+    analyze_ranges, global_extents, plan_launch, Partition, Plan, ReplicationCause, ThreePhasePlan,
+};
 use cucc_cluster::{block_compute_time, node_time_profiled, ClusterSpec};
-use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile, MemPool};
+use cucc_exec::{profile_launch, Arg, BufferId, LaunchProfile, MemPool, Program};
 use cucc_ir::{Kernel, LaunchConfig, Value};
 use cucc_net::{allgather_cost, AllgatherAlgo, AllgatherPlacement};
 use std::collections::HashMap;
@@ -74,6 +76,11 @@ pub struct LaunchSchedule {
     /// re-partitioned across the survivors (degraded execution). Equal to
     /// `times.callback` for replicated decisions.
     pub degraded_time: f64,
+    /// Range-analysis certification summary: `(certified, total)`
+    /// reachable memory accesses the abstract interpreter proves in-bounds
+    /// at this launch. Certified accesses take the engines' unchecked fast
+    /// path. `(0, 0)` for the tree-walk tier (no bytecode to analyze).
+    pub certs: (usize, usize),
 }
 
 impl LaunchSchedule {
@@ -320,6 +327,18 @@ pub fn plan_schedule(
         Plan::ThreePhase(tp) => cost_three_phase(ck, &tp, &profile, spec, logical_nodes, config),
         Plan::Replicated(cause) => cost_replicated(cause, degraded_time),
     };
+    // Certification summary rides along the (cached) schedule; the
+    // executors re-derive the full per-pc certificate table when they
+    // compile for the chosen engine tier.
+    let certs = match Program::compile(&ck.kernel, launch, args) {
+        Ok(prog) => {
+            let exts = global_extents(&prog, |b| {
+                (b.index() < node0.len()).then(|| node0.size_of(b))
+            });
+            analyze_ranges(&prog, &exts).stats()
+        }
+        Err(_) => (0, 0),
+    };
     Ok(LaunchSchedule {
         decision,
         times,
@@ -328,6 +347,7 @@ pub fn plan_schedule(
         writes,
         profile,
         degraded_time,
+        certs,
     })
 }
 

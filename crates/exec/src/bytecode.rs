@@ -37,11 +37,11 @@ use cucc_ir::{
 /// Register index into a thread's register file. Registers `0..num_vars`
 /// hold the kernel's scalar variables; higher registers are expression
 /// temporaries.
-pub(crate) type Reg = u32;
+pub type Reg = u32;
 
 /// What a dense memory slot refers to.
 #[derive(Debug, Clone)]
-pub(crate) enum SlotKind {
+pub enum SlotKind {
     /// A global buffer, already bound to its launch argument.
     Global { buf: BufferId },
     /// `__shared__` array `idx` (per block).
@@ -52,7 +52,7 @@ pub(crate) enum SlotKind {
 
 /// Compile-time metadata for one referenced memory slot.
 #[derive(Debug, Clone)]
-pub(crate) struct MemSlotInfo {
+pub struct MemSlotInfo {
     pub kind: SlotKind,
     pub elem: Scalar,
     /// Source name, for out-of-bounds diagnostics.
@@ -68,7 +68,7 @@ pub(crate) struct MemSlotInfo {
 /// that stand in for folded or control-flow work carry the op counts the
 /// interpreter would have charged, keeping `BlockStats` bit-identical.
 #[derive(Debug, Clone)]
-pub(crate) enum Inst {
+pub enum Inst {
     /// `dst ← v`, charging the ops of the constant-folded subtree.
     Const {
         dst: Reg,
@@ -199,7 +199,7 @@ pub(crate) enum Inst {
 /// loop-fission structure, discovered once at compile time instead of per
 /// block).
 #[derive(Debug, Clone)]
-pub(crate) enum PhaseOp {
+pub enum PhaseOp {
     /// A maximal barrier-free code range: every live thread runs
     /// `code[start..end]` to completion before the next phase op. `batch`
     /// is the inst-major execution mode [`seg_batchable`] proved safe;
@@ -264,6 +264,17 @@ pub struct Program {
     /// tree-walk paths ignore them.
     pub(crate) lane_plans: Vec<LanePlan>,
     pub(crate) launch: LaunchConfig,
+    /// Optional bounds certificates attached by the range analysis
+    /// (`cucc-analysis::range`): per-pc in-bounds proofs the engines consume
+    /// to elide (or cross-validate) bounds checks. `None` = every access
+    /// takes the checked path.
+    pub(crate) certs: Option<Certs>,
+    /// Branch pc of each source `if`, in pre-order: the `JumpIfFalse` for
+    /// segment-lowered ifs, the last condition instruction for barrier
+    /// (phase-lowered) ifs. `?:` selects also emit conditional jumps but are
+    /// deliberately absent — the table lets the lint pass attribute a
+    /// constant-condition pc to an `if` ordinal (and thence a source line).
+    pub(crate) if_sites: Vec<u32>,
     kernel_name: String,
     has_global_atomics: bool,
 }
@@ -289,6 +300,7 @@ impl Program {
             max_reg: num_vars,
             consts: Vec::new(),
             tids: Vec::new(),
+            if_sites: Vec::new(),
         };
         let mut phases = c.lower_phases(&kernel.body)?;
         mark_batchable(&mut phases, &c.code, &c.slots);
@@ -319,9 +331,173 @@ impl Program {
             local_sizes: kernel.locals.iter().map(|a| a.size_bytes()).collect(),
             lane_plans,
             launch,
+            certs: None,
+            if_sites: c.if_sites,
             kernel_name: kernel.name.clone(),
             has_global_atomics,
         })
+    }
+
+    // ---- read-only views for the static analyses ----------------------
+
+    /// The flat instruction stream.
+    pub fn code(&self) -> &[Inst] {
+        &self.code
+    }
+
+    /// Branch pc of each source `if`, in pre-order (the same ordinal space
+    /// as `SourceMap::if_lines`). `?:` selects are excluded even though they
+    /// also lower to conditional jumps.
+    pub fn if_sites(&self) -> &[u32] {
+        &self.if_sites
+    }
+
+    /// The precomputed barrier-phase schedule.
+    pub fn phases(&self) -> &[PhaseOp] {
+        &self.phases
+    }
+
+    /// Slot metadata, indexed by the slot ids in `Load`/`Store`/`AtomicRmw`.
+    pub fn slots(&self) -> &[Option<MemSlotInfo>] {
+        &self.slots
+    }
+
+    /// Launch-invariant constant pool (register `const_base + i` holds
+    /// `const_pool[i]` for the whole run).
+    pub fn const_pool(&self) -> &[Value] {
+        &self.const_pool
+    }
+
+    /// Pooled `threadIdx` axes (register `const_base + const_pool.len() + i`
+    /// holds `threadIdx.<tid_pool[i]>`).
+    pub fn tid_pool(&self) -> &[Axis] {
+        &self.tid_pool
+    }
+
+    /// First pooled register (registers below are variables + temporaries).
+    pub fn const_base(&self) -> u32 {
+        self.const_base
+    }
+
+    /// Leading registers holding the kernel's scalar variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Total register-file size per thread.
+    pub fn num_regs(&self) -> u32 {
+        self.num_regs
+    }
+
+    /// Superinstruction-fused lane programs (see [`PhaseOp::Seg::plan`]).
+    pub fn lane_plans(&self) -> &[LanePlan] {
+        &self.lane_plans
+    }
+
+    // ---- bounds certificates -------------------------------------------
+
+    /// Attach a per-pc bounds-certificate table (one entry per instruction;
+    /// only memory instructions are consulted). Certified accesses take the
+    /// engines' unchecked fast path in [`CertMode::Elide`]; in
+    /// [`CertMode::Validate`] they run the checked path and a bounds fault
+    /// on a certified access surfaces as
+    /// [`ExecError::CertificateViolation`] — a wrong certificate is a loud
+    /// failure, never UB. Per-lane-op masks are derived by ANDing the pc
+    /// certificates through each plan's [`LanePlan::src_map`].
+    pub fn attach_certs(&mut self, pc_certified: &[bool], mode: CertMode) {
+        assert_eq!(
+            pc_certified.len(),
+            self.code.len(),
+            "certificate table must align with the instruction stream"
+        );
+        let mut plan_ops: Vec<Vec<bool>> = self
+            .lane_plans
+            .iter()
+            .map(|p| vec![true; p.ops.len()])
+            .collect();
+        let mut segs: Vec<(u32, u32, u32)> = Vec::new();
+        collect_segs(&self.phases, &mut segs);
+        for (start, end, plan) in segs {
+            if plan == NO_PLAN {
+                continue;
+            }
+            let lp = &self.lane_plans[plan as usize];
+            for pc in start..end {
+                if is_mem_inst(&self.code[pc as usize]) && !pc_certified[pc as usize] {
+                    let op = lp.src_map[(pc - start) as usize] as usize;
+                    plan_ops[plan as usize][op] = false;
+                }
+            }
+        }
+        self.certs = Some(Certs {
+            pc: pc_certified.to_vec(),
+            plan_ops,
+            mode,
+        });
+    }
+
+    /// Remove any attached certificate table (all accesses checked again).
+    pub fn detach_certs(&mut self) {
+        self.certs = None;
+    }
+
+    /// Mode of the attached certificate table, if any.
+    pub fn cert_mode(&self) -> Option<CertMode> {
+        self.certs.as_ref().map(|c| c.mode)
+    }
+
+    /// Switch the consumption mode of an attached certificate table without
+    /// recomputing it (no-op when none is attached). The sanitizer uses this
+    /// to force [`CertMode::Validate`] on a scratch re-run.
+    pub fn set_cert_mode(&mut self, mode: CertMode) {
+        if let Some(c) = &mut self.certs {
+            c.mode = mode;
+        }
+    }
+
+    /// `(elide, validate)` per-pc certificate masks, split by mode — at most
+    /// one side is `Some`. Engines hoist these once per segment: the elide
+    /// mask gates the unchecked fast path, the validate mask escalates
+    /// bounds faults at certified pcs to certificate violations.
+    #[inline]
+    pub(crate) fn cert_masks(&self) -> (Option<&[bool]>, Option<&[bool]>) {
+        match &self.certs {
+            Some(c) => match c.mode {
+                CertMode::Elide => (Some(&c.pc[..]), None),
+                CertMode::Validate => (None, Some(&c.pc[..])),
+            },
+            None => (None, None),
+        }
+    }
+
+    /// Per-lane-op certificate masks for lane plan `idx`, split by mode
+    /// like [`Program::cert_masks`]. An op's bit is set iff every memory
+    /// instruction folded into it is certified.
+    #[inline]
+    pub(crate) fn plan_cert_masks(&self, idx: usize) -> (Option<&[bool]>, Option<&[bool]>) {
+        match &self.certs {
+            Some(c) => match c.mode {
+                CertMode::Elide => (Some(&c.plan_ops[idx][..]), None),
+                CertMode::Validate => (None, Some(&c.plan_ops[idx][..])),
+            },
+            None => (None, None),
+        }
+    }
+
+    /// `(certified, total)` memory instructions under the attached table
+    /// (`(0, total)` when no table is attached).
+    pub fn cert_stats(&self) -> (usize, usize) {
+        let mut certified = 0;
+        let mut total = 0;
+        for (pc, inst) in self.code.iter().enumerate() {
+            if is_mem_inst(inst) {
+                total += 1;
+                if self.certs.as_ref().is_some_and(|c| c.pc[pc]) {
+                    certified += 1;
+                }
+            }
+        }
+        (certified, total)
     }
 
     /// The launch geometry this program was compiled for.
@@ -400,6 +576,57 @@ impl Program {
     }
 }
 
+/// How the engines consume an attached certificate table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertMode {
+    /// Certified accesses take the unchecked fast path: the per-access
+    /// bounds check is elided (a `debug_assert` still guards debug builds).
+    Elide,
+    /// Certified accesses run the checked path, and a bounds fault on one
+    /// becomes [`ExecError::CertificateViolation`] — used by the sanitizer
+    /// and the soundness proptests to cross-validate every certificate.
+    Validate,
+}
+
+/// Attached bounds certificates (see [`Program::attach_certs`]).
+#[derive(Debug, Clone)]
+pub(crate) struct Certs {
+    /// Per-pc: the access at this pc is certified in-bounds. Only memory
+    /// instructions are ever consulted.
+    pub pc: Vec<bool>,
+    /// Per lane plan, per lane op: every memory access folded into the op
+    /// is certified.
+    pub plan_ops: Vec<Vec<bool>>,
+    pub mode: CertMode,
+}
+
+/// True for instructions that access a memory slot.
+pub(crate) fn is_mem_inst(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Load { .. } | Inst::Store { .. } | Inst::AtomicRmw { .. }
+    )
+}
+
+/// Pre-order `(start, end, plan)` of every `Seg` in a phase tree.
+fn collect_segs(phases: &[PhaseOp], out: &mut Vec<(u32, u32, u32)>) {
+    for p in phases {
+        match p {
+            PhaseOp::Seg {
+                start, end, plan, ..
+            } => out.push((*start, *end, *plan)),
+            PhaseOp::Barrier => {}
+            PhaseOp::UniformFor { body, .. } => collect_segs(body, out),
+            PhaseOp::UniformIf {
+                then_ops, else_ops, ..
+            } => {
+                collect_segs(then_ops, out);
+                collect_segs(else_ops, out);
+            }
+        }
+    }
+}
+
 /// Result of constant-folding a subtree: the value plus the op counts the
 /// interpreter would have charged evaluating it.
 #[derive(Clone, Copy)]
@@ -455,6 +682,8 @@ struct Compiler<'a> {
     consts: Vec<Value>,
     /// Pooled `threadIdx` axes, same idea per thread (see [`TID_BASE`]).
     tids: Vec<Axis>,
+    /// Branch pc per source `if`, pre-order (see [`Program::if_sites`]).
+    if_sites: Vec<u32>,
 }
 
 impl<'a> Compiler<'a> {
@@ -1040,6 +1269,7 @@ impl<'a> Compiler<'a> {
                     target: 0,
                     int_ops: 1,
                 });
+                self.if_sites.push(jf as u32);
                 for s in then_body {
                     self.lower_stmt(s)?;
                 }
@@ -1170,6 +1400,9 @@ impl<'a> Compiler<'a> {
                     let c0 = self.here();
                     self.lower_expr(cond, creg)?;
                     let c1 = self.here();
+                    // Pre-order slot for this `if`: the final condition
+                    // instruction stands in for the (absent) branch pc.
+                    self.if_sites.push(c1.max(c0 + 1) - 1);
                     let then_ops = self.lower_phases(then_body)?;
                     let else_ops = self.lower_phases(else_body)?;
                     self.restore(m);
@@ -1223,7 +1456,7 @@ fn expr_reads_var(e: &Expr, v: u32) -> bool {
 /// How a segment may execute across the threads of a block (decided once at
 /// compile time by [`seg_batchable`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum BatchKind {
+pub enum BatchKind {
     /// Thread-major only: the segment loops, or its memory accesses could
     /// interleave observably under inst-major order.
     No,
@@ -1357,7 +1590,7 @@ fn seg_batchable(code: &[Inst], slots: &[Option<MemSlotInfo>], start: u32, end: 
 /// Sentinel for [`PhaseOp::Seg::plan`]: no lane plan (the segment is not
 /// batchable, so the vectorized tier falls back to thread-major scalar
 /// execution).
-pub(crate) const NO_PLAN: u32 = u32::MAX;
+pub const NO_PLAN: u32 = u32::MAX;
 
 /// One instruction of a fused lane program. The base variants mirror
 /// [`Inst`] one-for-one (jump targets rebased to plan-relative indices); the
@@ -1368,7 +1601,7 @@ pub(crate) const NO_PLAN: u32 = u32::MAX;
 /// would, and faults in per-lane program order, so observational equivalence
 /// with the oracle is preserved (see [`try_fuse`] for the legality rules).
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum LaneOp {
+pub enum LaneOp {
     Const {
         dst: Reg,
         v: Value,
@@ -1527,10 +1760,16 @@ pub(crate) enum LaneOp {
 /// A batchable segment compiled for inst-major lane-array execution:
 /// superinstruction-fused ops with plan-relative jump targets.
 #[derive(Debug, Clone)]
-pub(crate) struct LanePlan {
+pub struct LanePlan {
     pub ops: Vec<LaneOp>,
     /// Number of source instructions eliminated by fusion (diagnostics).
     pub fused: u32,
+    /// Segment-relative pc → index of the lane op it became (fused insts map
+    /// to the fused op). Length is the segment length + 1; the certificate
+    /// attachment uses it to AND per-pc access certificates into per-op
+    /// masks, so a fused multi-access op is fast-pathed only when *all* its
+    /// component accesses are certified.
+    pub src_map: Vec<u32>,
 }
 
 /// Build a [`LanePlan`] for every batchable segment in the phase tree and
@@ -1989,5 +2228,9 @@ fn build_lane_plan(
             _ => {}
         }
     }
-    LanePlan { ops, fused }
+    LanePlan {
+        ops,
+        fused,
+        src_map: old2new,
+    }
 }

@@ -220,6 +220,52 @@ pub(crate) fn raw_store(ptr: *mut u8, len: usize, elem: Scalar, index: i64, valu
     true
 }
 
+/// Certificate-elided counterpart of [`raw_load`]: no bounds check.
+///
+/// SAFETY: in addition to the `(ptr, len)` view contract of [`raw_load`],
+/// the caller must guarantee `index * size .. + size` lies within `len` —
+/// exactly what a [`crate::bytecode::CertMode::Elide`] certificate asserts
+/// for the access. A wrong certificate is UB here in release builds; debug
+/// builds still catch it via `debug_assert!`.
+#[inline]
+pub(crate) unsafe fn raw_load_unchecked(
+    ptr: *const u8,
+    len: usize,
+    elem: Scalar,
+    index: i64,
+) -> Value {
+    let sz = elem.size();
+    debug_assert!(
+        index >= 0 && (index as usize) * sz + sz <= len,
+        "bounds certificate violated: index {index}, len {len} bytes"
+    );
+    let off = index as usize * sz;
+    let mut tmp = [0u8; 8];
+    std::ptr::copy_nonoverlapping(ptr.add(off), tmp.as_mut_ptr(), sz);
+    decode(elem, &tmp[..sz])
+}
+
+/// Certificate-elided counterpart of [`raw_store`]; same SAFETY contract as
+/// [`raw_load_unchecked`].
+#[inline]
+pub(crate) unsafe fn raw_store_unchecked(
+    ptr: *mut u8,
+    len: usize,
+    elem: Scalar,
+    index: i64,
+    value: Value,
+) {
+    let sz = elem.size();
+    debug_assert!(
+        index >= 0 && (index as usize) * sz + sz <= len,
+        "bounds certificate violated: index {index}, len {len} bytes"
+    );
+    let off = index as usize * sz;
+    let mut tmp = [0u8; 8];
+    encode(elem, value, &mut tmp[..sz]);
+    std::ptr::copy_nonoverlapping(tmp.as_ptr(), ptr.add(off), sz);
+}
+
 /// Reusable per-run execution state for one block at a time: every thread's
 /// registers and local arrays plus the block's shared-memory image.
 /// Allocated once per `run_*` call, reset per block.
@@ -457,6 +503,7 @@ impl<'p> BlockEngine<'p> {
         let nl = self.num_locals;
         let prog = self.prog;
         let code = &prog.code;
+        let (emask, vmask) = prog.cert_masks();
         if !dense {
             for t in 0..n {
                 self.resume[t] = if self.returned[t] { DEAD } else { start };
@@ -595,16 +642,32 @@ impl<'p> BlockEngine<'p> {
                         let info = slot_info(prog, *slot);
                         let (d, ix) = (*dst as usize, *idx as usize);
                         let sz = info.elem.size() as u64;
+                        let certv = vmask.is_some_and(|m| m[pc]);
                         match info.kind {
                             SlotKind::Global { buf } => {
                                 let (ptr, len) = mem.raw(buf);
-                                for (t, w) in self.regs.chunks_exact_mut(nr).enumerate() {
-                                    let index = w[ix].as_i64();
-                                    match raw_load(ptr, len, info.elem, index) {
-                                        Some(v) => w[d] = v,
-                                        None => {
-                                            fault = Some((t, oob(info, index, mem)));
-                                            break;
+                                if emask.is_some_and(|m| m[pc]) {
+                                    for w in self.regs.chunks_exact_mut(nr) {
+                                        let index = w[ix].as_i64();
+                                        // SAFETY: this pc carries an
+                                        // in-bounds certificate for every
+                                        // thread (CertMode::Elide).
+                                        w[d] = unsafe {
+                                            raw_load_unchecked(ptr, len, info.elem, index)
+                                        };
+                                    }
+                                } else {
+                                    for (t, w) in self.regs.chunks_exact_mut(nr).enumerate() {
+                                        let index = w[ix].as_i64();
+                                        match raw_load(ptr, len, info.elem, index) {
+                                            Some(v) => w[d] = v,
+                                            None => {
+                                                fault = Some((
+                                                    t,
+                                                    cert_wrap(oob(info, index, mem), certv),
+                                                ));
+                                                break;
+                                            }
                                         }
                                     }
                                 }
@@ -618,7 +681,8 @@ impl<'p> BlockEngine<'p> {
                                     match slice_load(sh, info.elem, index) {
                                         Some(v) => w[d] = v,
                                         None => {
-                                            fault = Some((t, oob(info, index, mem)));
+                                            fault =
+                                                Some((t, cert_wrap(oob(info, index, mem), certv)));
                                             break;
                                         }
                                     }
@@ -634,7 +698,8 @@ impl<'p> BlockEngine<'p> {
                                     match slice_load(&lw[li as usize], info.elem, index) {
                                         Some(v) => w[d] = v,
                                         None => {
-                                            fault = Some((t, oob(info, index, mem)));
+                                            fault =
+                                                Some((t, cert_wrap(oob(info, index, mem), certv)));
                                             break;
                                         }
                                     }
@@ -648,14 +713,27 @@ impl<'p> BlockEngine<'p> {
                         let info = slot_info(prog, *slot);
                         let (ix, vi) = (*idx as usize, *val as usize);
                         let sz = info.elem.size() as u64;
+                        let certv = vmask.is_some_and(|m| m[pc]);
                         match info.kind {
                             SlotKind::Global { buf } => {
                                 let (ptr, len) = mem.raw(buf);
-                                for (t, w) in self.regs.chunks_exact(nr).enumerate() {
-                                    let index = w[ix].as_i64();
-                                    if !raw_store(ptr, len, info.elem, index, w[vi]) {
-                                        fault = Some((t, oob(info, index, mem)));
-                                        break;
+                                if emask.is_some_and(|m| m[pc]) {
+                                    for w in self.regs.chunks_exact(nr) {
+                                        let index = w[ix].as_i64();
+                                        // SAFETY: certified in-bounds for
+                                        // every thread (CertMode::Elide).
+                                        unsafe {
+                                            raw_store_unchecked(ptr, len, info.elem, index, w[vi]);
+                                        }
+                                    }
+                                } else {
+                                    for (t, w) in self.regs.chunks_exact(nr).enumerate() {
+                                        let index = w[ix].as_i64();
+                                        if !raw_store(ptr, len, info.elem, index, w[vi]) {
+                                            fault =
+                                                Some((t, cert_wrap(oob(info, index, mem), certv)));
+                                            break;
+                                        }
                                     }
                                 }
                                 self.stats.global_write_bytes += n64 * sz;
@@ -666,7 +744,7 @@ impl<'p> BlockEngine<'p> {
                                 for (t, w) in self.regs.chunks_exact(nr).enumerate() {
                                     let index = w[ix].as_i64();
                                     if !slice_store(sh, info.elem, index, w[vi]) {
-                                        fault = Some((t, oob(info, index, mem)));
+                                        fault = Some((t, cert_wrap(oob(info, index, mem), certv)));
                                         break;
                                     }
                                 }
@@ -679,7 +757,7 @@ impl<'p> BlockEngine<'p> {
                                 {
                                     let index = w[ix].as_i64();
                                     if !slice_store(&mut lw[li as usize], info.elem, index, w[vi]) {
-                                        fault = Some((t, oob(info, index, mem)));
+                                        fault = Some((t, cert_wrap(oob(info, index, mem), certv)));
                                         break;
                                     }
                                 }
@@ -692,6 +770,7 @@ impl<'p> BlockEngine<'p> {
                         let info = slot_info(prog, *slot);
                         let (ix, vi) = (*idx as usize, *val as usize);
                         let sz = info.elem.size() as u64;
+                        let certv = vmask.is_some_and(|m| m[pc]);
                         match info.kind {
                             SlotKind::Global { buf } => {
                                 let (ptr, len) = mem.raw(buf);
@@ -708,7 +787,7 @@ impl<'p> BlockEngine<'p> {
                                             )
                                         });
                                     if !done {
-                                        fault = Some((t, oob(info, index, mem)));
+                                        fault = Some((t, cert_wrap(oob(info, index, mem), certv)));
                                         break;
                                     }
                                 }
@@ -732,7 +811,7 @@ impl<'p> BlockEngine<'p> {
                                             )
                                         });
                                     if !done {
-                                        fault = Some((t, oob(info, index, mem)));
+                                        fault = Some((t, cert_wrap(oob(info, index, mem), certv)));
                                         break;
                                     }
                                 }
@@ -754,7 +833,7 @@ impl<'p> BlockEngine<'p> {
                                         )
                                     });
                                     if !done {
-                                        fault = Some((t, oob(info, index, mem)));
+                                        fault = Some((t, cert_wrap(oob(info, index, mem), certv)));
                                         break;
                                     }
                                 }
@@ -953,6 +1032,7 @@ impl<'p> BlockEngine<'p> {
                     let info = slot_info(prog, *slot);
                     let (d, ix) = (*dst as usize, *idx as usize);
                     let sz = info.elem.size() as u64;
+                    let certv = vmask.is_some_and(|m| m[pc]);
                     let mut cnt = 0u64;
                     match info.kind {
                         SlotKind::Global { buf } => {
@@ -967,7 +1047,7 @@ impl<'p> BlockEngine<'p> {
                                             cnt += 1;
                                         }
                                         None => {
-                                            let e = oob(info, index, mem);
+                                            let e = cert_wrap(oob(info, index, mem), certv);
                                             retire_from(&mut self.resume, t, e, &mut pending);
                                             break;
                                         }
@@ -989,7 +1069,7 @@ impl<'p> BlockEngine<'p> {
                                             cnt += 1;
                                         }
                                         None => {
-                                            let e = oob(info, index, mem);
+                                            let e = cert_wrap(oob(info, index, mem), certv);
                                             retire_from(&mut self.resume, t, e, &mut pending);
                                             break;
                                         }
@@ -1010,7 +1090,7 @@ impl<'p> BlockEngine<'p> {
                                             cnt += 1;
                                         }
                                         None => {
-                                            let e = oob(info, index, mem);
+                                            let e = cert_wrap(oob(info, index, mem), certv);
                                             retire_from(&mut self.resume, t, e, &mut pending);
                                             break;
                                         }
@@ -1026,6 +1106,7 @@ impl<'p> BlockEngine<'p> {
                     let info = slot_info(prog, *slot);
                     let (ix, vi) = (*idx as usize, *val as usize);
                     let sz = info.elem.size() as u64;
+                    let certv = vmask.is_some_and(|m| m[pc]);
                     let mut cnt = 0u64;
                     match info.kind {
                         SlotKind::Global { buf } => {
@@ -1038,7 +1119,7 @@ impl<'p> BlockEngine<'p> {
                                     if raw_store(ptr, len, info.elem, index, v) {
                                         cnt += 1;
                                     } else {
-                                        let e = oob(info, index, mem);
+                                        let e = cert_wrap(oob(info, index, mem), certv);
                                         retire_from(&mut self.resume, t, e, &mut pending);
                                         break;
                                     }
@@ -1057,7 +1138,7 @@ impl<'p> BlockEngine<'p> {
                                     if slice_store(sh, info.elem, index, v) {
                                         cnt += 1;
                                     } else {
-                                        let e = oob(info, index, mem);
+                                        let e = cert_wrap(oob(info, index, mem), certv);
                                         retire_from(&mut self.resume, t, e, &mut pending);
                                         break;
                                     }
@@ -1075,7 +1156,7 @@ impl<'p> BlockEngine<'p> {
                                     if slice_store(lslice, info.elem, index, v) {
                                         cnt += 1;
                                     } else {
-                                        let e = oob(info, index, mem);
+                                        let e = cert_wrap(oob(info, index, mem), certv);
                                         retire_from(&mut self.resume, t, e, &mut pending);
                                         break;
                                     }
@@ -1090,6 +1171,7 @@ impl<'p> BlockEngine<'p> {
                     let info = slot_info(prog, *slot);
                     let (ix, vi) = (*idx as usize, *val as usize);
                     let sz = info.elem.size() as u64;
+                    let certv = vmask.is_some_and(|m| m[pc]);
                     let mut cnt = 0u64;
                     match info.kind {
                         SlotKind::Global { buf } => {
@@ -1112,7 +1194,7 @@ impl<'p> BlockEngine<'p> {
                                     if done {
                                         cnt += 1;
                                     } else {
-                                        let e = oob(info, index, mem);
+                                        let e = cert_wrap(oob(info, index, mem), certv);
                                         retire_from(&mut self.resume, t, e, &mut pending);
                                         break;
                                     }
@@ -1143,7 +1225,7 @@ impl<'p> BlockEngine<'p> {
                                     if done {
                                         cnt += 1;
                                     } else {
-                                        let e = oob(info, index, mem);
+                                        let e = cert_wrap(oob(info, index, mem), certv);
                                         retire_from(&mut self.resume, t, e, &mut pending);
                                         break;
                                     }
@@ -1170,7 +1252,7 @@ impl<'p> BlockEngine<'p> {
                                     if done {
                                         cnt += 1;
                                     } else {
-                                        let e = oob(info, index, mem);
+                                        let e = cert_wrap(oob(info, index, mem), certv);
                                         retire_from(&mut self.resume, t, e, &mut pending);
                                         break;
                                     }
@@ -1296,6 +1378,26 @@ pub(crate) fn oob(info: &MemSlotInfo, index: i64, mem: &dyn GlobalMem) -> ExecEr
     }
 }
 
+/// Escalate a bounds fault on a *certified* access into
+/// [`ExecError::CertificateViolation`] ([`crate::bytecode::CertMode::Validate`]:
+/// the checked path ran and disagreed with the static proof, so the
+/// certificate itself is wrong). Every other error passes through.
+#[inline]
+pub(crate) fn cert_wrap(e: ExecError, certified: bool) -> ExecError {
+    match e {
+        ExecError::OutOfBounds {
+            mem,
+            index,
+            len_elems,
+        } if certified => ExecError::CertificateViolation {
+            mem,
+            index,
+            len_elems,
+        },
+        e => e,
+    }
+}
+
 #[inline]
 pub(crate) fn load_value<M: GlobalMem>(
     info: &MemSlotInfo,
@@ -1382,6 +1484,7 @@ pub(crate) fn run_seg<M: GlobalMem>(
     mem: &mut M,
 ) -> Result<(), ExecError> {
     let code = &prog.code;
+    let (emask, vmask) = prog.cert_masks();
     let mut pc = start as usize;
     let end = end as usize;
     while pc < end {
@@ -1460,23 +1563,81 @@ pub(crate) fn run_seg<M: GlobalMem>(
             Inst::Load { dst, slot, idx } => {
                 let idx = regs[*idx as usize].as_i64();
                 let info = slot_info(prog, *slot);
-                regs[*dst as usize] = load_value(info, shared, local, stats, idx, mem)?;
+                match info.kind {
+                    SlotKind::Global { buf } if emask.is_some_and(|m| m[pc]) => {
+                        let (ptr, len) = mem.raw(buf);
+                        stats.int_ops += 1; // address computation
+                        stats.global_read_bytes += info.elem.size() as u64;
+                        stats.global_loads += 1;
+                        // SAFETY: this pc carries an in-bounds certificate
+                        // for every thread of the launch (CertMode::Elide).
+                        regs[*dst as usize] =
+                            unsafe { raw_load_unchecked(ptr, len, info.elem, idx) };
+                    }
+                    _ => {
+                        regs[*dst as usize] = load_value(info, shared, local, stats, idx, mem)
+                            .map_err(|e| cert_wrap(e, vmask.is_some_and(|m| m[pc])))?;
+                    }
+                }
             }
             Inst::Store { slot, idx, val } => {
                 let idx = regs[*idx as usize].as_i64();
                 let v = regs[*val as usize];
                 let info = slot_info(prog, *slot);
-                store_value(info, shared, local, stats, idx, v, mem)?;
+                match info.kind {
+                    SlotKind::Global { buf } if emask.is_some_and(|m| m[pc]) => {
+                        let (ptr, len) = mem.raw(buf);
+                        stats.int_ops += 1; // address computation
+                        stats.global_write_bytes += info.elem.size() as u64;
+                        stats.global_stores += 1;
+                        // SAFETY: certified in-bounds for every thread
+                        // (CertMode::Elide).
+                        unsafe { raw_store_unchecked(ptr, len, info.elem, idx, v) };
+                    }
+                    _ => {
+                        store_value(info, shared, local, stats, idx, v, mem)
+                            .map_err(|e| cert_wrap(e, vmask.is_some_and(|m| m[pc])))?;
+                    }
+                }
             }
             Inst::AtomicRmw { op, slot, idx, val } => {
                 let idx = regs[*idx as usize].as_i64();
                 let v = regs[*val as usize];
                 let info = slot_info(prog, *slot);
-                let old = load_value(info, shared, local, stats, idx, mem)?;
-                let new = apply_atomic(*op, old, v);
-                store_value(info, shared, local, stats, idx, new, mem)?;
-                if matches!(info.kind, SlotKind::Global { .. }) {
-                    stats.global_atomics += 1;
+                match info.kind {
+                    SlotKind::Global { buf } if emask.is_some_and(|m| m[pc]) => {
+                        let (ptr, len) = mem.raw(buf);
+                        let sz = info.elem.size() as u64;
+                        stats.int_ops += 2; // load + store address computation
+                        stats.global_read_bytes += sz;
+                        stats.global_loads += 1;
+                        stats.global_write_bytes += sz;
+                        stats.global_stores += 1;
+                        stats.global_atomics += 1;
+                        // SAFETY: certified in-bounds for every thread
+                        // (CertMode::Elide).
+                        unsafe {
+                            let old = raw_load_unchecked(ptr, len, info.elem, idx);
+                            raw_store_unchecked(
+                                ptr,
+                                len,
+                                info.elem,
+                                idx,
+                                apply_atomic(*op, old, v),
+                            );
+                        }
+                    }
+                    _ => {
+                        let certified = vmask.is_some_and(|m| m[pc]);
+                        let old = load_value(info, shared, local, stats, idx, mem)
+                            .map_err(|e| cert_wrap(e, certified))?;
+                        let new = apply_atomic(*op, old, v);
+                        store_value(info, shared, local, stats, idx, new, mem)
+                            .map_err(|e| cert_wrap(e, certified))?;
+                        if matches!(info.kind, SlotKind::Global { .. }) {
+                            stats.global_atomics += 1;
+                        }
+                    }
                 }
             }
             Inst::Jump { target } => {
@@ -1810,6 +1971,90 @@ mod tests {
             let out = pool.alloc_elems(Scalar::I32, 1);
             vec![Arg::Buffer(out), Arg::int(0)]
         });
+    }
+
+    /// All-mem-insts-certified copy of `prog` (valid only when every access
+    /// that executes is dynamically in bounds).
+    fn certify_all(prog: &Program, mode: crate::CertMode) -> Program {
+        let mut p = prog.clone();
+        let mask = vec![true; p.num_insts()];
+        p.attach_certs(&mask, mode);
+        p
+    }
+
+    /// Elide mode must be bit-identical to the checked path: same memory,
+    /// same `BlockStats`, on the scalar and the lane tier.
+    #[test]
+    fn certified_elide_is_bit_identical_to_checked() {
+        let src = r#"
+            __global__ void saxpy(float* x, float* y, float a, int n) {
+                int i = blockDim.x * blockIdx.x + threadIdx.x;
+                if (i < n) y[i] = a * x[i] + y[i];
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        let launch = LaunchConfig::cover1(1000, 128);
+        let mut pool = MemPool::new();
+        let x = pool.alloc_elems(Scalar::F32, 1000);
+        let y = pool.alloc_elems(Scalar::F32, 1000);
+        let xs: Vec<f32> = (0..1000).map(|i| i as f32 * 0.25).collect();
+        pool.write_f32(x, &xs);
+        pool.write_f32(y, &xs);
+        let args = [
+            Arg::Buffer(x),
+            Arg::Buffer(y),
+            Arg::float(3.0),
+            Arg::int(1000),
+        ];
+        let prog = Program::compile(&k, launch, &args).unwrap();
+        let eprog = certify_all(&prog, crate::CertMode::Elide);
+        assert_eq!(eprog.cert_stats().0, eprog.cert_stats().1);
+
+        let mut p_checked = pool.clone();
+        let mut p_elide = pool.clone();
+        let s_checked = run_range(&prog, &mut p_checked, 0..launch.num_blocks()).unwrap();
+        let s_elide = run_range(&eprog, &mut p_elide, 0..launch.num_blocks()).unwrap();
+        assert_eq!(s_checked, s_elide, "scalar stats diverge under elision");
+        assert_eq!(p_checked, p_elide, "scalar memory diverges under elision");
+
+        let mut p_checked = pool.clone();
+        let mut p_elide = pool.clone();
+        let s_checked =
+            crate::lane::run_range_simd(&prog, &mut p_checked, 0..launch.num_blocks()).unwrap();
+        let s_elide =
+            crate::lane::run_range_simd(&eprog, &mut p_elide, 0..launch.num_blocks()).unwrap();
+        assert_eq!(s_checked, s_elide, "simd stats diverge under elision");
+        assert_eq!(p_checked, p_elide, "simd memory diverges under elision");
+    }
+
+    /// A wrong certificate in Validate mode is a loud, typed failure on
+    /// every engine tier — never a silent out-of-bounds report.
+    #[test]
+    fn wrong_certificate_is_a_violation_in_validate_mode() {
+        let src = "__global__ void k(int* out) { out[threadIdx.x + 1] = 1; }";
+        let k = parse_kernel(src).unwrap();
+        let launch = LaunchConfig::new(1u32, 8u32);
+        let mut pool = MemPool::new();
+        let out = pool.alloc_elems(Scalar::I32, 8);
+        let args = [Arg::Buffer(out)];
+        let prog = Program::compile(&k, launch, &args).unwrap();
+
+        // Unchecked claim: every access certified. Thread 7 writes out[8].
+        let vprog = certify_all(&prog, crate::CertMode::Validate);
+        let scalar = run_range(&vprog, &mut pool.clone(), 0..launch.num_blocks());
+        assert!(
+            matches!(scalar, Err(ExecError::CertificateViolation { ref mem, index: 8, .. }) if mem == "out"),
+            "scalar: {scalar:?}"
+        );
+        let simd = crate::lane::run_range_simd(&vprog, &mut pool.clone(), 0..launch.num_blocks());
+        assert!(
+            matches!(simd, Err(ExecError::CertificateViolation { index: 8, .. })),
+            "simd: {simd:?}"
+        );
+
+        // Without certificates the same fault stays a plain OutOfBounds.
+        let plain = run_range(&prog, &mut pool.clone(), 0..launch.num_blocks());
+        assert!(matches!(plain, Err(ExecError::OutOfBounds { .. })));
     }
 
     #[test]

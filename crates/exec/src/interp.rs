@@ -55,6 +55,14 @@ pub enum ExecError {
     /// A barrier-carrying loop or branch had thread-divergent control
     /// (should be prevented by validation).
     DivergentBarrier,
+    /// A bounds check failed on an access the range analysis certified
+    /// in-bounds (only under `CertMode::Validate`): the certificate itself
+    /// is wrong, which the soundness suite treats as a hard failure.
+    CertificateViolation {
+        mem: String,
+        index: i64,
+        len_elems: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -78,6 +86,15 @@ impl fmt::Display for ExecError {
             ExecError::DivergentBarrier => {
                 write!(f, "thread-divergent control flow around __syncthreads()")
             }
+            ExecError::CertificateViolation {
+                mem,
+                index,
+                len_elems,
+            } => write!(
+                f,
+                "bounds certificate violated on `{mem}`: index {index}, length {len_elems} \
+                 (range analysis certified this access in-bounds)"
+            ),
         }
     }
 }

@@ -24,8 +24,8 @@
 
 use crate::bytecode::{BatchKind, LaneOp, LanePlan, PhaseOp, Program, Reg, SlotKind};
 use crate::engine::{
-    count_op, load_value, oob, raw_load, raw_store, run_seg, slot_info, store_value, GlobalMem,
-    RacyView,
+    cert_wrap, count_op, load_value, oob, raw_load, raw_store, run_seg, slot_info, store_value,
+    GlobalMem, RacyView,
 };
 use crate::interp::{
     apply_atomic, axis_of, binop_faults, eval_binop_total, eval_intrinsic, eval_unop, Arg,
@@ -287,6 +287,222 @@ fn scatter(
     Ok(())
 }
 
+/// Certificate-elided counterpart of [`gather`]: no per-lane bounds check.
+///
+/// SAFETY: in addition to the `(ptr, len)` view contract of [`gather`],
+/// every `ix[i]` for `i < nl` must be in bounds — exactly what a
+/// [`crate::bytecode::CertMode::Elide`] certificate asserts for the op. A
+/// wrong certificate is UB here in release builds; debug builds still
+/// catch it via `debug_assert!`.
+#[inline]
+unsafe fn gather_unchecked(
+    ptr: *const u8,
+    len: usize,
+    elem: Scalar,
+    ix: &[i64; LANES],
+    nl: usize,
+    out: &mut [u64; LANES],
+) {
+    let nl = nl.min(LANES);
+    let sz = elem.size();
+    macro_rules! per_lane {
+        ($t:ty, $conv:expr) => {
+            for i in 0..nl {
+                debug_assert!(
+                    elem_off(ix[i], sz, len).is_some(),
+                    "bounds certificate violated: index {}, len {} bytes",
+                    ix[i],
+                    len
+                );
+                let off = ix[i] as usize * sz;
+                let raw = std::ptr::read_unaligned(ptr.add(off) as *const $t);
+                out[i] = $conv(<$t>::from_le(raw));
+            }
+        };
+    }
+    match elem {
+        Scalar::U8 => per_lane!(u8, |v| v as u64),
+        Scalar::I8 => per_lane!(u8, |v| v as i8 as i64 as u64),
+        Scalar::I32 => per_lane!(u32, |v| v as i32 as i64 as u64),
+        Scalar::U32 => per_lane!(u32, |v| v as u64),
+        Scalar::I64 => per_lane!(u64, |v| v),
+        Scalar::F32 => per_lane!(u32, |v| (f32::from_bits(v) as f64).to_bits()),
+        Scalar::F64 => per_lane!(u64, |v| v),
+    }
+}
+
+/// Certificate-elided counterpart of [`scatter`]; same SAFETY contract as
+/// [`gather_unchecked`].
+#[inline]
+unsafe fn scatter_unchecked(
+    ptr: *mut u8,
+    len: usize,
+    elem: Scalar,
+    ix: &[i64; LANES],
+    vb: &[u64],
+    vk: &[u8],
+    nl: usize,
+) {
+    let sz = elem.size();
+    macro_rules! per_lane {
+        ($t:ty, $conv:expr) => {
+            for i in 0..nl {
+                debug_assert!(
+                    elem_off(ix[i], sz, len).is_some(),
+                    "bounds certificate violated: index {}, len {} bytes",
+                    ix[i],
+                    len
+                );
+                let off = ix[i] as usize * sz;
+                let enc: $t = $conv(vb[i], vk[i]);
+                std::ptr::write_unaligned(ptr.add(off) as *mut $t, enc.to_le());
+            }
+        };
+    }
+    #[inline]
+    fn vi(b: u64, k: u8) -> i64 {
+        if k == 0 {
+            b as i64
+        } else {
+            f64::from_bits(b) as i64
+        }
+    }
+    match elem {
+        Scalar::U8 => per_lane!(u8, |b, k| vi(b, k) as u8),
+        Scalar::I8 => per_lane!(u8, |b, k| vi(b, k) as i8 as u8),
+        Scalar::I32 => per_lane!(u32, |b, k| vi(b, k) as i32 as u32),
+        Scalar::U32 => per_lane!(u32, |b, k| vi(b, k) as u32),
+        Scalar::I64 => per_lane!(u64, |b, k| vi(b, k) as u64),
+        Scalar::F32 => per_lane!(u32, |b, k| (lane_f64(b, k) as f32).to_bits()),
+        Scalar::F64 => per_lane!(u64, |b, k| lane_f64(b, k).to_bits()),
+    }
+}
+
+/// `#[inline(never)]` disassembly probes over the lane gather/scatter
+/// paths, so tests (and humans with `objdump`) can inspect exactly the
+/// code the lane loops run without hunting through inlined callers.
+///
+/// The interesting property is that **no `panic_bounds_check` survives**
+/// in either flavour: the global-memory bounds check is `elem_off`'s
+/// `Option` (a fault return, never a panic), and the `out[i]` / `vb[i]` /
+/// `vk[i]` indexing of the `[u64; LANES]` temporaries is dominated by
+/// `nl <= LANES`, which the optimizer proves from the `nl.min(LANES)`
+/// restatement. `tests/asm_probe.rs` disassembles these symbols in
+/// release builds and fails if a bounds-check panic reappears.
+#[doc(hidden)]
+pub mod probe {
+    use super::{gather, gather_unchecked, scatter, scatter_unchecked, LANES};
+    use cucc_ir::Scalar;
+
+    /// Checked per-lane gather ([`super::gather`]).
+    #[inline(never)]
+    pub fn gather_checked(
+        ptr: *const u8,
+        len: usize,
+        elem: Scalar,
+        ix: &[i64; LANES],
+        nl: usize,
+        out: &mut [u64; LANES],
+    ) -> Result<(), usize> {
+        gather(ptr, len, elem, ix, nl, out)
+    }
+
+    /// Certificate-elided gather ([`super::gather_unchecked`]).
+    ///
+    /// # Safety
+    /// Same contract as [`super::gather_unchecked`]: every `ix[i]` for
+    /// `i < nl` must be in bounds for the `(ptr, len)` view.
+    #[inline(never)]
+    pub unsafe fn gather_elided(
+        ptr: *const u8,
+        len: usize,
+        elem: Scalar,
+        ix: &[i64; LANES],
+        nl: usize,
+        out: &mut [u64; LANES],
+    ) {
+        gather_unchecked(ptr, len, elem, ix, nl, out)
+    }
+
+    /// Checked per-lane scatter ([`super::scatter`]).
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_checked(
+        ptr: *mut u8,
+        len: usize,
+        elem: Scalar,
+        ix: &[i64; LANES],
+        vb: &[u64],
+        vk: &[u8],
+        nl: usize,
+    ) -> Result<(), usize> {
+        scatter(ptr, len, elem, ix, vb, vk, nl)
+    }
+
+    /// Certificate-elided scatter ([`super::scatter_unchecked`]).
+    ///
+    /// # Safety
+    /// Same contract as [`super::scatter_unchecked`].
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn scatter_elided(
+        ptr: *mut u8,
+        len: usize,
+        elem: Scalar,
+        ix: &[i64; LANES],
+        vb: &[u64],
+        vk: &[u8],
+        nl: usize,
+    ) {
+        scatter_unchecked(ptr, len, elem, ix, vb, vk, nl)
+    }
+}
+
+/// Gather through the checked or the certificate-elided path. `elide` is
+/// the op's [`crate::bytecode::CertMode::Elide`] bit, hoisted by the
+/// caller; when set, the per-lane bounds checks vanish and the call cannot
+/// fault.
+#[inline]
+fn gather_cert(
+    ptr: *const u8,
+    len: usize,
+    elem: Scalar,
+    ix: &[i64; LANES],
+    nl: usize,
+    out: &mut [u64; LANES],
+    elide: bool,
+) -> Result<(), usize> {
+    if elide {
+        // SAFETY: the certificate proves every lane index in bounds.
+        unsafe { gather_unchecked(ptr, len, elem, ix, nl, out) };
+        Ok(())
+    } else {
+        gather(ptr, len, elem, ix, nl, out)
+    }
+}
+
+/// Scatter counterpart of [`gather_cert`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn scatter_cert(
+    ptr: *mut u8,
+    len: usize,
+    elem: Scalar,
+    ix: &[i64; LANES],
+    vb: &[u64],
+    vk: &[u8],
+    nl: usize,
+    elide: bool,
+) -> Result<(), usize> {
+    if elide {
+        // SAFETY: the certificate proves every lane index in bounds.
+        unsafe { scatter_unchecked(ptr, len, elem, ix, vb, vk, nl) };
+        Ok(())
+    } else {
+        scatter(ptr, len, elem, ix, vb, vk, nl)
+    }
+}
+
 /// A full chunk fast-path fault: chunk-relative lane index plus the error.
 /// Lanes below the index committed the op; the lane and everything above
 /// retire.
@@ -488,7 +704,8 @@ impl<'p> LaneEngine<'p> {
                     plan,
                 } => {
                     if *batch != BatchKind::No && self.nthreads > 1 {
-                        self.run_plan(&prog.lane_plans[*plan as usize], mem)?;
+                        let pi = *plan as usize;
+                        self.run_plan(&prog.lane_plans[pi], prog.plan_cert_masks(pi), mem)?;
                     } else {
                         for t in 0..self.nthreads {
                             if !self.returned[t] {
@@ -583,13 +800,18 @@ impl<'p> LaneEngine<'p> {
     /// chunk executes the whole plan before the next chunk starts. Once a
     /// chunk leaves an error pending, later chunks never start (the oracle
     /// never runs those threads).
-    fn run_plan<M: GlobalMem>(&mut self, plan: &LanePlan, mem: &mut M) -> Result<(), ExecError> {
+    fn run_plan<M: GlobalMem>(
+        &mut self,
+        plan: &LanePlan,
+        certs: (Option<&[bool]>, Option<&[bool]>),
+        mem: &mut M,
+    ) -> Result<(), ExecError> {
         let n = self.nthreads;
         let mut pending: Option<ExecError> = None;
         let mut c0 = 0;
         while c0 < n {
             let nl = LANES.min(n - c0);
-            self.chunk(plan, c0, nl, &mut pending, mem);
+            self.chunk(plan, certs, c0, nl, &mut pending, mem);
             if pending.is_some() {
                 break;
             }
@@ -617,11 +839,13 @@ impl<'p> LaneEngine<'p> {
     fn chunk<M: GlobalMem>(
         &mut self,
         plan: &LanePlan,
+        certs: (Option<&[bool]>, Option<&[bool]>),
         c0: usize,
         nl: usize,
         pending: &mut Option<ExecError>,
         mem: &mut M,
     ) {
+        let (emask, vmask) = certs;
         let nl = nl.min(LANES);
         let ops = &plan.ops;
         let nops = ops.len() as u32;
@@ -728,22 +952,26 @@ impl<'p> LaneEngine<'p> {
                             self.branch(&jump, njump, nl, &mut resume, &mut divergent, ip, *target);
                         continue;
                     }
-                    _ => match self.op_full(op, c0, nl, mem) {
-                        Ok(()) => {}
-                        Err((lane, e)) => {
-                            // Lanes below the fault committed this op and
-                            // stay runnable; the faulting lane and above
-                            // retire (the oracle never runs them).
-                            for r in &mut resume[..lane] {
-                                *r = 0;
+                    _ => {
+                        let elide = emask.is_some_and(|m| m[ip as usize]);
+                        match self.op_full(op, elide, c0, nl, mem) {
+                            Ok(()) => {}
+                            Err((lane, e)) => {
+                                // Lanes below the fault committed this op and
+                                // stay runnable; the faulting lane and above
+                                // retire (the oracle never runs them).
+                                for r in &mut resume[..lane] {
+                                    *r = 0;
+                                }
+                                for r in &mut resume[lane..nl] {
+                                    *r = DEAD;
+                                }
+                                *pending =
+                                    Some(cert_wrap(e, vmask.is_some_and(|m| m[ip as usize])));
+                                divergent = true;
                             }
-                            for r in &mut resume[lane..nl] {
-                                *r = DEAD;
-                            }
-                            *pending = Some(e);
-                            divergent = true;
                         }
-                    },
+                    }
                 }
                 ip += 1;
                 continue;
@@ -838,7 +1066,8 @@ impl<'p> LaneEngine<'p> {
                                 for r in &mut resume[i..nl] {
                                     *r = DEAD;
                                 }
-                                *pending = Some(e);
+                                *pending =
+                                    Some(cert_wrap(e, vmask.is_some_and(|m| m[ip as usize])));
                                 break;
                             }
                         }
@@ -891,12 +1120,14 @@ impl<'p> LaneEngine<'p> {
     fn op_full<M: GlobalMem>(
         &mut self,
         op: &LaneOp,
+        elide: bool,
         c0: usize,
         nl: usize,
         mem: &mut M,
     ) -> Result<(), LaneFault> {
         // `nl <= LANES` always holds; restating it lets the optimizer drop
-        // the bounds checks on `[u64; LANES]` temporaries in the lane loops.
+        // the bounds checks on `[u64; LANES]` temporaries in the lane loops
+        // (verified by the disassembly probes in `tests/asm_probe.rs`).
         let nl = nl.min(LANES);
         let n64 = nl as u64;
         let prog = self.prog;
@@ -1146,7 +1377,7 @@ impl<'p> LaneEngine<'p> {
                 match info.kind {
                     SlotKind::Global { buf } => {
                         let (ptr, len) = mem.raw(buf);
-                        if let Err(i) = gather(ptr, len, info.elem, &ix, nl, &mut out) {
+                        if let Err(i) = gather_cert(ptr, len, info.elem, &ix, nl, &mut out, elide) {
                             self.store_row(*dst, c0, i, &out, okind);
                             return Err((i, oob(info, ix[i], mem)));
                         }
@@ -1156,7 +1387,7 @@ impl<'p> LaneEngine<'p> {
                     SlotKind::Shared { idx: si } => {
                         let sh = &self.shared[si as usize];
                         let (sp, slen) = (sh.as_ptr(), sh.len());
-                        if let Err(i) = gather(sp, slen, info.elem, &ix, nl, &mut out) {
+                        if let Err(i) = gather_cert(sp, slen, info.elem, &ix, nl, &mut out, elide) {
                             self.store_row(*dst, c0, i, &out, okind);
                             return Err((i, oob(info, ix[i], mem)));
                         }
@@ -1175,7 +1406,7 @@ impl<'p> LaneEngine<'p> {
                     SlotKind::Global { buf } => {
                         let (ptr, len) = mem.raw(buf);
                         let (vb, vk) = self.row(*val, c0, nl);
-                        if let Err(i) = scatter(ptr, len, info.elem, &ix, vb, vk, nl) {
+                        if let Err(i) = scatter_cert(ptr, len, info.elem, &ix, vb, vk, nl, elide) {
                             return Err((i, oob(info, ix[i], mem)));
                         }
                         self.stats.global_write_bytes += n64 * sz;
@@ -1185,9 +1416,16 @@ impl<'p> LaneEngine<'p> {
                         let pv = *val as usize * self.nthreads + c0;
                         let (vb, vk) = (&self.bits[pv..pv + nl], &self.kinds[pv..pv + nl]);
                         let sh = &mut self.shared[si as usize];
-                        if let Err(i) =
-                            scatter(sh.as_mut_ptr(), sh.len(), info.elem, &ix, vb, vk, nl)
-                        {
+                        if let Err(i) = scatter_cert(
+                            sh.as_mut_ptr(),
+                            sh.len(),
+                            info.elem,
+                            &ix,
+                            vb,
+                            vk,
+                            nl,
+                            elide,
+                        ) {
                             return Err((i, oob(info, ix[i], mem)));
                         }
                         self.stats.shared_bytes += n64 * sz;
@@ -1219,10 +1457,12 @@ impl<'p> LaneEngine<'p> {
                         // Gather everything first, then scatter what loaded:
                         // a store fault on a lower lane precedes a load fault
                         // on a higher one in the oracle's per-thread order.
-                        let lf = gather(sp, slen, sinfo.elem, &six, nl, &mut v).err();
+                        let lf = gather_cert(sp, slen, sinfo.elem, &six, nl, &mut v, elide).err();
                         let m = lf.unwrap_or(nl);
                         let vk = [u8::from(sinfo.elem.kind() == ValueKind::Float); LANES];
-                        let sf = scatter(dp, dlen, dinfo.elem, &dix, &v[..m], &vk[..m], m).err();
+                        let sf =
+                            scatter_cert(dp, dlen, dinfo.elem, &dix, &v[..m], &vk[..m], m, elide)
+                                .err();
                         if let Some(j) = sf {
                             return Err((j, oob(dinfo, dix[j], mem)));
                         }
@@ -1237,11 +1477,11 @@ impl<'p> LaneEngine<'p> {
                     (SlotKind::Global { buf: sb }, SlotKind::Shared { idx: di }) => {
                         let (sp, slen) = mem.raw(*sb);
                         let mut v = [0u64; LANES];
-                        let lf = gather(sp, slen, sinfo.elem, &six, nl, &mut v).err();
+                        let lf = gather_cert(sp, slen, sinfo.elem, &six, nl, &mut v, elide).err();
                         let m = lf.unwrap_or(nl);
                         let vk = [u8::from(sinfo.elem.kind() == ValueKind::Float); LANES];
                         let sh = &mut self.shared[*di as usize];
-                        let sf = scatter(
+                        let sf = scatter_cert(
                             sh.as_mut_ptr(),
                             sh.len(),
                             dinfo.elem,
@@ -1249,6 +1489,7 @@ impl<'p> LaneEngine<'p> {
                             &v[..m],
                             &vk[..m],
                             m,
+                            elide,
                         )
                         .err();
                         if let Some(j) = sf {
@@ -1265,10 +1506,14 @@ impl<'p> LaneEngine<'p> {
                         let (dp, dlen) = mem.raw(*db);
                         let sh = &self.shared[*si as usize];
                         let mut v = [0u64; LANES];
-                        let lf = gather(sh.as_ptr(), sh.len(), sinfo.elem, &six, nl, &mut v).err();
+                        let lf =
+                            gather_cert(sh.as_ptr(), sh.len(), sinfo.elem, &six, nl, &mut v, elide)
+                                .err();
                         let m = lf.unwrap_or(nl);
                         let vk = [u8::from(sinfo.elem.kind() == ValueKind::Float); LANES];
-                        let sf = scatter(dp, dlen, dinfo.elem, &dix, &v[..m], &vk[..m], m).err();
+                        let sf =
+                            scatter_cert(dp, dlen, dinfo.elem, &dix, &v[..m], &vk[..m], m, elide)
+                                .err();
                         if let Some(j) = sf {
                             return Err((j, oob(dinfo, dix[j], mem)));
                         }
@@ -1308,7 +1553,7 @@ impl<'p> LaneEngine<'p> {
                 };
                 if all_float {
                     let mut vb = [0u64; LANES];
-                    let lf = gather(ptr, len, info.elem, &ix, nl, &mut vb).err();
+                    let lf = gather_cert(ptr, len, info.elem, &ix, nl, &mut vb, elide).err();
                     let m = lf.unwrap_or(nl);
                     let (xb, _) = self.row(*x, c0, nl);
                     let (yb, _) = self.row(*y, c0, nl);
@@ -1372,7 +1617,7 @@ impl<'p> LaneEngine<'p> {
                         out[i] = (m + f64::from_bits(cb[i])).to_bits();
                     }
                     let vk = [1u8; LANES];
-                    if let Err(i) = scatter(ptr, len, info.elem, &ix, &out, &vk, nl) {
+                    if let Err(i) = scatter_cert(ptr, len, info.elem, &ix, &out, &vk, nl, elide) {
                         self.stats.float_ops += 2 * (i as u64 + 1);
                         return Err((i, oob(info, ix[i], mem)));
                     }
@@ -1429,7 +1674,7 @@ impl<'p> LaneEngine<'p> {
                     let mut vb = [0u64; LANES];
                     // Gather, compute, scatter; a store fault on a lower lane
                     // precedes a load fault on a higher one (oracle order).
-                    let lf = gather(lp, llen, linfo.elem, &lix, nl, &mut vb).err();
+                    let lf = gather_cert(lp, llen, linfo.elem, &lix, nl, &mut vb, elide).err();
                     let m = lf.unwrap_or(nl);
                     let mut out = [0u64; LANES];
                     {
@@ -1446,7 +1691,9 @@ impl<'p> LaneEngine<'p> {
                         }
                     }
                     let vk = [1u8; LANES];
-                    let sf = scatter(dp, dlen, dinfo.elem, &dix, &out[..m], &vk[..m], m).err();
+                    let sf =
+                        scatter_cert(dp, dlen, dinfo.elem, &dix, &out[..m], &vk[..m], m, elide)
+                            .err();
                     if let Some(j) = sf {
                         return Err((j, oob(dinfo, dix[j], mem)));
                     }

@@ -34,7 +34,7 @@ pub mod memory;
 pub mod sanitize;
 pub mod stats;
 
-pub use bytecode::Program;
+pub use bytecode::{CertMode, Program};
 pub use engine::{execute_launch_bytecode, run_range, run_range_parallel, EngineKind, ExecOptions};
 pub use interp::{
     execute_block, execute_block_range, execute_block_traced, execute_launch, profile_launch, Arg,
@@ -42,5 +42,7 @@ pub use interp::{
 };
 pub use lane::{execute_launch_simd, run_range_parallel_simd, run_range_simd};
 pub use memory::{BufferId, MemPool};
-pub use sanitize::{sanitize_launch, OobFinding, RaceFinding, SanitizeReport};
+pub use sanitize::{
+    cross_validate_certs, sanitize_launch, OobFinding, RaceFinding, SanitizeReport,
+};
 pub use stats::BlockStats;

@@ -1,0 +1,121 @@
+//! Disassembly regression for the lane-loop bounds checks.
+//!
+//! `lane.rs`'s chunk loops stage lane values in `[u64; LANES]` temporaries
+//! indexed by `i < nl`; the code restates `nl = nl.min(LANES)` so the
+//! optimizer can prove the indexing in-bounds and drop the panicking
+//! checks. This test pins that down: it disassembles the
+//! `#[inline(never)]` probe shells around the checked and
+//! certificate-elided gather/scatter paths (`cucc_exec::lane::probe`) in
+//! this very test binary and fails if any `panic_bounds_check` (or any
+//! panic at all on the elided path, whose only checks are
+//! `debug_assert!`s) reappears.
+//!
+//! Only meaningful with optimizations on — debug builds keep every bounds
+//! check by design — so the assertions are release-only; the test also
+//! skips (loudly) if `objdump` is unavailable.
+
+use cucc_exec::lane::{probe, LANES};
+use std::process::Command;
+
+/// Disassemble the current test executable and return the instruction
+/// lines of every symbol whose demangled name contains `needle`.
+fn disasm_symbols(needle: &str) -> Vec<(String, Vec<String>)> {
+    let exe = std::env::current_exe().unwrap();
+    let out = Command::new("objdump")
+        .args(["-d", "--demangle"])
+        .arg(&exe)
+        .output()
+        .expect("objdump failed to spawn");
+    assert!(out.status.success(), "objdump exited nonzero");
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    let mut found = Vec::new();
+    let mut current: Option<(String, Vec<String>)> = None;
+    for line in text.lines() {
+        // Symbol headers look like `0000000000042 <name>:`.
+        if line.ends_with(">:") {
+            if let Some(sym) = current.take() {
+                found.push(sym);
+            }
+            if line.contains(needle) {
+                current = Some((line.to_string(), Vec::new()));
+            }
+        } else if let Some((_, body)) = current.as_mut() {
+            if line.trim().is_empty() {
+                found.push(current.take().unwrap());
+            } else {
+                body.push(line.to_string());
+            }
+        }
+    }
+    if let Some(sym) = current.take() {
+        found.push(sym);
+    }
+    found
+}
+
+#[test]
+fn lane_loops_carry_no_bounds_check_panics() {
+    // Force codegen of the probe shells into this binary: take their
+    // addresses through black_box so the linker cannot strip them.
+    let probes: [*const (); 4] = [
+        probe::gather_checked as *const (),
+        probe::gather_elided as *const (),
+        probe::scatter_checked as *const (),
+        probe::scatter_elided as *const (),
+    ];
+    std::hint::black_box(probes);
+    let _ = LANES;
+
+    if cfg!(debug_assertions) {
+        eprintln!("skipping: bounds checks are expected in unoptimized builds");
+        return;
+    }
+    if Command::new("objdump").arg("--version").output().is_err() {
+        eprintln!("skipping: objdump not available");
+        return;
+    }
+
+    let syms = disasm_symbols("lane::probe::");
+    let names: Vec<&str> = syms.iter().map(|(h, _)| h.as_str()).collect();
+    for expect in [
+        "gather_checked",
+        "gather_elided",
+        "scatter_checked",
+        "scatter_elided",
+    ] {
+        assert!(
+            names.iter().any(|n| n.contains(expect)),
+            "probe symbol `{expect}` missing from disassembly: {names:?}"
+        );
+    }
+
+    for (header, body) in &syms {
+        let hits: Vec<&String> = body
+            .iter()
+            .filter(|l| l.contains("panic_bounds_check"))
+            .collect();
+        assert!(
+            hits.is_empty(),
+            "bounds-check panic survived in {header}:\n{}",
+            hits.iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The elided flavours' only checks are debug_asserts, compiled out
+        // here — no panicking call of any kind should remain.
+        if header.contains("elided") {
+            let panics: Vec<&String> = body.iter().filter(|l| l.contains("panicking")).collect();
+            assert!(
+                panics.is_empty(),
+                "panic path survived in elided probe {header}:\n{}",
+                panics
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+}

@@ -60,6 +60,12 @@ pub struct SourceMap {
     pub global_write_lines: Vec<u32>,
     /// Line of each `__syncthreads()`, in source order.
     pub barrier_lines: Vec<u32>,
+    /// Line of each `Store`/`AtomicRmw` targeting a **shared or local**
+    /// array, in source order (used by the lint pass's dead-store finding).
+    pub shared_write_lines: Vec<u32>,
+    /// Line of each `if` statement, in source order (used by the lint pass
+    /// to attribute constant-condition findings; `?:` selects are not ifs).
+    pub if_lines: Vec<u32>,
 }
 
 /// Parse one kernel and also return the [`SourceMap`] breadcrumbs.
@@ -537,6 +543,7 @@ impl Parser {
             return Ok(());
         }
         if self.eat_kw("if") {
+            self.map.if_lines.push(stmt_line);
             return self.if_stmt(out);
         }
         if self.eat_kw("for") {
@@ -567,6 +574,8 @@ impl Parser {
                 self.expect_punct(";")?;
                 if matches!(mem, MemRef::Global(_)) {
                     self.map.global_write_lines.push(stmt_line);
+                } else {
+                    self.map.shared_write_lines.push(stmt_line);
                 }
                 out.push(Stmt::AtomicRmw {
                     op,
@@ -591,6 +600,8 @@ impl Parser {
                 self.expect_punct(";")?;
                 if matches!(mem, MemRef::Global(_)) {
                     self.map.global_write_lines.push(stmt_line);
+                } else {
+                    self.map.shared_write_lines.push(stmt_line);
                 }
                 out.push(Stmt::Store { mem, index, value });
                 Ok(())
@@ -648,6 +659,7 @@ impl Parser {
         let then_body = self.stmt_or_block()?;
         let else_body = if self.eat_kw("else") {
             if self.eat_kw("if") {
+                self.map.if_lines.push(self.line());
                 let mut nested = Vec::new();
                 self.if_stmt(&mut nested)?;
                 nested

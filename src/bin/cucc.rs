@@ -6,6 +6,8 @@
 //! cucc run      <kernel.cu> [options]           # migrate & execute
 //! cucc check    <kernel.cu|file.rs>             # static race/bounds/barrier verifier
 //! cucc check    --builtin                       # verify every built-in suite kernel
+//! cucc lint     <kernel.cu|file.rs>             # range-analysis lints (dead stores, …)
+//! cucc lint     --builtin                       # lint every built-in suite kernel
 //! cucc coverage                                 # Figure-7 suites
 //!
 //! run options:
@@ -99,6 +101,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             cmd_run(&src, &opts)
         }
         Some("check") => cmd_check(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("coverage") => Ok(cmd_coverage()),
         Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -106,13 +109,16 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: cucc <analyze|codegen|run|check|coverage> [args]\n\
+    "usage: cucc <analyze|codegen|run|check|lint|coverage> [args]\n\
      \n\
      analyze  <kernel.cu>         run the Allgather-distributable & SIMD analyses\n\
      codegen  <kernel.cu>         print the generated CPU host/kernel modules\n\
      run      <kernel.cu> [opts]  migrate and execute on a simulated cluster\n\
      check    <kernel.cu|.rs>     static race / bounds / barrier-divergence verifier\n\
      check    --builtin           verify all built-in suite kernels at real launches\n\
+     lint     <kernel.cu|.rs>     range-analysis lints: dead stores, redundant\n\
+                                  barriers, constant conditions, unreachable code\n\
+     lint     --builtin           lint all built-in suite kernels at real launches\n\
      coverage                     classify the built-in Figure-7 kernel suites"
         .to_string()
 }
@@ -198,32 +204,43 @@ fn extract_cuda_kernels(text: &str) -> Vec<String> {
 /// Parse + verify one kernel source. With `real = Some((launch, bytes,
 /// scalars))` the rules run at that geometry with exact allocation-derived
 /// extents; otherwise at the canonical launch with assumed extents.
+/// Build the `(args, extents)` a real launch binds: buffers in declaration
+/// order with allocation-derived element extents, scalars from `scalars`.
+fn real_args(
+    kernel: &cucc::ir::Kernel,
+    buffer_bytes: &[usize],
+    scalars: &[cucc::ir::Value],
+) -> (Vec<Arg>, Vec<Option<u64>>) {
+    use cucc::ir::Param;
+    let mut args = Vec::new();
+    let mut extents = Vec::new();
+    let (mut bi, mut si) = (0usize, 0usize);
+    for (i, p) in kernel.params.iter().enumerate() {
+        match p {
+            Param::Buffer { elem, .. } => {
+                args.push(Arg::Buffer(cucc::exec::BufferId(i as u32)));
+                extents.push(Some((buffer_bytes[bi] / elem.size()) as u64));
+                bi += 1;
+            }
+            Param::Scalar { .. } => {
+                args.push(Arg::Scalar(scalars[si]));
+                extents.push(None);
+                si += 1;
+            }
+        }
+    }
+    (args, extents)
+}
+
 fn verify_source(
     src: &str,
     real: Option<(LaunchConfig, &[usize], &[cucc::ir::Value])>,
 ) -> Result<(String, cucc::analysis::VerifyReport), String> {
-    use cucc::ir::Param;
     let (kernel, map) = cucc::ir::parse_kernel_with_map(src).map_err(|e| e.to_string())?;
     cucc::ir::validate(&kernel).map_err(|e| format!("{}: {e}", kernel.name))?;
     let report = match real {
         Some((launch, buffer_bytes, scalars)) => {
-            let mut args = Vec::new();
-            let mut extents = Vec::new();
-            let (mut bi, mut si) = (0usize, 0usize);
-            for (i, p) in kernel.params.iter().enumerate() {
-                match p {
-                    Param::Buffer { elem, .. } => {
-                        args.push(Arg::Buffer(cucc::exec::BufferId(i as u32)));
-                        extents.push(Some((buffer_bytes[bi] / elem.size()) as u64));
-                        bi += 1;
-                    }
-                    Param::Scalar { .. } => {
-                        args.push(Arg::Scalar(scalars[si]));
-                        extents.push(None);
-                        si += 1;
-                    }
-                }
-            }
+            let (args, extents) = real_args(&kernel, buffer_bytes, scalars);
             cucc::analysis::verify_launch(&kernel, launch, &args, &extents, false, Some(&map))
         }
         None => {
@@ -231,6 +248,26 @@ fn verify_source(
             cucc::analysis::verify_launch(&kernel, launch, &args, &extents, true, Some(&map))
         }
     };
+    Ok((kernel.name.clone(), report))
+}
+
+/// Parse + lint one kernel source, at the real launch when given, otherwise
+/// at the canonical check launch.
+fn lint_source(
+    src: &str,
+    real: Option<(LaunchConfig, &[usize], &[cucc::ir::Value])>,
+) -> Result<(String, cucc::analysis::LintReport), String> {
+    let (kernel, map) = cucc::ir::parse_kernel_with_map(src).map_err(|e| e.to_string())?;
+    cucc::ir::validate(&kernel).map_err(|e| format!("{}: {e}", kernel.name))?;
+    let (launch, args, extents) = match real {
+        Some((launch, buffer_bytes, scalars)) => {
+            let (args, extents) = real_args(&kernel, buffer_bytes, scalars);
+            (launch, args, extents)
+        }
+        None => cucc::analysis::canonical_check_input(&kernel),
+    };
+    let report = cucc::analysis::lint_kernel(&kernel, launch, &args, &extents, Some(&map))
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
     Ok((kernel.name.clone(), report))
 }
 
@@ -269,6 +306,80 @@ fn cmd_check(args: &[String]) -> Result<String, String> {
     }
 }
 
+// ----------------------------------------------------------------- lint --
+
+fn cmd_lint(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        None => Err("usage: cucc lint <kernel.cu|file.rs> | cucc lint --builtin".into()),
+        Some("--builtin") => cmd_lint_builtin(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let sources = if path.ends_with(".rs") {
+                extract_cuda_kernels(&text)
+            } else {
+                vec![text]
+            };
+            if sources.is_empty() {
+                return Err(format!("{path}: no `__global__` kernels found"));
+            }
+            let mut out = String::new();
+            for src in &sources {
+                let (name, report) = lint_source(src, None)?;
+                out += &format!("kernel `{name}` at canonical grid 64 × block 256:\n");
+                out += &report.render();
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Lint every built-in suite kernel at its real launch. Lints are advisory
+/// (all `Info`), so this never fails — findings are printed for review.
+fn cmd_lint_builtin() -> Result<String, String> {
+    use cucc::workloads::{heteromark_kernels, perf_suite, triton_kernels, Scale};
+    let mut out = String::from("range-analysis lints over the built-in suites (real launches):\n");
+    let mut findings = 0usize;
+    let mut checked = 0usize;
+    let mut emit =
+        |out: &mut String, suite: &str, name: &str, report: &cucc::analysis::LintReport| {
+            *out += &format!("  {suite:18} {name:22} {}\n", report.summary());
+            for d in &report.diagnostics {
+                *out += &format!("    {d}\n");
+            }
+            findings += report.diagnostics.len();
+            checked += 1;
+        };
+    for (suite, kernels) in [
+        ("Triton (BERT+ViT)", triton_kernels()),
+        ("Hetero-Mark", heteromark_kernels()),
+    ] {
+        for k in &kernels {
+            let (_, report) =
+                lint_source(&k.source, Some((k.launch, &k.buffer_bytes, &k.scalars)))?;
+            emit(&mut out, suite, k.name, &report);
+        }
+    }
+    for b in perf_suite(Scale::Test) {
+        let bufs = b.buffers();
+        let bytes: Vec<usize> = bufs.iter().map(Vec::len).collect();
+        let scalars = b.scalars();
+        let (_, report) = lint_source(&b.source(), Some((b.launch(), &bytes, &scalars)))?;
+        emit(&mut out, "perf (Fig. 9)", b.name(), &report);
+    }
+    out += &format!("{checked} kernels linted, {findings} finding(s)\n");
+    Ok(out)
+}
+
+/// Compact range/lint column for the `check --builtin` table.
+fn range_summary(r: &cucc::analysis::LintReport) -> String {
+    format!(
+        "certs {}/{} lint {}",
+        r.cert_stats.0,
+        r.cert_stats.1,
+        r.diagnostics.len()
+    )
+}
+
 /// Verify every coverage kernel and perf benchmark at its real launch
 /// geometry and allocation sizes. MUST-level findings are only tolerated on
 /// kernels already annotated as overlapping (`Expected::Overlap/Indirect`) —
@@ -283,15 +394,17 @@ fn cmd_check_builtin() -> Result<String, String> {
         ("Hetero-Mark", heteromark_kernels()),
     ] {
         for k in &kernels {
-            let (_, report) =
-                verify_source(&k.source, Some((k.launch, &k.buffer_bytes, &k.scalars)))?;
+            let real = Some((k.launch, &k.buffer_bytes[..], &k.scalars[..]));
+            let (_, report) = verify_source(&k.source, real)?;
+            let (_, lint) = lint_source(&k.source, real)?;
             let annotated = k.expected != Expected::Distributable;
             out += &format!(
-                "  {suite:18} {:22} race {:<12} bounds {:<12} barrier {:<12}{}\n",
+                "  {suite:18} {:22} race {:<12} bounds {:<12} barrier {:<12} {}{}\n",
                 k.name,
                 report.race.to_string(),
                 report.bounds.to_string(),
                 report.barrier.to_string(),
+                range_summary(&lint),
                 if annotated && report.has_must() {
                     "  (expected: overlapping writes)"
                 } else {
@@ -309,13 +422,15 @@ fn cmd_check_builtin() -> Result<String, String> {
         let bytes: Vec<usize> = bufs.iter().map(Vec::len).collect();
         let scalars = b.scalars();
         let (_, report) = verify_source(&b.source(), Some((b.launch(), &bytes, &scalars)))?;
+        let (_, lint) = lint_source(&b.source(), Some((b.launch(), &bytes, &scalars)))?;
         out += &format!(
-            "  {:18} {:22} race {:<12} bounds {:<12} barrier {:<12}\n",
+            "  {:18} {:22} race {:<12} bounds {:<12} barrier {:<12} {}\n",
             "perf (Fig. 9)",
             b.name(),
             report.race.to_string(),
             report.bounds.to_string(),
             report.barrier.to_string(),
+            range_summary(&lint),
         );
         if report.has_must() {
             unexpected.push(format!("perf/{}", b.name()));
@@ -778,6 +893,25 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
                 for line in prog.phase_summary().lines() {
                     out += &format!("    {line}\n");
                 }
+                // Range-analysis certification at the real allocation sizes:
+                // certified accesses run bounds-check-free in the engines.
+                let extents: Vec<Option<u64>> = ck
+                    .kernel
+                    .params
+                    .iter()
+                    .zip(&host_data)
+                    .map(|(p, data)| match (p, data) {
+                        (cucc::ir::Param::Buffer { elem, .. }, Some(bytes)) => {
+                            Some((bytes.len() / elem.size()) as u64)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let slot_exts = cucc::analysis::param_slot_extents(&prog, &cargs, &extents);
+                let (c, t) = cucc::analysis::analyze_ranges(&prog, &slot_exts).stats();
+                out += &format!(
+                    "  range certs: {c}/{t} accesses certified in-bounds (unchecked fast path)\n"
+                );
             }
             Err(e) => out += &format!("  vectorization: unavailable ({e})\n"),
         }
