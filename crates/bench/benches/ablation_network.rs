@@ -47,7 +47,7 @@ fn main() {
         let ck = compile_source(&bench.source()).unwrap();
         let mut cfg = RuntimeConfig::modeled();
         cfg.allgather_algo = algo;
-        let mut cl = CuccCluster::new(ClusterSpec::simd_focused().with_nodes(32), cfg);
+        let mut cl = CuccCluster::with_options(ClusterSpec::simd_focused().with_nodes(32), cfg);
         let (args, _) = setup_args(&bench, &ck.kernel, &mut cl);
         let r = cl.launch(&ck, bench.launch(), &args).unwrap();
         println!(

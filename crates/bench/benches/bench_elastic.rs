@@ -29,7 +29,7 @@ const N_BALANCED: usize = 21 * 8 * 256;
 const N_DEGRADED: usize = 1 << 20;
 
 fn make(nodes: u32, faults: FaultPlan) -> CuccCluster {
-    CuccCluster::new(
+    CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::builder().faults(faults).build(),
     )

@@ -37,7 +37,7 @@ struct Outcome {
 fn run(ck: &CompiledKernel, nodes: u32, n: usize, faults: FaultPlan) -> Outcome {
     let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25 - 100.0).collect();
     let ys: Vec<f32> = (0..n).map(|i| 50.0 - i as f32 * 0.125).collect();
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::builder().faults(faults).build(),
     );

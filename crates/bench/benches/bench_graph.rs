@@ -37,7 +37,7 @@ fn launch_cfg() -> LaunchConfig {
 }
 
 fn cluster() -> CuccCluster {
-    CuccCluster::new(
+    CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(NODES),
         RuntimeConfig::default(),
     )

@@ -27,7 +27,7 @@ const NODES: u32 = 4;
 fn pipeline(ck: &CompiledKernel, streams: usize) -> (f64, CuccCluster) {
     let data: Vec<u8> = (0..CHUNK).flat_map(|i| (i as f32).to_le_bytes()).collect();
     let launch = LaunchConfig::cover1(CHUNK as u64, 256);
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(NODES),
         RuntimeConfig::default(),
     );
@@ -43,11 +43,11 @@ fn pipeline(ck: &CompiledKernel, streams: usize) -> (f64, CuccCluster) {
         ];
         match ss.get(r % ss.len().max(1)) {
             Some(&s) => {
-                cl.h2d_async(x, &data, s);
+                cl.upload_on(x, &data, s).unwrap();
                 cl.launch_on(ck, launch, &args, s).unwrap();
             }
             None => {
-                cl.h2d(x, &data);
+                cl.upload(x, &data).unwrap();
                 cl.launch(ck, launch, &args).unwrap();
             }
         }

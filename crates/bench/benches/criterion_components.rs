@@ -102,7 +102,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let ck = compile_source(&bench.source()).unwrap();
     c.bench_function("end_to_end/veccopy_2nodes_functional", |b| {
         b.iter(|| {
-            let mut cl = CuccCluster::new(
+            let mut cl = CuccCluster::with_options(
                 ClusterSpec::simd_focused().with_nodes(2),
                 RuntimeConfig::default(),
             );

@@ -42,7 +42,7 @@ pub fn cucc_report_traced(
     spec: ClusterSpec,
 ) -> (LaunchReport, cucc_trace::Timeline) {
     let ck = compile_source(&bench.source()).expect("compile");
-    let mut cl = CuccCluster::new(spec, RuntimeConfig::modeled());
+    let mut cl = CuccCluster::with_options(spec, RuntimeConfig::modeled());
     let (args, _) = setup_args(bench, &ck.kernel, &mut cl);
     cl.reset_clock();
     let report = cl

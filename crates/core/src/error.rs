@@ -42,6 +42,17 @@ pub enum MigrateError {
     /// A checkpoint could not be written, read, or restored (I/O failure,
     /// corrupt or incompatible payload, mismatched fault plan).
     Checkpoint(String),
+    /// The serving front-end refused a job at admission: the submitting
+    /// tenant's queue is at its configured depth limit. Rejected jobs are
+    /// never partially executed — the cluster is untouched.
+    Rejected {
+        /// The tenant whose job was refused.
+        tenant: u32,
+        /// Queued jobs the tenant already holds.
+        depth: usize,
+        /// The per-tenant queue-depth admission limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for MigrateError {
@@ -64,6 +75,15 @@ impl fmt::Display for MigrateError {
                 "degraded execution required but disallowed: {context} ({survivors} survivors)"
             ),
             MigrateError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            MigrateError::Rejected {
+                tenant,
+                depth,
+                limit,
+            } => write!(
+                f,
+                "admission rejected: tenant {tenant} already queues {depth} job(s) \
+                 at the depth limit {limit}"
+            ),
         }
     }
 }
@@ -121,5 +141,12 @@ mod tests {
         assert!(e.to_string().contains("transfer error"));
         let e = MigrateError::Checkpoint("bad magic".into());
         assert!(e.to_string().contains("checkpoint error"));
+        let e = MigrateError::Rejected {
+            tenant: 7,
+            depth: 64,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("tenant 7"));
+        assert!(e.to_string().contains("limit 64"));
     }
 }

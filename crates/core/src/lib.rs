@@ -26,29 +26,31 @@
 //!     }
 //! "#).unwrap();
 //!
-//! let mut cluster = CuccCluster::new(
+//! let mut cluster = CuccCluster::with_options(
 //!     ClusterSpec::simd_focused().with_nodes(2),
 //!     RuntimeConfig::default(),
 //! );
 //! let src = cluster.alloc(1200);
 //! let dest = cluster.alloc(1200);
-//! cluster.h2d(src, &[42u8; 1200]);
+//! cluster.upload(src, &[42u8; 1200]).unwrap();
 //! let report = cluster
 //!     .launch(&ck, LaunchConfig::cover1(1200, 256),
 //!             &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1200)])
 //!     .unwrap();
 //! assert!(report.mode.is_three_phase());
-//! assert_eq!(cluster.d2h(dest), vec![42u8; 1200]);
+//! assert_eq!(cluster.download::<u8>(dest).unwrap(), vec![42u8; 1200]);
 //! ```
 
 pub mod codegen;
 pub mod compile;
 pub mod error;
 pub mod graph;
+pub mod options;
 pub mod program;
 pub mod report;
 pub mod runtime;
 pub mod schedule;
+pub mod serve;
 pub mod state;
 pub mod stream;
 pub mod transfer;
@@ -61,10 +63,17 @@ pub use error::MigrateError;
 pub use graph::{
     lint_graph, GraphCapture, GraphNode, GraphOp, LaunchGraph, PendingGather, ReplayStats,
 };
+pub use options::{RunOptions, RunOptionsBuilder};
 pub use program::{ArgSpec, GpuProgram, HostOp, ProgramBackend, ProgramBuilder, ProgramResult};
 pub use report::{ExecMode, FaultSummary, LaunchReport, PhaseTimes, ThreePhaseShape};
 pub use runtime::{CuccCluster, ExecutionFidelity, RuntimeConfig, RuntimeConfigBuilder};
-pub use schedule::{schedule_key, LaunchSchedule, ScheduleCache, ScheduleDecision, ScheduleKey};
+pub use schedule::{
+    schedule_key, CacheStats, LaunchSchedule, ScheduleCache, ScheduleDecision, ScheduleKey,
+};
+pub use serve::{
+    synthetic_stream, ClassStats, DeadlineClass, JobServer, JobSpec, ServeConfig, ServePolicy,
+    ServeReport, TenantStats,
+};
 pub use state::{Checkpoint, ClusterState, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use stream::{EventId, StreamId, StreamSet, DEFAULT_STREAM};
 pub use transfer::HostScalar;

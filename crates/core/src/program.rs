@@ -103,10 +103,10 @@ impl ProgramBackend for CuccCluster {
         self.alloc(bytes)
     }
     fn prog_h2d(&mut self, buf: BufferId, data: &[u8]) {
-        self.h2d(buf, data);
+        self.upload(buf, data).expect("program h2d");
     }
     fn prog_d2h(&mut self, buf: BufferId) -> Vec<u8> {
-        self.d2h(buf)
+        self.download::<u8>(buf).expect("program d2h")
     }
     fn prog_launch(
         &mut self,
@@ -269,7 +269,7 @@ impl GpuProgram {
                         MigrateError::Launch(format!("h2d to unknown buffer `{buf}`"))
                     })?;
                     let s = pick(&[buf], cl);
-                    cl.h2d_async(id, data, s);
+                    cl.upload_on(id, data, s)?;
                 }
                 HostOp::Launch {
                     kernel,
@@ -302,7 +302,9 @@ impl GpuProgram {
                         MigrateError::Launch(format!("d2h from unknown buffer `{buf}`"))
                     })?;
                     let s = pick(&[buf], cl);
-                    result.outputs.insert(buf.clone(), cl.d2h_async(id, s));
+                    result
+                        .outputs
+                        .insert(buf.clone(), cl.download_on::<u8>(id, s)?);
                 }
             }
         }
@@ -443,7 +445,7 @@ mod tests {
     #[test]
     fn pipeline_runs_on_cucc_cluster() {
         let prog = pipeline_program();
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(4),
             RuntimeConfig::default(),
         );
@@ -463,7 +465,7 @@ mod tests {
     #[test]
     fn result_reports_transfer_time() {
         let prog = pipeline_program();
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(4),
             RuntimeConfig::default(),
         );
@@ -483,10 +485,10 @@ mod tests {
     fn streamed_run_matches_serial_outputs() {
         let prog = pipeline_program();
         let spec = ClusterSpec::simd_focused().with_nodes(4);
-        let mut serial = CuccCluster::new(spec.clone(), RuntimeConfig::default());
+        let mut serial = CuccCluster::with_options(spec.clone(), RuntimeConfig::default());
         let res_serial = prog.run_with(&mut serial).unwrap();
         for max_streams in [1usize, 2, 4] {
-            let mut cl = CuccCluster::new(spec.clone(), RuntimeConfig::default());
+            let mut cl = CuccCluster::with_options(spec.clone(), RuntimeConfig::default());
             let res = prog.run_streams_with(&mut cl, max_streams).unwrap();
             assert_eq!(res.outputs, res_serial.outputs, "streams={max_streams}");
             assert_eq!(res.launches, res_serial.launches);
@@ -534,8 +536,8 @@ mod tests {
         }
         let prog = b.build();
         let spec = ClusterSpec::simd_focused().with_nodes(4);
-        let mut serial = CuccCluster::new(spec.clone(), RuntimeConfig::default());
-        let mut streamed = CuccCluster::new(spec, RuntimeConfig::default());
+        let mut serial = CuccCluster::with_options(spec.clone(), RuntimeConfig::default());
+        let mut streamed = CuccCluster::with_options(spec, RuntimeConfig::default());
         let res_serial = prog.run_with(&mut serial).unwrap();
         let res = prog.run_streams_with(&mut streamed, 2).unwrap();
         assert_eq!(res.outputs, res_serial.outputs);
@@ -553,7 +555,7 @@ mod tests {
             .alloc("a", 16)
             .d2h("missing")
             .build();
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(1),
             RuntimeConfig::default(),
         );
@@ -569,7 +571,7 @@ mod tests {
             .alloc("a", 16)
             .alloc("a", 16)
             .build();
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(1),
             RuntimeConfig::default(),
         );

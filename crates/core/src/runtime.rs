@@ -254,8 +254,17 @@ pub struct CuccCluster {
 }
 
 impl CuccCluster {
-    /// Build a runtime over `spec.nodes` simulated nodes.
-    pub fn new(spec: ClusterSpec, config: RuntimeConfig) -> CuccCluster {
+    /// Build a runtime over `spec.nodes` simulated nodes from the unified
+    /// front-end options — a [`crate::RunOptions`] value or anything
+    /// convertible into one (a bare [`RuntimeConfig`] included, which is
+    /// what keeps legacy `(spec, config)` call sites working verbatim).
+    ///
+    /// The cluster consumes the runtime knobs ([`crate::RunOptions::runtime`]);
+    /// session-level options (stream fan-out, graph iterations, checkpoint
+    /// paths) configure the layers above it — the CLI driver and the
+    /// serving front-end.
+    pub fn with_options(spec: ClusterSpec, options: impl Into<crate::RunOptions>) -> CuccCluster {
+        let config = options.into().runtime;
         let logical_nodes = spec.nodes as usize;
         let sim_spec = if config.fidelity == ExecutionFidelity::Modeled {
             spec.with_nodes(1)
@@ -278,6 +287,13 @@ impl CuccCluster {
             schedule_cache: ScheduleCache::new(),
             pending: BTreeMap::new(),
         }
+    }
+
+    /// Legacy constructor, kept as a thin shim over
+    /// [`CuccCluster::with_options`].
+    #[deprecated(note = "use CuccCluster::with_options — RunOptions subsumes RuntimeConfig")]
+    pub fn new(spec: ClusterSpec, config: RuntimeConfig) -> CuccCluster {
+        CuccCluster::with_options(spec, config)
     }
 
     /// Logical node ids that are still alive, in ascending order.
@@ -617,6 +633,7 @@ impl CuccCluster {
 
     /// Untyped host→device broadcast. Panicking shim over
     /// [`CuccCluster::upload`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::upload — typed, validated, Result-based")]
     pub fn h2d(&mut self, buf: BufferId, data: &[u8]) {
         self.upload(buf, data)
             .unwrap_or_else(|e| panic!("h2d failed: {e}"));
@@ -624,6 +641,7 @@ impl CuccCluster {
 
     /// Untyped device→host copy. Panicking shim over
     /// [`CuccCluster::download`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::download — typed, validated, Result-based")]
     pub fn d2h(&mut self, buf: BufferId) -> Vec<u8> {
         self.download(buf)
             .unwrap_or_else(|e| panic!("d2h failed: {e}"))
@@ -631,6 +649,7 @@ impl CuccCluster {
 
     /// Typed convenience reads. Panicking shim over
     /// [`CuccCluster::download`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::download::<f32>")]
     pub fn d2h_f32(&mut self, buf: BufferId) -> Vec<f32> {
         self.download(buf)
             .unwrap_or_else(|e| panic!("d2h_f32 failed: {e}"))
@@ -638,6 +657,7 @@ impl CuccCluster {
 
     /// Typed convenience writes (broadcast). Panicking shim over
     /// [`CuccCluster::upload`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::upload::<f32>")]
     pub fn h2d_f32(&mut self, buf: BufferId, data: &[f32]) {
         self.upload(buf, data)
             .unwrap_or_else(|e| panic!("h2d_f32 failed: {e}"));
@@ -865,6 +885,7 @@ impl CuccCluster {
 
     /// Untyped async broadcast. Panicking shim over
     /// [`CuccCluster::upload_on`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::upload_on")]
     pub fn h2d_async(&mut self, buf: BufferId, data: &[u8], stream: StreamId) {
         self.upload_on(buf, data, stream)
             .unwrap_or_else(|e| panic!("h2d_async failed: {e}"));
@@ -872,6 +893,7 @@ impl CuccCluster {
 
     /// Typed async broadcast. Panicking shim over
     /// [`CuccCluster::upload_on`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::upload_on::<f32>")]
     pub fn h2d_async_f32(&mut self, buf: BufferId, data: &[f32], stream: StreamId) {
         self.upload_on(buf, data, stream)
             .unwrap_or_else(|e| panic!("h2d_async_f32 failed: {e}"));
@@ -879,6 +901,7 @@ impl CuccCluster {
 
     /// Untyped async device→host copy. Panicking shim over
     /// [`CuccCluster::download_on`] for legacy call sites.
+    #[deprecated(note = "use CuccCluster::download_on")]
     pub fn d2h_async(&mut self, buf: BufferId, stream: StreamId) -> Vec<u8> {
         self.download_on(buf, stream)
             .unwrap_or_else(|e| panic!("d2h_async failed: {e}"))
@@ -1062,10 +1085,11 @@ impl CuccCluster {
     /// before the checkpoint stay valid against the restored cluster.
     pub fn restore(
         spec: ClusterSpec,
-        config: RuntimeConfig,
+        options: impl Into<crate::RunOptions>,
         ckpt: &Checkpoint,
     ) -> Result<CuccCluster, MigrateError> {
-        let modeled = config.fidelity == ExecutionFidelity::Modeled;
+        let options = options.into();
+        let modeled = options.runtime.fidelity == ExecutionFidelity::Modeled;
         if ckpt.modeled != modeled {
             return Err(MigrateError::Checkpoint(format!(
                 "fidelity mismatch: the checkpoint was taken under {} execution \
@@ -1078,7 +1102,7 @@ impl CuccCluster {
                 if modeled { "modeled" } else { "functional" },
             )));
         }
-        let mut cl = CuccCluster::new(spec, config);
+        let mut cl = CuccCluster::with_options(spec, options);
         if cl.state.logical_nodes() == ckpt.logical_nodes as usize {
             cl.state = ClusterState::restored(ckpt.alive.clone(), ckpt.epoch);
         } else {
@@ -1116,14 +1140,14 @@ impl CuccCluster {
     /// [`CuccCluster::checkpoint_to`].
     pub fn restore_from(
         spec: ClusterSpec,
-        config: RuntimeConfig,
+        options: impl Into<crate::RunOptions>,
         path: impl AsRef<std::path::Path>,
     ) -> Result<CuccCluster, MigrateError> {
         let bytes = std::fs::read(path.as_ref()).map_err(|e| {
             MigrateError::Checkpoint(format!("reading {}: {e}", path.as_ref().display()))
         })?;
         let ckpt = Checkpoint::decode(&bytes)?;
-        CuccCluster::restore(spec, config, &ckpt)
+        CuccCluster::restore(spec, options, &ckpt)
     }
 
     /// One launch inside a replay: reconcile pending inputs, decide
@@ -2591,11 +2615,11 @@ mod tests {
     #[test]
     fn three_phase_copies_correctly_on_two_nodes() {
         let ck = compile_source(LISTING1).unwrap();
-        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(2), RuntimeConfig::default());
         let src = cl.alloc(1200);
         let dest = cl.alloc(1200);
         let data: Vec<u8> = (0..1200).map(|i| (i % 251) as u8).collect();
-        cl.h2d(src, &data);
+        cl.upload(src, &data).unwrap();
         let report = cl
             .launch(
                 &ck,
@@ -2608,7 +2632,7 @@ mod tests {
             assert_eq!(shape.partial_blocks_per_node, 2);
             assert_eq!(shape.callback_blocks, 1);
         }
-        assert_eq!(cl.d2h(dest), data);
+        assert_eq!(cl.download::<u8>(dest).unwrap(), data);
         assert!(report.times.allgather > 0.0);
         assert!(report.times.partial > 0.0);
     }
@@ -2647,11 +2671,11 @@ mod tests {
         let reference = gpu.d2h(gy);
 
         for nodes in [1u32, 2, 3, 4, 8] {
-            let mut cl = CuccCluster::new(spec(nodes), RuntimeConfig::default());
+            let mut cl = CuccCluster::with_options(spec(nodes), RuntimeConfig::default());
             let cx = cl.alloc(n * 4);
             let cy = cl.alloc(n * 4);
-            cl.h2d_f32(cx, &xs);
-            cl.h2d_f32(cy, &ys);
+            cl.upload(cx, &xs).unwrap();
+            cl.upload(cy, &ys).unwrap();
             cl.launch(
                 &ck,
                 launch,
@@ -2663,7 +2687,7 @@ mod tests {
                 ],
             )
             .unwrap();
-            assert_eq!(cl.d2h(cy), reference, "nodes={nodes}");
+            assert_eq!(cl.download::<u8>(cy).unwrap(), reference, "nodes={nodes}");
         }
     }
 
@@ -2695,14 +2719,14 @@ mod tests {
         .unwrap();
         let reference = gpu.d2h(gb);
 
-        let mut cl = CuccCluster::new(spec(4), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(4), RuntimeConfig::default());
         let cb = cl.alloc(16 * 4);
         let cd = cl.alloc(n * 4);
         let mut bytes = Vec::new();
         for v in &data {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
-        cl.h2d(cd, &bytes);
+        cl.upload(cd, &bytes).unwrap();
         let report = cl
             .launch(
                 &ck,
@@ -2712,7 +2736,7 @@ mod tests {
             .unwrap();
         assert!(matches!(report.mode, ExecMode::Replicated { .. }));
         assert_eq!(report.wire_bytes, 0);
-        assert_eq!(cl.d2h(cb), reference);
+        assert_eq!(cl.download::<u8>(cb).unwrap(), reference);
     }
 
     #[test]
@@ -2734,7 +2758,7 @@ mod tests {
         let launch = LaunchConfig::cover1(n, 256);
         let mut t1 = 0.0;
         for nodes in [1u32, 4, 16] {
-            let mut cl = CuccCluster::new(spec(nodes), RuntimeConfig::modeled());
+            let mut cl = CuccCluster::with_options(spec(nodes), RuntimeConfig::modeled());
             let out = cl.alloc(n as usize * 4);
             let report = cl
                 .launch(
@@ -2758,26 +2782,30 @@ mod tests {
     #[test]
     fn modeled_mode_does_not_touch_memory() {
         let ck = compile_source(LISTING1).unwrap();
-        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::modeled());
+        let mut cl = CuccCluster::with_options(spec(2), RuntimeConfig::modeled());
         let src = cl.alloc(1024);
         let dest = cl.alloc(1024);
-        cl.h2d(src, &[9u8; 1024]);
+        cl.upload(src, &[9u8; 1024]).unwrap();
         cl.launch(
             &ck,
             LaunchConfig::cover1(1024, 256),
             &[Arg::Buffer(src), Arg::Buffer(dest), Arg::int(1024)],
         )
         .unwrap();
-        assert_eq!(cl.d2h(dest), vec![0u8; 1024], "modeled mode leaves memory");
+        assert_eq!(
+            cl.download::<u8>(dest).unwrap(),
+            vec![0u8; 1024],
+            "modeled mode leaves memory"
+        );
     }
 
     #[test]
     fn clock_accumulates_and_resets() {
         let ck = compile_source(LISTING1).unwrap();
-        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(2), RuntimeConfig::default());
         let src = cl.alloc(512);
         let dest = cl.alloc(512);
-        cl.h2d(src, &[1u8; 512]);
+        cl.upload(src, &[1u8; 512]).unwrap();
         assert!(cl.clock() > 0.0, "h2d broadcast costs time");
         let before = cl.clock();
         cl.launch(
@@ -2812,11 +2840,11 @@ mod tests {
                 node_threads,
                 ..RuntimeConfig::default()
             };
-            let mut cl = CuccCluster::new(spec(3), cfg);
+            let mut cl = CuccCluster::with_options(spec(3), cfg);
             let cx = cl.alloc(n * 4);
             let cy = cl.alloc(n * 4);
-            cl.h2d_f32(cx, &xs);
-            cl.h2d_f32(cy, &ys);
+            cl.upload(cx, &xs).unwrap();
+            cl.upload(cy, &ys).unwrap();
             let report = cl
                 .launch(
                     &ck,
@@ -2829,7 +2857,7 @@ mod tests {
                     ],
                 )
                 .unwrap();
-            (cl.d2h_f32(cy), report)
+            (cl.download::<f32>(cy).unwrap(), report)
         };
         let (mem_tree, rep_tree) = run(EngineKind::TreeWalk, 0);
         let (mem_byte, rep_byte) = run(EngineKind::Bytecode, 0);
@@ -2853,7 +2881,7 @@ mod tests {
     #[test]
     fn empty_grid_rejected() {
         let ck = compile_source(LISTING1).unwrap();
-        let mut cl = CuccCluster::new(spec(1), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(1), RuntimeConfig::default());
         let b = cl.alloc(4);
         let err = cl.launch(
             &ck,
@@ -2870,22 +2898,22 @@ mod tests {
         let data: Vec<u8> = (0..4096).map(|i| (i % 239) as u8).collect();
         let launch = LaunchConfig::cover1(4096, 256);
 
-        let mut sync = CuccCluster::new(spec(3), RuntimeConfig::default());
+        let mut sync = CuccCluster::with_options(spec(3), RuntimeConfig::default());
         let (s_src, s_dest) = (sync.alloc(4096), sync.alloc(4096));
-        sync.h2d(s_src, &data);
+        sync.upload(s_src, &data).unwrap();
         let args = [Arg::Buffer(s_src), Arg::Buffer(s_dest), Arg::int(4096)];
         let r1 = sync.launch(&ck, launch, &args).unwrap();
         let r2 = sync.launch(&ck, launch, &args).unwrap();
-        let sync_mem = sync.d2h(s_dest);
+        let sync_mem = sync.download::<u8>(s_dest).unwrap();
 
-        let mut asy = CuccCluster::new(spec(3), RuntimeConfig::default());
+        let mut asy = CuccCluster::with_options(spec(3), RuntimeConfig::default());
         let (a_src, a_dest) = (asy.alloc(4096), asy.alloc(4096));
-        asy.h2d_async(a_src, &data, DEFAULT_STREAM);
+        asy.upload_on(a_src, &data, DEFAULT_STREAM).unwrap();
         let args = [Arg::Buffer(a_src), Arg::Buffer(a_dest), Arg::int(4096)];
         let q1 = asy.launch_on(&ck, launch, &args, DEFAULT_STREAM).unwrap();
         let q2 = asy.launch_on(&ck, launch, &args, DEFAULT_STREAM).unwrap();
         asy.synchronize().unwrap();
-        let asy_mem = asy.d2h(a_dest);
+        let asy_mem = asy.download::<u8>(a_dest).unwrap();
 
         // Per-launch durations and wire traffic are clock-independent:
         // the async default stream reproduces them bit-for-bit.
@@ -2921,18 +2949,18 @@ mod tests {
         let payload = vec![1u8; 1 << 20];
 
         let elapsed = |overlap: bool| {
-            let mut cl = CuccCluster::new(spec(4), RuntimeConfig::default());
+            let mut cl = CuccCluster::with_options(spec(4), RuntimeConfig::default());
             let out = cl.alloc(n as usize * 4);
             let other = cl.alloc(payload.len());
             let args = [Arg::Buffer(out), Arg::int(n as i64), Arg::int(400)];
             if overlap {
                 let s1 = cl.stream_create();
                 let s2 = cl.stream_create();
-                cl.h2d_async(other, &payload, s2);
+                cl.upload_on(other, &payload, s2).unwrap();
                 cl.launch_on(&ck, launch, &args, s1).unwrap();
                 cl.synchronize().unwrap()
             } else {
-                cl.h2d(other, &payload);
+                cl.upload(other, &payload).unwrap();
                 cl.launch(&ck, launch, &args).unwrap();
                 cl.clock()
             }
@@ -2954,15 +2982,15 @@ mod tests {
         let launch = LaunchConfig::cover1(8192, 256);
 
         let run = |two_streams: bool| {
-            let mut cl = CuccCluster::new(spec(3), RuntimeConfig::default());
+            let mut cl = CuccCluster::with_options(spec(3), RuntimeConfig::default());
             let src = cl.alloc(8192);
             let dest = cl.alloc(8192);
             let s1 = cl.stream_create();
             let s2 = if two_streams { cl.stream_create() } else { s1 };
-            cl.h2d_async(src, &data, s1);
+            cl.upload_on(src, &data, s1).unwrap();
             let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(8192)];
             cl.launch_on(&ck, launch, &args, s2).unwrap();
-            (cl.synchronize().unwrap(), cl.d2h(dest))
+            (cl.synchronize().unwrap(), cl.download::<u8>(dest).unwrap())
         };
         let (t_one, mem_one) = run(false);
         let (t_two, mem_two) = run(true);
@@ -2976,39 +3004,39 @@ mod tests {
         let ck = compile_source(LISTING1).unwrap();
         let data = vec![3u8; 4096];
         let launch = LaunchConfig::cover1(4096, 256);
-        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(2), RuntimeConfig::default());
         let src = cl.alloc(4096);
         let dest = cl.alloc(4096);
         let scratch = cl.alloc(64);
         let s1 = cl.stream_create();
         let s2 = cl.stream_create();
-        cl.h2d_async(src, &data, s1);
+        cl.upload_on(src, &data, s1).unwrap();
         let ready = cl.event_record(s1);
         // Unrelated tiny transfer keeps s2 formally busy first.
-        cl.h2d_async(scratch, &[1u8; 64], s2);
+        cl.upload_on(scratch, &[1u8; 64], s2).unwrap();
         cl.stream_wait_event(s2, ready);
         let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(4096)];
         cl.launch_on(&ck, launch, &args, s2).unwrap();
         cl.synchronize().unwrap();
-        assert_eq!(cl.d2h(dest), data);
+        assert_eq!(cl.download::<u8>(dest).unwrap(), data);
     }
 
     #[test]
     fn sync_ops_drain_pending_async_work() {
         let ck = compile_source(LISTING1).unwrap();
         let data = vec![9u8; 2048];
-        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(2), RuntimeConfig::default());
         let src = cl.alloc(2048);
         let dest = cl.alloc(2048);
         let s = cl.stream_create();
-        cl.h2d_async(src, &data, s);
+        cl.upload_on(src, &data, s).unwrap();
         // The synchronous launch must see the broadcast completed — both
         // functionally and on the clock.
         let before = cl.clock();
         let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(2048)];
         cl.launch(&ck, LaunchConfig::cover1(2048, 256), &args)
             .unwrap();
-        assert_eq!(cl.d2h(dest), data);
+        assert_eq!(cl.download::<u8>(dest).unwrap(), data);
         assert!(cl.clock() > before);
         assert!(cl.timeline().lanes_horizon() <= cl.clock());
     }
@@ -3017,10 +3045,10 @@ mod tests {
     fn single_node_is_cupbop_baseline() {
         // One node ⇒ no communication at all, but still the partial phase.
         let ck = compile_source(LISTING1).unwrap();
-        let mut cl = CuccCluster::new(spec(1), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(1), RuntimeConfig::default());
         let src = cl.alloc(2048);
         let dest = cl.alloc(2048);
-        cl.h2d(src, &[3u8; 2048]);
+        cl.upload(src, &[3u8; 2048]).unwrap();
         let r = cl
             .launch(
                 &ck,
@@ -3030,7 +3058,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.times.allgather, 0.0);
         assert_eq!(r.wire_bytes, 0);
-        assert_eq!(cl.d2h(dest), vec![3u8; 2048]);
+        assert_eq!(cl.download::<u8>(dest).unwrap(), vec![3u8; 2048]);
     }
 
     /// Run one copy launch of `bytes` bytes on `nodes` nodes under `faults`
@@ -3043,14 +3071,14 @@ mod tests {
         faults: FaultPlan,
     ) -> (Result<LaunchReport, MigrateError>, Vec<u8>, CuccCluster) {
         let cfg = RuntimeConfig::builder().faults(faults).build();
-        let mut cl = CuccCluster::new(spec(nodes), cfg);
+        let mut cl = CuccCluster::with_options(spec(nodes), cfg);
         let src = cl.alloc(bytes);
         let dest = cl.alloc(bytes);
-        cl.h2d(src, data);
+        cl.upload(src, data).unwrap();
         let args = [Arg::Buffer(src), Arg::Buffer(dest), Arg::int(bytes as i64)];
         let report = cl.launch(ck, LaunchConfig::cover1(bytes as u64, 256), &args);
         let mem = if report.is_ok() {
-            cl.d2h(dest)
+            cl.download::<u8>(dest).unwrap()
         } else {
             Vec::new()
         };
@@ -3217,7 +3245,7 @@ mod tests {
 
     #[test]
     fn transfer_validation_is_typed() {
-        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let mut cl = CuccCluster::with_options(spec(2), RuntimeConfig::default());
         let buf = cl.alloc(8);
         // Wrong payload size.
         assert!(matches!(
@@ -3239,5 +3267,22 @@ mod tests {
         cl.upload(buf, &[1.5f32, -2.0]).unwrap();
         assert_eq!(cl.download::<f32>(buf).unwrap(), vec![1.5, -2.0]);
         assert_eq!(cl.download::<u8>(buf).unwrap().len(), 8);
+    }
+
+    /// The deprecated untyped shims stay behaviorally intact until they
+    /// are removed: same bytes, panicking contract preserved.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_transfer_shims_still_work() {
+        let mut cl = CuccCluster::new(spec(2), RuntimeConfig::default());
+        let buf = cl.alloc(8);
+        cl.h2d(buf, &[7u8; 8]);
+        assert_eq!(cl.d2h(buf), vec![7u8; 8]);
+        cl.h2d_f32(buf, &[1.0, 2.0]);
+        assert_eq!(cl.d2h_f32(buf), vec![1.0, 2.0]);
+        let s = cl.stream_create();
+        cl.h2d_async(buf, &[9u8; 8], s);
+        cl.synchronize().unwrap();
+        assert_eq!(cl.d2h_async(buf, s), vec![9u8; 8]);
     }
 }

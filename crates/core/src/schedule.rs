@@ -273,6 +273,56 @@ impl ScheduleCache {
     pub fn last_invalidation(&self) -> Option<&str> {
         self.last_invalidation.as_deref()
     }
+
+    /// Counter snapshot: one value the CLI, serving stats and benches can
+    /// carry around (and diff) instead of reading four counters under a
+    /// `--graph`-only code path.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`ScheduleCache`] counters. Snapshots
+/// subtract ([`CacheStats::since`]) so a caller can attribute hits and
+/// misses to one window of work — one tenant's launches, one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed (and planned fresh).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Entries dropped by wholesale invalidation.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Counter deltas since an earlier snapshot (`entries` stays absolute:
+    /// it is a level, not a counter).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// `hits / (hits + misses)`, or 0 when the window had no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Map the kernel's read/written global-buffer parameter sets onto the
@@ -507,13 +557,13 @@ mod tests {
             }",
         )
         .unwrap();
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(3),
             RuntimeConfig::default(),
         );
         let src = cl.alloc(4096);
         let dst = cl.alloc(4096);
-        cl.h2d(src, &[7u8; 4096]);
+        cl.upload(src, &[7u8; 4096]).unwrap();
         let launch = LaunchConfig::cover1(4096, 256);
         let args = [Arg::Buffer(src), Arg::Buffer(dst), Arg::int(4096)];
         let schedule = cl.plan(&ck, launch, &args).unwrap();

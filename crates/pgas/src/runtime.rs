@@ -441,7 +441,7 @@ mod tests {
             )
             .unwrap();
 
-        let mut cc = CuccCluster::new(spec(4), RuntimeConfig::modeled());
+        let mut cc = CuccCluster::with_options(spec(4), RuntimeConfig::modeled());
         let cs = cc.alloc(n);
         let cd = cc.alloc(n);
         let cr = cc
@@ -481,7 +481,7 @@ mod tests {
         let po = pg.alloc(blocks as usize * 4);
         let pr = pg.launch(&ck, launch, &args_of(po)).unwrap();
 
-        let mut cc = CuccCluster::new(spec(4), RuntimeConfig::modeled());
+        let mut cc = CuccCluster::with_options(spec(4), RuntimeConfig::modeled());
         let co = cc.alloc(blocks as usize * 4);
         let cr = cc.launch(&ck, launch, &args_of(co)).unwrap();
 

@@ -6,29 +6,14 @@
 //! walltime estimate) so the Figure-1 experiment can also quantify how much
 //! of the GPU-partition waiting is fundamental saturation rather than
 //! head-of-line blocking.
+//!
+//! The resource mechanics (running-job heap, head reservation, shadow
+//! bookkeeping) live in [`crate::placement::PlacementEngine`] so the CuCC
+//! serving layer can reuse them incrementally; this module keeps the
+//! trace-replay event loop and the FIFO queue policy.
 
+use crate::placement::PlacementEngine;
 use crate::sim::{Job, JobOutcome, Partition};
-use std::collections::BinaryHeap;
-
-/// One running job: completion event in a min-heap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Running {
-    end: f64,
-    nodes: u32,
-}
-
-impl Eq for Running {}
-impl Ord for Running {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest end first.
-        other.end.partial_cmp(&self.end).unwrap()
-    }
-}
-impl PartialOrd for Running {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Simulate EASY backfill: the queue head gets a reservation at the
 /// earliest time enough nodes free up; any later job may start immediately
@@ -48,34 +33,24 @@ pub fn simulate_backfill(partition: &Partition, jobs: &[Job]) -> Vec<JobOutcome>
     let n = jobs.len();
     let mut outcome: Vec<Option<JobOutcome>> = vec![None; n];
     let mut queue: Vec<usize> = Vec::new(); // waiting job indices, FIFO order
-    let mut running: BinaryHeap<Running> = BinaryHeap::new();
-    let mut free = partition.nodes;
+    let mut engine = PlacementEngine::new(partition.nodes);
     let mut next_arrival = 0usize;
     let mut clock = 0.0f64;
 
-    let start_job = |idx: usize,
-                     clock: f64,
-                     free: &mut u32,
-                     running: &mut BinaryHeap<Running>,
-                     outcome: &mut Vec<Option<JobOutcome>>,
-                     jobs: &[Job]| {
-        let j = jobs[idx];
-        *free -= j.nodes;
-        running.push(Running {
-            end: clock + j.runtime,
-            nodes: j.nodes,
-        });
-        outcome[idx] = Some(JobOutcome {
-            start: clock,
-            wait: clock - j.arrival,
-            end: clock + j.runtime,
-        });
-    };
+    let start_job =
+        |idx: usize, clock: f64, outcome: &mut Vec<Option<JobOutcome>>, jobs: &[Job]| {
+            let j = jobs[idx];
+            outcome[idx] = Some(JobOutcome {
+                start: clock,
+                wait: clock - j.arrival,
+                end: clock + j.runtime,
+            });
+        };
 
-    while next_arrival < n || !queue.is_empty() || !running.is_empty() {
+    while next_arrival < n || !queue.is_empty() || engine.running_jobs() > 0 {
         // Advance the clock to the next event (arrival or completion).
         let t_arr = jobs.get(next_arrival).map(|j| j.arrival);
-        let t_end = running.peek().map(|r| r.end);
+        let t_end = engine.next_completion();
         clock = match (t_arr, t_end) {
             (Some(a), Some(e)) => a.min(e).max(clock),
             (Some(a), None) => a.max(clock),
@@ -83,9 +58,7 @@ pub fn simulate_backfill(partition: &Partition, jobs: &[Job]) -> Vec<JobOutcome>
             (None, None) => break,
         };
         // Process completions at `clock`.
-        while running.peek().map(|r| r.end <= clock).unwrap_or(false) {
-            free += running.pop().unwrap().nodes;
-        }
+        engine.release_until(clock);
         // Process arrivals at `clock`.
         while next_arrival < n && jobs[next_arrival].arrival <= clock {
             queue.push(next_arrival);
@@ -93,54 +66,25 @@ pub fn simulate_backfill(partition: &Partition, jobs: &[Job]) -> Vec<JobOutcome>
         }
         // Schedule: head starts if it fits.
         while let Some(&head) = queue.first() {
-            if jobs[head].nodes <= free {
+            if engine.try_start(clock, jobs[head].nodes, jobs[head].runtime) {
                 queue.remove(0);
-                start_job(head, clock, &mut free, &mut running, &mut outcome, jobs);
+                start_job(head, clock, &mut outcome, jobs);
             } else {
                 break;
             }
         }
-        // Backfill behind a blocked head.
+        // Backfill behind a blocked head: the engine computes the head's
+        // reservation and admits later queued jobs only when they cannot
+        // delay it.
         if let Some(&head) = queue.first() {
-            // Head's reservation: earliest time `head.nodes` become free,
-            // assuming running jobs release in end order.
-            let mut avail = free;
-            let mut sim: Vec<Running> = running.clone().into_sorted_vec();
-            // into_sorted_vec gives descending by Ord (reversed) → earliest
-            // end LAST; iterate reversed.
-            sim.reverse();
-            let mut shadow_time = clock;
-            let mut shadow_free_at_res = 0u32;
-            for r in &sim {
-                if avail >= jobs[head].nodes {
-                    break;
-                }
-                avail += r.nodes;
-                shadow_time = r.end;
-            }
-            if avail >= jobs[head].nodes {
-                shadow_free_at_res = avail - jobs[head].nodes;
-            }
-            let reservation = shadow_time;
-            // Try to start later queued jobs without disturbing the
-            // reservation.
+            let mut res = engine.reserve(clock, jobs[head].nodes);
             let mut qi = 1;
             while qi < queue.len() {
                 let idx = queue[qi];
                 let j = jobs[idx];
-                let fits_now = j.nodes <= free;
-                let finishes_before = clock + j.runtime <= reservation;
-                let fits_shadow = j.nodes <= shadow_free_at_res;
-                if fits_now && (finishes_before || fits_shadow) {
+                if engine.try_backfill(clock, j.nodes, j.runtime, &mut res) {
                     queue.remove(qi);
-                    start_job(idx, clock, &mut free, &mut running, &mut outcome, jobs);
-                    if !finishes_before {
-                        // The job runs past the reservation: it consumes
-                        // part of the head's post-start slack, so shrink the
-                        // shadow to keep later backfills from delaying the
-                        // head.
-                        shadow_free_at_res -= j.nodes;
-                    }
+                    start_job(idx, clock, &mut outcome, jobs);
                 } else {
                     qi += 1;
                 }
@@ -148,9 +92,11 @@ pub fn simulate_backfill(partition: &Partition, jobs: &[Job]) -> Vec<JobOutcome>
         }
         // If nothing is running and the queue head still doesn't fit, we
         // would loop forever — impossible since head.nodes ≤ partition.
-        if running.is_empty() && !queue.is_empty() {
+        if engine.running_jobs() == 0 && !queue.is_empty() {
             let head = queue.remove(0);
-            start_job(head, clock, &mut free, &mut running, &mut outcome, jobs);
+            let started = engine.try_start(clock, jobs[head].nodes, jobs[head].runtime);
+            debug_assert!(started, "an idle partition fits any legal job");
+            start_job(head, clock, &mut outcome, jobs);
         }
     }
     outcome

@@ -14,11 +14,13 @@
 //!   GPUs. [`throughput`] implements that arithmetic.
 
 pub mod backfill;
+pub mod placement;
 pub mod sim;
 pub mod throughput;
 pub mod trace;
 
 pub use backfill::simulate_backfill;
+pub use placement::{PlacementEngine, Reservation};
 pub use sim::{simulate_fifo, Job, JobOutcome, Partition, PartitionKind};
 pub use throughput::Datacenter;
 pub use trace::{synthetic_week, TraceParams};

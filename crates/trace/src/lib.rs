@@ -45,15 +45,28 @@ pub enum Track {
     Network,
     /// The host driving the cluster (launches, H2D/D2H staging).
     Host,
+    /// The serving front-end's job queue: one span per job from arrival to
+    /// the moment placement dequeues it.
+    Queue,
+    /// Serving admission control: accept/reject decisions at arrival time.
+    Admit,
+    /// Serving placement: the window each placed job occupies its node
+    /// allocation on the simulated cluster.
+    Place,
 }
 
 impl Track {
-    /// Stable "thread id" used by the Chrome export.
+    /// Stable "thread id" used by the Chrome export. Serving tracks sit
+    /// above every possible `Node(i)` id (`2 + u32::MAX`), so node lanes
+    /// can never collide with them.
     fn tid(self) -> u64 {
         match self {
             Track::Node(i) => 2 + i as u64,
             Track::Network => 0,
             Track::Host => 1,
+            Track::Queue => 3 + u32::MAX as u64,
+            Track::Admit => 4 + u32::MAX as u64,
+            Track::Place => 5 + u32::MAX as u64,
         }
     }
 
@@ -62,6 +75,9 @@ impl Track {
             Track::Node(i) => format!("node {i}"),
             Track::Network => "network".to_string(),
             Track::Host => "host".to_string(),
+            Track::Queue => "serve: queue".to_string(),
+            Track::Admit => "serve: admit".to_string(),
+            Track::Place => "serve: place".to_string(),
         }
     }
 }
@@ -91,11 +107,17 @@ pub enum Category {
     /// Recovery re-execution: blocks a survivor re-runs after a node death
     /// re-partitions the dead node's slice.
     Reexec,
+    /// Serving: time a job spends waiting in the front-end queue.
+    Queue,
+    /// Serving: an admission-control decision (accept or typed rejection).
+    Admit,
+    /// Serving: a placed job's residency on its node allocation.
+    Place,
 }
 
 impl Category {
     /// All categories, in summary-table order.
-    pub const ALL: [Category; 10] = [
+    pub const ALL: [Category; 13] = [
         Category::Partial,
         Category::Allgather,
         Category::Callback,
@@ -106,6 +128,9 @@ impl Category {
         Category::D2h,
         Category::Retry,
         Category::Reexec,
+        Category::Queue,
+        Category::Admit,
+        Category::Place,
     ];
 
     /// Short lower-case label, also used as the Chrome `cat` field.
@@ -121,6 +146,9 @@ impl Category {
             Category::D2h => "d2h",
             Category::Retry => "retry",
             Category::Reexec => "reexec",
+            Category::Queue => "queue",
+            Category::Admit => "admit",
+            Category::Place => "place",
         }
     }
 
@@ -788,6 +816,40 @@ mod tests {
             .filter_map(|e| e.get("args")?.get(WIRE_BYTES)?.as_f64())
             .fold(0.0, f64::max);
         assert_eq!(last_total as u64, tl.wire_bytes());
+    }
+
+    #[test]
+    fn serving_tracks_are_distinct_lanes() {
+        // Serving track ids can never collide with a node lane, even at
+        // the extreme node id.
+        let tids: Vec<u64> = [
+            Track::Node(u32::MAX),
+            Track::Queue,
+            Track::Admit,
+            Track::Place,
+        ]
+        .iter()
+        .map(|t| t.tid())
+        .collect();
+        let mut uniq = tids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), tids.len());
+
+        let mut tl = Timeline::new();
+        tl.span("job 0 wait", Track::Queue, Category::Queue, 0.0, 1.0);
+        tl.span("job 0 admit", Track::Admit, Category::Admit, 0.0, 0.0);
+        tl.span("job 0 run", Track::Place, Category::Place, 1.0, 2.0);
+        assert_eq!(tl.time_in(Category::Queue), 1.0);
+        assert_eq!(tl.time_in(Category::Place), 2.0);
+        // Serving overhead is neither comm nor compute in the split.
+        assert!(!Category::Queue.is_comm() && !Category::Queue.is_compute());
+        assert!(!Category::Place.is_comm() && !Category::Place.is_compute());
+        assert_eq!(tl.tracks(), vec![Track::Queue, Track::Admit, Track::Place]);
+        let s = tl.summary();
+        assert!(s.contains("queue") && s.contains("place"));
+        // The Chrome export names the serving lanes.
+        assert!(tl.to_chrome_json().contains("serve: queue"));
     }
 
     #[test]

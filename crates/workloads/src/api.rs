@@ -32,10 +32,10 @@ impl DeviceApi for cucc_core::CuccCluster {
         self.alloc(bytes)
     }
     fn h2d_dev(&mut self, buf: BufferId, data: &[u8]) {
-        self.h2d(buf, data);
+        self.upload(buf, data).expect("device upload");
     }
     fn d2h_dev(&mut self, buf: BufferId) -> Vec<u8> {
-        self.d2h(buf)
+        self.download::<u8>(buf).expect("device download")
     }
 }
 

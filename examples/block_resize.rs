@@ -65,7 +65,7 @@ fn main() {
         let (k, launch) = split_blocks(&kernel, base_launch, factor).expect("split");
         let ck = compile(k).expect("compile");
         assert!(ck.is_distributable());
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(32),
             RuntimeConfig::default(),
         );
@@ -74,7 +74,7 @@ fn main() {
             .launch(&ck, launch, &[Arg::Buffer(h), Arg::int(iters), Arg::int(1)])
             .expect("launch");
         assert_eq!(
-            cl.d2h(h),
+            cl.download::<u8>(h).unwrap(),
             reference,
             "split execution must be bit-identical"
         );

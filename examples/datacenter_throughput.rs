@@ -42,7 +42,7 @@ fn main() {
         // Best CPU cluster size (Thread-Focused class, like Lonestar6).
         let mut best: Option<(u32, f64)> = None;
         for nodes in [1u32, 2, 4, 8] {
-            let mut cl = CuccCluster::new(
+            let mut cl = CuccCluster::with_options(
                 ClusterSpec::thread_focused().with_nodes(nodes),
                 RuntimeConfig::modeled(),
             );

@@ -69,18 +69,18 @@ fn main() {
     }
     let mut centers: Vec<f32> = (0..k * f).map(|_| rng.gen_range(0.0..10.0)).collect();
 
-    let mut cluster = CuccCluster::new(
+    let mut cluster = CuccCluster::with_options(
         ClusterSpec::thread_focused().with_nodes(4),
         RuntimeConfig::default(),
     );
     let pbuf = cluster.alloc(points.len() * 4);
     let cbuf = cluster.alloc(centers.len() * 4);
     let mbuf = cluster.alloc(n * 4);
-    cluster.h2d_f32(pbuf, &points);
+    cluster.upload(pbuf, &points).unwrap();
 
     println!("\nrunning Lloyd iterations on a 4-node Thread-Focused cluster:");
     for iter in 0..8 {
-        cluster.h2d_f32(cbuf, &centers);
+        cluster.upload(cbuf, &centers).unwrap();
         let report = cluster
             .launch(
                 &ck,
@@ -110,7 +110,8 @@ fn main() {
         assert!(cluster.sim().fully_consistent(), "nodes diverged");
         // Host-side centroid update from the gathered memberships.
         let membership: Vec<i32> = cluster
-            .d2h(mbuf)
+            .download::<u8>(mbuf)
+            .unwrap()
             .chunks_exact(4)
             .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
             .collect();

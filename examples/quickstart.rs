@@ -60,14 +60,14 @@ fn main() {
     // 3. Execute on a simulated 2-node cluster (Figure 5: N = 1200, five
     //    256-thread blocks).
     let n = 1200usize;
-    let mut cluster = CuccCluster::new(
+    let mut cluster = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(2),
         RuntimeConfig::default(),
     );
     let src = cluster.alloc(n);
     let dest = cluster.alloc(n);
     let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
-    cluster.h2d(src, &data);
+    cluster.upload(src, &data).unwrap();
 
     let report = cluster
         .launch(
@@ -103,7 +103,11 @@ fn main() {
     );
 
     // 4. Verify.
-    assert_eq!(cluster.d2h(dest), data, "copy must be exact");
+    assert_eq!(
+        cluster.download::<u8>(dest).unwrap(),
+        data,
+        "copy must be exact"
+    );
     assert!(cluster.sim().fully_consistent());
     println!("\nresult verified: dest == src on every node ✓");
 

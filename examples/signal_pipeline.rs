@@ -71,15 +71,15 @@ fn main() {
     );
     let mut t1 = 0.0;
     for nodes in [1u32, 2, 4, 8, 16, 32] {
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(nodes),
             RuntimeConfig::default(),
         );
         let cin = cl.alloc(signal.len() * 4);
         let cco = cl.alloc(coef.len() * 4);
         let cout = cl.alloc(n * 4);
-        cl.h2d_f32(cin, &signal);
-        cl.h2d_f32(cco, &coef);
+        cl.upload(cin, &signal).unwrap();
+        cl.upload(cco, &coef).unwrap();
         let report = cl
             .launch(
                 &ck,
@@ -94,7 +94,7 @@ fn main() {
             )
             .expect("cluster launch");
         assert_eq!(
-            cl.d2h(cout),
+            cl.download::<u8>(cout).unwrap(),
             reference,
             "distributed FIR must match the GPU"
         );
@@ -120,13 +120,13 @@ fn main() {
     let chunk_n = n / chunks;
     let chunk_launch = LaunchConfig::cover1(chunk_n as u64, 256);
     let pipeline = |nstreams: usize| -> (f64, Vec<Vec<u8>>) {
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(8),
             RuntimeConfig::default(),
         );
         let streams: Vec<_> = (0..nstreams).map(|_| cl.stream_create()).collect();
         let cco = cl.alloc(coef.len() * 4);
-        cl.h2d_f32(cco, &coef);
+        cl.upload(cco, &coef).unwrap();
         let mut outs = Vec::new();
         for c in 0..chunks {
             // Overlapping windows so every chunk has its `taps` lookahead.
@@ -143,14 +143,14 @@ fn main() {
             ];
             match streams.get(c % nstreams.max(1)) {
                 Some(&s) => {
-                    cl.h2d_async(cin, &bytes, s);
+                    cl.upload_on(cin, &bytes, s).unwrap();
                     cl.launch_on(&ck, chunk_launch, &args, s).expect("launch");
-                    outs.push(cl.d2h_async(cout, s));
+                    outs.push(cl.download_on::<u8>(cout, s).unwrap());
                 }
                 None => {
-                    cl.h2d(cin, &bytes);
+                    cl.upload(cin, &bytes).unwrap();
                     cl.launch(&ck, chunk_launch, &args).expect("launch");
-                    outs.push(cl.d2h(cout));
+                    outs.push(cl.download::<u8>(cout).unwrap());
                 }
             }
         }

@@ -4,6 +4,7 @@
 //! cucc analyze  <kernel.cu>                     # compiler analysis report
 //! cucc codegen  <kernel.cu>                     # Figure-6 CPU modules
 //! cucc run      <kernel.cu> [options]           # migrate & execute
+//! cucc serve    [options]                       # multi-tenant serving front-end
 //! cucc check    <kernel.cu|file.rs>             # static race/bounds/barrier verifier
 //! cucc check    --builtin                       # verify every built-in suite kernel
 //! cucc lint     <kernel.cu|file.rs>             # range-analysis lints (dead stores, …)
@@ -51,6 +52,18 @@
 //!                            uploads; buffer args bind to the restored
 //!                            allocations in order (GPU byte-comparison is
 //!                            skipped — the state is mid-job)
+//!
+//! serve options:
+//!   --synthetic jobs=N,tenants=M
+//!                            synthetic arrival stream shape (default 200, 8)
+//!   --policy fifo|fair       queue discipline          (default fair)
+//!   --queue-depth N          per-tenant admission limit (default 0 = unbounded)
+//!   --nodes N                cluster size              (default 8)
+//!   --cluster simd|thread    target cluster class      (default simd)
+//!   --gap-us USEC            mean interarrival gap     (default 200)
+//!   --seed S                 stream RNG seed           (default 42)
+//!   --modeled / --engine / --node-threads / --fault / --trace
+//!                            as for `run`
 //! ```
 //!
 //! `run` executes the kernel on the simulated GPU (reference) and on the
@@ -60,7 +73,10 @@
 use cucc::analysis::Verdict;
 use cucc::cluster::ClusterSpec;
 use cucc::core::codegen::{generate_host_module, generate_kernel_module};
-use cucc::core::{compile_source, CuccCluster, EngineKind, ExecMode, FaultPlan, RuntimeConfig};
+use cucc::core::{
+    compile_source, synthetic_stream, CuccCluster, EngineKind, ExecMode, JobServer, RunOptions,
+    ServeConfig, ServePolicy,
+};
 use cucc::exec::Arg;
 use cucc::gpu_model::{GpuDevice, GpuSpec};
 use cucc::ir::{Dim3, LaunchConfig};
@@ -100,6 +116,10 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let opts = RunOpts::parse(&args[2..])?;
             cmd_run(&src, &opts)
         }
+        Some("serve") => {
+            let opts = ServeOpts::parse(&args[1..])?;
+            cmd_serve(&opts)
+        }
         Some("check") => cmd_check(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("coverage") => Ok(cmd_coverage()),
@@ -109,11 +129,13 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: cucc <analyze|codegen|run|check|lint|coverage> [args]\n\
+    "usage: cucc <analyze|codegen|run|serve|check|lint|coverage> [args]\n\
      \n\
      analyze  <kernel.cu>         run the Allgather-distributable & SIMD analyses\n\
      codegen  <kernel.cu>         print the generated CPU host/kernel modules\n\
      run      <kernel.cu> [opts]  migrate and execute on a simulated cluster\n\
+     serve    [opts]              drive a multi-tenant synthetic job stream through\n\
+                                  the admission-controlled serving front-end\n\
      check    <kernel.cu|.rs>     static race / bounds / barrier-divergence verifier\n\
      check    --builtin           verify all built-in suite kernels at real launches\n\
      lint     <kernel.cu|.rs>     range-analysis lints: dead stores, redundant\n\
@@ -576,6 +598,30 @@ impl RunOpts {
         }
         Ok(o)
     }
+
+    /// Fold every runtime and session flag into the one typed value the
+    /// cluster consumes.
+    fn to_run_options(&self) -> Result<RunOptions, String> {
+        let mut b = RunOptions::builder()
+            .engine(self.engine)
+            .node_threads(self.node_threads)
+            .sanitize(self.sanitize)
+            .streams(self.streams)
+            .graph_iters(self.graph);
+        for spec in &self.faults {
+            b = b.fault(spec)?;
+        }
+        if self.modeled {
+            b = b.modeled();
+        }
+        if let Some(path) = &self.checkpoint {
+            b = b.checkpoint_to(path);
+        }
+        if let Some(path) = &self.restore {
+            b = b.restore_from(path);
+        }
+        Ok(b.build())
+    }
 }
 
 fn parse_arg(spec: &str) -> Result<CliArg, String> {
@@ -629,6 +675,191 @@ fn cli_buffer_bytes(a: &CliArg, rng: &mut StdRng) -> Option<Vec<u8>> {
         }
         _ => None,
     }
+}
+
+// ------------------------------------------------------------------ serve --
+
+struct ServeOpts {
+    cluster: String,
+    nodes: u32,
+    jobs: usize,
+    tenants: u32,
+    policy: ServePolicy,
+    queue_depth: usize,
+    seed: u64,
+    gap_us: f64,
+    modeled: bool,
+    engine: EngineKind,
+    node_threads: usize,
+    faults: Vec<String>,
+    trace: Option<String>,
+}
+
+impl ServeOpts {
+    fn parse(args: &[String]) -> Result<ServeOpts, String> {
+        let mut o = ServeOpts {
+            cluster: "simd".into(),
+            nodes: 8,
+            jobs: 200,
+            tenants: 8,
+            policy: ServePolicy::Fair,
+            queue_depth: 0,
+            seed: 42,
+            gap_us: 200.0,
+            modeled: false,
+            engine: EngineKind::default(),
+            node_threads: 0,
+            faults: Vec::new(),
+            trace: None,
+        };
+        let mut i = 0;
+        let need = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("missing value after `{}`", args[*i - 1]))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--synthetic" => {
+                    for part in need(&mut i)?.split(',') {
+                        if let Some(v) = part.strip_prefix("jobs=") {
+                            o.jobs = v.parse().map_err(|e| format!("--synthetic jobs: {e}"))?;
+                        } else if let Some(v) = part.strip_prefix("tenants=") {
+                            o.tenants =
+                                v.parse().map_err(|e| format!("--synthetic tenants: {e}"))?;
+                        } else {
+                            return Err(format!(
+                                "bad --synthetic part `{part}` (use jobs=N,tenants=M)"
+                            ));
+                        }
+                    }
+                }
+                "--policy" => {
+                    let v = need(&mut i)?;
+                    o.policy = ServePolicy::parse(v)
+                        .ok_or_else(|| format!("--policy: unknown policy `{v}` (fifo|fair)"))?;
+                }
+                "--queue-depth" => {
+                    o.queue_depth = need(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--queue-depth: {e}"))?;
+                }
+                "--cluster" => o.cluster = need(&mut i)?.clone(),
+                "--nodes" => {
+                    o.nodes = need(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?
+                }
+                "--seed" => o.seed = need(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--gap-us" => {
+                    o.gap_us = need(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--gap-us: {e}"))?;
+                }
+                "--modeled" => o.modeled = true,
+                "--engine" => {
+                    let v = need(&mut i)?;
+                    o.engine = EngineKind::parse(v).ok_or_else(|| {
+                        format!("--engine: unknown engine `{v}` (tree|bytecode|simd)")
+                    })?;
+                }
+                "--node-threads" => {
+                    o.node_threads = need(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--node-threads: {e}"))?;
+                }
+                "--fault" => o.faults.push(need(&mut i)?.clone()),
+                "--trace" => o.trace = Some(need(&mut i)?.clone()),
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            i += 1;
+        }
+        if o.jobs == 0 || o.tenants == 0 {
+            return Err("--synthetic needs jobs >= 1 and tenants >= 1".into());
+        }
+        Ok(o)
+    }
+
+    fn to_run_options(&self) -> Result<RunOptions, String> {
+        let mut b = RunOptions::builder()
+            .engine(self.engine)
+            .node_threads(self.node_threads);
+        for spec in &self.faults {
+            b = b.fault(spec)?;
+        }
+        if self.modeled {
+            b = b.modeled();
+        }
+        Ok(b.build())
+    }
+}
+
+fn cmd_serve(opts: &ServeOpts) -> Result<String, String> {
+    let spec = match opts.cluster.as_str() {
+        "simd" => ClusterSpec::simd_focused().with_nodes(opts.nodes),
+        "thread" => ClusterSpec::thread_focused().with_nodes(opts.nodes),
+        other => return Err(format!("unknown cluster `{other}` (simd|thread)")),
+    };
+    let config = ServeConfig {
+        policy: opts.policy,
+        queue_depth: opts.queue_depth,
+        options: opts.to_run_options()?,
+    };
+    let mut srv = JobServer::new(spec.clone(), config).map_err(|e| e.to_string())?;
+    let stream = synthetic_stream(opts.jobs, opts.tenants, opts.seed, opts.gap_us * 1e-6);
+    let report = srv.run(&stream).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "serving {} job(s) from {} tenant(s) on {} × {} (policy {}, queue depth {})\n",
+        opts.jobs,
+        opts.tenants,
+        opts.nodes,
+        spec.cpu.name,
+        opts.policy.label(),
+        if opts.queue_depth == 0 {
+            "unbounded".to_string()
+        } else {
+            opts.queue_depth.to_string()
+        },
+    );
+    out += &format!("  {}\n", report.summary_line());
+    for c in &report.per_class {
+        out += &format!(
+            "  class {:<11}: {:4} job(s)  queue p50 {:.3} ms p99 {:.3} ms  total p50 {:.3} ms p99 {:.3} ms\n",
+            c.class.label(),
+            c.jobs,
+            c.p50_queue * 1e3,
+            c.p99_queue * 1e3,
+            c.p50_total * 1e3,
+            c.p99_total * 1e3,
+        );
+    }
+    for t in &report.per_tenant {
+        out += &format!(
+            "  tenant {:2}: {:4} admitted, {:3} rejected, {:4} completed, \
+             cache hit rate {:.1}% ({} hit / {} miss)\n",
+            t.tenant,
+            t.admitted,
+            t.rejected,
+            t.completed,
+            t.cache_hit_rate() * 100.0,
+            t.cache_hits,
+            t.cache_misses,
+        );
+    }
+    if report.node_failures > 0 {
+        out += &format!(
+            "  faults: {} node failure(s) absorbed mid-stream\n",
+            report.node_failures
+        );
+    }
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, srv.timeline().to_chrome_json())
+            .map_err(|e| format!("{path}: {e}"))?;
+        out += &format!(
+            "  trace: {} span(s) written to {path} (load in https://ui.perfetto.dev)\n",
+            srv.timeline().spans().len()
+        );
+    }
+    Ok(out)
 }
 
 fn fnv1a(data: &[u8]) -> u64 {
@@ -721,25 +952,13 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
     };
     out += &format!("  A100 (roofline reference): {:.3} ms\n", gpu_time * 1e3);
 
-    // CuCC cluster.
-    let mut faults = FaultPlan::none();
-    for spec in &opts.faults {
-        faults = faults.with_spec(spec)?;
-    }
-    let mut builder = RuntimeConfig::builder()
-        .engine(opts.engine)
-        .node_threads(opts.node_threads)
-        .sanitize(opts.sanitize)
-        .faults(faults);
-    if opts.modeled {
-        builder = builder.modeled();
-    }
-    let cfg = builder.build();
+    // CuCC cluster: every flag lands in one typed RunOptions.
+    let options = opts.to_run_options()?;
     let mut cl_handles = Vec::new();
     let (mut cl, cargs) = if let Some(path) = &opts.restore {
         // Resume mid-job: buffers already live in the image, in the same
         // allocation order the fresh run would have created them.
-        let cl = CuccCluster::restore_from(spec.clone(), cfg.clone(), path)
+        let cl = CuccCluster::restore_from(spec.clone(), options.clone(), path)
             .map_err(|e| e.to_string())?;
         out += &format!(
             "  restore: resumed from {path} (epoch {}, {}/{} node(s) alive, clock {:.3} ms)\n",
@@ -767,10 +986,10 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             .collect();
         (cl, cargs)
     } else {
-        let mut cl = CuccCluster::new(spec.clone(), cfg.clone());
+        let mut cl = CuccCluster::with_options(spec.clone(), options.clone());
         let cargs = bind(&mut |bytes| {
             let id = cl.alloc(bytes.len());
-            cl.h2d(id, bytes);
+            cl.upload(id, bytes).unwrap();
             cl_handles.push(id);
             Arg::Buffer(id)
         });
@@ -850,7 +1069,7 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         // reference does not apply there.
         for (i, (g, c)) in gpu_handles.iter().zip(&cl_handles).enumerate() {
             let gb = gpu.d2h(*g);
-            let cb = cl.d2h(*c);
+            let cb = cl.download::<u8>(*c).unwrap();
             if gb != cb {
                 return Err(format!("buffer {i} diverges from the GPU reference"));
             }
@@ -921,14 +1140,14 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         );
     }
 
-    if opts.streams > 0 {
+    if options.streams > 0 {
         // Replay the kernel as a pipeline of independent replicas — fresh
         // buffers, async h2d + launch per replica, round-robin over the
         // streams — and compare the simulated elapsed time against the
         // same pipeline on the default stream.
-        let replicas = opts.streams * 3;
+        let replicas = options.streams * 3;
         let run_pipe = |nstreams: usize| -> Result<f64, String> {
-            let mut cl = CuccCluster::new(spec.clone(), cfg.clone());
+            let mut cl = CuccCluster::with_options(spec.clone(), options.clone());
             let streams: Vec<_> = (0..nstreams).map(|_| cl.stream_create()).collect();
             for r in 0..replicas {
                 let cargs: Vec<Arg> = opts
@@ -941,9 +1160,9 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
                         (_, Some(bytes)) => {
                             let id = cl.alloc(bytes.len());
                             if let Some(s) = streams.get(r % nstreams.max(1)) {
-                                cl.h2d_async(id, bytes, *s);
+                                cl.upload_on(id, bytes, *s).unwrap();
                             } else {
-                                cl.h2d(id, bytes);
+                                cl.upload(id, bytes).unwrap();
                             }
                             Arg::Buffer(id)
                         }
@@ -960,10 +1179,10 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             cl.synchronize().map_err(|e| e.to_string())
         };
         let serial = run_pipe(0)?;
-        let overlapped = run_pipe(opts.streams)?;
+        let overlapped = run_pipe(options.streams)?;
         out += &format!(
             "  streams: {}-way pipeline, {} replicas: serial {:.3} ms → overlapped {:.3} ms ({:.2}x)\n",
-            opts.streams,
+            options.streams,
             replicas,
             serial * 1e3,
             overlapped * 1e3,
@@ -971,12 +1190,12 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         );
     }
 
-    if opts.graph > 0 {
+    if options.graph_iters > 0 {
         // Capture the workload's sequence (buffer uploads + the launch)
         // into a launch graph, replay it N times, and report what the
         // schedule cache and the communication optimizer saved.
         use cucc::core::{GraphCapture, ReplayStats};
-        let mut gcl = CuccCluster::new(spec.clone(), cfg.clone());
+        let mut gcl = CuccCluster::with_options(spec.clone(), options.clone());
         let mut graph_handles = Vec::new();
         let mut cap = GraphCapture::new();
         let gr_args = bind(&mut |bytes| {
@@ -988,14 +1207,14 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
         cap.launch(&ck, launch, &gr_args);
         let graph = cap.finish();
         let mut total = ReplayStats::default();
-        for _ in 0..opts.graph {
+        for _ in 0..options.graph_iters {
             let s = gcl.graph_replay(&graph).map_err(|e| e.to_string())?;
             total.accumulate(&s);
         }
         out += &format!(
             "  graph: {} op(s) captured, replayed {}x: cache hit rate {:.1}% ({} hit / {} miss)\n",
             graph.len(),
-            opts.graph,
+            options.graph_iters,
             total.cache_hit_rate() * 100.0,
             total.cache_hits,
             total.cache_misses,
@@ -1017,7 +1236,7 @@ fn cmd_run(src: &str, opts: &RunOpts) -> Result<String, String> {
             // Each iteration re-uploads, so the replayed end state must
             // match the verified single launch bit-for-bit.
             for (i, (g, c)) in graph_handles.iter().zip(&cl_handles).enumerate() {
-                if gcl.d2h(*g) != cl.d2h(*c) {
+                if gcl.download::<u8>(*g).unwrap() != cl.download::<u8>(*c).unwrap() {
                     return Err(format!("buffer {i} diverges after graph replay"));
                 }
             }
@@ -1580,5 +1799,89 @@ mod tests {
         let out = cmd_run(SAXPY, &opts).unwrap();
         assert!(out.contains("sanitizer: clean"), "{out}");
         assert!(out.contains("matches GPU"), "{out}");
+    }
+
+    #[test]
+    fn serve_opts_parse_synthetic_and_policy() {
+        let opts = ServeOpts::parse(
+            &[
+                "--synthetic",
+                "jobs=50,tenants=5",
+                "--policy",
+                "fifo",
+                "--queue-depth",
+                "8",
+                "--nodes",
+                "6",
+                "--gap-us",
+                "50",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(opts.jobs, 50);
+        assert_eq!(opts.tenants, 5);
+        assert_eq!(opts.policy, ServePolicy::Fifo);
+        assert_eq!(opts.queue_depth, 8);
+        assert_eq!(opts.nodes, 6);
+        assert!((opts.gap_us - 50.0).abs() < 1e-12);
+        assert!(ServeOpts::parse(&["--policy".into(), "lifo".into()]).is_err());
+        assert!(ServeOpts::parse(&["--synthetic".into(), "depth=2".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_reports_latency_summary_per_tenant() {
+        let opts = ServeOpts::parse(
+            &[
+                "--synthetic",
+                "jobs=80",
+                "--queue-depth",
+                "32",
+                "--nodes",
+                "4",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let out = cmd_serve(&opts).unwrap();
+        assert!(out.contains("launches/sec"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("class interactive"), "{out}");
+        assert!(out.contains("tenant  0"), "{out}");
+        assert!(out.contains("cache hit rate"), "{out}");
+    }
+
+    #[test]
+    fn run_opts_fold_into_run_options() {
+        let opts = RunOpts::parse(
+            &[
+                "--modeled",
+                "--streams",
+                "3",
+                "--graph",
+                "5",
+                "--node-threads",
+                "2",
+                "--fault",
+                "kill:node=1@t=0.5",
+                "--checkpoint",
+                "/tmp/cucc_opts.ckpt",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let ro = opts.to_run_options().unwrap();
+        assert_eq!(ro.streams, 3);
+        assert_eq!(ro.graph_iters, 5);
+        assert_eq!(ro.runtime.node_threads, 2);
+        assert!(!ro.runtime.faults.is_empty());
+        assert!(ro.checkpoint_to.is_some());
+        assert!(ro.restore_from.is_none());
     }
 }

@@ -43,16 +43,16 @@
 //! "#).unwrap();
 //! assert!(kernel.is_distributable());
 //!
-//! let mut cluster = CuccCluster::new(
+//! let mut cluster = CuccCluster::with_options(
 //!     ClusterSpec::thread_focused(), RuntimeConfig::default());
 //! let buf = cluster.alloc(4096 * 4);
-//! cluster.h2d_f32(buf, &vec![2.0f32; 4096]);
+//! cluster.upload(buf, &vec![2.0f32; 4096]).unwrap();
 //! let report = cluster
 //!     .launch(&kernel, LaunchConfig::cover1(4096, 256),
 //!             &[Arg::Buffer(buf), Arg::int(4096), Arg::float(3.0)])
 //!     .unwrap();
 //! assert!(report.mode.is_three_phase());
-//! assert_eq!(cluster.d2h_f32(buf), vec![6.0f32; 4096]);
+//! assert_eq!(cluster.download::<f32>(buf).unwrap(), vec![6.0f32; 4096]);
 //! ```
 
 pub use cucc_analysis as analysis;

@@ -26,7 +26,7 @@ fn seeded(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
 }
 
 fn cluster(nodes: u32, faults: FaultPlan) -> CuccCluster {
-    CuccCluster::new(
+    CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::builder().faults(faults).build(),
     )

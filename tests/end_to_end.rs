@@ -20,7 +20,7 @@ fn thread_cluster(n: u32) -> ClusterSpec {
 /// Run one benchmark functionally on a CuCC cluster and verify outputs.
 fn check_cucc(bench: &dyn Benchmark, spec: ClusterSpec) {
     let ck = compile_source(&bench.source()).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-    let mut cluster = CuccCluster::new(spec, RuntimeConfig::default());
+    let mut cluster = CuccCluster::with_options(spec, RuntimeConfig::default());
     let (args, handles) = setup_args(bench, &ck.kernel, &mut cluster);
     cluster
         .launch(&ck, bench.launch(), &args)
@@ -74,7 +74,7 @@ fn all_benchmarks_distribute_not_replicate() {
     // path, not the fallback.
     for bench in perf_suite(Scale::Test) {
         let ck = compile_source(&bench.source()).unwrap();
-        let mut cluster = CuccCluster::new(simd_cluster(4), RuntimeConfig::default());
+        let mut cluster = CuccCluster::with_options(simd_cluster(4), RuntimeConfig::default());
         let (args, _) = setup_args(bench.as_ref(), &ck.kernel, &mut cluster);
         let report = cluster.launch(&ck, bench.launch(), &args).unwrap();
         assert!(
@@ -90,7 +90,7 @@ fn all_benchmarks_distribute_not_replicate() {
 fn node_memories_fully_consistent_after_launch() {
     for bench in perf_suite(Scale::Test) {
         let ck = compile_source(&bench.source()).unwrap();
-        let mut cluster = CuccCluster::new(simd_cluster(5), RuntimeConfig::default());
+        let mut cluster = CuccCluster::with_options(simd_cluster(5), RuntimeConfig::default());
         let (args, _) = setup_args(bench.as_ref(), &ck.kernel, &mut cluster);
         cluster.launch(&ck, bench.launch(), &args).unwrap();
         assert!(
@@ -106,7 +106,7 @@ fn callback_counts_match_partition_arithmetic() {
     // VecCopy at Listing-1 size on two nodes: Figure 5's exact partition.
     let bench = cucc::workloads::perf::VecCopy::new(Scale::Test);
     let ck = compile_source(&bench.source()).unwrap();
-    let mut cluster = CuccCluster::new(simd_cluster(2), RuntimeConfig::default());
+    let mut cluster = CuccCluster::with_options(simd_cluster(2), RuntimeConfig::default());
     let (args, _) = setup_args(&bench, &ck.kernel, &mut cluster);
     let report = cluster.launch(&ck, bench.launch(), &args).unwrap();
     match report.mode {

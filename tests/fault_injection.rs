@@ -23,14 +23,14 @@ fn consistency_checker_catches_divergent_callback_inputs() {
     let ck = compile_source(SAXPY).unwrap();
     let n = 1200usize; // 5 blocks of 256: block 4 is the tail callback
     let launch = LaunchConfig::cover1(n as u64, 256);
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(2),
         RuntimeConfig::default(),
     );
     let x = cl.alloc(n * 4);
     let y = cl.alloc(n * 4);
-    cl.h2d_f32(x, &vec![1.0; n]);
-    cl.h2d_f32(y, &vec![2.0; n]);
+    cl.upload(x, &vec![1.0f32; n]).unwrap();
+    cl.upload(y, &vec![2.0f32; n]).unwrap();
     let args = [
         Arg::Buffer(x),
         Arg::Buffer(y),
@@ -63,14 +63,14 @@ fn corruption_in_gathered_region_heals() {
     let ck = compile_source(SAXPY).unwrap();
     let n = 2048usize;
     let launch = LaunchConfig::cover1(n as u64, 256);
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(4),
         RuntimeConfig::default(),
     );
     let x = cl.alloc(n * 4);
     let y = cl.alloc(n * 4);
-    cl.h2d_f32(x, &vec![1.0; n]);
-    cl.h2d_f32(y, &vec![2.0; n]);
+    cl.upload(x, &vec![1.0f32; n]).unwrap();
+    cl.upload(y, &vec![2.0f32; n]).unwrap();
     let args = [
         Arg::Buffer(x),
         Arg::Buffer(y),
@@ -103,7 +103,7 @@ fn corruption_outside_written_region_is_benign_after_gather() {
     .unwrap();
     let n = 1024usize;
     let launch = LaunchConfig::cover1(n as u64, 256);
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(4),
         RuntimeConfig::default(),
     );
@@ -114,7 +114,7 @@ fn corruption_outside_written_region_is_benign_after_gather() {
     cl.sim_mut().node_mut(3).bytes_mut(out)[0] = 0x5A;
     cl.launch(&ck, launch, &[Arg::Buffer(out), Arg::int(n as i64)])
         .unwrap();
-    let got = cl.d2h_f32(out);
+    let got = cl.download::<f32>(out).unwrap();
     let want: Vec<f32> = (0..n).map(|i| i as f32).collect();
     assert_eq!(got, want);
     assert!(cl.sim().fully_consistent());
@@ -129,10 +129,10 @@ fn disabling_verification_skips_the_check() {
         verify_consistency: false,
         ..Default::default()
     };
-    let mut cl = CuccCluster::new(ClusterSpec::simd_focused().with_nodes(2), cfg);
+    let mut cl = CuccCluster::with_options(ClusterSpec::simd_focused().with_nodes(2), cfg);
     let x = cl.alloc(n * 4);
     let y = cl.alloc(n * 4);
-    cl.h2d_f32(x, &vec![1.0; n]);
+    cl.upload(x, &vec![1.0f32; n]).unwrap();
     // Corrupt node 1's copy of y inside its own slice.
     cl.sim_mut().node_mut(1).bytes_mut(y)[(n / 2 + 1) * 4] = 0x77;
     // With verification off, the launch "succeeds" silently — documenting
@@ -160,14 +160,18 @@ fn oob_kernel_reports_not_corrupts() {
         }",
     )
     .unwrap();
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(2),
         RuntimeConfig::default(),
     );
     let sentinel = cl.alloc(64);
-    cl.h2d(sentinel, &[0xAB; 64]);
+    cl.upload(sentinel, &[0xABu8; 64]).unwrap();
     let out = cl.alloc(256);
     let err = cl.launch(&ck, LaunchConfig::new(2u32, 32u32), &[Arg::Buffer(out)]);
     assert!(err.is_err(), "OOB launch must fail");
-    assert_eq!(cl.d2h(sentinel), vec![0xAB; 64], "other memory untouched");
+    assert_eq!(
+        cl.download::<u8>(sentinel).unwrap(),
+        vec![0xAB; 64],
+        "other memory untouched"
+    );
 }

@@ -44,7 +44,7 @@ fn run(
     n: usize,
     faults: FaultPlan,
 ) -> (cucc::core::LaunchReport, Vec<u8>, CuccCluster) {
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::builder().faults(faults).build(),
     );

@@ -19,7 +19,7 @@ const THREADS: u32 = 64;
 const PAD: usize = 64;
 
 fn cluster(nodes: u32) -> CuccCluster {
-    CuccCluster::new(
+    CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::default(),
     )

@@ -82,7 +82,7 @@ fn three_d_grid_distributes_by_plane() {
     let want = gpu.d2h(gv);
 
     for nodes in [2u32, 4] {
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(nodes),
             RuntimeConfig::default(),
         );
@@ -95,7 +95,7 @@ fn three_d_grid_distributes_by_plane() {
             )
             .unwrap();
         assert!(report.mode.is_three_phase(), "nodes={nodes}");
-        assert_eq!(cl.d2h(cv), want, "nodes={nodes}");
+        assert_eq!(cl.download::<u8>(cv).unwrap(), want, "nodes={nodes}");
     }
 }
 
@@ -113,14 +113,14 @@ fn rectangular_blocks_and_grids() {
     let (w, h) = ((bw * gw) as usize, (bh * gh) as usize);
     let launch = LaunchConfig::new((gw, gh), (bw, bh));
 
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::thread_focused().with_nodes(3),
         RuntimeConfig::default(),
     );
     let out = cl.alloc(w * h * 4);
     cl.launch(&ck, launch, &[Arg::Buffer(out), Arg::int(w as i64)])
         .unwrap();
-    let got = cl.d2h_f32(out);
+    let got = cl.download::<f32>(out).unwrap();
     for y in 0..h {
         for x in 0..w {
             assert_eq!(got[y * w + x], y as f32 * 100.0 + x as f32, "({x},{y})");

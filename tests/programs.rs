@@ -97,7 +97,7 @@ fn pipeline_identical_on_all_backends() {
     assert_eq!(gres.launches, 3);
 
     for nodes in [1u32, 2, 4, 6] {
-        let mut cucc = CuccCluster::new(
+        let mut cucc = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(nodes),
             RuntimeConfig::default(),
         );
@@ -169,7 +169,7 @@ fn transpose_twice_is_identity_distributed() {
         )
         .d2h("c")
         .build();
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::thread_focused().with_nodes(4),
         RuntimeConfig::default(),
     );
@@ -214,15 +214,15 @@ fn split_kernel_runs_distributed_and_matches() {
         .unwrap();
     let want = gpu.d2h(gy);
 
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(8),
         RuntimeConfig::default(),
     );
     let cx = cl.alloc(n * 4);
     let cy = cl.alloc(n * 4);
-    cl.h2d_f32(cx, &xs);
-    cl.h2d_f32(cy, &ys);
+    cl.upload(cx, &xs).unwrap();
+    cl.upload(cy, &ys).unwrap();
     let report = cl.launch(&ck_split, split_launch, &args(cx, cy)).unwrap();
     assert!(report.mode.is_three_phase());
-    assert_eq!(cl.d2h(cy), want);
+    assert_eq!(cl.download::<u8>(cy).unwrap(), want);
 }

@@ -63,16 +63,16 @@ proptest! {
         let want = gpu.d2h(gy);
 
         // CuCC cluster.
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(nodes),
             RuntimeConfig::default(),
         );
         let cx = cl.alloc(n * 4);
         let cy = cl.alloc(n * 4);
-        cl.h2d_f32(cx, &xs);
-        cl.h2d_f32(cy, &ys);
+        cl.upload(cx, &xs).unwrap();
+        cl.upload(cy, &ys).unwrap();
         cl.launch(&ck, launch, &args_for(cx, cy)).unwrap();
-        prop_assert_eq!(cl.d2h(cy), want.clone(), "CuCC diverged (nodes={})", nodes);
+        prop_assert_eq!(cl.download::<u8>(cy).unwrap(), want.clone(), "CuCC diverged (nodes={})", nodes);
 
         // PGAS baseline.
         let mut pg = PgasCluster::new(
@@ -115,16 +115,16 @@ proptest! {
         }
         let want = gpu.d2h(gb);
 
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::thread_focused().with_nodes(nodes),
             RuntimeConfig::default(),
         );
         let cb = cl.alloc(n * 4);
-        cl.h2d_f32(cb, &init);
+        cl.upload(cb, &init).unwrap();
         for _ in 0..iters {
             cl.launch(&ck, launch, &[Arg::Buffer(cb), Arg::int(n as i64)]).unwrap();
             prop_assert!(cl.sim().fully_consistent());
         }
-        prop_assert_eq!(cl.d2h(cb), want);
+        prop_assert_eq!(cl.download::<u8>(cb).unwrap(), want);
     }
 }

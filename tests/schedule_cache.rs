@@ -26,7 +26,7 @@ fn setup(
     faults: FaultPlan,
 ) -> (CuccCluster, CompiledKernel, Vec<Arg>, LaunchConfig) {
     let ck = compile_source(SAXPY).unwrap();
-    let mut cl = CuccCluster::new(
+    let mut cl = CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::builder().faults(faults).build(),
     );

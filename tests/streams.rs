@@ -22,7 +22,7 @@ const STEP: &str = "__global__ void step(float* data, int n) {
 }";
 
 fn cluster(nodes: u32) -> CuccCluster {
-    CuccCluster::new(
+    CuccCluster::with_options(
         ClusterSpec::simd_focused().with_nodes(nodes),
         RuntimeConfig::default(),
     )
@@ -116,9 +116,9 @@ proptest! {
         for &(c, op) in &ops {
             let launch = LaunchConfig::cover1(sc[c].n as u64, 128);
             match op {
-                ChainOp::H2d => serial.h2d(sc[c].x, &sc[c].data),
+                ChainOp::H2d => serial.upload(sc[c].x, &sc[c].data).unwrap(),
                 ChainOp::Launch => { serial.launch(&ck, launch, &chain_args(&sc[c])).unwrap(); }
-                ChainOp::D2h => serial_out[c] = serial.d2h(sc[c].y),
+                ChainOp::D2h => serial_out[c] = serial.download::<u8>(sc[c].y).unwrap(),
             }
         }
         let serial_elapsed = serial.clock();
@@ -134,9 +134,9 @@ proptest! {
             let s = assign[c];
             let launch = LaunchConfig::cover1(ac[c].n as u64, 128);
             match op {
-                ChainOp::H2d => cl.h2d_async(ac[c].x, &ac[c].data, s),
+                ChainOp::H2d => cl.upload_on(ac[c].x, &ac[c].data, s).unwrap(),
                 ChainOp::Launch => { cl.launch_on(&ck, launch, &chain_args(&ac[c]), s).unwrap(); }
-                ChainOp::D2h => async_out[c] = cl.d2h_async(ac[c].y, s),
+                ChainOp::D2h => async_out[c] = cl.download_on::<u8>(ac[c].y, s).unwrap(),
             }
             if with_events {
                 // Random backward-pointing event edges between streams:
@@ -158,7 +158,7 @@ proptest! {
         prop_assert_eq!(&async_out, &serial_out);
         for c in 0..chains {
             // d2h_async returned eagerly; the settled memory agrees.
-            prop_assert_eq!(&cl.d2h(ac[c].y), &serial_out[c]);
+            prop_assert_eq!(&cl.download::<u8>(ac[c].y).unwrap(), &serial_out[c]);
         }
         prop_assert!(
             async_elapsed <= serial_elapsed * (1.0 + 1e-9),
@@ -186,13 +186,13 @@ proptest! {
             let buf = cl.alloc(n * 4);
             let streams: Vec<_> = (0..streams_to_use).map(|_| cl.stream_create()).collect();
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            cl.h2d_async(buf, &init, streams[rng.gen_range(0..streams_to_use)]);
+            cl.upload_on(buf, &init, streams[rng.gen_range(0..streams_to_use)]).unwrap();
             for _ in 0..launches {
                 let s = streams[rng.gen_range(0..streams_to_use)];
                 cl.launch_on(&ck, launch, &[Arg::Buffer(buf), Arg::int(n as i64)], s).unwrap();
             }
             let elapsed = cl.synchronize().unwrap();
-            (elapsed, cl.d2h(buf))
+            (elapsed, cl.download::<u8>(buf).unwrap())
         };
 
         let (t_one, mem_one) = run(1, assign_seed);
@@ -221,11 +221,11 @@ fn pipeline_elapsed(ck: &CompiledKernel, streams: usize, replicas: usize) -> (f6
             Arg::int(n as i64),
         ];
         if ss.is_empty() {
-            cl.h2d(x, &data);
+            cl.upload(x, &data).unwrap();
             cl.launch(ck, launch, &args).unwrap();
         } else {
             let s = ss[r % ss.len()];
-            cl.h2d_async(x, &data, s);
+            cl.upload_on(x, &data, s).unwrap();
             cl.launch_on(ck, launch, &args, s).unwrap();
         }
     }

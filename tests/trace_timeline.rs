@@ -80,7 +80,7 @@ proptest! {
         nodes in 1u32..9,
     ) {
         let ck = compile_source(TEMPLATES[template]).unwrap();
-        let mut cl = CuccCluster::new(
+        let mut cl = CuccCluster::with_options(
             ClusterSpec::simd_focused().with_nodes(nodes),
             RuntimeConfig::modeled(),
         );
